@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``test_bench_*`` file regenerates one experiment from DESIGN.md's
+per-experiment index: it prints the paper-expected vs. measured result rows
+(via the ``report`` helper, visible with ``pytest -s`` and in the captured
+output summary) and asserts the qualitative shape, while pytest-benchmark
+records the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def report(exp_id: str, rows) -> None:
+    """Print an experiment's result table (paper expectation vs measured)."""
+    width = max((len(r[0]) for r in rows), default=20) + 2
+    print()
+    print(f"[{exp_id}]")
+    for label, value in rows:
+        print(f"  {label:<{width}} {value}")
+
+
+@pytest.fixture
+def promise_config() -> SemanticsConfig:
+    return SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+
+
+@pytest.fixture
+def promise2_config() -> SemanticsConfig:
+    return SemanticsConfig(promise_oracle=SyntacticPromises(budget=2, max_outstanding=2))

@@ -1,0 +1,92 @@
+"""E-ABLATIONS: design-choice ablations called out in DESIGN.md.
+
+1. **Capped vs raw certification** — removing the capped memory readmits
+   the CAS-assuming promise the paper's construction exists to forbid
+   (Sec. 2.1), observable as an extra trace.
+2. **Certification cache** — exploration cost with and without the
+   memoized ``consistent`` results.
+3. **Gap-leaving write placements** — state-space overhead of the extra
+   placements (needed only by the simulation checker's source side).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.library import lb
+from repro.semantics.certification import CertificationStats
+from repro.semantics.exploration import Explorer, behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+from repro.litmus.library import promise_via_cas as competing_cas_program
+
+
+def test_cap_ablation(benchmark):
+    program = competing_cas_program()
+
+    def explore(capped: bool):
+        config = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1),
+            certify_against_cap=capped,
+        )
+        return behaviors(program, config)
+
+    capped = benchmark.pedantic(lambda: explore(True), rounds=1, iterations=1)
+    ablated = explore(False)
+    bad_trace = (7,)
+    report(
+        "E-ABL/cap",
+        [
+            ("bad trace under capped cert (paper: absent)", bad_trace in capped.traces),
+            ("bad trace under raw cert", bad_trace in ablated.traces),
+            ("capped traces ⊆ raw traces", capped.traces <= ablated.traces),
+        ],
+    )
+    assert bad_trace not in capped.traces
+    assert bad_trace in ablated.traces
+
+
+def test_certification_cache_effectiveness(benchmark):
+    config = SemanticsConfig(promise_oracle=SyntacticPromises(budget=1))
+
+    def explore_with_cache():
+        explorer = Explorer(lb(), config)
+        explorer.build()
+        return explorer.cert_stats
+
+    stats = benchmark(explore_with_cache)
+    hit_rate = stats.cache_hits / max(stats.calls, 1)
+    report(
+        "E-ABL/cert-cache",
+        [
+            ("certification calls", stats.calls),
+            ("cache hits", stats.cache_hits),
+            ("hit rate", f"{hit_rate:.0%}"),
+        ],
+    )
+    assert stats.calls > 0
+
+
+def test_gap_leaving_overhead(benchmark):
+    from repro.lang.builder import straightline_program
+    from repro.lang.syntax import AccessMode, Const, Store
+
+    program = straightline_program(
+        [[Store("a", Const(i), AccessMode.NA) for i in range(3)]] * 2
+    )
+
+    def states(leave_gaps: bool) -> int:
+        config = SemanticsConfig(gap_leaving_writes=leave_gaps)
+        explorer = Explorer(program, config).build()
+        return len(explorer.states)
+
+    plain = benchmark.pedantic(lambda: states(False), rounds=1, iterations=1)
+    leaving = states(True)
+    report(
+        "E-ABL/gap-placements",
+        [
+            ("states, canonical placement", plain),
+            ("states, gap-leaving placement", leaving),
+            ("overhead", f"{leaving / plain:.2f}x"),
+        ],
+    )
+    assert leaving >= plain

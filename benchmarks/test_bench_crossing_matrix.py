@@ -1,0 +1,125 @@
+"""E-CROSSING: the paper's atomic-access crossing matrix (Sec. 1 and 7).
+
+Paper expectation:
+
+  ===========  ==========  ==========  ==========
+  pass         rlx r/w     rel write   acq read
+  ===========  ==========  ==========  ==========
+  LICM / CSE   crosses     crosses     BLOCKED
+  DCE          crosses     BLOCKED     crosses
+  ===========  ==========  ==========  ==========
+
+Each cell is measured by building a probe program with the given atomic
+access between the optimization opportunity and its use, running the
+pass, and checking whether it fired — plus refinement validation that
+every firing is sound.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import AccessMode, Assign, Load, Skip, Store
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.sim.validate import validate_optimizer
+
+
+def cse_probe(kind: str):
+    """r1 := a.na; <atomic>; r2 := a.na — can CSE eliminate the reload?"""
+    pb = ProgramBuilder(atomics={"x"})
+    f = pb.function("t1")
+    b = f.block("entry")
+    b.load("r1", "a", "na")
+    if kind == "rlx_read":
+        b.load("g", "x", "rlx")
+    elif kind == "rlx_write":
+        b.store("x", 1, "rlx")
+    elif kind == "rel_write":
+        b.store("x", 1, "rel")
+    elif kind == "acq_read":
+        b.load("g", "x", "acq")
+    b.load("r2", "a", "na")
+    b.print_("r1")
+    b.print_("r2")
+    b.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+def dce_probe(kind: str):
+    """a.na := 1; <atomic>; a.na := 2 — can DCE kill the first store?"""
+    pb = ProgramBuilder(atomics={"x"})
+    f = pb.function("t1")
+    b = f.block("entry")
+    b.store("a", 1, "na")
+    if kind == "rlx_read":
+        b.load("g", "x", "rlx")
+    elif kind == "rlx_write":
+        b.store("x", 1, "rlx")
+    elif kind == "rel_write":
+        b.store("x", 1, "rel")
+    elif kind == "acq_read":
+        b.load("g", "x", "acq")
+    b.store("a", 2, "na")
+    b.load("r", "a", "na")
+    b.print_("r")
+    b.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+def cse_fired(program) -> bool:
+    out = CSE().run(program)
+    instrs = out.function("t1")["entry"].instrs
+    return any(isinstance(i, Assign) and i.dst == "r2" for i in instrs)
+
+
+def dce_fired(program) -> bool:
+    out = DCE().run(program)
+    return isinstance(out.function("t1")["entry"].instrs[0], Skip)
+
+
+KINDS = ("rlx_read", "rlx_write", "rel_write", "acq_read")
+PAPER_CSE = {"rlx_read": True, "rlx_write": True, "rel_write": True, "acq_read": False}
+PAPER_DCE = {"rlx_read": True, "rlx_write": True, "rel_write": False, "acq_read": True}
+
+
+def test_crossing_matrix(benchmark):
+    def run():
+        return (
+            {kind: cse_fired(cse_probe(kind)) for kind in KINDS},
+            {kind: dce_fired(dce_probe(kind)) for kind in KINDS},
+        )
+
+    cse_row, dce_row = benchmark(run)
+    report(
+        "E-CROSSING",
+        [(f"CSE across {kind}", f"paper={PAPER_CSE[kind]} measured={cse_row[kind]}")
+         for kind in KINDS]
+        + [(f"DCE across {kind}", f"paper={PAPER_DCE[kind]} measured={dce_row[kind]}")
+           for kind in KINDS],
+    )
+    assert cse_row == PAPER_CSE
+    assert dce_row == PAPER_DCE
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cse_crossings_sound(benchmark, kind):
+    """Every cell where the pass fires must be a sound transformation."""
+    result = benchmark.pedantic(
+        lambda: validate_optimizer(CSE(), cse_probe(kind), check_target_wwrf=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_dce_crossings_sound(benchmark, kind):
+    result = benchmark.pedantic(
+        lambda: validate_optimizer(DCE(), dce_probe(kind), check_target_wwrf=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok

@@ -1,0 +1,56 @@
+"""E-THM41 / E-LM51: behavior-set equivalence of the interleaving and
+non-preemptive machines (Thm. 4.1) and ww-RF ⇔ ww-NPRF (Lm. 5.1) over the
+litmus suite.
+
+Paper expectation: equality on every program, unconditionally.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.library import LITMUS_SUITE
+from repro.races.wwrf import ww_nprf, ww_rf
+from repro.semantics.exploration import behaviors, np_behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def config_for(test) -> SemanticsConfig:
+    oracle = SyntacticPromises(budget=test.promise_budget, max_outstanding=test.promise_budget)
+    return SemanticsConfig(promise_oracle=oracle)
+
+
+def test_thm41_equivalence_suite(benchmark):
+    def run():
+        rows = []
+        for name in sorted(LITMUS_SUITE):
+            test = LITMUS_SUITE[name]
+            config = config_for(test)
+            interleaving = behaviors(test.program, config)
+            nonpreemptive = np_behaviors(test.program, config)
+            rows.append((name, interleaving.traces == nonpreemptive.traces))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E-THM41", [(name, "equal" if ok else "DIFFER") for name, ok in rows])
+    assert all(ok for _, ok in rows)
+
+
+def test_lm51_wwrf_equivalence_suite(benchmark):
+    def run():
+        rows = []
+        for name in sorted(LITMUS_SUITE):
+            test = LITMUS_SUITE[name]
+            config = config_for(test)
+            rows.append(
+                (name, ww_rf(test.program, config).race_free,
+                 ww_nprf(test.program, config).race_free)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E-LM51",
+        [(name, f"ww-RF={a} ww-NPRF={b}") for name, a, b in rows],
+    )
+    assert all(a == b for _, a, b in rows)

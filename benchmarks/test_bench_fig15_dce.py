@@ -1,0 +1,50 @@
+"""E-FIG15: DCE across a release write is unsound; the paper's
+Lv_Analyzer release barrier blocks it.
+
+Paper expectation (Sec. 7.1, Fig. 15):
+  - correct DCE keeps ``y := 2`` (release barrier) and refines;
+  - the incorrect elimination lets g() print 0, which the source never
+    does — refinement fails.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.lang.syntax import AccessMode, Const, Store
+from repro.litmus.library import fig15_program
+from repro.opt.dce import DCE
+from repro.sim.refinement import check_refinement
+from repro.sim.validate import validate_optimizer
+
+
+def test_correct_dce_keeps_barrier_write(benchmark):
+    source = fig15_program(False)
+    validation = benchmark(lambda: validate_optimizer(DCE(), source))
+    target = DCE().run(source)
+    kept = target.function("t1")["entry"].instrs[0] == Store("y", Const(2), AccessMode.NA)
+    report(
+        "E-FIG15/correct",
+        [
+            ("paper: y := 2 kept", True),
+            ("measured: y := 2 kept", kept),
+            ("refinement", str(validation.refinement)),
+            ("ww-RF preserved", validation.target_wwrf.race_free),
+        ],
+    )
+    assert kept and validation.ok
+
+
+def test_incorrect_elimination_fails(benchmark):
+    result = benchmark(lambda: check_refinement(fig15_program(False), fig15_program(True)))
+    report(
+        "E-FIG15/incorrect",
+        [
+            ("paper: g may print 0 only in target", True),
+            ("src outcomes", sorted(result.source_behaviors.outputs())),
+            ("tgt outcomes", sorted(result.target_behaviors.outputs())),
+            ("refinement holds", result.holds),
+        ],
+    )
+    assert not result.holds
+    assert (0,) in result.target_behaviors.outputs()
+    assert (0,) not in result.source_behaviors.outputs()

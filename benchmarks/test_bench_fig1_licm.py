@@ -1,0 +1,112 @@
+"""E-FIG1: the paper's Fig. 1 — LICM across an acquire read is unsound,
+across a relaxed read it is sound.
+
+Paper expectation (Sec. 1):
+  acq spin read : foo_opt ∥ g does NOT refine foo ∥ g (r2 may see 0);
+  rlx spin read : refinement holds.
+Measured through both the hand-written target and the actual optimizer.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.lang.syntax import AccessMode
+from repro.litmus.library import fig1_source, fig1_target
+from repro.opt.licm import LICM, naive_licm
+from repro.sim.refinement import check_refinement
+
+
+def test_fig1_acquire_unsound(benchmark):
+    result = benchmark(
+        lambda: check_refinement(fig1_source(AccessMode.ACQ), fig1_target(AccessMode.ACQ))
+    )
+    report(
+        "E-FIG1/acq",
+        [
+            ("paper: refinement fails", True),
+            ("measured: holds", result.holds),
+            ("counterexample trace", result.counterexample),
+            ("src outcomes", sorted(result.source_behaviors.outputs())),
+            ("tgt outcomes", sorted(result.target_behaviors.outputs())),
+        ],
+    )
+    assert result.definitive and not result.holds
+
+
+def test_fig1_relaxed_sound(benchmark):
+    result = benchmark(
+        lambda: check_refinement(fig1_source(AccessMode.RLX), fig1_target(AccessMode.RLX))
+    )
+    report(
+        "E-FIG1/rlx",
+        [("paper: refinement holds", True), ("measured: holds", result.holds)],
+    )
+    assert result.definitive and result.holds
+
+
+def test_fig1_through_optimizers(benchmark):
+    def run():
+        src_acq = fig1_source(AccessMode.ACQ)
+        src_rlx = fig1_source(AccessMode.RLX)
+        return (
+            LICM().run(src_acq) == src_acq,                    # verified pass refuses
+            check_refinement(src_acq, naive_licm().run(src_acq)).holds,   # naive breaks
+            check_refinement(src_rlx, LICM().run(src_rlx)).holds,         # verified OK
+        )
+
+    refused, naive_holds, verified_holds = benchmark(run)
+    report(
+        "E-FIG1/optimizer",
+        [
+            ("verified LICM refuses acq-crossing", refused),
+            ("naive LICM refinement (paper: fails)", naive_holds),
+            ("verified LICM on rlx (paper: holds)", verified_holds),
+        ],
+    )
+    assert refused and not naive_holds and verified_holds
+
+
+def test_fig1_source_level_licm(benchmark):
+    """The same experiment at the *source* level: the paper presents LICM
+    as a structured source-to-source transformation (foo → foo_opt), which
+    `repro.csimp.opt.SourceLicm` implements directly on the AST."""
+    from repro.csimp import lower_program, parse_csimp
+    from repro.csimp.opt import SourceLicm
+
+    template = """
+    atomics x;
+    fn foo() {{
+        r1 = 0;
+        r2 = 0;
+        while (r1 < 1) {{
+            while (x.{mode} == 0);
+            r2 = y.na;
+            r1 = r1 + 1;
+        }}
+        print(r2);
+    }}
+    fn g() {{ y.na = 1; x.rel = 1; }}
+    threads foo, g;
+    """
+
+    def run():
+        acq = parse_csimp(template.format(mode="acq"))
+        rlx = parse_csimp(template.format(mode="rlx"))
+        refused = SourceLicm().run(acq) == acq
+        naive = SourceLicm(respect_acquire=False).run(acq)
+        naive_result = check_refinement(lower_program(acq), lower_program(naive))
+        hoisted = SourceLicm().run(rlx)
+        sound_result = check_refinement(lower_program(rlx), lower_program(hoisted))
+        return refused, naive_result, sound_result
+
+    refused, naive_result, sound_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E-FIG1/source-level",
+        [
+            ("verified SourceLicm refuses acq", refused),
+            ("naive SourceLicm refinement (paper: fails)", naive_result.holds),
+            ("counterexample", naive_result.counterexample),
+            ("verified SourceLicm on rlx (paper: holds)", sound_result.holds),
+        ],
+    )
+    assert refused and not naive_result.holds and sound_result.holds

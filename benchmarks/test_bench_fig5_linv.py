@@ -1,0 +1,69 @@
+"""E-FIG5: LInv introduces read-write races yet preserves refinement
+(paper Sec. 2.5, Fig. 5).
+
+Paper expectation:
+  - source (Csrc, acquire-guarded) has no rw-race on x;
+  - after LInv (Cm) there is a rw-race on x;
+  - all three stages remain ww-race-free;
+  - refinement holds along the whole LInv → CSE pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.library import fig5_program
+from repro.races.rwrace import rw_races
+from repro.races.wwrf import ww_rf
+from repro.sim.refinement import check_refinement
+
+
+def test_linv_rw_race_introduction(benchmark):
+    def run():
+        src_races = {w.loc for w in rw_races(fig5_program("source"))}
+        linv_races = {w.loc for w in rw_races(fig5_program("linv"))}
+        return src_races, linv_races
+
+    src_races, linv_races = benchmark(run)
+    report(
+        "E-FIG5/races",
+        [
+            ("paper: source race-free on x", "x" not in src_races),
+            ("paper: LInv output racy on x", "x" in linv_races),
+            ("source rw-race locs", sorted(src_races)),
+            ("LInv rw-race locs", sorted(linv_races)),
+        ],
+    )
+    assert "x" not in src_races
+    assert "x" in linv_races
+
+
+def test_pipeline_refinement(benchmark):
+    def run():
+        return (
+            check_refinement(fig5_program("source"), fig5_program("linv")).holds,
+            check_refinement(fig5_program("linv"), fig5_program("cse")).holds,
+            check_refinement(fig5_program("source"), fig5_program("cse")).holds,
+        )
+
+    linv_ok, cse_ok, licm_ok = benchmark(run)
+    report(
+        "E-FIG5/refinement",
+        [
+            ("LInv refines source", linv_ok),
+            ("CSE refines LInv output", cse_ok),
+            ("LICM (composition) refines source", licm_ok),
+        ],
+    )
+    assert linv_ok and cse_ok and licm_ok
+
+
+def test_ww_rf_preserved_along_pipeline(benchmark):
+    def run():
+        return [ww_rf(fig5_program(stage)).race_free for stage in ("source", "linv", "cse")]
+
+    results = benchmark(run)
+    report(
+        "E-FIG5/ww-rf",
+        [("paper: all stages ww-RF", True), ("measured", results)],
+    )
+    assert all(results)

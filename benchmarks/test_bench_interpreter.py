@@ -1,0 +1,50 @@
+"""Interpreter microbenchmarks: raw PS2.1 stepping throughput.
+
+Not a paper experiment — infrastructure numbers that contextualize the
+exploration-based experiment costs (how expensive is a thread step, a
+certification, a randomized execution)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import sb
+from repro.semantics.exploration import behaviors
+from repro.semantics.random_run import random_run
+from repro.semantics.thread import SemanticsConfig
+
+
+def test_random_execution_throughput(benchmark):
+    big = GeneratorConfig(threads=4, instrs_per_thread=30)
+    program = random_wwrf_program(1, big)
+
+    counter = iter(range(10**9))
+
+    def run():
+        return random_run(program, seed=next(counter), max_steps=5000)
+
+    result = benchmark(run)
+    report(
+        "interp/random-run",
+        [("instructions", program.num_instructions()), ("steps", result.steps)],
+    )
+
+
+def test_exploration_throughput(benchmark):
+    def run():
+        return behaviors(sb())
+
+    result = benchmark(run)
+    rate = result.state_count
+    report("interp/explore-sb", [("states", rate)])
+
+
+def test_certification_heavy_exploration(benchmark):
+    """Exploration with promises exercises certification on every step."""
+    from repro.litmus.library import lb
+    from repro.semantics.promises import SyntacticPromises
+
+    config = SemanticsConfig(promise_oracle=SyntacticPromises(budget=1))
+
+    result = benchmark(lambda: behaviors(lb(), config))
+    report("interp/explore-lb-promises", [("states", result.state_count)])

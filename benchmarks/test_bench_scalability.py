@@ -1,0 +1,63 @@
+"""Scalability series: how exploration cost grows with program size —
+the figure-style series that contextualizes every other experiment
+(states and wall-clock vs thread count / block width / promise budget)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Store
+from repro.litmus.library import lb
+from repro.semantics.exploration import Explorer
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def writers_readers(threads: int):
+    """⌈threads/2⌉ writer threads and ⌊threads/2⌋ readers over one cell."""
+    specs = []
+    for i in range(threads):
+        if i % 2 == 0:
+            specs.append([Store("x", Const(i + 1), AccessMode.RLX)])
+        else:
+            specs.append([Load(f"r{i}", "x", AccessMode.RLX), Print(Reg(f"r{i}"))])
+    return straightline_program(specs, atomics={"x"})
+
+
+def count_states(program, config=None) -> int:
+    explorer = Explorer(program, config or SemanticsConfig()).build()
+    assert explorer.exhaustive
+    return len(explorer.states)
+
+
+@pytest.mark.parametrize("threads", [2, 3, 4])
+def test_states_vs_thread_count(benchmark, threads):
+    program = writers_readers(threads)
+    states = benchmark.pedantic(lambda: count_states(program), rounds=1, iterations=1)
+    report(f"scalability/threads={threads}", [("states", states)])
+    assert states > 0
+
+
+@pytest.mark.parametrize("budget", [0, 1, 2])
+def test_states_vs_promise_budget(benchmark, budget):
+    config = (
+        SemanticsConfig(promise_oracle=SyntacticPromises(budget=budget, max_outstanding=budget))
+        if budget
+        else SemanticsConfig()
+    )
+    states = benchmark.pedantic(lambda: count_states(lb(), config), rounds=1, iterations=1)
+    report(f"scalability/promise-budget={budget}", [("LB states", states)])
+    assert states > 0
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_states_vs_block_width(benchmark, width):
+    program = straightline_program(
+        [
+            [Store(f"v{i}", Const(i), AccessMode.NA) for i in range(width)],
+            [Load(f"r{i}", f"v{i}", AccessMode.NA) for i in range(width)],
+        ]
+    )
+    states = benchmark.pedantic(lambda: count_states(program), rounds=1, iterations=1)
+    report(f"scalability/width={width}", [("states", states)])
+    assert states > 0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A single-producer / single-consumer handoff cell — the release/acquire
+idiom real concurrent code is built from, verified end to end.
+
+The producer writes a non-atomic payload and publishes it by a release
+store of a sequence flag; the consumer spins on an acquire read and then
+reads the payload.  We check:
+
+1. the consumer never observes a torn/stale payload (every received value
+   is one the producer fully published);
+2. the program is write-write race free — the flag protocol synchronizes
+   the non-atomic payload accesses;
+3. weakening the publication to relaxed breaks both properties;
+4. the optimizer pipeline transforms producer-side code soundly.
+
+Run:  python examples/message_queue.py
+"""
+
+from repro import (
+    CSE,
+    ConstProp,
+    DCE,
+    behaviors,
+    compose,
+    lower_program,
+    parse_csimp,
+    rw_races,
+    validate_optimizer,
+    ww_rf,
+)
+
+QUEUE = """
+atomics seq;
+
+fn producer() {{
+    // message 1
+    payload.na = 11;
+    seq.{publish} = 1;
+    // wait for the consumer to take it
+    while (seq.{observe} == 1);
+    // message 2
+    payload.na = 22;
+    seq.{publish} = 3;
+}}
+
+fn consumer() {{
+    while (seq.{observe} == 0);
+    m1 = payload.na;
+    print(m1);
+    seq.{publish} = 2;
+    while (seq.{observe} == 2);
+    m2 = payload.na;
+    print(m2);
+}}
+
+threads producer, consumer;
+"""
+
+
+def build(publish: str, observe: str):
+    return lower_program(parse_csimp(QUEUE.format(publish=publish, observe=observe)))
+
+
+def main() -> None:
+    print("=" * 64)
+    print("SPSC handoff cell (release/acquire publication)")
+    print("=" * 64)
+
+    good = build("rel", "acq")
+    result = behaviors(good)
+    outs = sorted(result.outputs())
+    print(f"\nrel/acq protocol: {result}")
+    print(f"complete outcomes: {outs}")
+    assert outs == [(11, 22)], "every received message is exactly as published"
+    print("the consumer always receives (11, 22) — no stale payloads.")
+    report = ww_rf(good)
+    print(f"ww-RF: {report}")
+
+    weak = build("rlx", "rlx")
+    weak_outs = sorted(behaviors(weak).outputs())
+    print(f"\nrelaxed protocol outcomes: {weak_outs}")
+    races = rw_races(weak)
+    print(f"read-write races: {[w.loc for w in races]}")
+    print("without release/acquire the consumer can read stale payloads")
+    print("(e.g. 0 — the initial value): the payload accesses now race.")
+    assert any(w.loc == "payload" for w in races)
+    assert not any(w.loc == "payload" for w in rw_races(good))
+
+    pipeline = compose(compose(ConstProp(), CSE()), DCE())
+    validation = validate_optimizer(pipeline, good)
+    print(f"\noptimizer pipeline on the protocol: {validation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""The paper's figures, written in the paper's own structured syntax and
+checked end to end through the CSimp front-end.
+
+Fig. 1  — LICM across an acquire read (unsound) vs relaxed (sound);
+Fig. 4  — write-write race freedom is promise-certification-aware;
+Fig. 15 — DCE must not cross a release write.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import (
+    SemanticsConfig,
+    SyntacticPromises,
+    check_refinement,
+    lower_program,
+    parse_csimp,
+    ww_rf,
+)
+
+FIG1 = """
+atomics x;
+
+fn foo() {{
+    r1 = 0;
+    r2 = 0;
+    {hoist}
+    while (r1 < 1) {{
+        while (x.{mode} == 0);
+        {inner}
+        r1 = r1 + 1;
+    }}
+    print(r2);
+}}
+
+fn g() {{
+    y.na = 1;
+    x.rel = 1;
+}}
+
+threads foo, g;
+"""
+
+FIG4 = """
+atomics x, y;
+
+fn t1() {
+    r1 = y.rlx;
+    if (r1 == 1) { z.na = 1; } else { x.rlx = 1; }
+}
+
+fn t2() {
+    r2 = x.rlx;
+    if (r2 == 1) { z.na = 2; y.rlx = 1; }
+}
+
+threads t1, t2;
+"""
+
+FIG15 = """
+atomics x;
+
+fn t1() {{
+    {first}
+    x.rel = 1;
+    y.na = 4;
+}}
+
+fn g() {{
+    r1 = x.acq;
+    if (r1 == 1) {{ r2 = y.na; print(r2); }}
+}}
+
+threads t1, g;
+"""
+
+
+def fig1(mode: str, hoisted: bool):
+    return lower_program(
+        parse_csimp(
+            FIG1.format(
+                mode=mode,
+                hoist="r2 = y.na;" if hoisted else "",
+                inner="" if hoisted else "r2 = y.na;",
+            )
+        )
+    )
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def main() -> None:
+    banner("Fig. 1 — loop invariant code motion")
+    for mode in ("acq", "rlx"):
+        result = check_refinement(fig1(mode, False), fig1(mode, True))
+        verdict = "holds" if result.holds else f"FAILS (trace {result.counterexample})"
+        print(f"  spin read .{mode}: foo_opt ∥ g ⊆ foo ∥ g  {verdict}")
+    print("  — hoisting the non-atomic read is sound across relaxed reads,")
+    print("    unsound across the acquire read, exactly as the paper argues.")
+
+    banner("Fig. 4 — ww-race freedom checks races at certified states only")
+    program = lower_program(parse_csimp(FIG4))
+    config = SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+    print(f"  {ww_rf(program, config)}")
+    print("  — the execution that looks racy (promise x:=1, then read y=1)")
+    print("    dies at the consistency check: no write-write race.")
+
+    banner("Fig. 15 — DCE and the release barrier")
+    source = lower_program(parse_csimp(FIG15.format(first="y.na = 2;")))
+    broken = lower_program(parse_csimp(FIG15.format(first="skip;")))
+    result = check_refinement(source, broken)
+    print(f"  eliminating `y.na = 2`: refinement {'holds' if result.holds else 'FAILS'}")
+    print(f"  source can print : {sorted(result.source_behaviors.outputs())}")
+    print(f"  target can print : {sorted(result.target_behaviors.outputs())}")
+    print("  — g() may observe the stale 0 only in the broken target; the")
+    print("    paper's liveness barrier ('nothing is dead before a release")
+    print("    write') is what forbids this elimination.")
+
+
+if __name__ == "__main__":
+    main()

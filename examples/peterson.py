@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Peterson's lock under PS2.1 — a cautionary tale, verified exhaustively.
+
+Peterson's algorithm is the textbook mutual-exclusion lock that is correct
+under sequential consistency.  The paper's language fragment (like PS2.1's
+presentation) supports all of C11 concurrency *except consume reads and SC
+accesses* — and Peterson turns out to be unimplementable in that fragment:
+
+* under the **SC baseline** the algorithm works (the CAS canary below
+  never fails);
+* under **PS2.1 with rel/acq accesses**, the store-buffering pattern on
+  the flags lets both threads enter;
+* adding the textbook **SC fence** between the flag store and the flag
+  load is *still* not enough: the two `turn` stores both precede their
+  threads' fences, so the fences impose no modification-order constraint
+  between them — one thread can read the *other's* stale `turn` giveaway
+  and enter concurrently.  (The standard fix is seq_cst *accesses* on
+  `turn`, which this fragment deliberately omits.)
+
+Two independent detectors agree:
+
+1. a **CAS canary** in the critical section — a failed CAS means two
+   threads were in the CS at the same wall-clock time;
+2. the paper's **write-write race detector** (Fig. 11) on a non-atomic
+   counter in the CS.
+
+The constructive takeaway: in this fragment, locks are built from CAS
+(see examples/spinlock.py), not from Peterson-style flag protocols.
+
+Run:  python examples/peterson.py
+"""
+
+from repro import behaviors, lower_program, parse_csimp, ww_rf
+from repro.semantics.sc import sc_behaviors
+
+PETERSON = """
+atomics flag0, flag1, turn, incs;
+
+fn t0() {{
+    flag0.rel = 1;
+    turn.rel = 1;
+    {fence}
+    while ((flag1.acq == 1) * (turn.acq == 1));
+    q0 = cas.rlx.rlx(incs, 0, 1);
+    print(q0);
+    c.na = c.na + 1;
+    incs.rlx = 0;
+    flag0.rel = 0;
+}}
+
+fn t1() {{
+    flag1.rel = 1;
+    turn.rel = 0;
+    {fence}
+    while ((flag0.acq == 1) * (turn.acq == 0));
+    q1 = cas.rlx.rlx(incs, 0, 1);
+    print(q1);
+    c.na = c.na + 1;
+    incs.rlx = 0;
+    flag1.rel = 0;
+}}
+
+threads t0, t1;
+"""
+
+
+def build(fence: str):
+    return lower_program(parse_csimp(PETERSON.format(fence=fence)))
+
+
+def main() -> None:
+    print("Peterson's lock, CAS-canary in the critical section")
+    print("(an output containing 0 = two threads in the CS at once)")
+    print()
+
+    sc = sc_behaviors(build(""))
+    sc_violations = any(0 in outcome for outcome in sc.outputs())
+    print(f"SC baseline          : ME violated = {sc_violations} "
+          f"({sc.state_count} states)")
+
+    for fence, label in (("", "PS2.1, rel/acq only "), ("fence.sc;", "PS2.1 + sc fences   ")):
+        program = build(fence)
+        result = behaviors(program)
+        violated = any(0 in outcome for outcome in result.outputs())
+        race = ww_rf(program)
+        print(f"{label}: ME violated = {violated}, counter ww-race-free = "
+              f"{race.race_free} ({result.state_count} states)")
+
+    print()
+    print("Under SC Peterson is correct; in the paper's fragment (no SC")
+    print("accesses) neither rel/acq nor SC fences rescue it — both the")
+    print("canary and the Fig. 11 race detector expose the violation.")
+    print("Use a CAS lock instead (examples/spinlock.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has no `wheel` package, so PEP 660
+editable installs fail; `setup.py develop` works without it."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Dataflow analysis framework (CompCert-style; paper Sec. 7).
+
+The paper's four optimizations are *analyses-based*: each runs a dataflow
+analysis to a fixpoint and then applies a per-instruction transformation
+justified by the analysis result.  This package provides:
+
+* :mod:`repro.analysis.lattice` — the lattice/transfer-function interfaces;
+* :mod:`repro.analysis.dataflow` — forward/backward Kleene worklist solvers
+  over function CFGs, at block and instruction granularity;
+* :mod:`repro.analysis.value` — constant-value analysis (for ConstProp);
+* :mod:`repro.analysis.liveness` — liveness of registers and non-atomic
+  locations with the paper's *release-write barrier* ("no variable is dead
+  before a release write", Sec. 7.1) — the rule that makes DCE sound in
+  PS2.1;
+* :mod:`repro.analysis.availexpr` — available load/expression equalities
+  with the paper's *acquire-read kill* (CSE/LICM may cross relaxed accesses
+  and release writes but not acquire reads, Sec. 7.2);
+* :mod:`repro.analysis.loops` — natural-loop analysis and loop-invariant
+  load detection (for LInv/LICM).
+"""
+
+from repro.analysis.lattice import FlatValue, Lattice
+from repro.analysis.dataflow import BlockAnalysis, solve_backward, solve_forward
+from repro.analysis.value import ConstEnv, value_analysis
+from repro.analysis.liveness import LiveSet, liveness_analysis
+from repro.analysis.availexpr import AvailFacts, available_analysis
+from repro.analysis.loops import LoopInfo, find_invariant_loads, loop_info
+
+__all__ = [
+    "AvailFacts",
+    "BlockAnalysis",
+    "ConstEnv",
+    "FlatValue",
+    "Lattice",
+    "LiveSet",
+    "LoopInfo",
+    "available_analysis",
+    "find_invariant_loads",
+    "liveness_analysis",
+    "loop_info",
+    "solve_backward",
+    "solve_forward",
+    "value_analysis",
+]

@@ -1,0 +1,215 @@
+"""Available load/expression equalities with the acquire-read kill
+(paper Sec. 7.2: CSE and LICM may cross relaxed accesses and release
+writes, but **not acquire reads**).
+
+Facts (a *must* analysis — intersection at joins):
+
+* ``("load", r, x)`` — register ``r`` holds the value of a non-atomic read
+  of ``x`` that is still *re-performable*: the message it read remains
+  readable because nothing since has raised the thread's non-atomic view
+  of ``x``.  Replacing a later ``r' := x.na`` with ``r' := r`` is then
+  redundant-read elimination, which is sound in PS even under read-write
+  races (paper Sec. 2.5).
+* ``("expr", r, e)`` — register ``r`` equals the pure register expression
+  ``e`` (no memory involved).
+
+What kills what, and why (the paper's crossing matrix):
+
+===========================  =====================================
+own na read of y             nothing (raises only ``T_rlx``)
+own na write to x            ``("load", _, x)`` (raises ``T_na(x)``)
+own rlx read/write           nothing — crossing allowed
+own rel write / rel fence    nothing — a release publishes, it does
+                             not acquire knowledge
+own acq read / acq CAS /     every ``("load", ...)`` fact — the join
+acq or sc fence              with the message view may raise
+                             ``T_na`` of *any* location
+redefinition of r            every fact mentioning ``r``
+call                         everything (unknown callee)
+===========================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.analysis.dataflow import BlockAnalysis, solve_forward
+from repro.analysis.lattice import Lattice
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    Call,
+    Cas,
+    CodeHeap,
+    Expr,
+    Fence,
+    FenceKind,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+    expr_regs,
+)
+
+#: A fact: ("load", reg, loc) or ("expr", reg, expr).
+Fact = Tuple[str, str, object]
+
+#: ``None`` is the top element (unreached); otherwise the fact set.
+AvailFacts = Optional[FrozenSet[Fact]]
+
+
+def _join(a: AvailFacts, b: AvailFacts) -> AvailFacts:
+    """Must-analysis join: intersection, with ``None`` as identity."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def _eq(a: AvailFacts, b: AvailFacts) -> bool:
+    return a == b
+
+
+def _kill_reg(facts: FrozenSet[Fact], reg: str) -> FrozenSet[Fact]:
+    """Remove facts invalidated by a redefinition of ``reg``."""
+    keep = set()
+    for fact in facts:
+        kind, subject, payload = fact
+        if subject == reg:
+            continue
+        if kind == "expr" and reg in expr_regs(payload):
+            continue
+        keep.add(fact)
+    return frozenset(keep)
+
+
+def _kill_loads(facts: FrozenSet[Fact], loc: Optional[str] = None) -> FrozenSet[Fact]:
+    """Remove load facts — all of them (acquire kill) or only ``loc``'s."""
+    return frozenset(
+        fact for fact in facts if fact[0] != "load" or (loc is not None and fact[2] != loc)
+    )
+
+
+def transfer_instruction(
+    instr: Instr, facts: AvailFacts, acquire_kills: bool = True
+) -> AvailFacts:
+    """Forward transfer of one instruction over the fact set.
+
+    ``acquire_kills=False`` disables the acquire-read kill — this is the
+    deliberately *unsound* analysis used to build the paper's naive LICM of
+    Fig. 1 and reproduce its refinement failure (experiment E-FIG1).
+    """
+    if facts is None:
+        return None
+    if isinstance(instr, (Skip, Print)):
+        return facts
+    if isinstance(instr, Assign):
+        out = _kill_reg(facts, instr.dst)
+        if instr.dst not in expr_regs(instr.expr):
+            out = out | {("expr", instr.dst, instr.expr)}
+        return out
+    if isinstance(instr, Load):
+        out = _kill_reg(facts, instr.dst)
+        if instr.mode is AccessMode.NA:
+            return out | {("load", instr.dst, instr.loc)}
+        if instr.mode is AccessMode.ACQ and acquire_kills:
+            return _kill_loads(out)
+        return out  # relaxed read: crossing allowed
+    if isinstance(instr, Store):
+        if instr.mode is AccessMode.NA:
+            out = _kill_loads(facts, instr.loc)
+            if isinstance(instr.expr, Reg):
+                out = out | {("load", instr.expr.name, instr.loc)}
+            return out
+        return facts  # relaxed or release write: crossing allowed
+    if isinstance(instr, Cas):
+        out = _kill_reg(facts, instr.dst)
+        if instr.mode_r is AccessMode.ACQ and acquire_kills:
+            out = _kill_loads(out)
+        return out
+    if isinstance(instr, Fence):
+        if instr.kind in (FenceKind.ACQ, FenceKind.SC) and acquire_kills:
+            return _kill_loads(facts)
+        return facts
+    raise TypeError(f"not an instruction: {instr!r}")
+
+
+def transfer_terminator(term: Terminator, facts: AvailFacts) -> AvailFacts:
+    """Forward transfer of a terminator (calls clobber everything)."""
+    if facts is None:
+        return None
+    if isinstance(term, (Jmp, Be, Return)):
+        return facts
+    if isinstance(term, Call):
+        return frozenset()
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+@dataclass(frozen=True)
+class AvailResult:
+    """Per-block availability: ``entry_facts[label]`` holds at block entry;
+    per-instruction facts come from forward replay."""
+
+    heap: CodeHeap
+    entry_facts: Dict[str, AvailFacts]
+    acquire_kills: bool = True
+
+    def before_instruction(self, label: str) -> List[AvailFacts]:
+        """``facts[i]`` = fact set holding just *before* instruction ``i``."""
+        block = self.heap[label]
+        fact = self.entry_facts[label]
+        out: List[AvailFacts] = []
+        for instr in block.instrs:
+            out.append(fact)
+            fact = transfer_instruction(instr, fact, self.acquire_kills)
+        return out
+
+
+def available_analysis(
+    program: Program, func: str, acquire_kills: bool = True
+) -> AvailResult:
+    """Run the availability analysis on one function."""
+    heap = program.function(func)
+
+    def transfer(label: str, block: BasicBlock, fact: AvailFacts) -> AvailFacts:
+        for instr in block.instrs:
+            fact = transfer_instruction(instr, fact, acquire_kills)
+        return transfer_terminator(block.term, fact)
+
+    analysis = BlockAnalysis(
+        lattice=Lattice(bottom=None, join=_join, eq=_eq),
+        transfer=transfer,
+        boundary=frozenset(),
+    )
+    entry_facts = solve_forward(heap, analysis)
+    return AvailResult(heap, entry_facts, acquire_kills)
+
+
+def lookup_load(facts: AvailFacts, loc: str, exclude: str) -> Optional[str]:
+    """A register (≠ ``exclude``) known to hold a readable value of ``loc``."""
+    if facts is None:
+        return None
+    for kind, reg, payload in sorted(facts, key=str):
+        if kind == "load" and payload == loc and reg != exclude:
+            return reg
+    return None
+
+
+def lookup_expr(facts: AvailFacts, expr: Expr, exclude: str) -> Optional[str]:
+    """A register (≠ ``exclude``) known to equal the pure expression."""
+    if facts is None:
+        return None
+    for kind, reg, payload in sorted(facts, key=str):
+        if kind == "expr" and payload == expr and reg != exclude:
+            return reg
+    return None

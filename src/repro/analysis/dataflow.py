@@ -1,0 +1,108 @@
+"""Kleene worklist solvers over function CFGs.
+
+Analyses supply a :class:`BlockAnalysis` — a block-level transfer function
+plus a lattice and a boundary element — and the solver iterates to the
+least fixpoint.  Both directions are provided:
+
+* :func:`solve_forward` — facts flow entry → exit (``in[b] = ⊔ out[pred]``);
+* :func:`solve_backward` — facts flow exit → entry (``out[b] = ⊔ in[succ]``).
+
+Results map each block label to the fact *entering* it (forward) or
+*leaving* it (backward); per-instruction facts are recovered by replaying
+the transfer function through a block, which is what the transformation
+passes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, TypeVar
+
+from repro.analysis.lattice import Lattice
+from repro.lang.cfg import Cfg
+from repro.lang.syntax import BasicBlock, CodeHeap
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BlockAnalysis(Generic[T]):
+    """A block-granularity dataflow problem.
+
+    ``transfer(label, block, fact)`` pushes a fact through a whole block —
+    entry-to-exit for forward problems, exit-to-entry for backward ones.
+    ``boundary`` is the fact at the CFG boundary (function entry for
+    forward, function exit(s) for backward).
+    """
+
+    lattice: Lattice[T]
+    transfer: Callable[[str, BasicBlock, T], T]
+    boundary: T
+
+
+def solve_forward(heap: CodeHeap, analysis: BlockAnalysis[T]) -> Dict[str, T]:
+    """Least-fixpoint forward solution: ``result[label]`` = fact at block
+    entry."""
+    cfg = Cfg.of(heap)
+    lattice = analysis.lattice
+    preds = cfg.predecessors()
+    entry_fact: Dict[str, T] = {label: lattice.bottom for label in cfg.labels()}
+    entry_fact[cfg.entry] = analysis.boundary
+
+    order = cfg.reverse_postorder()
+    position = {label: i for i, label in enumerate(order)}
+    work = sorted(cfg.labels(), key=lambda l: position[l])
+    in_work = set(work)
+    while work:
+        label = work.pop(0)
+        in_work.discard(label)
+        block = heap[label]
+        out_fact = analysis.transfer(label, block, entry_fact[label])
+        for succ in cfg.succ_map[label]:
+            joined = lattice.join(entry_fact[succ], out_fact)
+            if not lattice.eq(joined, entry_fact[succ]):
+                entry_fact[succ] = joined
+                if succ not in in_work:
+                    in_work.add(succ)
+                    work.append(succ)
+    return entry_fact
+
+
+def solve_backward(heap: CodeHeap, analysis: BlockAnalysis[T]) -> Dict[str, T]:
+    """Least-fixpoint backward solution: ``result[label]`` = fact at block
+    exit (flowing upward through the block gives per-instruction facts).
+
+    Blocks whose terminator leaves the function (``return``) or crosses a
+    function boundary (``call``) seed from ``analysis.boundary``; that
+    seeding is the transfer function's job — the solver simply joins
+    successors' entry facts, and a block with no successors receives
+    ``boundary``.
+    """
+    cfg = Cfg.of(heap)
+    lattice = analysis.lattice
+    exit_fact: Dict[str, T] = {label: lattice.bottom for label in cfg.labels()}
+    block_in: Dict[str, T] = {label: lattice.bottom for label in cfg.labels()}
+
+    order = list(reversed(cfg.reverse_postorder()))
+    work = list(order)
+    in_work = set(work)
+    while work:
+        label = work.pop(0)
+        in_work.discard(label)
+        block = heap[label]
+        succs = cfg.succ_map[label]
+        if succs:
+            fact = lattice.bottom
+            for succ in succs:
+                fact = lattice.join(fact, block_in[succ])
+        else:
+            fact = analysis.boundary
+        exit_fact[label] = fact
+        new_in = analysis.transfer(label, block, fact)
+        if not lattice.eq(new_in, block_in[label]):
+            block_in[label] = new_in
+            for pred_label, pred_succs in cfg.succ_map.items():
+                if label in pred_succs and pred_label not in in_work:
+                    in_work.add(pred_label)
+                    work.append(pred_label)
+    return exit_fact

@@ -1,0 +1,225 @@
+"""Liveness analysis with the paper's release-write barrier (Sec. 7.1).
+
+``Lv_Analyzer`` computes, at every program point, which registers and
+non-atomic locations may still be *used* — DCE eliminates writes to dead
+ones.  The weak-memory twist, and the heart of the paper's Fig. 15
+discussion, is the barrier rule:
+
+    **no non-atomic location is dead before a release write** (nor before a
+    release/SC fence, nor a CAS with a release write part).
+
+A release write synchronizes with other threads' acquire reads and
+guarantees them visibility of everything written before it; a write that
+looks dead thread-locally may therefore be observed through the release.
+Relaxed accesses and acquire *reads* provide no such guarantee to other
+threads, so DCE may cross them freely (paper Sec. 7.1, last paragraph).
+
+Registers are thread-private, so no barrier ever applies to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.dataflow import BlockAnalysis, solve_backward
+from repro.analysis.lattice import Lattice
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    Call,
+    Cas,
+    CodeHeap,
+    Fence,
+    FenceKind,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+    expr_regs,
+    program_registers,
+)
+
+
+@dataclass(frozen=True)
+class LiveSet:
+    """Live registers and live non-atomic locations at a program point."""
+
+    regs: FrozenSet[str] = frozenset()
+    locs: FrozenSet[str] = frozenset()
+
+    def join(self, other: "LiveSet") -> "LiveSet":
+        """Pointwise union of both components."""
+        return LiveSet(self.regs | other.regs, self.locs | other.locs)
+
+    def with_regs(self, add: FrozenSet[str] = frozenset(), kill: FrozenSet[str] = frozenset()):
+        """A copy with registers killed then added (locations untouched)."""
+        return LiveSet((self.regs - kill) | add, self.locs)
+
+    def __str__(self) -> str:
+        return f"regs={sorted(self.regs)}, locs={sorted(self.locs)}"
+
+
+def _live_lattice() -> Lattice[LiveSet]:
+    return Lattice(
+        bottom=LiveSet(),
+        join=lambda a, b: a.join(b),
+        eq=lambda a, b: a == b,
+    )
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Per-block liveness: ``exit_facts[label]`` is the fact at block exit;
+    :meth:`after_instruction` recovers per-instruction facts by replay."""
+
+    heap: CodeHeap
+    atomics: FrozenSet[str]
+    all_regs: FrozenSet[str]
+    all_na_locs: FrozenSet[str]
+    return_live: LiveSet
+    exit_facts: Dict[str, LiveSet]
+
+    def after_terminator_fact(self, label: str) -> LiveSet:
+        """The live set immediately *before* the terminator of ``label``
+        (i.e. after the last instruction)."""
+        block = self.heap[label]
+        return _transfer_terminator(
+            block.term,
+            self.exit_facts[label],
+            self.all_regs,
+            self.all_na_locs,
+            self.return_live,
+        )
+
+    def instruction_facts(self, label: str) -> List[LiveSet]:
+        """``facts[i]`` = live set *after* instruction ``i`` of the block
+        (the fact DCE consults to decide whether instruction ``i`` is dead).
+        """
+        block = self.heap[label]
+        fact = self.after_terminator_fact(label)
+        facts: List[LiveSet] = [fact] * len(block.instrs)
+        for index in range(len(block.instrs) - 1, -1, -1):
+            facts[index] = fact
+            fact = transfer_instruction(block.instrs[index], fact, self.all_na_locs)
+        return facts
+
+    def entry_fact(self, label: str) -> LiveSet:
+        """The live set at the very top of the block."""
+        block = self.heap[label]
+        fact = self.after_terminator_fact(label)
+        for instr in reversed(block.instrs):
+            fact = transfer_instruction(instr, fact, self.all_na_locs)
+        return fact
+
+
+def transfer_instruction(instr: Instr, live: LiveSet, all_na_locs: FrozenSet[str]) -> LiveSet:
+    """Backward transfer of one instruction (live-after → live-before)."""
+    regs, locs = live.regs, live.locs
+    if isinstance(instr, Skip):
+        return live
+    if isinstance(instr, Assign):
+        if instr.dst not in regs:
+            return live  # dead register computation
+        return LiveSet((regs - {instr.dst}) | expr_regs(instr.expr), locs)
+    if isinstance(instr, Print):
+        return LiveSet(regs | expr_regs(instr.expr), locs)
+    if isinstance(instr, Load):
+        if instr.mode is AccessMode.NA:
+            if instr.dst not in regs:
+                return live  # dead non-atomic load
+            return LiveSet(regs - {instr.dst}, locs | {instr.loc})
+        # Atomic loads are never eliminated but kill their destination.
+        return LiveSet(regs - {instr.dst}, locs)
+    if isinstance(instr, Store):
+        if instr.mode is AccessMode.NA:
+            if instr.loc not in locs:
+                return live  # dead non-atomic store
+            return LiveSet(regs | expr_regs(instr.expr), locs - {instr.loc})
+        if instr.mode is AccessMode.REL:
+            # The release barrier: everything non-atomic becomes live.
+            return LiveSet(regs | expr_regs(instr.expr), all_na_locs)
+        return LiveSet(regs | expr_regs(instr.expr), locs)
+    if isinstance(instr, Cas):
+        uses = expr_regs(instr.expected) | expr_regs(instr.new)
+        new_locs = all_na_locs if instr.mode_w is AccessMode.REL else locs
+        return LiveSet((regs - {instr.dst}) | uses, new_locs)
+    if isinstance(instr, Fence):
+        if instr.kind in (FenceKind.REL, FenceKind.SC):
+            return LiveSet(regs, all_na_locs)
+        return live
+    raise TypeError(f"not an instruction: {instr!r}")
+
+
+def _transfer_terminator(
+    term: Terminator,
+    live: LiveSet,
+    all_regs: FrozenSet[str],
+    all_na_locs: FrozenSet[str],
+    return_live: LiveSet,
+) -> LiveSet:
+    """Backward transfer of a terminator.
+
+    ``call`` crosses into an unknown callee and back: everything may be
+    used, so both universes become live.  ``return`` uses ``return_live``:
+    the full universes when the function can itself be a call target (the
+    caller's continuation may use anything), but the *empty* set when the
+    function is only ever a thread entry — at thread exit no further use
+    by this thread exists, and eliminating a trailing dead write only
+    removes reader behaviors, which refinement permits (this matches the
+    paper's Fig. 15, which starts from an empty live set at the end of the
+    code).
+    """
+    if isinstance(term, Jmp):
+        return live
+    if isinstance(term, Be):
+        return LiveSet(live.regs | expr_regs(term.cond), live.locs)
+    if isinstance(term, Call):
+        return LiveSet(all_regs, all_na_locs)
+    if isinstance(term, Return):
+        return return_live
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+def _is_call_target(program: Program, func: str) -> bool:
+    """Whether any block anywhere calls ``func``."""
+    return any(
+        isinstance(block.term, Call) and block.term.func == func
+        for _, heap in program.functions
+        for _, block in heap.blocks
+    )
+
+
+def liveness_analysis(program: Program, func: str) -> LivenessResult:
+    """Run ``Lv_Analyzer`` on one function of ``program``."""
+    heap = program.function(func)
+    atomics = program.atomics
+    all_regs = program_registers(program)
+    all_na_locs = frozenset(loc for loc in program.locations() if loc not in atomics)
+    if _is_call_target(program, func):
+        return_live = LiveSet(all_regs, all_na_locs)
+    else:
+        return_live = LiveSet()
+
+    def transfer(label: str, block: BasicBlock, exit_fact: LiveSet) -> LiveSet:
+        fact = _transfer_terminator(
+            block.term, exit_fact, all_regs, all_na_locs, return_live
+        )
+        for instr in reversed(block.instrs):
+            fact = transfer_instruction(instr, fact, all_na_locs)
+        return fact
+
+    analysis = BlockAnalysis(
+        lattice=_live_lattice(),
+        transfer=transfer,
+        boundary=return_live,
+    )
+    exit_facts = solve_backward(heap, analysis)
+    return LivenessResult(heap, atomics, all_regs, all_na_locs, return_live, exit_facts)

@@ -1,0 +1,99 @@
+"""Natural-loop analysis and loop-invariant load detection (for LInv/LICM).
+
+LICM in the paper is the composition ``LInv ∘ CSE`` (Sec. 2.5): LInv hoists
+a *redundant* copy of an invariant non-atomic read into a fresh register in
+a loop preheader, and CSE then replaces the in-loop reads.  This module
+finds the hoisting opportunities:
+
+* the location is read non-atomically somewhere in the loop body;
+* the loop body never writes it (otherwise the read is not invariant);
+* **profitability** (optional, on by default): nothing in the body kills
+  the availability fact — no acquire read, no acquire CAS, no acquire/SC
+  fence, no call.  Without this, the hoisted read survives but CSE cannot
+  eliminate the in-loop read, so the "optimization" only adds code.  With
+  the filter disabled one obtains the *naive* LICM of the paper's Fig. 1,
+  which is exactly the unsound-across-acquire transformation (used by the
+  E-FIG1 experiment to reproduce the refinement failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.lang.cfg import Cfg, NaturalLoop
+from repro.lang.syntax import (
+    AccessMode,
+    Call,
+    Cas,
+    CodeHeap,
+    Fence,
+    FenceKind,
+    Instr,
+    Load,
+    Program,
+    Store,
+)
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """The natural loops of a function, plus its CFG."""
+
+    cfg: Cfg
+    loops: Tuple[NaturalLoop, ...]
+
+
+def loop_info(heap: CodeHeap) -> LoopInfo:
+    """Compute the natural loops of a code heap."""
+    cfg = Cfg.of(heap)
+    return LoopInfo(cfg, cfg.natural_loops())
+
+
+def _body_instructions(heap: CodeHeap, loop: NaturalLoop) -> List[Instr]:
+    instrs: List[Instr] = []
+    for label in sorted(loop.body):
+        instrs.extend(heap[label].instrs)
+    return instrs
+
+
+def _body_has_kill(heap: CodeHeap, loop: NaturalLoop) -> bool:
+    """Whether the loop body contains an availability-killing operation."""
+    for label in sorted(loop.body):
+        block = heap[label]
+        if isinstance(block.term, Call):
+            return True
+        for instr in block.instrs:
+            if isinstance(instr, Load) and instr.mode is AccessMode.ACQ:
+                return True
+            if isinstance(instr, Cas) and instr.mode_r is AccessMode.ACQ:
+                return True
+            if isinstance(instr, Fence) and instr.kind in (FenceKind.ACQ, FenceKind.SC):
+                return True
+    return False
+
+
+def find_invariant_loads(
+    heap: CodeHeap,
+    loop: NaturalLoop,
+    atomics: FrozenSet[str],
+    require_profitable: bool = True,
+) -> Tuple[str, ...]:
+    """Locations whose non-atomic in-loop reads are hoistable by LInv.
+
+    Returns the sorted locations; hoisting itself is performed by
+    :class:`repro.opt.licm.LInv`.
+    """
+    body = _body_instructions(heap, loop)
+    written = {i.loc for i in body if isinstance(i, (Store, Cas))}
+    read_na = {
+        i.loc
+        for i in body
+        if isinstance(i, Load) and i.mode is AccessMode.NA and i.loc not in atomics
+    }
+    candidates = sorted(read_na - written)
+    if not candidates:
+        return ()
+    if require_profitable and _body_has_kill(heap, loop):
+        return ()
+    return tuple(candidates)

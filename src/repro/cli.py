@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``explore FILE``  — exhaustive behavior exploration (PS2.1);
+* ``races FILE``    — write-write race freedom + read-write race report;
+* ``validate FILE`` — run an optimizer and translation-validate it;
+* ``run FILE``      — sample randomized executions;
+* ``witness FILE``  — find a schedule realizing an output trace;
+* ``fmt FILE``      — parse and pretty-print.
+
+All commands accept ``--promises N`` to enable a syntactic promise oracle
+with budget N, and ``--np`` to use the non-preemptive machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import format_program
+from repro.lang.syntax import Program
+from repro.opt.base import Optimizer, compose
+from repro.opt.cleanup import Cleanup
+from repro.opt.unroll import Peel
+from repro.opt.constprop import ConstProp
+from repro.opt.copyprop import CopyProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.opt.licm import LICM, LInv
+from repro.races.rwrace import rw_races
+from repro.races.wwrf import ww_nprf, ww_rf
+from repro.semantics.events import EVENT_DONE, format_trace
+from repro.semantics.exploration import behaviors, np_behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.random_run import random_run
+from repro.semantics.thread import SemanticsConfig
+from repro.semantics.witness import find_witness
+from repro.sim.validate import validate_optimizer
+
+OPTIMIZERS = {
+    "constprop": ConstProp,
+    "dce": DCE,
+    "cse": CSE,
+    "licm": LICM,
+    "linv": LInv,
+    "cleanup": Cleanup,
+    "copyprop": CopyProp,
+    "peel": Peel,
+}
+
+
+def _load(path: str, structured: bool = False) -> Program:
+    """Load a program: CSimpRTL by default; the structured CSimp surface
+    syntax with ``--csimp`` or for ``*.csimp`` files."""
+    with open(path) as handle:
+        source = handle.read()
+    if structured or path.endswith(".csimp"):
+        from repro.csimp import lower_program, parse_csimp
+
+        return lower_program(parse_csimp(source))
+    return parse_program(source)
+
+
+def _config(args: argparse.Namespace) -> SemanticsConfig:
+    kwargs = {}
+    if getattr(args, "promises", 0):
+        kwargs["promise_oracle"] = SyntacticPromises(
+            budget=args.promises, max_outstanding=args.promises
+        )
+    if getattr(args, "por", False):
+        kwargs["fuse_local_steps"] = True
+    return SemanticsConfig(**kwargs)
+
+
+def _optimizer(name: str) -> Optimizer:
+    if name == "pipeline":
+        return compose(
+            compose(compose(compose(ConstProp(), CSE()), CopyProp()), DCE()),
+            Cleanup(),
+        )
+    factory = OPTIMIZERS.get(name)
+    if factory is None:
+        raise SystemExit(f"unknown optimizer {name!r}; choose from "
+                         f"{sorted(OPTIMIZERS) + ['pipeline']}")
+    return factory() if not isinstance(factory, Optimizer) else factory
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """``explore`` — print the exhaustive outcome/trace sets."""
+    program = _load(args.file, getattr(args, 'csimp', False))
+    explore = np_behaviors if args.np else behaviors
+    result = explore(program, _config(args))
+    status = "exhaustive" if result.exhaustive else "TRUNCATED"
+    print(f"states: {result.state_count} ({status})")
+    print(f"complete outcome sets ({len(result.outputs())}):")
+    for outs in sorted(result.outputs()):
+        print(f"  {outs}")
+    if args.traces:
+        print(f"all traces ({len(result.traces)}):")
+        for trace in sorted(result.traces, key=lambda t: (len(t), str(t))):
+            print(f"  {format_trace(trace)}")
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """``races`` — ww-RF verdict plus read-write race witnesses."""
+    program = _load(args.file, getattr(args, 'csimp', False))
+    config = _config(args)
+    check = ww_nprf if args.np else ww_rf
+    report = check(program, config)
+    print(f"ww-RF: {report}")
+    witnesses = rw_races(program, config)
+    if witnesses:
+        print("read-write races:")
+        for witness in witnesses:
+            print(f"  thread {witness.tid} na-reads {witness.loc!r} unobserved write")
+    else:
+        print("read-write races: none")
+    return 0 if report.race_free else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """``validate`` — run an optimizer and translation-validate it."""
+    program = _load(args.file, getattr(args, 'csimp', False))
+    optimizer = _optimizer(args.opt)
+    report = validate_optimizer(
+        optimizer, program, _config(args), check_target_wwrf=not args.no_wwrf
+    )
+    print(report)
+    if args.show:
+        print()
+        print(format_program(optimizer.run(program)))
+    return 0 if report.ok else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run`` — sample randomized executions."""
+    program = _load(args.file, getattr(args, 'csimp', False))
+    config = _config(args)
+    for i in range(args.runs):
+        result = random_run(
+            program, config, seed=args.seed + i, nonpreemptive=args.np
+        )
+        status = "done" if result.terminated else f"stopped@{result.steps}"
+        print(f"run {i}: outputs={result.outputs} ({status})")
+    return 0
+
+
+def cmd_witness(args: argparse.Namespace) -> int:
+    """``witness`` — find and print a schedule realizing a trace."""
+    program = _load(args.file, getattr(args, 'csimp', False))
+    parts = [p.strip() for p in args.trace.split(",") if p.strip()]
+    trace = tuple(EVENT_DONE if p == "done" else int(p) for p in parts)
+    witness = find_witness(program, trace, _config(args), nonpreemptive=args.np)
+    if witness is None:
+        print("no execution realizes that trace")
+        return 1
+    print(witness.describe())
+    return 0
+
+
+def cmd_fmt(args: argparse.Namespace) -> int:
+    """``fmt`` — parse and pretty-print a program."""
+    print(format_program(_load(args.file)), end="")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``fuzz`` — differential fuzzing of an optimizer over generated
+    ww-race-free programs."""
+    from repro.fuzz import fuzz_optimizer
+    from repro.litmus.generator import GeneratorConfig
+
+    lo, _, hi = args.seeds.partition(":")
+    seeds = range(int(lo), int(hi)) if hi else range(int(lo))
+    optimizer = _optimizer(args.opt)
+    gen = GeneratorConfig(threads=args.threads, instrs_per_thread=args.instrs)
+    report = fuzz_optimizer(
+        optimizer,
+        seeds,
+        gen,
+        check_wwrf=not args.no_wwrf,
+        check_machine_equivalence=args.check_equivalence,
+    )
+    print(report)
+    for failure in report.failures:
+        print(f"--- {failure} ---")
+        print(failure.source_text)
+    return 0 if report.ok else 1
+
+
+def cmd_litmus(args: argparse.Namespace) -> int:
+    """``litmus`` — check ``//! exists/forbidden`` spec files."""
+    from repro.litmus.spec import run_spec_file
+
+    ok = True
+    for path in args.files:
+        result = run_spec_file(path)
+        print(f"{path}: {result}")
+        if not result.ok:
+            ok = False
+        if args.show_outcomes:
+            for outcome in result.observed:
+                print(f"  observed {outcome}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PS2.1 interpreter and verified-optimization toolkit "
+        "(PLDI 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="CSimpRTL source file (or CSimp with --csimp / *.csimp)")
+        p.add_argument("--promises", type=int, default=0, metavar="N",
+                       help="enable a syntactic promise oracle with budget N")
+        p.add_argument("--np", action="store_true",
+                       help="use the non-preemptive machine")
+        p.add_argument("--csimp", action="store_true",
+                       help="parse the structured CSimp surface syntax")
+        p.add_argument("--por", action="store_true",
+                       help="fuse deterministic local steps (partial-order "
+                            "reduction; behavior-preserving)")
+
+    p = sub.add_parser("explore", help="exhaustive behavior exploration")
+    common(p)
+    p.add_argument("--traces", action="store_true", help="print all traces")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("races", help="race detection")
+    common(p)
+    p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("validate", help="optimize + translation-validate")
+    common(p)
+    p.add_argument("--opt", default="pipeline",
+                   help="constprop | dce | cse | licm | linv | cleanup | peel | pipeline")
+    p.add_argument("--show", action="store_true", help="print the transformed program")
+    p.add_argument("--no-wwrf", action="store_true",
+                   help="skip the ww-RF preservation check")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("run", help="randomized executions")
+    common(p)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("witness", help="find a schedule for a trace")
+    common(p)
+    p.add_argument("--trace", required=True,
+                   help='comma-separated outputs, e.g. "0,1,done"')
+    p.set_defaults(func=cmd_witness)
+
+    p = sub.add_parser("fmt", help="parse and pretty-print")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_fmt)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of an optimizer")
+    p.add_argument("--opt", default="pipeline")
+    p.add_argument("--seeds", default="0:25", metavar="LO:HI")
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--instrs", type=int, default=4)
+    p.add_argument("--no-wwrf", action="store_true")
+    p.add_argument("--check-equivalence", action="store_true",
+                   help="also spot-check Thm 4.1 per program")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("litmus", help="check //! exists/forbidden spec files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--show-outcomes", action="store_true")
+    p.set_defaults(func=cmd_litmus)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        return 2
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""The structured CSimp AST.
+
+Expressions may contain memory reads (``SLoad``) anywhere — the paper's
+spin loop ``while (x_acq == 0);`` reads memory in a loop condition.  The
+lowering flattens them into fresh-register loads in evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.lang.syntax import AccessMode, BINOPS, FenceKind
+from repro.lang.values import Int32
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SConst:
+    """An integer literal."""
+
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return str(int(self.value))
+
+
+@dataclass(frozen=True)
+class SReg:
+    """A register reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SLoad:
+    """A memory read *inside an expression*: ``loc.mode``."""
+
+    loc: str
+    mode: AccessMode
+
+    def __str__(self) -> str:
+        return f"{self.loc}.{self.mode}"
+
+
+@dataclass(frozen=True)
+class SBinOp:
+    """A binary operation."""
+
+    op: str
+    left: "SExpr"
+    right: "SExpr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator: {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+SExpr = Union[SConst, SReg, SLoad, SBinOp]
+
+
+def expr_has_load(expr: SExpr) -> bool:
+    """Whether an expression contains a memory read."""
+    if isinstance(expr, SLoad):
+        return True
+    if isinstance(expr, SBinOp):
+        return expr_has_load(expr.left) or expr_has_load(expr.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SSkip:
+    """``skip;``"""
+
+
+@dataclass(frozen=True)
+class SAssign:
+    """``reg = expr;`` (the expression may read memory)."""
+
+    dst: str
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class SStore:
+    """``loc.mode = expr;``"""
+
+    loc: str
+    mode: AccessMode
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class SCas:
+    """``reg = cas.or.ow(loc, expected, new);``"""
+
+    dst: str
+    loc: str
+    expected: SExpr
+    new: SExpr
+    mode_r: AccessMode
+    mode_w: AccessMode
+
+
+@dataclass(frozen=True)
+class SPrint:
+    """``print(expr);``"""
+
+    expr: SExpr
+
+
+@dataclass(frozen=True)
+class SFence:
+    """``fence.kind;``"""
+
+    kind: FenceKind
+
+
+@dataclass(frozen=True)
+class SCall:
+    """``f();`` — call another function."""
+
+    func: str
+
+
+@dataclass(frozen=True)
+class SIf:
+    """``if (cond) { then } [else { els }]``"""
+
+    cond: SExpr
+    then: "SBlock"
+    els: Optional["SBlock"] = None
+
+
+@dataclass(frozen=True)
+class SWhile:
+    """``while (cond) { body }`` — ``body`` may be empty (spin loops)."""
+
+    cond: SExpr
+    body: "SBlock"
+
+
+SStmt = Union[SSkip, SAssign, SStore, SCas, SPrint, SFence, SCall, SIf, SWhile]
+
+
+@dataclass(frozen=True)
+class SBlock:
+    """A statement sequence."""
+
+    stmts: Tuple[SStmt, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stmts", tuple(self.stmts))
+
+    def __iter__(self):
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass(frozen=True)
+class SFunction:
+    """A named function with a structured body."""
+
+    name: str
+    body: SBlock
+
+
+@dataclass(frozen=True)
+class SProgram:
+    """A whole structured program: functions, atomics ``ι``, threads."""
+
+    functions: Tuple[SFunction, ...]
+    atomics: frozenset
+    threads: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atomics", frozenset(self.atomics))
+        object.__setattr__(self, "threads", tuple(self.threads))
+        names = {f.name for f in self.functions}
+        for thread in self.threads:
+            if thread not in names:
+                raise ValueError(f"thread entry {thread!r} is not a declared function")
+
+    def function(self, name: str) -> SFunction:
+        """Look up a function by name."""
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,215 @@
+"""Lowering CSimp (structured) to CSimpRTL (code heaps).
+
+The interesting part is expression flattening: a CSimp expression may read
+memory (``while (x.acq == 0)``), but CSimpRTL loads are statements.  The
+lowering emits one fresh-register ``Load`` per memory read, in left-to-
+right evaluation order, *into the block where the expression is
+evaluated* — so a loop condition's reads re-execute on every iteration,
+which is exactly the paper's spin-loop semantics.
+
+Control flow is lowered structurally:
+
+* ``if (c) A else B``  →  ``be c, Lthen, Lelse``; both arms jump to a join;
+* ``while (c) A``      →  a header block evaluating ``c`` (including its
+  loads) and branching to body or exit; the body jumps back to the header;
+* ``f();``             →  a ``call(f, Lcont)`` terminator.
+
+Temp registers are named ``_t0, _t1, ...`` per function; the parser rejects
+user registers with a leading underscore, so no collisions arise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCall,
+    SCas,
+    SConst,
+    SExpr,
+    SFence,
+    SFunction,
+    SIf,
+    SLoad,
+    SPrint,
+    SProgram,
+    SReg,
+    SSkip,
+    SStmt,
+    SStore,
+    SWhile,
+)
+from repro.lang.syntax import (
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Expr,
+    Fence,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+)
+
+
+class _FunctionLowerer:
+    """Lowers one structured function body to a code heap."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._label_counter = itertools.count()
+        self._temp_counter = itertools.count()
+        self._current_label = self._fresh_label("entry")
+        self._current_instrs: List[Instr] = []
+        self.entry = self._current_label
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _fresh_label(self, hint: str) -> str:
+        return f"{hint}{next(self._label_counter)}"
+
+    def _fresh_temp(self) -> str:
+        return f"_t{next(self._temp_counter)}"
+
+    def _emit(self, instr: Instr) -> None:
+        self._current_instrs.append(instr)
+
+    def _finish_block(self, term: Terminator) -> None:
+        self._blocks[self._current_label] = BasicBlock(tuple(self._current_instrs), term)
+        self._current_instrs = []
+
+    def _start_block(self, label: str) -> None:
+        self._current_label = label
+
+    # -- expressions ------------------------------------------------------------
+
+    def lower_expr(self, expr: SExpr) -> Expr:
+        """Flatten an expression, emitting loads for memory reads."""
+        if isinstance(expr, SConst):
+            return Const(expr.value)
+        if isinstance(expr, SReg):
+            return Reg(expr.name)
+        if isinstance(expr, SLoad):
+            temp = self._fresh_temp()
+            self._emit(Load(temp, expr.loc, expr.mode))
+            return Reg(temp)
+        if isinstance(expr, SBinOp):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            return BinOp(expr.op, left, right)
+        raise TypeError(f"not a CSimp expression: {expr!r}")
+
+    # -- statements ---------------------------------------------------------------
+
+    def lower_block(self, block: SBlock) -> None:
+        for stmt in block:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: SStmt) -> None:
+        if isinstance(stmt, SSkip):
+            self._emit(Skip())
+            return
+        if isinstance(stmt, SAssign):
+            # `r = loc.mode` lowers to a direct load, without a temp.
+            if isinstance(stmt.expr, SLoad):
+                self._emit(Load(stmt.dst, stmt.expr.loc, stmt.expr.mode))
+            else:
+                self._emit(Assign(stmt.dst, self.lower_expr(stmt.expr)))
+            return
+        if isinstance(stmt, SStore):
+            self._emit(Store(stmt.loc, self.lower_expr(stmt.expr), stmt.mode))
+            return
+        if isinstance(stmt, SCas):
+            expected = self.lower_expr(stmt.expected)
+            new = self.lower_expr(stmt.new)
+            self._emit(Cas(stmt.dst, stmt.loc, expected, new, stmt.mode_r, stmt.mode_w))
+            return
+        if isinstance(stmt, SPrint):
+            self._emit(Print(self.lower_expr(stmt.expr)))
+            return
+        if isinstance(stmt, SFence):
+            self._emit(Fence(stmt.kind))
+            return
+        if isinstance(stmt, SCall):
+            cont = self._fresh_label("cont")
+            self._finish_block(Call(stmt.func, cont))
+            self._start_block(cont)
+            return
+        if isinstance(stmt, SIf):
+            self._lower_if(stmt)
+            return
+        if isinstance(stmt, SWhile):
+            self._lower_while(stmt)
+            return
+        raise TypeError(f"not a CSimp statement: {stmt!r}")
+
+    def _lower_if(self, stmt: SIf) -> None:
+        cond = self.lower_expr(stmt.cond)
+        then_label = self._fresh_label("then")
+        else_label = self._fresh_label("else") if stmt.els is not None else None
+        join_label = self._fresh_label("join")
+        self._finish_block(Be(cond, then_label, else_label or join_label))
+
+        self._start_block(then_label)
+        self.lower_block(stmt.then)
+        self._finish_block(Jmp(join_label))
+
+        if stmt.els is not None:
+            self._start_block(else_label)
+            self.lower_block(stmt.els)
+            self._finish_block(Jmp(join_label))
+
+        self._start_block(join_label)
+
+    def _lower_while(self, stmt: SWhile) -> None:
+        header_label = self._fresh_label("while")
+        body_label = self._fresh_label("body")
+        exit_label = self._fresh_label("endwhile")
+        self._finish_block(Jmp(header_label))
+
+        # The header re-evaluates the condition — including its memory
+        # reads — on every iteration.
+        self._start_block(header_label)
+        cond = self.lower_expr(stmt.cond)
+        self._finish_block(Be(cond, body_label, exit_label))
+
+        self._start_block(body_label)
+        self.lower_block(stmt.body)
+        self._finish_block(Jmp(header_label))
+
+        self._start_block(exit_label)
+
+    # -- driver ----------------------------------------------------------------------
+
+    def lower(self, function: SFunction) -> CodeHeap:
+        self.lower_block(function.body)
+        self._finish_block(Return())
+        return CodeHeap(tuple(self._blocks.items()), self.entry)
+
+
+def lower_function(function: SFunction) -> CodeHeap:
+    """Lower one structured function to a CSimpRTL code heap."""
+    return _FunctionLowerer(function.name).lower(function)
+
+
+def lower_program(program: SProgram) -> Program:
+    """Lower a structured program to a CSimpRTL program (same ι, threads)."""
+    functions = tuple((f.name, lower_function(f)) for f in program.functions)
+    return Program(functions, program.atomics, program.threads)

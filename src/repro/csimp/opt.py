@@ -1,0 +1,184 @@
+"""Source-to-source LICM on the structured AST.
+
+The paper's Fig. 1 presents LICM as a *source-level* transformation:
+``foo()`` → ``foo_opt()`` moves ``r2 := y_na`` from the loop body to just
+before the loop.  This module implements that transformation directly on
+CSimp — hoisting an invariant non-atomic load assignment ``r = x.na`` out
+of a ``while`` — with exactly the crossing rules of the RTL-level pass:
+
+* the location must not be written anywhere in the loop (body or
+  condition);
+* the destination register must not be otherwise assigned in the loop;
+* nothing in the loop may kill the availability of the hoisted read — no
+  acquire read (in any statement *or* condition), no acquire CAS, no
+  acquire/SC fence, no call;
+* the hoisted statement must be the kind whose duplication is sound:
+  a plain non-atomic load into a register (redundant read introduction).
+
+Unlike the RTL pipeline (LInv ∘ CSE), the source-level pass *moves* the
+read rather than introducing a copy — the exact shape of Fig. 1's
+``foo_opt``.  Setting ``respect_acquire=False`` gives the paper's naive,
+unsound variant for the negative experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCall,
+    SCas,
+    SExpr,
+    SFence,
+    SFunction,
+    SIf,
+    SLoad,
+    SPrint,
+    SProgram,
+    SSkip,
+    SStmt,
+    SStore,
+    SWhile,
+)
+from repro.lang.syntax import AccessMode, FenceKind
+
+
+def _expr_loads(expr: SExpr) -> List[SLoad]:
+    """All memory reads in an expression."""
+    if isinstance(expr, SLoad):
+        return [expr]
+    if isinstance(expr, SBinOp):
+        return _expr_loads(expr.left) + _expr_loads(expr.right)
+    return []
+
+
+def _block_stmts_recursive(block: SBlock) -> List[SStmt]:
+    """All statements in a block, through nested if/while."""
+    out: List[SStmt] = []
+    for stmt in block:
+        out.append(stmt)
+        if isinstance(stmt, SIf):
+            out += _block_stmts_recursive(stmt.then)
+            if stmt.els is not None:
+                out += _block_stmts_recursive(stmt.els)
+        elif isinstance(stmt, SWhile):
+            out += _block_stmts_recursive(stmt.body)
+    return out
+
+
+def _loop_written_locations(loop: SWhile) -> Set[str]:
+    written: Set[str] = set()
+    for stmt in _block_stmts_recursive(loop.body):
+        if isinstance(stmt, SStore):
+            written.add(stmt.loc)
+        elif isinstance(stmt, SCas):
+            written.add(stmt.loc)
+    return written
+
+
+def _loop_assigned_registers(loop: SWhile) -> Set[str]:
+    assigned: Set[str] = set()
+    for stmt in _block_stmts_recursive(loop.body):
+        if isinstance(stmt, (SAssign, SCas)):
+            assigned.add(stmt.dst)
+    return assigned
+
+
+def _loop_has_kill(loop: SWhile) -> bool:
+    """Does the loop contain an availability-killing operation?"""
+    stmts = _block_stmts_recursive(loop.body)
+    exprs: List[SExpr] = [loop.cond]
+    for stmt in stmts:
+        if isinstance(stmt, (SAssign, SPrint)):
+            exprs.append(stmt.expr)
+        elif isinstance(stmt, SStore):
+            exprs.append(stmt.expr)
+        elif isinstance(stmt, SCas):
+            exprs += [stmt.expected, stmt.new]
+            if stmt.mode_r is AccessMode.ACQ:
+                return True
+        elif isinstance(stmt, SFence) and stmt.kind in (FenceKind.ACQ, FenceKind.SC):
+            return True
+        elif isinstance(stmt, SCall):
+            return True
+        elif isinstance(stmt, (SIf, SWhile)):
+            exprs.append(stmt.cond)
+    for expr in exprs:
+        if any(load.mode is AccessMode.ACQ for load in _expr_loads(expr)):
+            return True
+    return False
+
+
+def _hoistable(loop: SWhile, respect_acquire: bool) -> Optional[SAssign]:
+    """The first hoistable invariant load assignment in the loop body."""
+    written = _loop_written_locations(loop)
+    assigned = _loop_assigned_registers(loop)
+    if respect_acquire and _loop_has_kill(loop):
+        return None
+    for stmt in loop.body:
+        if not (isinstance(stmt, SAssign) and isinstance(stmt.expr, SLoad)):
+            continue
+        load = stmt.expr
+        if load.mode is not AccessMode.NA:
+            continue
+        if load.loc in written:
+            continue
+        # The destination must be assigned only by this statement, and the
+        # load must not depend on loop-varying state (loads have no regs).
+        other_assigns = sum(
+            1
+            for other in _block_stmts_recursive(loop.body)
+            if isinstance(other, (SAssign, SCas)) and other.dst == stmt.dst and other is not stmt
+        )
+        if other_assigns:
+            continue
+        return stmt
+    return None
+
+
+def _transform_block(block: SBlock, respect_acquire: bool) -> SBlock:
+    out: List[SStmt] = []
+    for stmt in block:
+        if isinstance(stmt, SWhile):
+            body = _transform_block(stmt.body, respect_acquire)
+            loop = SWhile(stmt.cond, body)
+            hoisted = _hoistable(loop, respect_acquire)
+            if hoisted is not None:
+                remaining = SBlock(tuple(s for s in loop.body if s is not hoisted))
+                out.append(hoisted)
+                out.append(SWhile(loop.cond, remaining))
+            else:
+                out.append(loop)
+        elif isinstance(stmt, SIf):
+            then = _transform_block(stmt.then, respect_acquire)
+            els = _transform_block(stmt.els, respect_acquire) if stmt.els is not None else None
+            out.append(SIf(stmt.cond, then, els))
+        else:
+            out.append(stmt)
+    return SBlock(tuple(out))
+
+
+@dataclass(frozen=True)
+class SourceLicm:
+    """Source-level LICM: Fig. 1's ``foo → foo_opt`` shape.
+
+    ``respect_acquire=False`` is the naive, unsound variant (hoists across
+    acquire reads) used only by the negative experiments.
+    """
+
+    respect_acquire: bool = True
+
+    def run(self, program: SProgram) -> SProgram:
+        """Transform every function of a structured program."""
+        functions = tuple(
+            SFunction(f.name, _transform_block(f.body, self.respect_acquire))
+            for f in program.functions
+        )
+        return SProgram(functions, program.atomics, program.threads)
+
+    def __call__(self, program: SProgram) -> SProgram:
+        return self.run(program)

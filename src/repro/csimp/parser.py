@@ -1,0 +1,282 @@
+"""Parser for the CSimp surface syntax — the paper's example notation.
+
+Grammar (``//`` comments to end of line)::
+
+    program  ::= [atomics] fn* threads
+    atomics  ::= "atomics" ident ("," ident)* ";"
+    threads  ::= "threads" ident ("," ident)* ";"
+    fn       ::= "fn" ident "(" ")" block
+    block    ::= "{" stmt* "}"
+    stmt     ::= "skip" ";"
+               | "print" "(" expr ")" ";"
+               | "fence" "." kind ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "while" "(" expr ")" (block | ";")
+               | ident "(" ")" ";"                      (call)
+               | ident "." mode "=" expr ";"            (store)
+               | ident "=" "cas" "." m "." m "(" ident "," expr "," expr ")" ";"
+               | ident "=" expr ";"                     (assign / load)
+    expr     ::= cmp over + - * with atoms:
+                 int | ident | ident "." mode | "(" expr ")"
+
+Registers must not start with ``_`` (reserved for lowering temporaries).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCall,
+    SCas,
+    SConst,
+    SExpr,
+    SFence,
+    SFunction,
+    SIf,
+    SLoad,
+    SPrint,
+    SProgram,
+    SReg,
+    SSkip,
+    SStmt,
+    SStore,
+    SWhile,
+)
+from repro.lang.parser import ParseError
+from repro.lang.syntax import AccessMode, FenceKind
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>==|!=|<=|>=|[-+*<>(){};,.=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"atomics", "threads", "fn", "skip", "print", "fence", "cas", "if", "else", "while"}
+)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"line {line}: unexpected character {source[pos]!r}")
+        text = match.group(0)
+        if match.lastgroup == "ws":
+            line += text.count("\n")
+        elif match.lastgroup == "num":
+            tokens.append(_Token("num", text, line))
+        elif match.lastgroup == "ident":
+            tokens.append(_Token("kw" if text in _KEYWORDS else "ident", text, line))
+        else:
+            tokens.append(_Token("op", text, line))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self, ahead: int = 0) -> _Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        where = f"line {token.line}" if token.kind != "eof" else "end of input"
+        return ParseError(f"{where}: {message} (found {token.text!r})")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise self._error(f"expected {text if text is not None else kind!r}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> SProgram:
+        atomics: Tuple[str, ...] = ()
+        if self._accept("kw", "atomics"):
+            atomics = self._ident_list()
+            self._expect("op", ";")
+        functions: List[SFunction] = []
+        while self._peek().kind == "kw" and self._peek().text == "fn":
+            functions.append(self._function())
+        self._expect("kw", "threads")
+        threads = self._ident_list()
+        self._expect("op", ";")
+        self._expect("eof")
+        return SProgram(tuple(functions), frozenset(atomics), threads)
+
+    def _ident_list(self) -> Tuple[str, ...]:
+        names = [self._expect("ident").text]
+        while self._accept("op", ","):
+            names.append(self._expect("ident").text)
+        return tuple(names)
+
+    def _function(self) -> SFunction:
+        self._expect("kw", "fn")
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        self._expect("op", ")")
+        return SFunction(name, self._block())
+
+    def _block(self) -> SBlock:
+        self._expect("op", "{")
+        stmts: List[SStmt] = []
+        while not self._accept("op", "}"):
+            stmts.append(self._stmt())
+        return SBlock(tuple(stmts))
+
+    def _stmt(self) -> SStmt:
+        if self._accept("kw", "skip"):
+            self._expect("op", ";")
+            return SSkip()
+        if self._accept("kw", "print"):
+            self._expect("op", "(")
+            expr = self._expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return SPrint(expr)
+        if self._accept("kw", "fence"):
+            self._expect("op", ".")
+            kind = self._expect("ident").text
+            self._expect("op", ";")
+            try:
+                return SFence(FenceKind(kind))
+            except ValueError:
+                raise self._error(f"unknown fence kind {kind!r}") from None
+        if self._accept("kw", "if"):
+            self._expect("op", "(")
+            cond = self._expr()
+            self._expect("op", ")")
+            then = self._block()
+            els = self._block() if self._accept("kw", "else") else None
+            return SIf(cond, then, els)
+        if self._accept("kw", "while"):
+            self._expect("op", "(")
+            cond = self._expr()
+            self._expect("op", ")")
+            if self._accept("op", ";"):
+                return SWhile(cond, SBlock(()))  # spin loop: empty body
+            return SWhile(cond, self._block())
+
+        name = self._expect("ident").text
+        if self._accept("op", "("):
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return SCall(name)
+        if self._peek().kind == "op" and self._peek().text == ".":
+            self._next()
+            mode = self._mode()
+            self._expect("op", "=")
+            expr = self._expr()
+            self._expect("op", ";")
+            return SStore(name, mode, expr)
+        self._expect("op", "=")
+        if name.startswith("_"):
+            raise self._error("register names starting with '_' are reserved")
+        if self._accept("kw", "cas"):
+            self._expect("op", ".")
+            mode_r = self._mode()
+            self._expect("op", ".")
+            mode_w = self._mode()
+            self._expect("op", "(")
+            loc = self._expect("ident").text
+            self._expect("op", ",")
+            expected = self._expr()
+            self._expect("op", ",")
+            new = self._expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return SCas(name, loc, expected, new, mode_r, mode_w)
+        expr = self._expr()
+        self._expect("op", ";")
+        return SAssign(name, expr)
+
+    def _mode(self) -> AccessMode:
+        token = self._expect("ident")
+        try:
+            return AccessMode(token.text)
+        except ValueError:
+            raise self._error(f"unknown access mode {token.text!r}") from None
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self) -> SExpr:
+        left = self._add()
+        token = self._peek()
+        if token.kind == "op" and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self._next().text
+            return SBinOp(op, left, self._add())
+        return left
+
+    def _add(self) -> SExpr:
+        left = self._mul()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                op = self._next().text
+                left = SBinOp(op, left, self._mul())
+            else:
+                return left
+
+    def _mul(self) -> SExpr:
+        left = self._atom()
+        while self._accept("op", "*"):
+            left = SBinOp("*", left, self._atom())
+        return left
+
+    def _atom(self) -> SExpr:
+        token = self._peek()
+        if token.kind == "num":
+            self._next()
+            return SConst(int(token.text))  # type: ignore[arg-type]
+        if token.kind == "ident":
+            name = self._next().text
+            if self._peek().kind == "op" and self._peek().text == ".":
+                self._next()
+                return SLoad(name, self._mode())
+            return SReg(name)
+        if self._accept("op", "("):
+            expr = self._expr()
+            self._expect("op", ")")
+            return expr
+        raise self._error("expected an expression")
+
+
+def parse_csimp(source: str):
+    """Parse CSimp surface syntax into an :class:`SProgram`."""
+    return _Parser(_tokenize(source)).parse()

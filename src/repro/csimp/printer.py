@@ -1,0 +1,104 @@
+"""Pretty printer for the CSimp surface language.
+
+``format_csimp(parse_csimp(s))`` parses back to the same AST (round-trip
+property tested), so CSimp programs can be generated, transformed at the
+AST level, and written out as source files.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCall,
+    SCas,
+    SConst,
+    SExpr,
+    SFence,
+    SFunction,
+    SIf,
+    SLoad,
+    SPrint,
+    SProgram,
+    SReg,
+    SSkip,
+    SStmt,
+    SStore,
+    SWhile,
+)
+
+_INDENT = "    "
+
+
+def format_sexpr(expr: SExpr) -> str:
+    """Render an expression (fully parenthesized binary operations)."""
+    if isinstance(expr, SConst):
+        return str(int(expr.value))
+    if isinstance(expr, SReg):
+        return expr.name
+    if isinstance(expr, SLoad):
+        return f"{expr.loc}.{expr.mode.value}"
+    if isinstance(expr, SBinOp):
+        return f"({format_sexpr(expr.left)} {expr.op} {format_sexpr(expr.right)})"
+    raise TypeError(f"not a CSimp expression: {expr!r}")
+
+
+def _format_stmt(stmt: SStmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, SSkip):
+        return [f"{pad}skip;"]
+    if isinstance(stmt, SAssign):
+        return [f"{pad}{stmt.dst} = {format_sexpr(stmt.expr)};"]
+    if isinstance(stmt, SStore):
+        return [f"{pad}{stmt.loc}.{stmt.mode.value} = {format_sexpr(stmt.expr)};"]
+    if isinstance(stmt, SCas):
+        return [
+            f"{pad}{stmt.dst} = cas.{stmt.mode_r.value}.{stmt.mode_w.value}"
+            f"({stmt.loc}, {format_sexpr(stmt.expected)}, {format_sexpr(stmt.new)});"
+        ]
+    if isinstance(stmt, SPrint):
+        return [f"{pad}print({format_sexpr(stmt.expr)});"]
+    if isinstance(stmt, SFence):
+        return [f"{pad}fence.{stmt.kind.value};"]
+    if isinstance(stmt, SCall):
+        return [f"{pad}{stmt.func}();"]
+    if isinstance(stmt, SIf):
+        lines = [f"{pad}if ({format_sexpr(stmt.cond)}) {{"]
+        lines += _format_block(stmt.then, depth + 1)
+        if stmt.els is not None:
+            lines.append(f"{pad}}} else {{")
+            lines += _format_block(stmt.els, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, SWhile):
+        if not stmt.body.stmts:
+            return [f"{pad}while ({format_sexpr(stmt.cond)});"]
+        lines = [f"{pad}while ({format_sexpr(stmt.cond)}) {{"]
+        lines += _format_block(stmt.body, depth + 1)
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"not a CSimp statement: {stmt!r}")
+
+
+def _format_block(block: SBlock, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in block:
+        lines += _format_stmt(stmt, depth)
+    return lines
+
+
+def format_csimp(program: SProgram) -> str:
+    """Render a structured program back to surface syntax."""
+    parts: List[str] = []
+    if program.atomics:
+        parts.append("atomics " + ", ".join(sorted(program.atomics)) + ";")
+    for function in program.functions:
+        lines = [f"fn {function.name}() {{"]
+        lines += _format_block(function.body, 1)
+        lines.append("}")
+        parts.append("\n".join(lines))
+    parts.append("threads " + ", ".join(program.threads) + ";")
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,73 @@
+"""The CSimpRTL concurrent intermediate language (paper Fig. 7).
+
+CSimpRTL is the CompCert-RTL-like language used by the paper: programs are
+sets of functions, each function is a code heap mapping labels to basic
+blocks, and basic blocks are straight-line instruction sequences ending in a
+control transfer.  Memory accesses carry C11-style access modes: non-atomic
+(``na``), relaxed (``rlx``), acquire (``acq``, reads), and release (``rel``,
+writes).
+
+This package provides the AST (:mod:`repro.lang.syntax`), 32-bit machine
+arithmetic (:mod:`repro.lang.values`), a textual parser
+(:mod:`repro.lang.parser`), a pretty printer (:mod:`repro.lang.printer`), CFG
+utilities (:mod:`repro.lang.cfg`), and a fluent builder API
+(:mod:`repro.lang.builder`).
+"""
+
+from repro.lang.values import Int32
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Fence,
+    FenceKind,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+)
+from repro.lang.builder import FunctionBuilder, ProgramBuilder
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.printer import format_program
+
+__all__ = [
+    "AccessMode",
+    "Assign",
+    "BasicBlock",
+    "Be",
+    "BinOp",
+    "Call",
+    "Cas",
+    "CodeHeap",
+    "Const",
+    "Fence",
+    "FenceKind",
+    "FunctionBuilder",
+    "Instr",
+    "Int32",
+    "Jmp",
+    "Load",
+    "ParseError",
+    "Print",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "Return",
+    "Skip",
+    "Store",
+    "Terminator",
+    "format_program",
+    "parse_program",
+]

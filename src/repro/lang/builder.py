@@ -1,0 +1,242 @@
+"""Fluent builder API for CSimpRTL programs.
+
+Writing the AST dataclasses by hand is verbose; the builders below make
+litmus tests and examples read close to the paper's surface syntax::
+
+    pb = ProgramBuilder(atomics={"x", "y"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("x", 1, "rlx")
+        b.load("r1", "y", "rlx")
+        b.ret()
+    pb.thread("t1")
+    program = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Expr,
+    Fence,
+    FenceKind,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+)
+
+ExprLike = Union[Expr, int, str]
+ModeLike = Union[AccessMode, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce an int (constant), str (register name) or Expr to an Expr."""
+    if isinstance(value, (Const, Reg, BinOp)):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))  # type: ignore[arg-type]
+    if isinstance(value, int):
+        return Const(value)  # type: ignore[arg-type]
+    if isinstance(value, str):
+        return Reg(value)
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def as_mode(mode: ModeLike) -> AccessMode:
+    """Coerce a string like ``"rlx"`` to an :class:`AccessMode`."""
+    if isinstance(mode, AccessMode):
+        return mode
+    return AccessMode(mode)
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    """Build a binary operation from loosely typed operands."""
+    return BinOp(op, as_expr(left), as_expr(right))
+
+
+class BlockBuilder:
+    """Accumulates instructions for a single basic block.
+
+    The block is finished by exactly one terminator call (:meth:`jmp`,
+    :meth:`be`, :meth:`call`, or :meth:`ret`).
+    """
+
+    def __init__(self, label: str, function: "FunctionBuilder") -> None:
+        self.label = label
+        self._function = function
+        self._instrs: List[Instr] = []
+        self._term: Optional[Union[Jmp, Be, Call, Return]] = None
+
+    # -- instructions -------------------------------------------------------
+
+    def _append(self, instr: Instr) -> "BlockBuilder":
+        if self._term is not None:
+            raise ValueError(f"block {self.label!r} already terminated")
+        self._instrs.append(instr)
+        return self
+
+    def load(self, dst: str, loc: str, mode: ModeLike = AccessMode.NA) -> "BlockBuilder":
+        """``dst := loc.mode``"""
+        return self._append(Load(dst, loc, as_mode(mode)))
+
+    def store(self, loc: str, expr: ExprLike, mode: ModeLike = AccessMode.NA) -> "BlockBuilder":
+        """``loc.mode := expr``"""
+        return self._append(Store(loc, as_expr(expr), as_mode(mode)))
+
+    def cas(
+        self,
+        dst: str,
+        loc: str,
+        expected: ExprLike,
+        new: ExprLike,
+        mode_r: ModeLike = AccessMode.RLX,
+        mode_w: ModeLike = AccessMode.RLX,
+    ) -> "BlockBuilder":
+        """``dst := CAS_(mode_r,mode_w)(loc, expected, new)``"""
+        return self._append(
+            Cas(dst, loc, as_expr(expected), as_expr(new), as_mode(mode_r), as_mode(mode_w))
+        )
+
+    def assign(self, dst: str, expr: ExprLike) -> "BlockBuilder":
+        """``dst := expr`` (register-only computation)"""
+        return self._append(Assign(dst, as_expr(expr)))
+
+    def skip(self) -> "BlockBuilder":
+        """``skip``"""
+        return self._append(Skip())
+
+    def print_(self, expr: ExprLike) -> "BlockBuilder":
+        """``print(expr)``"""
+        return self._append(Print(as_expr(expr)))
+
+    def fence(self, kind: Union[FenceKind, str]) -> "BlockBuilder":
+        """``fence.kind``"""
+        if not isinstance(kind, FenceKind):
+            kind = FenceKind(kind)
+        return self._append(Fence(kind))
+
+    # -- terminators --------------------------------------------------------
+
+    def _terminate(self, term: Union[Jmp, Be, Call, Return]) -> None:
+        if self._term is not None:
+            raise ValueError(f"block {self.label!r} already terminated")
+        self._term = term
+
+    def jmp(self, target: str) -> None:
+        """``jmp target``"""
+        self._terminate(Jmp(target))
+
+    def be(self, cond: ExprLike, then_target: str, else_target: str) -> None:
+        """``be cond, then_target, else_target``"""
+        self._terminate(Be(as_expr(cond), then_target, else_target))
+
+    def call(self, func: str, ret_label: str) -> None:
+        """``call(func, ret_label)``"""
+        self._terminate(Call(func, ret_label))
+
+    def ret(self) -> None:
+        """``return``"""
+        self._terminate(Return())
+
+    def build(self) -> BasicBlock:
+        """Finish the block; an unterminated block gets an implicit return."""
+        term = self._term if self._term is not None else Return()
+        return BasicBlock(tuple(self._instrs), term)
+
+
+class FunctionBuilder:
+    """Builds one function (code heap).  The first block created is the entry
+    unless ``entry`` is set explicitly."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: Dict[str, BlockBuilder] = {}
+        self.entry: Optional[str] = None
+
+    def block(self, label: str) -> BlockBuilder:
+        """Start (or retrieve) the block with the given label."""
+        if label in self._blocks:
+            return self._blocks[label]
+        builder = BlockBuilder(label, self)
+        self._blocks[label] = builder
+        if self.entry is None:
+            self.entry = label
+        return builder
+
+    def __enter__(self) -> "FunctionBuilder":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+    def build(self) -> CodeHeap:
+        """Finish the function."""
+        if self.entry is None:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        blocks = tuple((label, b.build()) for label, b in self._blocks.items())
+        return CodeHeap(blocks, self.entry)
+
+
+class ProgramBuilder:
+    """Builds a whole program ``let (π, ι) in f1 ∥ ... ∥ fn``."""
+
+    def __init__(self, atomics: Iterable[str] = ()) -> None:
+        self.atomics = frozenset(atomics)
+        self._functions: Dict[str, FunctionBuilder] = {}
+        self._threads: List[str] = []
+
+    def function(self, name: str) -> FunctionBuilder:
+        """Start a function builder; using the same name twice is an error."""
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already defined")
+        builder = FunctionBuilder(name)
+        self._functions[name] = builder
+        return builder
+
+    def thread(self, func: str) -> "ProgramBuilder":
+        """Declare a thread running ``func``."""
+        self._threads.append(func)
+        return self
+
+    def build(self) -> Program:
+        """Finish the program; every declared function must have an entry."""
+        functions = tuple((name, fb.build()) for name, fb in self._functions.items())
+        return Program(functions, self.atomics, tuple(self._threads))
+
+
+def straightline_function(name: str, instrs: Iterable[Instr]) -> CodeHeap:
+    """A single-block function from a flat instruction list."""
+    return CodeHeap((("entry", BasicBlock(tuple(instrs), Return())),), "entry")
+
+
+def straightline_program(
+    thread_instrs: Iterable[Iterable[Instr]], atomics: Iterable[str] = ()
+) -> Program:
+    """A program of straight-line threads — the common litmus-test shape.
+
+    ``thread_instrs`` gives one instruction list per thread; thread ``i``
+    runs a fresh function named ``t{i+1}``.
+    """
+    functions: List[Tuple[str, CodeHeap]] = []
+    threads: List[str] = []
+    for index, instrs in enumerate(thread_instrs):
+        fname = f"t{index + 1}"
+        functions.append((fname, straightline_function(fname, instrs)))
+        threads.append(fname)
+    return Program(tuple(functions), frozenset(atomics), tuple(threads))

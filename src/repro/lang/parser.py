@@ -1,0 +1,321 @@
+"""Parser for the CSimpRTL concrete syntax.
+
+Grammar (informally; ``//`` comments run to end of line)::
+
+    program   ::= [atomics] function* threads
+    atomics   ::= "atomics" ident ("," ident)* ";"
+    threads   ::= "threads" ident ("," ident)* ";"
+    function  ::= "fn" ident "{" block+ "}"
+    block     ::= ident ":" (instr ";")* term ";"
+    instr     ::= "skip" | "print" "(" expr ")" | "fence" "." fkind
+                | ident ":=" rhs
+                | ident "." mode ":=" expr                  (store)
+    rhs       ::= ident "." mode                            (load)
+                | "cas" "." mode "." mode "(" ident "," expr "," expr ")"
+                | expr                                      (assign)
+    term      ::= "jmp" ident | "be" expr "," ident "," ident
+                | "call" "(" ident "," ident ")" | "return"
+    expr      ::= cmp;  cmp ::= add (cmpop add)? ;
+    add       ::= mul (("+"|"-") mul)* ; mul ::= atom ("*" atom)*
+    atom      ::= int | ident | "(" expr ")"
+
+The printer in :mod:`repro.lang.printer` emits exactly this syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Expr,
+    Fence,
+    FenceKind,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed CSimpRTL source, with a line number."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|==|!=|<=|>=|[-+*<>(){}:;,.])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset(
+    {"atomics", "threads", "fn", "skip", "print", "fence", "cas", "jmp", "be", "call", "return"}
+)
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"line {line}: unexpected character {source[pos]!r}")
+        text = match.group(0)
+        if match.lastgroup == "ws":
+            line += text.count("\n")
+        elif match.lastgroup == "num":
+            tokens.append(_Token("num", text, line))
+        elif match.lastgroup == "ident":
+            kind = "kw" if text in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, line))
+        else:
+            tokens.append(_Token("op", text, line))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> _Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        where = f"line {token.line}" if token.kind != "eof" else "end of input"
+        return ParseError(f"{where}: {message} (found {token.text!r})")
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise self._error(f"expected {wanted!r}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        atomics: Tuple[str, ...] = ()
+        if self._accept("kw", "atomics"):
+            atomics = self._ident_list()
+            self._expect("op", ";")
+        functions = []
+        while self._peek().kind == "kw" and self._peek().text == "fn":
+            functions.append(self._function())
+        self._expect("kw", "threads")
+        threads = self._ident_list()
+        self._expect("op", ";")
+        self._expect("eof")
+        return Program(tuple(functions), frozenset(atomics), threads)
+
+    def _ident_list(self) -> Tuple[str, ...]:
+        names = [self._expect("ident").text]
+        while self._accept("op", ","):
+            names.append(self._expect("ident").text)
+        return tuple(names)
+
+    def _function(self) -> Tuple[str, CodeHeap]:
+        self._expect("kw", "fn")
+        name = self._expect("ident").text
+        self._expect("op", "{")
+        blocks: List[Tuple[str, BasicBlock]] = []
+        entry: Optional[str] = None
+        while not self._accept("op", "}"):
+            label, block = self._block()
+            if entry is None:
+                entry = label
+            blocks.append((label, block))
+        if entry is None:
+            raise self._error(f"function {name!r} has no blocks")
+        return name, CodeHeap(tuple(blocks), entry)
+
+    def _block(self) -> Tuple[str, BasicBlock]:
+        label = self._expect("ident").text
+        self._expect("op", ":")
+        instrs: List[Instr] = []
+        while True:
+            term = self._try_terminator()
+            if term is not None:
+                self._expect("op", ";")
+                return label, BasicBlock(tuple(instrs), term)
+            instrs.append(self._instr())
+            self._expect("op", ";")
+
+    def _try_terminator(self) -> Optional[Terminator]:
+        token = self._peek()
+        if token.kind != "kw":
+            return None
+        if token.text == "jmp":
+            self._next()
+            return Jmp(self._expect("ident").text)
+        if token.text == "be":
+            self._next()
+            cond = self._expr()
+            self._expect("op", ",")
+            then_target = self._expect("ident").text
+            self._expect("op", ",")
+            else_target = self._expect("ident").text
+            return Be(cond, then_target, else_target)
+        if token.text == "call":
+            self._next()
+            self._expect("op", "(")
+            func = self._expect("ident").text
+            self._expect("op", ",")
+            ret_label = self._expect("ident").text
+            self._expect("op", ")")
+            return Call(func, ret_label)
+        if token.text == "return":
+            self._next()
+            return Return()
+        return None
+
+    def _instr(self) -> Instr:
+        if self._accept("kw", "skip"):
+            return Skip()
+        if self._accept("kw", "print"):
+            self._expect("op", "(")
+            expr = self._expr()
+            self._expect("op", ")")
+            return Print(expr)
+        if self._accept("kw", "fence"):
+            self._expect("op", ".")
+            kind = self._expect("ident").text
+            try:
+                return Fence(FenceKind(kind))
+            except ValueError:
+                raise self._error(f"unknown fence kind {kind!r}") from None
+        name = self._expect("ident").text
+        if self._peek().kind == "op" and self._peek().text == ".":
+            # store: loc.mode := expr
+            self._next()
+            mode = self._mode()
+            self._expect("op", ":=")
+            return Store(name, self._expr(), mode)
+        self._expect("op", ":=")
+        return self._rhs(name)
+
+    def _rhs(self, dst: str) -> Instr:
+        if self._accept("kw", "cas"):
+            self._expect("op", ".")
+            mode_r = self._mode()
+            self._expect("op", ".")
+            mode_w = self._mode()
+            self._expect("op", "(")
+            loc = self._expect("ident").text
+            self._expect("op", ",")
+            expected = self._expr()
+            self._expect("op", ",")
+            new = self._expr()
+            self._expect("op", ")")
+            return Cas(dst, loc, expected, new, mode_r, mode_w)
+        # load: ident.mode — lookahead past the identifier for a dot
+        if (
+            self._peek().kind == "ident"
+            and self._peek(1).kind == "op"
+            and self._peek(1).text == "."
+        ):
+            loc = self._next().text
+            self._next()  # '.'
+            mode = self._mode()
+            return Load(dst, loc, mode)
+        return Assign(dst, self._expr())
+
+    def _mode(self) -> AccessMode:
+        token = self._expect("ident")
+        try:
+            return AccessMode(token.text)
+        except ValueError:
+            raise self._error(f"unknown access mode {token.text!r}") from None
+
+    # -- expressions (precedence: cmp < add/sub < mul) ------------------------
+
+    def _expr(self) -> Expr:
+        left = self._add()
+        token = self._peek()
+        if token.kind == "op" and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self._next().text
+            right = self._add()
+            return BinOp(op, left, right)
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                op = self._next().text
+                left = BinOp(op, left, self._mul())
+            else:
+                return left
+
+    def _mul(self) -> Expr:
+        left = self._atom()
+        while self._accept("op", "*"):
+            left = BinOp("*", left, self._atom())
+        return left
+
+    def _atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == "num":
+            self._next()
+            return Const(int(token.text))  # type: ignore[arg-type]
+        if token.kind == "ident":
+            self._next()
+            return Reg(token.text)
+        if self._accept("op", "("):
+            expr = self._expr()
+            self._expect("op", ")")
+            return expr
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> Program:
+    """Parse CSimpRTL source text into a :class:`~repro.lang.syntax.Program`.
+
+    Raises :class:`ParseError` (with a line number) on malformed input, and
+    ``ValueError`` if the parsed program violates static well-formedness
+    (e.g. an atomic access to a non-atomic location).
+    """
+    return _Parser(_tokenize(source)).parse_program()

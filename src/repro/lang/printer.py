@@ -1,0 +1,109 @@
+"""Pretty printer for CSimpRTL programs.
+
+The output is valid input for :func:`repro.lang.parser.parse_program`, so
+``parse_program(format_program(p))`` round-trips (tested by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.syntax import (
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Expr,
+    Fence,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression (fully parenthesized binary operations)."""
+    if isinstance(expr, Const):
+        return str(int(expr.value))
+    if isinstance(expr, Reg):
+        return expr.name
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def format_instr(instr: Instr) -> str:
+    """Render an instruction in the concrete syntax."""
+    if isinstance(instr, Load):
+        return f"{instr.dst} := {instr.loc}.{instr.mode.value}"
+    if isinstance(instr, Store):
+        return f"{instr.loc}.{instr.mode.value} := {format_expr(instr.expr)}"
+    if isinstance(instr, Cas):
+        return (
+            f"{instr.dst} := cas.{instr.mode_r.value}.{instr.mode_w.value}"
+            f"({instr.loc}, {format_expr(instr.expected)}, {format_expr(instr.new)})"
+        )
+    if isinstance(instr, Skip):
+        return "skip"
+    if isinstance(instr, Assign):
+        return f"{instr.dst} := {format_expr(instr.expr)}"
+    if isinstance(instr, Print):
+        return f"print({format_expr(instr.expr)})"
+    if isinstance(instr, Fence):
+        return f"fence.{instr.kind.value}"
+    raise TypeError(f"not an instruction: {instr!r}")
+
+
+def format_terminator(term: Terminator) -> str:
+    """Render a terminator in the concrete syntax."""
+    if isinstance(term, Jmp):
+        return f"jmp {term.target}"
+    if isinstance(term, Be):
+        return f"be {format_expr(term.cond)}, {term.then_target}, {term.else_target}"
+    if isinstance(term, Call):
+        return f"call({term.func}, {term.ret_label})"
+    if isinstance(term, Return):
+        return "return"
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+def format_block(label: str, block: BasicBlock) -> str:
+    """Render one labeled basic block."""
+    lines: List[str] = [f"{label}:"]
+    for instr in block.instrs:
+        lines.append(f"    {format_instr(instr)};")
+    lines.append(f"    {format_terminator(block.term)};")
+    return "\n".join(lines)
+
+
+def format_function(name: str, heap: CodeHeap) -> str:
+    """Render one function; the entry block is printed first."""
+    lines = [f"fn {name} {{"]
+    ordered = [(heap.entry, heap[heap.entry])]
+    ordered += [(label, blk) for label, blk in heap.blocks if label != heap.entry]
+    for label, block in ordered:
+        lines.append(format_block(label, block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a full program in the concrete syntax."""
+    parts: List[str] = []
+    if program.atomics:
+        parts.append("atomics " + ", ".join(sorted(program.atomics)) + ";")
+    for name, heap in program.functions:
+        parts.append(format_function(name, heap))
+    parts.append("threads " + ", ".join(program.threads) + ";")
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,547 @@
+"""Abstract syntax of CSimpRTL (paper Fig. 7).
+
+The language is a CompCert-RTL-like intermediate form:
+
+.. code-block:: text
+
+    (Expr)   e ::= r | v | e + e | e - e | e * e          (+ comparisons)
+    (Instr)  c ::= r := x_or | x_ow := e | r := CAS_or,ow(x, er, ew)
+               |   skip | r := e | print(e) | fence_kind
+    (BBlock) B ::= c, B | jmp f | be e, f1, f2 | call(f, fret) | return
+    (Cdhp)   C ∈ Lab ⇀ BBlock
+    (Code)   π ::= {f1 ~> C1, ..., fk ~> Ck}
+    (Prog)   P ::= let (π, ι) in f1 ∥ ... ∥ fn
+
+Everything here is an immutable, hashable dataclass so that thread states and
+whole machine configurations built on top of the AST can be memoized during
+exhaustive state-space exploration.
+
+Two mild, documented extensions over the paper's grammar:
+
+* comparison operators (``==  !=  <  <=  >  >=``) are admitted in
+  expressions, evaluating to 1/0 — the paper writes ``while (r1 < 10)`` in
+  its examples, so its expression language implicitly includes them;
+* ``fence`` instructions (release / acquire / sc), which the paper supports
+  in its Coq development and appendix but elides from the presentation
+  (footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.lang.values import Int32, int32_add, int32_mul, int32_sub
+
+
+class AccessMode(enum.Enum):
+    """C11-style access modes carried by memory instructions.
+
+    Reads may be ``NA``, ``RLX`` or ``ACQ``; writes may be ``NA``, ``RLX`` or
+    ``REL`` (paper Fig. 7: ``ModeR`` / ``ModeW``).
+    """
+
+    NA = "na"
+    RLX = "rlx"
+    ACQ = "acq"
+    REL = "rel"
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether this mode is an atomic access mode (anything but ``na``)."""
+        return self is not AccessMode.NA
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+READ_MODES = frozenset({AccessMode.NA, AccessMode.RLX, AccessMode.ACQ})
+WRITE_MODES = frozenset({AccessMode.NA, AccessMode.RLX, AccessMode.REL})
+
+
+class FenceKind(enum.Enum):
+    """Memory fence flavours (paper footnote 1; full PS2.1 model)."""
+
+    REL = "rel"
+    ACQ = "acq"
+    SC = "sc"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 32-bit integer literal."""
+
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return str(int(self.value))
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A (pseudo) register reference, e.g. ``r1``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Binary operators: arithmetic from the paper's grammar plus comparisons.
+BINOPS = ("+", "-", "*", "==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator: {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+Expr = Union[Const, Reg, BinOp]
+
+
+def eval_binop(op: str, lhs: Int32, rhs: Int32) -> Int32:
+    """Evaluate a binary operator on two ``Int32`` operands."""
+    if op == "+":
+        return int32_add(lhs, rhs)
+    if op == "-":
+        return int32_sub(lhs, rhs)
+    if op == "*":
+        return int32_mul(lhs, rhs)
+    if op == "==":
+        return Int32(1 if lhs == rhs else 0)
+    if op == "!=":
+        return Int32(1 if lhs != rhs else 0)
+    if op == "<":
+        return Int32(1 if lhs < rhs else 0)
+    if op == "<=":
+        return Int32(1 if lhs <= rhs else 0)
+    if op == ">":
+        return Int32(1 if lhs > rhs else 0)
+    if op == ">=":
+        return Int32(1 if lhs >= rhs else 0)
+    raise ValueError(f"unknown binary operator: {op!r}")
+
+
+def eval_expr(expr: Expr, regs: Mapping[str, Int32]) -> Int32:
+    """Evaluate ``expr`` under the register file ``regs``.
+
+    Unbound registers read as 0, mirroring the paper's implicit convention
+    that registers are zero-initialized.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Reg):
+        return regs.get(expr.name, Int32(0))
+    if isinstance(expr, BinOp):
+        return eval_binop(expr.op, eval_expr(expr.left, regs), eval_expr(expr.right, regs))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_regs(expr: Expr) -> FrozenSet[str]:
+    """The set of register names occurring in ``expr``."""
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, Reg):
+        return frozenset({expr.name})
+    if isinstance(expr, BinOp):
+        return expr_regs(expr.left) | expr_regs(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_is_const(expr: Expr) -> bool:
+    """Whether ``expr`` contains no register references."""
+    return not expr_regs(expr)
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Load:
+    """``r := x_or`` — read variable ``loc`` with mode ``mode`` into ``dst``."""
+
+    dst: str
+    loc: str
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode not in READ_MODES:
+            raise ValueError(f"invalid read mode: {self.mode}")
+
+    def __str__(self) -> str:
+        return f"{self.dst} := {self.loc}.{self.mode}"
+
+
+@dataclass(frozen=True)
+class Store:
+    """``x_ow := e`` — write ``expr`` to variable ``loc`` with mode ``mode``."""
+
+    loc: str
+    expr: Expr
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode not in WRITE_MODES:
+            raise ValueError(f"invalid write mode: {self.mode}")
+
+    def __str__(self) -> str:
+        return f"{self.loc}.{self.mode} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class Cas:
+    """``r := CAS_or,ow(x, er, ew)`` — atomic compare-and-swap.
+
+    Reads ``loc``; if the value equals ``expected`` the CAS succeeds, writes
+    ``new`` and sets ``dst := 1``; otherwise only the read happens and
+    ``dst := 0``.  ``mode_r`` / ``mode_w`` are the modes of the read and
+    write part.  CAS may only target atomic locations (checked dynamically
+    against the program's atomics set ``ι``).
+    """
+
+    dst: str
+    loc: str
+    expected: Expr
+    new: Expr
+    mode_r: AccessMode
+    mode_w: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.mode_r not in READ_MODES or self.mode_r is AccessMode.NA:
+            raise ValueError(f"invalid CAS read mode: {self.mode_r}")
+        if self.mode_w not in WRITE_MODES or self.mode_w is AccessMode.NA:
+            raise ValueError(f"invalid CAS write mode: {self.mode_w}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dst} := CAS.{self.mode_r}.{self.mode_w}"
+            f"({self.loc}, {self.expected}, {self.new})"
+        )
+
+
+@dataclass(frozen=True)
+class Skip:
+    """``skip`` — no-op."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``r := e`` — register-only local computation."""
+
+    dst: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.dst} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class Print:
+    """``print(e)`` — emit the externally observable event ``out(v)``."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"print({self.expr})"
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A memory fence (release / acquire / sc)."""
+
+    kind: FenceKind
+
+    def __str__(self) -> str:
+        return f"fence.{self.kind}"
+
+
+Instr = Union[Load, Store, Cas, Skip, Assign, Print, Fence]
+
+
+# ---------------------------------------------------------------------------
+# Terminators and basic blocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Jmp:
+    """``jmp f`` — unconditional jump to block label ``target``."""
+
+    target: str
+
+    def __str__(self) -> str:
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class Be:
+    """``be e, f1, f2`` — branch to ``then_target`` if ``cond`` is nonzero,
+    else to ``else_target``."""
+
+    cond: Expr
+    then_target: str
+    else_target: str
+
+    def __str__(self) -> str:
+        return f"be {self.cond}, {self.then_target}, {self.else_target}"
+
+
+@dataclass(frozen=True)
+class Call:
+    """``call(f, fret)`` — call function ``func``; on return, continue at
+    block label ``ret_label`` of the caller."""
+
+    func: str
+    ret_label: str
+
+    def __str__(self) -> str:
+        return f"call({self.func}, {self.ret_label})"
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return`` — return from the current function (or finish the thread
+    when the call stack is empty)."""
+
+    def __str__(self) -> str:
+        return "return"
+
+
+Terminator = Union[Jmp, Be, Call, Return]
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A basic block: a straight-line instruction sequence plus terminator."""
+
+    instrs: Tuple[Instr, ...]
+    term: Terminator
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "instrs", tuple(self.instrs))
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __str__(self) -> str:
+        lines = [f"  {instr}" for instr in self.instrs]
+        lines.append(f"  {self.term}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Code heaps, code and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CodeHeap:
+    """A function body: a partial map from labels to basic blocks with a
+    designated entry label (paper: ``Cdhp C ∈ Lab ⇀ BBlock``)."""
+
+    blocks: Tuple[Tuple[str, BasicBlock], ...]
+    entry: str
+
+    def __post_init__(self) -> None:
+        blocks = tuple(sorted(dict(self.blocks).items()))
+        object.__setattr__(self, "blocks", blocks)
+        labels = {label for label, _ in blocks}
+        if self.entry not in labels:
+            raise ValueError(f"entry label {self.entry!r} not among blocks {sorted(labels)}")
+        for _, block in blocks:
+            for target in terminator_targets(block.term):
+                if target not in labels:
+                    raise ValueError(f"jump target {target!r} is not a block label")
+
+    @property
+    def block_map(self) -> Dict[str, BasicBlock]:
+        """The label → block mapping as a plain dict."""
+        return dict(self.blocks)
+
+    def __getitem__(self, label: str) -> BasicBlock:
+        for name, block in self.blocks:
+            if name == label:
+                return block
+        raise KeyError(label)
+
+    def __contains__(self, label: str) -> bool:
+        return any(name == label for name, _ in self.blocks)
+
+    def labels(self) -> Tuple[str, ...]:
+        """All block labels, sorted."""
+        return tuple(name for name, _ in self.blocks)
+
+    def instructions(self) -> Iterator[Instr]:
+        """Iterate over every instruction in the code heap."""
+        for _, block in self.blocks:
+            yield from block.instrs
+
+
+def terminator_targets(term: Terminator) -> Tuple[str, ...]:
+    """Intra-function successor labels of a terminator.
+
+    ``Call`` contributes its return label (control eventually resumes
+    there); ``Return`` has no intra-function successor.
+    """
+    if isinstance(term, Jmp):
+        return (term.target,)
+    if isinstance(term, Be):
+        return (term.then_target, term.else_target)
+    if isinstance(term, Call):
+        return (term.ret_label,)
+    if isinstance(term, Return):
+        return ()
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole program ``let (π, ι) in f1 ∥ ... ∥ fn``.
+
+    ``functions`` is the code ``π``; ``atomics`` is the set ``ι`` of atomic
+    variables (every other variable is non-atomic); ``threads`` names the
+    function each thread runs.
+    """
+
+    functions: Tuple[Tuple[str, CodeHeap], ...]
+    atomics: FrozenSet[str]
+    threads: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        functions = tuple(sorted(dict(self.functions).items()))
+        object.__setattr__(self, "functions", functions)
+        object.__setattr__(self, "atomics", frozenset(self.atomics))
+        object.__setattr__(self, "threads", tuple(self.threads))
+        fnames = {name for name, _ in functions}
+        for thread_fn in self.threads:
+            if thread_fn not in fnames:
+                raise ValueError(f"thread entry {thread_fn!r} is not a declared function")
+        for name, heap in functions:
+            for block_label, block in heap.blocks:
+                if isinstance(block.term, Call) and block.term.func not in fnames:
+                    raise ValueError(
+                        f"call target {block.term.func!r} in {name}:{block_label} "
+                        "is not a declared function"
+                    )
+        self._check_access_modes()
+
+    def _check_access_modes(self) -> None:
+        """Static well-formedness: non-atomics use ``na``, atomics never do,
+        and CAS only touches atomic locations (paper Sec. 3)."""
+        for name, heap in self.functions:
+            for instr in heap.instructions():
+                if isinstance(instr, Load):
+                    self._check_mode(name, instr.loc, instr.mode)
+                elif isinstance(instr, Store):
+                    self._check_mode(name, instr.loc, instr.mode)
+                elif isinstance(instr, Cas):
+                    if instr.loc not in self.atomics:
+                        raise ValueError(
+                            f"CAS on non-atomic location {instr.loc!r} in function {name!r}"
+                        )
+
+    def _check_mode(self, fname: str, loc: str, mode: AccessMode) -> None:
+        if loc in self.atomics and mode is AccessMode.NA:
+            raise ValueError(f"non-atomic access to atomic location {loc!r} in {fname!r}")
+        if loc not in self.atomics and mode is not AccessMode.NA:
+            raise ValueError(f"atomic access to non-atomic location {loc!r} in {fname!r}")
+
+    @property
+    def function_map(self) -> Dict[str, CodeHeap]:
+        """The function name → code heap mapping as a plain dict."""
+        return dict(self.functions)
+
+    def function(self, name: str) -> CodeHeap:
+        """Look up a function's code heap by name."""
+        for fname, heap in self.functions:
+            if fname == name:
+                return heap
+        raise KeyError(name)
+
+    def locations(self) -> FrozenSet[str]:
+        """All memory locations mentioned anywhere in the program."""
+        locs = set(self.atomics)
+        for _, heap in self.functions:
+            for instr in heap.instructions():
+                if isinstance(instr, (Load, Store, Cas)):
+                    locs.add(instr.loc)
+        return frozenset(locs)
+
+    def with_functions(self, functions: Mapping[str, CodeHeap]) -> "Program":
+        """A copy of this program with ``functions`` replaced (same ``ι`` and
+        threads) — the shape of an optimizer's output ``let (π', ι) in ...``."""
+        return Program(tuple(functions.items()), self.atomics, self.threads)
+
+    def num_instructions(self) -> int:
+        """Total instruction count over all functions (terminators excluded)."""
+        return sum(len(block) for _, heap in self.functions for _, block in heap.blocks)
+
+
+def instr_uses(instr: Instr) -> FrozenSet[str]:
+    """Registers read by an instruction."""
+    if isinstance(instr, Load):
+        return frozenset()
+    if isinstance(instr, Store):
+        return expr_regs(instr.expr)
+    if isinstance(instr, Cas):
+        return expr_regs(instr.expected) | expr_regs(instr.new)
+    if isinstance(instr, Assign):
+        return expr_regs(instr.expr)
+    if isinstance(instr, Print):
+        return expr_regs(instr.expr)
+    if isinstance(instr, (Skip, Fence)):
+        return frozenset()
+    raise TypeError(f"not an instruction: {instr!r}")
+
+
+def instr_def(instr: Instr) -> Optional[str]:
+    """The register defined by an instruction, if any."""
+    if isinstance(instr, (Load, Cas)):
+        return instr.dst
+    if isinstance(instr, Assign):
+        return instr.dst
+    return None
+
+
+def program_registers(program: Program) -> FrozenSet[str]:
+    """All register names mentioned anywhere in ``program``."""
+    regs: set = set()
+    for _, heap in program.functions:
+        for _, block in heap.blocks:
+            for instr in block.instrs:
+                regs |= instr_uses(instr)
+                defined = instr_def(instr)
+                if defined is not None:
+                    regs.add(defined)
+            term = block.term
+            if isinstance(term, Be):
+                regs |= expr_regs(term.cond)
+    return frozenset(regs)

@@ -1,0 +1,74 @@
+"""32-bit machine integers (paper: ``Val v ∈ Int32``).
+
+CSimpRTL values are 32-bit two's-complement integers.  All arithmetic wraps
+modulo 2**32 and results are normalized into the signed range
+``[-2**31, 2**31 - 1]``, matching C ``int`` semantics on mainstream targets.
+"""
+
+from __future__ import annotations
+
+_BITS = 32
+_MOD = 1 << _BITS
+_SIGN = 1 << (_BITS - 1)
+
+INT32_MIN = -_SIGN
+INT32_MAX = _SIGN - 1
+
+
+class Int32(int):
+    """An ``int`` subclass normalized to signed 32-bit range.
+
+    ``Int32`` instances hash and compare exactly like the plain integers they
+    normalize to, so they can be freely mixed with ``int`` in registers,
+    memories and analysis lattices.  Construction wraps::
+
+        >>> Int32(2**31)
+        Int32(-2147483648)
+        >>> Int32(-1) == -1
+        True
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: int = 0) -> "Int32":
+        wrapped = int(value) & (_MOD - 1)
+        if wrapped >= _SIGN:
+            wrapped -= _MOD
+        return super().__new__(cls, wrapped)
+
+    def __repr__(self) -> str:
+        return f"Int32({int(self)})"
+
+    def __add__(self, other: int) -> "Int32":
+        return Int32(int(self) + int(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: int) -> "Int32":
+        return Int32(int(self) - int(other))
+
+    def __rsub__(self, other: int) -> "Int32":
+        return Int32(int(other) - int(self))
+
+    def __mul__(self, other: int) -> "Int32":
+        return Int32(int(self) * int(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Int32":
+        return Int32(-int(self))
+
+
+def int32_add(a: int, b: int) -> Int32:
+    """Wrapping 32-bit addition."""
+    return Int32(int(a) + int(b))
+
+
+def int32_sub(a: int, b: int) -> Int32:
+    """Wrapping 32-bit subtraction."""
+    return Int32(int(a) - int(b))
+
+
+def int32_mul(a: int, b: int) -> Int32:
+    """Wrapping 32-bit multiplication."""
+    return Int32(int(a) * int(b))

@@ -1,0 +1,65 @@
+"""Litmus tests and program corpora.
+
+:mod:`repro.litmus.library` holds every example program from the paper
+(SB, LB, Fig. 1, Fig. 4, Fig. 5, Fig. 15, Fig. 16, Reorder, ...) plus the
+classic weak-memory litmus suite; :mod:`repro.litmus.generator` produces
+random write-write-race-free programs for corpus-scale translation
+validation of the optimizers (experiment E-THM66).
+"""
+
+from repro.litmus.library import (
+    LITMUS_SUITE,
+    LitmusTest,
+    cas_exclusivity,
+    corr,
+    cowr,
+    iriw_rlx,
+    sb_with_sc_fences,
+    two_plus_two_w,
+    fig1_source,
+    fig1_target,
+    fig1_program,
+    fig4_program,
+    fig5_program,
+    fig15_program,
+    fig16_program,
+    lb,
+    lb_oota,
+    mp_relacq,
+    mp_rlx,
+    reorder_program,
+    sb,
+)
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.spec import LitmusSpec, SpecResult, check_spec, parse_spec, run_spec_file
+
+__all__ = [
+    "GeneratorConfig",
+    "LitmusSpec",
+    "SpecResult",
+    "check_spec",
+    "parse_spec",
+    "run_spec_file",
+    "LITMUS_SUITE",
+    "LitmusTest",
+    "cas_exclusivity",
+    "corr",
+    "cowr",
+    "iriw_rlx",
+    "sb_with_sc_fences",
+    "two_plus_two_w",
+    "fig1_program",
+    "fig1_source",
+    "fig1_target",
+    "fig15_program",
+    "fig16_program",
+    "fig4_program",
+    "fig5_program",
+    "lb",
+    "lb_oota",
+    "mp_relacq",
+    "mp_rlx",
+    "random_wwrf_program",
+    "reorder_program",
+    "sb",
+]

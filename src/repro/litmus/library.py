@@ -1,0 +1,540 @@
+"""The litmus-test library: every example program in the paper plus the
+classic weak-memory suite.
+
+Each program prints the registers the paper annotates, so behavior sets
+directly encode the paper's "annotated outcome" claims.  Programs with
+loops take a small iteration bound parameter (the paper's Fig. 1 uses 10
+and Fig. 5 uses 8; behavior *shapes* are identical for any bound ≥ 1, and
+exploration cost is exponential in it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Const,
+    Fence,
+    FenceKind,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Store,
+)
+
+NA = AccessMode.NA
+RLX = AccessMode.RLX
+ACQ = AccessMode.ACQ
+REL = AccessMode.REL
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus program with exploration hints.
+
+    ``needs_promises`` marks tests whose characteristic outcome requires
+    promise steps (LB-style); the equivalence/benchmark harnesses give
+    those a :class:`~repro.semantics.promises.SyntacticPromises` oracle.
+    ``promise_budget`` suggests how many promises per thread suffice to
+    realize all behaviors (used for Thm. 4.1 equivalence checks, where the
+    non-preemptive side needs to pre-promise a block's writes).
+    """
+
+    name: str
+    program: Program
+    description: str
+    needs_promises: bool = False
+    promise_budget: int = 2
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+# ---------------------------------------------------------------------------
+# Classic litmus tests (paper Sec. 2.1 and 3)
+# ---------------------------------------------------------------------------
+
+
+def sb() -> Program:
+    """Store buffering (paper SB): ``r1 = r2 = 0`` is allowed in PS."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX), Load("r1", "y", RLX), Print(Reg("r1"))],
+            [Store("y", Const(1), RLX), Load("r2", "x", RLX), Print(Reg("r2"))],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+def lb() -> Program:
+    """Load buffering (paper LB): ``r1 = r2 = 1`` is allowed via promises."""
+    return straightline_program(
+        [
+            [Load("r1", "x", RLX), Store("y", Const(1), RLX), Print(Reg("r1"))],
+            [Load("r2", "y", RLX), Store("x", Reg("r2"), RLX), Print(Reg("r2"))],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+def lb_oota() -> Program:
+    """The out-of-thin-air variant of LB (``y := r1``): outcome 1 must be
+    forbidden — ``t1`` cannot certify the promise ``y := 1`` in isolation."""
+    return straightline_program(
+        [
+            [Load("r1", "x", RLX), Store("y", Reg("r1"), RLX), Print(Reg("r1"))],
+            [Load("r2", "y", RLX), Store("x", Reg("r2"), RLX), Print(Reg("r2"))],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+def mp_relacq() -> Program:
+    """Message passing with release/acquire: the reader that sees the flag
+    must see the payload (prints 1 only)."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("writer") as f:
+        b = f.block("entry")
+        b.store("data", 1, NA)
+        b.store("flag", 1, REL)
+        b.ret()
+    with pb.function("reader") as f:
+        b = f.block("entry")
+        b.load("r1", "flag", ACQ)
+        b.be("r1", "hit", "end")
+        h = f.block("hit")
+        h.load("r2", "data", NA)
+        h.print_("r2")
+        h.jmp("end")
+        f.block("end").ret()
+    pb.thread("writer").thread("reader")
+    return pb.build()
+
+
+def mp_rlx() -> Program:
+    """Message passing with relaxed flag accesses: stale payload (print 0)
+    becomes possible — no synchronization."""
+    pb = ProgramBuilder(atomics={"flag", "data"})
+    with pb.function("writer") as f:
+        b = f.block("entry")
+        b.store("data", 1, RLX)
+        b.store("flag", 1, RLX)
+        b.ret()
+    with pb.function("reader") as f:
+        b = f.block("entry")
+        b.load("r1", "flag", RLX)
+        b.be("r1", "hit", "end")
+        h = f.block("hit")
+        h.load("r2", "data", RLX)
+        h.print_("r2")
+        h.jmp("end")
+        f.block("end").ret()
+    pb.thread("writer").thread("reader")
+    return pb.build()
+
+
+def corr() -> Program:
+    """Coherence of read-read (CoRR): two relaxed reads of the same location
+    by one thread may not observe writes out of timestamp order."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX)],
+            [Store("x", Const(2), RLX)],
+            [
+                Load("r1", "x", RLX),
+                Load("r2", "x", RLX),
+                Print(Reg("r1")),
+                Print(Reg("r2")),
+            ],
+        ],
+        atomics={"x"},
+    )
+
+
+def cas_exclusivity() -> Program:
+    """Two CAS from the same initial write cannot both succeed (paper
+    Sec. 3): the outputs never contain ``(1, 1)``."""
+    pb = ProgramBuilder(atomics={"x"})
+    for name in ("t1", "t2"):
+        with pb.function(name) as f:
+            b = f.block("entry")
+            b.cas(f"r_{name}", "x", 0, 1, RLX, RLX)
+            b.print_(f"r_{name}")
+            b.ret()
+    pb.thread("t1").thread("t2")
+    return pb.build()
+
+
+def two_plus_two_w() -> Program:
+    """2+2W: two threads each write both locations in opposite orders; the
+    outcome where both locations end on value 1 (each thread's *first*
+    write last) is allowed under relaxed atomics."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX), Store("y", Const(2), RLX)],
+            [Store("y", Const(1), RLX), Store("x", Const(2), RLX)],
+            [
+                Load("r1", "x", RLX),
+                Load("r2", "y", RLX),
+                Print(Reg("r1")),
+                Print(Reg("r2")),
+            ],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+def iriw_rlx() -> Program:
+    """IRIW with relaxed accesses: the two readers may disagree on the
+    order of the independent writes.
+
+    Each reader emits a single combined output ``10*first + second`` so
+    outcomes stay attributable per thread even though prints from
+    different threads interleave in the trace; the characteristic
+    disagreement is both readers printing 10 (new-then-old)."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX)],
+            [Store("y", Const(1), RLX)],
+            [
+                Load("r1", "x", RLX),
+                Load("r2", "y", RLX),
+                Print(binop("+", binop("*", "r1", 10), Reg("r2"))),
+            ],
+            [
+                Load("r3", "y", RLX),
+                Load("r4", "x", RLX),
+                Print(binop("+", binop("*", "r3", 10), Reg("r4"))),
+            ],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+def cowr() -> Program:
+    """Coherence write-read: after writing x, the same thread's relaxed
+    read may not observe an older message."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX)],
+            [Store("x", Const(2), RLX), Load("r", "x", RLX), Print(Reg("r"))],
+        ],
+        atomics={"x"},
+    )
+
+
+def promise_via_cas() -> Program:
+    """The capped-memory motivation (paper Sec. 2.1): t1 can fulfill a
+    promise of ``z := 7`` only by winning CAS(x, 0→1); t2 runs the
+    competing CAS and prints what it read from ``z`` when it won.  Full
+    PS2.1 forbids ``out(7)``; certification against the *raw* memory
+    (the ablation) admits it."""
+    pb = ProgramBuilder(atomics={"x"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.cas("r", "x", 0, 1, RLX, RLX)
+        b.be("r", "hit", "end")
+        hit = f.block("hit")
+        hit.store("z", 7, NA)
+        hit.jmp("end")
+        f.block("end").ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("rz", "z", NA)
+        b.cas("s", "x", 0, 1, RLX, RLX)
+        b.be("s", "won", "end")
+        won = f.block("won")
+        won.print_("rz")
+        won.jmp("end")
+        f.block("end").ret()
+    pb.thread("t1").thread("t2")
+    return pb.build()
+
+
+def sb_with_sc_fences() -> Program:
+    """SB with SC fences between the write and the read: the global-SC-view
+    exchange totally orders the fences, so (0,0) is forbidden — the later
+    fence's thread must observe the earlier thread's write."""
+    return straightline_program(
+        [
+            [Store("x", Const(1), RLX), Fence(FenceKind.SC), Load("r1", "y", RLX), Print(Reg("r1"))],
+            [Store("y", Const(1), RLX), Fence(FenceKind.SC), Load("r2", "x", RLX), Print(Reg("r2"))],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paper Fig. 1 — LICM across an acquire read is unsound; across relaxed, sound
+# ---------------------------------------------------------------------------
+
+
+def fig1_source(read_mode: AccessMode = ACQ, iterations: int = 1) -> Program:
+    """``foo()`` of Fig. 1 (single thread): the read of ``y`` stays inside
+    the loop.  ``read_mode`` is the mode of the spin read of ``x``."""
+    pb = ProgramBuilder(atomics={"x"})
+    _fig1_foo(pb, read_mode, iterations, hoisted=False)
+    _fig1_g(pb)
+    pb.thread("foo").thread("g")
+    return pb.build()
+
+
+def fig1_target(read_mode: AccessMode = ACQ, iterations: int = 1) -> Program:
+    """``foo_opt()`` of Fig. 1: the read of ``y`` hoisted above the loop."""
+    pb = ProgramBuilder(atomics={"x"})
+    _fig1_foo(pb, read_mode, iterations, hoisted=True)
+    _fig1_g(pb)
+    pb.thread("foo").thread("g")
+    return pb.build()
+
+
+def fig1_program(
+    read_mode: AccessMode = ACQ, iterations: int = 1, hoisted: bool = False
+) -> Program:
+    """Either side of Fig. 1 composed with ``g()``."""
+    return fig1_target(read_mode, iterations) if hoisted else fig1_source(read_mode, iterations)
+
+
+def _fig1_foo(pb: ProgramBuilder, read_mode: AccessMode, iterations: int, hoisted: bool) -> None:
+    with pb.function("foo") as f:
+        entry = f.block("entry")
+        entry.assign("r1", 0)
+        entry.assign("r2", 0)
+        if hoisted:
+            entry.load("r2", "y", NA)
+        entry.jmp("loop")
+        loop = f.block("loop")
+        loop.be(binop("<", "r1", iterations), "spin", "end")
+        spin = f.block("spin")
+        spin.load("rx", "x", read_mode)
+        spin.be(binop("==", "rx", 0), "spin", "body")
+        body = f.block("body")
+        if not hoisted:
+            body.load("r2", "y", NA)
+        body.assign("r1", binop("+", "r1", 1))
+        body.jmp("loop")
+        end = f.block("end")
+        end.print_("r2")
+        end.ret()
+
+
+def _fig1_g(pb: ProgramBuilder) -> None:
+    with pb.function("g") as f:
+        b = f.block("entry")
+        b.store("y", 1, NA)
+        b.store("x", 1, REL)
+        b.ret()
+
+
+# ---------------------------------------------------------------------------
+# Paper Fig. 4 — the promise-certification subtlety of ww-race freedom
+# ---------------------------------------------------------------------------
+
+
+def fig4_program() -> Program:
+    """Fig. 4: looks like it has a ww-race on ``z`` via a promise of
+    ``x := 1``, but the promise becomes unfulfillable exactly on the racy
+    path, so the program is ww-race-free."""
+    pb = ProgramBuilder(atomics={"x", "y"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r1", "y", RLX)
+        b.be(binop("==", "r1", 1), "then", "else_")
+        t = f.block("then")
+        t.store("z", 1, NA)
+        t.jmp("end")
+        e = f.block("else_")
+        e.store("x", 1, RLX)
+        e.jmp("end")
+        f.block("end").ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r2", "x", RLX)
+        b.be(binop("==", "r2", 1), "then", "end")
+        t = f.block("then")
+        t.store("z", 2, NA)
+        t.store("y", 1, RLX)
+        t.jmp("end")
+        f.block("end").ret()
+    pb.thread("t1").thread("t2")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Paper Fig. 5 — LICM's first pass LInv introduces read-write races
+# ---------------------------------------------------------------------------
+
+
+def fig5_program(stage: str = "source", iterations: int = 2) -> Program:
+    """Fig. 5(b): the guarded loop composed with ``g()``.
+
+    ``stage`` selects the code run by thread 1: ``"source"`` (Csrc — reads
+    ``x`` inside the loop only), ``"linv"`` (Cm — LInv added the hoisted
+    redundant read ``r := x``), or ``"cse"`` (Ctgt — CSE replaced the loop
+    body read with the register).
+    """
+    if stage not in ("source", "linv", "cse"):
+        raise ValueError(f"unknown stage {stage!r}")
+    pb = ProgramBuilder(atomics={"y"})
+    with pb.function("t1") as f:
+        entry = f.block("entry")
+        entry.load("r0", "y", ACQ)
+        entry.be(binop("==", "r0", 1), "guarded", "end")
+        guarded = f.block("guarded")
+        # r1 := z is also the loop counter: after the acquire-release
+        # synchronization r1 must be 9, so the source never enters the loop
+        # and never reads x — that is the paper's whole point.
+        guarded.load("r1", "z", NA)
+        if stage in ("linv", "cse"):
+            guarded.load("r", "x", NA)
+        guarded.jmp("loop")
+        loop = f.block("loop")
+        loop.be(binop("<", "r1", iterations), "body", "after")
+        body = f.block("body")
+        if stage == "cse":
+            body.assign("r2", Reg("r"))
+        else:
+            body.load("r2", "x", NA)
+        body.assign("r1", binop("+", "r1", 1))
+        body.jmp("loop")
+        after = f.block("after")
+        after.print_("r1")
+        after.print_("r2")
+        after.jmp("end")
+        f.block("end").ret()
+    with pb.function("g") as f:
+        b = f.block("entry")
+        b.store("z", 9, NA)
+        b.store("y", 1, REL)
+        b.store("x", 5, NA)
+        b.ret()
+    pb.thread("t1").thread("g")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Paper Fig. 15 — DCE across a release write is unsound
+# ---------------------------------------------------------------------------
+
+
+def fig15_program(eliminated: bool = False) -> Program:
+    """Fig. 15: ``y := 2; x.rel := 1; y := 4`` with the observer ``g()``.
+
+    With ``eliminated=True`` the first write to ``y`` has been (incorrectly)
+    removed — the observer may then print ``y``'s initial value 0, which the
+    source never allows (it prints 2 or 4 only).
+    """
+    pb = ProgramBuilder(atomics={"x"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        if eliminated:
+            b.skip()
+        else:
+            b.store("y", 2, NA)
+        b.store("x", 1, REL)
+        b.store("y", 4, NA)
+        b.ret()
+    with pb.function("g") as f:
+        b = f.block("entry")
+        b.load("r1", "x", ACQ)
+        b.be(binop("==", "r1", 1), "hit", "end")
+        h = f.block("hit")
+        h.load("r2", "y", NA)
+        h.print_("r2")
+        h.jmp("end")
+        f.block("end").ret()
+    pb.thread("t1").thread("g")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Paper Fig. 16 / equation (1) — the DCE lockstep example
+# ---------------------------------------------------------------------------
+
+
+def fig16_program(eliminated: bool = False, observer: bool = True) -> Program:
+    """``x := 1; x := 2`` vs ``skip; x := 2`` (single writer thread),
+    optionally with a racy relaxed observer printing what it sees."""
+    pb = ProgramBuilder(atomics=set())
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        if eliminated:
+            b.skip()
+        else:
+            b.store("x", 1, NA)
+        b.store("x", 2, NA)
+        b.load("rf", "x", NA)
+        b.print_("rf")
+        b.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Paper Sec. 2.3 — the Reorder transformation
+# ---------------------------------------------------------------------------
+
+
+def reorder_program(reordered: bool = False) -> Program:
+    """``r := x.na; y.na := 2`` (source) vs ``y.na := 2; r := x.na``
+    (target), with a racy environment thread writing ``x`` and reading
+    ``y`` — the paper's example of a transformation that is sound even for
+    racy programs."""
+    pb = ProgramBuilder(atomics=set())
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        if reordered:
+            b.store("y", 2, NA)
+            b.load("r", "x", NA)
+        else:
+            b.load("r", "x", NA)
+            b.store("y", 2, NA)
+        b.print_("r")
+        b.ret()
+    with pb.function("env") as f:
+        b = f.block("entry")
+        b.store("x", 1, NA)
+        b.load("s", "y", NA)
+        b.print_("s")
+        b.ret()
+    pb.thread("t1").thread("env")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+
+def _suite() -> Tuple[LitmusTest, ...]:
+    return (
+        LitmusTest("SB", sb(), "store buffering: (0,0) allowed", needs_promises=False),
+        LitmusTest("LB", lb(), "load buffering: (1,1) via promises", needs_promises=True),
+        LitmusTest(
+            "LB-OOTA", lb_oota(), "out-of-thin-air: (1,1) forbidden", needs_promises=True
+        ),
+        LitmusTest("MP-relacq", mp_relacq(), "message passing, rel/acq: no stale payload"),
+        LitmusTest("MP-rlx", mp_rlx(), "message passing, relaxed: stale payload allowed"),
+        LitmusTest("CoRR", corr(), "read-read coherence per location"),
+        LitmusTest("CoWR", cowr(), "write-read coherence per location"),
+        LitmusTest("2+2W", two_plus_two_w(), "two writers, opposite orders",
+                   needs_promises=False, promise_budget=0),
+        LitmusTest("CAS-excl", cas_exclusivity(), "two CAS cannot both succeed"),
+        LitmusTest("Fig4", fig4_program(), "ww-RF despite apparent promise race",
+                   needs_promises=True, promise_budget=1),
+        LitmusTest("Reorder-src", reorder_program(False), "Sec 2.3 source, racy env"),
+        LitmusTest("Reorder-tgt", reorder_program(True), "Sec 2.3 target, racy env",
+                   needs_promises=True, promise_budget=1),
+        LitmusTest("Fig16-src", fig16_program(False), "x:=1; x:=2 single thread"),
+        LitmusTest("Fig15-src", fig15_program(False), "DCE release example, source"),
+        LitmusTest("Fig15-bad", fig15_program(True), "DCE release example, bad target"),
+    )
+
+
+#: The default litmus suite used by the Thm. 4.1 / Lm. 5.1 equivalence
+#: experiments and the benchmark harness.
+LITMUS_SUITE: Dict[str, LitmusTest] = {test.name: test for test in _suite()}

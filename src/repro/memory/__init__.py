@@ -1,0 +1,32 @@
+"""The PS2.1 memory substrate (paper Fig. 8 and Sec. 3).
+
+Memory in the promising semantics keeps the *whole history* of writes as
+timestamped messages.  This package implements:
+
+* dense rational timestamps and timestamp intervals
+  (:mod:`repro.memory.timestamps`);
+* per-location time maps and thread views (:mod:`repro.memory.timemap`);
+* concrete write messages and reservations (:mod:`repro.memory.message`);
+* the memory itself with gap enumeration, disjointness checking, and the
+  capped-memory construction used by promise certification
+  (:mod:`repro.memory.memory`).
+"""
+
+from repro.memory.timestamps import TS_ZERO, Timestamp, midpoint
+from repro.memory.timemap import BOTTOM_VIEW, TimeMap, View
+from repro.memory.message import Message, Reservation, MemoryItem
+from repro.memory.memory import Memory, capped_memory
+
+__all__ = [
+    "BOTTOM_VIEW",
+    "Memory",
+    "MemoryItem",
+    "Message",
+    "Reservation",
+    "TS_ZERO",
+    "TimeMap",
+    "Timestamp",
+    "View",
+    "capped_memory",
+    "midpoint",
+]

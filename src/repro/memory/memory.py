@@ -1,0 +1,246 @@
+"""The PS2.1 memory: a set of messages and reservations (paper Fig. 8).
+
+The memory keeps every historical write.  This module provides the
+disjointness-checked immutable memory, *gap* enumeration (the free timestamp
+intervals into which a new write may be placed), canonical interval
+placement for new writes, and the **capped memory** construction used by
+promise certification (paper Sec. 3, "Promise certification").
+
+Canonical placement
+-------------------
+
+PS2.1 lets a write pick any unoccupied interval, which is an infinite choice
+over the dense rationals.  Only the *relative order* of messages is ever
+observable (reads compare timestamps against views; views only ever hold
+timestamps of existing messages), so for exhaustive exploration it suffices
+to enumerate one representative placement per distinguishable position:
+
+* inside each free gap ``(lo, hi)``: the interval ``(lo, mid(lo, hi)]`` —
+  note the *upper half* of the gap stays free, so a later write can still be
+  placed either before or after this one inside the same original gap;
+* past the end: ``(t_max, t_max + 1]``.
+
+This is the finite-branching substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lang.values import Int32
+from repro.memory.message import MemoryItem, Message, Reservation, init_message
+from repro.memory.timemap import BOTTOM_VIEW, TimeMap
+from repro.memory.timestamps import TS_ZERO, Timestamp, midpoint, successor
+
+
+@dataclass(frozen=True)
+class Memory:
+    """An immutable, hashable set of memory items with disjoint intervals.
+
+    ``sc_view`` is the global SC time map of full PS2.1: SC fences join
+    their thread's view with it and publish back (see
+    ``repro.semantics.thread._fence_steps``).  It lives here because it is
+    part of the *shared* state exactly like the message set; every
+    structural operation below preserves it.
+    """
+
+    items: Tuple[MemoryItem, ...]
+    sc_view: "TimeMap" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.items, key=lambda m: (m.var, m.to, m.frm)))
+        object.__setattr__(self, "items", ordered)
+        if self.sc_view is None:
+            from repro.memory.timemap import BOTTOM_TIMEMAP
+
+            object.__setattr__(self, "sc_view", BOTTOM_TIMEMAP)
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def initial(locations: Sequence[str]) -> "Memory":
+        """The initial memory ``M0 = {⟨x: 0@(0,0], V⊥⟩ | x ∈ locations}``."""
+        return Memory(tuple(init_message(var) for var in sorted(set(locations))))
+
+    def with_sc_view(self, sc_view: "TimeMap") -> "Memory":
+        """A copy with the global SC view replaced (SC fence steps)."""
+        return Memory(self.items, sc_view)
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, item: MemoryItem) -> bool:
+        return item in self.items
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[MemoryItem]:
+        return iter(self.items)
+
+    def per_loc(self, var: str) -> Tuple[MemoryItem, ...]:
+        """All items for ``var``, sorted by "to"-timestamp."""
+        return tuple(m for m in self.items if m.var == var)
+
+    def concrete(self, var: Optional[str] = None) -> Tuple[Message, ...]:
+        """Concrete messages (optionally restricted to one location)."""
+        return tuple(
+            m
+            for m in self.items
+            if isinstance(m, Message) and (var is None or m.var == var)
+        )
+
+    def locations(self) -> Tuple[str, ...]:
+        """All locations that have at least one item."""
+        return tuple(sorted({m.var for m in self.items}))
+
+    def latest_ts(self, var: str) -> Timestamp:
+        """The greatest "to"-timestamp among ``var``'s items (0 if none)."""
+        items = self.per_loc(var)
+        return items[-1].to if items else TS_ZERO
+
+    def message_at(self, var: str, to: Timestamp) -> Optional[Message]:
+        """The concrete message of ``var`` with the given "to"-timestamp."""
+        for m in self.per_loc(var):
+            if m.to == to and isinstance(m, Message):
+                return m
+        return None
+
+    def readable(self, var: str, floor: Timestamp) -> Tuple[Message, ...]:
+        """Concrete messages of ``var`` a thread with view-floor ``floor``
+        may read (``to ≥ floor``)."""
+        return tuple(m for m in self.concrete(var) if m.to >= floor)
+
+    # -- interval arithmetic ---------------------------------------------------
+
+    def _disjoint(self, item: MemoryItem) -> bool:
+        """Whether ``item``'s interval is disjoint from all existing items of
+        the same location.  Intervals are half-open ``(frm, to]``; the
+        zero-length initialization interval ``(0, 0]`` never conflicts."""
+        if item.frm == item.to:
+            return all(not (m.frm == item.frm and m.to == item.to) for m in self.per_loc(item.var))
+        for m in self.per_loc(item.var):
+            if m.frm == m.to:
+                continue
+            if item.frm < m.to and m.frm < item.to:
+                return False
+        return True
+
+    def add(self, item: MemoryItem) -> "Memory":
+        """A copy with ``item`` inserted; raises on interval overlap."""
+        if not self._disjoint(item):
+            raise ValueError(f"interval overlap inserting {item}")
+        return Memory(self.items + (item,), self.sc_view)
+
+    def try_add(self, item: MemoryItem) -> Optional["Memory"]:
+        """A copy with ``item`` inserted, or ``None`` on interval overlap."""
+        if not self._disjoint(item):
+            return None
+        return Memory(self.items + (item,), self.sc_view)
+
+    def remove(self, item: MemoryItem) -> "Memory":
+        """A copy with ``item`` removed; raises if absent (used by cancel)."""
+        if item not in self.items:
+            raise ValueError(f"cannot remove absent item {item}")
+        remaining = list(self.items)
+        remaining.remove(item)
+        return Memory(tuple(remaining), self.sc_view)
+
+    def replace(self, old: MemoryItem, new: MemoryItem) -> "Memory":
+        """Atomically swap ``old`` for ``new`` (used by promise lowering)."""
+        return self.remove(old).add(new)
+
+    def gaps(self, var: str) -> Tuple[Tuple[Timestamp, Timestamp], ...]:
+        """The free open gaps ``(lo, hi)`` between ``var``'s intervals.
+
+        Gaps before the first item and between consecutive items are
+        returned; the unbounded region past the last item is *not* (callers
+        use :meth:`latest_ts` + ``successor`` for appends).
+        """
+        out: List[Tuple[Timestamp, Timestamp]] = []
+        prev_to = TS_ZERO
+        for m in self.per_loc(var):
+            if m.frm > prev_to:
+                out.append((prev_to, m.frm))
+            prev_to = max(prev_to, m.to)
+        return tuple(out)
+
+    def candidate_intervals(
+        self, var: str, floor: Timestamp, leave_gaps: bool = False
+    ) -> Tuple[Tuple[Timestamp, Timestamp], ...]:
+        """Canonical ``(frm, to]`` placements for a new write to ``var`` by a
+        thread whose relaxed view of ``var`` is ``floor``.
+
+        PS2.1 requires ``to`` strictly above ``floor`` and the interval
+        disjoint from existing items.  One representative is produced per
+        free gap (its lower half), plus the append position.
+
+        With ``leave_gaps`` a second representative per position is added
+        whose "from" sits strictly above the gap's base, leaving an unused
+        interval underneath.  Gap-leaving placements are observationally
+        equivalent to the plain ones (only relative message order is
+        visible), so ordinary exploration omits them; the simulation
+        checker's *source* side needs them to establish ``I_dce``'s
+        unused-interval condition (paper Sec. 7.1).
+        """
+        candidates: List[Tuple[Timestamp, Timestamp]] = []
+        for lo, hi in self.gaps(var):
+            to = midpoint(lo, hi)
+            if to > floor:
+                candidates.append((lo, to))
+                if leave_gaps:
+                    candidates.append((midpoint(lo, to), to))
+        last = self.latest_ts(var)
+        to = successor(last)
+        if to > floor:
+            candidates.append((last, to))
+            if leave_gaps:
+                candidates.append((midpoint(last, to), to))
+        return tuple(candidates)
+
+    def cas_interval(
+        self, var: str, read_to: Timestamp
+    ) -> Optional[Tuple[Timestamp, Timestamp]]:
+        """The canonical placement for a CAS write that read the message with
+        "to"-timestamp ``read_to``: the new interval must start exactly at
+        ``read_to``.  ``None`` if that position is already occupied."""
+        items = self.per_loc(var)
+        following = [m for m in items if m.frm >= read_to and m.to > read_to]
+        if not following:
+            return (read_to, successor(read_to))
+        nxt = min(following, key=lambda m: m.frm)
+        if nxt.frm == read_to:
+            return None
+        return (read_to, midpoint(read_to, nxt.frm))
+
+    # -- capped memory ---------------------------------------------------------
+
+    def cap(self, promises: "Memory") -> "Memory":
+        """The capped memory ``M̂`` (paper Sec. 3).
+
+        Two steps: (1) fill every gap between the timestamp intervals of the
+        same location with reservations; (2) for every location insert the
+        cap reservation ``⟨x: (t, t+1]⟩`` past the latest message.
+
+        ``promises`` is the certifying thread's promise set: the paper's
+        construction caps the *whole* memory, which includes the thread's
+        own outstanding promises (they are in ``M`` already); the argument
+        is accepted so alternative cap styles can exclude them in
+        ablations — pass ``Memory(())`` for the paper's behavior.
+        """
+        capped = self
+        for var in self.locations():
+            for lo, hi in self.gaps(var):
+                if not any(p.var == var and p.frm <= lo and hi <= p.to for p in promises):
+                    capped = capped.add(Reservation(var, lo, hi))
+            last = capped.latest_ts(var)
+            capped = capped.add(Reservation(var, last, successor(last)))
+        return capped
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(m) for m in self.items) + "}"
+
+
+def capped_memory(memory: Memory) -> Memory:
+    """The paper's capped memory ``M̂`` of ``memory``."""
+    return memory.cap(Memory(()))

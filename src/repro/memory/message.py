@@ -1,0 +1,87 @@
+"""Messages and reservations (paper Fig. 8).
+
+A concrete :class:`Message` ``⟨x: v@(f, t], V⟩`` records a write of value
+``v`` to location ``x`` over the timestamp interval ``(f, t]`` with message
+view ``V`` (nontrivial only for release writes).  A :class:`Reservation`
+``⟨x: (f, t]⟩`` claims a timestamp interval without writing a value; threads
+use reservations to protect intervals they plan to use, and the capped
+memory is built out of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.lang.values import Int32
+from repro.memory.timemap import BOTTOM_VIEW, View
+from repro.memory.timestamps import Timestamp
+
+
+@dataclass(frozen=True)
+class Message:
+    """A concrete write message ``⟨var: value@(frm, to], view⟩``.
+
+    The "to"-timestamp identifies the message; the "from"-timestamp makes
+    the interval, which exists to forbid two successful CAS operations from
+    reading the same write (their intervals would overlap).  ``view`` is the
+    message view: the writer's view for release writes, ``V⊥`` for
+    non-atomic and relaxed writes.
+    """
+
+    var: str
+    value: Int32
+    frm: Timestamp
+    to: Timestamp
+    view: View = BOTTOM_VIEW
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+        if not (self.frm <= self.to):
+            raise ValueError(f"bad interval ({self.frm}, {self.to}]")
+        if self.frm == self.to and self.to != 0:
+            raise ValueError("only the initialization message may have an empty interval")
+
+    @property
+    def is_reservation(self) -> bool:
+        return False
+
+    @property
+    def is_concrete(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"<{self.var}: {int(self.value)}@({self.frm}, {self.to}]>"
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A reservation ``⟨var: (frm, to]⟩`` — an interval claim, no value."""
+
+    var: str
+    frm: Timestamp
+    to: Timestamp
+
+    def __post_init__(self) -> None:
+        if not (self.frm < self.to):
+            raise ValueError(f"bad reservation interval ({self.frm}, {self.to}]")
+
+    @property
+    def is_reservation(self) -> bool:
+        return True
+
+    @property
+    def is_concrete(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"<{self.var}: ({self.frm}, {self.to}]>"
+
+
+#: A memory item is either a concrete message or a reservation.
+MemoryItem = Union[Message, Reservation]
+
+
+def init_message(var: str) -> Message:
+    """The initialization message ``⟨x: 0@(0, 0], V⊥⟩``."""
+    return Message(var, Int32(0), Timestamp(0), Timestamp(0), BOTTOM_VIEW)

@@ -1,0 +1,136 @@
+"""Time maps and thread views (paper Fig. 8).
+
+A :class:`TimeMap` maps each variable to the timestamp of the most recent
+write observed for it (``T ∈ Var → Time``, defaulting to 0).  A thread
+:class:`View` bundles two time maps: ``tna`` governing non-atomic reads and
+``trlx`` governing relaxed/acquire reads.
+
+Both types are immutable and hashable — they appear inside machine states
+that are memoized during exhaustive exploration.  Time maps are stored
+sparsely: variables at timestamp 0 are not represented, so the bottom map is
+the empty tuple regardless of the variable universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.memory.timestamps import TS_ZERO, Timestamp
+
+
+@dataclass(frozen=True)
+class TimeMap:
+    """A sparse, immutable ``Var → Time`` map (absent vars are at 0)."""
+
+    entries: Tuple[Tuple[str, Timestamp], ...] = ()
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(
+            sorted((var, t) for var, t in dict(self.entries).items() if t != TS_ZERO)
+        )
+        object.__setattr__(self, "entries", cleaned)
+
+    @staticmethod
+    def of(mapping: Mapping[str, Timestamp]) -> "TimeMap":
+        """Build a time map from a plain dict."""
+        return TimeMap(tuple(mapping.items()))
+
+    def get(self, var: str) -> Timestamp:
+        """``T(x)`` — the recorded timestamp for ``var`` (0 if absent)."""
+        for name, t in self.entries:
+            if name == var:
+                return t
+        return TS_ZERO
+
+    def set(self, var: str, t: Timestamp) -> "TimeMap":
+        """A copy with ``var`` mapped to ``t``."""
+        items = dict(self.entries)
+        items[var] = t
+        return TimeMap(tuple(items.items()))
+
+    def bump(self, var: str, t: Timestamp) -> "TimeMap":
+        """A copy with ``var`` raised to at least ``t`` (no-op if already ≥)."""
+        return self if self.get(var) >= t else self.set(var, t)
+
+    def join(self, other: "TimeMap") -> "TimeMap":
+        """Pointwise maximum ``T1 ⊔ T2``."""
+        items: Dict[str, Timestamp] = dict(self.entries)
+        for var, t in other.entries:
+            if items.get(var, TS_ZERO) < t:
+                items[var] = t
+        return TimeMap(tuple(items.items()))
+
+    def leq(self, other: "TimeMap") -> bool:
+        """Pointwise order ``T1 ≤ T2``."""
+        return all(other.get(var) >= t for var, t in self.entries)
+
+    def vars(self) -> Tuple[str, ...]:
+        """Variables with a nonzero recorded timestamp."""
+        return tuple(var for var, _ in self.entries)
+
+    def __str__(self) -> str:
+        if not self.entries:
+            return "{⊥}"
+        inner = ", ".join(f"{var}@{t}" for var, t in self.entries)
+        return "{" + inner + "}"
+
+
+#: The bottom time map ``T0 = {x ↦ 0 | x ∈ Var}``.
+BOTTOM_TIMEMAP = TimeMap()
+
+
+@dataclass(frozen=True)
+class View:
+    """A thread view ``V = (T_na, T_rlx)`` (paper Fig. 8).
+
+    ``tna`` bounds non-atomic reads, ``trlx`` bounds relaxed and acquire
+    reads.  The semantics maintains the invariant ``tna ≤ trlx`` for thread
+    views (a non-atomic read may not travel further back than atomic
+    knowledge allows); message views of release writes record the writer's
+    full view.
+    """
+
+    tna: TimeMap = BOTTOM_TIMEMAP
+    trlx: TimeMap = BOTTOM_TIMEMAP
+
+    def join(self, other: "View") -> "View":
+        """``V1 ⊔ V2`` — pointwise join of both components."""
+        return View(self.tna.join(other.tna), self.trlx.join(other.trlx))
+
+    def bump_write(self, var: str, t: Timestamp) -> "View":
+        """Record that this thread wrote ``var`` at ``t``: both components
+        rise (the write is the thread's newest knowledge of ``var``)."""
+        return View(self.tna.bump(var, t), self.trlx.bump(var, t))
+
+    def bump_read_na(self, var: str, t: Timestamp) -> "View":
+        """Record a non-atomic read of ``var`` at ``t``: only ``trlx`` rises
+        (paper Sec. 3: '... or just ``T_rlx`` if ``or = na``').
+
+        The read itself was *checked* against ``tna``; leaving ``tna``
+        untouched is what makes consecutive racy non-atomic reads free to
+        observe older messages, while raising ``trlx`` forbids later atomic
+        reads from travelling behind an already-observed non-atomic read.
+        """
+        return View(self.tna, self.trlx.bump(var, t))
+
+    def bump_read_atomic(self, var: str, t: Timestamp) -> "View":
+        """Record a relaxed/acquire read of ``var`` at ``t``: both rise."""
+        return View(self.tna.bump(var, t), self.trlx.bump(var, t))
+
+    def leq(self, other: "View") -> bool:
+        """Pointwise order on both components."""
+        return self.tna.leq(other.tna) and self.trlx.leq(other.trlx)
+
+    def __str__(self) -> str:
+        return f"(na:{self.tna}, rlx:{self.trlx})"
+
+
+#: The bottom view ``V⊥ = (T0, T0)``.
+BOTTOM_VIEW = View()
+
+
+def view_of(mapping: Mapping[str, Timestamp]) -> View:
+    """A view with both components equal to ``mapping`` — handy in tests."""
+    timemap = TimeMap.of(mapping)
+    return View(timemap, timemap)

@@ -1,0 +1,44 @@
+"""Dense timestamps (paper: ``Time f, t ∈ Q``).
+
+PS2.1 draws timestamps from the rationals so that a new write can always be
+placed *between* two existing writes.  We use :class:`fractions.Fraction`
+directly — exact, hashable, totally ordered — and expose the handful of
+operations the semantics needs: the zero timestamp, successor (``t + 1``,
+used by cap reservations and appends), and midpoints (used to place a write
+inside a gap).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: A timestamp is an exact rational number.
+Timestamp = Fraction
+
+#: The initial timestamp; the initialization message for every location is
+#: ``⟨x: 0@(0, 0], V⊥⟩``.
+TS_ZERO: Timestamp = Fraction(0)
+
+
+def ts(value: Union[int, str, Fraction]) -> Timestamp:
+    """Convenience constructor for timestamps (``ts(1)``, ``ts("1/2")``)."""
+    return Fraction(value)
+
+
+def midpoint(lo: Timestamp, hi: Timestamp) -> Timestamp:
+    """The midpoint of ``(lo, hi)`` — the canonical dense-placement choice.
+
+    Any placement strictly inside the open interval is observationally
+    equivalent to any other (only relative order is observable), so
+    enumerating just the midpoint covers the whole gap.
+    """
+    if not lo < hi:
+        raise ValueError(f"empty gap: ({lo}, {hi})")
+    return (lo + hi) / 2
+
+
+def successor(t: Timestamp) -> Timestamp:
+    """``t + 1`` — used to append past the maximal message and to build the
+    cap reservation ``⟨x: (t, t+1]⟩`` of the capped memory."""
+    return t + 1

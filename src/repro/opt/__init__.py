@@ -1,0 +1,41 @@
+"""The four verified optimization algorithms (paper Sec. 7), adapted to
+PS2.1 exactly as the paper prescribes:
+
+* **ConstProp** (:mod:`repro.opt.constprop`) — constant propagation and
+  folding over registers (trace-preserving on memory accesses);
+* **DCE** (:mod:`repro.opt.dce`) — dead code elimination with the
+  release-write barrier: allowed across relaxed accesses and acquire
+  reads, never across a release write;
+* **CSE** (:mod:`repro.opt.cse`) — common subexpression / redundant read
+  elimination with the acquire-read kill: allowed across relaxed accesses
+  and release writes, never across an acquire read;
+* **LInv** and **LICM** (:mod:`repro.opt.licm`) — loop invariant code
+  motion as the vertical composition ``LInv ∘ CSE``.
+
+:mod:`repro.opt.base` defines the optimizer interface and vertical
+composition ``∘``.
+"""
+
+from repro.opt.base import Optimizer, compose, identity_optimizer
+from repro.opt.cleanup import Cleanup
+from repro.opt.unroll import Peel
+from repro.opt.constprop import ConstProp
+from repro.opt.copyprop import CopyProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.opt.licm import LICM, LInv, naive_licm
+
+__all__ = [
+    "CSE",
+    "Cleanup",
+    "ConstProp",
+    "CopyProp",
+    "DCE",
+    "LICM",
+    "LInv",
+    "Optimizer",
+    "Peel",
+    "compose",
+    "identity_optimizer",
+    "naive_licm",
+]

@@ -1,0 +1,107 @@
+"""Cleanup: skip removal and control-flow simplification.
+
+DCE (and the paper's ``TransI_d``) replaces eliminated instructions with
+``skip`` to keep block shapes stable for the simulation argument.  This
+pass does the compiler-housekeeping that follows: it drops the skips,
+collapses branches whose arms coincide, and threads jumps through empty
+forwarding blocks.  Every rewrite is trace-preserving (it touches no
+memory access), so it validates with the identity invariant like
+ConstProp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.lang.cfg import Cfg
+from repro.lang.syntax import (
+    BasicBlock,
+    Be,
+    Call,
+    CodeHeap,
+    Jmp,
+    Program,
+    Return,
+    Skip,
+    Terminator,
+)
+from repro.opt.base import Optimizer
+
+
+def _drop_skips(block: BasicBlock) -> BasicBlock:
+    instrs = tuple(i for i in block.instrs if not isinstance(i, Skip))
+    return BasicBlock(instrs, block.term)
+
+
+def _simplify_term(term: Terminator) -> Terminator:
+    if isinstance(term, Be) and term.then_target == term.else_target:
+        return Jmp(term.then_target)
+    return term
+
+
+def _forwarding_targets(heap: CodeHeap) -> Dict[str, str]:
+    """Map each empty ``jmp``-only block to its final destination
+    (following chains, cycle-safe)."""
+    direct: Dict[str, str] = {}
+    for label, block in heap.blocks:
+        if not block.instrs and isinstance(block.term, Jmp):
+            direct[label] = block.term.target
+
+    resolved: Dict[str, str] = {}
+    for label in direct:
+        seen: Set[str] = {label}
+        target = direct[label]
+        while target in direct and target not in seen:
+            seen.add(target)
+            target = direct[target]
+        resolved[label] = target
+    return resolved
+
+
+def _retarget(term: Terminator, forwarding: Dict[str, str]) -> Terminator:
+    def resolve(label: str) -> str:
+        return forwarding.get(label, label)
+
+    if isinstance(term, Jmp):
+        return Jmp(resolve(term.target))
+    if isinstance(term, Be):
+        return Be(term.cond, resolve(term.then_target), resolve(term.else_target))
+    if isinstance(term, Call):
+        return Call(term.func, resolve(term.ret_label))
+    return term
+
+
+@dataclass(frozen=True)
+class Cleanup(Optimizer):
+    """skip removal + branch collapsing + jump threading + dead-block
+    removal."""
+
+    name: str = "cleanup"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        # 1. Drop skips, collapse trivial branches.
+        blocks = {
+            label: BasicBlock(_drop_skips(block).instrs, _simplify_term(block.term))
+            for label, block in heap.blocks
+        }
+        heap = CodeHeap(tuple(blocks.items()), heap.entry)
+
+        # 2. Thread jumps through empty forwarding blocks.
+        forwarding = _forwarding_targets(heap)
+        entry = forwarding.get(heap.entry, heap.entry)
+        blocks = {
+            label: BasicBlock(block.instrs, _retarget(block.term, forwarding))
+            for label, block in heap.blocks
+            if label not in forwarding or label == entry
+        }
+        # Keep the (possibly forwarded-to) entry even if it was a forwarder.
+        if entry not in blocks:
+            blocks[entry] = dict(heap.blocks)[entry]
+        heap = CodeHeap(tuple(blocks.items()), entry)
+
+        # 3. Drop unreachable blocks.
+        reachable = Cfg.of(heap).reachable()
+        blocks = {label: block for label, block in heap.blocks if label in reachable}
+        return CodeHeap(tuple(blocks.items()), heap.entry)

@@ -1,0 +1,157 @@
+"""Copy propagation.
+
+Replaces uses of a register by its copy source while the copy holds:
+after ``r2 := r1``, uses of ``r2`` become uses of ``r1`` until either is
+redefined.  The pass is the standard cleanup after CSE (which leaves
+``r2 := r1`` copies behind); a following DCE then removes the dead copy.
+
+Copy propagation touches registers only — it never adds, removes, moves
+or re-modes a memory access — so like ConstProp it is trace-preserving
+and verifies with the identity invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.dataflow import BlockAnalysis, solve_forward
+from repro.analysis.lattice import Lattice
+from repro.lang.syntax import (
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Expr,
+    Instr,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    Terminator,
+)
+from repro.opt.base import Optimizer
+
+#: Copy facts: frozenset of (dst, src) pairs meaning dst currently equals
+#: src.  ``None`` is the unreached top element (must-analysis).
+CopyFacts = Optional[frozenset]
+
+
+def _join(a: CopyFacts, b: CopyFacts) -> CopyFacts:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def _kill(facts: frozenset, reg: str) -> frozenset:
+    return frozenset(pair for pair in facts if reg not in pair)
+
+
+def transfer_instruction(instr: Instr, facts: CopyFacts) -> CopyFacts:
+    """Forward transfer over the copy facts."""
+    if facts is None:
+        return None
+    if isinstance(instr, Assign):
+        out = _kill(facts, instr.dst)
+        if isinstance(instr.expr, Reg) and instr.expr.name != instr.dst:
+            out = out | {(instr.dst, instr.expr.name)}
+        return out
+    if isinstance(instr, (Load, Cas)):
+        return _kill(facts, instr.dst)
+    return facts  # Store / Print / Skip / Fence define no register
+
+
+def transfer_terminator(term: Terminator, facts: CopyFacts) -> CopyFacts:
+    """Forward transfer of a terminator (calls clobber everything)."""
+    if facts is None:
+        return None
+    if isinstance(term, Call):
+        return frozenset()  # the callee shares the register file
+    return facts
+
+
+def _resolve(reg: str, facts: frozenset) -> str:
+    """Follow copy chains: the ultimate source of ``reg`` (cycle-safe)."""
+    sources = dict(facts)
+    seen = {reg}
+    while reg in sources and sources[reg] not in seen:
+        reg = sources[reg]
+        seen.add(reg)
+    return reg
+
+
+def _rewrite_expr(expr: Expr, facts: frozenset) -> Expr:
+    if isinstance(expr, Reg):
+        return Reg(_resolve(expr.name, facts))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite_expr(expr.left, facts), _rewrite_expr(expr.right, facts))
+    return expr
+
+
+@dataclass(frozen=True)
+class CopyProp(Optimizer):
+    """The copy propagation pass."""
+
+    name: str = "copyprop"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+
+        def transfer(label: str, block: BasicBlock, fact: CopyFacts) -> CopyFacts:
+            for instr in block.instrs:
+                fact = transfer_instruction(instr, fact)
+            return transfer_terminator(block.term, fact)
+
+        entry_facts = solve_forward(
+            heap,
+            BlockAnalysis(
+                lattice=Lattice(bottom=None, join=_join, eq=lambda a, b: a == b),
+                transfer=transfer,
+                boundary=frozenset(),
+            ),
+        )
+
+        new_blocks: List[Tuple[str, BasicBlock]] = []
+        for label, block in heap.blocks:
+            fact = entry_facts[label]
+            instrs: List[Instr] = []
+            for instr in block.instrs:
+                instrs.append(self._rewrite(instr, fact))
+                fact = transfer_instruction(instr, fact)
+            term = self._rewrite_term(block.term, fact)
+            new_blocks.append((label, BasicBlock(tuple(instrs), term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)
+
+    def _rewrite(self, instr: Instr, facts: CopyFacts) -> Instr:
+        if facts is None or not facts:
+            return instr
+        if isinstance(instr, Assign):
+            return Assign(instr.dst, _rewrite_expr(instr.expr, facts))
+        if isinstance(instr, Store):
+            return Store(instr.loc, _rewrite_expr(instr.expr, facts), instr.mode)
+        if isinstance(instr, Print):
+            return Print(_rewrite_expr(instr.expr, facts))
+        if isinstance(instr, Cas):
+            return Cas(
+                instr.dst,
+                instr.loc,
+                _rewrite_expr(instr.expected, facts),
+                _rewrite_expr(instr.new, facts),
+                instr.mode_r,
+                instr.mode_w,
+            )
+        return instr
+
+    def _rewrite_term(self, term: Terminator, facts: CopyFacts) -> Terminator:
+        if facts and isinstance(term, Be):
+            return Be(_rewrite_expr(term.cond, facts), term.then_target, term.else_target)
+        return term

@@ -1,0 +1,142 @@
+"""Loop invariant code motion (paper Sec. 2.5 and 7):
+``LICM ≜ LInv ∘ CSE``.
+
+**LInv** detects loop-invariant non-atomic reads and *introduces* a
+redundant read of each into a fresh register in a new loop preheader.
+Redundant read introduction is sound in PS even under read-write races
+(which it may create — Fig. 5), because only one of the duplicated reads'
+values is ever used.
+
+**CSE** (the ordinary pass of :mod:`repro.opt.cse`) then replaces the
+in-loop reads with the preheader register wherever its availability facts
+survive — which they do exactly when the loop body contains no acquire
+read (nor acquire CAS, acquire/SC fence, call, or write to the location).
+That division of labour reproduces the paper's crossing discipline: LICM
+may move a read across relaxed accesses and release writes, but not across
+an acquire read.
+
+:func:`naive_licm` builds the *unsound* variant of the paper's Fig. 1 — it
+hoists regardless of acquire reads and uses the no-acquire-kill CSE — and
+exists solely so the E-FIG1 experiment can exhibit the refinement failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.loops import find_invariant_loads, loop_info
+from repro.lang.cfg import NaturalLoop
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Be,
+    Call,
+    CodeHeap,
+    Jmp,
+    Load,
+    Program,
+    Return,
+    Terminator,
+    program_registers,
+)
+from repro.opt.base import Optimizer, compose
+from repro.opt.cse import CSE
+
+
+def _fresh_register_namer(program: Program):
+    """Yield register names unused anywhere in ``program``."""
+    used = program_registers(program)
+    counter = itertools.count()
+    while True:
+        name = f"_li{next(counter)}"
+        if name not in used:
+            yield name
+
+
+def _retarget(term: Terminator, old: str, new: str) -> Terminator:
+    """Rewrite jump targets ``old`` → ``new`` in a terminator."""
+    if isinstance(term, Jmp):
+        return Jmp(new) if term.target == old else term
+    if isinstance(term, Be):
+        then_target = new if term.then_target == old else term.then_target
+        else_target = new if term.else_target == old else term.else_target
+        return Be(term.cond, then_target, else_target)
+    if isinstance(term, Call):
+        return Call(term.func, new if term.ret_label == old else term.ret_label)
+    return term
+
+
+@dataclass(frozen=True)
+class LInv(Optimizer):
+    """The loop-invariant detection / redundant-read-introduction pass.
+
+    ``require_profitable`` (default) hoists only where the follow-up CSE
+    can actually eliminate the in-loop read; disabling it gives the naive
+    hoisting of Fig. 1.
+    """
+
+    name: str = "linv"
+    require_profitable: bool = True
+
+    def run(self, program: Program) -> Program:
+        namer = _fresh_register_namer(program)
+        new_functions: Dict[str, CodeHeap] = {}
+        for func, heap in program.functions:
+            new_functions[func] = self._transform_function(program, heap, namer)
+        return program.with_functions(new_functions)
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        namer = _fresh_register_namer(program)
+        return self._transform_function(program, program.function(func), namer)
+
+    def _transform_function(self, program: Program, heap: CodeHeap, namer) -> CodeHeap:
+        info = loop_info(heap)
+        for loop in info.loops:
+            invariants = find_invariant_loads(
+                heap, loop, program.atomics, self.require_profitable
+            )
+            if invariants:
+                heap = self._insert_preheader(heap, loop, invariants, namer)
+        return heap
+
+    def _insert_preheader(
+        self, heap: CodeHeap, loop: NaturalLoop, invariants: Tuple[str, ...], namer
+    ) -> CodeHeap:
+        header = loop.header
+        preheader_label = f"{header}_ph"
+        suffix = 0
+        while preheader_label in heap:
+            suffix += 1
+            preheader_label = f"{header}_ph{suffix}"
+
+        hoisted = tuple(Load(next(namer), loc, AccessMode.NA) for loc in invariants)
+        preheader = BasicBlock(hoisted, Jmp(header))
+
+        new_blocks: List[Tuple[str, BasicBlock]] = []
+        for label, block in heap.blocks:
+            if label in loop.body:
+                new_blocks.append((label, block))  # back edges keep targeting the header
+            else:
+                new_blocks.append(
+                    (label, BasicBlock(block.instrs, _retarget(block.term, header, preheader_label)))
+                )
+        new_blocks.append((preheader_label, preheader))
+        entry = preheader_label if heap.entry == header else heap.entry
+        return CodeHeap(tuple(new_blocks), entry)
+
+
+def LICM(require_profitable: bool = True) -> Optimizer:
+    """``LICM = LInv ∘ CSE`` — the paper's verified composition."""
+    licm = compose(LInv(require_profitable=require_profitable), CSE())
+    return licm
+
+
+def naive_licm() -> Optimizer:
+    """The unsound LICM of the paper's Fig. 1: hoists across acquire reads.
+
+    Only for demonstrating the refinement failure — never use as a real
+    optimization.
+    """
+    return compose(LInv(require_profitable=False), CSE(acquire_kills=False))

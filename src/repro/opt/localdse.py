@@ -1,0 +1,85 @@
+"""Basic-block-local dead store elimination — the LLVM comparison point.
+
+Paper Sec. 7.2: "LLVM's *dead store elimination* only eliminates
+basic-block local redundant writes, while DCE we verified can eliminate
+dead writes across basic blocks."  This pass implements that weaker
+baseline so the difference is measurable (experiment E-LLVMDSE): a
+non-atomic store is removed only when a *later store in the same block*
+overwrites the location with no intervening use — where "intervening use"
+conservatively includes any read of the location, any release write, any
+release/SC fence, any CAS with a release part, and any block exit.
+
+Every LocalDSE elimination is also a DCE elimination (the global liveness
+subsumes the local argument), so ``LocalDSE ⊑ DCE`` pointwise — asserted
+by tests and the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Cas,
+    CodeHeap,
+    Fence,
+    FenceKind,
+    Instr,
+    Load,
+    Program,
+    Skip,
+    Store,
+)
+from repro.opt.base import Optimizer
+
+
+def _is_barrier(instr: Instr) -> bool:
+    """Operations across which the local argument must not reason."""
+    if isinstance(instr, Store) and instr.mode is AccessMode.REL:
+        return True
+    if isinstance(instr, Cas) and instr.mode_w is AccessMode.REL:
+        return True
+    if isinstance(instr, Fence) and instr.kind in (FenceKind.REL, FenceKind.SC):
+        return True
+    return False
+
+
+def _store_is_locally_dead(block: BasicBlock, index: int) -> bool:
+    """Is the na store at ``index`` overwritten later in the same block
+    with no intervening use or barrier?"""
+    store = block.instrs[index]
+    assert isinstance(store, Store) and store.mode is AccessMode.NA
+    for later in block.instrs[index + 1:]:
+        if _is_barrier(later):
+            return False
+        if isinstance(later, Load) and later.loc == store.loc:
+            return False
+        if isinstance(later, Store) and later.loc == store.loc:
+            return True  # overwritten before any use
+    return False  # reached the block exit: be conservative
+
+
+@dataclass(frozen=True)
+class LocalDSE(Optimizer):
+    """LLVM-style basic-block-local dead store elimination."""
+
+    name: str = "local-dse"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        new_blocks = []
+        for label, block in heap.blocks:
+            instrs: List[Instr] = []
+            for index, instr in enumerate(block.instrs):
+                if (
+                    isinstance(instr, Store)
+                    and instr.mode is AccessMode.NA
+                    and _store_is_locally_dead(block, index)
+                ):
+                    instrs.append(Skip())
+                else:
+                    instrs.append(instr)
+            new_blocks.append((label, BasicBlock(tuple(instrs), block.term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)

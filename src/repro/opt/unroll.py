@@ -1,0 +1,104 @@
+"""Loop peeling (one-iteration unrolling).
+
+``Peel`` duplicates every natural loop's body once: entering control runs
+the peeled copy first, whose back edges land on the original header.  The
+transformation duplicates *code*, not executions — every run still
+performs exactly the same instruction sequence — so it is trace-preserving
+and verifies with the identity invariant, like ConstProp.
+
+Peeling is the classic enabler pass: the peeled copy sits outside the
+loop, so facts established by it (e.g. availability of an invariant load)
+reach the loop header without a preheader, and a follow-up CSE can
+specialize the remaining loop body.  It also stress-tests the validation
+machinery on genuine CFG surgery (label renaming, edge redirection) rather
+than straight-line rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.lang.cfg import NaturalLoop, Cfg
+from repro.lang.syntax import (
+    BasicBlock,
+    Be,
+    Call,
+    CodeHeap,
+    Jmp,
+    Program,
+    Return,
+    Terminator,
+)
+from repro.opt.base import Optimizer
+
+
+def _rename_term(term: Terminator, mapping: Dict[str, str]) -> Terminator:
+    """Rewrite jump targets through ``mapping`` (identity when absent)."""
+    if isinstance(term, Jmp):
+        return Jmp(mapping.get(term.target, term.target))
+    if isinstance(term, Be):
+        return Be(
+            term.cond,
+            mapping.get(term.then_target, term.then_target),
+            mapping.get(term.else_target, term.else_target),
+        )
+    if isinstance(term, Call):
+        return Call(term.func, mapping.get(term.ret_label, term.ret_label))
+    return term
+
+
+@dataclass(frozen=True)
+class Peel(Optimizer):
+    """Peel one iteration off every natural loop of every function."""
+
+    name: str = "peel"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        for loop in Cfg.of(heap).natural_loops():
+            heap = self._peel(heap, loop)
+        return heap
+
+    def _peel(self, heap: CodeHeap, loop: NaturalLoop) -> CodeHeap:
+        blocks = dict(heap.blocks)
+        if loop.header not in blocks:
+            return heap  # loop vanished under a previous peel; skip
+
+        # Fresh labels for the peeled copy of every body block.
+        copy_name: Dict[str, str] = {}
+        for label in sorted(loop.body):
+            candidate = f"{label}_p"
+            suffix = 0
+            while candidate in blocks or candidate in copy_name.values():
+                suffix += 1
+                candidate = f"{label}_p{suffix}"
+            copy_name[label] = candidate
+
+        # The peeled copy: intra-body edges stay within the copy, except
+        # edges to the header, which continue into the ORIGINAL loop.
+        intra = {
+            label: name for label, name in copy_name.items() if label != loop.header
+        }
+        new_blocks: List[Tuple[str, BasicBlock]] = list(blocks.items())
+        for label in sorted(loop.body):
+            block = blocks[label]
+            new_blocks.append(
+                (copy_name[label], BasicBlock(block.instrs, _rename_term(block.term, intra)))
+            )
+
+        # Outside edges into the header now enter the peeled copy; loop
+        # blocks and the copies themselves keep their terminators.
+        redirect = {loop.header: copy_name[loop.header]}
+        copies = set(copy_name.values())
+        final: List[Tuple[str, BasicBlock]] = []
+        for label, block in new_blocks:
+            if label in loop.body or label in copies:
+                final.append((label, block))
+            else:
+                final.append(
+                    (label, BasicBlock(block.instrs, _rename_term(block.term, redirect)))
+                )
+
+        entry = redirect.get(heap.entry, heap.entry)
+        return CodeHeap(tuple(final), entry)

@@ -1,0 +1,155 @@
+"""The unsound-transformation gallery (for negative experiments only).
+
+The paper classifies thread-local transformations (Sec. 7.2, after
+Ševčík) and identifies exactly which are sound in PS2.1.  This module
+implements the *unsound* ones so that the experiments can demonstrate the
+refinement failures the paper predicts:
+
+* :class:`NaiveDCE` — dead code elimination **without** the release-write
+  barrier: the incorrect ``Lv_Analyzer`` of Fig. 15's red annotation,
+  which eliminates ``y := 2`` across ``x.rel := 1``;
+* :class:`RedundantWriteIntroduction` — category (5) of the
+  classification, "introduction of redundant writes", which the paper
+  states is unsound in PS (Sec. 7.2): duplicating ``x := e`` to
+  ``x := e; x := e`` puts *two* messages in memory, and another thread
+  can observe intermediate states the source never produces (e.g. a
+  coherence-order position between the duplicates);
+* ``naive_licm`` (in :mod:`repro.opt.licm`) — LICM across acquire reads.
+
+None of these are exported through the top-level API as real passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.dataflow import BlockAnalysis, solve_backward
+from repro.analysis.liveness import (
+    LiveSet,
+    LivenessResult,
+    _live_lattice,
+    _transfer_terminator,
+)
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Cas,
+    CodeHeap,
+    Fence,
+    Instr,
+    Load,
+    Print,
+    Program,
+    Skip,
+    Store,
+    Assign,
+    expr_regs,
+    program_registers,
+)
+from repro.opt.base import Optimizer
+from repro.opt.dce import instruction_is_dead
+
+
+def _naive_transfer(instr: Instr, live: LiveSet, all_na_locs) -> LiveSet:
+    """Liveness transfer WITHOUT the release barrier — every write mode is
+    treated like a relaxed one.  Everything else matches the sound
+    analysis."""
+    regs, locs = live.regs, live.locs
+    if isinstance(instr, Store):
+        if instr.mode is AccessMode.NA:
+            if instr.loc not in locs:
+                return live
+            return LiveSet(regs | expr_regs(instr.expr), locs - {instr.loc})
+        return LiveSet(regs | expr_regs(instr.expr), locs)  # no barrier!
+    if isinstance(instr, Cas):
+        uses = expr_regs(instr.expected) | expr_regs(instr.new)
+        return LiveSet((regs - {instr.dst}) | uses, locs)  # no barrier!
+    if isinstance(instr, Fence):
+        return live  # no barrier!
+    from repro.analysis.liveness import transfer_instruction
+
+    return transfer_instruction(instr, live, all_na_locs)
+
+
+@dataclass(frozen=True)
+class NaiveDCE(Optimizer):
+    """DCE with the barrier-free liveness — reproduces Fig. 15's incorrect
+    elimination.  Unsound in PS2.1; negative experiments only."""
+
+    name: str = "naive-dce"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        atomics = program.atomics
+        all_regs = program_registers(program)
+        all_na_locs = frozenset(
+            loc for loc in program.locations() if loc not in atomics
+        )
+        from repro.analysis.liveness import _is_call_target
+
+        return_live = (
+            LiveSet(all_regs, all_na_locs) if _is_call_target(program, func) else LiveSet()
+        )
+
+        def transfer(label: str, block: BasicBlock, exit_fact: LiveSet) -> LiveSet:
+            fact = _transfer_terminator(
+                block.term, exit_fact, all_regs, all_na_locs, return_live
+            )
+            for instr in reversed(block.instrs):
+                fact = _naive_transfer(instr, fact, all_na_locs)
+            return fact
+
+        analysis = BlockAnalysis(
+            lattice=_live_lattice(), transfer=transfer, boundary=return_live
+        )
+        exit_facts = solve_backward(heap, analysis)
+
+        new_blocks = []
+        for label, block in heap.blocks:
+            fact = _transfer_terminator(
+                block.term, exit_facts[label], all_regs, all_na_locs, return_live
+            )
+            facts: List[LiveSet] = [fact] * len(block.instrs)
+            for index in range(len(block.instrs) - 1, -1, -1):
+                facts[index] = fact
+                fact = _naive_transfer(block.instrs[index], fact, all_na_locs)
+            new_instrs = tuple(
+                Skip() if instruction_is_dead(instr, live_after) else instr
+                for instr, live_after in zip(block.instrs, facts)
+            )
+            new_blocks.append((label, BasicBlock(new_instrs, block.term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)
+
+
+@dataclass(frozen=True)
+class RedundantWriteIntroduction(Optimizer):
+    """Write back every non-atomically loaded value:
+    ``r := x.na``  ↦  ``r := x.na; x.na := r`` — category (5),
+    "introduction of redundant writes", which the paper's simulation
+    deliberately cannot verify (Sec. 7.2).
+
+    The written-back *value* already exists in memory, so naive reasoning
+    calls the write redundant; but the target now writes a location the
+    source never wrote, which destroys preservation of write-write race
+    freedom: compose the thread with any other writer of ``x`` and the
+    target races where the source was race-free.  This is exactly the
+    property the delayed write set ``D`` enforces (every target write must
+    have a source counterpart) — the mechanism by which the paper's
+    framework rules out category (5)."""
+
+    name: str = "redundant-write-intro"
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        new_blocks = []
+        for label, block in heap.blocks:
+            instrs: List[Instr] = []
+            for instr in block.instrs:
+                instrs.append(instr)
+                if isinstance(instr, Load) and instr.mode is AccessMode.NA:
+                    from repro.lang.syntax import Reg
+
+                    instrs.append(Store(instr.loc, Reg(instr.dst), AccessMode.NA))
+            new_blocks.append((label, BasicBlock(tuple(instrs), block.term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)

@@ -1,0 +1,22 @@
+"""Race detection in PS2.1 (paper Sec. 5).
+
+* :mod:`repro.races.wwrf` — write-write race freedom ``ww-RF`` (interleaving
+  machine, Fig. 11) and ``ww-NPRF`` (non-preemptive machine), the premise of
+  the paper's optimization-correctness theorem;
+* :mod:`repro.races.rwrace` — read-write race *detection* (the paper allows
+  rw-races in sources; the detector exists to demonstrate Fig. 5's claim
+  that LInv introduces them).
+"""
+
+from repro.races.wwrf import RaceReport, WwRaceWitness, ww_nprf, ww_race_witness, ww_rf
+from repro.races.rwrace import rw_race_witness, rw_races
+
+__all__ = [
+    "RaceReport",
+    "WwRaceWitness",
+    "rw_race_witness",
+    "rw_races",
+    "ww_nprf",
+    "ww_race_witness",
+    "ww_rf",
+]

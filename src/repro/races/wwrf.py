@@ -1,0 +1,112 @@
+"""Write-write race freedom (paper Fig. 11).
+
+A machine state ``W = (TP, t, M)`` *generates a write-write race*,
+``W ⟹ ww-Race``, iff the current thread's next operation is a non-atomic
+write to some ``x`` while the memory contains a concrete message on ``x``
+that is neither one of the thread's own promises nor observed by its view:
+
+.. code-block:: text
+
+    nxt(σ) = W(na, x, _)    m ∈ (M \\ TP(t).P)    m.var = x    V.Trlx(x) < m.to
+    ─────────────────────────────────────────────────────────────────────────
+                            (TP, t, M) ⟹ ww-Race
+
+``ww-RF(P)`` holds iff no *reachable* machine state generates a race.  The
+subtlety the paper stresses (Fig. 4): races are checked only on states
+reachable through certified machine steps — a thread whose outstanding
+promise has become unfulfillable cannot take the step that would reach the
+racy state, so the spurious race never materializes.  Our explorer only
+ever produces certified states, so the check is exactly state-wise.
+
+``ww-NPRF`` is the same check over the non-preemptive machine; Lemma 5.1
+states the two are equivalent, which `tests/races/test_equivalence.py`
+validates on the litmus suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.syntax import AccessMode, Program, Store
+from repro.memory.memory import Memory
+from repro.semantics.exploration import Explorer
+from repro.semantics.thread import SemanticsConfig
+from repro.semantics.threadstate import ThreadState, next_op
+
+
+@dataclass(frozen=True)
+class WwRaceWitness:
+    """Evidence of a write-write race: who raced on what, and the state."""
+
+    tid: int
+    loc: str
+    state: object
+
+    def __str__(self) -> str:
+        return f"ww-race: thread {self.tid} about to na-write {self.loc!r} in {self.state}"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """The verdict of a race-freedom check."""
+
+    race_free: bool
+    witness: Optional[WwRaceWitness]
+    exhaustive: bool
+    state_count: int
+
+    def __bool__(self) -> bool:
+        return self.race_free
+
+    def __str__(self) -> str:
+        verdict = "race-free" if self.race_free else f"RACY ({self.witness})"
+        kind = "exhaustive" if self.exhaustive else "TRUNCATED"
+        return f"RaceReport({verdict}, {self.state_count} states, {kind})"
+
+
+def thread_generates_ww_race(
+    program: Program, tid: int, ts: ThreadState, mem: Memory
+) -> Optional[str]:
+    """Whether thread ``tid`` generates a ww-race in ``(ts, mem)``; returns
+    the raced location, or ``None``."""
+    op = next_op(program, ts.local)
+    if not (isinstance(op, Store) and op.mode is AccessMode.NA):
+        return None
+    loc = op.loc
+    floor = ts.view.trlx.get(loc)
+    for message in mem.concrete(loc):
+        if message.to > floor and message not in ts.promises:
+            return loc
+    return None
+
+
+def ww_race_witness(program: Program, state) -> Optional[WwRaceWitness]:
+    """``W ⟹ ww-Race`` for an (interleaving or non-preemptive) machine
+    state, inspecting the current thread per Fig. 11."""
+    tid = state.cur
+    loc = thread_generates_ww_race(program, tid, state.pool[tid], state.mem)
+    if loc is None:
+        return None
+    return WwRaceWitness(tid, loc, state)
+
+
+def _check(program: Program, config: SemanticsConfig, nonpreemptive: bool) -> RaceReport:
+    explorer = Explorer(program, config, nonpreemptive=nonpreemptive).build()
+    for state in explorer.states:
+        witness = ww_race_witness(program, state)
+        if witness is not None:
+            return RaceReport(False, witness, explorer.exhaustive, len(explorer.states))
+    return RaceReport(True, None, explorer.exhaustive, len(explorer.states))
+
+
+def ww_rf(program: Program, config: Optional[SemanticsConfig] = None) -> RaceReport:
+    """``ww-RF(P)`` — write-write race freedom under the interleaving
+    machine (Fig. 11)."""
+    return _check(program, config or SemanticsConfig(), nonpreemptive=False)
+
+
+def ww_nprf(program: Program, config: Optional[SemanticsConfig] = None) -> RaceReport:
+    """``ww-NPRF(P̂)`` — write-write race freedom under the non-preemptive
+    machine (paper Sec. 5, Lemma 5.1)."""
+    return _check(program, config or SemanticsConfig(), nonpreemptive=True)

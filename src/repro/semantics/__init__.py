@@ -1,0 +1,82 @@
+"""Operational semantics of PS2.1 (paper Sec. 3) and its non-preemptive
+variant (paper Sec. 4).
+
+Layout:
+
+* :mod:`repro.semantics.events` — thread events, program events, traces;
+* :mod:`repro.semantics.threadstate` — local states ``σ``, thread states
+  ``TS = (σ, V, P)``, thread pools;
+* :mod:`repro.semantics.thread` — the thread step relation
+  ``ι ⊢ (TS, M) --te--> (TS', M')`` as an enumerator of successor states;
+* :mod:`repro.semantics.promises` — promise oracles bounding the promise
+  non-determinism for exhaustive exploration;
+* :mod:`repro.semantics.certification` — ``consistent(TS, M, ι)`` against
+  the capped memory;
+* :mod:`repro.semantics.machine` — the interleaving machine (Fig. 9);
+* :mod:`repro.semantics.nonpreemptive` — the non-preemptive machine
+  (Fig. 10) with its switch bit;
+* :mod:`repro.semantics.exploration` — exhaustive behavior-set computation;
+* :mod:`repro.semantics.random_run` — randomized single executions.
+"""
+
+from repro.semantics.events import (
+    EVENT_DONE,
+    CancelEvent,
+    FenceEvent,
+    OutputEvent,
+    PromiseEvent,
+    ReadEvent,
+    ReserveEvent,
+    SilentEvent,
+    ThreadEvent,
+    UpdateEvent,
+    WriteEvent,
+    event_class,
+    EventClass,
+)
+from repro.semantics.threadstate import LocalState, ThreadState, initial_thread_state
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.promises import NoPromises, PromiseOracle, SyntacticPromises
+from repro.semantics.certification import consistent
+from repro.semantics.machine import MachineState, initial_machine_state, machine_steps
+from repro.semantics.nonpreemptive import (
+    NPMachineState,
+    initial_np_state,
+    np_machine_steps,
+)
+from repro.semantics.exploration import BehaviorSet, Explorer, behaviors, np_behaviors
+
+__all__ = [
+    "BehaviorSet",
+    "CancelEvent",
+    "EVENT_DONE",
+    "EventClass",
+    "Explorer",
+    "FenceEvent",
+    "LocalState",
+    "MachineState",
+    "NPMachineState",
+    "NoPromises",
+    "OutputEvent",
+    "PromiseEvent",
+    "PromiseOracle",
+    "ReadEvent",
+    "ReserveEvent",
+    "SemanticsConfig",
+    "SilentEvent",
+    "SyntacticPromises",
+    "ThreadEvent",
+    "ThreadState",
+    "UpdateEvent",
+    "WriteEvent",
+    "behaviors",
+    "consistent",
+    "event_class",
+    "initial_machine_state",
+    "initial_np_state",
+    "initial_thread_state",
+    "machine_steps",
+    "np_behaviors",
+    "np_machine_steps",
+    "thread_steps",
+]

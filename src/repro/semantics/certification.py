@@ -1,0 +1,111 @@
+"""Promise certification: ``consistent(TS, M, ι)`` (paper Sec. 3).
+
+A thread's configuration is *consistent* iff, running in isolation from the
+**capped** version ``M̂`` of the current memory, the thread can reach a state
+with an empty promise set:
+
+.. code-block:: text
+
+    consistent(TS, M, ι)  iff  ∃TS'. ι ⊢ (TS, M̂) →* (TS', _) ∧ TS'.P = ∅
+
+The cap models worst-case interference: every gap between existing messages
+is reserved and a cap reservation sits past each location's latest message,
+so the certifying thread can neither squeeze writes between existing
+messages nor assume a CAS-adjacent slot stays free — exactly the situation
+the paper motivates with two competing CAS operations.
+
+The search is a memoized DFS over the thread's isolated executions.  New
+promises are not made during certification (they could only add
+obligations, so omitting them loses no consistent states), and reservation
+steps are pointless against a capped memory; both are disabled via
+``allow_promises=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.lang.syntax import Program
+from repro.memory.memory import Memory, capped_memory
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import ThreadState
+
+
+@dataclass
+class CertificationStats:
+    """Accounting for certification searches (exposed by the explorer)."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    expansions: int = 0
+    budget_exhausted: int = 0
+
+
+def consistent(
+    program: Program,
+    ts: ThreadState,
+    mem: Memory,
+    config: SemanticsConfig,
+    cache: Optional[Dict[Tuple[ThreadState, Memory], bool]] = None,
+    stats: Optional[CertificationStats] = None,
+) -> bool:
+    """Decide ``consistent(TS, M, ι)``.
+
+    ``cache`` memoizes results across the many certification calls of one
+    exploration (keyed on the exact thread state and memory).  If the
+    bounded search exhausts ``config.certification_max_steps`` expansions
+    without fulfilling all promises, the configuration is conservatively
+    deemed inconsistent and ``stats.budget_exhausted`` is bumped so callers
+    can detect a too-small budget.
+    """
+    if stats is not None:
+        stats.calls += 1
+    if not ts.has_promises:
+        return True
+    key = (ts, mem)
+    if cache is not None and key in cache:
+        if stats is not None:
+            stats.cache_hits += 1
+        return cache[key]
+
+    base = capped_memory(mem) if config.certify_against_cap else mem
+    result = _search(program, ts, base, config, stats)
+    if cache is not None:
+        cache[key] = result
+    return result
+
+
+def _search(
+    program: Program,
+    ts: ThreadState,
+    capped: Memory,
+    config: SemanticsConfig,
+    stats: Optional[CertificationStats],
+) -> bool:
+    """DFS for a promise-emptying isolated execution from ``(ts, capped)``."""
+    seen: Set[Tuple[ThreadState, Memory]] = set()
+    stack = [(ts, capped)]
+    budget = config.certification_max_steps
+    while stack:
+        state, memory = stack.pop()
+        if not state.has_promises:
+            return True
+        if (state, memory) in seen:
+            continue
+        seen.add((state, memory))
+        budget -= 1
+        if budget < 0:
+            if stats is not None:
+                stats.budget_exhausted += 1
+            return False
+        if stats is not None:
+            stats.expansions += 1
+        for _, next_state, next_memory in thread_steps(
+            program, state, memory, config, allow_promises=False
+        ):
+            if not next_state.has_promises:
+                return True
+            if (next_state, next_memory) not in seen:
+                stack.append((next_state, next_memory))
+    return False

@@ -1,0 +1,205 @@
+"""Thread and program events (paper Fig. 8).
+
+.. code-block:: text
+
+    (ThrdEvt) te ::= τ | out(v) | R(or, x, v) | W(ow, x, v)
+                   | U(or, ow, x, vr, vw) | prm | ccl | rsv      (+ fence)
+    (ProgEvt) pe ::= τ | out(v) | sw
+    (EvtTrace) B ::= ε | done | abort | out(v) :: B
+
+The non-preemptive semantics (paper Fig. 10) classifies thread events into
+``NA`` (non-atomic accesses and silent steps), ``PRC`` (promise / reserve /
+cancel) and ``AT`` (everything else); :func:`event_class` implements that
+classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.lang.syntax import AccessMode, FenceKind
+from repro.lang.values import Int32
+
+
+@dataclass(frozen=True)
+class SilentEvent:
+    """``τ`` — a step with no memory or synchronization effect."""
+
+    def __str__(self) -> str:
+        return "tau"
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    """``out(v)`` — the externally observable event of ``print``."""
+
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return f"out({int(self.value)})"
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """``R(or, x, v)`` — a read of ``loc`` returning ``value``."""
+
+    mode: AccessMode
+    loc: str
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return f"R({self.mode}, {self.loc}, {int(self.value)})"
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """``W(ow, x, v)`` — a write of ``value`` to ``loc``."""
+
+    mode: AccessMode
+    loc: str
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return f"W({self.mode}, {self.loc}, {int(self.value)})"
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """``U(or, ow, x, vr, vw)`` — a successful CAS reading ``read_value``
+    and writing ``write_value``."""
+
+    mode_r: AccessMode
+    mode_w: AccessMode
+    loc: str
+    read_value: Int32
+    write_value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "read_value", Int32(self.read_value))
+        object.__setattr__(self, "write_value", Int32(self.write_value))
+
+    def __str__(self) -> str:
+        return (
+            f"U({self.mode_r}, {self.mode_w}, {self.loc}, "
+            f"{int(self.read_value)}, {int(self.write_value)})"
+        )
+
+
+@dataclass(frozen=True)
+class PromiseEvent:
+    """``prm`` — the thread promised a future write to ``loc``."""
+
+    loc: str
+    value: Int32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", Int32(self.value))
+
+    def __str__(self) -> str:
+        return f"prm({self.loc}, {int(self.value)})"
+
+
+@dataclass(frozen=True)
+class ReserveEvent:
+    """``rsv`` — the thread reserved a timestamp interval on ``loc``."""
+
+    loc: str
+
+    def __str__(self) -> str:
+        return f"rsv({self.loc})"
+
+
+@dataclass(frozen=True)
+class CancelEvent:
+    """``ccl`` — the thread cancelled one of its reservations on ``loc``."""
+
+    loc: str
+
+    def __str__(self) -> str:
+        return f"ccl({self.loc})"
+
+
+@dataclass(frozen=True)
+class FenceEvent:
+    """A fence step (paper footnote 1; classified as ``AT``)."""
+
+    kind: FenceKind
+
+    def __str__(self) -> str:
+        return f"fence({self.kind})"
+
+
+ThreadEvent = Union[
+    SilentEvent,
+    OutputEvent,
+    ReadEvent,
+    WriteEvent,
+    UpdateEvent,
+    PromiseEvent,
+    ReserveEvent,
+    CancelEvent,
+    FenceEvent,
+]
+
+
+class EventClass(enum.Enum):
+    """The non-preemptive classification of thread events (paper Fig. 10)."""
+
+    NA = "na"
+    PRC = "prc"
+    AT = "at"
+
+
+def event_class(event: ThreadEvent) -> EventClass:
+    """Classify a thread event for the non-preemptive semantics.
+
+    ``NA`` = silent steps and non-atomic reads/writes; ``PRC`` = promise,
+    reserve and cancel; ``AT`` = everything else (atomic accesses, CAS,
+    fences, output).
+    """
+    if isinstance(event, SilentEvent):
+        return EventClass.NA
+    if isinstance(event, (ReadEvent, WriteEvent)) and event.mode is AccessMode.NA:
+        return EventClass.NA
+    if isinstance(event, (PromiseEvent, ReserveEvent, CancelEvent)):
+        return EventClass.PRC
+    return EventClass.AT
+
+
+# ---------------------------------------------------------------------------
+# Observable traces
+# ---------------------------------------------------------------------------
+
+#: The termination marker at the end of a complete trace.
+EVENT_DONE = "done"
+
+#: The abortion marker.  CSimpRTL as presented has no aborting instructions
+#: (no division, no assertions), so ``Safe(P)`` holds for every program in
+#: this implementation; the marker exists for vocabulary completeness.
+EVENT_ABORT = "abort"
+
+#: An observable trace: a tuple of output values, optionally ending with the
+#: ``done`` / ``abort`` marker string.
+Trace = Tuple[object, ...]
+
+
+def format_trace(trace: Trace) -> str:
+    """Human-readable rendering of a trace."""
+    parts = []
+    for item in trace:
+        if isinstance(item, str):
+            parts.append(item)
+        else:
+            parts.append(f"out({int(item)})")
+    return "[" + ", ".join(parts) + "]"

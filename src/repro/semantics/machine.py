@@ -1,0 +1,154 @@
+"""The interleaving PS2.1 machine (paper Fig. 9).
+
+Machine states are ``W = (TP, t, M)``.  Three rules:
+
+* **(sw-step)** — re-target the current thread id, labeled ``sw``;
+* **(τ-step)** — silent thread step(s) ending in a *consistent*
+  configuration, labeled ``τ``;
+* **(out-step)** — a ``print`` step, labeled ``out(v)`` (the paper's rule
+  imposes no consistency requirement on out-steps, and neither do we).
+
+The paper's τ-step allows a bundle ``→+`` of thread steps before the
+consistency check.  We explore at single-step granularity — each silent
+step must itself re-establish consistency.  Promise-set obligations are the
+only source of inconsistency and both views and promise fulfillment evolve
+monotonically, so intermediate states of any certifiable bundle are
+certifiable by the bundle's own continuation; single-step granularity
+therefore reaches the same consistent machine states while keeping the
+state graph canonical (this is the standard presentation in the PS
+literature, e.g. Kang et al. POPL'17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.lang.syntax import Assign, Be, Call, Jmp, Program, Return, Skip
+from repro.semantics.threadstate import next_op
+from repro.memory.memory import Memory
+from repro.semantics.certification import CertificationStats, consistent
+from repro.semantics.events import OutputEvent, SilentEvent, ThreadEvent
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import (
+    ThreadPool,
+    ThreadState,
+    initial_thread_state,
+    update_pool,
+)
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """The ``sw`` program event — a context switch to thread ``target``."""
+
+    target: int
+
+    def __str__(self) -> str:
+        return f"sw({self.target})"
+
+
+#: Program events ``pe ::= τ | out(v) | sw``.
+ProgEvent = Union[SilentEvent, OutputEvent, SwitchEvent]
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """``W = (TP, t, M)``."""
+
+    pool: ThreadPool
+    cur: int
+    mem: Memory
+
+    @property
+    def current_thread(self) -> ThreadState:
+        return self.pool[self.cur]
+
+    @property
+    def all_done(self) -> bool:
+        """Every thread finished and fulfilled all its promises."""
+        return all(ts.local.done and not ts.has_promises for ts in self.pool)
+
+    def __str__(self) -> str:
+        threads = ", ".join(f"t{i}:{ts.local}" for i, ts in enumerate(self.pool))
+        return f"W(cur=t{self.cur}, [{threads}], M={self.mem})"
+
+
+def initial_machine_state(program: Program, config: SemanticsConfig) -> MachineState:
+    """``P ==init==> W`` — all threads at their entries, memory ``M0``."""
+    pool = tuple(
+        initial_thread_state(program, func, config.promise_budget)
+        for func in program.threads
+    )
+    mem = Memory.initial(sorted(program.locations()))
+    return MachineState(pool, 0, mem)
+
+
+#: Instruction/terminator classes with exactly one silent, memory-free
+#: successor — safe to fuse under partial-order reduction.
+_PURE_LOCAL = (Skip, Assign, Jmp, Be, Call, Return)
+
+
+def _fused_local_step(
+    program: Program,
+    state: MachineState,
+    config: SemanticsConfig,
+    cert_cache: Optional[Dict],
+    cert_stats: Optional[CertificationStats],
+) -> Optional[MachineState]:
+    """The unique pure-local successor of the current thread, if it exists
+    and passes certification.
+
+    A pure-local step (register computation, control transfer) commutes
+    with every step of every other thread and produces no observable
+    event, so executing it eagerly — without branching on switches or
+    promises — preserves the behavior set while pruning interleavings.
+    Promise opportunities are deferred, not lost: candidates and
+    placements are unchanged by a local step.
+    """
+    ts = state.current_thread
+    if ts.local.done:
+        return None
+    op = next_op(program, ts.local)
+    if not isinstance(op, _PURE_LOCAL):
+        return None
+    steps = list(thread_steps(program, ts, state.mem, config, allow_promises=False))
+    if len(steps) != 1:
+        return None
+    _, new_ts, new_mem = steps[0]
+    if not consistent(program, new_ts, new_mem, config, cert_cache, cert_stats):
+        return None
+    return MachineState(update_pool(state.pool, state.cur, new_ts), state.cur, new_mem)
+
+
+def machine_steps(
+    program: Program,
+    state: MachineState,
+    config: SemanticsConfig,
+    cert_cache: Optional[Dict] = None,
+    cert_stats: Optional[CertificationStats] = None,
+) -> Iterator[Tuple[ProgEvent, MachineState]]:
+    """Enumerate all machine steps from ``state`` (Fig. 9)."""
+    if config.fuse_local_steps:
+        fused = _fused_local_step(program, state, config, cert_cache, cert_stats)
+        if fused is not None:
+            yield SilentEvent(), fused
+            return
+
+    # (sw-step): switch to any other live thread.
+    for tid, ts in enumerate(state.pool):
+        if tid == state.cur:
+            continue
+        if ts.local.done and not ts.has_promises:
+            continue
+        yield SwitchEvent(tid), MachineState(state.pool, tid, state.mem)
+
+    # (τ-step) / (out-step): steps of the current thread.
+    ts = state.current_thread
+    for event, new_ts, new_mem in thread_steps(program, ts, state.mem, config):
+        new_state = MachineState(update_pool(state.pool, state.cur, new_ts), state.cur, new_mem)
+        if isinstance(event, OutputEvent):
+            yield event, new_state
+        else:
+            if consistent(program, new_ts, new_mem, config, cert_cache, cert_stats):
+                yield SilentEvent(), new_state

@@ -1,0 +1,93 @@
+"""Randomized single executions of the PS2.1 machines.
+
+Exhaustive exploration decides behavior-set questions exactly but scales
+exponentially; a randomized runner samples one execution at a time, which
+is how large programs are smoke-tested and how the benchmarks measure raw
+interpreter throughput.  The runner picks uniformly among the enabled
+machine steps (optionally biased against context switches) until the
+program terminates or a step budget runs out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.syntax import Program
+from repro.semantics.events import EVENT_DONE, OutputEvent, Trace
+from repro.semantics.machine import SwitchEvent, initial_machine_state, machine_steps
+from repro.semantics.nonpreemptive import initial_np_state, np_machine_steps
+from repro.semantics.thread import SemanticsConfig
+
+
+@dataclass
+class RunResult:
+    """One sampled execution: its trace, termination status, and length."""
+
+    trace: Trace
+    terminated: bool
+    steps: int
+
+    @property
+    def outputs(self) -> Tuple[int, ...]:
+        return tuple(int(v) for v in self.trace if not isinstance(v, str))
+
+
+def random_run(
+    program: Program,
+    config: Optional[SemanticsConfig] = None,
+    seed: Optional[int] = None,
+    max_steps: int = 10_000,
+    switch_bias: float = 0.3,
+    nonpreemptive: bool = False,
+) -> RunResult:
+    """Sample one execution.
+
+    ``switch_bias`` is the probability of taking a context switch when both
+    switches and thread steps are enabled — uniform choice over all steps
+    would thrash between threads and rarely make progress.
+    """
+    rng = random.Random(seed)
+    config = config or SemanticsConfig()
+    cert_cache: dict = {}
+    if nonpreemptive:
+        state = initial_np_state(program, config)
+        step_fn = np_machine_steps
+    else:
+        state = initial_machine_state(program, config)
+        step_fn = machine_steps
+
+    outputs: List = []
+    for step_index in range(max_steps):
+        if state.all_done:
+            return RunResult(tuple(outputs) + (EVENT_DONE,), True, step_index)
+        successors = list(step_fn(program, state, config, cert_cache))
+        if not successors:
+            return RunResult(tuple(outputs), False, step_index)
+        switches = [s for s in successors if isinstance(s[0], SwitchEvent)]
+        others = [s for s in successors if not isinstance(s[0], SwitchEvent)]
+        if switches and others:
+            pool = switches if rng.random() < switch_bias else others
+        else:
+            pool = successors
+        event, state = rng.choice(pool)
+        if isinstance(event, OutputEvent):
+            outputs.append(event.value)
+    return RunResult(tuple(outputs), False, max_steps)
+
+
+def sample_outputs(
+    program: Program,
+    runs: int,
+    config: Optional[SemanticsConfig] = None,
+    seed: int = 0,
+    **kwargs,
+) -> List[Tuple[int, ...]]:
+    """Output sequences of ``runs`` sampled executions (terminated only)."""
+    results = []
+    for i in range(runs):
+        result = random_run(program, config, seed=seed + i, **kwargs)
+        if result.terminated:
+            results.append(result.outputs)
+    return results

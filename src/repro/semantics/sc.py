@@ -1,0 +1,218 @@
+"""A sequentially consistent (SC) baseline semantics.
+
+The paper positions PS2.1 against prior work done in SC (Sec. 8:
+CASCompCert, Simuliris give concurrent programs the SC semantics).  This
+module implements that baseline for CSimpRTL: one flat memory cell per
+location, interleaved thread steps, no views, no promises, no timestamps.
+Access modes are ignored — under SC every access is strong.
+
+Two uses:
+
+* **comparison experiments** — which litmus outcomes are PS-only
+  (`benchmarks/test_bench_sc_baseline.py`): SB's (0,0), LB's (1,1) and
+  relaxed-MP's stale read exist in PS2.1 but not under SC;
+* **sanity property** — SC behaviors are always a subset of PS2.1
+  behaviors (SC executions are the PS executions that always read the
+  newest message and never promise), property-tested on random programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lang.syntax import (
+    Assign,
+    Be,
+    Call,
+    Cas,
+    Fence,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Return,
+    Skip,
+    Store,
+    eval_expr,
+)
+from repro.lang.values import Int32
+from repro.semantics.events import EVENT_DONE, Trace
+from repro.semantics.exploration import BehaviorSet
+from repro.semantics.threadstate import LocalState
+
+
+@dataclass(frozen=True)
+class ScMemory:
+    """A flat ``location → value`` store (absent locations read 0)."""
+
+    cells: Tuple[Tuple[str, Int32], ...] = ()
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(
+            sorted((loc, Int32(v)) for loc, v in dict(self.cells).items() if v != 0)
+        )
+        object.__setattr__(self, "cells", cleaned)
+
+    def get(self, loc: str) -> Int32:
+        """The current value of ``loc`` (0 if never written)."""
+        for name, value in self.cells:
+            if name == loc:
+                return value
+        return Int32(0)
+
+    def set(self, loc: str, value: Int32) -> "ScMemory":
+        """A copy with ``loc`` overwritten."""
+        cells = dict(self.cells)
+        cells[loc] = Int32(value)
+        return ScMemory(tuple(cells.items()))
+
+
+@dataclass(frozen=True)
+class ScState:
+    """An SC machine state: local states plus the flat memory."""
+
+    locals: Tuple[LocalState, ...]
+    mem: ScMemory
+
+    @property
+    def all_done(self) -> bool:
+        return all(local.done for local in self.locals)
+
+
+def initial_sc_state(program: Program) -> ScState:
+    """All threads at their entries over the all-zero flat memory."""
+    locals_ = tuple(
+        LocalState(func=f, label=program.function(f).entry, offset=0)
+        for f in program.threads
+    )
+    return ScState(locals_, ScMemory())
+
+
+def sc_thread_step(
+    program: Program, local: LocalState, mem: ScMemory
+) -> Optional[Tuple[Optional[Int32], LocalState, ScMemory]]:
+    """One deterministic SC step of a thread: ``(output?, local', mem')``,
+    or ``None`` if the thread is done."""
+    if local.done:
+        return None
+    block = program.function(local.func)[local.label]
+    if local.offset < len(block.instrs):
+        instr = block.instrs[local.offset]
+        regs = local.reg_map
+        advance = replace(local, offset=local.offset + 1)
+        if isinstance(instr, Skip) or isinstance(instr, Fence):
+            return None, advance, mem
+        if isinstance(instr, Assign):
+            return None, advance.set_reg(instr.dst, eval_expr(instr.expr, regs)), mem
+        if isinstance(instr, Print):
+            return eval_expr(instr.expr, regs), advance, mem
+        if isinstance(instr, Load):
+            value = mem.get(instr.loc)
+            return None, advance.set_reg(instr.dst, value), mem
+        if isinstance(instr, Store):
+            return None, advance, mem.set(instr.loc, eval_expr(instr.expr, regs))
+        if isinstance(instr, Cas):
+            current = mem.get(instr.loc)
+            if current == eval_expr(instr.expected, regs):
+                new_mem = mem.set(instr.loc, eval_expr(instr.new, regs))
+                return None, advance.set_reg(instr.dst, Int32(1)), new_mem
+            return None, advance.set_reg(instr.dst, Int32(0)), mem
+        raise TypeError(f"not an instruction: {instr!r}")
+
+    term = block.term
+    if isinstance(term, Jmp):
+        return None, replace(local, label=term.target, offset=0), mem
+    if isinstance(term, Be):
+        cond = eval_expr(term.cond, local.reg_map)
+        target = term.then_target if cond != 0 else term.else_target
+        return None, replace(local, label=target, offset=0), mem
+    if isinstance(term, Call):
+        callee = program.function(term.func)
+        new_local = replace(
+            local,
+            func=term.func,
+            label=callee.entry,
+            offset=0,
+            stack=local.stack + ((local.func, term.ret_label),),
+        )
+        return None, new_local, mem
+    if isinstance(term, Return):
+        if local.stack:
+            caller, ret_label = local.stack[-1]
+            return None, replace(local, func=caller, label=ret_label, offset=0, stack=local.stack[:-1]), mem
+        return None, replace(local, done=True), mem
+    raise TypeError(f"not a terminator: {term!r}")
+
+
+def sc_machine_steps(
+    program: Program, state: ScState
+) -> Iterator[Tuple[Optional[int], ScState]]:
+    """All SC machine steps: pick any unfinished thread, run its next
+    instruction.  Edge label is the output value or ``None``."""
+    for tid, local in enumerate(state.locals):
+        step = sc_thread_step(program, local, state.mem)
+        if step is None:
+            continue
+        output, new_local, new_mem = step
+        new_locals = state.locals[:tid] + (new_local,) + state.locals[tid + 1:]
+        label = int(output) if output is not None else None
+        yield label, ScState(new_locals, new_mem)
+
+
+def sc_behaviors(program: Program, max_states: int = 2_000_000, max_outputs: int = 8) -> BehaviorSet:
+    """Exhaustive SC behavior set (same trace vocabulary as PS2.1)."""
+    initial = initial_sc_state(program)
+    index: Dict[ScState, int] = {initial: 0}
+    states: List[ScState] = [initial]
+    edges: List[List[Tuple[Optional[int], int]]] = [[]]
+    terminal: List[bool] = [initial.all_done]
+    exhaustive = True
+    frontier = [0]
+    while frontier:
+        next_frontier: List[int] = []
+        for idx in frontier:
+            for label, succ in sc_machine_steps(program, states[idx]):
+                if succ in index:
+                    succ_idx = index[succ]
+                else:
+                    if len(states) >= max_states:
+                        exhaustive = False
+                        continue
+                    succ_idx = len(states)
+                    index[succ] = succ_idx
+                    states.append(succ)
+                    edges.append([])
+                    terminal.append(succ.all_done)
+                    next_frontier.append(succ_idx)
+                edges[idx].append((label, succ_idx))
+        frontier = next_frontier
+
+    # Trace fixpoint, identical in shape to Explorer.behaviors().
+    traces: List[Set[Trace]] = [set() for _ in states]
+    for idx in range(len(states)):
+        traces[idx].add(())
+        if terminal[idx]:
+            traces[idx].add((EVENT_DONE,))
+    preds: List[List[Tuple[Optional[int], int]]] = [[] for _ in states]
+    for idx, out_edges in enumerate(edges):
+        for label, succ in out_edges:
+            preds[succ].append((label, idx))
+    work = set(range(len(states)))
+    while work:
+        succ = work.pop()
+        for label, pred in preds[succ]:
+            added = False
+            for t in traces[succ]:
+                if label is None:
+                    extended = t
+                else:
+                    if sum(1 for e in t if not isinstance(e, str)) >= max_outputs:
+                        continue
+                    extended = (label,) + t
+                if extended not in traces[pred]:
+                    traces[pred].add(extended)
+                    added = True
+            if added:
+                work.add(pred)
+    return BehaviorSet(frozenset(traces[0]), exhaustive, len(states))

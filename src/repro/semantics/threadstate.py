@@ -1,0 +1,131 @@
+"""Thread-local states (paper Fig. 8: ``LocalState σ``, ``ThrdState TS``).
+
+A :class:`LocalState` is the purely sequential part of a thread: which
+function/block/offset it is executing, its register file, and its call
+stack.  A :class:`ThreadState` bundles the local state with the PS2.1 view
+``V`` and promise set ``P``; we additionally carry the release/acquire fence
+views of the full PS2.1 thread-view structure (``vrel``, ``vacq``), which the
+paper elides together with fences (footnote 1).
+
+Everything is immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.lang.syntax import Instr, Program, Terminator
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.timemap import BOTTOM_VIEW, View
+
+
+@dataclass(frozen=True)
+class LocalState:
+    """The sequential control state ``σ`` of one thread.
+
+    ``stack`` holds ``(function, return_label)`` frames for pending calls.
+    ``done`` marks a thread that executed ``return`` with an empty stack.
+    """
+
+    func: str
+    label: str
+    offset: int
+    regs: Tuple[Tuple[str, Int32], ...] = ()
+    stack: Tuple[Tuple[str, str], ...] = ()
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(
+            sorted((name, Int32(value)) for name, value in dict(self.regs).items() if value != 0)
+        )
+        object.__setattr__(self, "regs", cleaned)
+
+    @property
+    def reg_map(self) -> Dict[str, Int32]:
+        """The register file as a plain dict (absent registers are 0)."""
+        return dict(self.regs)
+
+    def get_reg(self, name: str) -> Int32:
+        """The register's value (0 if unset)."""
+        for reg, value in self.regs:
+            if reg == name:
+                return value
+        return Int32(0)
+
+    def set_reg(self, name: str, value: Int32) -> "LocalState":
+        """A copy with the register bound to ``value``."""
+        regs = dict(self.regs)
+        regs[name] = Int32(value)
+        return replace(self, regs=tuple(regs.items()))
+
+    def __str__(self) -> str:
+        if self.done:
+            return f"<{self.func}: done>"
+        return f"<{self.func}:{self.label}+{self.offset}>"
+
+
+def next_op(program: Program, local: LocalState) -> Optional[Union[Instr, Terminator]]:
+    """``nxt(σ)`` — the next instruction or terminator, ``None`` if done.
+
+    Used both by the step relation and by the write-write race detector
+    (paper Fig. 11 inspects ``nxt(σ)``).
+    """
+    if local.done:
+        return None
+    block = program.function(local.func)[local.label]
+    if local.offset < len(block.instrs):
+        return block.instrs[local.offset]
+    return block.term
+
+
+@dataclass(frozen=True)
+class ThreadState:
+    """``TS = (σ, V, P)`` plus the fence views of the full PS2.1 model.
+
+    ``promises`` is a :class:`~repro.memory.memory.Memory` holding this
+    thread's outstanding promise messages and reservations.
+    ``promise_budget`` counts how many promise steps the thread may still
+    take; it is part of the state so exploration stays finite (see
+    :mod:`repro.semantics.promises`).
+    """
+
+    local: LocalState
+    view: View = BOTTOM_VIEW
+    promises: Memory = Memory(())
+    vrel: View = BOTTOM_VIEW
+    vacq: View = BOTTOM_VIEW
+    promise_budget: int = 0
+
+    def with_local(self, local: LocalState) -> "ThreadState":
+        """A copy with the sequential state replaced."""
+        return replace(self, local=local)
+
+    def with_view(self, view: View) -> "ThreadState":
+        """A copy with the thread view replaced."""
+        return replace(self, view=view)
+
+    @property
+    def has_promises(self) -> bool:
+        """Whether any *concrete* promise (not a mere reservation) remains."""
+        return any(item.is_concrete for item in self.promises)
+
+    def __str__(self) -> str:
+        return f"TS({self.local}, V={self.view}, P={self.promises})"
+
+
+def initial_thread_state(program: Program, func: str, promise_budget: int = 0) -> ThreadState:
+    """``Init(π, f)`` — the initial thread state for a thread running ``func``."""
+    heap = program.function(func)
+    local = LocalState(func=func, label=heap.entry, offset=0)
+    return ThreadState(local=local, promise_budget=promise_budget)
+
+
+#: A thread pool ``TP ∈ Tid → ThrdState`` as a tuple indexed by thread id.
+ThreadPool = Tuple[ThreadState, ...]
+
+
+def update_pool(pool: ThreadPool, tid: int, state: ThreadState) -> ThreadPool:
+    """``TP{t ↦ TS}`` — functional update of a thread pool."""
+    return pool[:tid] + (state,) + pool[tid + 1:]

@@ -1,0 +1,49 @@
+"""The verification framework (paper Sec. 6): refinement, timestamp
+mappings, invariants, the delayed write set, the thread-local simulation
+checker, and the translation-validation pipeline.
+
+* :mod:`repro.sim.refinement` — event-trace refinement ``P_t ⊆ P_s`` by
+  exhaustive behavior-set comparison (Def. 6.4's conclusion);
+* :mod:`repro.sim.tmap` — timestamp mappings ``φ`` (Fig. 12);
+* :mod:`repro.sim.invariant` — the invariant parameter ``I`` with its
+  well-formedness check ``wf(I, ι)``, and the paper's instances ``I_id``
+  and ``I_dce`` (Sec. 6.1 / 7.1);
+* :mod:`repro.sim.delayed` — the delayed write set ``D`` (Fig. 13);
+* :mod:`repro.sim.simulation` — an executable thread-local simulation
+  checker implementing the diagrams of Fig. 14 over the non-preemptive
+  semantics;
+* :mod:`repro.sim.validate` — per-program and corpus translation
+  validation of optimizers (``Correct(Opt)``, Def. 6.4, checked
+  empirically).
+"""
+
+from repro.sim.refinement import RefinementResult, check_refinement, check_equivalence
+from repro.sim.tmap import TimestampMapping, initial_tmap
+from repro.sim.invariant import Invariant, identity_invariant, dce_invariant, wf_check
+from repro.sim.delayed import DelayedWriteSet
+from repro.sim.simulation import SimulationResult, check_thread_simulation
+from repro.sim.validate import (
+    ValidationReport,
+    validate_corpus,
+    validate_optimizer,
+    verify_optimizer_by_simulation,
+)
+
+__all__ = [
+    "DelayedWriteSet",
+    "Invariant",
+    "RefinementResult",
+    "SimulationResult",
+    "TimestampMapping",
+    "ValidationReport",
+    "check_equivalence",
+    "check_refinement",
+    "check_thread_simulation",
+    "dce_invariant",
+    "identity_invariant",
+    "initial_tmap",
+    "validate_corpus",
+    "validate_optimizer",
+    "verify_optimizer_by_simulation",
+    "wf_check",
+]

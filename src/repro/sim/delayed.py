@@ -1,0 +1,82 @@
+"""The delayed write set ``D`` (paper Fig. 13 and Sec. 6.2).
+
+``D`` maps delayed items ``(x, t)`` — non-atomic target writes the source
+has not yet performed — to well-founded indices.  Its two roles:
+
+1. every non-atomic write of the target enters ``D`` (rule (tgt-D)), which
+   is how the simulation enforces that all locations written by the target
+   are also written by the source (preservation of ww-race freedom);
+2. the indices strictly decrease (``D' < D``) on source steps that do not
+   discharge a delayed write, forcing the source to catch up within
+   finitely many steps.
+
+The checker instantiates indices as natural numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.memory.timestamps import Timestamp
+
+
+@dataclass(frozen=True)
+class DelayedWriteSet:
+    """An immutable map ``(var, to-timestamp) ↦ index``."""
+
+    entries: Tuple[Tuple[Tuple[str, Timestamp], int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(sorted(dict(self.entries).items())))
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def items(self) -> FrozenSet[Tuple[str, Timestamp]]:
+        """``dom(D)``."""
+        return frozenset(key for key, _ in self.entries)
+
+    def add(self, var: str, to: Timestamp, index: int) -> "DelayedWriteSet":
+        """Rule (tgt-D): ``D ⊎ {(x, t) ↦ i}`` for a target na write."""
+        items = dict(self.entries)
+        key = (var, to)
+        if key in items:
+            raise ValueError(f"delayed item {key} already present")
+        items[key] = index
+        return DelayedWriteSet(tuple(items.items()))
+
+    def discharge(self, var: str, to: Optional[Timestamp] = None) -> "DelayedWriteSet":
+        """Rule (src-D): remove the delayed write the source just performed.
+
+        With ``to`` given, removes exactly ``(var, to)``; otherwise removes
+        the oldest delayed write on ``var`` (the source catches up in
+        order).  No-op when nothing on ``var`` is delayed.
+        """
+        items = dict(self.entries)
+        if to is not None:
+            items.pop((var, to), None)
+        else:
+            on_var = sorted(key for key in items if key[0] == var)
+            if on_var:
+                items.pop(on_var[0])
+        return DelayedWriteSet(tuple(items.items()))
+
+    def decrement(self) -> Optional["DelayedWriteSet"]:
+        """``D' < D``: same domain, every index strictly smaller.
+
+        Returns ``None`` when some index would go negative — the
+        well-foundedness violation that means the source failed to catch
+        up in time.
+        """
+        if any(index <= 0 for _, index in self.entries):
+            return None
+        return DelayedWriteSet(tuple((key, index - 1) for key, index in self.entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"({v}@{t})↦{i}" for (v, t), i in self.entries)
+        return "D{" + inner + "}"

@@ -1,0 +1,155 @@
+"""The invariant parameter ``I`` (paper Fig. 12 and Sec. 6.1).
+
+``I(φ, (M_t, M_s), ι)`` is the verifier-supplied relation on shared states
+that must hold at every switch point.  Two instances from the paper:
+
+* ``I_id`` — target and source memories are identical and ``φ`` is the
+  identity; sufficient for ConstProp and CSE;
+* ``I_dce`` — every concrete target message on a non-atomic location has a
+  φ-related source message with an *unused timestamp interval immediately
+  below it*, which is the room the source needs to execute eliminated dead
+  writes in lockstep (the paper's Fig. 16(c) discussion: the dead write
+  ``1`` must go between ``5`` and ``8``, never to the right of ``8``).
+
+``wf(I, ι)`` (Fig. 12) demands ``I`` holds initially and that whenever it
+holds, ``φ`` maps all target messages into source messages monotonically;
+:func:`wf_check` evaluates both on the initial state plus caller-provided
+sample states (the universally quantified second condition is checked on
+every state the simulation checker visits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.memory.memory import Memory
+from repro.memory.timestamps import Timestamp
+from repro.sim.tmap import TimestampMapping, initial_tmap, message_keys, wf_tmap
+
+#: The type of invariant predicates: I(φ, (M_t, M_s), ι) → bool.
+InvariantFn = Callable[[TimestampMapping, Memory, Memory, FrozenSet[str]], bool]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named invariant instance."""
+
+    name: str
+    holds: InvariantFn
+
+    def __call__(
+        self,
+        phi: TimestampMapping,
+        mem_target: Memory,
+        mem_source: Memory,
+        atomics: FrozenSet[str],
+    ) -> bool:
+        return self.holds(phi, mem_target, mem_source, atomics)
+
+    def __str__(self) -> str:
+        return f"I_{self.name}"
+
+
+def _identity(
+    phi: TimestampMapping, mem_target: Memory, mem_source: Memory, atomics: FrozenSet[str]
+) -> bool:
+    """``I_id``: M_t = M_s, dom(φ) = ⌊M_t⌋, φ the identity."""
+    if mem_target.concrete() != mem_source.concrete():
+        return False
+    if phi.domain() != message_keys(mem_target):
+        return False
+    return all(key[1] == value for key, value in phi.entries)
+
+
+def identity_invariant() -> Invariant:
+    """The paper's ``I_id`` (Sec. 6.1) — used for ConstProp and CSE."""
+    return Invariant("id", _identity)
+
+
+def _atomics_agree(
+    phi: TimestampMapping, mem_target: Memory, mem_source: Memory, atomics: FrozenSet[str]
+) -> bool:
+    """The side condition ``(φ, ι ⊢ M_t ∼ M_s)``: φ is well-formed, maps
+    atomic-location messages identically, and relates equal values."""
+    if not wf_tmap(phi, mem_target, mem_source):
+        return False
+    for message in mem_target.concrete():
+        t_source = phi.get(message.var, message.to)
+        if t_source is None:
+            return False
+        source_message = mem_source.message_at(message.var, t_source)
+        if source_message is None or source_message.value != message.value:
+            return False
+        if message.var in atomics and t_source != message.to:
+            return False
+    return True
+
+
+def _dce(
+    phi: TimestampMapping, mem_target: Memory, mem_source: Memory, atomics: FrozenSet[str]
+) -> bool:
+    """``I_dce`` (Sec. 7.1): the gap condition below every related source
+    message of a non-atomic location."""
+    if not _atomics_agree(phi, mem_target, mem_source, atomics):
+        return False
+    for message in mem_target.concrete():
+        if message.var in atomics or message.to == 0:
+            continue
+        t_source = phi.get(message.var, message.to)
+        source_message = mem_source.message_at(message.var, t_source)
+        if source_message is None:
+            return False
+        if not _has_gap_below(mem_source, message.var, source_message.frm):
+            return False
+    return True
+
+
+def _has_gap_below(mem_source: Memory, var: str, frm: Timestamp) -> bool:
+    """∃ t_r < f' with ``(t_r, f']`` unused: every source message on ``var``
+    either ends at/below ``t_r`` or starts at/above ``f'``.
+
+    Equivalently: no message interval's interior straddles ``f'`` from
+    below, and the message immediately below leaves room (its "to" is
+    strictly less than ``f'``)."""
+    # The tightest candidate t_r is the largest "to" at or below frm.
+    candidates = [m.to for m in mem_source.per_loc(var) if m.to <= frm]
+    t_r = max(candidates, default=Timestamp(0))
+    if not t_r < frm:
+        return False
+    # (t_r, frm] must be free of every interval.
+    for m in mem_source.per_loc(var):
+        if m.frm == m.to:
+            continue
+        if m.frm < frm and m.to > t_r:
+            return False
+    return True
+
+
+def dce_invariant() -> Invariant:
+    """The paper's ``I_dce`` (Sec. 7.1) — used for DCE."""
+    return Invariant("dce", _dce)
+
+
+def wf_check(
+    invariant: Invariant,
+    atomics: FrozenSet[str],
+    locations: Iterable[str],
+    samples: Sequence[Tuple[TimestampMapping, Memory, Memory]] = (),
+) -> bool:
+    """``wf(I, ι)`` (Fig. 12).
+
+    Checks (1) ``I(φ0, (M0, M0), ι)``, and (2) on each supplied sample
+    where ``I`` holds, that ``dom(φ) = ⌊M_t⌋``, ``φ(M_t) ⊆ ⌊M_s⌋`` and
+    ``mon(φ)``.  The simulation checker feeds every state it visits
+    through condition (2).
+    """
+    locations = sorted(locations)
+    m0 = Memory.initial(locations)
+    if not invariant(initial_tmap(locations), m0, m0, atomics):
+        return False
+    for phi, mem_target, mem_source in samples:
+        if invariant(phi, mem_target, mem_source, atomics):
+            if not wf_tmap(phi, mem_target, mem_source):
+                return False
+    return True

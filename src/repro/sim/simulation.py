@@ -1,0 +1,560 @@
+"""An executable thread-local simulation checker (paper Def. 6.1, Fig. 14).
+
+``check_thread_simulation`` decides, for one function ``f`` of a
+source/target code pair and a candidate invariant ``I``, whether the
+thread-local upward simulation ``I, ι |= π_t ≼ π_s`` holds along all
+*closed* executions of the target thread (running in isolation, following
+the non-preemptive discipline).  It is the executable counterpart of the
+paper's Coq proof obligations: every diagram case of Fig. 14 is checked on
+every reachable product configuration —
+
+* **NA step** (Fig. 14(a)): a target silent / non-atomic step is answered
+  by zero or more source non-atomic steps; a target na write enters the
+  delayed write set ``D`` with a well-founded index; undischged indices
+  strictly decrease, so the source must catch up in bounded time;
+* **AT step** (Fig. 14(b)): target and source perform the *identical*
+  atomic event (after source-side na catch-up steps); ``D`` must be empty
+  at the atomic step; the invariant ``I`` is re-established at the
+  resulting switch point;
+* **switch points**: whenever the switch bit is ``◦``, ``I(φ, (M_t, M_s),
+  ι)`` must hold and ``φ`` must satisfy the ``wf`` conditions (total on
+  target messages, into source messages, monotone);
+* **termination**: when the target thread finishes, the source must finish
+  too via non-atomic steps only, with ``D`` empty and ``I`` holding at the
+  final switch point.
+
+The search is a two-player game: target steps are universally quantified,
+source responses existentially.  We build the reachable product graph and
+evaluate the greatest fixpoint (coinduction: cycles count as good unless an
+obligation fails), exactly the shape of a simulation proof.
+
+Environment interference (the Rely at the thick arrows of Fig. 2(b)) is
+exercised by *perturbation*: with ``SimCheckConfig.env_write_budget > 0``
+the checker injects, at every switch point, I-preserving non-synchronizing
+environment writes into both memories and demands the simulation survive
+each.  This covers the na/rlx interference the verified optimizations care
+about; release-synchronizing environment transitions (which would carry
+message views) are not enumerated — whole-program refinement under full
+interference is checked independently by :mod:`repro.sim.validate`.
+Promise/reserve diagram cases (Fig. 14(c)) are exercised only when the
+semantics config enables an oracle; the default closed check runs
+promise-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lang.syntax import AccessMode, Program
+from repro.memory.memory import Memory
+from repro.semantics.events import (
+    EventClass,
+    OutputEvent,
+    ThreadEvent,
+    WriteEvent,
+    event_class,
+)
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import ThreadState, initial_thread_state
+from repro.sim.delayed import DelayedWriteSet
+from repro.sim.invariant import Invariant
+from repro.sim.tmap import TimestampMapping, initial_tmap, wf_tmap
+
+
+@dataclass(frozen=True)
+class ProductState:
+    """One node of the simulation game graph.
+
+    ``env_budget`` counts remaining environment perturbations: at switch
+    points the checker injects I-preserving environment writes (the Rely of
+    the paper's Fig. 2(b)) and demands the simulation survive each.
+    """
+
+    ts_target: ThreadState
+    mem_target: Memory
+    ts_source: ThreadState
+    mem_source: Memory
+    phi: TimestampMapping
+    delayed: DelayedWriteSet
+    at_switch_point: bool
+    env_budget: int = 0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Verdict of the thread-local simulation check."""
+
+    holds: bool
+    reason: str
+    states_explored: int
+    exhaustive: bool
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:
+        verdict = "simulation holds" if self.holds else f"simulation FAILS: {self.reason}"
+        return f"{verdict} ({self.states_explored} product states)"
+
+
+@dataclass(frozen=True)
+class SimCheckConfig:
+    """Bounds for the simulation game search.
+
+    ``env_write_budget`` > 0 turns on environment perturbation: at every
+    switch point, up to that many I-preserving environment writes (one per
+    location/value pair from ``env_values``) are injected into *both*
+    memories, and the simulation must survive each — the executable
+    counterpart of the Rely condition at the thick arrows of the paper's
+    Fig. 2(b).
+    """
+
+    max_source_steps: int = 4
+    catchup_index: int = 8
+    max_product_states: int = 100_000
+    max_completion_steps: int = 64
+    env_write_budget: int = 0
+    env_values: Tuple[int, ...] = (1,)
+
+
+def check_thread_simulation(
+    source: Program,
+    target: Program,
+    func: str,
+    invariant: Invariant,
+    sem_config: Optional[SemanticsConfig] = None,
+    check_config: SimCheckConfig = SimCheckConfig(),
+) -> SimulationResult:
+    """Decide the closed thread-local simulation for thread function
+    ``func`` (see module docstring for exactly what is checked)."""
+    checker = _Checker(source, target, func, invariant, sem_config, check_config)
+    return checker.run()
+
+
+class _Checker:
+    def __init__(
+        self,
+        source: Program,
+        target: Program,
+        func: str,
+        invariant: Invariant,
+        sem_config: Optional[SemanticsConfig],
+        check_config: SimCheckConfig,
+    ) -> None:
+        if source.atomics != target.atomics:
+            raise ValueError("optimizers must preserve the atomics set ι")
+        self.source = source
+        self.target = target
+        self.func = func
+        self.invariant = invariant
+        self.sem = sem_config or SemanticsConfig()
+        # The source side is existentially quantified: give it the
+        # gap-leaving write placements it needs to establish I_dce.
+        self.sem_source = replace(self.sem, gap_leaving_writes=True)
+        self.cfg = check_config
+        self.atomics = source.atomics
+        self.locations = sorted(source.locations() | target.locations())
+
+        self.nodes: List[ProductState] = []
+        self.index: Dict[ProductState, int] = {}
+        # groups[node] = list of (description, [successor ids]); a node is
+        # good iff every group has at least one good successor.
+        self.groups: Dict[int, List[Tuple[str, List[int]]]] = {}
+        self.immediately_bad: Dict[int, str] = {}
+        self.exhaustive = True
+
+    # -- graph construction --------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        initial = self._initial_state()
+        failure = self._node_obligation(initial)
+        root = self._intern(initial, failure)
+        frontier = [root]
+        seen_frontier = {root}
+        while frontier:
+            node_id = frontier.pop()
+            if node_id in self.immediately_bad:
+                continue
+            for succ_id in self._expand(node_id):
+                if succ_id not in seen_frontier:
+                    seen_frontier.add(succ_id)
+                    frontier.append(succ_id)
+
+        good = self._greatest_fixpoint()
+        holds = root in good
+        reason = "" if holds else self._diagnose(root, good)
+        return SimulationResult(holds, reason, len(self.nodes), self.exhaustive)
+
+    def _initial_state(self) -> ProductState:
+        return ProductState(
+            ts_target=initial_thread_state(self.target, self.func),
+            mem_target=Memory.initial(self.locations),
+            ts_source=initial_thread_state(self.source, self.func),
+            mem_source=Memory.initial(self.locations),
+            phi=initial_tmap(self.locations),
+            delayed=DelayedWriteSet(),
+            at_switch_point=True,
+            env_budget=self.cfg.env_write_budget,
+        )
+
+    def _intern(self, state: ProductState, failure: Optional[str] = None) -> int:
+        if state in self.index:
+            return self.index[state]
+        node_id = len(self.nodes)
+        self.index[state] = node_id
+        self.nodes.append(state)
+        self.groups[node_id] = []
+        if failure is None:
+            failure = self._node_obligation(state)
+        if failure is not None:
+            self.immediately_bad[node_id] = failure
+        return node_id
+
+    def _node_obligation(self, state: ProductState) -> Optional[str]:
+        """Obligations holding at the node itself (not its transitions)."""
+        if state.at_switch_point:
+            if not self.invariant(
+                state.phi, state.mem_target, state.mem_source, self.atomics
+            ):
+                return f"invariant {self.invariant} broken at switch point"
+            if not wf_tmap(state.phi, state.mem_target, state.mem_source):
+                return "wf(I, ι) violated: φ not well-formed where I holds"
+        return None
+
+    def _expand(self, node_id: int) -> Iterator[int]:
+        state = self.nodes[node_id]
+        if len(self.nodes) >= self.cfg.max_product_states:
+            self.exhaustive = False
+            self.immediately_bad.setdefault(node_id, "product state bound hit")
+            return
+        if state.ts_target.local.done:
+            # Terminal obligation: the source completes via NA steps with D
+            # empty and I at the final switch point.
+            if not self._source_completes(state):
+                self.immediately_bad.setdefault(
+                    node_id, "target finished but source cannot complete"
+                )
+            return
+
+        if state.at_switch_point and state.env_budget > 0:
+            for description, succ in self._environment_perturbations(state):
+                self.groups[node_id].append((description, [succ]))
+                yield succ
+
+        # Target promise/reserve steps are part of the universal side of
+        # the game whenever the semantics config carries an oracle — the
+        # Fig. 14(c) diagram; with the default NoPromises oracle this adds
+        # nothing.  Promises are only legal at switch points (Fig. 10).
+        target_steps = list(
+            thread_steps(self.target, state.ts_target, state.mem_target, self.sem,
+                         allow_promises=state.at_switch_point)
+        )
+        if not target_steps:
+            # A stuck-but-unfinished target (e.g. spinning) has no
+            # obligations here beyond those already checked.
+            return
+        for event, ts_t2, mem_t2 in target_steps:
+            succs = list(self._responses(state, event, ts_t2, mem_t2))
+            self.groups[node_id].append((str(event), succs))
+            yield from succs
+
+    # -- responses per diagram case --------------------------------------------
+
+    def _responses(
+        self, state: ProductState, event: ThreadEvent, ts_t2: ThreadState, mem_t2: Memory
+    ) -> Iterator[int]:
+        cls = event_class(event)
+        if cls is EventClass.NA:
+            yield from self._na_responses(state, event, ts_t2, mem_t2)
+        elif cls is EventClass.AT:
+            yield from self._at_responses(state, event, ts_t2, mem_t2)
+        else:  # PRC — only reachable when an oracle is enabled
+            yield from self._prc_responses(state, event, ts_t2, mem_t2)
+
+    def _na_responses(
+        self, state: ProductState, event: ThreadEvent, ts_t2: ThreadState, mem_t2: Memory
+    ) -> Iterator[int]:
+        # (tgt-D): a target na write enters D with a fresh index.
+        delayed = state.delayed
+        if isinstance(event, WriteEvent) and event.mode is AccessMode.NA:
+            new_key = self._new_write_key(state.mem_target, mem_t2, event.loc)
+            if new_key is not None:
+                delayed = delayed.add(new_key[0], new_key[1], self.cfg.catchup_index)
+
+        for ts_s2, mem_s2, phi2, delayed2 in self._source_na_sequences(
+            state.ts_source, state.mem_source, state.phi, delayed, state.mem_target if False else mem_t2
+        ):
+            d3 = delayed2.decrement() if not delayed2.empty else delayed2
+            if d3 is None:
+                continue  # source failed to catch up within the index budget
+            succ = ProductState(
+                ts_t2, mem_t2, ts_s2, mem_s2, phi2, d3, False, state.env_budget
+            )
+            yield self._intern(succ)
+
+    def _at_responses(
+        self, state: ProductState, event: ThreadEvent, ts_t2: ThreadState, mem_t2: Memory
+    ) -> Iterator[int]:
+        for ts_s1, mem_s1, phi1, delayed1 in self._source_na_sequences(
+            state.ts_source, state.mem_source, state.phi, state.delayed, mem_t2
+        ):
+            if not delayed1.empty:
+                continue  # D must be empty when taking the atomic step
+            for s_event, ts_s2, mem_s2 in thread_steps(
+                self.source, ts_s1, mem_s1, self.sem_source, allow_promises=False
+            ):
+                if s_event != event:
+                    continue
+                phi2 = self._extend_phi_atomic(phi1, mem_t2, mem_s1, mem_s2)
+                if phi2 is None:
+                    continue
+                succ = ProductState(
+                    ts_t2, mem_t2, ts_s2, mem_s2, phi2, delayed1, True,
+                    state.env_budget,
+                )
+                yield self._intern(succ)
+
+    def _prc_responses(
+        self, state: ProductState, event: ThreadEvent, ts_t2: ThreadState, mem_t2: Memory
+    ) -> Iterator[int]:
+        # Fig. 14(c): source makes the corresponding promise; both ends are
+        # switch points, so I is (re)checked by the node obligations.
+        for s_event, ts_s2, mem_s2 in thread_steps(
+            self.source, state.ts_source, state.mem_source, self.sem_source,
+            allow_promises=True,
+        ):
+            if type(s_event) is not type(event):
+                continue
+            if getattr(s_event, "loc", None) != getattr(event, "loc", None):
+                continue
+            if getattr(s_event, "value", None) != getattr(event, "value", None):
+                continue
+            phi2 = self._extend_phi_atomic(state.phi, mem_t2, state.mem_source, mem_s2)
+            if phi2 is None:
+                continue
+            succ = ProductState(
+                ts_t2, mem_t2, ts_s2, mem_s2, phi2, state.delayed, True,
+                state.env_budget,
+            )
+            yield self._intern(succ)
+
+    def _environment_perturbations(self, state: ProductState):
+        """I-preserving environment writes at a switch point (Rely).
+
+        For each location and value, append a non-atomic message to the
+        target memory and a gap-leaving counterpart to the source memory,
+        extend φ accordingly, and keep the perturbation iff the invariant
+        still holds (the Rely only ranges over I-preserving transitions).
+        The thread states are untouched — the environment is other threads.
+        """
+        from repro.lang.values import Int32
+        from repro.memory.message import Message
+        from repro.memory.timestamps import midpoint, successor
+
+        for loc in self.locations:
+            for value in self.cfg.env_values:
+                last_t = state.mem_target.latest_ts(loc)
+                to_t = successor(last_t)
+                mem_t = state.mem_target.try_add(
+                    Message(loc, Int32(value), last_t, to_t)
+                )
+                if mem_t is None:
+                    continue
+                last_s = state.mem_source.latest_ts(loc)
+                to_s = successor(last_s)
+                # Two source placements: identical "from" (what I_id needs)
+                # and gap-leaving (what I_dce needs); the environment is a
+                # single transition, so the first that preserves I is used.
+                for frm_s in (last_s, midpoint(last_s, to_s)):
+                    mem_s = state.mem_source.try_add(
+                        Message(loc, Int32(value), frm_s, to_s)
+                    )
+                    if mem_s is None:
+                        continue
+                    phi = state.phi.set(loc, to_t, to_s)
+                    if not phi.monotone():
+                        continue
+                    if not self.invariant(phi, mem_t, mem_s, self.atomics):
+                        continue
+                    succ = ProductState(
+                        state.ts_target,
+                        mem_t,
+                        state.ts_source,
+                        mem_s,
+                        phi,
+                        state.delayed,
+                        True,
+                        state.env_budget - 1,
+                    )
+                    yield f"env W({loc}:={value})", self._intern(succ)
+                    break
+
+    # -- source-side machinery ---------------------------------------------------
+
+    def _source_na_sequences(
+        self,
+        ts: ThreadState,
+        mem: Memory,
+        phi: TimestampMapping,
+        delayed: DelayedWriteSet,
+        mem_target: Memory,
+    ) -> Iterator[Tuple[ThreadState, Memory, TimestampMapping, DelayedWriteSet]]:
+        """All source configurations reachable by ≤ ``max_source_steps``
+        NA-class steps, with (src-D) discharging and φ extension applied."""
+        seen: Set[Tuple[ThreadState, Memory, TimestampMapping, DelayedWriteSet]] = set()
+        start = (ts, mem, phi, delayed)
+        stack: List[Tuple[Tuple, int]] = [(start, 0)]
+        while stack:
+            config, depth = stack.pop()
+            if config in seen:
+                continue
+            seen.add(config)
+            yield config
+            if depth >= self.cfg.max_source_steps:
+                continue
+            ts1, mem1, phi1, delayed1 = config
+            if ts1.local.done:
+                continue
+            for s_event, ts2, mem2 in thread_steps(
+                self.source, ts1, mem1, self.sem_source, allow_promises=False
+            ):
+                if event_class(s_event) is not EventClass.NA:
+                    continue
+                phi2, delayed2 = phi1, delayed1
+                if isinstance(s_event, WriteEvent) and s_event.mode is AccessMode.NA:
+                    updated = self._discharge(
+                        phi1, delayed1, mem_target, mem1, mem2, s_event
+                    )
+                    if updated is None:
+                        continue
+                    phi2, delayed2 = updated
+                stack.append(((ts2, mem2, phi2, delayed2), depth + 1))
+
+    def _discharge(
+        self,
+        phi: TimestampMapping,
+        delayed: DelayedWriteSet,
+        mem_target: Memory,
+        mem_before: Memory,
+        mem_after: Memory,
+        event: WriteEvent,
+    ) -> Optional[Tuple[TimestampMapping, DelayedWriteSet]]:
+        """(src-D): a source na write may discharge the oldest matching
+        delayed item, extending φ; otherwise it is a source-extra write
+        (e.g. a dead write the target eliminated)."""
+        new_key = self._new_write_key(mem_before, mem_after, event.loc)
+        if new_key is None:
+            return phi, delayed  # promise fulfillment: message already present
+        loc, t_source = new_key
+        pending = sorted(key for key in delayed.items() if key[0] == loc)
+        for key in pending:
+            target_msg = mem_target.message_at(loc, key[1])
+            if target_msg is not None and target_msg.value == event.value:
+                phi2 = phi.set(loc, key[1], t_source)
+                if not phi2.monotone():
+                    return None
+                return phi2, delayed.discharge(loc, key[1])
+        return phi, delayed  # source-extra write, no delayed item matched
+
+    def _extend_phi_atomic(
+        self,
+        phi: TimestampMapping,
+        mem_target: Memory,
+        mem_source_before: Memory,
+        mem_source_after: Memory,
+    ) -> Optional[TimestampMapping]:
+        """Map the target's newest unmapped messages onto the source's new
+        messages (atomic writes, CAS, promises): same location, same value,
+        monotone φ."""
+        new_source = [
+            m for m in mem_source_after.concrete() if m not in mem_source_before.concrete()
+        ]
+        phi2 = phi
+        for source_msg in new_source:
+            unmapped = [
+                m
+                for m in mem_target.concrete(source_msg.var)
+                if phi2.get(m.var, m.to) is None and m.value == source_msg.value
+            ]
+            if not unmapped:
+                continue
+            target_msg = max(unmapped, key=lambda m: m.to)
+            phi2 = phi2.set(target_msg.var, target_msg.to, source_msg.to)
+        return phi2 if phi2.monotone() else None
+
+    @staticmethod
+    def _new_write_key(mem_before: Memory, mem_after: Memory, loc: str):
+        """The (loc, to) of the message added between two memories."""
+        before = set(mem_before.concrete(loc))
+        added = [m for m in mem_after.concrete(loc) if m not in before]
+        if not added:
+            return None
+        return (loc, added[0].to)
+
+    def _source_completes(self, state: ProductState) -> bool:
+        """Terminal obligation: source reaches done by NA steps, D drains,
+        and I holds at the end."""
+        seen = set()
+        stack = [(state.ts_source, state.mem_source, state.phi, state.delayed, 0)]
+        while stack:
+            ts, mem, phi, delayed, depth = stack.pop()
+            key = (ts, mem, phi, delayed)
+            if key in seen or depth > self.cfg.max_completion_steps:
+                continue
+            seen.add(key)
+            if ts.local.done and delayed.empty:
+                if self.invariant(phi, state.mem_target, mem, self.atomics):
+                    return True
+            if ts.local.done:
+                continue
+            for s_event, ts2, mem2 in thread_steps(
+                self.source, ts, mem, self.sem_source, allow_promises=False
+            ):
+                if event_class(s_event) is not EventClass.NA:
+                    continue
+                phi2, delayed2 = phi, delayed
+                if isinstance(s_event, WriteEvent) and s_event.mode is AccessMode.NA:
+                    updated = self._discharge(
+                        phi, delayed, state.mem_target, mem, mem2, s_event
+                    )
+                    if updated is None:
+                        continue
+                    phi2, delayed2 = updated
+                stack.append((ts2, mem2, phi2, delayed2, depth + 1))
+        return False
+
+    # -- game evaluation -----------------------------------------------------------
+
+    def _greatest_fixpoint(self) -> Set[int]:
+        good = {i for i in range(len(self.nodes)) if i not in self.immediately_bad}
+        changed = True
+        while changed:
+            changed = False
+            for node_id in list(good):
+                for _, succs in self.groups.get(node_id, ()):
+                    if not any(s in good for s in succs):
+                        good.discard(node_id)
+                        changed = True
+                        break
+        return good
+
+    def _diagnose(self, root: int, good: Set[int]) -> str:
+        if root in self.immediately_bad:
+            return self.immediately_bad[root]
+        # Walk to a failing obligation for a readable reason.
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            node_id = frontier.pop(0)
+            if node_id in self.immediately_bad:
+                return self.immediately_bad[node_id]
+            for desc, succs in self.groups.get(node_id, ()):
+                if not any(s in good for s in succs):
+                    if not succs:
+                        return f"no source response to target step {desc}"
+                    for s in succs:
+                        if s not in seen:
+                            seen.add(s)
+                            frontier.append(s)
+        return "no matching source execution"

@@ -1,0 +1,88 @@
+"""Timestamp mappings ``φ`` (paper Fig. 12).
+
+``φ : (Var × Time) ⇀ Time`` relates the "to"-timestamps of target messages
+to those of their corresponding source messages.  The well-formedness
+conditions of Fig. 12:
+
+* ``dom(φ) = ⌊M_t⌋`` — every concrete target message is mapped;
+* ``φ(M_t) ⊆ ⌊M_s⌋`` — the images are concrete source messages;
+* ``mon(φ)`` — per location, ``φ`` is strictly monotone in timestamps, so
+  target and source message orders agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.memory.memory import Memory
+from repro.memory.timestamps import Timestamp
+
+
+@dataclass(frozen=True)
+class TimestampMapping:
+    """An immutable partial map ``(var, t_target) ↦ t_source``."""
+
+    entries: Tuple[Tuple[Tuple[str, Timestamp], Timestamp], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(sorted(dict(self.entries).items())))
+
+    def get(self, var: str, t: Timestamp) -> Optional[Timestamp]:
+        """``φ(x, t)`` or ``None`` when unmapped."""
+        for (name, key_t), value in self.entries:
+            if name == var and key_t == t:
+                return value
+        return None
+
+    def set(self, var: str, t: Timestamp, t_source: Timestamp) -> "TimestampMapping":
+        """Extend/overwrite the mapping at ``(var, t)``."""
+        items = dict(self.entries)
+        items[(var, t)] = t_source
+        return TimestampMapping(tuple(items.items()))
+
+    def domain(self) -> FrozenSet[Tuple[str, Timestamp]]:
+        """``dom(φ)``."""
+        return frozenset(key for key, _ in self.entries)
+
+    def image(self) -> FrozenSet[Tuple[str, Timestamp]]:
+        """``φ(M)`` as (var, source-timestamp) pairs."""
+        return frozenset((key[0], value) for key, value in self.entries)
+
+    def monotone(self) -> bool:
+        """``mon(φ)``: strictly increasing per location."""
+        per_loc: Dict[str, Dict[Timestamp, Timestamp]] = {}
+        for (var, t), t_source in self.entries:
+            per_loc.setdefault(var, {})[t] = t_source
+        for mapping in per_loc.values():
+            ordered = sorted(mapping.items())
+            for (t1, s1), (t2, s2) in zip(ordered, ordered[1:]):
+                if not s1 < s2:
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"({v},{t})↦{s}" for (v, t), s in self.entries)
+        return "φ{" + inner + "}"
+
+
+def message_keys(memory: Memory) -> FrozenSet[Tuple[str, Timestamp]]:
+    """``⌊M⌋`` — the (var, "to"-timestamp) pairs of concrete messages."""
+    return frozenset((m.var, m.to) for m in memory.concrete())
+
+
+def initial_tmap(locations) -> TimestampMapping:
+    """``φ0 = {(x, 0) ↦ 0 | x ∈ Var}`` over the given locations."""
+    return TimestampMapping(
+        tuple((((var, Timestamp(0))), Timestamp(0)) for var in sorted(locations))
+    )
+
+
+def wf_tmap(phi: TimestampMapping, mem_target: Memory, mem_source: Memory) -> bool:
+    """The φ-portion of ``wf(I, ι)``: domain covers the target messages,
+    image lands in the source messages, and φ is monotone."""
+    if phi.domain() != message_keys(mem_target):
+        return False
+    if not phi.image() <= message_keys(mem_source):
+        return False
+    return phi.monotone()

@@ -1,0 +1,158 @@
+"""Translation validation of optimizers (paper Def. 6.4, Thm. 6.5/6.6,
+checked empirically).
+
+``Correct(Opt)`` requires, for every ww-race-free, safe source program:
+``Opt(π_s, ι) = π_t ⟹ P_t ⊆ P_s``.  The paper proves this deductively via
+the simulation; this module checks it *per program* by exhaustive behavior
+comparison, plus the two meta-properties the paper's framework guarantees:
+
+* preservation of write-write race freedom (needed to vertically compose
+  optimizers, Lemma 6.2);
+* preservation of the atomics set ``ι`` (optimizers never touch atomic
+  variables).
+
+``validate_corpus`` sweeps a seed range of randomly generated ww-RF
+programs through an optimizer — the E-THM66 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lang.syntax import Program
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt.base import Optimizer
+from repro.races.wwrf import RaceReport, ww_rf
+from repro.semantics.thread import SemanticsConfig
+from repro.sim.refinement import RefinementResult, check_refinement
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The outcome of validating one optimizer run on one program."""
+
+    optimizer: str
+    refinement: RefinementResult
+    source_wwrf: RaceReport
+    target_wwrf: Optional[RaceReport]
+    changed: bool
+
+    @property
+    def ok(self) -> bool:
+        """Correctness verdict: either the ww-RF precondition fails (the
+        theorem is vacuous for this source) or refinement holds and ww-RF
+        is preserved."""
+        if not self.source_wwrf.race_free:
+            return True  # precondition violated: nothing to check
+        preserved = self.target_wwrf is None or self.target_wwrf.race_free
+        return self.refinement.holds and preserved
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        change = "transformed" if self.changed else "unchanged"
+        return f"[{status}] {self.optimizer}: {change}; {self.refinement}"
+
+
+def validate_optimizer(
+    optimizer: Optimizer,
+    source: Program,
+    config: Optional[SemanticsConfig] = None,
+    check_target_wwrf: bool = True,
+    nonpreemptive: bool = False,
+) -> ValidationReport:
+    """Validate one optimizer run: refinement + ww-RF preservation."""
+    config = config or SemanticsConfig()
+    target = optimizer.run(source)
+    if target.atomics != source.atomics:
+        raise AssertionError(f"{optimizer.name} changed the atomics set ι")
+    source_wwrf = ww_rf(source, config)
+    refinement = check_refinement(source, target, config, nonpreemptive=nonpreemptive)
+    target_wwrf = None
+    if check_target_wwrf and source_wwrf.race_free:
+        target_wwrf = ww_rf(target, config)
+    return ValidationReport(
+        optimizer=optimizer.name,
+        refinement=refinement,
+        source_wwrf=source_wwrf,
+        target_wwrf=target_wwrf,
+        changed=target != source,
+    )
+
+
+def verify_optimizer_by_simulation(
+    optimizer: Optimizer,
+    source: Program,
+    invariant,
+    sem_config: Optional[SemanticsConfig] = None,
+    check_config=None,
+) -> dict:
+    """``Verif(Opt)`` for one program (paper Def. 6.3), executably: run the
+    optimizer and check the thread-local simulation ``I, ι |= π_t ≼ π_s``
+    for every thread-entry function, with the caller-chosen invariant.
+
+    Returns a mapping ``function name → SimulationResult``.  This is the
+    stronger, per-thread check of Sec. 6 (as opposed to whole-program
+    refinement): by Lemma 6.2 + Thm. 6.5 it implies refinement for every
+    ww-RF composition of the same functions, not just this program.
+    """
+    from repro.sim.simulation import SimCheckConfig, check_thread_simulation
+
+    target = optimizer.run(source)
+    results = {}
+    for func in sorted(set(source.threads)):
+        results[func] = check_thread_simulation(
+            source,
+            target,
+            func,
+            invariant,
+            sem_config,
+            check_config or SimCheckConfig(),
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class CorpusResult:
+    """Aggregate of a corpus sweep."""
+
+    optimizer: str
+    total: int
+    transformed: int
+    failures: Tuple[Tuple[int, str], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"corpus[{self.optimizer}]: {self.total} programs, "
+            f"{self.transformed} transformed, {status}"
+        )
+
+
+def validate_corpus(
+    optimizer: Optimizer,
+    seeds: Sequence[int],
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    config: Optional[SemanticsConfig] = None,
+    check_target_wwrf: bool = True,
+) -> CorpusResult:
+    """Sweep ``seeds`` through the generator and validate each program."""
+    transformed = 0
+    failures: List[Tuple[int, str]] = []
+    for seed in seeds:
+        source = random_wwrf_program(seed, generator_config)
+        report = validate_optimizer(
+            optimizer, source, config, check_target_wwrf=check_target_wwrf
+        )
+        if report.changed:
+            transformed += 1
+        if not report.ok:
+            failures.append((seed, str(report)))
+    return CorpusResult(optimizer.name, len(seeds), transformed, tuple(failures))

@@ -1,0 +1,94 @@
+"""Generic solver tests over a toy reaching-labels analysis."""
+
+import pytest
+
+from repro.analysis.dataflow import BlockAnalysis, solve_backward, solve_forward
+from repro.analysis.lattice import Lattice
+from repro.lang.builder import ProgramBuilder, binop
+
+
+def set_lattice():
+    return Lattice(bottom=frozenset(), join=lambda a, b: a | b, eq=lambda a, b: a == b)
+
+
+def diamond():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").be(binop("==", "c", 0), "then", "else_")
+    then = f.block("then")
+    then.skip()
+    then.jmp("join")
+    els = f.block("else_")
+    els.skip()
+    els.jmp("join")
+    f.block("join").ret()
+    pb.thread("f")
+    return pb.build().function("f")
+
+
+def looped():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").jmp("loop")
+    loop = f.block("loop")
+    loop.be(binop("<", "i", 3), "body", "end")
+    body = f.block("body")
+    body.assign("i", binop("+", "i", 1))
+    body.jmp("loop")
+    f.block("end").ret()
+    pb.thread("f")
+    return pb.build().function("f")
+
+
+def test_forward_reaching_labels_diamond():
+    """Toy forward analysis: the set of labels control passed through."""
+    heap = diamond()
+    analysis = BlockAnalysis(
+        lattice=set_lattice(),
+        transfer=lambda label, block, fact: fact | {label},
+        boundary=frozenset(),
+    )
+    result = solve_forward(heap, analysis)
+    assert result["entry"] == frozenset()
+    assert result["then"] == frozenset({"entry"})
+    assert result["join"] == frozenset({"entry", "then", "else_"})
+
+
+def test_forward_fixpoint_in_loop():
+    heap = looped()
+    analysis = BlockAnalysis(
+        lattice=set_lattice(),
+        transfer=lambda label, block, fact: fact | {label},
+        boundary=frozenset(),
+    )
+    result = solve_forward(heap, analysis)
+    assert result["loop"] == frozenset({"entry", "loop", "body"})
+    assert result["end"] == frozenset({"entry", "loop", "body"})
+
+
+def test_backward_reachable_labels():
+    """Toy backward analysis: labels reachable from each block exit."""
+    heap = diamond()
+    analysis = BlockAnalysis(
+        lattice=set_lattice(),
+        transfer=lambda label, block, fact: fact | {label},
+        boundary=frozenset(),
+    )
+    result = solve_backward(heap, analysis)
+    # exit facts: what is live-out of each block = join of successors' ins
+    assert result["join"] == frozenset()
+    assert result["then"] == frozenset({"join"})
+    assert result["entry"] == frozenset({"then", "else_", "join"})
+
+
+def test_backward_fixpoint_in_loop():
+    heap = looped()
+    analysis = BlockAnalysis(
+        lattice=set_lattice(),
+        transfer=lambda label, block, fact: fact | {label},
+        boundary=frozenset(),
+    )
+    result = solve_backward(heap, analysis)
+    assert "loop" in result["body"]
+    assert "body" in result["loop"]
+    assert "end" in result["loop"]

@@ -1,0 +1,118 @@
+"""Loop-invariant load detection tests (LInv's analysis)."""
+
+import pytest
+
+from repro.analysis.loops import find_invariant_loads, loop_info
+from repro.lang.builder import ProgramBuilder, binop
+
+
+def loop_function(body_builder, atomics=frozenset()):
+    """entry → loop ⇄ body → end, with ``body_builder`` filling the body."""
+    pb = ProgramBuilder(atomics=atomics)
+    f = pb.function("f")
+    f.block("entry").jmp("loop")
+    loop = f.block("loop")
+    loop.be(binop("<", "i", 3), "body", "end")
+    body = f.block("body")
+    body_builder(body)
+    body.assign("i", binop("+", "i", 1))
+    body.jmp("loop")
+    f.block("end").ret()
+    pb.thread("f")
+    return pb.build()
+
+
+def invariants(program, require_profitable=True):
+    heap = program.function("f")
+    info = loop_info(heap)
+    assert len(info.loops) == 1
+    return find_invariant_loads(
+        heap, info.loops[0], program.atomics, require_profitable
+    )
+
+
+def test_simple_invariant_load_found():
+    program = loop_function(lambda b: b.load("r", "a", "na"))
+    assert invariants(program) == ("a",)
+
+
+def test_written_location_not_invariant():
+    def body(b):
+        b.load("r", "a", "na")
+        b.store("a", 1, "na")
+
+    assert invariants(loop_function(body)) == ()
+
+
+def test_atomic_load_not_hoisted():
+    program = loop_function(lambda b: b.load("r", "x", "rlx"), atomics={"x"})
+    assert invariants(program) == ()
+
+
+def test_acquire_read_in_body_blocks_profitable_hoist():
+    def body(b):
+        b.load("g", "x", "acq")
+        b.load("r", "a", "na")
+
+    program = loop_function(body, atomics={"x"})
+    assert invariants(program) == ()
+    # The naive mode hoists anyway (Fig. 1's unsound transformation).
+    assert invariants(program, require_profitable=False) == ("a",)
+
+
+def test_relaxed_read_in_body_does_not_block():
+    def body(b):
+        b.load("g", "x", "rlx")
+        b.load("r", "a", "na")
+
+    program = loop_function(body, atomics={"x"})
+    assert invariants(program) == ("a",)
+
+
+def test_release_write_in_body_does_not_block():
+    """Paper Sec. 7.2: LICM may cross release writes."""
+
+    def body(b):
+        b.store("x", 1, "rel")
+        b.load("r", "a", "na")
+
+    program = loop_function(body, atomics={"x"})
+    assert invariants(program) == ("a",)
+
+
+def test_acquire_fence_blocks():
+    def body(b):
+        b.fence("acq")
+        b.load("r", "a", "na")
+
+    assert invariants(loop_function(body)) == ()
+
+
+def test_multiple_invariants_sorted():
+    def body(b):
+        b.load("r1", "b", "na")
+        b.load("r2", "a", "na")
+
+    assert invariants(loop_function(body)) == ("a", "b")
+
+
+def test_call_in_loop_blocks():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").jmp("loop")
+    loop = f.block("loop")
+    loop.be(binop("<", "i", 3), "body", "end")
+    body = f.block("body")
+    body.load("r", "a", "na")
+    body.call("g", "back")
+    back = f.block("back")
+    back.assign("i", binop("+", "i", 1))
+    back.jmp("loop")
+    f.block("end").ret()
+    pb.function("g").block("entry").ret()
+    pb.thread("f")
+    program = pb.build()
+    heap = program.function("f")
+    info = loop_info(heap)
+    loop_obj = info.loops[0]
+    assert find_invariant_loads(heap, loop_obj, program.atomics) == ()

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+@pytest.fixture
+def no_promise_config() -> SemanticsConfig:
+    """The default promise-free semantics configuration."""
+    return SemanticsConfig()
+
+
+@pytest.fixture
+def promise_config() -> SemanticsConfig:
+    """A configuration with one promise per thread (enough for LB)."""
+    return SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+
+
+@pytest.fixture
+def promise2_config() -> SemanticsConfig:
+    """Two promises per thread — enough to pre-promise two-write NA blocks
+    (needed for non-preemptive equivalence on NA-heavy programs)."""
+    return SemanticsConfig(promise_oracle=SyntacticPromises(budget=2, max_outstanding=2))

@@ -1,0 +1,120 @@
+"""CSimp surface-syntax parser tests."""
+
+import pytest
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCall,
+    SCas,
+    SConst,
+    SFence,
+    SIf,
+    SLoad,
+    SPrint,
+    SReg,
+    SSkip,
+    SStore,
+    SWhile,
+)
+from repro.csimp.parser import parse_csimp
+from repro.lang.parser import ParseError
+from repro.lang.syntax import AccessMode, FenceKind
+
+
+def body(source_stmts: str):
+    program = parse_csimp(f"fn f() {{ {source_stmts} }} threads f;")
+    return program.function("f").body.stmts
+
+
+def test_simple_statements():
+    stmts = body("skip; print(r1); fence.rel;")
+    assert stmts == (SSkip(), SPrint(SReg("r1")), SFence(FenceKind.REL))
+
+
+def test_assign_and_load():
+    stmts = body("r = 1; s = x.acq;")
+    assert stmts[0] == SAssign("r", SConst(1))
+    assert stmts[1] == SAssign("s", SLoad("x", AccessMode.ACQ))
+
+
+def test_store():
+    stmts = body("y.rel = r + 1;")
+    assert stmts[0] == SStore("y", AccessMode.REL, SBinOp("+", SReg("r"), SConst(1)))
+
+
+def test_cas():
+    stmts = body("ok = cas.acq.rlx(x, 0, 1);")
+    assert stmts[0] == SCas(
+        "ok", "x", SConst(0), SConst(1), AccessMode.ACQ, AccessMode.RLX
+    )
+
+
+def test_call():
+    stmts = body("helper();")
+    assert stmts[0] == SCall("helper")
+
+
+def test_if_else():
+    stmts = body("if (r == 1) { skip; } else { print(0); }")
+    stmt = stmts[0]
+    assert isinstance(stmt, SIf)
+    assert stmt.then.stmts == (SSkip(),)
+    assert stmt.els.stmts == (SPrint(SConst(0)),)
+
+
+def test_if_without_else():
+    stmts = body("if (r) { skip; }")
+    assert isinstance(stmts[0], SIf)
+    assert stmts[0].els is None
+
+
+def test_while_with_body():
+    stmts = body("while (r < 10) { r = r + 1; }")
+    stmt = stmts[0]
+    assert isinstance(stmt, SWhile)
+    assert len(stmt.body) == 1
+
+
+def test_spin_loop_empty_body():
+    """The paper's ``while (x_acq == 0);`` idiom."""
+    stmts = body("while (x.acq == 0);")
+    stmt = stmts[0]
+    assert isinstance(stmt, SWhile)
+    assert len(stmt.body) == 0
+    assert stmt.cond == SBinOp("==", SLoad("x", AccessMode.ACQ), SConst(0))
+
+
+def test_memory_read_nested_in_expression():
+    stmts = body("r = y.na + z.na * 2;")
+    expr = stmts[0].expr
+    assert expr == SBinOp(
+        "+", SLoad("y", AccessMode.NA), SBinOp("*", SLoad("z", AccessMode.NA), SConst(2))
+    )
+
+
+def test_atomics_and_threads():
+    program = parse_csimp("atomics x; fn f() { skip; } threads f, f;")
+    assert program.atomics == frozenset({"x"})
+    assert program.threads == ("f", "f")
+
+
+def test_reserved_underscore_registers_rejected():
+    with pytest.raises(ParseError, match="reserved"):
+        parse_csimp("fn f() { _t = 1; } threads f;")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ParseError, match="unknown access mode"):
+        parse_csimp("fn f() { r = x.weird; } threads f;")
+
+
+def test_error_carries_line_number():
+    with pytest.raises(ParseError, match="line 3"):
+        parse_csimp("fn f() {\n skip;\n r = = 1;\n} threads f;")
+
+
+def test_unknown_thread_rejected():
+    with pytest.raises(ValueError, match="not a declared function"):
+        parse_csimp("fn f() { skip; } threads g;")

@@ -1,0 +1,135 @@
+"""CSimp printer round-trip tests (hand examples + random ASTs)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csimp.ast import (
+    SAssign,
+    SBinOp,
+    SBlock,
+    SCas,
+    SConst,
+    SFence,
+    SFunction,
+    SIf,
+    SLoad,
+    SPrint,
+    SProgram,
+    SReg,
+    SSkip,
+    SStore,
+    SWhile,
+)
+from repro.csimp.parser import parse_csimp
+from repro.csimp.printer import format_csimp
+from repro.lang.syntax import AccessMode, FenceKind
+
+EXAMPLES = [
+    """
+atomics x;
+fn foo() {
+    r1 = 0;
+    while (r1 < 10) {
+        while (x.acq == 0);
+        r2 = y.na;
+        r1 = r1 + 1;
+    }
+    print(r2);
+}
+fn g() { y.na = 1; x.rel = 1; }
+threads foo, g;
+""",
+    """
+atomics lock;
+fn worker() {
+    got = cas.acq.rlx(lock, 0, 1);
+    if (got == 1) { c.na = c.na + 1; lock.rel = 0; } else { skip; }
+    fence.sc;
+}
+threads worker, worker;
+""",
+]
+
+
+@pytest.mark.parametrize("source", EXAMPLES, ids=["fig1", "lock"])
+def test_hand_examples_roundtrip(source):
+    program = parse_csimp(source)
+    assert parse_csimp(format_csimp(program)) == program
+
+
+# -- random AST generation ----------------------------------------------------
+
+_exprs = st.recursive(
+    st.one_of(
+        st.integers(min_value=-5, max_value=5).map(SConst),
+        st.sampled_from(["r1", "r2", "r3"]).map(SReg),
+        st.sampled_from(["a", "b"]).map(lambda l: SLoad(l, AccessMode.NA)),
+        st.sampled_from(["x"]).map(lambda l: SLoad(l, AccessMode.RLX)),
+    ),
+    lambda inner: st.builds(
+        SBinOp, st.sampled_from(["+", "-", "*", "==", "<"]), inner, inner
+    ),
+    max_leaves=6,
+)
+
+_simple_stmts = st.one_of(
+    st.just(SSkip()),
+    st.builds(SAssign, st.sampled_from(["r1", "r2"]), _exprs),
+    st.builds(
+        SStore, st.sampled_from(["a", "b"]), st.just(AccessMode.NA), _exprs
+    ),
+    st.builds(SPrint, _exprs),
+    st.sampled_from([SFence(FenceKind.REL), SFence(FenceKind.ACQ), SFence(FenceKind.SC)]),
+    st.builds(
+        SCas,
+        st.sampled_from(["r3"]),
+        st.just("x"),
+        _exprs,
+        _exprs,
+        st.sampled_from([AccessMode.RLX, AccessMode.ACQ]),
+        st.sampled_from([AccessMode.RLX, AccessMode.REL]),
+    ),
+)
+
+_stmts = st.recursive(
+    _simple_stmts,
+    lambda inner: st.one_of(
+        st.builds(
+            SIf,
+            _exprs,
+            st.lists(inner, max_size=2).map(lambda s: SBlock(tuple(s))),
+            st.one_of(
+                st.none(), st.lists(inner, max_size=2).map(lambda s: SBlock(tuple(s)))
+            ),
+        ),
+        st.builds(
+            SWhile, _exprs, st.lists(inner, max_size=2).map(lambda s: SBlock(tuple(s)))
+        ),
+    ),
+    max_leaves=8,
+)
+
+_programs = st.lists(_stmts, min_size=1, max_size=5).map(
+    lambda stmts: SProgram(
+        (SFunction("f", SBlock(tuple(stmts))),), frozenset({"x"}), ("f",)
+    )
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=_programs)
+def test_random_asts_roundtrip(program):
+    printed = format_csimp(program)
+    assert parse_csimp(printed) == program
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=_programs)
+def test_printed_programs_lower(program):
+    """Everything the printer emits also compiles."""
+    from repro.csimp.lower import lower_program
+
+    lower_program(parse_csimp(format_csimp(program)))

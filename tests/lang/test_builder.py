@@ -1,0 +1,123 @@
+"""Builder API tests."""
+
+import pytest
+
+from repro.lang.builder import (
+    ProgramBuilder,
+    as_expr,
+    as_mode,
+    binop,
+    straightline_program,
+)
+from repro.lang.syntax import (
+    AccessMode,
+    BinOp,
+    Const,
+    Jmp,
+    Load,
+    Reg,
+    Return,
+    Skip,
+    Store,
+)
+
+
+class TestCoercions:
+    def test_int_to_const(self):
+        assert as_expr(3) == Const(3)
+
+    def test_str_to_reg(self):
+        assert as_expr("r1") == Reg("r1")
+
+    def test_expr_passthrough(self):
+        expr = BinOp("+", Const(1), Const(2))
+        assert as_expr(expr) is expr
+
+    def test_bad_coercion(self):
+        with pytest.raises(TypeError):
+            as_expr(3.14)
+
+    def test_mode_coercion(self):
+        assert as_mode("rlx") is AccessMode.RLX
+        assert as_mode(AccessMode.ACQ) is AccessMode.ACQ
+
+    def test_binop_helper(self):
+        assert binop("<", "r", 10) == BinOp("<", Reg("r"), Const(10))
+
+
+class TestBlockBuilder:
+    def test_instructions_accumulate_in_order(self):
+        pb = ProgramBuilder(atomics={"x"})
+        f = pb.function("f")
+        b = f.block("entry")
+        b.load("r", "x", "rlx").store("y", "r", "na").skip()
+        b.ret()
+        pb.thread("f")
+        block = pb.build().function("f")["entry"]
+        assert block.instrs == (
+            Load("r", "x", AccessMode.RLX),
+            Store("y", Reg("r"), AccessMode.NA),
+            Skip(),
+        )
+        assert block.term == Return()
+
+    def test_double_terminate_rejected(self):
+        pb = ProgramBuilder()
+        b = pb.function("f").block("entry")
+        b.ret()
+        with pytest.raises(ValueError, match="already terminated"):
+            b.jmp("entry")
+
+    def test_instruction_after_terminator_rejected(self):
+        pb = ProgramBuilder()
+        b = pb.function("f").block("entry")
+        b.ret()
+        with pytest.raises(ValueError, match="already terminated"):
+            b.skip()
+
+    def test_unterminated_block_gets_implicit_return(self):
+        pb = ProgramBuilder()
+        pb.function("f").block("entry").skip()
+        pb.thread("f")
+        assert pb.build().function("f")["entry"].term == Return()
+
+
+class TestFunctionBuilder:
+    def test_first_block_is_entry(self):
+        pb = ProgramBuilder()
+        f = pb.function("f")
+        f.block("start").jmp("other")
+        f.block("other").ret()
+        pb.thread("f")
+        assert pb.build().function("f").entry == "start"
+
+    def test_block_retrieval_is_idempotent(self):
+        pb = ProgramBuilder()
+        f = pb.function("f")
+        b1 = f.block("entry")
+        b2 = f.block("entry")
+        assert b1 is b2
+
+    def test_empty_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("f")
+        pb.thread("f")
+        with pytest.raises(ValueError, match="no blocks"):
+            pb.build()
+
+    def test_duplicate_function_rejected(self):
+        pb = ProgramBuilder()
+        pb.function("f")
+        with pytest.raises(ValueError, match="already defined"):
+            pb.function("f")
+
+
+class TestStraightline:
+    def test_thread_names(self):
+        prog = straightline_program([[Skip()], [Skip()]])
+        assert prog.threads == ("t1", "t2")
+        assert set(prog.function_map) == {"t1", "t2"}
+
+    def test_atomics_passed_through(self):
+        prog = straightline_program([[Store("x", Const(1), AccessMode.RLX)]], atomics={"x"})
+        assert prog.atomics == frozenset({"x"})

@@ -1,0 +1,129 @@
+"""CFG utilities: successors, RPO, dominators, natural loops."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.lang.cfg import Cfg, block_fallthrough_chain, cfg_edges
+from repro.lang.syntax import CodeHeap
+
+
+def diamond_heap() -> CodeHeap:
+    """entry → (then | else) → join."""
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").be(binop("==", "r", 0), "then", "else_")
+    then = f.block("then")
+    then.skip()
+    then.jmp("join")
+    els = f.block("else_")
+    els.skip()
+    els.jmp("join")
+    f.block("join").ret()
+    pb.thread("f")
+    return pb.build().function("f")
+
+
+def loop_heap() -> CodeHeap:
+    """entry → loop ⇄ body; loop → exit."""
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").jmp("loop")
+    f.block("loop").be(binop("<", "r", 10), "body", "exit_")
+    body = f.block("body")
+    body.assign("r", binop("+", "r", 1))
+    body.jmp("loop")
+    f.block("exit_").ret()
+    pb.thread("f")
+    return pb.build().function("f")
+
+
+class TestCfgBasics:
+    def test_successors_diamond(self):
+        cfg = Cfg.of(diamond_heap())
+        assert set(cfg.succ_map["entry"]) == {"then", "else_"}
+        assert cfg.succ_map["join"] == ()
+
+    def test_predecessors(self):
+        cfg = Cfg.of(diamond_heap())
+        preds = cfg.predecessors()
+        assert set(preds["join"]) == {"then", "else_"}
+        assert preds["entry"] == ()
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = Cfg.of(diamond_heap())
+        order = cfg.reverse_postorder()
+        assert order[0] == "entry"
+        assert order.index("join") > order.index("then")
+        assert order.index("join") > order.index("else_")
+
+    def test_reachable(self):
+        cfg = Cfg.of(diamond_heap())
+        assert cfg.reachable() == frozenset({"entry", "then", "else_", "join"})
+
+    def test_cfg_edges_iterator(self):
+        edges = set(cfg_edges(diamond_heap()))
+        assert ("entry", "then") in edges
+        assert ("then", "join") in edges
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = Cfg.of(diamond_heap())
+        dom = cfg.dominators()
+        for label in cfg.labels():
+            assert "entry" in dom[label]
+
+    def test_branches_do_not_dominate_join(self):
+        cfg = Cfg.of(diamond_heap())
+        dom = cfg.dominators()
+        assert "then" not in dom["join"]
+        assert "else_" not in dom["join"]
+
+    def test_loop_header_dominates_body(self):
+        cfg = Cfg.of(loop_heap())
+        dom = cfg.dominators()
+        assert "loop" in dom["body"]
+
+
+class TestNaturalLoops:
+    def test_diamond_has_no_loops(self):
+        cfg = Cfg.of(diamond_heap())
+        assert cfg.natural_loops() == ()
+
+    def test_simple_loop_detected(self):
+        cfg = Cfg.of(loop_heap())
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "loop"
+        assert loop.body == frozenset({"loop", "body"})
+        assert "body" in loop
+        assert "exit_" not in loop
+
+    def test_back_edges(self):
+        cfg = Cfg.of(loop_heap())
+        assert cfg.back_edges() == (("body", "loop"),)
+
+    def test_self_loop(self):
+        pb = ProgramBuilder(atomics={"x"})
+        f = pb.function("f")
+        spin = f.block("spin")
+        spin.load("r", "x", "rlx")
+        spin.be(binop("==", "r", 0), "spin", "end")
+        f.block("end").ret()
+        pb.thread("f")
+        cfg = Cfg.of(pb.build().function("f"))
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].body == frozenset({"spin"})
+
+
+def test_fallthrough_chain():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("a").jmp("b")
+    f.block("b").jmp("c")
+    f.block("c").ret()
+    pb.thread("f")
+    heap = pb.build().function("f")
+    assert block_fallthrough_chain(heap, "a") == ("a", "b", "c")

@@ -1,0 +1,170 @@
+"""Parser unit tests: concrete syntax, errors, operator precedence."""
+
+import pytest
+
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    Const,
+    Fence,
+    FenceKind,
+    Jmp,
+    Load,
+    Print,
+    Reg,
+    Return,
+    Skip,
+    Store,
+)
+
+MINIMAL = """
+fn main {
+entry:
+    skip;
+    return;
+}
+threads main;
+"""
+
+
+def test_minimal_program():
+    prog = parse_program(MINIMAL)
+    assert prog.threads == ("main",)
+    heap = prog.function("main")
+    assert heap.entry == "entry"
+    assert heap["entry"].instrs == (Skip(),)
+    assert heap["entry"].term == Return()
+
+
+def test_atomics_declaration():
+    prog = parse_program("atomics x, y;\nfn f { e: x.rlx := 1; return; }\nthreads f;")
+    assert prog.atomics == frozenset({"x", "y"})
+
+
+def test_load_store_modes():
+    prog = parse_program(
+        """
+        atomics x;
+        fn f {
+        e:
+            r1 := x.acq;
+            x.rel := 2;
+            r2 := a.na;
+            a.na := r2;
+            return;
+        }
+        threads f;
+        """
+    )
+    instrs = prog.function("f")["e"].instrs
+    assert instrs[0] == Load("r1", "x", AccessMode.ACQ)
+    assert instrs[1] == Store("x", Const(2), AccessMode.REL)
+    assert instrs[2] == Load("r2", "a", AccessMode.NA)
+    assert instrs[3] == Store("a", Reg("r2"), AccessMode.NA)
+
+
+def test_cas_syntax():
+    prog = parse_program(
+        "atomics x;\nfn f { e: r := cas.acq.rlx(x, 0, r2 + 1); return; }\nthreads f;"
+    )
+    instr = prog.function("f")["e"].instrs[0]
+    assert instr == Cas(
+        "r", "x", Const(0), BinOp("+", Reg("r2"), Const(1)), AccessMode.ACQ, AccessMode.RLX
+    )
+
+
+def test_fence_kinds():
+    prog = parse_program(
+        "fn f { e: fence.rel; fence.acq; fence.sc; return; }\nthreads f;"
+    )
+    instrs = prog.function("f")["e"].instrs
+    assert [i.kind for i in instrs] == [FenceKind.REL, FenceKind.ACQ, FenceKind.SC]
+
+
+def test_terminators():
+    prog = parse_program(
+        """
+        fn f {
+        a: jmp b;
+        b: be r1 < 10, a, c;
+        c: call(g, d);
+        d: return;
+        }
+        fn g { e: return; }
+        threads f;
+        """
+    )
+    heap = prog.function("f")
+    assert heap["a"].term == Jmp("b")
+    assert heap["b"].term == Be(BinOp("<", Reg("r1"), Const(10)), "a", "c")
+    assert heap["c"].term == Call("g", "d")
+    assert heap["d"].term == Return()
+
+
+def test_precedence_mul_over_add():
+    prog = parse_program("fn f { e: r := 1 + 2 * 3; return; }\nthreads f;")
+    instr = prog.function("f")["e"].instrs[0]
+    assert instr == Assign("r", BinOp("+", Const(1), BinOp("*", Const(2), Const(3))))
+
+
+def test_parenthesized_expression():
+    prog = parse_program("fn f { e: r := (1 + 2) * 3; return; }\nthreads f;")
+    instr = prog.function("f")["e"].instrs[0]
+    assert instr == Assign("r", BinOp("*", BinOp("+", Const(1), Const(2)), Const(3)))
+
+
+def test_negative_literal():
+    prog = parse_program("fn f { e: r := -3; return; }\nthreads f;")
+    assert prog.function("f")["e"].instrs[0] == Assign("r", Const(-3))
+
+
+def test_comments_ignored():
+    prog = parse_program(
+        "// header comment\nfn f { e: skip; // trailing\n return; }\nthreads f;"
+    )
+    assert prog.function("f")["e"].instrs == (Skip(),)
+
+
+def test_print_instruction():
+    prog = parse_program("fn f { e: print(r1 + 1); return; }\nthreads f;")
+    assert prog.function("f")["e"].instrs[0] == Print(BinOp("+", Reg("r1"), Const(1)))
+
+
+def test_error_reports_line_number():
+    with pytest.raises(ParseError, match="line 3"):
+        parse_program("fn f {\ne:\n    r := := 1;\n    return;\n}\nthreads f;")
+
+
+def test_error_on_unknown_mode():
+    with pytest.raises(ParseError, match="unknown access mode"):
+        parse_program("fn f { e: r := x.foo; return; }\nthreads f;")
+
+
+def test_error_on_unknown_fence():
+    with pytest.raises(ParseError, match="unknown fence kind"):
+        parse_program("fn f { e: fence.weak; return; }\nthreads f;")
+
+
+def test_error_on_missing_threads():
+    with pytest.raises(ParseError):
+        parse_program("fn f { e: return; }")
+
+
+def test_error_on_garbage_character():
+    with pytest.raises(ParseError, match="unexpected character"):
+        parse_program("fn f { e: r := 1 $ 2; return; }\nthreads f;")
+
+
+def test_error_on_unterminated_block():
+    with pytest.raises(ParseError):
+        parse_program("fn f { e: skip; }\nthreads f;")
+
+
+def test_multiple_threads_same_function():
+    prog = parse_program("fn f { e: return; }\nthreads f, f, f;")
+    assert prog.threads == ("f", "f", "f")

@@ -1,0 +1,47 @@
+"""Printer/parser round-trip: ``parse(format(p)) == p`` — checked on hand
+examples and on randomly generated programs (property test)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_expr, format_instr, format_program
+from repro.lang.syntax import AccessMode, BinOp, Cas, Const, Load, Reg, Store
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE
+
+
+def test_format_expr_nested():
+    expr = BinOp("+", Const(1), BinOp("*", Reg("r"), Const(2)))
+    assert format_expr(expr) == "(1 + (r * 2))"
+
+
+def test_format_instr_load_store():
+    assert format_instr(Load("r", "x", AccessMode.ACQ)) == "r := x.acq"
+    assert format_instr(Store("x", Const(3), AccessMode.REL)) == "x.rel := 3"
+
+
+def test_format_instr_cas():
+    instr = Cas("r", "x", Const(0), Const(1), AccessMode.RLX, AccessMode.REL)
+    assert format_instr(instr) == "r := cas.rlx.rel(x, 0, 1)"
+
+
+def test_litmus_suite_roundtrips():
+    for test in LITMUS_SUITE.values():
+        printed = format_program(test.program)
+        assert parse_program(printed) == test.program, test.name
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_programs_roundtrip(seed):
+    program = random_wwrf_program(seed)
+    assert parse_program(format_program(program)) == program
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_programs_roundtrip_with_branches_and_cas(seed):
+    config = GeneratorConfig(threads=3, instrs_per_thread=8, allow_cas=True)
+    program = random_wwrf_program(seed, config)
+    assert parse_program(format_program(program)) == program

@@ -1,0 +1,178 @@
+"""Unit tests for the CSimpRTL AST: well-formedness and helpers."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    CodeHeap,
+    Const,
+    Jmp,
+    Load,
+    Print,
+    Program,
+    Reg,
+    Return,
+    Skip,
+    Store,
+    eval_expr,
+    expr_is_const,
+    expr_regs,
+    instr_def,
+    instr_uses,
+    program_registers,
+    terminator_targets,
+)
+from repro.lang.values import Int32
+
+
+class TestExpressions:
+    def test_eval_const(self):
+        assert eval_expr(Const(7), {}) == 7
+
+    def test_eval_unbound_register_is_zero(self):
+        assert eval_expr(Reg("r9"), {}) == 0
+
+    def test_eval_bound_register(self):
+        assert eval_expr(Reg("r1"), {"r1": Int32(5)}) == 5
+
+    def test_eval_arith(self):
+        expr = BinOp("+", BinOp("*", Const(2), Reg("r")), Const(1))
+        assert eval_expr(expr, {"r": Int32(10)}) == 21
+
+    def test_eval_comparisons(self):
+        assert eval_expr(BinOp("<", Const(1), Const(2)), {}) == 1
+        assert eval_expr(BinOp(">=", Const(1), Const(2)), {}) == 0
+        assert eval_expr(BinOp("==", Const(3), Const(3)), {}) == 1
+        assert eval_expr(BinOp("!=", Const(3), Const(3)), {}) == 0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("/", Const(1), Const(2))
+
+    def test_expr_regs(self):
+        expr = BinOp("+", Reg("a"), BinOp("-", Reg("b"), Const(1)))
+        assert expr_regs(expr) == frozenset({"a", "b"})
+
+    def test_expr_is_const(self):
+        assert expr_is_const(BinOp("*", Const(2), Const(3)))
+        assert not expr_is_const(Reg("r"))
+
+
+class TestInstructionModes:
+    def test_load_rejects_release(self):
+        with pytest.raises(ValueError):
+            Load("r", "x", AccessMode.REL)
+
+    def test_store_rejects_acquire(self):
+        with pytest.raises(ValueError):
+            Store("x", Const(1), AccessMode.ACQ)
+
+    def test_cas_rejects_na_read(self):
+        with pytest.raises(ValueError):
+            Cas("r", "x", Const(0), Const(1), AccessMode.NA, AccessMode.RLX)
+
+    def test_cas_rejects_na_write(self):
+        with pytest.raises(ValueError):
+            Cas("r", "x", Const(0), Const(1), AccessMode.RLX, AccessMode.NA)
+
+    def test_instr_uses_and_def(self):
+        store = Store("x", BinOp("+", Reg("a"), Reg("b")), AccessMode.NA)
+        assert instr_uses(store) == frozenset({"a", "b"})
+        assert instr_def(store) is None
+        load = Load("r", "x", AccessMode.NA)
+        assert instr_uses(load) == frozenset()
+        assert instr_def(load) == "r"
+        assign = Assign("d", Reg("s"))
+        assert instr_def(assign) == "d"
+
+
+class TestTerminators:
+    def test_targets(self):
+        assert terminator_targets(Jmp("a")) == ("a",)
+        assert terminator_targets(Be(Const(1), "a", "b")) == ("a", "b")
+        assert terminator_targets(Call("f", "ret")) == ("ret",)
+        assert terminator_targets(Return()) == ()
+
+
+class TestCodeHeap:
+    def test_entry_must_exist(self):
+        block = BasicBlock((), Return())
+        with pytest.raises(ValueError):
+            CodeHeap((("a", block),), "missing")
+
+    def test_dangling_jump_rejected(self):
+        block = BasicBlock((), Jmp("nowhere"))
+        with pytest.raises(ValueError):
+            CodeHeap((("a", block),), "a")
+
+    def test_lookup(self):
+        block = BasicBlock((Skip(),), Return())
+        heap = CodeHeap((("a", block),), "a")
+        assert heap["a"] is not None
+        assert "a" in heap
+        assert "b" not in heap
+        with pytest.raises(KeyError):
+            heap["b"]
+
+
+class TestProgramWellFormedness:
+    def test_na_access_to_atomic_rejected(self):
+        with pytest.raises(ValueError, match="non-atomic access to atomic"):
+            straightline_program([[Load("r", "x", AccessMode.NA)]], atomics={"x"})
+
+    def test_atomic_access_to_na_rejected(self):
+        with pytest.raises(ValueError, match="atomic access to non-atomic"):
+            straightline_program([[Load("r", "x", AccessMode.RLX)]], atomics=set())
+
+    def test_cas_on_na_location_rejected(self):
+        with pytest.raises(ValueError, match="CAS on non-atomic"):
+            straightline_program(
+                [[Cas("r", "x", Const(0), Const(1), AccessMode.RLX, AccessMode.RLX)]],
+                atomics=set(),
+            )
+
+    def test_unknown_thread_entry_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("f")
+        f.block("entry").ret()
+        pb.thread("g")
+        with pytest.raises(ValueError, match="not a declared function"):
+            pb.build()
+
+    def test_unknown_call_target_rejected(self):
+        pb = ProgramBuilder()
+        f = pb.function("f")
+        b = f.block("entry")
+        b.call("missing", "entry")
+        pb.thread("f")
+        with pytest.raises(ValueError, match="not a declared function"):
+            pb.build()
+
+    def test_locations_collects_all(self):
+        prog = straightline_program(
+            [[Store("a", Const(1), AccessMode.NA), Load("r", "x", AccessMode.RLX)]],
+            atomics={"x"},
+        )
+        assert prog.locations() == frozenset({"a", "x"})
+
+    def test_program_registers(self):
+        prog = straightline_program(
+            [[Assign("r1", BinOp("+", Reg("r2"), Const(1))), Print(Reg("r3"))]]
+        )
+        assert program_registers(prog) == frozenset({"r1", "r2", "r3"})
+
+    def test_with_functions_preserves_atomics_and_threads(self):
+        prog = straightline_program([[Skip()]], atomics={"x"})
+        clone = prog.with_functions(prog.function_map)
+        assert clone == prog
+
+    def test_num_instructions(self):
+        prog = straightline_program([[Skip(), Skip()], [Skip()]])
+        assert prog.num_instructions() == 3

@@ -1,0 +1,88 @@
+"""Unit and property tests for 32-bit machine integers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.values import INT32_MAX, INT32_MIN, Int32, int32_add, int32_mul, int32_sub
+
+
+class TestInt32Construction:
+    def test_zero_default(self):
+        assert Int32() == 0
+
+    def test_plain_value(self):
+        assert Int32(42) == 42
+
+    def test_wraps_positive_overflow(self):
+        assert Int32(2**31) == INT32_MIN
+
+    def test_wraps_negative_overflow(self):
+        assert Int32(-(2**31) - 1) == INT32_MAX
+
+    def test_max_value_survives(self):
+        assert Int32(INT32_MAX) == INT32_MAX
+
+    def test_min_value_survives(self):
+        assert Int32(INT32_MIN) == INT32_MIN
+
+    def test_repr(self):
+        assert repr(Int32(-5)) == "Int32(-5)"
+
+    def test_equality_with_plain_int(self):
+        assert Int32(-1) == -1
+        assert hash(Int32(-1)) == hash(-1)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert Int32(INT32_MAX) + Int32(1) == INT32_MIN
+
+    def test_sub_wraps(self):
+        assert Int32(INT32_MIN) - Int32(1) == INT32_MAX
+
+    def test_mul_wraps(self):
+        assert Int32(2**16) * Int32(2**16) == 0
+
+    def test_neg(self):
+        assert -Int32(5) == -5
+
+    def test_neg_min_is_min(self):
+        # Two's complement: -INT32_MIN overflows back to itself.
+        assert -Int32(INT32_MIN) == INT32_MIN
+
+    def test_radd_with_plain_int(self):
+        result = 1 + Int32(2)
+        assert result == 3
+        assert isinstance(result, Int32)
+
+    def test_rsub_with_plain_int(self):
+        assert 10 - Int32(3) == 7
+
+
+@given(st.integers(), st.integers())
+def test_add_matches_c_semantics(a, b):
+    expected = (a + b) & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    assert int32_add(a, b) == expected
+
+
+@given(st.integers(), st.integers())
+def test_sub_then_add_roundtrip(a, b):
+    assert int32_add(int32_sub(a, b), b) == Int32(a)
+
+
+@given(st.integers())
+def test_construction_idempotent(a):
+    assert Int32(Int32(a)) == Int32(a)
+
+
+@given(st.integers(min_value=INT32_MIN, max_value=INT32_MAX))
+def test_in_range_values_unchanged(a):
+    assert Int32(a) == a
+
+
+@given(st.integers(), st.integers())
+def test_mul_commutative(a, b):
+    assert int32_mul(a, b) == int32_mul(b, a)

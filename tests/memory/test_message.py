@@ -1,0 +1,54 @@
+"""Message and reservation tests."""
+
+import pytest
+
+from repro.lang.values import Int32
+from repro.memory.message import Message, Reservation, init_message
+from repro.memory.timemap import BOTTOM_VIEW, view_of
+from repro.memory.timestamps import ts
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message("x", Int32(5), ts(1), ts(2))
+        assert (m.var, int(m.value), m.frm, m.to) == ("x", 5, 1, 2)
+        assert m.view == BOTTOM_VIEW
+        assert m.is_concrete and not m.is_reservation
+
+    def test_value_normalized(self):
+        assert Message("x", 2**31, ts(0), ts(1)).value == -(2**31)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Message("x", Int32(1), ts(2), ts(1))
+
+    def test_empty_interval_only_for_init(self):
+        # (0, 0] is the initialization message's interval.
+        Message("x", Int32(0), ts(0), ts(0))
+        with pytest.raises(ValueError):
+            Message("x", Int32(0), ts(1), ts(1))
+
+    def test_message_view_carried(self):
+        view = view_of({"y": ts(3)})
+        m = Message("x", Int32(1), ts(0), ts(1), view)
+        assert m.view.tna.get("y") == 3
+
+    def test_str(self):
+        assert str(Message("x", Int32(1), ts(0), ts(1))) == "<x: 1@(0, 1]>"
+
+
+class TestReservation:
+    def test_fields(self):
+        r = Reservation("x", ts(1), ts(2))
+        assert r.is_reservation and not r.is_concrete
+
+    def test_empty_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            Reservation("x", ts(1), ts(1))
+
+
+def test_init_message():
+    m = init_message("x")
+    assert m.frm == m.to == 0
+    assert m.value == 0
+    assert m.view == BOTTOM_VIEW

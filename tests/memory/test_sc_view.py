@@ -1,0 +1,66 @@
+"""The global SC view carried by Memory: preservation and semantics."""
+
+import pytest
+
+from repro.lang.values import Int32
+from repro.memory.memory import Memory, capped_memory
+from repro.memory.message import Message, Reservation
+from repro.memory.timemap import BOTTOM_TIMEMAP, TimeMap
+from repro.memory.timestamps import ts
+
+
+def test_initial_sc_view_is_bottom():
+    assert Memory.initial(["x"]).sc_view == BOTTOM_TIMEMAP
+
+
+def test_with_sc_view():
+    mem = Memory.initial(["x"]).with_sc_view(TimeMap.of({"x": ts(3)}))
+    assert mem.sc_view.get("x") == 3
+    assert mem.items == Memory.initial(["x"]).items
+
+
+def test_sc_view_distinguishes_states():
+    """Two memories with equal items but different SC views are different
+    machine states — otherwise SC-fence exchanges would be lost to
+    memoization."""
+    base = Memory.initial(["x"])
+    bumped = base.with_sc_view(TimeMap.of({"x": ts(1)}))
+    assert base != bumped
+    assert hash(base) != hash(bumped) or base != bumped
+
+
+def test_add_remove_preserve_sc_view():
+    view = TimeMap.of({"x": ts(2)})
+    mem = Memory.initial(["x"]).with_sc_view(view)
+    msg = Message("x", Int32(1), ts(0), ts(1))
+    added = mem.add(msg)
+    assert added.sc_view == view
+    assert added.remove(msg).sc_view == view
+    reservation = Reservation("x", ts(1), ts(2))
+    assert added.try_add(reservation).sc_view == view
+
+
+def test_cap_preserves_sc_view():
+    view = TimeMap.of({"x": ts(2)})
+    mem = Memory.initial(["x"]).with_sc_view(view).add(Message("x", Int32(1), ts(1), ts(2)))
+    assert capped_memory(mem).sc_view == view
+
+
+def test_sc_fence_updates_shared_view():
+    """End to end: an SC fence publishes the thread's relaxed knowledge
+    into the shared SC view."""
+    from repro.lang.builder import straightline_program
+    from repro.lang.syntax import AccessMode, Const, Fence, FenceKind, Store
+    from repro.semantics.thread import SemanticsConfig, thread_steps
+    from repro.semantics.threadstate import initial_thread_state
+
+    program = straightline_program(
+        [[Store("x", Const(1), AccessMode.RLX), Fence(FenceKind.SC)]], atomics={"x"}
+    )
+    config = SemanticsConfig()
+    state = initial_thread_state(program, "t1")
+    mem = Memory.initial(["x"])
+    _, state, mem = next(iter(thread_steps(program, state, mem, config)))
+    assert mem.sc_view.get("x") == 0  # write alone does not publish
+    _, state, mem = next(iter(thread_steps(program, state, mem, config)))
+    assert mem.sc_view.get("x") == 1  # the fence does

@@ -1,0 +1,126 @@
+"""Time map and view tests, including semilattice laws by property."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.timemap import BOTTOM_TIMEMAP, BOTTOM_VIEW, TimeMap, View, view_of
+from repro.memory.timestamps import ts
+
+VARS = ("x", "y", "z")
+
+timemaps = st.dictionaries(
+    st.sampled_from(VARS),
+    st.fractions(min_value=0, max_value=100),
+    max_size=3,
+).map(TimeMap.of)
+
+
+class TestTimeMap:
+    def test_default_is_zero(self):
+        assert BOTTOM_TIMEMAP.get("anything") == 0
+
+    def test_set_get(self):
+        tm = TimeMap().set("x", ts(3))
+        assert tm.get("x") == 3
+        assert tm.get("y") == 0
+
+    def test_zero_entries_not_stored(self):
+        tm = TimeMap.of({"x": ts(0)})
+        assert tm == BOTTOM_TIMEMAP
+
+    def test_bump_raises(self):
+        tm = TimeMap().set("x", ts(3))
+        assert tm.bump("x", ts(5)).get("x") == 5
+
+    def test_bump_never_lowers(self):
+        tm = TimeMap().set("x", ts(3))
+        assert tm.bump("x", ts(1)).get("x") == 3
+
+    def test_vars(self):
+        tm = TimeMap.of({"y": ts(1), "x": ts(2)})
+        assert tm.vars() == ("x", "y")
+
+
+@given(timemaps, timemaps)
+def test_join_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(timemaps, timemaps, timemaps)
+def test_join_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(timemaps)
+def test_join_idempotent(a):
+    assert a.join(a) == a
+
+
+@given(timemaps)
+def test_bottom_is_identity(a):
+    assert a.join(BOTTOM_TIMEMAP) == a
+
+
+@given(timemaps, timemaps)
+def test_join_is_upper_bound(a, b):
+    joined = a.join(b)
+    assert a.leq(joined)
+    assert b.leq(joined)
+
+
+@given(timemaps, timemaps)
+def test_leq_antisymmetric_on_join(a, b):
+    if a.leq(b) and b.leq(a):
+        assert a == b
+
+
+class TestView:
+    def test_bottom(self):
+        assert BOTTOM_VIEW.tna.get("x") == 0
+        assert BOTTOM_VIEW.trlx.get("x") == 0
+
+    def test_bump_write_raises_both(self):
+        view = BOTTOM_VIEW.bump_write("x", ts(2))
+        assert view.tna.get("x") == 2
+        assert view.trlx.get("x") == 2
+
+    def test_bump_read_na_raises_only_trlx(self):
+        """The paper's na-read rule: the check is against T_na, but only
+        T_rlx records the read (Sec. 3)."""
+        view = BOTTOM_VIEW.bump_read_na("x", ts(2))
+        assert view.tna.get("x") == 0
+        assert view.trlx.get("x") == 2
+
+    def test_bump_read_atomic_raises_both(self):
+        view = BOTTOM_VIEW.bump_read_atomic("x", ts(2))
+        assert view.tna.get("x") == 2
+        assert view.trlx.get("x") == 2
+
+    def test_join_pointwise(self):
+        a = view_of({"x": ts(1)})
+        b = view_of({"y": ts(2)})
+        joined = a.join(b)
+        assert joined.tna.get("x") == 1
+        assert joined.tna.get("y") == 2
+
+    def test_leq(self):
+        small = view_of({"x": ts(1)})
+        large = view_of({"x": ts(2), "y": ts(1)})
+        assert small.leq(large)
+        assert not large.leq(small)
+
+
+@given(timemaps)
+def test_view_tna_leq_trlx_invariant_preserved(tm):
+    """Starting from ⊥ and applying any sequence of bump operations keeps
+    T_na ≤ T_rlx (here spot-checked on the three primitives)."""
+    view = View(tm, tm)
+    for var in VARS:
+        view = view.bump_read_na(var, ts(7))
+        assert view.tna.leq(view.trlx)
+        view = view.bump_write(var, ts(9))
+        assert view.tna.leq(view.trlx)
+        view = view.bump_read_atomic(var, ts(11))
+        assert view.tna.leq(view.trlx)

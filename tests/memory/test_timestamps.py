@@ -1,0 +1,57 @@
+"""Timestamp arithmetic tests."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.timestamps import TS_ZERO, midpoint, successor, ts
+
+
+def test_zero():
+    assert TS_ZERO == 0
+
+
+def test_ts_constructor():
+    assert ts(1) == 1
+    assert ts("1/2") == Fraction(1, 2)
+
+
+def test_midpoint_simple():
+    assert midpoint(ts(0), ts(1)) == Fraction(1, 2)
+
+
+def test_midpoint_of_empty_gap_rejected():
+    with pytest.raises(ValueError):
+        midpoint(ts(1), ts(1))
+    with pytest.raises(ValueError):
+        midpoint(ts(2), ts(1))
+
+
+def test_successor():
+    assert successor(ts(5)) == 6
+    assert successor(Fraction(1, 2)) == Fraction(3, 2)
+
+
+rationals = st.fractions(min_value=-1000, max_value=1000)
+
+
+@given(rationals, rationals)
+def test_midpoint_strictly_between(a, b):
+    lo, hi = min(a, b), max(a, b)
+    if lo == hi:
+        return
+    mid = midpoint(lo, hi)
+    assert lo < mid < hi
+
+
+@given(rationals, rationals)
+def test_midpoint_is_dense(a, b):
+    """Midpoints can be taken forever — density of Q."""
+    lo, hi = min(a, b), max(a, b)
+    if lo == hi:
+        return
+    m1 = midpoint(lo, hi)
+    m2 = midpoint(lo, m1)
+    assert lo < m2 < m1 < hi

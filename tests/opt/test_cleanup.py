@@ -1,0 +1,114 @@
+"""Cleanup pass tests: skip removal, jump threading, dead blocks."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.syntax import Be, Const, Jmp, Print, Skip
+from repro.opt.base import compose
+from repro.opt.cleanup import Cleanup
+from repro.opt.constprop import ConstProp
+from repro.opt.dce import DCE
+from repro.sim.validate import validate_optimizer
+
+
+def test_skips_removed():
+    program = straightline_program([[Skip(), Print(Const(1)), Skip()]])
+    out = Cleanup().run(program)
+    assert out.function("t1")["entry"].instrs == (Print(Const(1)),)
+
+
+def test_trivial_branch_collapsed():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    entry = f.block("entry")
+    entry.print_(1)  # keep the block non-empty so it survives threading
+    entry.be(binop("==", "r", 0), "next", "next")
+    f.block("next").ret()
+    pb.thread("f")
+    out = Cleanup().run(pb.build())
+    assert out.function("f")["entry"].term == Jmp("next")
+
+
+def test_empty_trivial_branch_block_threaded_away():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").be(binop("==", "r", 0), "next", "next")
+    f.block("next").ret()
+    pb.thread("f")
+    out = Cleanup().run(pb.build())
+    # The collapsed branch left an empty forwarder, which threading removed.
+    assert out.function("f").entry == "next"
+
+
+def test_jump_threading_through_empty_block():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").jmp("hop")
+    f.block("hop").jmp("end")
+    end = f.block("end")
+    end.print_(1)
+    end.ret()
+    pb.thread("f")
+    out = Cleanup().run(pb.build())
+    heap = out.function("f")
+    # entry itself is an empty forwarder: it becomes the chain's end.
+    assert heap.entry == "end"
+    assert "hop" not in heap
+
+
+def test_unreachable_block_removed():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").ret()
+    orphan = f.block("orphan")
+    orphan.print_(9)
+    orphan.ret()
+    pb.thread("f")
+    out = Cleanup().run(pb.build())
+    assert "orphan" not in out.function("f")
+
+
+def test_cleanup_after_constprop_removes_dead_branch():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    entry = f.block("entry")
+    entry.assign("r", 1)
+    entry.be(binop("==", "r", 1), "yes", "no")
+    yes = f.block("yes")
+    yes.print_(1)
+    yes.ret()
+    no = f.block("no")
+    no.print_(0)
+    no.ret()
+    pb.thread("f")
+    pipeline = compose(ConstProp(), Cleanup())
+    out = pipeline.run(pb.build())
+    assert "no" not in out.function("f")
+
+
+def test_cleanup_validates():
+    program = straightline_program([[Skip(), Print(Const(1))]])
+    report = validate_optimizer(Cleanup(), program)
+    assert report.ok and report.changed
+
+
+def test_dce_then_cleanup_pipeline_validates():
+    from repro.litmus.library import fig16_program
+
+    pipeline = compose(DCE(), Cleanup())
+    report = validate_optimizer(pipeline, fig16_program(False))
+    assert report.ok
+    out = pipeline.run(fig16_program(False))
+    assert not any(
+        isinstance(i, Skip) for i in out.function("t1")["entry"].instrs
+    )
+
+
+def test_self_loop_forwarder_not_followed_forever():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    f.block("entry").jmp("spin")
+    f.block("spin").jmp("spin")
+    pb.thread("f")
+    out = Cleanup().run(pb.build())  # must terminate
+    assert "spin" in out.function("f")

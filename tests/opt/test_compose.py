@@ -1,0 +1,69 @@
+"""Optimizer interface and vertical composition tests."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import Assign, BinOp, Const, Print, Reg
+from repro.opt.base import Optimizer, compose, identity_optimizer
+from repro.opt.constprop import ConstProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+
+
+def sample_program():
+    return straightline_program(
+        [
+            [
+                Assign("r", Const(2)),
+                Assign("s", BinOp("*", Reg("r"), Const(3))),
+                Assign("dead", Const(9)),
+                Print(Reg("s")),
+            ]
+        ]
+    )
+
+
+def test_identity_optimizer():
+    program = sample_program()
+    assert identity_optimizer().run(program) == program
+    assert identity_optimizer().name == "id"
+
+
+def test_compose_order():
+    """compose(A, B) runs A first: ConstProp then DCE eliminates the dead
+    register AND folds; DCE alone only eliminates."""
+    program = sample_program()
+    both = compose(ConstProp(), DCE()).run(program)
+    manual = DCE().run(ConstProp().run(program))
+    assert both == manual
+
+
+def test_composed_name():
+    opt = compose(ConstProp(), DCE())
+    assert opt.name == "dce∘constprop"
+
+
+def test_compose_preserves_atomics_and_threads():
+    program = sample_program()
+    out = compose(compose(ConstProp(), CSE()), DCE()).run(program)
+    assert out.atomics == program.atomics
+    assert out.threads == program.threads
+
+
+def test_unimplemented_base_raises():
+    with pytest.raises(NotImplementedError):
+        Optimizer().run_function(sample_program(), "t1")
+
+
+def test_callable_sugar():
+    program = sample_program()
+    assert ConstProp()(program) == ConstProp().run(program)
+
+
+def test_three_pass_pipeline_refines():
+    from repro.sim.validate import validate_optimizer
+
+    pipeline = compose(compose(ConstProp(), CSE()), DCE())
+    report = validate_optimizer(pipeline, sample_program())
+    assert report.ok
+    assert report.changed

@@ -1,0 +1,115 @@
+"""ConstProp tests: folding, branch decision, soundness by refinement."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BinOp,
+    Const,
+    Jmp,
+    Load,
+    Print,
+    Reg,
+    Store,
+)
+from repro.opt.constprop import ConstProp
+from repro.sim.refinement import check_refinement
+from repro.sim.validate import validate_optimizer
+
+
+def test_fold_register_computation():
+    program = straightline_program(
+        [[Assign("r", Const(2)), Assign("s", BinOp("*", Reg("r"), Const(3)))]]
+    )
+    out = ConstProp().run(program)
+    instrs = out.function("t1")["entry"].instrs
+    assert instrs[1] == Assign("s", Const(6))
+
+
+def test_fold_into_store_and_print():
+    program = straightline_program(
+        [
+            [
+                Assign("r", Const(4)),
+                Store("a", BinOp("+", Reg("r"), Const(1)), AccessMode.NA),
+                Print(Reg("r")),
+            ]
+        ]
+    )
+    out = ConstProp().run(program)
+    instrs = out.function("t1")["entry"].instrs
+    assert instrs[1] == Store("a", Const(5), AccessMode.NA)
+    assert instrs[2] == Print(Const(4))
+
+
+def test_decided_branch_becomes_jump():
+    pb = ProgramBuilder()
+    f = pb.function("f")
+    entry = f.block("entry")
+    entry.assign("r", 1)
+    entry.be(binop("==", "r", 1), "yes", "no")
+    yes = f.block("yes")
+    yes.print_(1)
+    yes.ret()
+    no = f.block("no")
+    no.print_(0)
+    no.ret()
+    pb.thread("f")
+    out = ConstProp().run(pb.build())
+    assert out.function("f")["entry"].term == Jmp("yes")
+
+
+def test_loaded_values_not_folded():
+    program = straightline_program(
+        [[Load("r", "x", AccessMode.RLX), Print(Reg("r"))]], atomics={"x"}
+    )
+    out = ConstProp().run(program)
+    assert out == program  # nothing statically known
+
+
+def test_zero_initialized_registers_fold():
+    """Thread-entry functions start with all registers at 0."""
+    program = straightline_program([[Print(Reg("never_set"))]])
+    out = ConstProp().run(program)
+    assert out.function("t1")["entry"].instrs[0] == Print(Const(0))
+
+
+def test_call_target_entry_not_assumed_zero():
+    pb = ProgramBuilder()
+    main = pb.function("main")
+    entry = main.block("entry")
+    entry.assign("r", 3)
+    entry.call("g", "after")
+    main.block("after").ret()
+    g = pb.function("g")
+    g.block("entry").print_("r")
+    pb.thread("main")
+    out = ConstProp().run(pb.build())
+    # g can be entered with r = 3: its print must not fold to 0.
+    assert out.function("g")["entry"].instrs[0] == Print(Reg("r"))
+
+
+def test_refinement_on_folded_program():
+    program = straightline_program(
+        [
+            [Assign("r", Const(2)), Assign("s", BinOp("*", Reg("r"), Const(3))), Print(Reg("s"))],
+            [Store("a", Const(1), AccessMode.NA)],
+        ]
+    )
+    report = validate_optimizer(ConstProp(), program)
+    assert report.ok
+    assert report.changed
+
+
+def test_equivalence_not_just_refinement():
+    """ConstProp is trace-preserving: target ≈ source (both directions)."""
+    from repro.sim.refinement import check_equivalence
+
+    program = straightline_program(
+        [[Assign("r", BinOp("+", Const(1), Const(2))), Print(Reg("r"))]]
+    )
+    out = ConstProp().run(program)
+    fwd, bwd = check_equivalence(program, out)
+    assert fwd.holds and bwd.holds

@@ -1,0 +1,134 @@
+"""Copy propagation tests."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BinOp,
+    Const,
+    Load,
+    Print,
+    Reg,
+    Skip,
+    Store,
+)
+from repro.opt.base import compose
+from repro.opt.copyprop import CopyProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.sim.validate import validate_optimizer
+
+
+def entry_instrs(program, func="t1"):
+    return program.function(func)["entry"].instrs
+
+
+def test_use_replaced_by_source():
+    program = straightline_program(
+        [[Assign("r2", Reg("r1")), Print(Reg("r2"))]]
+    )
+    out = CopyProp().run(program)
+    assert entry_instrs(out)[1] == Print(Reg("r1"))
+
+
+def test_copy_chain_resolved():
+    program = straightline_program(
+        [[Assign("b", Reg("a")), Assign("c", Reg("b")), Print(Reg("c"))]]
+    )
+    out = CopyProp().run(program)
+    assert entry_instrs(out)[2] == Print(Reg("a"))
+
+
+def test_redefinition_of_source_kills():
+    program = straightline_program(
+        [
+            [
+                Assign("r2", Reg("r1")),
+                Assign("r1", Const(9)),
+                Print(Reg("r2")),
+            ]
+        ]
+    )
+    out = CopyProp().run(program)
+    assert entry_instrs(out)[2] == Print(Reg("r2"))  # unchanged
+
+
+def test_redefinition_of_copy_kills():
+    program = straightline_program(
+        [
+            [
+                Assign("r2", Reg("r1")),
+                Load("r2", "a", AccessMode.NA),
+                Print(Reg("r2")),
+            ]
+        ]
+    )
+    out = CopyProp().run(program)
+    assert entry_instrs(out)[2] == Print(Reg("r2"))
+
+
+def test_propagates_into_store_and_branch():
+    pb = ProgramBuilder()
+    f = pb.function("t1")
+    b = f.block("entry")
+    b.assign("r2", "r1")
+    b.store("a", BinOp("+", Reg("r2"), Const(1)), "na")
+    b.be(binop("==", "r2", 0), "yes", "no")
+    f.block("yes").ret()
+    f.block("no").ret()
+    pb.thread("t1")
+    out = CopyProp().run(pb.build())
+    instrs = out.function("t1")["entry"].instrs
+    assert instrs[1] == Store("a", BinOp("+", Reg("r1"), Const(1)), AccessMode.NA)
+    term = out.function("t1")["entry"].term
+    assert term.cond == BinOp("==", Reg("r1"), Const(0))
+
+
+def test_cse_copyprop_dce_pipeline():
+    """The canonical cleanup chain: CSE leaves a copy, CopyProp forwards
+    it, DCE removes the now-dead copy."""
+    program = straightline_program(
+        [
+            [
+                Load("r1", "a", AccessMode.NA),
+                Load("r2", "a", AccessMode.NA),
+                Print(Reg("r2")),
+            ]
+        ]
+    )
+    pipeline = compose(compose(CSE(), CopyProp()), DCE())
+    out = pipeline.run(program)
+    instrs = entry_instrs(out)
+    assert instrs[0] == Load("r1", "a", AccessMode.NA)
+    assert instrs[1] == Skip()            # dead copy eliminated
+    assert instrs[2] == Print(Reg("r1"))  # use forwarded
+    report = validate_optimizer(pipeline, program, check_target_wwrf=False)
+    assert report.ok
+
+
+def test_validates_on_racy_program():
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r1", "a", "na")
+        b.assign("r2", "r1")
+        b.print_("r2")
+        b.ret()
+    with pb.function("t2") as f:
+        f.block("entry").store("a", 5, "na")
+    pb.thread("t1").thread("t2")
+    report = validate_optimizer(CopyProp(), pb.build(), check_target_wwrf=False)
+    assert report.ok and report.changed
+
+
+def test_verif_by_simulation():
+    from repro.sim.invariant import identity_invariant
+    from repro.sim.validate import verify_optimizer_by_simulation
+
+    program = straightline_program(
+        [[Assign("r2", Reg("r1")), Print(Reg("r2"))]]
+    )
+    results = verify_optimizer_by_simulation(CopyProp(), program, identity_invariant())
+    assert all(r.holds for r in results.values())

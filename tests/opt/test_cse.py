@@ -1,0 +1,192 @@
+"""CSE tests: redundant read elimination with the acquire-kill discipline."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BinOp,
+    Const,
+    Load,
+    Print,
+    Reg,
+    Skip,
+    Store,
+)
+from repro.opt.cse import CSE
+from repro.sim.validate import validate_optimizer
+
+
+def entry_instrs(program, func="t1"):
+    return program.function(func)["entry"].instrs
+
+
+class TestRedundantReads:
+    def test_second_read_replaced_by_register(self):
+        program = straightline_program(
+            [
+                [
+                    Load("r1", "a", AccessMode.NA),
+                    Load("r2", "a", AccessMode.NA),
+                    Print(Reg("r1")),
+                    Print(Reg("r2")),
+                ]
+            ]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[1] == Assign("r2", Reg("r1"))
+
+    def test_same_register_reload_becomes_skip(self):
+        program = straightline_program(
+            [[Load("r", "a", AccessMode.NA), Load("r", "a", AccessMode.NA), Print(Reg("r"))]]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[1] == Skip()
+
+    def test_store_forwarding(self):
+        """a.na := v establishes (load v a): a following read of a can use v."""
+        program = straightline_program(
+            [
+                [
+                    Assign("v", Const(3)),
+                    Store("a", Reg("v"), AccessMode.NA),
+                    Load("r", "a", AccessMode.NA),
+                    Print(Reg("r")),
+                ]
+            ]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Assign("r", Reg("v"))
+
+    def test_acquire_read_blocks_elimination(self):
+        """Paper Sec. 7.2: CSE must not cross an acquire read."""
+        program = straightline_program(
+            [
+                [
+                    Load("r1", "a", AccessMode.NA),
+                    Load("g", "x", AccessMode.ACQ),
+                    Load("r2", "a", AccessMode.NA),
+                    Print(Reg("r2")),
+                ]
+            ],
+            atomics={"x"},
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Load("r2", "a", AccessMode.NA)
+
+    def test_relaxed_read_does_not_block(self):
+        program = straightline_program(
+            [
+                [
+                    Load("r1", "a", AccessMode.NA),
+                    Load("g", "x", AccessMode.RLX),
+                    Load("r2", "a", AccessMode.NA),
+                    Print(Reg("r1")),
+                ]
+            ],
+            atomics={"x"},
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Assign("r2", Reg("r1"))
+
+    def test_release_write_does_not_block(self):
+        """Paper Sec. 7.2: CSE may cross a release write."""
+        program = straightline_program(
+            [
+                [
+                    Load("r1", "a", AccessMode.NA),
+                    Store("x", Const(1), AccessMode.REL),
+                    Load("r2", "a", AccessMode.NA),
+                    Print(Reg("r1")),
+                ]
+            ],
+            atomics={"x"},
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Assign("r2", Reg("r1"))
+
+    def test_own_store_to_location_blocks(self):
+        program = straightline_program(
+            [
+                [
+                    Load("r1", "a", AccessMode.NA),
+                    Store("a", Const(9), AccessMode.NA),
+                    Load("r2", "a", AccessMode.NA),
+                    Print(Reg("r2")),
+                ]
+            ]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Load("r2", "a", AccessMode.NA)
+
+
+class TestPureExpressions:
+    def test_common_subexpression_reused(self):
+        expr = BinOp("+", Reg("a"), Reg("b"))
+        program = straightline_program(
+            [[Assign("r1", expr), Assign("r2", expr), Print(Reg("r2"))]]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[1] == Assign("r2", Reg("r1"))
+
+    def test_operand_clobber_blocks_reuse(self):
+        expr = BinOp("+", Reg("a"), Reg("b"))
+        program = straightline_program(
+            [
+                [
+                    Assign("r1", expr),
+                    Assign("a", Const(1)),
+                    Assign("r2", expr),
+                    Print(Reg("r2")),
+                ]
+            ]
+        )
+        out = CSE().run(program)
+        assert entry_instrs(out)[2] == Assign("r2", expr)
+
+
+class TestSoundness:
+    def test_cse_refines_with_racy_environment(self):
+        """Redundant read elimination is sound even under rw-races: the
+        eliminated read's value is one the original could have returned."""
+        pb = ProgramBuilder()
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.load("r1", "a", "na")
+            b.load("r2", "a", "na")
+            b.print_("r1")
+            b.print_("r2")
+            b.ret()
+        with pb.function("t2") as f:
+            b = f.block("entry")
+            b.store("a", 7, "na")
+            b.ret()
+        pb.thread("t1").thread("t2")
+        report = validate_optimizer(CSE(), pb.build(), check_target_wwrf=False)
+        assert report.changed
+        assert report.refinement.holds
+
+    def test_cse_can_remove_behaviors(self):
+        """With a racy writer the two reads of the source can differ; after
+        CSE they cannot — strictly fewer behaviors, still refinement."""
+        from repro.semantics.exploration import behaviors
+
+        pb = ProgramBuilder()
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.load("r1", "a", "na")
+            b.load("r2", "a", "na")
+            b.print_("r1")
+            b.print_("r2")
+            b.ret()
+        with pb.function("t2") as f:
+            f.block("entry").store("a", 7, "na")
+        pb.thread("t1").thread("t2")
+        source = pb.build()
+        target = CSE().run(source)
+        source_outs = behaviors(source).outputs()
+        target_outs = behaviors(target).outputs()
+        assert (0, 7) in source_outs
+        assert (0, 7) not in target_outs
+        assert target_outs < source_outs

@@ -1,0 +1,148 @@
+"""DCE tests: the paper's Sec. 7.1 pass with the release barrier."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    Const,
+    Load,
+    Print,
+    Reg,
+    Skip,
+    Store,
+)
+from repro.litmus.library import fig15_program, fig16_program
+from repro.opt.dce import DCE
+from repro.sim.refinement import check_refinement
+from repro.sim.validate import validate_optimizer
+
+
+def entry_instrs(program, func="t1"):
+    return program.function(func)["entry"].instrs
+
+
+class TestElimination:
+    def test_overwritten_na_store_eliminated(self):
+        program = straightline_program(
+            [
+                [
+                    Store("a", Const(1), AccessMode.NA),
+                    Store("a", Const(2), AccessMode.NA),
+                    Load("r", "a", AccessMode.NA),
+                    Print(Reg("r")),
+                ]
+            ]
+        )
+        out = DCE().run(program)
+        assert entry_instrs(out)[0] == Skip()
+        assert entry_instrs(out)[1] == Store("a", Const(2), AccessMode.NA)
+
+    def test_dead_register_assign_eliminated(self):
+        program = straightline_program(
+            [[Assign("unused", Const(5)), Print(Const(1))]]
+        )
+        out = DCE().run(program)
+        assert entry_instrs(out)[0] == Skip()
+
+    def test_dead_na_load_eliminated(self):
+        program = straightline_program(
+            [[Load("unused", "a", AccessMode.NA), Print(Const(1))]]
+        )
+        out = DCE().run(program)
+        assert entry_instrs(out)[0] == Skip()
+
+    def test_atomic_accesses_never_eliminated(self):
+        program = straightline_program(
+            [[Load("unused", "x", AccessMode.RLX), Store("x", Const(1), AccessMode.RLX)]],
+            atomics={"x"},
+        )
+        out = DCE().run(program)
+        assert entry_instrs(out)[0] == Load("unused", "x", AccessMode.RLX)
+        assert entry_instrs(out)[1] == Store("x", Const(1), AccessMode.RLX)
+
+    def test_used_store_kept(self):
+        program = straightline_program(
+            [
+                [
+                    Store("a", Const(1), AccessMode.NA),
+                    Load("r", "a", AccessMode.NA),
+                    Print(Reg("r")),
+                ]
+            ]
+        )
+        out = DCE().run(program)
+        assert entry_instrs(out)[0] == Store("a", Const(1), AccessMode.NA)
+
+
+class TestReleaseBarrier:
+    def test_fig15_write_before_release_kept(self):
+        """The paper's Fig. 15: y := 2 must survive — g() may observe it
+        through the release/acquire synchronization."""
+        out = DCE().run(fig15_program(False))
+        assert entry_instrs(out)[0] == Store("y", Const(2), AccessMode.NA)
+
+    def test_fig15_transformed_program_refines(self):
+        report = validate_optimizer(DCE(), fig15_program(False))
+        assert report.ok
+
+    def test_hand_eliminated_fig15_fails_refinement(self):
+        """The incorrect transformation (red annotation) is observably
+        wrong: g() can print y's initial value 0."""
+        result = check_refinement(fig15_program(False), fig15_program(True))
+        assert result.definitive
+        assert not result.holds
+
+    def test_dce_crosses_relaxed_write(self):
+        """y := 2 dead across a *relaxed* write of x — eliminable."""
+        pb = ProgramBuilder(atomics={"x"})
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.store("y", 2, "na")
+            b.store("x", 1, "rlx")
+            b.store("y", 4, "na")
+            b.load("r", "y", "na")
+            b.print_("r")
+            b.ret()
+        pb.thread("t1")
+        out = DCE().run(pb.build())
+        assert entry_instrs(out)[0] == Skip()
+
+    def test_dce_crosses_acquire_read(self):
+        """Paper Sec. 7.1: DCE across an acquire read is sound."""
+        pb = ProgramBuilder(atomics={"x"})
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.store("y", 2, "na")
+            b.load("g", "x", "acq")
+            b.store("y", 4, "na")
+            b.load("r", "y", "na")
+            b.print_("r")
+            b.ret()
+        pb.thread("t1")
+        out = DCE().run(pb.build())
+        assert entry_instrs(out)[0] == Skip()
+        report = validate_optimizer(DCE(), pb.build())
+        assert report.ok
+
+
+class TestFig16:
+    def test_fig16_shape(self):
+        out = DCE().run(fig16_program(False))
+        instrs = entry_instrs(out)
+        assert instrs[0] == Skip()
+        assert instrs[1] == Store("x", Const(2), AccessMode.NA)
+
+    def test_fig16_refines(self):
+        report = validate_optimizer(DCE(), fig16_program(False))
+        assert report.ok
+        assert report.changed
+
+
+def test_dce_preserves_ww_race_freedom():
+    """Lemma 6.2's meta-property, checked concretely."""
+    program = fig15_program(False)
+    report = validate_optimizer(DCE(), program)
+    assert report.source_wwrf.race_free
+    assert report.target_wwrf is not None and report.target_wwrf.race_free

@@ -1,0 +1,110 @@
+"""LInv / LICM tests, centred on the paper's Fig. 1 and Fig. 5."""
+
+import pytest
+
+from repro.lang.syntax import AccessMode, Load
+from repro.litmus.library import fig1_source, fig1_target, fig5_program
+from repro.opt.cse import CSE
+from repro.opt.licm import LICM, LInv, naive_licm
+from repro.sim.refinement import check_refinement
+from repro.sim.validate import validate_optimizer
+
+
+class TestLInv:
+    def test_preheader_read_inserted(self):
+        program = fig5_program("source")
+        out = LInv().run(program)
+        heap = out.function("t1")
+        preheaders = [label for label in heap.labels() if label.endswith("_ph")]
+        assert preheaders
+        ph_block = heap[preheaders[0]]
+        assert any(
+            isinstance(i, Load) and i.loc == "x" and i.mode is AccessMode.NA
+            for i in ph_block.instrs
+        )
+
+    def test_fresh_register_used(self):
+        program = fig5_program("source")
+        out = LInv().run(program)
+        heap = out.function("t1")
+        hoisted = [
+            i for _, blk in heap.blocks for i in blk.instrs
+            if isinstance(i, Load) and i.loc == "x"
+        ]
+        names = {i.dst for i in hoisted}
+        assert any(name.startswith("_li") for name in names)
+
+    def test_linv_refines(self):
+        report = validate_optimizer(LInv(), fig5_program("source"))
+        assert report.ok
+        assert report.changed
+
+    def test_profitable_filter_respects_acquire(self):
+        src = fig1_source(AccessMode.ACQ)
+        assert LInv().run(src) == src
+        assert LInv(require_profitable=False).run(src) != src
+
+
+class TestLICM:
+    def test_licm_noop_across_acquire(self):
+        """Fig. 1 with acquire spin reads: the verified LICM refuses."""
+        src = fig1_source(AccessMode.ACQ)
+        assert LICM().run(src) == src
+
+    def test_licm_fires_across_relaxed(self):
+        """Fig. 1 with relaxed spin reads: LICM hoists and is correct."""
+        src = fig1_source(AccessMode.RLX)
+        out = LICM().run(src)
+        assert out != src
+        report = validate_optimizer(LICM(), src)
+        assert report.ok
+
+    def test_licm_body_read_replaced(self):
+        src = fig1_source(AccessMode.RLX)
+        out = LICM().run(src)
+        body = out.function("foo")["body"]
+        assert not any(
+            isinstance(i, Load) and i.loc == "y" for i in body.instrs
+        ), "the in-loop read of y must be gone"
+
+    def test_naive_licm_breaks_refinement_on_fig1(self):
+        """The paper's headline counterexample: hoisting across the acquire
+        read lets the target print 0 where the source can only print 1."""
+        src = fig1_source(AccessMode.ACQ)
+        out = naive_licm().run(src)
+        result = check_refinement(src, out)
+        assert result.definitive
+        assert not result.holds
+        assert result.counterexample is not None
+
+    def test_naive_licm_sound_on_relaxed_variant(self):
+        """On the relaxed variant even the naive pass happens to be sound —
+        the acquire read was the only problem (paper Sec. 1)."""
+        src = fig1_source(AccessMode.RLX)
+        out = naive_licm().run(src)
+        assert check_refinement(src, out).holds
+
+    def test_hand_written_fig1_target_matches_paper(self):
+        """The paper's foo_opt as hand-written code: refinement fails for
+        acq, holds for rlx (independent of our optimizer)."""
+        for mode, expected in ((AccessMode.ACQ, False), (AccessMode.RLX, True)):
+            result = check_refinement(fig1_source(mode), fig1_target(mode))
+            assert result.definitive
+            assert result.holds is expected, mode
+
+
+class TestVerticalComposition:
+    def test_licm_equals_linv_then_cse(self):
+        src = fig1_source(AccessMode.RLX)
+        composed = CSE().run(LInv().run(src))
+        assert LICM().run(src) == composed
+
+    def test_fig5_pipeline(self):
+        """Fig. 5: LInv introduces the hoisted read, CSE eliminates the
+        body read; each stage refines the previous one."""
+        source = fig5_program("source")
+        after_linv = LInv().run(source)
+        after_cse = CSE().run(after_linv)
+        assert check_refinement(source, after_linv).holds
+        assert check_refinement(after_linv, after_cse).holds
+        assert check_refinement(source, after_cse).holds

@@ -1,0 +1,113 @@
+"""LocalDSE (the LLVM baseline) vs global DCE — paper Sec. 7.2."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Skip, Store
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt.dce import DCE
+from repro.opt.localdse import LocalDSE
+from repro.sim.validate import validate_optimizer
+
+
+def entry_instrs(program, func="t1"):
+    return program.function(func)["entry"].instrs
+
+
+def test_same_block_overwrite_eliminated():
+    program = straightline_program(
+        [
+            [
+                Store("a", Const(1), AccessMode.NA),
+                Store("a", Const(2), AccessMode.NA),
+                Load("r", "a", AccessMode.NA),
+                Print(Reg("r")),
+            ]
+        ]
+    )
+    out = LocalDSE().run(program)
+    assert entry_instrs(out)[0] == Skip()
+
+
+def test_intervening_read_blocks():
+    program = straightline_program(
+        [
+            [
+                Store("a", Const(1), AccessMode.NA),
+                Load("r", "a", AccessMode.NA),
+                Store("a", Const(2), AccessMode.NA),
+                Print(Reg("r")),
+            ]
+        ]
+    )
+    out = LocalDSE().run(program)
+    assert entry_instrs(out)[0] == Store("a", Const(1), AccessMode.NA)
+
+
+def test_release_write_blocks():
+    """The weak-memory rule applies locally too."""
+    pb = ProgramBuilder(atomics={"x"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("x", 1, "rel")
+        b.store("a", 2, "na")
+        b.ret()
+    pb.thread("t1")
+    out = LocalDSE().run(pb.build())
+    assert entry_instrs(out)[0] == Store("a", Const(1), AccessMode.NA)
+
+
+def cross_block_dead_store():
+    """A store dead only across a block boundary: LocalDSE keeps it, DCE
+    eliminates it — the paper's LLVM comparison."""
+    pb = ProgramBuilder()
+    f = pb.function("t1")
+    entry = f.block("entry")
+    entry.store("a", 1, "na")
+    entry.jmp("next")
+    nxt = f.block("next")
+    nxt.store("a", 2, "na")
+    nxt.load("r", "a", "na")
+    nxt.print_("r")
+    nxt.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+def test_cross_block_gap_between_local_and_global():
+    program = cross_block_dead_store()
+    local = LocalDSE().run(program)
+    global_ = DCE().run(program)
+    assert entry_instrs(local)[0] == Store("a", Const(1), AccessMode.NA)  # kept
+    assert entry_instrs(global_)[0] == Skip()  # eliminated
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_local_subsumed_by_global(seed):
+    """Every store LocalDSE removes, DCE removes too (on a corpus)."""
+    program = random_wwrf_program(seed, GeneratorConfig(instrs_per_thread=8))
+    local = LocalDSE().run(program)
+    global_ = DCE().run(program)
+    for fname, local_heap in local.functions:
+        global_heap = global_.function(fname)
+        for label, local_block in local_heap.blocks:
+            global_block = global_heap[label]
+            original = program.function(fname)[label].instrs
+            for idx, local_instr in enumerate(local_block.instrs):
+                if isinstance(local_instr, Skip) and not isinstance(original[idx], Skip):
+                    assert isinstance(global_block.instrs[idx], Skip), (fname, label, idx)
+
+
+def test_localdse_validates():
+    report = validate_optimizer(LocalDSE(), cross_block_dead_store())
+    assert report.ok
+
+
+def test_localdse_validates_on_fig15():
+    from repro.litmus.library import fig15_program
+
+    source = fig15_program(False)
+    out = LocalDSE().run(source)
+    # The release write blocks the local elimination: unchanged program.
+    assert out == source

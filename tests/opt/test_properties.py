@@ -1,0 +1,120 @@
+"""Property tests over the optimizers on generated programs:
+idempotence, structure preservation, and static safety invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.syntax import AccessMode, Cas, Load, Program, Store
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt.base import compose
+from repro.opt.cleanup import Cleanup
+from repro.opt.constprop import ConstProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+from repro.opt.licm import LICM, LInv
+
+GEN = GeneratorConfig(threads=2, instrs_per_thread=8, allow_cas=True)
+
+seeds = st.integers(min_value=0, max_value=2000)
+
+ALL_PASSES = [ConstProp(), CSE(), DCE(), LInv(), Cleanup()]
+
+
+def atomic_accesses(program: Program):
+    """Multiset of atomic accesses (the optimizers must not touch them)."""
+    out = []
+    for fname, heap in sorted(program.functions):
+        for instr in heap.instructions():
+            if isinstance(instr, (Load, Store)) and instr.mode is not AccessMode.NA:
+                out.append((fname, instr))
+            elif isinstance(instr, Cas):
+                out.append((fname, instr))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_passes_preserve_interface(seed):
+    """Atomics set, thread list and atomic accesses survive every pass."""
+    program = random_wwrf_program(seed, GEN)
+    for opt in ALL_PASSES:
+        out = opt.run(program)
+        assert out.atomics == program.atomics, opt.name
+        assert out.threads == program.threads, opt.name
+        assert atomic_accesses(out) == atomic_accesses(program), opt.name
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_dce_idempotent(seed):
+    program = random_wwrf_program(seed, GEN)
+    once = DCE().run(program)
+    assert DCE().run(once) == once
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_constprop_converges(seed):
+    """ConstProp is not one-shot idempotent (folding a branch can expose
+    more constants, as in CompCert), but iterating it reaches a fixpoint
+    quickly: each round that changes anything must have folded a branch,
+    so rounds are bounded by the branch count."""
+    program = random_wwrf_program(seed, GEN)
+    current = program
+    branch_count = sum(
+        1
+        for _, heap in program.functions
+        for _, block in heap.blocks
+        if type(block.term).__name__ == "Be"
+    )
+    for _ in range(branch_count + 2):
+        nxt = ConstProp().run(current)
+        if nxt == current:
+            return
+        current = nxt
+    pytest.fail("ConstProp did not converge within the branch-count bound")
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_cse_idempotent(seed):
+    program = random_wwrf_program(seed, GEN)
+    once = CSE().run(program)
+    assert CSE().run(once) == once
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_cleanup_idempotent(seed):
+    program = random_wwrf_program(seed, GEN)
+    once = Cleanup().run(program)
+    assert Cleanup().run(once) == once
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_dce_never_grows_code(seed):
+    program = random_wwrf_program(seed, GEN)
+    assert DCE().run(program).num_instructions() == program.num_instructions()
+    # (DCE replaces with skip — same count; cleanup shrinks)
+    cleaned = compose(DCE(), Cleanup()).run(program)
+    assert cleaned.num_instructions() <= program.num_instructions()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_linv_only_adds_na_loads(seed):
+    """LInv inserts non-atomic loads into fresh registers and nothing else."""
+    program = random_wwrf_program(seed, GEN)
+    out = LInv().run(program)
+    for (fname, heap_out) in out.functions:
+        original = program.function(fname)
+        orig_instrs = list(original.instructions())
+        for instr in heap_out.instructions():
+            if instr in orig_instrs:
+                orig_instrs.remove(instr)
+            else:
+                assert isinstance(instr, Load)
+                assert instr.mode is AccessMode.NA
+                assert instr.dst.startswith("_li")

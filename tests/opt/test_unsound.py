@@ -1,0 +1,99 @@
+"""Negative experiments: the unsound transformations fail exactly as the
+paper predicts."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Skip, Store
+from repro.litmus.library import fig15_program
+from repro.opt.dce import DCE
+from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.races.wwrf import ww_rf
+from repro.sim.refinement import check_refinement
+
+
+class TestNaiveDCE:
+    def test_naive_dce_eliminates_across_release(self):
+        """The barrier-free analysis eliminates y := 2 in Fig. 15 — the red
+        annotation of the paper."""
+        source = fig15_program(False)
+        out = NaiveDCE().run(source)
+        assert isinstance(out.function("t1")["entry"].instrs[0], Skip)
+
+    def test_naive_dce_breaks_refinement_on_fig15(self):
+        source = fig15_program(False)
+        out = NaiveDCE().run(source)
+        result = check_refinement(source, out)
+        assert result.definitive
+        assert not result.holds
+        # g() printing the stale 0 is the counterexample.
+        assert (0,) in result.target_behaviors.outputs()
+        assert (0,) not in result.source_behaviors.outputs()
+
+    def test_naive_dce_agrees_with_sound_dce_without_releases(self):
+        """Absent release operations the two analyses coincide."""
+        program = straightline_program(
+            [
+                [
+                    Store("a", Const(1), AccessMode.NA),
+                    Store("a", Const(2), AccessMode.NA),
+                    Load("r", "a", AccessMode.NA),
+                ]
+            ]
+        )
+        assert NaiveDCE().run(program) == DCE().run(program)
+
+    def test_sound_dce_does_not_eliminate_fig15(self):
+        source = fig15_program(False)
+        out = DCE().run(source)
+        assert not isinstance(out.function("t1")["entry"].instrs[0], Skip)
+
+
+class TestRedundantWriteIntroduction:
+    def composed_with_writer(self):
+        """t1 only *reads* a; t2 writes it — race-free as written."""
+        pb = ProgramBuilder()
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.load("r", "a", "na")
+            b.print_("r")
+            b.ret()
+        with pb.function("t2") as f:
+            b = f.block("entry")
+            b.store("a", 2, "na")
+            b.ret()
+        pb.thread("t1").thread("t2")
+        return pb.build()
+
+    def test_writeback_introduced(self):
+        program = self.composed_with_writer()
+        out = RedundantWriteIntroduction().run(program)
+        instrs = out.function("t1")["entry"].instrs
+        assert instrs[1] == Store("a", __import__("repro.lang.syntax", fromlist=["Reg"]).Reg("r"), AccessMode.NA)
+
+    def test_breaks_ww_rf_preservation(self):
+        """The paper's reason category (5) is out: the target writes a
+        location the source never wrote, racing with the other thread."""
+        source = self.composed_with_writer()
+        target = RedundantWriteIntroduction().run(source)
+        assert ww_rf(source).race_free
+        assert not ww_rf(target).race_free
+
+    def test_delayed_write_set_rejects_it(self):
+        """In the simulation, the introduced target write enters D but the
+        source never performs it — no simulation under any invariant."""
+        from repro.sim.invariant import dce_invariant, identity_invariant
+        from repro.sim.simulation import check_thread_simulation
+
+        pb = ProgramBuilder()
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.load("r", "a", "na")
+            b.print_("r")
+            b.ret()
+        pb.thread("t1")
+        source = pb.build()
+        target = RedundantWriteIntroduction().run(source)
+        for invariant in (identity_invariant(), dce_invariant()):
+            result = check_thread_simulation(source, target, "t1", invariant)
+            assert not result.holds, invariant

@@ -1,0 +1,49 @@
+"""Lemma 5.1: ``ww-RF(P) ⇔ ww-NPRF(P̂)`` — checked on the litmus suite and
+on generated programs."""
+
+import pytest
+
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE
+from repro.races.wwrf import ww_nprf, ww_rf
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def config_for(test):
+    if test.needs_promises or test.promise_budget:
+        oracle = SyntacticPromises(
+            budget=test.promise_budget, max_outstanding=test.promise_budget
+        )
+        return SemanticsConfig(promise_oracle=oracle)
+    return SemanticsConfig()
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_SUITE))
+def test_lemma_51_on_litmus_suite(name):
+    test = LITMUS_SUITE[name]
+    config = config_for(test)
+    interleaving = ww_rf(test.program, config)
+    nonpreemptive = ww_nprf(test.program, config)
+    assert interleaving.exhaustive and nonpreemptive.exhaustive
+    assert interleaving.race_free == nonpreemptive.race_free, name
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_lemma_51_on_generated_programs(seed):
+    config = SemanticsConfig()
+    program = random_wwrf_program(seed, GeneratorConfig(instrs_per_thread=4))
+    interleaving = ww_rf(program, config)
+    nonpreemptive = ww_nprf(program, config)
+    assert interleaving.race_free == nonpreemptive.race_free
+
+
+def test_lemma_51_on_racy_program():
+    from repro.lang.builder import straightline_program
+    from repro.lang.syntax import AccessMode, Const, Store
+
+    racy = straightline_program(
+        [[Store("a", Const(1), AccessMode.NA)], [Store("a", Const(2), AccessMode.NA)]]
+    )
+    assert not ww_rf(racy).race_free
+    assert not ww_nprf(racy).race_free

@@ -1,0 +1,70 @@
+"""The paper's Fig. 4: ww-race freedom must be promise-certification-aware.
+
+A naive reading finds a race on ``z`` via the execution that promises
+``x := 1`` and then reads ``y = 1`` — but that execution dies at the
+consistency check (the promise becomes unfulfillable on the taken branch),
+so the program is race-free (paper Sec. 2.4)."""
+
+import pytest
+
+from repro.litmus.library import fig4_program
+from repro.races.wwrf import ww_nprf, ww_rf
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+
+
+def test_fig4_is_ww_race_free_with_promises(config):
+    report = ww_rf(fig4_program(), config)
+    assert report.exhaustive
+    assert report.race_free
+
+
+def test_fig4_is_ww_race_free_without_promises():
+    report = ww_rf(fig4_program())
+    assert report.race_free
+
+
+def test_fig4_nprf_agrees(config):
+    assert ww_nprf(fig4_program(), config).race_free
+
+
+def test_fig4_racy_variant_detected(config):
+    """Sanity check against vacuity: making t1 write z unconditionally
+    *does* produce the race with t2's z-write."""
+    from repro.lang.builder import ProgramBuilder, binop
+
+    pb = ProgramBuilder(atomics={"x", "y"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r1", "y", "rlx")
+        b.store("z", 1, "na")  # unconditional now
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r2", "x", "rlx")
+        b.be(binop("==", "r2", 1), "then", "end")
+        t = f.block("then")
+        t.store("z", 2, "na")
+        t.store("y", 1, "rlx")
+        t.jmp("end")
+        f.block("end").ret()
+    pb.thread("t1").thread("t2")
+    # t2 needs to see x == 1, which only a promise of t1 could provide —
+    # but t1 never writes x here, so instead make the race reachable
+    # directly: t2's guard is on x, which stays 0 — so actually no race.
+    assert ww_rf(pb.build(), config).race_free
+
+    # Remove the guard entirely: both threads write z unconditionally.
+    pb2 = ProgramBuilder(atomics={"x", "y"})
+    with pb2.function("t1") as f:
+        f.block("entry").store("z", 1, "na")
+        # block auto-returns
+    with pb2.function("t2") as f:
+        f.block("entry").store("z", 2, "na")
+    pb2.thread("t1").thread("t2")
+    assert not ww_rf(pb2.build(), config).race_free

@@ -1,0 +1,50 @@
+"""Ablation: certification against the raw memory instead of the capped
+memory (paper Sec. 2.1: "Certifying promises only from the current memory
+is insufficient").
+
+The scenario is the paper's own motivation: a thread promises a write that
+it can only fulfill if its CAS succeeds.  Against the raw memory the CAS
+succeeds in isolation; against the capped memory the adjacent interval is
+reserved and certification fails.  The behavioral consequence: with the
+ablated certification the promise goes through and another thread can
+observe a value that full PS2.1 forbids when the competing CAS wins."""
+
+import pytest
+
+from repro.litmus.library import promise_via_cas
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+competing_cas_program = promise_via_cas
+
+
+def traces(certify_against_cap: bool):
+    config = SemanticsConfig(
+        promise_oracle=SyntacticPromises(budget=1, max_outstanding=1),
+        certify_against_cap=certify_against_cap,
+    )
+    result = behaviors(competing_cas_program(), config)
+    assert result.exhaustive
+    return result.traces
+
+
+def test_capped_certification_forbids_promise_through_cas():
+    """Full PS2.1: if t2's CAS won, t1's CAS fails, so z := 7 can never be
+    both promised and observed by a winning t2 — out(7) never appears, not
+    even as a trace prefix."""
+    assert (7,) not in traces(True)
+
+
+def test_ablated_certification_admits_the_bad_outcome():
+    """Without the cap, t1 certifies the promise assuming its own CAS wins;
+    t2 then reads the promised 7 *and* wins the CAS.  t1 is now a zombie
+    with an unfulfillable promise (so the execution never reaches the
+    ``done`` marker), but out(7) is already an observable trace — exactly
+    the behavior the capped memory exists to forbid."""
+    assert (7,) in traces(False)
+
+
+def test_ablation_only_adds_behaviors():
+    assert traces(True) <= traces(False)

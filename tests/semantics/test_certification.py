@@ -1,0 +1,123 @@
+"""Promise certification tests (paper Sec. 3, ``consistent``)."""
+
+from dataclasses import replace
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Reg, Store
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message
+from repro.memory.timestamps import ts
+from repro.semantics.certification import CertificationStats, consistent
+from repro.semantics.thread import SemanticsConfig
+from repro.semantics.threadstate import initial_thread_state
+
+CFG = SemanticsConfig()
+
+
+def with_promise(program, func, loc, value, frm, to, mem):
+    """Thread state of ``func`` holding one outstanding promise."""
+    state = initial_thread_state(program, func)
+    promise = Message(loc, Int32(value), ts(frm), ts(to))
+    mem = mem.add(promise)
+    return replace(state, promises=Memory((promise,))), mem
+
+
+def test_no_promises_always_consistent():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    state = initial_thread_state(program, "t1")
+    mem = Memory.initial(["x"])
+    assert consistent(program, state, mem, CFG)
+
+
+def test_fulfillable_promise_is_consistent():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    mem = Memory.initial(["x"])
+    state, mem = with_promise(program, "t1", "x", 1, 0, 1, mem)
+    assert consistent(program, state, mem, CFG)
+
+
+def test_promise_with_no_matching_write_is_inconsistent():
+    program = straightline_program([[Store("x", Const(2), AccessMode.NA)]])
+    mem = Memory.initial(["x"])
+    state, mem = with_promise(program, "t1", "x", 1, 0, 1, mem)
+    assert not consistent(program, state, mem, CFG)
+
+
+def test_promise_on_untouched_location_is_inconsistent():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    mem = Memory.initial(["x", "y"])
+    state, mem = with_promise(program, "t1", "y", 1, 0, 1, mem)
+    assert not consistent(program, state, mem, CFG)
+
+
+def test_conditional_promise_depends_on_readable_values():
+    """The thread promises x := 1 behind `if (r == 1)`; in isolation the
+    read of y can only return 0, so the branch is never taken — the OOTA
+    protection."""
+    pb = ProgramBuilder(atomics={"y"})
+    f = pb.function("t1")
+    entry = f.block("entry")
+    entry.load("r", "y", "rlx")
+    entry.be(Reg("r"), "hit", "end")
+    hit = f.block("hit")
+    hit.store("x", 1, "na")
+    hit.jmp("end")
+    f.block("end").ret()
+    pb.thread("t1")
+    program = pb.build()
+
+    mem = Memory.initial(["x", "y"])
+    state, mem1 = with_promise(program, "t1", "x", 1, 0, 1, mem)
+    assert not consistent(program, state, mem1, CFG)
+
+    # But once y = 1 is in memory, certification can read it and fulfill.
+    mem2 = mem.add(Message("y", Int32(1), ts(0), ts(1)))
+    state2, mem2 = with_promise(program, "t1", "x", 1, 0, 1, mem2)
+    assert consistent(program, state2, mem2, CFG)
+
+
+def test_certification_uses_capped_memory_for_cas():
+    """A promise whose certification relies on winning a CAS against the
+    *current* memory must fail against the capped memory — the paper's
+    motivation for the cap (two competing CAS)."""
+    pb = ProgramBuilder(atomics={"x"})
+    f = pb.function("t1")
+    b = f.block("entry")
+    b.cas("r", "x", 0, 1, "rlx", "rlx")
+    b.be(Reg("r"), "hit", "end")
+    hit = f.block("hit")
+    hit.store("z", 7, "na")
+    hit.jmp("end")
+    f.block("end").ret()
+    pb.thread("t1")
+    program = pb.build()
+
+    mem = Memory.initial(["x", "z"])
+    state, mem = with_promise(program, "t1", "z", 7, 0, 1, mem)
+    # Against the raw memory the CAS (0 -> 1) would succeed and certify the
+    # promise; against the capped memory the adjacent interval is reserved,
+    # the CAS cannot succeed, and certification must fail.
+    assert not consistent(program, state, mem, CFG)
+
+
+def test_cache_hits_recorded():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    mem = Memory.initial(["x"])
+    state, mem = with_promise(program, "t1", "x", 1, 0, 1, mem)
+    cache: dict = {}
+    stats = CertificationStats()
+    assert consistent(program, state, mem, CFG, cache, stats)
+    assert consistent(program, state, mem, CFG, cache, stats)
+    assert stats.calls == 2
+    assert stats.cache_hits == 1
+
+
+def test_budget_exhaustion_is_conservative():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    mem = Memory.initial(["x"])
+    state, mem = with_promise(program, "t1", "x", 1, 0, 1, mem)
+    tiny = SemanticsConfig(certification_max_steps=0)
+    stats = CertificationStats()
+    assert not consistent(program, state, mem, tiny, None, stats)
+    assert stats.budget_exhausted == 1

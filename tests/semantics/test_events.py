@@ -1,0 +1,85 @@
+"""Direct unit tests for the event vocabulary."""
+
+import pytest
+
+from repro.lang.syntax import AccessMode, FenceKind
+from repro.lang.values import Int32
+from repro.semantics.events import (
+    EVENT_DONE,
+    CancelEvent,
+    EventClass,
+    FenceEvent,
+    OutputEvent,
+    PromiseEvent,
+    ReadEvent,
+    ReserveEvent,
+    SilentEvent,
+    UpdateEvent,
+    WriteEvent,
+    event_class,
+    format_trace,
+)
+
+
+class TestEventValues:
+    def test_output_normalizes_value(self):
+        assert OutputEvent(2**32 + 5).value == 5
+
+    def test_read_write_normalize(self):
+        assert ReadEvent(AccessMode.RLX, "x", 2**31).value == -(2**31)
+        assert WriteEvent(AccessMode.NA, "x", -1).value == -1
+
+    def test_update_normalizes_both(self):
+        event = UpdateEvent(AccessMode.RLX, AccessMode.RLX, "x", 2**32, 1)
+        assert event.read_value == 0 and event.write_value == 1
+
+    def test_events_hashable_and_comparable(self):
+        a = ReadEvent(AccessMode.NA, "x", Int32(1))
+        b = ReadEvent(AccessMode.NA, "x", 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != ReadEvent(AccessMode.RLX, "x", 1)
+
+
+class TestRendering:
+    def test_str_forms(self):
+        assert str(SilentEvent()) == "tau"
+        assert str(OutputEvent(3)) == "out(3)"
+        assert str(ReadEvent(AccessMode.ACQ, "x", 1)) == "R(acq, x, 1)"
+        assert str(WriteEvent(AccessMode.REL, "y", 2)) == "W(rel, y, 2)"
+        assert "U(rlx, rel, x, 0, 1)" == str(
+            UpdateEvent(AccessMode.RLX, AccessMode.REL, "x", 0, 1)
+        )
+        assert str(PromiseEvent("x", 1)) == "prm(x, 1)"
+        assert str(ReserveEvent("x")) == "rsv(x)"
+        assert str(CancelEvent("x")) == "ccl(x)"
+        assert str(FenceEvent(FenceKind.SC)) == "fence(sc)"
+
+    def test_format_trace(self):
+        assert format_trace((Int32(1), Int32(2), EVENT_DONE)) == "[out(1), out(2), done]"
+        assert format_trace(()) == "[]"
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "event,expected",
+        [
+            (SilentEvent(), EventClass.NA),
+            (ReadEvent(AccessMode.NA, "x", 0), EventClass.NA),
+            (WriteEvent(AccessMode.NA, "x", 0), EventClass.NA),
+            (ReadEvent(AccessMode.RLX, "x", 0), EventClass.AT),
+            (ReadEvent(AccessMode.ACQ, "x", 0), EventClass.AT),
+            (WriteEvent(AccessMode.RLX, "x", 0), EventClass.AT),
+            (WriteEvent(AccessMode.REL, "x", 0), EventClass.AT),
+            (UpdateEvent(AccessMode.RLX, AccessMode.RLX, "x", 0, 1), EventClass.AT),
+            (OutputEvent(0), EventClass.AT),
+            (FenceEvent(FenceKind.REL), EventClass.AT),
+            (PromiseEvent("x", 0), EventClass.PRC),
+            (ReserveEvent("x"), EventClass.PRC),
+            (CancelEvent("x"), EventClass.PRC),
+        ],
+        ids=lambda v: str(v),
+    )
+    def test_classes(self, event, expected):
+        if isinstance(event, EventClass):
+            pytest.skip("parameter")
+        assert event_class(event) is expected

@@ -1,0 +1,98 @@
+"""Litmus-test behavior checks (paper Sec. 2.1 and 3) — the annotated
+outcomes the paper uses to motivate PS2.1.
+
+These tests pin down the exact *complete-execution output sets* of the
+classic litmus programs under the exhaustive interpreter.
+"""
+
+import pytest
+
+from repro.litmus.library import (
+    cas_exclusivity,
+    corr,
+    lb,
+    lb_oota,
+    mp_relacq,
+    mp_rlx,
+    sb,
+)
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+
+def outputs(program, config=None):
+    result = behaviors(program, config)
+    assert result.exhaustive, "exploration must be exhaustive for a verdict"
+    return sorted(result.outputs())
+
+
+class TestStoreBuffering:
+    def test_all_four_outcomes_allowed(self):
+        assert outputs(sb()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_weak_outcome_without_promises(self):
+        """(0,0) needs no promises in PS — just reading the initial values."""
+        assert (0, 0) in outputs(sb(), SemanticsConfig())
+
+
+class TestLoadBuffering:
+    def test_lb_annotated_outcome_requires_promises(self):
+        without = outputs(lb())
+        assert (1, 1) not in without
+        with_promises = outputs(
+            lb(), SemanticsConfig(promise_oracle=SyntacticPromises(budget=1))
+        )
+        assert with_promises == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_oota_forbidden(self):
+        """y := r1 cannot be promised: certification in isolation reads
+        x = 0, so the promise y := 1 is never fulfillable."""
+        config = SemanticsConfig(promise_oracle=SyntacticPromises(budget=1))
+        assert outputs(lb_oota(), config) == [(0, 0)]
+
+
+class TestMessagePassing:
+    def test_relacq_forbids_stale_payload(self):
+        outs = outputs(mp_relacq())
+        assert (0,) not in outs
+        assert (1,) in outs
+
+    def test_rlx_allows_stale_payload(self):
+        outs = outputs(mp_rlx())
+        assert (0,) in outs
+        assert (1,) in outs
+
+
+class TestCoherence:
+    def test_read_read_coherence(self):
+        """Per-location timestamp order: after reading 2 written later than
+        1 (in some execution order), a thread may not read back an older
+        message it has already passed.  Concretely: every pair of reads is
+        ordered consistently with *some* linear order of the writes — but
+        both write orders are possible, so the only forbidden outcomes are
+        none here; what coherence forbids is re-reading older after newer
+        for a *fixed* placement.  We check a sharper derived fact: the
+        outcome multiset never contains a pair that contradicts both
+        placements, i.e. (1, 2) and (2, 1) are both possible but reading
+        (1, 0) after... — instead we check reads never go backwards within
+        one execution against the init message: (v, 0) with v != 0 is
+        forbidden."""
+        outs = outputs(corr())
+        for r1, r2 in outs:
+            if r1 != 0:
+                assert r2 != 0, f"coherence violation: read {r1} then init 0"
+
+
+class TestCasExclusivity:
+    def test_two_cas_cannot_both_succeed(self):
+        outs = outputs(cas_exclusivity())
+        assert (1, 1) not in outs
+        assert (0, 1) in outs
+        assert (1, 0) in outs
+
+    def test_at_least_one_succeeds(self):
+        """With only two threads and no other writers, one CAS always finds
+        x = 0 first."""
+        outs = outputs(cas_exclusivity())
+        assert (0, 0) not in outs

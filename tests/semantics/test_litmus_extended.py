@@ -1,0 +1,82 @@
+"""Extended litmus suite: 2+2W, IRIW, CoWR, fence-SB."""
+
+import pytest
+
+from repro.litmus.library import cowr, iriw_rlx, sb_with_sc_fences, two_plus_two_w
+from repro.semantics.exploration import behaviors
+from repro.semantics.sc import sc_behaviors
+
+
+def outputs(program, config=None):
+    result = behaviors(program, config)
+    assert result.exhaustive
+    return result.outputs()
+
+
+class TestTwoPlusTwoW:
+    def test_final_state_nondeterminism(self):
+        outs = outputs(two_plus_two_w())
+        # The observer may see either order of each location's two writes.
+        assert (1, 1) in outs  # both "first" writes win
+        assert (2, 2) in outs  # both "second" writes win
+        assert (1, 2) in outs and (2, 1) in outs
+
+    def test_sc_subset(self):
+        assert sc_behaviors(two_plus_two_w()).traces <= behaviors(two_plus_two_w()).traces
+
+
+class TestIriw:
+    @pytest.fixture(scope="class")
+    def iriw_outs(self):
+        return outputs(iriw_rlx())
+
+    def test_readers_may_disagree_under_rlx(self, iriw_outs):
+        """The hallmark IRIW outcome: both readers print 10 — reader A saw
+        x's write but not y's, reader B the reverse."""
+        assert (10, 10) in iriw_outs
+
+    def test_per_reader_outcome_alphabet(self, iriw_outs):
+        """Each reader independently prints any of {0, 1, 10, 11}."""
+        values = {v for out in iriw_outs for v in out}
+        assert values == {0, 1, 10, 11}
+
+    def test_sc_forbids_disagreement(self):
+        sc_outs = sc_behaviors(iriw_rlx()).outputs()
+        assert (10, 10) not in sc_outs
+        assert all(sorted(o) != [10, 10] for o in sc_outs)
+
+
+class TestCoWR:
+    def test_own_write_not_unread(self):
+        """After writing x the writer can never observe the initial 0."""
+        outs = outputs(cowr())
+        assert all(o[0] != 0 for o in outs)
+
+    def test_other_write_still_visible(self):
+        outs = outputs(cowr())
+        assert (1,) in outs and (2,) in outs
+
+
+class TestScFences:
+    def test_sc_fences_forbid_sb(self):
+        """The global SC view totally orders the fences: (0,0) is gone."""
+        outs = outputs(sb_with_sc_fences())
+        assert (0, 0) not in outs
+        assert (1, 1) in outs
+
+    def test_sc_view_published_only_by_sc_fences(self):
+        """rel/acq fences alone do not forbid the SB outcome."""
+        from repro.lang.builder import straightline_program
+        from repro.lang.syntax import Const, Fence, FenceKind, Load, Print, Reg, Store
+        from repro.lang.syntax import AccessMode as AM
+
+        program = straightline_program(
+            [
+                [Store("x", Const(1), AM.RLX), Fence(FenceKind.REL),
+                 Fence(FenceKind.ACQ), Load("r1", "y", AM.RLX), Print(Reg("r1"))],
+                [Store("y", Const(1), AM.RLX), Fence(FenceKind.REL),
+                 Fence(FenceKind.ACQ), Load("r2", "x", AM.RLX), Print(Reg("r2"))],
+            ],
+            atomics={"x", "y"},
+        )
+        assert (0, 0) in outputs(program)

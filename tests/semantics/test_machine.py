@@ -1,0 +1,90 @@
+"""Interleaving machine tests (paper Fig. 9)."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Skip, Store
+from repro.memory.memory import Memory
+from repro.semantics.events import OutputEvent, SilentEvent
+from repro.semantics.machine import (
+    MachineState,
+    SwitchEvent,
+    initial_machine_state,
+    machine_steps,
+)
+from repro.semantics.thread import SemanticsConfig
+
+CFG = SemanticsConfig()
+
+
+def two_skip_program():
+    return straightline_program([[Skip()], [Skip()]])
+
+
+class TestInitialState:
+    def test_initial(self):
+        program = two_skip_program()
+        state = initial_machine_state(program, CFG)
+        assert state.cur == 0
+        assert len(state.pool) == 2
+        assert not state.all_done
+        assert state.mem == Memory.initial([])
+
+    def test_initial_memory_covers_locations(self):
+        program = straightline_program(
+            [[Store("x", Const(1), AccessMode.NA), Load("r", "y", AccessMode.NA)]]
+        )
+        state = initial_machine_state(program, CFG)
+        assert set(state.mem.locations()) == {"x", "y"}
+
+
+class TestSteps:
+    def test_switch_steps_enumerated(self):
+        program = two_skip_program()
+        state = initial_machine_state(program, CFG)
+        switches = [
+            e for e, _ in machine_steps(program, state, CFG) if isinstance(e, SwitchEvent)
+        ]
+        assert switches == [SwitchEvent(1)]
+
+    def test_no_switch_to_done_thread(self):
+        program = two_skip_program()
+        state = initial_machine_state(program, CFG)
+        # Run thread 1 to completion: skip, then return.
+        state = MachineState(state.pool, 1, state.mem)
+        for _ in range(2):
+            candidates = [
+                s for e, s in machine_steps(program, state, CFG) if not isinstance(e, SwitchEvent)
+            ]
+            state = candidates[0]
+        assert state.pool[1].local.done
+        state0 = MachineState(state.pool, 0, state.mem)
+        switches = [
+            e for e, _ in machine_steps(program, state0, CFG) if isinstance(e, SwitchEvent)
+        ]
+        assert switches == []
+
+    def test_out_step_labeled(self):
+        program = straightline_program([[Print(Const(5))]])
+        state = initial_machine_state(program, CFG)
+        events = [e for e, _ in machine_steps(program, state, CFG)]
+        assert events == [OutputEvent(5)]
+
+    def test_silent_steps_labeled_tau(self):
+        program = two_skip_program()
+        state = initial_machine_state(program, CFG)
+        events = [
+            e for e, _ in machine_steps(program, state, CFG) if not isinstance(e, SwitchEvent)
+        ]
+        assert events == [SilentEvent()]
+
+    def test_all_done_after_running_everything(self):
+        program = two_skip_program()
+        state = initial_machine_state(program, CFG)
+        for _ in range(10):
+            if state.all_done:
+                break
+            steps = list(machine_steps(program, state, CFG))
+            non_switch = [s for e, s in steps if not isinstance(e, SwitchEvent)]
+            state = non_switch[0] if non_switch else steps[0][1]
+        assert state.all_done

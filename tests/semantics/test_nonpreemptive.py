@@ -1,0 +1,135 @@
+"""Non-preemptive machine tests (paper Fig. 10): switch-bit discipline."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Print, Skip, Store
+from repro.semantics.events import (
+    EventClass,
+    FenceEvent,
+    OutputEvent,
+    PromiseEvent,
+    ReadEvent,
+    SilentEvent,
+    UpdateEvent,
+    WriteEvent,
+    event_class,
+)
+from repro.semantics.machine import SwitchEvent
+from repro.semantics.nonpreemptive import (
+    SwitchBit,
+    initial_np_state,
+    np_machine_steps,
+)
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+from repro.lang.syntax import FenceKind
+from repro.lang.values import Int32
+
+CFG = SemanticsConfig()
+
+
+class TestEventClassification:
+    def test_na_class(self):
+        assert event_class(SilentEvent()) is EventClass.NA
+        assert event_class(ReadEvent(AccessMode.NA, "x", Int32(0))) is EventClass.NA
+        assert event_class(WriteEvent(AccessMode.NA, "x", Int32(0))) is EventClass.NA
+
+    def test_at_class(self):
+        assert event_class(ReadEvent(AccessMode.RLX, "x", Int32(0))) is EventClass.AT
+        assert event_class(ReadEvent(AccessMode.ACQ, "x", Int32(0))) is EventClass.AT
+        assert event_class(WriteEvent(AccessMode.REL, "x", Int32(0))) is EventClass.AT
+        assert event_class(OutputEvent(Int32(1))) is EventClass.AT
+        assert (
+            event_class(UpdateEvent(AccessMode.RLX, AccessMode.RLX, "x", Int32(0), Int32(1)))
+            is EventClass.AT
+        )
+        assert event_class(FenceEvent(FenceKind.ACQ)) is EventClass.AT
+
+    def test_prc_class(self):
+        assert event_class(PromiseEvent("x", Int32(1))) is EventClass.PRC
+
+
+def na_block_program():
+    """t1 runs a two-instruction non-atomic block then prints."""
+    return straightline_program(
+        [
+            [Store("a", Const(1), AccessMode.NA), Store("b", Const(2), AccessMode.NA),
+             Print(Const(7))],
+            [Skip()],
+        ]
+    )
+
+
+def run_one(program, state, predicate):
+    for event, succ in np_machine_steps(program, state, CFG):
+        if predicate(event):
+            return succ
+    raise AssertionError("no matching step")
+
+
+class TestSwitchBit:
+    def test_na_step_locks(self):
+        program = na_block_program()
+        state = initial_np_state(program, CFG)
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        assert state.bit is SwitchBit.LOCKED
+
+    def test_no_switch_while_locked(self):
+        program = na_block_program()
+        state = initial_np_state(program, CFG)
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        switches = [
+            e for e, _ in np_machine_steps(program, state, CFG) if isinstance(e, SwitchEvent)
+        ]
+        assert switches == []
+
+    def test_at_step_unlocks(self):
+        program = na_block_program()
+        state = initial_np_state(program, CFG)
+        # two na stores, then the print (AT) unlocks
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        assert state.bit is SwitchBit.LOCKED
+        state = run_one(program, state, lambda e: isinstance(e, OutputEvent))
+        assert state.bit is SwitchBit.FREE
+
+    def test_thread_exit_releases_bit(self):
+        """The final return is NA-classified but must not wedge the machine
+        (see the note in nonpreemptive.py)."""
+        program = straightline_program([[Skip()], [Skip()]])
+        state = initial_np_state(program, CFG)
+        # run t1 to completion: skip (NA), return (NA)
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        assert state.pool[0].local.done
+        assert state.bit is SwitchBit.FREE
+        switches = [
+            e for e, _ in np_machine_steps(program, state, CFG) if isinstance(e, SwitchEvent)
+        ]
+        assert switches == [SwitchEvent(1)]
+
+
+def _promise_successors(program, state, config):
+    """Successor states where the current thread's promise set grew —
+    machine steps hide the thread event, so detect promises by effect."""
+    before = len(state.current_thread.promises.items)
+    return [
+        succ
+        for event, succ in np_machine_steps(program, state, config)
+        if not isinstance(event, SwitchEvent)
+        and len(succ.pool[state.cur].promises.items) > before
+    ]
+
+
+class TestPromiseDiscipline:
+    def test_no_promises_inside_na_block(self):
+        config = SemanticsConfig(promise_oracle=SyntacticPromises(budget=2, max_outstanding=2))
+        program = na_block_program()
+        state = initial_np_state(program, config)
+        # Before the block: promises allowed (bit is ◦).
+        assert _promise_successors(program, state, config)
+        # After one na store the bit is locked: no promise steps offered.
+        state = run_one(program, state, lambda e: isinstance(e, SilentEvent))
+        assert state.bit is SwitchBit.LOCKED
+        assert _promise_successors(program, state, config) == []

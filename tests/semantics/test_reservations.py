@@ -1,0 +1,119 @@
+"""Reservation/cancel step tests (paper Sec. 3, rsv/ccl events).
+
+Reservations are off by default (DESIGN.md: canonical placement covers the
+litmus behaviors); these tests exercise the steps themselves and their
+non-preemptive discipline when enabled."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Skip, Store
+from repro.memory.memory import Memory
+from repro.memory.message import Reservation
+from repro.semantics.events import CancelEvent, ReserveEvent, event_class, EventClass
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import initial_thread_state
+
+CFG = SemanticsConfig(enable_reservations=True)
+
+
+def setup():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA), Skip()]])
+    ts = initial_thread_state(program, "t1")
+    mem = Memory.initial(["x"])
+    return program, ts, mem
+
+
+def test_reserve_steps_offered_when_enabled():
+    program, ts, mem = setup()
+    events = [e for e, _, _ in thread_steps(program, ts, mem, CFG)]
+    assert any(isinstance(e, ReserveEvent) for e in events)
+
+
+def test_reserve_steps_absent_by_default():
+    program, ts, mem = setup()
+    events = [e for e, _, _ in thread_steps(program, ts, mem, SemanticsConfig())]
+    assert not any(isinstance(e, ReserveEvent) for e in events)
+
+
+def test_reserve_adds_to_promises_and_memory():
+    program, ts, mem = setup()
+    for event, ts2, mem2 in thread_steps(program, ts, mem, CFG):
+        if isinstance(event, ReserveEvent):
+            reservations = [m for m in mem2 if m.is_reservation]
+            assert len(reservations) == 1
+            assert reservations[0] in ts2.promises.items
+            return
+    pytest.fail("no reserve step found")
+
+
+def test_cancel_removes_reservation():
+    program, ts, mem = setup()
+    reserved = None
+    for event, ts2, mem2 in thread_steps(program, ts, mem, CFG):
+        if isinstance(event, ReserveEvent):
+            reserved = (ts2, mem2)
+            break
+    assert reserved is not None
+    ts2, mem2 = reserved
+    cancels = [
+        (e, ts3, mem3)
+        for e, ts3, mem3 in thread_steps(program, ts2, mem2, CFG)
+        if isinstance(e, CancelEvent)
+    ]
+    assert len(cancels) == 1
+    _, ts3, mem3 = cancels[0]
+    assert not any(m.is_reservation for m in mem3)
+    assert len(ts3.promises) == 0
+
+
+def test_reservation_blocks_other_writers():
+    """An interval reserved by one thread is unusable by another's write."""
+    program, ts, mem = setup()
+    mem = mem.add(Reservation("x", Memory.initial(["x"]).latest_ts("x"), 1))
+    candidates = mem.candidate_intervals("x", 0)
+    assert all(to > 1 for _, to in candidates)
+
+
+def test_reservations_not_concrete_promises():
+    """A thread holding only reservations is considered promise-free for
+    certification purposes."""
+    from dataclasses import replace
+
+    program, ts, mem = setup()
+    reservation = Reservation("x", 0, 1)
+    ts2 = replace(ts, promises=Memory((reservation,)))
+    assert not ts2.has_promises
+
+
+def test_np_discipline_reserve_needs_free_bit():
+    """rsv is a PRC event: forbidden inside a non-atomic block."""
+    from repro.semantics.nonpreemptive import SwitchBit, initial_np_state, np_machine_steps
+    from repro.semantics.machine import SwitchEvent
+
+    program = straightline_program(
+        [[Store("a", Const(1), AccessMode.NA), Store("b", Const(2), AccessMode.NA)]]
+    )
+    state = initial_np_state(program, CFG)
+
+    def reserve_successors(state):
+        out = []
+        for event, succ in np_machine_steps(program, state, CFG):
+            if isinstance(event, SwitchEvent):
+                continue
+            cur = succ.pool[state.cur]
+            if any(m.is_reservation for m in cur.promises):
+                out.append(succ)
+        return out
+
+    assert reserve_successors(state)  # bit ◦: reservations allowed
+    # Take the first na store; bit is now •.
+    locked = next(
+        succ
+        for event, succ in np_machine_steps(program, state, CFG)
+        if not isinstance(event, SwitchEvent)
+        and not any(m.is_reservation for m in succ.pool[0].promises)
+        and not any(m.is_reservation for m in succ.mem)
+    )
+    assert locked.bit is SwitchBit.LOCKED
+    assert reserve_successors(locked) == []

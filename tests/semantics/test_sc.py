@@ -1,0 +1,79 @@
+"""SC baseline tests: strong outcomes only, and SC ⊆ PS2.1 (property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import cas_exclusivity, lb, mp_relacq, mp_rlx, sb
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.sc import initial_sc_state, sc_behaviors, sc_machine_steps
+from repro.semantics.thread import SemanticsConfig
+
+
+def sc_outputs(program):
+    result = sc_behaviors(program)
+    assert result.exhaustive
+    return sorted(result.outputs())
+
+
+class TestScOutcomes:
+    def test_sb_weak_outcome_forbidden(self):
+        outs = sc_outputs(sb())
+        assert (0, 0) not in outs
+        assert (1, 1) in outs
+
+    def test_lb_weak_outcome_forbidden(self):
+        assert (1, 1) not in sc_outputs(lb())
+
+    def test_mp_never_stale_even_relaxed(self):
+        assert (0,) not in sc_outputs(mp_rlx())
+
+    def test_cas_exclusivity_under_sc(self):
+        outs = sc_outputs(cas_exclusivity())
+        assert (1, 1) not in outs
+        assert (0, 0) not in outs
+
+    def test_mp_relacq_same_as_sc_here(self):
+        assert sc_outputs(mp_relacq()) == [(), (1,)]
+
+
+class TestScMachine:
+    def test_initial_state(self):
+        state = initial_sc_state(sb())
+        assert not state.all_done
+        assert state.mem.get("x") == 0
+
+    def test_done_threads_offer_no_steps(self):
+        from repro.lang.builder import straightline_program
+        from repro.lang.syntax import Skip
+
+        program = straightline_program([[Skip()]])
+        state = initial_sc_state(program)
+        for _ in range(2):  # skip, return
+            _, state = next(iter(sc_machine_steps(program, state)))
+        assert state.all_done
+        assert list(sc_machine_steps(program, state)) == []
+
+
+class TestScWithinPs:
+    @pytest.mark.parametrize(
+        "program", [sb(), lb(), mp_rlx(), mp_relacq(), cas_exclusivity()],
+        ids=["sb", "lb", "mp_rlx", "mp_relacq", "cas"],
+    )
+    def test_sc_traces_subset_of_ps(self, program):
+        """Every SC behavior is a PS2.1 behavior (reading the newest
+        message is always permitted)."""
+        sc = sc_behaviors(program)
+        ps = behaviors(program)
+        assert sc.traces <= ps.traces
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_sc_subset_property_on_random_programs(self, seed):
+        program = random_wwrf_program(seed, GeneratorConfig(instrs_per_thread=4))
+        sc = sc_behaviors(program)
+        ps = behaviors(program)
+        assert sc.exhaustive and ps.exhaustive
+        assert sc.traces <= ps.traces

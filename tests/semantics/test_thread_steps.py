@@ -1,0 +1,184 @@
+"""Unit tests for the PS2.1 thread step relation."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import AccessMode, Assign, BinOp, Const, Load, Print, Reg, Skip, Store
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message
+from repro.memory.timemap import view_of
+from repro.memory.timestamps import ts
+from repro.semantics.events import (
+    OutputEvent,
+    ReadEvent,
+    SilentEvent,
+    WriteEvent,
+)
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import initial_thread_state, next_op
+
+CFG = SemanticsConfig()
+
+
+def single_thread(instrs, atomics=()):
+    program = straightline_program([instrs], atomics=atomics)
+    ts0 = initial_thread_state(program, "t1")
+    mem = Memory.initial(sorted(program.locations()))
+    return program, ts0, mem
+
+
+def steps(program, state, mem):
+    return list(thread_steps(program, state, mem, CFG))
+
+
+class TestLocalSteps:
+    def test_skip_is_silent(self):
+        program, ts0, mem = single_thread([Skip()])
+        results = steps(program, ts0, mem)
+        assert len(results) == 1
+        event, ts1, mem1 = results[0]
+        assert event == SilentEvent()
+        assert mem1 == mem
+        assert ts1.local.offset == 1
+
+    def test_assign_updates_register(self):
+        program, ts0, mem = single_thread([Assign("r", BinOp("+", Const(2), Const(3)))])
+        _, ts1, _ = steps(program, ts0, mem)[0]
+        assert ts1.local.get_reg("r") == 5
+
+    def test_print_emits_output(self):
+        program, ts0, mem = single_thread([Assign("r", Const(7)), Print(Reg("r"))])
+        _, ts1, _ = steps(program, ts0, mem)[0]
+        event, ts2, _ = steps(program, ts1, mem)[0]
+        assert event == OutputEvent(Int32(7))
+
+    def test_return_marks_done(self):
+        program, ts0, mem = single_thread([])
+        _, ts1, _ = steps(program, ts0, mem)[0]
+        assert ts1.local.done
+        assert steps(program, ts1, mem) == []
+        assert next_op(program, ts1.local) is None
+
+
+class TestReads:
+    def test_read_enumerates_all_visible_messages(self):
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.RLX)], atomics={"x"})
+        mem = mem.add(Message("x", Int32(1), ts(0), ts(1)))
+        mem = mem.add(Message("x", Int32(2), ts(1), ts(2)))
+        results = steps(program, ts0, mem)
+        values = sorted(int(r[1].local.get_reg("r")) for r in results)
+        assert values == [0, 1, 2]
+
+    def test_read_respects_view_floor(self):
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.RLX)], atomics={"x"})
+        mem = mem.add(Message("x", Int32(1), ts(0), ts(1)))
+        ts0 = ts0.with_view(view_of({"x": ts(1)}))
+        results = steps(program, ts0, mem)
+        values = sorted(int(r[1].local.get_reg("r")) for r in results)
+        assert values == [1]
+
+    def test_na_read_checked_against_tna_not_trlx(self):
+        """A na read may go below T_rlx as long as it is ≥ T_na."""
+        from repro.memory.timemap import TimeMap, View
+
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.NA)])
+        mem = mem.add(Message("x", Int32(1), ts(0), ts(1)))
+        # trlx at 1 but tna at 0: the na read may still read the init 0.
+        ts0 = ts0.with_view(View(TimeMap(), TimeMap().set("x", ts(1))))
+        values = sorted(int(r[1].local.get_reg("r")) for r in steps(program, ts0, mem))
+        assert values == [0, 1]
+
+    def test_read_event_carries_mode_loc_value(self):
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.ACQ)], atomics={"x"})
+        event, _, _ = steps(program, ts0, mem)[0]
+        assert event == ReadEvent(AccessMode.ACQ, "x", Int32(0))
+
+    def test_acquire_read_joins_message_view(self):
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.ACQ)], atomics={"x"})
+        writer_view = view_of({"y": ts(5)})
+        mem = mem.add(Message("x", Int32(1), ts(0), ts(1), writer_view))
+        results = [r for r in steps(program, ts0, mem) if r[1].local.get_reg("r") == 1]
+        (_, ts1, _) = results[0]
+        assert ts1.view.tna.get("y") == 5
+
+    def test_relaxed_read_does_not_join_message_view(self):
+        program, ts0, mem = single_thread([Load("r", "x", AccessMode.RLX)], atomics={"x"})
+        writer_view = view_of({"y": ts(5)})
+        mem = mem.add(Message("x", Int32(1), ts(0), ts(1), writer_view))
+        results = [r for r in steps(program, ts0, mem) if r[1].local.get_reg("r") == 1]
+        (_, ts1, _) = results[0]
+        assert ts1.view.tna.get("y") == 0
+        # ... but the view is buffered for a future acquire fence.
+        assert ts1.vacq.tna.get("y") == 5
+
+
+class TestWrites:
+    def test_write_appends_message(self):
+        program, ts0, mem = single_thread([Store("x", Const(9), AccessMode.RLX)], atomics={"x"})
+        results = steps(program, ts0, mem)
+        assert len(results) == 1  # only the append candidate on dense memory
+        event, ts1, mem1 = results[0]
+        assert event == WriteEvent(AccessMode.RLX, "x", Int32(9))
+        assert mem1.message_at("x", ts(1)).value == 9
+        assert ts1.view.trlx.get("x") == 1
+
+    def test_write_enumerates_gap_placements(self):
+        program, ts0, mem = single_thread([Store("x", Const(9), AccessMode.NA)])
+        mem = mem.add(Message("x", Int32(1), ts(1), ts(2)))
+        results = steps(program, ts0, mem)
+        # one candidate inside the gap (0,1), one append after 2
+        assert len(results) == 2
+
+    def test_release_write_carries_thread_view(self):
+        program, ts0, mem = single_thread(
+            [Store("y", Const(1), AccessMode.NA), Store("x", Const(1), AccessMode.REL)],
+            atomics={"x"},
+        )
+        _, ts1, mem1 = steps(program, ts0, mem)[0]  # y := 1 (na)
+        _, ts2, mem2 = steps(program, ts1, mem1)[0]  # x.rel := 1
+        msg = mem2.message_at("x", ts(1))
+        assert msg.view.tna.get("y") == 1  # release publishes the y write
+
+    def test_na_write_carries_bottom_view(self):
+        program, ts0, mem = single_thread(
+            [Store("y", Const(1), AccessMode.NA), Store("z", Const(1), AccessMode.NA)]
+        )
+        _, ts1, mem1 = steps(program, ts0, mem)[0]
+        _, _, mem2 = steps(program, ts1, mem1)[0]
+        msg = mem2.message_at("z", ts(1))
+        assert msg.view.tna.get("y") == 0
+
+
+class TestPromiseFulfillment:
+    def test_write_can_fulfill_promise(self):
+        from dataclasses import replace
+
+        program, ts0, mem = single_thread([Store("x", Const(1), AccessMode.NA)])
+        promise = Message("x", Int32(1), ts(0), ts(1))
+        mem = mem.add(promise)
+        ts0 = replace(ts0, promises=Memory((promise,)))
+        results = steps(program, ts0, mem)
+        fulfills = [r for r in results if r[2] == mem]  # memory unchanged
+        assert fulfills
+        _, ts1, _ = fulfills[0]
+        assert not ts1.has_promises
+
+    def test_wrong_value_cannot_fulfill(self):
+        from dataclasses import replace
+
+        program, ts0, mem = single_thread([Store("x", Const(2), AccessMode.NA)])
+        promise = Message("x", Int32(1), ts(0), ts(1))
+        mem = mem.add(promise)
+        ts0 = replace(ts0, promises=Memory((promise,)))
+        for _, ts1, _ in steps(program, ts0, mem):
+            assert ts1.has_promises  # promise never discharged
+
+    def test_release_write_blocked_by_promise_on_same_loc(self):
+        from dataclasses import replace
+
+        program, ts0, mem = single_thread([Store("x", Const(1), AccessMode.REL)], atomics={"x"})
+        promise = Message("x", Int32(1), ts(0), ts(1))
+        mem = mem.add(promise)
+        ts0 = replace(ts0, promises=Memory((promise,)))
+        assert steps(program, ts0, mem) == []

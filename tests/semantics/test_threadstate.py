@@ -1,0 +1,98 @@
+"""Direct unit tests for LocalState / ThreadState / thread pools."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import Jmp, Return, Skip, Store, Const, AccessMode
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message, Reservation
+from repro.memory.timestamps import ts
+from repro.semantics.threadstate import (
+    LocalState,
+    ThreadState,
+    initial_thread_state,
+    next_op,
+    update_pool,
+)
+
+
+class TestLocalState:
+    def test_registers_default_zero(self):
+        local = LocalState("f", "entry", 0)
+        assert local.get_reg("anything") == 0
+
+    def test_set_reg(self):
+        local = LocalState("f", "entry", 0).set_reg("r", Int32(5))
+        assert local.get_reg("r") == 5
+
+    def test_zero_registers_not_stored(self):
+        local = LocalState("f", "entry", 0).set_reg("r", Int32(0))
+        assert local.regs == ()
+
+    def test_reg_normalization_makes_states_equal(self):
+        a = LocalState("f", "entry", 0, regs=(("r", Int32(1)), ("s", Int32(0))))
+        b = LocalState("f", "entry", 0, regs=(("r", Int32(1)),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str(self):
+        assert "entry" in str(LocalState("f", "entry", 2))
+        assert "done" in str(LocalState("f", "entry", 0, done=True))
+
+
+class TestNextOp:
+    def test_instruction_then_terminator(self):
+        program = straightline_program([[Skip()]])
+        local = LocalState("t1", "entry", 0)
+        assert isinstance(next_op(program, local), Skip)
+        local_at_term = LocalState("t1", "entry", 1)
+        assert isinstance(next_op(program, local_at_term), Return)
+
+    def test_done_thread_has_no_op(self):
+        program = straightline_program([[Skip()]])
+        assert next_op(program, LocalState("t1", "entry", 0, done=True)) is None
+
+
+class TestThreadState:
+    def test_initial(self):
+        program = straightline_program([[Skip()]])
+        state = initial_thread_state(program, "t1", promise_budget=3)
+        assert state.local.func == "t1"
+        assert state.promise_budget == 3
+        assert not state.has_promises
+
+    def test_has_promises_only_counts_concrete(self):
+        from dataclasses import replace
+
+        program = straightline_program([[Skip()]])
+        state = initial_thread_state(program, "t1")
+        with_reservation = replace(
+            state, promises=Memory((Reservation("x", ts(0), ts(1)),))
+        )
+        assert not with_reservation.has_promises
+        with_promise = replace(
+            state, promises=Memory((Message("x", Int32(1), ts(0), ts(1)),))
+        )
+        assert with_promise.has_promises
+
+    def test_with_view_and_local(self):
+        from repro.memory.timemap import view_of
+
+        program = straightline_program([[Skip()]])
+        state = initial_thread_state(program, "t1")
+        view = view_of({"x": ts(1)})
+        assert state.with_view(view).view == view
+        new_local = state.local.set_reg("r", Int32(2))
+        assert state.with_local(new_local).local.get_reg("r") == 2
+
+
+def test_update_pool():
+    program = straightline_program([[Skip()], [Skip()]])
+    a = initial_thread_state(program, "t1")
+    b = initial_thread_state(program, "t2")
+    pool = (a, b)
+    replacement = a.with_local(a.local.set_reg("r", Int32(9)))
+    updated = update_pool(pool, 0, replacement)
+    assert updated[0].local.get_reg("r") == 9
+    assert updated[1] is b

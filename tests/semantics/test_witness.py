@@ -1,0 +1,61 @@
+"""Execution witness tests."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Print, Store
+from repro.litmus.library import fig1_source, fig1_target, sb
+from repro.semantics.events import EVENT_DONE
+from repro.semantics.witness import explain_counterexample, find_witness
+
+
+def test_witness_for_terminal_trace():
+    program = straightline_program([[Print(Const(5))]])
+    witness = find_witness(program, (5, EVENT_DONE))
+    assert witness is not None
+    assert witness.states[-1].all_done
+    assert [v for _, v in witness.outputs if v is not None] == [5]
+
+
+def test_no_witness_for_impossible_trace():
+    program = straightline_program([[Print(Const(5))]])
+    assert find_witness(program, (6, EVENT_DONE)) is None
+
+
+def test_witness_for_prefix():
+    program = straightline_program([[Print(Const(1)), Print(Const(2))]])
+    witness = find_witness(program, (1,))
+    assert witness is not None
+    assert not witness.states[-1].all_done or True  # prefix need not be terminal
+
+
+def test_sb_weak_outcome_witness():
+    witness = find_witness(sb(), (0, 0, EVENT_DONE))
+    assert witness is not None
+    # The schedule must involve both threads.
+    tids = {state.cur for state in witness.states}
+    assert tids == {0, 1}
+
+
+def test_fig1_counterexample_explanation():
+    from repro.lang.syntax import AccessMode as AM
+
+    source = fig1_source(AM.ACQ)
+    target = fig1_target(AM.ACQ)
+    text = explain_counterexample(source, target, (0,))
+    assert "reachable in target : True" in text
+    assert "reachable in source : False" in text
+    assert "target schedule" in text
+
+
+def test_witness_describe_renders():
+    program = straightline_program([[Print(Const(5))]])
+    witness = find_witness(program, (5, EVENT_DONE))
+    description = witness.describe()
+    assert "out(5)" in description
+    assert "cur=t0" in description
+
+
+def test_nonpreemptive_witness():
+    witness = find_witness(sb(), (1, 1, EVENT_DONE), nonpreemptive=True)
+    assert witness is not None

@@ -1,0 +1,67 @@
+"""Delayed write set tests (paper Fig. 13)."""
+
+import pytest
+
+from repro.memory.timestamps import ts
+from repro.sim.delayed import DelayedWriteSet
+
+
+def test_empty():
+    d = DelayedWriteSet()
+    assert d.empty
+    assert len(d) == 0
+
+
+def test_add_and_items():
+    d = DelayedWriteSet().add("x", ts(1), 3)
+    assert not d.empty
+    assert d.items() == frozenset({("x", ts(1))})
+
+
+def test_duplicate_add_rejected():
+    d = DelayedWriteSet().add("x", ts(1), 3)
+    with pytest.raises(ValueError):
+        d.add("x", ts(1), 5)
+
+
+def test_discharge_exact():
+    d = DelayedWriteSet().add("x", ts(1), 3).add("x", ts(2), 3)
+    d2 = d.discharge("x", ts(2))
+    assert d2.items() == frozenset({("x", ts(1))})
+
+
+def test_discharge_oldest_first():
+    d = DelayedWriteSet().add("x", ts(2), 3).add("x", ts(1), 3)
+    d2 = d.discharge("x")
+    assert d2.items() == frozenset({("x", ts(2))})
+
+
+def test_discharge_missing_is_noop():
+    d = DelayedWriteSet().add("x", ts(1), 3)
+    assert d.discharge("y") == d
+    assert d.discharge("x", ts(9)) == d
+
+
+def test_decrement_strictly_decreases():
+    d = DelayedWriteSet().add("x", ts(1), 2)
+    d2 = d.decrement()
+    assert d2 is not None
+    assert dict(d2.entries)[("x", ts(1))] == 1
+
+
+def test_decrement_well_foundedness():
+    """After the index hits zero the next decrement fails — the source ran
+    out of time to catch up (D' < D is well-founded)."""
+    d = DelayedWriteSet().add("x", ts(1), 1)
+    d = d.decrement()
+    assert d is not None
+    assert d.decrement() is None
+
+
+def test_decrement_empty_ok():
+    assert DelayedWriteSet().decrement() == DelayedWriteSet()
+
+
+def test_str_rendering():
+    d = DelayedWriteSet().add("x", ts(1), 3)
+    assert "x" in str(d)

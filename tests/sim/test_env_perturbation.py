@@ -1,0 +1,80 @@
+"""Environment-perturbation mode of the simulation checker: the Rely of
+paper Fig. 2(b), realized as I-preserving injected writes at switch
+points."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder
+from repro.sim.invariant import dce_invariant, identity_invariant
+from repro.sim.simulation import SimCheckConfig, check_thread_simulation
+
+ENV = SimCheckConfig(env_write_budget=2, env_values=(1,))
+
+
+def single(build):
+    pb = ProgramBuilder()
+    f = pb.function("t1")
+    b = f.block("entry")
+    build(b)
+    b.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+def test_reorder_survives_interference():
+    """(Reorder) is sound for arbitrary racy programs (paper Sec. 2.3) —
+    in particular it must survive environment writes to x and y."""
+    src = single(lambda b: (b.load("r", "x", "na"), b.store("y", 2, "na"), b.print_("r")))
+    tgt = single(lambda b: (b.store("y", 2, "na"), b.load("r", "x", "na"), b.print_("r")))
+    result = check_thread_simulation(src, tgt, "t1", identity_invariant(), check_config=ENV)
+    assert result.holds
+
+
+def test_dce_survives_interference():
+    src = single(lambda b: (b.store("x", 1, "na"), b.store("x", 2, "na")))
+    tgt = single(lambda b: (b.skip(), b.store("x", 2, "na")))
+    result = check_thread_simulation(src, tgt, "t1", dce_invariant(), check_config=ENV)
+    assert result.holds
+
+
+def test_redundant_read_elimination_survives_interference():
+    """Even when the environment writes x between the two reads, the source
+    may keep reading the old message (na floors don't rise), matching the
+    target's cached register — the paper's Sec. 2.5 argument."""
+    src = single(
+        lambda b: (b.load("r1", "a", "na"), b.load("r2", "a", "na"), b.print_("r2"))
+    )
+    tgt = single(
+        lambda b: (b.load("r1", "a", "na"), b.assign("r2", "r1"), b.print_("r2"))
+    )
+    result = check_thread_simulation(src, tgt, "t1", identity_invariant(), check_config=ENV)
+    assert result.holds
+
+
+def test_value_divergence_under_interference_fails():
+    """A transformation that prints a value the source may be *unable* to
+    reproduce once the environment has moved its view: target reads twice
+    and the source prints a constant — after an env write the target can
+    read the new value, which the constant-printing source cannot emit."""
+    src = single(lambda b: b.print_(0))
+    tgt = single(lambda b: (b.load("r", "x", "na"), b.print_("r")))
+    result = check_thread_simulation(src, tgt, "t1", identity_invariant(), check_config=ENV)
+    assert not result.holds
+
+
+def test_budget_bounds_state_space():
+    src = single(lambda b: (b.load("r", "x", "na"), b.print_("r")))
+    small = check_thread_simulation(
+        src, src, "t1", identity_invariant(), check_config=SimCheckConfig(env_write_budget=1)
+    )
+    large = check_thread_simulation(
+        src, src, "t1", identity_invariant(), check_config=SimCheckConfig(env_write_budget=3)
+    )
+    assert small.holds and large.holds
+    assert small.states_explored < large.states_explored
+
+
+def test_closed_mode_unchanged_by_default():
+    src = single(lambda b: b.print_(0))
+    result = check_thread_simulation(src, src, "t1", identity_invariant())
+    assert result.holds

@@ -1,0 +1,67 @@
+"""Experiment E-FIG1: the paper's Fig. 1 end to end.
+
+Naive LICM across an **acquire** read is unsound (the hoisted read of y can
+see the initial value 0, which the release/acquire-synchronized source
+never allows); switching the spin read to **relaxed** makes the same
+transformation sound.  Checked both with the paper's hand-written
+``foo_opt`` and with our actual optimizer pipelines."""
+
+import pytest
+
+from repro.lang.syntax import AccessMode
+from repro.litmus.library import fig1_source, fig1_target
+from repro.opt.licm import LICM, naive_licm
+from repro.semantics.exploration import behaviors
+from repro.sim.refinement import check_refinement
+
+
+class TestHandWritten:
+    def test_acq_source_only_prints_one(self):
+        outs = behaviors(fig1_source(AccessMode.ACQ)).outputs()
+        assert outs == frozenset({(1,)})
+
+    def test_acq_target_can_print_zero(self):
+        outs = behaviors(fig1_target(AccessMode.ACQ)).outputs()
+        assert (0,) in outs and (1,) in outs
+
+    def test_acq_refinement_fails(self):
+        result = check_refinement(fig1_source(AccessMode.ACQ), fig1_target(AccessMode.ACQ))
+        assert result.definitive and not result.holds
+
+    def test_rlx_source_prints_zero_and_one(self):
+        outs = behaviors(fig1_source(AccessMode.RLX)).outputs()
+        assert (0,) in outs and (1,) in outs
+
+    def test_rlx_refinement_holds(self):
+        result = check_refinement(fig1_source(AccessMode.RLX), fig1_target(AccessMode.RLX))
+        assert result.definitive and result.holds
+
+    @pytest.mark.parametrize("iterations", [1, 2])
+    def test_result_stable_across_loop_bounds(self, iterations):
+        acq = check_refinement(
+            fig1_source(AccessMode.ACQ, iterations), fig1_target(AccessMode.ACQ, iterations)
+        )
+        rlx = check_refinement(
+            fig1_source(AccessMode.RLX, iterations), fig1_target(AccessMode.RLX, iterations)
+        )
+        assert not acq.holds and rlx.holds
+
+
+class TestThroughOptimizer:
+    def test_verified_licm_refuses_acq(self):
+        src = fig1_source(AccessMode.ACQ)
+        assert LICM().run(src) == src
+
+    def test_verified_licm_transforms_rlx_soundly(self):
+        src = fig1_source(AccessMode.RLX)
+        out = LICM().run(src)
+        assert out != src
+        assert check_refinement(src, out).holds
+
+    def test_naive_licm_reproduces_paper_counterexample(self):
+        src = fig1_source(AccessMode.ACQ)
+        out = naive_licm().run(src)
+        result = check_refinement(src, out)
+        assert not result.holds
+        # The counterexample is precisely the forbidden print of 0.
+        assert 0 in result.counterexample

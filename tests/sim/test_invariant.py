@@ -1,0 +1,99 @@
+"""Invariant instance tests: I_id, I_dce, wf(I, ι) (paper Sec. 6.1, 7.1)."""
+
+import pytest
+
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message
+from repro.memory.timestamps import ts
+from repro.sim.invariant import dce_invariant, identity_invariant, wf_check
+from repro.sim.tmap import TimestampMapping, initial_tmap
+
+NO_ATOMICS = frozenset()
+
+
+def msg(var, value, frm, to):
+    return Message(var, Int32(value), ts(frm), ts(to))
+
+
+class TestIdentityInvariant:
+    def test_holds_initially(self):
+        mem = Memory.initial(["x"])
+        assert identity_invariant()(initial_tmap(["x"]), mem, mem, NO_ATOMICS)
+
+    def test_holds_on_equal_memories_identity_phi(self):
+        mem = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(1))
+        assert identity_invariant()(phi, mem, mem, NO_ATOMICS)
+
+    def test_fails_on_different_memories(self):
+        mem_t = Memory.initial(["x"])
+        mem_s = mem_t.add(msg("x", 1, 0, 1))
+        assert not identity_invariant()(initial_tmap(["x"]), mem_t, mem_s, NO_ATOMICS)
+
+    def test_fails_on_non_identity_phi(self):
+        mem = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        assert not identity_invariant()(phi, mem, mem, NO_ATOMICS)
+
+    def test_wf(self):
+        assert wf_check(identity_invariant(), NO_ATOMICS, ["x", "y"])
+
+
+class TestDceInvariant:
+    def test_holds_initially(self):
+        mem = Memory.initial(["x"])
+        assert dce_invariant()(initial_tmap(["x"]), mem, mem, NO_ATOMICS)
+
+    def test_requires_gap_below_related_message(self):
+        """Target wrote x=2 at (0,1]; source has it at (3/2, 2] with the
+        free interval (1, 3/2] below — I_dce holds."""
+        mem_t = Memory.initial(["x"]).add(msg("x", 2, 0, 1))
+        mem_s = (
+            Memory.initial(["x"])
+            .add(msg("x", 1, 0, 1))
+            .add(Message("x", Int32(2), ts("3/2"), ts(2)))
+        )
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        assert dce_invariant()(phi, mem_t, mem_s, NO_ATOMICS)
+
+    def test_fails_without_gap(self):
+        """Same shape but the source messages are adjacent: no room for a
+        future dead write below the related message — I_dce fails."""
+        mem_t = Memory.initial(["x"]).add(msg("x", 2, 0, 1))
+        mem_s = Memory.initial(["x"]).add(msg("x", 1, 0, 1)).add(msg("x", 2, 1, 2))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        assert not dce_invariant()(phi, mem_t, mem_s, NO_ATOMICS)
+
+    def test_fails_on_value_mismatch(self):
+        mem_t = Memory.initial(["x"]).add(msg("x", 2, 0, 1))
+        mem_s = Memory.initial(["x"]).add(Message("x", Int32(3), ts("3/2"), ts(2)))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        assert not dce_invariant()(phi, mem_t, mem_s, NO_ATOMICS)
+
+    def test_atomic_locations_must_map_identically(self):
+        atomics = frozenset({"x"})
+        mem_t = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        mem_s = Memory.initial(["x"]).add(Message("x", Int32(1), ts("3/2"), ts(2)))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        assert not dce_invariant()(phi, mem_t, mem_s, atomics)
+
+    def test_wf(self):
+        assert wf_check(dce_invariant(), NO_ATOMICS, ["x", "y"])
+
+
+class TestWfCheck:
+    def test_wf_rejects_invariant_violating_phi_conditions(self):
+        """An invariant that accepts ill-formed φ fails the sample check."""
+        from repro.sim.invariant import Invariant
+
+        sloppy = Invariant("sloppy", lambda phi, mt, ms, atomics: True)
+        mem = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        bad_phi = initial_tmap(["x"])  # misses the new message
+        assert not wf_check(sloppy, NO_ATOMICS, ["x"], samples=[(bad_phi, mem, mem)])
+
+    def test_wf_rejects_invariant_failing_initially(self):
+        from repro.sim.invariant import Invariant
+
+        never = Invariant("never", lambda phi, mt, ms, atomics: False)
+        assert not wf_check(never, NO_ATOMICS, ["x"])

@@ -1,0 +1,102 @@
+"""Fig. 14(c): the promise diagram of the simulation checker — a target
+promise must be answered by a corresponding source promise, with I
+re-established at both switch points."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+from repro.sim.invariant import dce_invariant, identity_invariant
+from repro.sim.simulation import check_thread_simulation
+
+ORACLE = SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+
+
+def single(build, atomics=()):
+    pb = ProgramBuilder(atomics=set(atomics))
+    f = pb.function("t1")
+    b = f.block("entry")
+    build(b)
+    b.ret()
+    pb.thread("t1")
+    return pb.build()
+
+
+def test_identical_promising_programs_simulate():
+    """Target promises x := 1; source answers with the same promise at the
+    same placement (I_id forces identical memories at the switch point)."""
+    program = single(lambda b: b.store("x", 1, "na"))
+    result = check_thread_simulation(
+        program, program, "t1", identity_invariant(), sem_config=ORACLE
+    )
+    assert result.holds
+
+
+def test_promise_then_fulfill_across_na_block():
+    """The NP idiom: promise before the block, fulfill inside it."""
+    def code(b):
+        b.store("a", 1, "na")
+        b.store("b", 2, "na")
+
+    program = single(code)
+    config = SemanticsConfig(
+        promise_oracle=SyntacticPromises(budget=2, max_outstanding=2)
+    )
+    result = check_thread_simulation(
+        program, program, "t1", identity_invariant(), sem_config=config
+    )
+    assert result.holds
+
+
+def test_source_cannot_match_foreign_promise():
+    """If the target can promise a write the source has no counterpart
+    for, the promise diagram has no response: no simulation."""
+    src = single(lambda b: b.store("y", 9, "na"))
+    tgt = single(lambda b: (b.store("y", 9, "na"), b.store("x", 1, "na")))
+    result = check_thread_simulation(
+        src, tgt, "t1", identity_invariant(), sem_config=ORACLE
+    )
+    # The target's promise of (x, 1) — or its later write — can never be
+    # answered; either way the simulation fails.
+    assert not result.holds
+
+
+def test_dce_simulation_with_promises_enabled():
+    """The DCE pair still simulates under I_dce when the promise diagram
+    is in play."""
+    def mk(eliminated):
+        def code(b):
+            if eliminated:
+                b.skip()
+            else:
+                b.store("x", 1, "na")
+            b.store("x", 2, "na")
+
+        return single(code)
+
+    result = check_thread_simulation(
+        mk(False), mk(True), "t1", dce_invariant(), sem_config=ORACLE
+    )
+    assert result.holds
+
+
+def test_reorder_simulation_with_promises_enabled():
+    """Fig. 14(d) composed with Fig. 14(c): the reorder pair where the
+    target may promise the y-write before performing it."""
+    def mk(reordered):
+        def code(b):
+            if reordered:
+                b.store("y", 2, "na")
+                b.load("r", "x", "na")
+            else:
+                b.load("r", "x", "na")
+                b.store("y", 2, "na")
+            b.print_("r")
+
+        return single(code)
+
+    result = check_thread_simulation(
+        mk(False), mk(True), "t1", identity_invariant(), sem_config=ORACLE
+    )
+    assert result.holds

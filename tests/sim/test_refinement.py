@@ -1,0 +1,60 @@
+"""Refinement checker tests."""
+
+import pytest
+
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import Const, Print, Skip
+from repro.semantics.thread import SemanticsConfig
+from repro.sim.refinement import check_equivalence, check_refinement
+
+
+def prints(*values):
+    return straightline_program([[Print(Const(v)) for v in values]])
+
+
+def test_reflexive():
+    program = prints(1, 2)
+    result = check_refinement(program, program)
+    assert result.holds and result.definitive
+
+
+def test_fewer_behaviors_refine():
+    source = straightline_program([[Print(Const(1))], [Print(Const(2))]])
+    target = prints(1, 2)  # one fixed interleaving
+    result = check_refinement(source, target)
+    assert result.holds
+
+
+def test_more_behaviors_fail_with_counterexample():
+    source = prints(1, 2)
+    target = straightline_program([[Print(Const(1))], [Print(Const(2))]])
+    result = check_refinement(source, target)
+    assert not result.holds
+    assert result.counterexample is not None
+    assert result.counterexample[0] == 2  # the (2, ...) trace is new
+
+
+def test_nonpreemptive_refinement():
+    program = prints(1)
+    result = check_refinement(program, program, nonpreemptive=True)
+    assert result.holds
+
+
+def test_equivalence_pair():
+    program = prints(3)
+    fwd, bwd = check_equivalence(program, program)
+    assert fwd.holds and bwd.holds
+
+
+def test_bounded_verdict_flagged():
+    source = prints(1)
+    config = SemanticsConfig(max_states=2)
+    result = check_refinement(source, source, config)
+    assert not result.definitive
+
+
+def test_str_rendering():
+    result = check_refinement(prints(1), prints(1))
+    assert "holds" in str(result)
+    bad = check_refinement(prints(1), prints(2))
+    assert "FAILS" in str(bad)

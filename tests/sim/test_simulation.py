@@ -1,0 +1,132 @@
+"""Thread-local simulation checker tests (paper Def. 6.1, Fig. 14, 16)."""
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder
+from repro.sim.invariant import dce_invariant, identity_invariant
+from repro.sim.simulation import check_thread_simulation
+
+
+def single(name="t1", atomics=(), build=lambda b: None):
+    pb = ProgramBuilder(atomics=set(atomics))
+    f = pb.function(name)
+    b = f.block("entry")
+    build(b)
+    b.ret()
+    pb.thread(name)
+    return pb.build()
+
+
+class TestIdentityCases:
+    def test_identical_programs_simulate(self):
+        def code(b):
+            b.store("a", 1, "na")
+            b.load("r", "a", "na")
+            b.print_("r")
+
+        program = single(build=code)
+        result = check_thread_simulation(program, program, "t1", identity_invariant())
+        assert result.holds
+
+    def test_reorder_simulates_with_identity_invariant(self):
+        """Paper Sec. 2.3 (Reorder) / Fig. 14(d)."""
+        src = single(build=lambda b: (b.load("r", "x", "na"), b.store("y", 2, "na"), b.print_("r")))
+        tgt = single(build=lambda b: (b.store("y", 2, "na"), b.load("r", "x", "na"), b.print_("r")))
+        result = check_thread_simulation(src, tgt, "t1", identity_invariant())
+        assert result.holds
+
+    def test_atomic_events_must_match(self):
+        """A target performing a different atomic write has no response."""
+        src = single(atomics={"x"}, build=lambda b: b.store("x", 1, "rlx"))
+        tgt = single(atomics={"x"}, build=lambda b: b.store("x", 2, "rlx"))
+        result = check_thread_simulation(src, tgt, "t1", identity_invariant())
+        assert not result.holds
+
+    def test_extra_target_output_rejected(self):
+        src = single(build=lambda b: None)
+        tgt = single(build=lambda b: b.print_(1))
+        result = check_thread_simulation(src, tgt, "t1", identity_invariant())
+        assert not result.holds
+
+    def test_missing_target_output_rejected(self):
+        """Upward simulation also demands the source's outputs appear: the
+        source cannot silently complete past a pending print."""
+        src = single(build=lambda b: b.print_(1))
+        tgt = single(build=lambda b: None)
+        result = check_thread_simulation(src, tgt, "t1", identity_invariant())
+        assert not result.holds
+
+
+class TestDceCases:
+    def mk(self, eliminated):
+        def code(b):
+            if eliminated:
+                b.skip()
+            else:
+                b.store("x", 1, "na")
+            b.store("x", 2, "na")
+
+        return single(build=code)
+
+    def test_fig16_simulates_with_dce_invariant(self):
+        result = check_thread_simulation(
+            self.mk(False), self.mk(True), "t1", dce_invariant()
+        )
+        assert result.holds
+
+    def test_fig16_fails_with_identity_invariant(self):
+        """The paper's point in Sec. 8 (comparison with PSSim): DCE needs
+        an invariant weaker than I_id — with I_id the source's extra dead
+        write breaks memory equality."""
+        result = check_thread_simulation(
+            self.mk(False), self.mk(True), "t1", identity_invariant()
+        )
+        assert not result.holds
+
+    def test_dead_write_with_intervening_code(self):
+        """The lockstep shape x:=1; c1..cn; x:=2 — the source catches up
+        within the delayed-index budget."""
+
+        def source(b):
+            b.store("x", 1, "na")
+            b.assign("r1", 1)
+            b.assign("r2", 2)
+            b.store("x", 2, "na")
+
+        def target(b):
+            b.skip()
+            b.assign("r1", 1)
+            b.assign("r2", 2)
+            b.store("x", 2, "na")
+
+        result = check_thread_simulation(
+            single(build=source), single(build=target), "t1", dce_invariant()
+        )
+        assert result.holds
+
+    def test_wrong_direction_fails(self):
+        """Target writing *more* than the source is not a simulation (the
+        delayed write set would require a source write that never comes)."""
+        result = check_thread_simulation(
+            self.mk(True), self.mk(False), "t1", dce_invariant()
+        )
+        assert not result.holds
+
+
+class TestMixedAtomic:
+    def test_na_reorder_across_release_write(self):
+        """(r := 1; x.rel := r) ; (x.rel := 1) with a constant — the paper's
+        example before Fig. 14: source does na steps before the atomic."""
+        src = single(
+            atomics={"x"},
+            build=lambda b: (b.assign("r", 1), b.store("x", "r", "rel")),
+        )
+        tgt = single(atomics={"x"}, build=lambda b: b.store("x", 1, "rel"))
+        result = check_thread_simulation(src, tgt, "t1", identity_invariant())
+        assert result.holds
+
+    def test_atomics_set_must_agree(self):
+        src = single(atomics={"x"}, build=lambda b: b.store("x", 1, "rlx"))
+        tgt = single(build=lambda b: b.store("x", 1, "na"))
+        with pytest.raises(ValueError):
+            check_thread_simulation(src, tgt, "t1", identity_invariant())

@@ -1,0 +1,84 @@
+"""Timestamp mapping tests (paper Fig. 12)."""
+
+import pytest
+
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message
+from repro.memory.timestamps import ts
+from repro.sim.tmap import (
+    TimestampMapping,
+    initial_tmap,
+    message_keys,
+    wf_tmap,
+)
+
+
+def msg(var, value, frm, to):
+    return Message(var, Int32(value), ts(frm), ts(to))
+
+
+class TestMapping:
+    def test_initial_maps_zeros(self):
+        phi = initial_tmap(["x", "y"])
+        assert phi.get("x", ts(0)) == 0
+        assert phi.get("y", ts(0)) == 0
+        assert phi.get("z", ts(0)) is None
+
+    def test_set_and_get(self):
+        phi = TimestampMapping().set("x", ts(1), ts(2))
+        assert phi.get("x", ts(1)) == 2
+
+    def test_domain_and_image(self):
+        phi = TimestampMapping().set("x", ts(1), ts(2)).set("y", ts(1), ts(1))
+        assert phi.domain() == frozenset({("x", ts(1)), ("y", ts(1))})
+        assert phi.image() == frozenset({("x", ts(2)), ("y", ts(1))})
+
+
+class TestMonotonicity:
+    def test_monotone(self):
+        phi = TimestampMapping().set("x", ts(1), ts(1)).set("x", ts(2), ts(3))
+        assert phi.monotone()
+
+    def test_order_inversion_detected(self):
+        phi = TimestampMapping().set("x", ts(1), ts(3)).set("x", ts(2), ts(1))
+        assert not phi.monotone()
+
+    def test_collapse_detected(self):
+        phi = TimestampMapping().set("x", ts(1), ts(2)).set("x", ts(2), ts(2))
+        assert not phi.monotone()
+
+    def test_per_location_independence(self):
+        phi = TimestampMapping().set("x", ts(1), ts(5)).set("y", ts(2), ts(1))
+        assert phi.monotone()
+
+
+class TestWellFormedness:
+    def test_wf_on_identical_memories(self):
+        mem = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(1))
+        assert wf_tmap(phi, mem, mem)
+
+    def test_wf_fails_on_unmapped_target_message(self):
+        mem = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        phi = initial_tmap(["x"])
+        assert not wf_tmap(phi, mem, mem)
+
+    def test_wf_fails_on_image_outside_source(self):
+        mem_t = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
+        mem_s = Memory.initial(["x"])
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(1))
+        assert not wf_tmap(phi, mem_t, mem_s)
+
+    def test_source_may_have_extra_messages(self):
+        """φ(M_t) ⊆ ⌊M_s⌋ is an inclusion: dead writes exist only in M_s."""
+        mem_t = Memory.initial(["x"]).add(msg("x", 2, 1, 2))
+        mem_s = Memory.initial(["x"]).add(msg("x", 1, 0, 1)).add(msg("x", 2, 1, 2))
+        phi = initial_tmap(["x"]).set("x", ts(2), ts(2))
+        assert wf_tmap(phi, mem_t, mem_s)
+
+    def test_message_keys_skips_reservations(self):
+        from repro.memory.message import Reservation
+
+        mem = Memory.initial(["x"]).add(Reservation("x", ts(0), ts(1)))
+        assert message_keys(mem) == frozenset({("x", ts(0))})

@@ -1,0 +1,132 @@
+"""CLI integration tests (driving `main` directly)."""
+
+import pytest
+
+from repro.cli import main
+
+SB = """
+atomics x, y;
+fn t1 { entry: x.rlx := 1; r1 := y.rlx; print(r1); return; }
+fn t2 { entry: y.rlx := 1; r2 := x.rlx; print(r2); return; }
+threads t1, t2;
+"""
+
+RACY = """
+fn t1 { entry: a.na := 1; return; }
+fn t2 { entry: a.na := 2; return; }
+threads t1, t2;
+"""
+
+OPTIMIZABLE = """
+fn t1 {
+entry:
+    r := 2;
+    s := r * 3;
+    dead := 9;
+    print(s);
+    return;
+}
+threads t1;
+"""
+
+
+@pytest.fixture
+def sb_file(tmp_path):
+    path = tmp_path / "sb.rtl"
+    path.write_text(SB)
+    return str(path)
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.rtl"
+    path.write_text(RACY)
+    return str(path)
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    path = tmp_path / "opt.rtl"
+    path.write_text(OPTIMIZABLE)
+    return str(path)
+
+
+def test_explore(sb_file, capsys):
+    assert main(["explore", sb_file]) == 0
+    out = capsys.readouterr().out
+    assert "(0, 0)" in out
+    assert "exhaustive" in out
+
+
+def test_explore_traces_flag(sb_file, capsys):
+    assert main(["explore", sb_file, "--traces"]) == 0
+    assert "out(" in capsys.readouterr().out
+
+
+def test_explore_nonpreemptive(sb_file, capsys):
+    assert main(["explore", sb_file, "--np"]) == 0
+    assert "(0, 0)" in capsys.readouterr().out
+
+
+def test_races_clean(sb_file, capsys):
+    assert main(["races", sb_file]) == 0
+    assert "race-free" in capsys.readouterr().out
+
+
+def test_races_detects(racy_file, capsys):
+    assert main(["races", racy_file]) == 1
+    assert "RACY" in capsys.readouterr().out
+
+
+def test_validate_pipeline(opt_file, capsys):
+    assert main(["validate", opt_file, "--show"]) == 0
+    out = capsys.readouterr().out
+    assert "[OK]" in out
+    assert "print(6)" in out  # folded
+
+
+def test_validate_single_pass(opt_file, capsys):
+    assert main(["validate", opt_file, "--opt", "dce", "--no-wwrf"]) == 0
+    assert "[OK]" in capsys.readouterr().out
+
+
+def test_validate_unknown_pass(opt_file):
+    with pytest.raises(SystemExit):
+        main(["validate", opt_file, "--opt", "nonsense"])
+
+
+def test_run(sb_file, capsys):
+    assert main(["run", sb_file, "--runs", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("run ") == 3
+
+
+def test_witness_found(sb_file, capsys):
+    assert main(["witness", sb_file, "--trace", "0,0,done"]) == 0
+    assert "out(0)" in capsys.readouterr().out
+
+
+def test_witness_not_found(sb_file, capsys):
+    assert main(["witness", sb_file, "--trace", "7,done"]) == 1
+    assert "no execution" in capsys.readouterr().out
+
+
+def test_fmt_roundtrip(sb_file, capsys):
+    assert main(["fmt", sb_file]) == 0
+    out = capsys.readouterr().out
+    from repro.lang.parser import parse_program
+
+    assert parse_program(out) == parse_program(SB)
+
+
+def test_promises_flag(tmp_path, capsys):
+    lb = """
+    atomics x, y;
+    fn t1 { entry: r1 := x.rlx; y.rlx := 1; print(r1); return; }
+    fn t2 { entry: r2 := y.rlx; x.rlx := r2; print(r2); return; }
+    threads t1, t2;
+    """
+    path = tmp_path / "lb.rtl"
+    path.write_text(lb)
+    assert main(["explore", str(path), "--promises", "1"]) == 0
+    assert "(1, 1)" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""CLI error-path tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_missing_file_is_graceful(capsys):
+    assert main(["explore", "/definitely/not/here.rtl"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_parse_error_is_graceful(tmp_path, capsys):
+    path = tmp_path / "bad.rtl"
+    path.write_text("fn f { oops")
+    assert main(["explore", str(path)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_csimp_parse_error_is_graceful(tmp_path, capsys):
+    path = tmp_path / "bad.csimp"
+    path.write_text("fn f() { while }")
+    assert main(["explore", str(path)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_litmus_failure_exit_code(tmp_path, capsys):
+    path = tmp_path / "wrong.litmus"
+    path.write_text(
+        "//! exists (9, 9)\n"
+        "fn f { entry: print(1); return; }\n"
+        "threads f;\n"
+    )
+    assert main(["litmus", str(path)]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_litmus_pass_exit_code(tmp_path, capsys):
+    path = tmp_path / "right.litmus"
+    path.write_text(
+        "//! only (1)\n"
+        "fn f { entry: print(1); return; }\n"
+        "threads f;\n"
+    )
+    assert main(["litmus", str(path), "--show-outcomes"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "(1,)" in out

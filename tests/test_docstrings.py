@@ -1,0 +1,53 @@
+"""Documentation meta-test: every public module, class and function in
+the library carries a docstring — the deliverable the README promises."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_") or not inspect.isfunction(attr):
+                    continue
+                if attr.__doc__ and attr.__doc__.strip():
+                    continue
+                # A documented signature on any base class covers overrides.
+                inherited = any(
+                    getattr(base, attr_name, None) is not None
+                    and getattr(getattr(base, attr_name), "__doc__", None)
+                    for base in member.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"{module.__name__}: {undocumented}"

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs green end to end.
+
+Examples are part of the public surface; these tests keep them from
+rotting as the library evolves."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples should narrate what they show"
+
+
+def test_example_inventory():
+    """The README promises at least a quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+def test_litmus_spec_files_present():
+    litmus_dir = pathlib.Path(__file__).parent.parent / "examples" / "litmus"
+    assert len(list(litmus_dir.iterdir())) >= 4

@@ -1,0 +1,94 @@
+"""Integration test: the SPSC handoff protocol of examples/message_queue.py
+(surface syntax → lowering → exploration → races → validation)."""
+
+import pytest
+
+from repro import (
+    behaviors,
+    lower_program,
+    parse_csimp,
+    rw_races,
+    validate_optimizer,
+    ww_rf,
+)
+from repro.opt.base import compose
+from repro.opt.constprop import ConstProp
+from repro.opt.cse import CSE
+from repro.opt.dce import DCE
+
+QUEUE = """
+atomics seq;
+
+fn producer() {{
+    payload.na = 11;
+    seq.{publish} = 1;
+    while (seq.{observe} == 1);
+    payload.na = 22;
+    seq.{publish} = 3;
+}}
+
+fn consumer() {{
+    while (seq.{observe} == 0);
+    m1 = payload.na;
+    print(m1);
+    seq.{publish} = 2;
+    while (seq.{observe} == 2);
+    m2 = payload.na;
+    print(m2);
+}}
+
+threads producer, consumer;
+"""
+
+
+def build(publish: str, observe: str):
+    return lower_program(parse_csimp(QUEUE.format(publish=publish, observe=observe)))
+
+
+@pytest.fixture(scope="module")
+def relacq():
+    return build("rel", "acq")
+
+
+def test_relacq_delivers_exact_messages(relacq):
+    result = behaviors(relacq)
+    assert result.exhaustive
+    assert result.outputs() == frozenset({(11, 22)})
+
+
+def test_relacq_is_ww_race_free(relacq):
+    assert ww_rf(relacq).race_free
+
+
+def test_relacq_has_no_payload_rw_race(relacq):
+    assert not any(w.loc == "payload" for w in rw_races(relacq))
+
+
+def test_relaxed_protocol_leaks_stale_payloads():
+    weak = build("rlx", "rlx")
+    outs = behaviors(weak).outputs()
+    assert (0, 0) in outs  # both reads stale
+    assert (11, 22) in outs  # the intended delivery still possible
+
+
+def test_relaxed_protocol_races_on_payload():
+    weak = build("rlx", "rlx")
+    assert any(w.loc == "payload" for w in rw_races(weak))
+
+
+def test_second_message_requires_consumer_ack(relacq):
+    """The producer's second write is ordered after the consumer's ack
+    (seq = 2, release) — that acquire edge is what prevents a ww-race
+    between the two payload writes and the consumer's first read."""
+    # Remove the ack wait: producer overwrites the payload unacknowledged.
+    broken_src = QUEUE.format(publish="rel", observe="acq").replace(
+        "while (seq.acq == 1);", "skip;"
+    )
+    broken = lower_program(parse_csimp(broken_src))
+    outs = behaviors(broken).outputs()
+    assert (22, 22) in outs  # first message overwritten before the read
+
+
+def test_pipeline_validates(relacq):
+    pipeline = compose(compose(ConstProp(), CSE()), DCE())
+    assert validate_optimizer(pipeline, relacq).ok

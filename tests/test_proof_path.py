@@ -1,0 +1,75 @@
+"""The paper's Fig. 6 proof path, walked empirically end to end for one
+optimization run (DCE on a Fig. 15-shaped program):
+
+    Verif(Opt) ─②→ thread-local simulations (I_dce)
+    ww-RF(P_s) ─①→ ww-NPRF(P̂_s)
+    simulations ─③→ whole-program NP refinement + ww-NPRF(P̂_t)
+    NP refinement ─④⑤→ interleaving refinement P_t ⊆ P_s
+    ww-NPRF(P̂_t) ─①→ ww-RF(P_t)
+
+Each numbered edge of the figure corresponds to one assertion below; the
+pieces are the library's independent checkers, so agreement between them
+is a real consistency check, not a tautology."""
+
+import pytest
+
+from repro.litmus.library import fig15_program
+from repro.opt.dce import DCE
+from repro.races.wwrf import ww_nprf, ww_rf
+from repro.sim.invariant import dce_invariant
+from repro.sim.refinement import check_refinement
+from repro.sim.simulation import check_thread_simulation
+
+
+@pytest.fixture(scope="module")
+def source():
+    return fig15_program(False)
+
+
+@pytest.fixture(scope="module")
+def target(source):
+    return DCE().run(source)
+
+
+def test_step_2_thread_local_simulations(source, target):
+    """② Verif(DCE): the simulation holds for every thread function with
+    I_dce."""
+    for func in set(source.threads):
+        result = check_thread_simulation(source, target, func, dce_invariant())
+        assert result.holds, func
+
+
+def test_step_1_wwrf_equivalence_on_source(source):
+    """① ww-RF(P_s) ⇔ ww-NPRF(P̂_s)."""
+    interleaving = ww_rf(source)
+    nonpreemptive = ww_nprf(source)
+    assert interleaving.race_free and nonpreemptive.race_free
+
+
+def test_step_3_np_refinement_and_wwrf_preservation(source, target):
+    """③ whole-program refinement in the non-preemptive semantics, plus
+    ww-NPRF of the target."""
+    result = check_refinement(source, target, nonpreemptive=True)
+    assert result.definitive and result.holds
+    assert ww_nprf(target).race_free
+
+
+def test_steps_4_5_interleaving_refinement(source, target):
+    """④⑤ the refinement transfers to the interleaving semantics (via the
+    semantics equivalence, checked directly here)."""
+    result = check_refinement(source, target, nonpreemptive=False)
+    assert result.definitive and result.holds
+
+
+def test_step_1_wwrf_equivalence_on_target(target):
+    """① again, on the target — enabling vertical composition."""
+    assert ww_rf(target).race_free == ww_nprf(target).race_free
+
+
+def test_semantics_equivalence_closes_the_square(source, target):
+    """⑤ the two machines agree on both programs' behaviors, so the NP
+    and interleaving refinement verdicts are necessarily the same."""
+    from repro.semantics.exploration import behaviors, np_behaviors
+
+    for program in (source, target):
+        assert behaviors(program).traces == np_behaviors(program).traces
