@@ -9,11 +9,9 @@
    placements (needed only by the simulation checker's source side).
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.library import lb
-from repro.semantics.certification import CertificationStats
 from repro.semantics.exploration import Explorer, behaviors
 from repro.semantics.promises import SyntacticPromises
 from repro.semantics.thread import SemanticsConfig

@@ -19,7 +19,7 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.lang.builder import ProgramBuilder
-from repro.lang.syntax import AccessMode, Assign, Load, Skip, Store
+from repro.lang.syntax import Assign, Skip
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.sim.validate import validate_optimizer

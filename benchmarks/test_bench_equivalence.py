@@ -5,7 +5,6 @@ litmus suite.
 Paper expectation: equality on every program, unconditionally.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.library import LITMUS_SUITE

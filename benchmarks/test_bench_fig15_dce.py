@@ -7,7 +7,6 @@ Paper expectation (Sec. 7.1, Fig. 15):
     does — refinement fails.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.lang.syntax import AccessMode, Const, Store

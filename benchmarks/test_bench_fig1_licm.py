@@ -7,7 +7,6 @@ Paper expectation (Sec. 1):
 Measured through both the hand-written target and the actual optimizer.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.lang.syntax import AccessMode

@@ -8,7 +8,6 @@ Paper expectation:
   - refinement holds along the whole LInv → CSE pipeline.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.library import fig5_program

@@ -4,7 +4,6 @@ Not a paper experiment — infrastructure numbers that contextualize the
 exploration-based experiment costs (how expensive is a thread step, a
 certification, a randomized execution)."""
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program

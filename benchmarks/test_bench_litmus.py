@@ -7,13 +7,10 @@ Paper expectation:
   CAS     — two CAS from the same write cannot both succeed.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.library import cas_exclusivity, lb, lb_oota, sb
 from repro.semantics.exploration import behaviors
-from repro.semantics.promises import SyntacticPromises
-from repro.semantics.thread import SemanticsConfig
 
 
 def test_sb_all_outcomes(benchmark):

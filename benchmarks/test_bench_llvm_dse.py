@@ -6,7 +6,6 @@ Measured as elimination counts of LocalDSE (the LLVM baseline) vs global
 DCE over a generated corpus: DCE subsumes LocalDSE and eliminates strictly
 more overall."""
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.lang.syntax import Skip

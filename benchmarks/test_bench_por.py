@@ -4,7 +4,6 @@ with behavior-set equality asserted on every measured program."""
 
 import dataclasses
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.litmus.library import LITMUS_SUITE, iriw_rlx

@@ -9,7 +9,7 @@ behaviors."""
 import pytest
 
 from benchmarks.conftest import report
-from repro.litmus.library import iriw_rlx, lb, mp_rlx, sb, two_plus_two_w
+from repro.litmus.library import iriw_rlx, lb, mp_rlx, sb
 from repro.semantics.exploration import behaviors
 from repro.semantics.promises import SyntacticPromises
 from repro.semantics.sc import sc_behaviors

@@ -7,7 +7,6 @@ Paper expectation:
   invariant is a parameter, Sec. 8).
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.lang.builder import ProgramBuilder

@@ -32,7 +32,7 @@ call                         everything (unknown callee)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.dataflow import BlockAnalysis, solve_forward
 from repro.analysis.lattice import Lattice

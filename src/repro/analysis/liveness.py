@@ -20,7 +20,7 @@ Registers are thread-private, so no barrier ever applies to them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List
 
 from repro.analysis.dataflow import BlockAnalysis, solve_backward
 from repro.analysis.lattice import Lattice

@@ -22,18 +22,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Tuple
 
 from repro.lang.cfg import Cfg, NaturalLoop
-from repro.lang.syntax import (
-    AccessMode,
-    Call,
-    Cas,
-    CodeHeap,
-    Fence,
-    FenceKind,
-    Instr,
-    Load,
-    Program,
-    Store,
-)
+from repro.lang.syntax import AccessMode, Call, Cas, CodeHeap, Fence, FenceKind, Instr, Load, Store
 
 
 @dataclass(frozen=True)

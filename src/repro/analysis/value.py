@@ -26,7 +26,6 @@ from repro.analysis.lattice import (
 from repro.lang.syntax import (
     Assign,
     BasicBlock,
-    Be,
     BinOp,
     Call,
     Cas,
@@ -34,15 +33,12 @@ from repro.lang.syntax import (
     Const,
     Expr,
     Instr,
-    Jmp,
     Load,
     Program,
     Reg,
-    Return,
     Terminator,
     eval_binop,
 )
-from repro.lang.values import Int32
 
 #: Environment: register → flat value (absent registers are ``#0`` at
 #: function entry — CSimpRTL registers are zero-initialized — and ``⊤``

@@ -4,6 +4,8 @@ Commands:
 
 * ``explore FILE``  — exhaustive behavior exploration (PS2.1);
 * ``races FILE``    — write-write race freedom + read-write race report;
+* ``analyze FILE``  — static analyses only: IR lint + thread-modular
+  ww-race detection (no state exploration);
 * ``validate FILE`` — run an optimizer and translation-validate it;
 * ``run FILE``      — sample randomized executions;
 * ``witness FILE``  — find a schedule realizing an output trace;
@@ -11,6 +13,10 @@ Commands:
 
 All commands accept ``--promises N`` to enable a syntactic promise oracle
 with budget N, and ``--np`` to use the non-preemptive machine.
+
+Exit codes: 0 = verdict holds, 1 = verdict fails, 2 = usage/parse error,
+3 = verdict holds *but the exploration was truncated* (``--max-states``
+budget hit) — a bounded run is never reported as a proof.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv
 from repro.races.rwrace import rw_races
+from repro.races.tiered import ww_rf_tiered_with_static
 from repro.races.wwrf import ww_nprf, ww_rf
 from repro.semantics.events import EVENT_DONE, format_trace
 from repro.semantics.exploration import behaviors, np_behaviors
@@ -57,11 +64,16 @@ def _load(path: str, structured: bool = False) -> Program:
     syntax with ``--csimp`` or for ``*.csimp`` files."""
     with open(path) as handle:
         source = handle.read()
-    if structured or path.endswith(".csimp"):
-        from repro.csimp import lower_program, parse_csimp
+    try:
+        if structured or path.endswith(".csimp"):
+            from repro.csimp import lower_program, parse_csimp
 
-        return lower_program(parse_csimp(source))
-    return parse_program(source)
+            return lower_program(parse_csimp(source))
+        return parse_program(source)
+    except ValueError as exc:
+        # Constructor validation (e.g. an unresolved jump target) fires
+        # during parsing; surface it like a parse error, not a traceback.
+        raise ParseError(str(exc)) from exc
 
 
 def _config(args: argparse.Namespace) -> SemanticsConfig:
@@ -72,6 +84,8 @@ def _config(args: argparse.Namespace) -> SemanticsConfig:
         )
     if getattr(args, "por", False):
         kwargs["fuse_local_steps"] = True
+    if getattr(args, "max_states", None) is not None:
+        kwargs["max_states"] = args.max_states
     return SemanticsConfig(**kwargs)
 
 
@@ -109,8 +123,14 @@ def cmd_races(args: argparse.Namespace) -> int:
     """``races`` — ww-RF verdict plus read-write race witnesses."""
     program = _load(args.file, getattr(args, 'csimp', False))
     config = _config(args)
-    check = ww_nprf if args.np else ww_rf
-    report = check(program, config)
+    if args.static:
+        report, static = ww_rf_tiered_with_static(
+            program, config, nonpreemptive=args.np
+        )
+        print(f"static tier: {static}")
+    else:
+        check = ww_nprf if args.np else ww_rf
+        report = check(program, config)
     print(f"ww-RF: {report}")
     witnesses = rw_races(program, config)
     if witnesses:
@@ -119,13 +139,38 @@ def cmd_races(args: argparse.Namespace) -> int:
             print(f"  thread {witness.tid} na-reads {witness.loc!r} unobserved write")
     else:
         print("read-write races: none")
-    return 0 if report.race_free else 1
+    if not report.race_free:
+        return 1
+    if not report.exhaustive:
+        print("WARNING: exploration TRUNCATED — race freedom not proved")
+        return 3
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze`` — purely static: lint the IR and run the thread-modular
+    ww-race analysis.  No state exploration happens; the race verdict may
+    be inconclusive (``POTENTIAL_RACE`` / ``UNKNOWN``)."""
+    from repro.static import analyze_ww_races, lint_program
+
+    program = _load(args.file, getattr(args, 'csimp', False))
+    lint = lint_program(program)
+    print(lint)
+    for issue in lint.issues:
+        print(f"  {issue}")
+    static = analyze_ww_races(program)
+    print(static)
+    return 0 if lint.ok else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """``validate`` — run an optimizer and translation-validate it."""
     program = _load(args.file, getattr(args, 'csimp', False))
     optimizer = _optimizer(args.opt)
+    if args.strict:
+        from repro.opt.base import strict_optimizer
+
+        optimizer = strict_optimizer(optimizer)
     report = validate_optimizer(
         optimizer, program, _config(args), check_target_wwrf=not args.no_wwrf
     )
@@ -133,7 +178,12 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if args.show:
         print()
         print(format_program(optimizer.run(program)))
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if not report.exhaustive:
+        print("WARNING: exploration TRUNCATED — validation not a proof")
+        return 3
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -228,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--por", action="store_true",
                        help="fuse deterministic local steps (partial-order "
                             "reduction; behavior-preserving)")
+        p.add_argument("--max-states", type=int, default=None, metavar="N",
+                       help="bound the exploration graph (a truncated run "
+                            "exits 3, never claiming a proof)")
 
     p = sub.add_parser("explore", help="exhaustive behavior exploration")
     common(p)
@@ -236,7 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("races", help="race detection")
     common(p)
+    p.add_argument("--static", action="store_true",
+                   help="tiered checking: try the static thread-modular "
+                        "analysis first, explore only if inconclusive")
     p.set_defaults(func=cmd_races)
+
+    p = sub.add_parser("analyze", help="static analyses only (lint + "
+                       "thread-modular ww-race detection)")
+    common(p)
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("validate", help="optimize + translation-validate")
     common(p)
@@ -245,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show", action="store_true", help="print the transformed program")
     p.add_argument("--no-wwrf", action="store_true",
                    help="skip the ww-RF preservation check")
+    p.add_argument("--strict", action="store_true",
+                   help="reject malformed or crossing-illegal optimizer "
+                        "output (StrictModeViolation)")
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("run", help="randomized executions")

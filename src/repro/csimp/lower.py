@@ -21,8 +21,7 @@ user registers with a leading underscore, so no collisions arise.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.csimp.ast import (
     SAssign,

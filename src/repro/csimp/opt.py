@@ -24,7 +24,7 @@ unsound variant for the negative experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.csimp.ast import (
     SAssign,
@@ -39,7 +39,6 @@ from repro.csimp.ast import (
     SLoad,
     SPrint,
     SProgram,
-    SSkip,
     SStmt,
     SStore,
     SWhile,

@@ -18,7 +18,6 @@ from repro.csimp.ast import (
     SConst,
     SExpr,
     SFence,
-    SFunction,
     SIf,
     SLoad,
     SPrint,

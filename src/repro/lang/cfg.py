@@ -9,9 +9,9 @@ detection and the Kleene solvers are built on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
-from repro.lang.syntax import Be, Call, CodeHeap, Jmp, Return, terminator_targets
+from repro.lang.syntax import Call, CodeHeap, Jmp, terminator_targets
 
 
 @dataclass(frozen=True)

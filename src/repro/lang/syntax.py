@@ -29,8 +29,8 @@ Two mild, documented extensions over the paper's grammar:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.lang.values import Int32, int32_add, int32_mul, int32_sub
 

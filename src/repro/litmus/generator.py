@@ -14,10 +14,10 @@ writes, loop invariants, common subexpressions.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
-from repro.lang.builder import BlockBuilder, ProgramBuilder, binop
+from repro.lang.builder import ProgramBuilder, binop
 from repro.lang.syntax import AccessMode, Program
 
 

@@ -10,8 +10,8 @@ exploration cost is exponential in it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
 from repro.lang.syntax import (

@@ -26,8 +26,8 @@ single self-contained artifact::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.lang.parser import parse_program
 from repro.lang.syntax import Program

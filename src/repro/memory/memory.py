@@ -26,11 +26,10 @@ This is the finite-branching substitution documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.lang.values import Int32
 from repro.memory.message import MemoryItem, Message, Reservation, init_message
-from repro.memory.timemap import BOTTOM_VIEW, TimeMap
+from repro.memory.timemap import TimeMap
 from repro.memory.timestamps import TS_ZERO, Timestamp, midpoint, successor
 
 

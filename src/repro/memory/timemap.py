@@ -14,7 +14,7 @@ the empty tuple regardless of the variable universe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.memory.timestamps import TS_ZERO, Timestamp
 

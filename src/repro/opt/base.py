@@ -1,4 +1,4 @@
-"""Optimizer interface and vertical composition.
+"""Optimizer interface, vertical composition, and the strict output gate.
 
 An optimizer is the paper's ``Opt(π_s, ι) = π_t``: it transforms the code
 ``π`` of every function and must leave the atomics set ``ι`` and the thread
@@ -7,12 +7,20 @@ accesses around them).  ``compose(A, B)`` is the paper's vertical
 composition ``B ∘ A`` — run ``A`` first, feed its output to ``B`` — used to
 build LICM from LInv and CSE; its correctness follows from transitivity of
 refinement plus ww-RF preservation (paper Sec. 2.6).
+
+**Strict mode** (opt-in) runs the static well-formedness lint and the
+crossing-legality check of :mod:`repro.static` on every pass output
+inside :meth:`Optimizer.run`, raising
+:class:`repro.static.lint.StrictModeViolation` on a malformed or
+contract-breaking result.  Enable it per call (``opt.run(p, strict=True)``),
+per class (set the ``strict`` attribute), or by wrapping with
+:func:`strict_optimizer`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Dict, Optional
 
 from repro.lang.syntax import CodeHeap, Program
 
@@ -23,16 +31,37 @@ class Optimizer:
     #: Human-readable pass name (used in reports and benchmarks).
     name: str = "opt"
 
+    #: Class-level default for the strict output gate (opt-in).
+    strict: bool = False
+
     def run_function(self, program: Program, func: str) -> CodeHeap:
         """Transform one function of ``program``; must not change ``ι``."""
         raise NotImplementedError
 
-    def run(self, program: Program) -> Program:
-        """``Opt(π_s, ι) = π_t`` — transform every function."""
+    def run(self, program: Program, strict: Optional[bool] = None) -> Program:
+        """``Opt(π_s, ι) = π_t`` — transform every function.
+
+        With strict mode enabled (the ``strict`` argument, or the class
+        attribute when the argument is ``None``), the output is verified
+        by :func:`repro.static.lint.check_optimizer_output` before being
+        returned.
+        """
         new_functions: Dict[str, CodeHeap] = {}
         for func, _ in program.functions:
             new_functions[func] = self.run_function(program, func)
-        return program.with_functions(new_functions)
+        target = program.with_functions(new_functions)
+        self._strict_gate(program, target, strict)
+        return target
+
+    def _strict_gate(
+        self, source: Program, target: Program, strict: Optional[bool]
+    ) -> None:
+        """Apply the strict output check when enabled (shared by subclasses
+        that override :meth:`run`)."""
+        if self.strict if strict is None else strict:
+            from repro.static.lint import check_optimizer_output
+
+            check_optimizer_output(self.name, source, target)
 
     def __call__(self, program: Program) -> Program:
         return self.run(program)
@@ -52,8 +81,8 @@ class _Composed(Optimizer):
     def name(self) -> str:  # type: ignore[override]
         return f"{self.second.name}∘{self.first.name}"
 
-    def run(self, program: Program) -> Program:
-        return self.second.run(self.first.run(program))
+    def run(self, program: Program, strict: Optional[bool] = None) -> Program:
+        return self.second.run(self.first.run(program, strict), strict)
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         # Composition is defined program-wide; per-function entry points
@@ -77,3 +106,25 @@ class _Identity(Optimizer):
 def identity_optimizer() -> Optimizer:
     """The identity pass (useful as a baseline in benchmarks)."""
     return _Identity()
+
+
+@dataclass(frozen=True)
+class _Strict(Optimizer):
+    """A wrapper forcing the strict output gate on every run."""
+
+    inner: Optimizer
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"strict({self.inner.name})"
+
+    def run(self, program: Program, strict: Optional[bool] = None) -> Program:
+        return self.inner.run(program, strict=True)
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        return self.inner.run_function(program, func)
+
+
+def strict_optimizer(inner: Optimizer) -> Optimizer:
+    """Wrap ``inner`` so every :meth:`Optimizer.run` is strict-checked."""
+    return _Strict(inner)

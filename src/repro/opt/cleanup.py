@@ -12,20 +12,10 @@ ConstProp.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set, Tuple
+from typing import Dict, Set
 
 from repro.lang.cfg import Cfg
-from repro.lang.syntax import (
-    BasicBlock,
-    Be,
-    Call,
-    CodeHeap,
-    Jmp,
-    Program,
-    Return,
-    Skip,
-    Terminator,
-)
+from repro.lang.syntax import BasicBlock, Be, Call, CodeHeap, Jmp, Program, Skip, Terminator
 from repro.opt.base import Optimizer
 
 

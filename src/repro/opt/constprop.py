@@ -13,7 +13,7 @@ verified with the identity invariant ``I_id`` (Sec. 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List
 
 from repro.analysis.lattice import FLAT_TOP
 from repro.analysis.value import Env, ValueResult, eval_abstract, transfer_instruction, value_analysis
@@ -32,7 +32,6 @@ from repro.lang.syntax import (
     Load,
     Print,
     Program,
-    Reg,
     Skip,
     Store,
     Terminator,

@@ -13,7 +13,7 @@ and verifies with the identity invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.dataflow import BlockAnalysis, solve_forward
 from repro.analysis.lattice import Lattice
@@ -27,12 +27,10 @@ from repro.lang.syntax import (
     CodeHeap,
     Expr,
     Instr,
-    Jmp,
     Load,
     Print,
     Program,
     Reg,
-    Return,
     Skip,
     Store,
     Terminator,

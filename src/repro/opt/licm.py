@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.loops import find_invariant_loads, loop_info
 from repro.lang.cfg import NaturalLoop
@@ -37,7 +37,6 @@ from repro.lang.syntax import (
     Jmp,
     Load,
     Program,
-    Return,
     Terminator,
     program_registers,
 )
@@ -80,12 +79,14 @@ class LInv(Optimizer):
     name: str = "linv"
     require_profitable: bool = True
 
-    def run(self, program: Program) -> Program:
+    def run(self, program: Program, strict: Optional[bool] = None) -> Program:
         namer = _fresh_register_namer(program)
         new_functions: Dict[str, CodeHeap] = {}
         for func, heap in program.functions:
             new_functions[func] = self._transform_function(program, heap, namer)
-        return program.with_functions(new_functions)
+        target = program.with_functions(new_functions)
+        self._strict_gate(program, target, strict)
+        return target
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         namer = _fresh_register_namer(program)

@@ -20,16 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.lang.cfg import NaturalLoop, Cfg
-from repro.lang.syntax import (
-    BasicBlock,
-    Be,
-    Call,
-    CodeHeap,
-    Jmp,
-    Program,
-    Return,
-    Terminator,
-)
+from repro.lang.syntax import BasicBlock, Be, Call, CodeHeap, Jmp, Program, Terminator
 from repro.opt.base import Optimizer
 
 

@@ -25,12 +25,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.dataflow import BlockAnalysis, solve_backward
-from repro.analysis.liveness import (
-    LiveSet,
-    LivenessResult,
-    _live_lattice,
-    _transfer_terminator,
-)
+from repro.analysis.liveness import LiveSet, _live_lattice, _transfer_terminator
 from repro.lang.syntax import (
     AccessMode,
     BasicBlock,
@@ -39,11 +34,9 @@ from repro.lang.syntax import (
     Fence,
     Instr,
     Load,
-    Print,
     Program,
     Skip,
     Store,
-    Assign,
     expr_regs,
     program_registers,
 )

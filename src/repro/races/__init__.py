@@ -5,11 +5,15 @@
   the paper's optimization-correctness theorem;
 * :mod:`repro.races.rwrace` — read-write race *detection* (the paper allows
   rw-races in sources; the detector exists to demonstrate Fig. 5's claim
-  that LInv introduces them).
+  that LInv introduces them);
+* :mod:`repro.races.tiered` — tiered checking: the static thread-modular
+  analysis (:mod:`repro.static.wwraces`) first, exhaustive exploration
+  only when it is inconclusive.
 """
 
 from repro.races.wwrf import RaceReport, WwRaceWitness, ww_nprf, ww_race_witness, ww_rf
 from repro.races.rwrace import rw_race_witness, rw_races
+from repro.races.tiered import ww_rf_tiered, ww_rf_tiered_with_static
 
 __all__ = [
     "RaceReport",
@@ -19,4 +23,6 @@ __all__ = [
     "ww_nprf",
     "ww_race_witness",
     "ww_rf",
+    "ww_rf_tiered",
+    "ww_rf_tiered_with_static",
 ]

@@ -1,0 +1,56 @@
+"""Tiered write-write race checking: static first, exhaustive on demand.
+
+``ww_rf_tiered`` runs the thread-modular static analysis of
+:mod:`repro.static.wwraces` (tier 0) and only falls back to exhaustive
+PS2.1 state exploration (tier 1, :func:`repro.races.wwrf.ww_rf`) when the
+static verdict is ``POTENTIAL_RACE`` or ``UNKNOWN``.  The contract:
+
+* a static ``RACE_FREE`` is **sound** — it may never contradict what
+  exhaustive exploration would find (validated by the Hypothesis property
+  test in ``tests/static/test_soundness.py`` and the E-STATIC benchmark);
+* the fallback preserves exhaustive semantics exactly, including the
+  ``exhaustive`` truncation flag;
+* the returned :class:`~repro.races.wwrf.RaceReport` records which tier
+  decided via its ``method`` field (``"static"`` → zero states explored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.lang.syntax import Program
+from repro.races.wwrf import RaceReport, ww_nprf, ww_rf
+from repro.semantics.thread import SemanticsConfig
+from repro.static.wwraces import StaticRaceReport, analyze_ww_races
+
+
+def ww_rf_tiered(
+    program: Program,
+    config: Optional[SemanticsConfig] = None,
+    nonpreemptive: bool = False,
+) -> RaceReport:
+    """``ww-RF(P)`` via the static tier, falling back to exploration."""
+    report, _ = ww_rf_tiered_with_static(program, config, nonpreemptive)
+    return report
+
+
+def ww_rf_tiered_with_static(
+    program: Program,
+    config: Optional[SemanticsConfig] = None,
+    nonpreemptive: bool = False,
+) -> Tuple[RaceReport, StaticRaceReport]:
+    """As :func:`ww_rf_tiered`, also returning the static tier's report
+    (for diagnostics: witnesses of why the fallback was needed)."""
+    static = analyze_ww_races(program)
+    if static.race_free:
+        report = RaceReport(
+            race_free=True,
+            witness=None,
+            exhaustive=True,
+            state_count=0,
+            method="static",
+        )
+        return report, static
+    check = ww_nprf if nonpreemptive else ww_rf
+    return replace(check(program, config), method="exhaustive"), static

@@ -25,11 +25,12 @@ validates on the litmus suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.lang.syntax import AccessMode, Program, Store
 from repro.memory.memory import Memory
+from repro.memory.timestamps import TS_ZERO
 from repro.semantics.exploration import Explorer
 from repro.semantics.thread import SemanticsConfig
 from repro.semantics.threadstate import ThreadState, next_op
@@ -49,19 +50,30 @@ class WwRaceWitness:
 
 @dataclass(frozen=True)
 class RaceReport:
-    """The verdict of a race-freedom check."""
+    """The verdict of a race-freedom check.
+
+    ``method`` records how the verdict was obtained: ``"exhaustive"``
+    state exploration, or ``"static"`` when
+    :func:`repro.races.tiered.ww_rf_tiered` discharged the program with
+    the thread-modular analysis alone (then ``state_count`` is 0 and
+    ``exhaustive`` is True — the static ``RACE_FREE`` verdict is a proof).
+    """
 
     race_free: bool
     witness: Optional[WwRaceWitness]
     exhaustive: bool
     state_count: int
+    method: str = "exhaustive"
 
     def __bool__(self) -> bool:
         return self.race_free
 
     def __str__(self) -> str:
         verdict = "race-free" if self.race_free else f"RACY ({self.witness})"
-        kind = "exhaustive" if self.exhaustive else "TRUNCATED"
+        if self.method == "static":
+            kind = "static"
+        else:
+            kind = "exhaustive" if self.exhaustive else "TRUNCATED"
         return f"RaceReport({verdict}, {self.state_count} states, {kind})"
 
 
@@ -75,6 +87,11 @@ def thread_generates_ww_race(
         return None
     loc = op.loc
     floor = ts.view.trlx.get(loc)
+    if floor is None:
+        # A TimeMap defaults absent entries to 0, but duck-typed views
+        # (plain dicts in tests or external clients) return None; comparing
+        # against None would raise, so pin the explicit default timestamp.
+        floor = TS_ZERO
     for message in mem.concrete(loc):
         if message.to > floor and message not in ts.promises:
             return loc

@@ -23,7 +23,7 @@ steps are pointless against a capped memory; both are disabled via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.lang.syntax import Program

@@ -28,7 +28,7 @@ from repro.lang.syntax import Assign, Be, Call, Jmp, Program, Return, Skip
 from repro.semantics.threadstate import next_op
 from repro.memory.memory import Memory
 from repro.semantics.certification import CertificationStats, consistent
-from repro.semantics.events import OutputEvent, SilentEvent, ThreadEvent
+from repro.semantics.events import OutputEvent, SilentEvent
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import (
     ThreadPool,

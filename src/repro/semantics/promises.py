@@ -20,8 +20,8 @@ state space finite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
 
 from repro.lang.syntax import (
     AccessMode,

@@ -11,7 +11,7 @@ program terminates or a step budget runs out.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.lang.syntax import Program

@@ -27,7 +27,7 @@ Mode semantics implemented here (paper Sec. 3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 from repro.lang.syntax import (
     AccessMode,

@@ -12,8 +12,8 @@ Everything is immutable and hashable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
 
 from repro.lang.syntax import Instr, Program, Terminator
 from repro.lang.values import Int32

@@ -11,7 +11,7 @@ traced back to the exact schedule where the hoisted read runs before
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.lang.syntax import Program
 from repro.semantics.events import EVENT_DONE, Trace

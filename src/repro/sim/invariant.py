@@ -21,7 +21,7 @@ every state the simulation checker visits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterable, Sequence, Tuple
 
 from repro.memory.memory import Memory
 from repro.memory.timestamps import Timestamp

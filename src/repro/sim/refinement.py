@@ -10,7 +10,7 @@ from a bounded one, and carries a counterexample trace on failure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.lang.syntax import Program
 from repro.semantics.events import Trace, format_trace

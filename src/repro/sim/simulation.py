@@ -43,18 +43,12 @@ promise-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lang.syntax import AccessMode, Program
 from repro.memory.memory import Memory
-from repro.semantics.events import (
-    EventClass,
-    OutputEvent,
-    ThreadEvent,
-    WriteEvent,
-    event_class,
-)
+from repro.semantics.events import EventClass, ThreadEvent, WriteEvent, event_class
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import ThreadState, initial_thread_state
 from repro.sim.delayed import DelayedWriteSet

@@ -11,18 +11,28 @@ comparison, plus the two meta-properties the paper's framework guarantees:
 * preservation of the atomics set ``ι`` (optimizers never touch atomic
   variables).
 
+Race-freedom of source and target is established through the tiered
+checker (:func:`repro.races.ww_rf_tiered`): the thread-modular static
+analysis first, exhaustive exploration only when it is inconclusive.  Pass
+``static_tier=False`` to force pure exploration.
+
 ``validate_corpus`` sweeps a seed range of randomly generated ww-RF
 programs through an optimizer — the E-THM66 experiment.
+
+A report whose underlying exploration was *truncated* (state budget hit)
+is not a proof; :attr:`ValidationReport.exhaustive` surfaces this so
+callers (the CLI in particular) never report a bounded run as definitive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.lang.syntax import Program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
+from repro.races.tiered import ww_rf_tiered
 from repro.races.wwrf import RaceReport, ww_rf
 from repro.semantics.thread import SemanticsConfig
 from repro.sim.refinement import RefinementResult, check_refinement
@@ -48,13 +58,29 @@ class ValidationReport:
         preserved = self.target_wwrf is None or self.target_wwrf.race_free
         return self.refinement.holds and preserved
 
+    @property
+    def exhaustive(self) -> bool:
+        """Whether every sub-check ran to completion — only then is an
+        ``ok`` verdict a proof rather than a bounded smoke test.
+
+        Note ``target_wwrf`` is compared with ``is not None``: a
+        ``RaceReport`` is falsy when racy, so truthiness would silently
+        skip the truncation check exactly on racy targets.
+        """
+        source_done = self.source_wwrf.exhaustive
+        target_done = self.target_wwrf is None or self.target_wwrf.exhaustive
+        return self.refinement.definitive and source_done and target_done
+
     def __bool__(self) -> bool:
         return self.ok
 
     def __str__(self) -> str:
         status = "OK" if self.ok else "FAIL"
+        if self.ok and not self.exhaustive:
+            status = "OK?"  # bounded: not a proof
         change = "transformed" if self.changed else "unchanged"
-        return f"[{status}] {self.optimizer}: {change}; {self.refinement}"
+        suffix = "" if self.exhaustive else " [TRUNCATED]"
+        return f"[{status}] {self.optimizer}: {change}; {self.refinement}{suffix}"
 
 
 def validate_optimizer(
@@ -63,17 +89,24 @@ def validate_optimizer(
     config: Optional[SemanticsConfig] = None,
     check_target_wwrf: bool = True,
     nonpreemptive: bool = False,
+    static_tier: bool = True,
 ) -> ValidationReport:
-    """Validate one optimizer run: refinement + ww-RF preservation."""
+    """Validate one optimizer run: refinement + ww-RF preservation.
+
+    ``static_tier`` (default) routes the race checks through
+    :func:`repro.races.ww_rf_tiered`, skipping state exploration for
+    programs the static analysis proves race-free.
+    """
     config = config or SemanticsConfig()
     target = optimizer.run(source)
     if target.atomics != source.atomics:
         raise AssertionError(f"{optimizer.name} changed the atomics set ι")
-    source_wwrf = ww_rf(source, config)
+    check = ww_rf_tiered if static_tier else ww_rf
+    source_wwrf = check(source, config)
     refinement = check_refinement(source, target, config, nonpreemptive=nonpreemptive)
     target_wwrf = None
     if check_target_wwrf and source_wwrf.race_free:
-        target_wwrf = ww_rf(target, config)
+        target_wwrf = check(target, config)
     return ValidationReport(
         optimizer=optimizer.name,
         refinement=refinement,
@@ -142,6 +175,7 @@ def validate_corpus(
     generator_config: GeneratorConfig = GeneratorConfig(),
     config: Optional[SemanticsConfig] = None,
     check_target_wwrf: bool = True,
+    static_tier: bool = True,
 ) -> CorpusResult:
     """Sweep ``seeds`` through the generator and validate each program."""
     transformed = 0
@@ -149,7 +183,11 @@ def validate_corpus(
     for seed in seeds:
         source = random_wwrf_program(seed, generator_config)
         report = validate_optimizer(
-            optimizer, source, config, check_target_wwrf=check_target_wwrf
+            optimizer,
+            source,
+            config,
+            check_target_wwrf=check_target_wwrf,
+            static_tier=static_tier,
         )
         if report.changed:
             transformed += 1

@@ -1,0 +1,54 @@
+"""Static analyses over CSimpRTL programs (no state exploration).
+
+Three passes, all built on the CFG/dataflow framework of
+:mod:`repro.analysis`:
+
+* :mod:`repro.static.wwraces` — thread-modular static write-write race
+  detection (``RACE_FREE`` / ``POTENTIAL_RACE`` / ``UNKNOWN``), the cheap
+  tier of :func:`repro.races.ww_rf_tiered`;
+* :mod:`repro.static.lint` — IR well-formedness verification and the
+  strict optimizer output gate;
+* :mod:`repro.static.crossing` — crossing-legality checking of a
+  source/target diff against the paper's Sec. 7 rules.
+
+See ``docs/static-analysis.md`` for the soundness arguments and the
+tiering contract.
+"""
+
+from repro.static.crossing import CrossingReport, CrossingViolation, check_crossing
+from repro.static.lint import (
+    LintIssue,
+    LintReport,
+    StrictModeViolation,
+    check_optimizer_output,
+    lint_program,
+)
+from repro.static.wwraces import (
+    StaticFact,
+    StaticRaceReport,
+    StaticRaceWitness,
+    StaticVerdict,
+    ThreadSummary,
+    analyze_ww_races,
+    build_thread_summary,
+    thread_flow_facts,
+)
+
+__all__ = [
+    "CrossingReport",
+    "CrossingViolation",
+    "LintIssue",
+    "LintReport",
+    "StaticFact",
+    "StaticRaceReport",
+    "StaticRaceWitness",
+    "StaticVerdict",
+    "StrictModeViolation",
+    "ThreadSummary",
+    "analyze_ww_races",
+    "build_thread_summary",
+    "check_crossing",
+    "check_optimizer_output",
+    "lint_program",
+    "thread_flow_facts",
+]

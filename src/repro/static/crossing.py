@@ -1,0 +1,213 @@
+"""Crossing-legality checking of an optimizer's source/target diff.
+
+The paper's Sec. 7 crossing discipline (the matrix validated by
+E-CROSSING) says which atomic accesses a non-atomic access may move
+across: CSE/LICM-style *read* replacement may cross relaxed accesses and
+release writes but never an **acquire read**; DCE-style *write*
+elimination may cross relaxed accesses and acquire reads but never a
+**release write**; and no pass may *introduce* non-atomic accesses
+(category (5) of Ševčík's classification — redundant write introduction
+— is unsound in PS).
+
+This checker verifies those rules statically on the CFG diff, block by
+block.  Blocks are matched by label; for each matched pair it segments
+the instruction stream at atomic events and compares per-segment counts
+of non-atomic accesses per location:
+
+* **R1 acquire-crossing** — segment at acquire events (``acq`` loads,
+  ``acq`` CAS reads, ``acq``/``sc`` fences).  A target na-read of ``x``
+  must not appear in an earlier acquire-segment than every source
+  na-read of ``x`` (reads may be eliminated, or sunk past an acquire —
+  the roach-motel direction — but never hoisted above one).
+* **R2 introduced-read** — a target block na-reads a location the source
+  block never reads.
+* **W1 release-crossing** — segment at release events (``rel`` stores,
+  ``rel`` CAS writes, ``rel``/``sc`` fences).  If the source writes
+  ``x`` in a segment that *precedes a release* in the block, the target
+  must keep at least one ``x``-write in that segment (the paper's
+  release barrier: the last write before a release is never dead).
+* **W2 introduced-write** — segment at *all* atomic events; the target
+  may not have more na-writes of ``x`` in a segment than the source
+  (catches both introduction and motion across any atomic).
+
+Blocks present on only one side (pass restructured the CFG — LICM
+preheaders, unrolled bodies) are reported ``inconclusive`` rather than
+violated: the checker is a linter, and refinement checking remains the
+ground truth for restructuring passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Cas,
+    Fence,
+    FenceKind,
+    Load,
+    Program,
+    Store,
+)
+
+
+@dataclass(frozen=True)
+class CrossingViolation:
+    """One illegal crossing or introduction found in the diff."""
+
+    rule: str
+    function: str
+    label: str
+    loc: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rule} in {self.function}:{self.label} on {self.loc!r}: {self.message}"
+
+
+@dataclass(frozen=True)
+class CrossingReport:
+    """The outcome of a crossing-legality check."""
+
+    violations: Tuple[CrossingViolation, ...]
+    inconclusive: Tuple[str, ...]  # "func:label" sites that could not be compared
+
+    @property
+    def ok(self) -> bool:
+        """No violation found (inconclusive sites do not fail the check)."""
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok and not self.inconclusive:
+            return "crossing: clean"
+        parts = []
+        if self.violations:
+            parts.append(f"{len(self.violations)} violation(s)")
+        if self.inconclusive:
+            parts.append(f"{len(self.inconclusive)} inconclusive site(s)")
+        lines = ["crossing: " + ", ".join(parts)]
+        lines += [f"  {v}" for v in self.violations]
+        lines += [f"  ? {site}" for site in self.inconclusive]
+        return "\n".join(lines)
+
+
+def _is_acquire_event(instr) -> bool:
+    if isinstance(instr, Load):
+        return instr.mode is AccessMode.ACQ
+    if isinstance(instr, Cas):
+        return instr.mode_r is AccessMode.ACQ
+    if isinstance(instr, Fence):
+        return instr.kind in (FenceKind.ACQ, FenceKind.SC)
+    return False
+
+
+def _is_release_event(instr) -> bool:
+    if isinstance(instr, Store):
+        return instr.mode is AccessMode.REL
+    if isinstance(instr, Cas):
+        return instr.mode_w is AccessMode.REL
+    if isinstance(instr, Fence):
+        return instr.kind in (FenceKind.REL, FenceKind.SC)
+    return False
+
+
+def _is_atomic_event(instr) -> bool:
+    if isinstance(instr, (Load, Store)):
+        return instr.mode is not AccessMode.NA
+    return isinstance(instr, (Cas, Fence))
+
+
+def _na_reads(block: BasicBlock, barrier) -> Dict[str, List[int]]:
+    """Location → segment indices of its na-reads, segmenting at ``barrier``."""
+    out: Dict[str, List[int]] = {}
+    segment = 0
+    for instr in block.instrs:
+        if isinstance(instr, Load) and instr.mode is AccessMode.NA:
+            out.setdefault(instr.loc, []).append(segment)
+        if barrier(instr):
+            segment += 1
+    return out
+
+
+def _na_writes(block: BasicBlock, barrier) -> Tuple[Dict[Tuple[str, int], int], int]:
+    """``(loc, segment) → count`` of na-writes, plus the final segment index."""
+    counts: Dict[Tuple[str, int], int] = {}
+    segment = 0
+    for instr in block.instrs:
+        if isinstance(instr, Store) and instr.mode is AccessMode.NA:
+            key = (instr.loc, segment)
+            counts[key] = counts.get(key, 0) + 1
+        if barrier(instr):
+            segment += 1
+    return counts, segment
+
+
+def _check_block(
+    func: str, label: str, src: BasicBlock, tgt: BasicBlock
+) -> List[CrossingViolation]:
+    violations: List[CrossingViolation] = []
+
+    # R1/R2 — reads against acquire segmentation.
+    src_reads = _na_reads(src, _is_acquire_event)
+    tgt_reads = _na_reads(tgt, _is_acquire_event)
+    for loc, tgt_segs in sorted(tgt_reads.items()):
+        if loc not in src_reads:
+            violations.append(CrossingViolation(
+                "introduced-read", func, label, loc,
+                "target reads a location the source block never reads",
+            ))
+        elif min(tgt_segs) < min(src_reads[loc]):
+            violations.append(CrossingViolation(
+                "acquire-crossing", func, label, loc,
+                "non-atomic read hoisted above an acquire read",
+            ))
+
+    # W1 — write elimination against release segmentation.
+    src_w_rel, src_last_rel = _na_writes(src, _is_release_event)
+    tgt_w_rel, _ = _na_writes(tgt, _is_release_event)
+    for (loc, segment), count in sorted(src_w_rel.items()):
+        if segment >= src_last_rel:
+            continue  # no release follows in this block: elimination is local
+        if count > 0 and tgt_w_rel.get((loc, segment), 0) == 0:
+            violations.append(CrossingViolation(
+                "release-crossing", func, label, loc,
+                "all non-atomic writes before a release write were eliminated",
+            ))
+
+    # W2 — write introduction/motion against full atomic segmentation.
+    src_w_all, _ = _na_writes(src, _is_atomic_event)
+    tgt_w_all, _ = _na_writes(tgt, _is_atomic_event)
+    for (loc, segment), count in sorted(tgt_w_all.items()):
+        if count > src_w_all.get((loc, segment), 0):
+            violations.append(CrossingViolation(
+                "introduced-write", func, label, loc,
+                "target has more non-atomic writes in an atomic segment than the source",
+            ))
+    return violations
+
+
+def check_crossing(source: Program, target: Program) -> CrossingReport:
+    """Statically verify the crossing legality of ``source → target``."""
+    violations: List[CrossingViolation] = []
+    inconclusive: List[str] = []
+    src_funcs = dict(source.functions)
+    tgt_funcs = dict(target.functions)
+    for fname in sorted(set(src_funcs) | set(tgt_funcs)):
+        if fname not in src_funcs or fname not in tgt_funcs:
+            inconclusive.append(f"{fname}:<function>")
+            continue
+        src_blocks = src_funcs[fname].block_map
+        tgt_blocks = tgt_funcs[fname].block_map
+        for label in sorted(set(src_blocks) | set(tgt_blocks)):
+            if label not in src_blocks or label not in tgt_blocks:
+                inconclusive.append(f"{fname}:{label}")
+                continue
+            violations.extend(
+                _check_block(fname, label, src_blocks[label], tgt_blocks[label])
+            )
+    return CrossingReport(tuple(violations), tuple(inconclusive))

@@ -1,0 +1,214 @@
+"""IR well-formedness verification ("lint") and the strict optimizer gate.
+
+The :class:`~repro.lang.syntax.Program` constructors already reject many
+malformed shapes, but nothing re-checks a program that was built through
+back doors (``object.__setattr__``, pickling, subclasses overriding
+``__post_init__``) or that an optimizer assembled from stale pieces.
+:func:`lint_program` re-verifies every structural invariant from scratch
+over any program-shaped value and reports *all* violations instead of
+raising on the first:
+
+* every function has its entry label and every CFG edge resolves;
+* every block carries a proper terminator and only proper instructions;
+* access modes are consistent with the atomics set ``ι`` (no ``na``
+  access to an atomic variable, no atomic access to a non-atomic one,
+  loads/stores use legal mode classes, CAS only targets atomics);
+* every thread entry and call target is a declared function;
+* unreachable blocks are flagged as warnings (they do not fail the lint).
+
+:func:`check_optimizer_output` is the strict-mode gate run by
+:meth:`repro.opt.base.Optimizer.run`: output lint plus the optimizer
+contract (``ι``, thread list and function set preserved) plus the
+crossing-legality check of :mod:`repro.static.crossing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.lang.cfg import Cfg
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Be,
+    Call,
+    Cas,
+    Jmp,
+    Load,
+    Program,
+    READ_MODES,
+    Return,
+    Store,
+    WRITE_MODES,
+    terminator_targets,
+)
+
+#: Instruction/terminator classes the IR admits (for type-level checks).
+_TERMINATORS = (Jmp, Be, Call, Return)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One lint finding: an error (fails the lint) or a warning."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    function: str
+    label: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.function}:{self.label}" if self.label else self.function
+        return f"[{self.severity}] {self.code} at {where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """All findings of one lint run."""
+
+    issues: Tuple[LintIssue, ...]
+
+    @property
+    def errors(self) -> Tuple[LintIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == "error")
+
+    @property
+    def warnings(self) -> Tuple[LintIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the program is well-formed (warnings allowed)."""
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if not self.issues:
+            return "lint: clean"
+        status = "ok" if self.ok else f"{len(self.errors)} error(s)"
+        lines = [f"lint: {status}, {len(self.warnings)} warning(s)"]
+        lines += [f"  {issue}" for issue in self.issues]
+        return "\n".join(lines)
+
+
+def lint_program(program: Program) -> LintReport:
+    """Re-verify every structural invariant of ``program`` from scratch."""
+    issues: List[LintIssue] = []
+
+    def err(code: str, func: str, label: str, msg: str) -> None:
+        issues.append(LintIssue(code, "error", func, label, msg))
+
+    def warn(code: str, func: str, label: str, msg: str) -> None:
+        issues.append(LintIssue(code, "warning", func, label, msg))
+
+    functions = dict(program.functions)
+    atomics = frozenset(program.atomics)
+
+    if not program.threads:
+        err("no-threads", "<program>", "", "program declares no threads")
+    for thread_fn in program.threads:
+        if thread_fn not in functions:
+            err("thread-entry", "<program>", "",
+                f"thread entry {thread_fn!r} is not a declared function")
+
+    for fname, heap in functions.items():
+        labels = {label for label, _ in heap.blocks}
+        cfg_ok = heap.entry in labels
+        if heap.entry not in labels:
+            err("entry-missing", fname, heap.entry,
+                f"entry label {heap.entry!r} is not a block of {fname!r}")
+        for label, block in heap.blocks:
+            if not isinstance(block, BasicBlock):
+                err("bad-block", fname, label, f"not a basic block: {block!r}")
+                cfg_ok = False
+                continue
+            if not isinstance(block.term, _TERMINATORS):
+                err("terminator-missing", fname, label,
+                    f"block does not end in a terminator: {block.term!r}")
+                cfg_ok = False
+                continue
+            for target in terminator_targets(block.term):
+                if target not in labels:
+                    err("edge-unresolved", fname, label,
+                        f"jump target {target!r} is not a block label")
+            if isinstance(block.term, Call) and block.term.func not in functions:
+                err("call-target", fname, label,
+                    f"call target {block.term.func!r} is not a declared function")
+            for instr in block.instrs:
+                if isinstance(instr, _TERMINATORS):
+                    err("terminator-in-body", fname, label,
+                        f"terminator {instr} in instruction position")
+                    continue
+                _lint_instr(instr, atomics, fname, label, err)
+        if cfg_ok:
+            reachable = Cfg.of(heap).reachable()
+            for label in sorted(labels - set(reachable)):
+                warn("unreachable-block", fname, label,
+                     "block is unreachable from the function entry")
+    return LintReport(tuple(issues))
+
+
+def _lint_instr(instr, atomics, fname, label, err) -> None:
+    """Mode/ι consistency of one instruction (paper Sec. 3)."""
+    if isinstance(instr, Load):
+        if instr.mode not in READ_MODES:
+            err("read-mode", fname, label, f"illegal read mode {instr.mode} in {instr}")
+        _lint_mode(instr.loc, instr.mode, atomics, fname, label, err)
+    elif isinstance(instr, Store):
+        if instr.mode not in WRITE_MODES:
+            err("write-mode", fname, label, f"illegal write mode {instr.mode} in {instr}")
+        _lint_mode(instr.loc, instr.mode, atomics, fname, label, err)
+    elif isinstance(instr, Cas):
+        if instr.loc not in atomics:
+            err("cas-nonatomic", fname, label, f"CAS on non-atomic location {instr.loc!r}")
+        if instr.mode_r not in READ_MODES or instr.mode_r is AccessMode.NA:
+            err("read-mode", fname, label, f"illegal CAS read mode {instr.mode_r}")
+        if instr.mode_w not in WRITE_MODES or instr.mode_w is AccessMode.NA:
+            err("write-mode", fname, label, f"illegal CAS write mode {instr.mode_w}")
+
+
+def _lint_mode(loc, mode, atomics, fname, label, err) -> None:
+    if loc in atomics and mode is AccessMode.NA:
+        err("mode-atomic", fname, label, f"non-atomic access to atomic location {loc!r}")
+    if loc not in atomics and mode is not AccessMode.NA:
+        err("mode-nonatomic", fname, label, f"atomic access to non-atomic location {loc!r}")
+
+
+# ---------------------------------------------------------------------------
+# The strict optimizer gate
+# ---------------------------------------------------------------------------
+
+
+class StrictModeViolation(AssertionError):
+    """An optimizer's output failed the strict well-formedness gate."""
+
+
+def check_optimizer_output(name: str, source: Program, target: Program) -> None:
+    """Raise :class:`StrictModeViolation` if ``target`` is malformed or
+    breaks the optimizer contract relative to ``source``.
+
+    Checks, in order: preservation of ``ι``, the thread list and the
+    function name set; a full :func:`lint_program` over the output; and
+    the crossing-legality rules of :mod:`repro.static.crossing` (a clean
+    diff is required — ``inconclusive`` blocks are tolerated, concrete
+    violations are not).
+    """
+    from repro.static.crossing import check_crossing
+
+    if frozenset(target.atomics) != frozenset(source.atomics):
+        raise StrictModeViolation(f"{name}: changed the atomics set ι")
+    if tuple(target.threads) != tuple(source.threads):
+        raise StrictModeViolation(f"{name}: changed the thread list")
+    if {f for f, _ in target.functions} != {f for f, _ in source.functions}:
+        raise StrictModeViolation(f"{name}: changed the set of declared functions")
+    report = lint_program(target)
+    if not report.ok:
+        details = "; ".join(str(issue) for issue in report.errors)
+        raise StrictModeViolation(f"{name}: output fails lint — {details}")
+    crossing = check_crossing(source, target)
+    if not crossing.ok:
+        details = "; ".join(str(v) for v in crossing.violations)
+        raise StrictModeViolation(f"{name}: illegal crossing — {details}")

@@ -1,6 +1,5 @@
 """Availability analysis tests — the acquire-read kill discipline."""
 
-import pytest
 
 from repro.analysis.availexpr import (
     available_analysis,
@@ -8,7 +7,7 @@ from repro.analysis.availexpr import (
     lookup_load,
     transfer_instruction,
 )
-from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.builder import ProgramBuilder, binop
 from repro.lang.syntax import (
     AccessMode,
     Assign,

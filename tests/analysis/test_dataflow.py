@@ -1,6 +1,5 @@
 """Generic solver tests over a toy reaching-labels analysis."""
 
-import pytest
 
 from repro.analysis.dataflow import BlockAnalysis, solve_backward, solve_forward
 from repro.analysis.lattice import Lattice

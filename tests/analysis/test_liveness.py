@@ -1,6 +1,5 @@
 """Liveness analysis tests — especially the release-write barrier."""
 
-import pytest
 
 from repro.analysis.liveness import LiveSet, liveness_analysis, transfer_instruction
 from repro.lang.builder import ProgramBuilder, binop, straightline_program

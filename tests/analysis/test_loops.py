@@ -1,6 +1,5 @@
 """Loop-invariant load detection tests (LInv's analysis)."""
 
-import pytest
 
 from repro.analysis.loops import find_invariant_loads, loop_info
 from repro.lang.builder import ProgramBuilder, binop

@@ -1,11 +1,10 @@
 """Constant-value analysis tests."""
 
-import pytest
 
 from repro.analysis.lattice import FLAT_TOP, flat_const
 from repro.analysis.value import Env, eval_abstract, value_analysis
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
-from repro.lang.syntax import AccessMode, Assign, BinOp, Const, Load, Reg, Store
+from repro.lang.syntax import AccessMode, BinOp, Const, Load, Reg
 
 
 class TestEnv:

@@ -8,7 +8,6 @@ from repro.csimp import lower_program, parse_csimp
 from repro.lang.syntax import AccessMode, Call, Load
 from repro.litmus.library import fig1_source, fig1_target, fig15_program, sb
 from repro.semantics.exploration import behaviors
-from repro.semantics.thread import SemanticsConfig
 
 
 def compile_csimp(source: str):

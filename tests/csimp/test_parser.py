@@ -5,7 +5,6 @@ import pytest
 from repro.csimp.ast import (
     SAssign,
     SBinOp,
-    SBlock,
     SCall,
     SCas,
     SConst,

@@ -1,6 +1,5 @@
 """Source-level LICM tests: Fig. 1 as a source-to-source transformation."""
 
-import pytest
 
 from repro.csimp import format_csimp, lower_program, parse_csimp
 from repro.csimp.ast import SAssign, SLoad, SWhile

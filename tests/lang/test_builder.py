@@ -9,17 +9,7 @@ from repro.lang.builder import (
     binop,
     straightline_program,
 )
-from repro.lang.syntax import (
-    AccessMode,
-    BinOp,
-    Const,
-    Jmp,
-    Load,
-    Reg,
-    Return,
-    Skip,
-    Store,
-)
+from repro.lang.syntax import AccessMode, BinOp, Const, Load, Reg, Return, Skip, Store
 
 
 class TestCoercions:

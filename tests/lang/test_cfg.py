@@ -1,6 +1,5 @@
 """CFG utilities: successors, RPO, dominators, natural loops."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, binop
 from repro.lang.cfg import Cfg, block_fallthrough_chain, cfg_edges

@@ -11,7 +11,6 @@ from repro.lang.syntax import (
     Call,
     Cas,
     Const,
-    Fence,
     FenceKind,
     Jmp,
     Load,

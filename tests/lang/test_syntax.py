@@ -16,7 +16,6 @@ from repro.lang.syntax import (
     Jmp,
     Load,
     Print,
-    Program,
     Reg,
     Return,
     Skip,

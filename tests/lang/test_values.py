@@ -1,6 +1,5 @@
 """Unit and property tests for 32-bit machine integers."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

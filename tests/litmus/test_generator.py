@@ -1,11 +1,10 @@
 """Generator tests: determinism, shape, and the ww-RF-by-construction
 guarantee (property-tested against the actual race detector)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang.syntax import AccessMode, Cas, Load, Store
+from repro.lang.syntax import AccessMode, Cas, Store
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.races.wwrf import ww_rf
 from repro.semantics.thread import SemanticsConfig

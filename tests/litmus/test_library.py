@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.syntax import AccessMode, Program
+from repro.lang.syntax import Program
 from repro.litmus.library import (
     LITMUS_SUITE,
     fig1_program,

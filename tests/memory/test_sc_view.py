@@ -1,6 +1,5 @@
 """The global SC view carried by Memory: preservation and semantics."""
 
-import pytest
 
 from repro.lang.values import Int32
 from repro.memory.memory import Memory, capped_memory

@@ -1,6 +1,5 @@
 """Time map and view tests, including semilattice laws by property."""
 
-from fractions import Fraction
 
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,9 +1,8 @@
 """Cleanup pass tests: skip removal, jump threading, dead blocks."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
-from repro.lang.syntax import Be, Const, Jmp, Print, Skip
+from repro.lang.syntax import Const, Jmp, Print, Skip
 from repro.opt.base import compose
 from repro.opt.cleanup import Cleanup
 from repro.opt.constprop import ConstProp

@@ -1,6 +1,5 @@
 """ConstProp tests: folding, branch decision, soundness by refinement."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
 from repro.lang.syntax import (
@@ -15,7 +14,6 @@ from repro.lang.syntax import (
     Store,
 )
 from repro.opt.constprop import ConstProp
-from repro.sim.refinement import check_refinement
 from repro.sim.validate import validate_optimizer
 
 

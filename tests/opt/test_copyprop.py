@@ -1,6 +1,5 @@
 """Copy propagation tests."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
 from repro.lang.syntax import (

@@ -1,6 +1,5 @@
 """CSE tests: redundant read elimination with the acquire-kill discipline."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import (

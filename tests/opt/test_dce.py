@@ -1,6 +1,5 @@
 """DCE tests: the paper's Sec. 7.1 pass with the release barrier."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import (

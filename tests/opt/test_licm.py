@@ -1,6 +1,5 @@
 """LInv / LICM tests, centred on the paper's Fig. 1 and Fig. 5."""
 
-import pytest
 
 from repro.lang.syntax import AccessMode, Load
 from repro.litmus.library import fig1_source, fig1_target, fig5_program

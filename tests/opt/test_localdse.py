@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.builder import ProgramBuilder, binop, straightline_program
+from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Skip, Store
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.dce import DCE

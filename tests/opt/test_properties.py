@@ -12,7 +12,7 @@ from repro.opt.cleanup import Cleanup
 from repro.opt.constprop import ConstProp
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
-from repro.opt.licm import LICM, LInv
+from repro.opt.licm import LInv
 
 GEN = GeneratorConfig(threads=2, instrs_per_thread=8, allow_cas=True)
 

@@ -1,11 +1,10 @@
 """Loop peeling tests: structure, trace preservation, enabling CSE."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, binop
 from repro.lang.cfg import Cfg
 from repro.litmus.library import fig1_source
-from repro.lang.syntax import AccessMode, Assign, Load, Reg
+from repro.lang.syntax import AccessMode, Load
 from repro.opt.base import compose
 from repro.opt.cse import CSE
 from repro.opt.unroll import Peel

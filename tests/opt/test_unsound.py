@@ -1,7 +1,6 @@
 """Negative experiments: the unsound transformations fail exactly as the
 paper predicts."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import AccessMode, Const, Load, Skip, Store

@@ -1,7 +1,6 @@
 """Read-write race detection tests, including the paper's Fig. 5 claim:
 LInv introduces read-write races (and that is allowed)."""
 
-import pytest
 
 from repro.lang.builder import straightline_program
 from repro.lang.syntax import AccessMode, Const, Load, Store

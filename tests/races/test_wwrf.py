@@ -1,9 +1,8 @@
 """Write-write race freedom tests (paper Fig. 11)."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, straightline_program
-from repro.lang.syntax import AccessMode, Const, Load, Skip, Store
+from repro.lang.syntax import AccessMode, Const, Load, Store
 from repro.races.wwrf import ww_nprf, ww_rf
 from repro.semantics.thread import SemanticsConfig
 
@@ -102,3 +101,35 @@ def test_nprf_variant_runs():
         [[Store("a", Const(1), AccessMode.NA)], [Store("a", Const(2), AccessMode.NA)]]
     )
     assert not ww_nprf(program).race_free
+
+
+def test_duck_typed_view_with_missing_entry():
+    """Regression: `thread_generates_ww_race` reads `ts.view.trlx.get(loc)`.
+    A real TimeMap defaults absent entries to 0, but a duck-typed view (a
+    plain dict, as external clients or tests may supply) returns None —
+    which used to flow into `message.to > floor` and raise TypeError.  The
+    check must treat a missing entry as the zero timestamp."""
+    import types
+    from dataclasses import replace
+    from fractions import Fraction
+
+    from repro.memory.memory import Memory
+    from repro.memory.message import Message
+    from repro.races.wwrf import thread_generates_ww_race
+    from repro.semantics.threadstate import initial_thread_state
+
+    program = straightline_program(
+        [[Store("a", Const(1), AccessMode.NA)], [Store("a", Const(2), AccessMode.NA)]]
+    )
+    ts = initial_thread_state(program, "t1")
+    ts = replace(ts, view=types.SimpleNamespace(tna={}, trlx={}))
+    mem = Memory(
+        Memory.initial(["a"]).items
+        + (Message("a", 1, Fraction(0), Fraction(1)),)
+    )
+    assert thread_generates_ww_race(program, 0, ts, mem) == "a"
+
+    # With only the init message (to = 0 = the default floor): no race.
+    assert thread_generates_ww_race(
+        program, 0, ts, Memory.initial(["a"])
+    ) is None

@@ -9,7 +9,6 @@ reserved and certification fails.  The behavioral consequence: with the
 ablated certification the promise goes through and another thread can
 observe a value that full PS2.1 forbids when the competing CAS wins."""
 
-import pytest
 
 from repro.litmus.library import promise_via_cas
 from repro.semantics.exploration import behaviors

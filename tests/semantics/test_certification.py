@@ -3,7 +3,7 @@
 from dataclasses import replace
 
 from repro.lang.builder import ProgramBuilder, straightline_program
-from repro.lang.syntax import AccessMode, Const, Load, Reg, Store
+from repro.lang.syntax import AccessMode, Const, Reg, Store
 from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.message import Message

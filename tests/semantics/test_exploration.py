@@ -5,12 +5,7 @@ import pytest
 from repro.lang.builder import ProgramBuilder, binop, straightline_program
 from repro.lang.syntax import Const, Print, Skip
 from repro.semantics.events import EVENT_DONE
-from repro.semantics.exploration import (
-    BehaviorSet,
-    ExplorationBoundExceeded,
-    Explorer,
-    behaviors,
-)
+from repro.semantics.exploration import ExplorationBoundExceeded, Explorer, behaviors
 from repro.semantics.thread import SemanticsConfig
 
 

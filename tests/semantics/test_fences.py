@@ -4,7 +4,6 @@ The canonical fence litmus shape: relaxed message passing becomes
 synchronizing when a release fence precedes the flag write and an acquire
 fence follows the flag read."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder
 from repro.semantics.exploration import behaviors

@@ -5,7 +5,6 @@ These tests pin down the exact *complete-execution output sets* of the
 classic litmus programs under the exhaustive interpreter.
 """
 
-import pytest
 
 from repro.litmus.library import (
     cas_exclusivity,

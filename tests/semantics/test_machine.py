@@ -1,9 +1,8 @@
 """Interleaving machine tests (paper Fig. 9)."""
 
-import pytest
 
 from repro.lang.builder import straightline_program
-from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Skip, Store
+from repro.lang.syntax import AccessMode, Const, Load, Print, Skip, Store
 from repro.memory.memory import Memory
 from repro.semantics.events import OutputEvent, SilentEvent
 from repro.semantics.machine import (

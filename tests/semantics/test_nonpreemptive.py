@@ -1,9 +1,8 @@
 """Non-preemptive machine tests (paper Fig. 10): switch-bit discipline."""
 
-import pytest
 
 from repro.lang.builder import straightline_program
-from repro.lang.syntax import AccessMode, Const, Load, Print, Skip, Store
+from repro.lang.syntax import AccessMode, Const, Print, Skip, Store
 from repro.semantics.events import (
     EventClass,
     FenceEvent,

@@ -6,7 +6,6 @@ asserts it introduces no observable difference where none can exist."""
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

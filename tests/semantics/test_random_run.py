@@ -1,14 +1,10 @@
 """Randomized runner tests: determinism by seed, sampled outputs within
 the exhaustive behavior set."""
 
-import pytest
 
-from repro.lang.builder import straightline_program
-from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Store
 from repro.litmus.library import sb
 from repro.semantics.exploration import behaviors
-from repro.semantics.random_run import RunResult, random_run, sample_outputs
-from repro.semantics.thread import SemanticsConfig
+from repro.semantics.random_run import random_run, sample_outputs
 
 
 def test_terminates_on_simple_program():

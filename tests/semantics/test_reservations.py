@@ -10,7 +10,7 @@ from repro.lang.builder import straightline_program
 from repro.lang.syntax import AccessMode, Const, Skip, Store
 from repro.memory.memory import Memory
 from repro.memory.message import Reservation
-from repro.semantics.events import CancelEvent, ReserveEvent, event_class, EventClass
+from repro.semantics.events import CancelEvent, ReserveEvent
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import initial_thread_state
 

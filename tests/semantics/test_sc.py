@@ -7,9 +7,7 @@ from hypothesis import strategies as st
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.litmus.library import cas_exclusivity, lb, mp_relacq, mp_rlx, sb
 from repro.semantics.exploration import behaviors
-from repro.semantics.promises import SyntacticPromises
 from repro.semantics.sc import initial_sc_state, sc_behaviors, sc_machine_steps
-from repro.semantics.thread import SemanticsConfig
 
 
 def sc_outputs(program):

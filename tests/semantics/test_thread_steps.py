@@ -1,8 +1,7 @@
 """Unit tests for the PS2.1 thread step relation."""
 
-import pytest
 
-from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.builder import straightline_program
 from repro.lang.syntax import AccessMode, Assign, BinOp, Const, Load, Print, Reg, Skip, Store
 from repro.lang.values import Int32
 from repro.memory.memory import Memory

@@ -1,9 +1,8 @@
 """Direct unit tests for LocalState / ThreadState / thread pools."""
 
-import pytest
 
-from repro.lang.builder import ProgramBuilder, straightline_program
-from repro.lang.syntax import Jmp, Return, Skip, Store, Const, AccessMode
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import Return, Skip
 from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.message import Message, Reservation

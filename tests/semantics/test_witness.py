@@ -1,9 +1,8 @@
 """Execution witness tests."""
 
-import pytest
 
 from repro.lang.builder import straightline_program
-from repro.lang.syntax import AccessMode, Const, Print, Store
+from repro.lang.syntax import AccessMode, Const, Print
 from repro.litmus.library import fig1_source, fig1_target, sb
 from repro.semantics.events import EVENT_DONE
 from repro.semantics.witness import explain_counterexample, find_witness

@@ -2,7 +2,6 @@
 paper Fig. 2(b), realized as I-preserving injected writes at switch
 points."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder
 from repro.sim.invariant import dce_invariant, identity_invariant

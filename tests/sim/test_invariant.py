@@ -1,13 +1,12 @@
 """Invariant instance tests: I_id, I_dce, wf(I, ι) (paper Sec. 6.1, 7.1)."""
 
-import pytest
 
 from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.message import Message
 from repro.memory.timestamps import ts
 from repro.sim.invariant import dce_invariant, identity_invariant, wf_check
-from repro.sim.tmap import TimestampMapping, initial_tmap
+from repro.sim.tmap import initial_tmap
 
 NO_ATOMICS = frozenset()
 

@@ -2,7 +2,6 @@
 promise must be answered by a corresponding source promise, with I
 re-established at both switch points."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder
 from repro.semantics.promises import SyntacticPromises

@@ -1,9 +1,8 @@
 """Refinement checker tests."""
 
-import pytest
 
 from repro.lang.builder import straightline_program
-from repro.lang.syntax import Const, Print, Skip
+from repro.lang.syntax import Const, Print
 from repro.semantics.thread import SemanticsConfig
 from repro.sim.refinement import check_equivalence, check_refinement
 

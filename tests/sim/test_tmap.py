@@ -1,6 +1,5 @@
 """Timestamp mapping tests (paper Fig. 12)."""
 
-import pytest
 
 from repro.lang.values import Int32
 from repro.memory.memory import Memory

@@ -3,7 +3,6 @@ thread-local simulation with their designated invariants — ``I_id`` for
 ConstProp and CSE, ``I_dce`` for DCE (paper Sec. 6.1, 7.1, and the PSSim
 comparison in Sec. 8)."""
 
-import pytest
 
 from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import (

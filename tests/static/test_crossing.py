@@ -1,0 +1,180 @@
+"""Crossing-legality checker tests (paper Sec. 7 discipline)."""
+
+from repro.lang.builder import ProgramBuilder
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, CopyProp
+from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.static import check_crossing
+
+
+def _two_block_program(build_t1):
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        build_t1(f)
+    pb.thread("t1")
+    return pb.build()
+
+
+def test_identity_is_clean():
+    for test in LITMUS_SUITE.values():
+        report = check_crossing(test.program, test.program)
+        assert report.ok and not report.inconclusive
+        assert str(report) == "crossing: clean"
+
+
+def test_sound_passes_are_clean_on_litmus():
+    for test in LITMUS_SUITE.values():
+        for opt in (DCE(), CSE(), ConstProp(), CopyProp()):
+            target = opt.run(test.program)
+            assert check_crossing(test.program, target).ok, (test, opt.name)
+
+
+def test_naive_dce_release_crossing():
+    """Fig. 15: NaiveDCE eliminates the na-write before a release store —
+    the exact unsoundness the crossing matrix forbids."""
+    source = LITMUS_SUITE["Fig15-src"].program
+    target = NaiveDCE().run(source)
+    report = check_crossing(source, target)
+    assert not report.ok
+    assert any(v.rule == "release-crossing" for v in report.violations)
+
+
+def test_write_introduction_flagged():
+    source = LITMUS_SUITE["Fig15-src"].program
+    target = RedundantWriteIntroduction().run(source)
+    report = check_crossing(source, target)
+    assert not report.ok
+    assert any(v.rule == "introduced-write" for v in report.violations)
+
+
+def test_read_hoisted_above_acquire():
+    """A na-read moved from after an acquire load to before it."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("g", "f", "acq")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.load("g", "f", "acq")
+        b.print_("r")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert not report.ok
+    assert [v.rule for v in report.violations] == ["acquire-crossing"]
+    assert report.violations[0].loc == "a"
+
+
+def test_read_sunk_past_acquire_is_legal():
+    """The roach-motel direction (read moved *after* an acquire) is fine."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.load("g", "f", "acq")
+        b.print_("r")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("g", "f", "acq")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    assert check_crossing(_two_block_program(src), _two_block_program(tgt)).ok
+
+
+def test_introduced_read_flagged():
+    def src(f):
+        b = f.block("entry")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert [v.rule for v in report.violations] == ["introduced-read"]
+
+
+def test_local_write_elimination_is_legal():
+    """Eliminating a dead na-write with no release after it is fine."""
+
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("a", 2, "na")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.store("a", 2, "na")
+        b.ret()
+
+    assert check_crossing(_two_block_program(src), _two_block_program(tgt)).ok
+
+
+def test_write_elimination_before_release_flagged():
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("f", 1, "rel")
+        b.store("a", 2, "na")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.store("f", 1, "rel")
+        b.store("a", 2, "na")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert any(v.rule == "release-crossing" for v in report.violations)
+
+
+def test_restructured_cfg_is_inconclusive():
+    """Blocks present on only one side are reported, not violated."""
+
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.jmp("body")
+        body = f.block("body")
+        body.store("a", 1, "na")
+        body.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert report.ok
+    assert "t1:body" in report.inconclusive
+    assert "inconclusive" in str(report)
+
+
+def test_missing_function_is_inconclusive():
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        f.block("entry").ret()
+    pb.thread("t1")
+    one = pb.build()
+
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        f.block("entry").ret()
+    with pb.function("extra") as f:
+        f.block("entry").ret()
+    pb.thread("t1")
+    two = pb.build()
+
+    report = check_crossing(one, two)
+    assert report.ok
+    assert "extra:<function>" in report.inconclusive

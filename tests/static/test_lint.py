@@ -1,0 +1,129 @@
+"""IR well-formedness lint tests.
+
+The :class:`Program`/:class:`CodeHeap` constructors already reject most
+malformed shapes, so the corrupted inputs here are assembled through the
+same back door (``object.__setattr__`` on the frozen instances) that a
+buggy optimizer or deserializer would effectively use.
+"""
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Const,
+    Jmp,
+    Load,
+    Return,
+    Skip,
+    Store,
+)
+from repro.litmus.library import LITMUS_SUITE
+from repro.static import lint_program
+
+
+def _swap_blocks(program, func, blocks):
+    """Replace ``func``'s block tuple without re-running validation."""
+    heap = program.function(func)
+    object.__setattr__(heap, "blocks", tuple(sorted(dict(blocks).items())))
+    return program
+
+
+def test_clean_program():
+    program = straightline_program([[Store("a", Const(1), AccessMode.NA)]])
+    report = lint_program(program)
+    assert report.ok and bool(report)
+    assert not report.issues
+    assert str(report) == "lint: clean"
+
+
+def test_litmus_suite_is_clean():
+    for test in LITMUS_SUITE.values():
+        assert lint_program(test.program).ok
+
+
+def test_unresolved_edge():
+    program = straightline_program([[Skip()]])
+    _swap_blocks(program, "t1", [("entry", BasicBlock((), Jmp("nowhere")))])
+    report = lint_program(program)
+    assert not report.ok
+    assert [i.code for i in report.errors] == ["edge-unresolved"]
+    assert report.errors[0].function == "t1"
+
+
+def test_missing_entry_label():
+    program = straightline_program([[Skip()]])
+    _swap_blocks(program, "t1", [("other", BasicBlock((), Return()))])
+    report = lint_program(program)
+    assert "entry-missing" in [i.code for i in report.errors]
+
+
+def test_terminator_missing():
+    program = straightline_program([[Skip()]])
+    _swap_blocks(program, "t1", [("entry", BasicBlock((Skip(),), Skip()))])
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["terminator-missing"]
+
+
+def test_terminator_in_body():
+    program = straightline_program([[Skip()]])
+    _swap_blocks(
+        program, "t1", [("entry", BasicBlock((Return(),), Return()))]
+    )
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["terminator-in-body"]
+
+
+def test_na_access_to_atomic():
+    program = straightline_program(
+        [[Store("x", Const(1), AccessMode.RLX)]], atomics={"x"}
+    )
+    bad = BasicBlock((Store("x", Const(1), AccessMode.NA),), Return())
+    _swap_blocks(program, "t1", [("entry", bad)])
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["mode-atomic"]
+
+
+def test_atomic_access_to_nonatomic():
+    program = straightline_program([[Skip()]])
+    bad = BasicBlock((Load("r", "a", AccessMode.ACQ),), Return())
+    _swap_blocks(program, "t1", [("entry", bad)])
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["mode-nonatomic"]
+
+
+def test_thread_entry_missing():
+    program = straightline_program([[Skip()]])
+    object.__setattr__(program, "threads", ("t1", "ghost"))
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["thread-entry"]
+
+
+def test_no_threads():
+    program = straightline_program([[Skip()]])
+    object.__setattr__(program, "threads", ())
+    report = lint_program(program)
+    assert [i.code for i in report.errors] == ["no-threads"]
+
+
+def test_unreachable_block_is_warning_only():
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.ret()
+        dead = f.block("dead")
+        dead.ret()
+    pb.thread("t1")
+    report = lint_program(pb.build())
+    assert report.ok  # warnings do not fail the lint
+    assert [i.code for i in report.warnings] == ["unreachable-block"]
+    assert "warning" in str(report)
+
+
+def test_multiple_issues_all_reported():
+    program = straightline_program([[Skip()]])
+    blocks = [
+        ("entry", BasicBlock((Load("r", "a", AccessMode.ACQ),), Jmp("gone"))),
+    ]
+    _swap_blocks(program, "t1", blocks)
+    report = lint_program(program)
+    assert {i.code for i in report.errors} == {"mode-nonatomic", "edge-unresolved"}

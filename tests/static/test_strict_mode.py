@@ -1,0 +1,92 @@
+"""Strict optimizer output gate tests (`Optimizer.run(strict=...)`)."""
+
+import pytest
+
+from repro.lang.syntax import CodeHeap
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, CopyProp, Cleanup, LICM, compose
+from repro.opt.base import strict_optimizer
+from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.static import StrictModeViolation, check_optimizer_output
+
+
+@pytest.fixture
+def fig15():
+    return LITMUS_SUITE["Fig15-src"].program
+
+
+def test_strict_rejects_write_introduction(fig15):
+    opt = strict_optimizer(RedundantWriteIntroduction())
+    with pytest.raises(StrictModeViolation, match="introduced-write"):
+        opt.run(fig15)
+
+
+def test_strict_rejects_naive_dce(fig15):
+    with pytest.raises(StrictModeViolation, match="release-crossing"):
+        NaiveDCE().run(fig15, strict=True)
+
+
+def test_nonstrict_lets_unsound_output_through(fig15):
+    """Without the gate the unsound pass silently produces its output —
+    strictness is opt-in."""
+    target = RedundantWriteIntroduction().run(fig15)
+    assert target != fig15
+
+
+def test_sound_passes_survive_strict():
+    pipeline = compose(compose(ConstProp(), CSE()), compose(CopyProp(), DCE()))
+    for test in LITMUS_SUITE.values():
+        for opt in (DCE(), CSE(), ConstProp(), CopyProp(), Cleanup(), LICM(), pipeline):
+            strict_optimizer(opt).run(test.program)  # must not raise
+
+
+def test_class_attribute_enables_strict(fig15):
+    class StrictRWI(RedundantWriteIntroduction):
+        strict = True
+
+    with pytest.raises(StrictModeViolation):
+        StrictRWI().run(fig15)
+
+
+def _clone_with(program, **overrides):
+    """A field-for-field copy bypassing ``__post_init__`` validation, so the
+    contract checks (not the constructors) are what reject the mutation."""
+    clone = object.__new__(type(program))
+    for field in ("functions", "atomics", "threads"):
+        object.__setattr__(clone, field, overrides.get(field, getattr(program, field)))
+    return clone
+
+
+def test_gate_rejects_changed_atomics(fig15):
+    target = _clone_with(fig15, atomics=frozenset())
+    with pytest.raises(StrictModeViolation, match="atomics"):
+        check_optimizer_output("x", fig15, target)
+
+
+def test_gate_rejects_changed_threads(fig15):
+    target = _clone_with(fig15, threads=fig15.threads[:1])
+    with pytest.raises(StrictModeViolation, match="thread list"):
+        check_optimizer_output("x", fig15, target)
+
+
+def test_gate_rejects_dropped_function(fig15):
+    target = _clone_with(fig15, functions=fig15.functions[:1])
+    with pytest.raises(StrictModeViolation, match="declared functions"):
+        check_optimizer_output("x", fig15, target)
+
+
+def test_gate_rejects_malformed_output(fig15):
+    heap = fig15.functions[0][1]
+    bad_heap = object.__new__(CodeHeap)
+    object.__setattr__(bad_heap, "blocks", heap.blocks[:0])
+    object.__setattr__(bad_heap, "entry", heap.entry)
+    functions = ((fig15.functions[0][0], bad_heap),) + fig15.functions[1:]
+    target = _clone_with(fig15, functions=functions)
+    with pytest.raises(StrictModeViolation, match="fails lint"):
+        check_optimizer_output("x", fig15, target)
+
+
+def test_strict_wrapper_name(fig15):
+    opt = strict_optimizer(DCE())
+    assert opt.name == "strict(dce)"
+    assert opt.run(fig15) == DCE().run(fig15)

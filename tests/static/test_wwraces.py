@@ -1,0 +1,225 @@
+"""Static thread-modular ww-race analysis (tier 0) unit tests."""
+
+from repro.lang.builder import ProgramBuilder, straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Store
+from repro.static import StaticVerdict, analyze_ww_races, build_thread_summary
+
+
+def flag_protocol_program(flag_mode="rel", guard_mode="acq", flag_value=1):
+    """t1 writes a then publishes flag; t2 writes a behind a flag guard."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("flag", flag_value, flag_mode)
+        b.ret()
+    with pb.function("t2") as f:
+        spin = f.block("spin")
+        spin.load("r", "flag", guard_mode)
+        spin.be("r", "write", "spin")
+        w = f.block("write")
+        w.store("a", 2, "na")
+        w.ret()
+    pb.thread("t1").thread("t2")
+    return pb.build()
+
+
+def test_disjoint_writers_race_free():
+    program = straightline_program(
+        [[Store("a", Const(1), AccessMode.NA)], [Store("b", Const(1), AccessMode.NA)]]
+    )
+    report = analyze_ww_races(program)
+    assert report.verdict is StaticVerdict.RACE_FREE
+    assert report.race_free and bool(report)
+    assert not report.witnesses
+
+
+def test_same_location_writes_potential_race():
+    program = straightline_program(
+        [[Store("a", Const(1), AccessMode.NA)], [Store("a", Const(2), AccessMode.NA)]]
+    )
+    report = analyze_ww_races(program)
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+    assert not report.race_free
+    (witness,) = report.witnesses
+    assert witness.loc == "a"
+    assert witness.definite
+    assert (witness.tid_a, witness.tid_b) == (0, 1)
+    assert witness.site_a.label == "entry" and witness.site_b.label == "entry"
+
+
+def test_atomic_only_conflict_is_race_free():
+    """ww-races are about non-atomic writes; atomic-location conflicts
+    never reach the pairwise check."""
+    program = straightline_program(
+        [[Store("x", Const(1), AccessMode.RLX)], [Store("x", Const(2), AccessMode.RLX)]],
+        atomics={"x"},
+    )
+    report = analyze_ww_races(program)
+    assert report.verdict is StaticVerdict.RACE_FREE
+    assert report.checked_pairs == 0
+
+
+def test_flag_protocol_discharged():
+    report = analyze_ww_races(flag_protocol_program())
+    assert report.verdict is StaticVerdict.RACE_FREE
+
+
+def test_relaxed_flag_not_discharged():
+    """The same shape with a relaxed publication is genuinely racy."""
+    report = analyze_ww_races(flag_protocol_program(flag_mode="rlx"))
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_relaxed_guard_not_discharged():
+    report = analyze_ww_races(flag_protocol_program(guard_mode="rlx"))
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_zero_flag_store_does_not_publish():
+    """Storing 0 to the flag can never satisfy the guard, so it does not
+    count as a publication — but it also never *breaks* ownership."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("flag", 0, "rel")  # reset, before the protected write
+        b.store("a", 1, "na")
+        b.store("flag", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        spin = f.block("spin")
+        spin.load("r", "flag", "acq")
+        spin.be("r", "write", "spin")
+        w = f.block("write")
+        w.store("a", 2, "na")
+        w.ret()
+    pb.thread("t1").thread("t2")
+    assert analyze_ww_races(pb.build()).verdict is StaticVerdict.RACE_FREE
+
+
+def test_cas_on_flag_defeats_protocol():
+    """A CAS on the flag may publish from the wrong thread: ownership
+    condition (i) fails and the pair stays suspicious."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("flag", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        spin = f.block("spin")
+        spin.cas("r", "flag", 0, 1, "acq", "rel")
+        spin.be("r", "spin", "write")
+        w = f.block("write")
+        w.store("a", 2, "na")
+        w.ret()
+    pb.thread("t1").thread("t2")
+    assert analyze_ww_races(pb.build()).verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_write_after_publish_not_discharged():
+    """Condition (ii): an a-write after the publication is unprotected."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("flag", 1, "rel")
+        b.store("a", 1, "na")  # after the publish: t2 may already be writing
+        b.ret()
+    with pb.function("t2") as f:
+        spin = f.block("spin")
+        spin.load("r", "flag", "acq")
+        spin.be("r", "write", "spin")
+        w = f.block("write")
+        w.store("a", 2, "na")
+        w.ret()
+    pb.thread("t1").thread("t2")
+    assert analyze_ww_races(pb.build()).verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_unguarded_write_not_discharged():
+    """Condition (iii): an a-write reachable without the guard races."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("flag", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "flag", "acq")
+        b.store("a", 2, "na")  # unconditional — not behind the guard edge
+        b.ret()
+    pb.thread("t1").thread("t2")
+    assert analyze_ww_races(pb.build()).verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_function_calls_give_unknown():
+    """Calls defeat the protection analysis: verdict UNKNOWN, witness
+    marked non-definite."""
+    pb = ProgramBuilder()
+    with pb.function("helper") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.call("helper", "done")
+        d = f.block("done")
+        d.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.store("a", 2, "na")
+        b.ret()
+    pb.thread("t1").thread("t2")
+    report = analyze_ww_races(pb.build())
+    assert report.verdict is StaticVerdict.UNKNOWN
+    (witness,) = report.witnesses
+    assert not witness.definite
+    assert "call" in witness.reason
+
+
+def test_same_entry_function_twice_not_discharged():
+    """Two threads running the same function cannot be flag-ordered."""
+    pb = ProgramBuilder(atomics={"flag"})
+    with pb.function("t") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("flag", 1, "rel")
+        b.ret()
+    pb.thread("t").thread("t")
+    assert analyze_ww_races(pb.build()).verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_unreachable_writes_ignored():
+    """Writes in unreachable blocks never execute and are not summarized."""
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.ret()
+        dead = f.block("dead")
+        dead.store("a", 1, "na")
+        dead.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.store("a", 2, "na")
+        b.ret()
+    pb.thread("t1").thread("t2")
+    report = analyze_ww_races(pb.build())
+    assert report.verdict is StaticVerdict.RACE_FREE
+    assert build_thread_summary(pb.build(), 0).write_locs() == frozenset()
+
+
+def test_summary_write_sites():
+    program = straightline_program(
+        [
+            [
+                Store("a", Const(1), AccessMode.NA),
+                Load("r", "a", AccessMode.NA),
+                Store("b", Const(2), AccessMode.NA),
+            ]
+        ]
+    )
+    summary = build_thread_summary(program, 0)
+    assert summary.write_locs() == {"a", "b"}
+    assert [site.index for site in summary.writes] == [0, 2]
+    assert not summary.has_calls

@@ -1,6 +1,5 @@
 """CLI error-path tests."""
 
-import pytest
 
 from repro.cli import main
 

@@ -1,9 +1,8 @@
 """Fuzz driver tests, including a detector-sanity check: the campaign must
 actually catch an unsound optimizer."""
 
-import pytest
 
-from repro.fuzz import FuzzReport, fuzz_optimizer
+from repro.fuzz import fuzz_optimizer
 from repro.litmus.generator import GeneratorConfig
 from repro.opt.constprop import ConstProp
 from repro.opt.dce import DCE

@@ -1,7 +1,6 @@
 """Integration test: Peterson's lock across the three semantics levels
 (see examples/peterson.py for the narrative)."""
 
-import pytest
 
 from repro import behaviors, lower_program, parse_csimp, ww_rf
 from repro.semantics.sc import sc_behaviors

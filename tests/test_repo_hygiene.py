@@ -3,7 +3,6 @@ exist and carry their required content."""
 
 import pathlib
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 
