@@ -1,0 +1,127 @@
+"""E-DEGRADE: the degradation ladder vs. plain exhaustive validation.
+
+The ladder (``docs/robustness.md``) exists so that one pathological
+program cannot hang a sweep: exhaustive validation under a budget, then
+a bounded retry, then randomized sampling — each rung stamped with the
+confidence it affords.  This experiment replays the litmus library plus
+a generated corpus through both modes and reports:
+
+* wall-clock of the governed ladder sweep vs. the plain exhaustive
+  sweep (the finite members; the divergent member would hang it);
+* the verdict-confidence distribution of the ladder sweep — the finite
+  corpus must come back ``PROVED``, the divergent member must degrade
+  (``BOUNDED`` or ``SAMPLED``), and **no non-exhaustive verdict may
+  claim PROVED**;
+* verdict agreement between the two modes on the finite members.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import report
+from repro.lang.parser import parse_program
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt.constprop import ConstProp
+from repro.robust.budget import Budget
+from repro.robust.confidence import Confidence
+from repro.robust.degrade import DegradationPolicy, validate_with_degradation
+from repro.sim.validate import validate_optimizer
+
+CORPUS_SEEDS = range(15)
+
+DIVERGENT = parse_program("""
+atomics x;
+fn spin {
+entry:
+    jmp loop;
+loop:
+    r := x.rlx;
+    x.rlx := r + 1;
+    print(r);
+    jmp loop;
+}
+threads spin;
+""")
+
+
+def _finite_corpus():
+    programs = [(name, test.program) for name, test in sorted(LITMUS_SUITE.items())]
+    config = GeneratorConfig()
+    programs += [
+        (f"gen-{seed}", random_wwrf_program(seed, config)) for seed in CORPUS_SEEDS
+    ]
+    return programs
+
+
+def test_ladder_vs_exhaustive(benchmark):
+    finite = _finite_corpus()
+    corpus = finite + [("divergent-spin", DIVERGENT)]
+    policy = DegradationPolicy(budget=Budget(deadline_seconds=2.0))
+
+    def ladder_sweep():
+        return [
+            (name, validate_with_degradation(ConstProp(), program, policy=policy))
+            for name, program in corpus
+        ]
+
+    ladder = benchmark.pedantic(ladder_sweep, rounds=1, iterations=1)
+    ladder_secs = benchmark.stats.stats.total
+
+    start = time.perf_counter()
+    exhaustive = [
+        (name, validate_optimizer(ConstProp(), program)) for name, program in finite
+    ]
+    exhaustive_secs = time.perf_counter() - start
+
+    by_name = dict(ladder)
+    distribution = {c.name: 0 for c in Confidence}
+    for _, verdict in ladder:
+        distribution[verdict.confidence.name] += 1
+    unsound = [
+        name
+        for name, verdict in ladder
+        if verdict.confidence is Confidence.PROVED and not verdict.exhaustive
+    ]
+    disagreements = [
+        name for name, verdict in exhaustive if verdict.ok != by_name[name].ok
+    ]
+    degraded = by_name["divergent-spin"]
+
+    rows = [
+        ("programs (litmus + corpus + divergent)", len(corpus)),
+        ("ladder sweep secs", f"{ladder_secs:.2f}"),
+        ("exhaustive sweep secs (finite only)", f"{exhaustive_secs:.2f}"),
+        ("confidence PROVED", distribution["PROVED"]),
+        ("confidence BOUNDED", distribution["BOUNDED"]),
+        ("confidence SAMPLED", distribution["SAMPLED"]),
+        ("divergent member degraded to", degraded.confidence.name),
+        ("PROVED-without-exhaustive (must be 0)", len(unsound)),
+        ("verdict disagreements (must be 0)", len(disagreements)),
+    ]
+    report("E-DEGRADE", rows)
+    print("BENCH " + json.dumps({
+        "experiment": "degradation-ladder",
+        "programs": len(corpus),
+        "ladder_secs": round(ladder_secs, 3),
+        "exhaustive_secs": round(exhaustive_secs, 3),
+        "confidence": distribution,
+        "divergent_confidence": degraded.confidence.name,
+        "agreement": not disagreements,
+    }))
+
+    assert not unsound, f"non-exhaustive PROVED on {unsound}"
+    assert not disagreements, f"mode disagreement on {disagreements}"
+    assert degraded.confidence is not Confidence.PROVED
+    assert distribution["PROVED"] == len(finite)
+
+
+def test_ladder_bounds_divergent_wall_clock():
+    """The reason the ladder exists: a divergent program costs bounded
+    wall-clock (≈ deadline × rungs), not forever."""
+    policy = DegradationPolicy(budget=Budget(deadline_seconds=0.5))
+    start = time.perf_counter()
+    verdict = validate_with_degradation(ConstProp(), DIVERGENT, policy=policy)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 15.0
+    assert verdict.confidence is not Confidence.PROVED

@@ -12,11 +12,19 @@ Commands:
 * ``fmt FILE``      — parse and pretty-print.
 
 All commands accept ``--promises N`` to enable a syntactic promise oracle
-with budget N, and ``--np`` to use the non-preemptive machine.
+with budget N, and ``--np`` to use the non-preemptive machine.  Resource
+governance (``docs/robustness.md``): ``--deadline`` / ``--memory-mb``
+attach a cooperative :class:`repro.robust.budget.Budget`; ``explore``
+additionally takes ``--checkpoint`` / ``--resume`` to persist and
+continue long BFS runs, and ``validate`` takes ``--degrade`` to walk the
+exhaustive → bounded → sampled ladder instead of stopping at a trip.
 
-Exit codes: 0 = verdict holds, 1 = verdict fails, 2 = usage/parse error,
-3 = verdict holds *but the exploration was truncated* (``--max-states``
-budget hit) — a bounded run is never reported as a proof.
+Exit codes (the confidence contract of ``repro.robust.confidence``):
+0 = verdict holds and is PROVED (exhaustive), 1 = verdict fails,
+2 = usage/parse error, 3 = verdict holds but only BOUNDED (a budget or
+``--max-states`` cap was hit), 4 = verdict holds but only SAMPLED (the
+degradation ladder fell back to randomized runs) — a degraded run is
+never reported as a proof.
 """
 
 from __future__ import annotations
@@ -39,8 +47,10 @@ from repro.opt.licm import LICM, LInv
 from repro.races.rwrace import rw_races
 from repro.races.tiered import ww_rf_tiered_with_static
 from repro.races.wwrf import ww_nprf, ww_rf
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import CheckpointError
+from repro.robust.confidence import Confidence, exit_code
 from repro.semantics.events import EVENT_DONE, format_trace
-from repro.semantics.exploration import behaviors, np_behaviors
 from repro.semantics.promises import SyntacticPromises
 from repro.semantics.random_run import random_run
 from repro.semantics.thread import SemanticsConfig
@@ -86,6 +96,10 @@ def _config(args: argparse.Namespace) -> SemanticsConfig:
         kwargs["fuse_local_steps"] = True
     if getattr(args, "max_states", None) is not None:
         kwargs["max_states"] = args.max_states
+    deadline = getattr(args, "deadline", None)
+    memory_mb = getattr(args, "memory_mb", None)
+    if deadline is not None or memory_mb is not None:
+        kwargs["budget"] = Budget(deadline_seconds=deadline, memory_mb=memory_mb)
     return SemanticsConfig(**kwargs)
 
 
@@ -103,11 +117,33 @@ def _optimizer(name: str) -> Optimizer:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    """``explore`` — print the exhaustive outcome/trace sets."""
+    """``explore`` — print the exhaustive outcome/trace sets.
+
+    ``--checkpoint PATH`` persists the BFS frontier periodically (and on
+    a budget trip); ``--resume PATH`` continues a previous run from such
+    a file.  A truncated exploration exits 3, never claiming a proof.
+    """
+    from repro.semantics.exploration import Explorer
+
     program = _load(args.file, getattr(args, 'csimp', False))
-    explore = np_behaviors if args.np else behaviors
-    result = explore(program, _config(args))
+    config = _config(args)
+    if args.resume:
+        from repro.robust.checkpoint import load_checkpoint
+
+        checkpoint = load_checkpoint(args.resume)
+        explorer = Explorer.resume(checkpoint, program, config)
+        print(f"resumed: {checkpoint}")
+    else:
+        explorer = Explorer(program, config, nonpreemptive=args.np)
+    if args.checkpoint:
+        explorer.build(
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    result = explorer.behaviors()
     status = "exhaustive" if result.exhaustive else "TRUNCATED"
+    if not result.exhaustive and result.stop_reason:
+        status += f":{result.stop_reason}"
     print(f"states: {result.state_count} ({status})")
     print(f"complete outcome sets ({len(result.outputs())}):")
     for outs in sorted(result.outputs()):
@@ -116,6 +152,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(f"all traces ({len(result.traces)}):")
         for trace in sorted(result.traces, key=lambda t: (len(t), str(t))):
             print(f"  {format_trace(trace)}")
+    if not result.exhaustive:
+        if args.checkpoint:
+            print(f"checkpoint saved to {args.checkpoint}; "
+                  f"continue with --resume {args.checkpoint}")
+        return exit_code(True, Confidence.BOUNDED)
     return 0
 
 
@@ -143,8 +184,7 @@ def cmd_races(args: argparse.Namespace) -> int:
         return 1
     if not report.exhaustive:
         print("WARNING: exploration TRUNCATED — race freedom not proved")
-        return 3
-    return 0
+    return exit_code(report.race_free, report.confidence)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -164,16 +204,32 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    """``validate`` — run an optimizer and translation-validate it."""
+    """``validate`` — run an optimizer and translation-validate it.
+
+    With ``--degrade`` (and a ``--deadline`` / ``--memory-mb`` budget)
+    a budget trip walks the exhaustive → bounded → sampled ladder
+    instead of returning a truncated verdict; the exit code reports the
+    resulting confidence (0 PROVED, 3 BOUNDED, 4 SAMPLED).
+    """
     program = _load(args.file, getattr(args, 'csimp', False))
     optimizer = _optimizer(args.opt)
     if args.strict:
         from repro.opt.base import strict_optimizer
 
         optimizer = strict_optimizer(optimizer)
-    report = validate_optimizer(
-        optimizer, program, _config(args), check_target_wwrf=not args.no_wwrf
-    )
+    config = _config(args)
+    if args.degrade:
+        from repro.robust.degrade import DegradationPolicy, validate_with_degradation
+
+        policy = DegradationPolicy(budget=config.budget)
+        report = validate_with_degradation(
+            optimizer, program, config, policy,
+            check_target_wwrf=not args.no_wwrf,
+        )
+    else:
+        report = validate_optimizer(
+            optimizer, program, config, check_target_wwrf=not args.no_wwrf
+        )
     print(report)
     if args.show:
         print()
@@ -181,9 +237,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if not report.ok:
         return 1
     if not report.exhaustive:
-        print("WARNING: exploration TRUNCATED — validation not a proof")
-        return 3
-    return 0
+        print(f"WARNING: verification degraded to {report.confidence} — "
+              "not a proof")
+    return exit_code(report.ok, report.confidence)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -220,14 +276,25 @@ def cmd_fmt(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """``fuzz`` — differential fuzzing of an optimizer over generated
-    ww-race-free programs."""
-    from repro.fuzz import fuzz_optimizer
+    ww-race-free programs.
+
+    ``--replay SEED`` regenerates one recorded failure (programs are a
+    pure function of their seed) and re-validates just that case.
+    """
+    from repro.fuzz import fuzz_optimizer, fuzz_replay
     from repro.litmus.generator import GeneratorConfig
 
-    lo, _, hi = args.seeds.partition(":")
-    seeds = range(int(lo), int(hi)) if hi else range(int(lo))
     optimizer = _optimizer(args.opt)
     gen = GeneratorConfig(threads=args.threads, instrs_per_thread=args.instrs)
+    if args.replay is not None:
+        source, report = fuzz_replay(
+            optimizer, args.replay, gen, check_wwrf=not args.no_wwrf
+        )
+        print(source, end="")
+        print(report)
+        return exit_code(report.ok, report.confidence)
+    lo, _, hi = args.seeds.partition(":")
+    seeds = range(int(lo), int(hi)) if hi else range(int(lo))
     report = fuzz_optimizer(
         optimizer,
         seeds,
@@ -281,10 +348,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-states", type=int, default=None, metavar="N",
                        help="bound the exploration graph (a truncated run "
                             "exits 3, never claiming a proof)")
+        p.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                       help="wall-clock budget; exploration stops cleanly "
+                            "at the deadline instead of hanging")
+        p.add_argument("--memory-mb", type=float, default=None, metavar="MB",
+                       help="approximate memory budget; exploration stops "
+                            "cleanly at the ceiling instead of OOMing")
 
     p = sub.add_parser("explore", help="exhaustive behavior exploration")
     common(p)
     p.add_argument("--traces", action="store_true", help="print all traces")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="periodically persist the BFS frontier so an "
+                        "interrupted run can be resumed")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="continue exploration from a checkpoint file "
+                        "(must match the program and machine)")
+    p.add_argument("--checkpoint-interval", type=int, default=100_000,
+                   metavar="N", help="states interned between checkpoints")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("races", help="race detection")
@@ -309,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="reject malformed or crossing-illegal optimizer "
                         "output (StrictModeViolation)")
+    p.add_argument("--degrade", action="store_true",
+                   help="on a budget trip, degrade exhaustive → bounded → "
+                        "sampled instead of stopping (exit 3/4 by rung)")
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("run", help="randomized executions")
@@ -335,6 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-wwrf", action="store_true")
     p.add_argument("--check-equivalence", action="store_true",
                    help="also spot-check Thm 4.1 per program")
+    p.add_argument("--replay", type=int, default=None, metavar="SEED",
+                   help="regenerate and re-validate one recorded failure "
+                        "seed instead of running a campaign")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("litmus", help="check //! exists/forbidden spec files")
@@ -355,6 +442,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     except ParseError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
         return 2
 
 

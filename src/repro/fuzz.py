@@ -23,15 +23,22 @@ from typing import List, Optional, Sequence, Tuple
 from repro.lang.printer import format_program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
+from repro.robust.confidence import Confidence
 from repro.semantics.exploration import behaviors, np_behaviors
 from repro.semantics.promises import SyntacticPromises
 from repro.semantics.thread import SemanticsConfig
-from repro.sim.validate import validate_optimizer
+from repro.sim.validate import ValidationReport, validate_optimizer
 
 
 @dataclass(frozen=True)
 class FuzzFailure:
-    """One failing seed with enough context to replay it."""
+    """One failing seed with enough context to replay it.
+
+    ``seed`` fully determines the generated program (the generator's RNG
+    is seeded per-case with exactly this value), so every failure is
+    reproducible with ``python -m repro fuzz --replay <seed>`` plus the
+    campaign's generator shape flags.
+    """
 
     seed: int
     reason: str
@@ -43,7 +50,12 @@ class FuzzFailure:
 
 @dataclass(frozen=True)
 class FuzzReport:
-    """Aggregate of a fuzz campaign."""
+    """Aggregate of a fuzz campaign.
+
+    ``confidence`` is the weakest per-seed evidence in the campaign
+    (``PROVED`` only when every validated seed was exhaustively
+    explored; a skipped-for-bounds seed demotes it to ``BOUNDED``).
+    """
 
     optimizer: str
     seeds: int
@@ -52,6 +64,7 @@ class FuzzReport:
     failures: Tuple[FuzzFailure, ...]
     elapsed_seconds: float
     equivalence_budget_misses: int = 0
+    confidence: Confidence = Confidence.PROVED
 
     @property
     def ok(self) -> bool:
@@ -62,7 +75,8 @@ class FuzzReport:
         return (
             f"fuzz[{self.optimizer}]: {self.seeds} programs, "
             f"{self.transformed} transformed, {self.skipped_truncated} skipped "
-            f"(bounds), {status}, {self.elapsed_seconds:.1f}s"
+            f"(bounds), {status}, {self.elapsed_seconds:.1f}s, "
+            f"confidence={self.confidence}"
         )
 
 
@@ -95,15 +109,19 @@ def fuzz_optimizer(
     transformed = 0
     skipped = 0
     budget_misses = 0
+    confidence = Confidence.PROVED
     failures: List[FuzzFailure] = []
 
     for seed in seeds:
+        # Per-case RNG discipline: the program is a pure function of the
+        # seed, so a FuzzFailure's seed alone replays it exactly.
         program = random_wwrf_program(seed, generator_config)
         report = validate_optimizer(
             optimizer, program, config, check_target_wwrf=check_wwrf
         )
         if report.changed:
             transformed += 1
+        confidence = Confidence.weakest((confidence, report.confidence))
         if not report.refinement.definitive:
             skipped += 1
             continue
@@ -140,4 +158,26 @@ def fuzz_optimizer(
         tuple(failures),
         time.monotonic() - started,
         budget_misses,
+        confidence,
     )
+
+
+def fuzz_replay(
+    optimizer: Optimizer,
+    seed: int,
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    config: Optional[SemanticsConfig] = None,
+    check_wwrf: bool = True,
+) -> Tuple["str", ValidationReport]:
+    """Replay one fuzz case from its recorded seed.
+
+    Regenerates the exact program (generation is deterministic in
+    ``(seed, generator_config)``) and re-validates it, returning the
+    formatted source alongside the fresh :class:`ValidationReport` —
+    the one-failure debugging loop behind ``repro fuzz --replay``.
+    """
+    program = random_wwrf_program(seed, generator_config)
+    report = validate_optimizer(
+        optimizer, program, config, check_target_wwrf=check_wwrf
+    )
+    return format_program(program), report

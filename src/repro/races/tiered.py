@@ -9,9 +9,14 @@ static verdict is ``POTENTIAL_RACE`` or ``UNKNOWN``.  The contract:
   exhaustive exploration would find (validated by the Hypothesis property
   test in ``tests/static/test_soundness.py`` and the E-STATIC benchmark);
 * the fallback preserves exhaustive semantics exactly, including the
-  ``exhaustive`` truncation flag;
+  ``exhaustive`` truncation flag and the ``stop_reason`` of a
+  budget-governed exploration (``config.budget``) — a deadline- or
+  memory-cancelled fallback reports ``confidence == BOUNDED``, never a
+  proof;
 * the returned :class:`~repro.races.wwrf.RaceReport` records which tier
-  decided via its ``method`` field (``"static"`` → zero states explored).
+  decided via its ``method`` field (``"static"`` → zero states explored,
+  ``confidence == PROVED``: the static verdict is a proof and costs no
+  budget).
 """
 
 from __future__ import annotations

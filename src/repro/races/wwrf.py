@@ -31,6 +31,7 @@ from typing import Optional
 from repro.lang.syntax import AccessMode, Program, Store
 from repro.memory.memory import Memory
 from repro.memory.timestamps import TS_ZERO
+from repro.robust.confidence import Confidence
 from repro.semantics.exploration import Explorer
 from repro.semantics.thread import SemanticsConfig
 from repro.semantics.threadstate import ThreadState, next_op
@@ -64,6 +65,16 @@ class RaceReport:
     exhaustive: bool
     state_count: int
     method: str = "exhaustive"
+    stop_reason: Optional[str] = None
+
+    @property
+    def confidence(self) -> Confidence:
+        """Evidence strength: ``PROVED`` only for an exhaustive (or
+        statically proved) verdict, ``SAMPLED`` when the degradation
+        ladder produced it by sampling, else ``BOUNDED``."""
+        if self.method == "sampled":
+            return Confidence.SAMPLED
+        return Confidence.PROVED if self.exhaustive else Confidence.BOUNDED
 
     def __bool__(self) -> bool:
         return self.race_free
@@ -113,8 +124,20 @@ def _check(program: Program, config: SemanticsConfig, nonpreemptive: bool) -> Ra
     for state in explorer.states:
         witness = ww_race_witness(program, state)
         if witness is not None:
-            return RaceReport(False, witness, explorer.exhaustive, len(explorer.states))
-    return RaceReport(True, None, explorer.exhaustive, len(explorer.states))
+            return RaceReport(
+                False,
+                witness,
+                explorer.exhaustive,
+                len(explorer.states),
+                stop_reason=explorer.stop_reason,
+            )
+    return RaceReport(
+        True,
+        None,
+        explorer.exhaustive,
+        len(explorer.states),
+        stop_reason=explorer.stop_reason,
+    )
 
 
 def ww_rf(program: Program, config: Optional[SemanticsConfig] = None) -> RaceReport:

@@ -1,0 +1,86 @@
+"""The verdict-confidence taxonomy of the degradation ladder.
+
+PR 1 introduced a boolean ``exhaustive`` flag so a truncated exploration
+could never masquerade as a proof.  The resource-governed pipeline
+generalizes that flag into a uniform three-rung taxonomy:
+
+* ``PROVED``  — the verdict rests on an exhaustive exploration (or a
+  sound static proof): it has the full force of the paper's theorems;
+* ``BOUNDED`` — the verdict rests on a bounded exploration (a state cap
+  or budget was hit): a smoke test, not a proof;
+* ``SAMPLED`` — the verdict rests on randomized sampling
+  (:mod:`repro.semantics.random_run`): the weakest evidence, produced by
+  the last rung of the degradation ladder.
+
+The invariant enforced across the pipeline — and property-tested — is
+that **no report may claim ``PROVED`` unless its exploration was
+exhaustive**; constructors downgrade such claims to ``BOUNDED``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+
+class Confidence(enum.Enum):
+    """Evidence strength of a verdict, strongest first."""
+
+    PROVED = "PROVED"
+    BOUNDED = "BOUNDED"
+    SAMPLED = "SAMPLED"
+
+    @property
+    def rank(self) -> int:
+        return {"PROVED": 3, "BOUNDED": 2, "SAMPLED": 1}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+    @staticmethod
+    def weakest(items: Iterable[Optional["Confidence"]]) -> "Confidence":
+        """The weakest confidence among ``items`` (``PROVED`` if empty —
+        a vacuous aggregate has nothing to weaken it)."""
+        weakest = Confidence.PROVED
+        for item in items:
+            if item is not None and item.rank < weakest.rank:
+                weakest = item
+        return weakest
+
+
+def derive_confidence(
+    exhaustive: bool, claimed: Optional[Confidence] = None
+) -> Confidence:
+    """Resolve a report's confidence from its exhaustiveness.
+
+    An explicit ``claimed`` value is honored except that ``PROVED`` is
+    downgraded to ``BOUNDED`` when the exploration was not exhaustive —
+    the pipeline-wide soundness invariant.
+    """
+    if claimed is None:
+        claimed = Confidence.PROVED if exhaustive else Confidence.BOUNDED
+    if claimed is Confidence.PROVED and not exhaustive:
+        return Confidence.BOUNDED
+    return claimed
+
+
+#: CLI exit codes per verdict status (``FAILED`` is any not-ok verdict).
+EXIT_PROVED = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+EXIT_BOUNDED = 3
+EXIT_SAMPLED = 4
+
+EXIT_BY_CONFIDENCE = {
+    Confidence.PROVED: EXIT_PROVED,
+    Confidence.BOUNDED: EXIT_BOUNDED,
+    Confidence.SAMPLED: EXIT_SAMPLED,
+}
+
+
+def exit_code(ok: bool, confidence: Confidence) -> int:
+    """The CLI exit-code contract: 0 PROVED, 1 FAILED, 3 BOUNDED,
+    4 SAMPLED (2 is reserved for usage/parse errors)."""
+    if not ok:
+        return EXIT_FAILED
+    return EXIT_BY_CONFIDENCE[confidence]

@@ -1,0 +1,452 @@
+"""Per-program subprocess fault isolation for batch drivers.
+
+``validate_corpus`` / ``fuzz_optimizer`` sweep many generated programs
+through exhaustive exploration; one pathological input (a divergent BFS,
+a memory bomb, an interpreter crash) must not take the whole batch down.
+:func:`run_isolated` executes one task in a forked child process under a
+wall-clock timeout and an optional address-space limit, and *classifies*
+whatever happens into a structured :class:`ProgramOutcome`:
+
+* ``STATUS_OK``      — the task returned a value (shipped back pickled);
+* ``STATUS_TIMEOUT`` — the child outlived its deadline and was killed;
+* ``STATUS_OOM``     — the child hit its memory ceiling (``MemoryError``);
+* ``STATUS_CRASHED`` — the child died without reporting (segfault, kill);
+* ``STATUS_ERROR``   — the task raised an ordinary exception.
+
+A failed task is retried **once** with smaller bounds when the policy
+says so and the task supplies a ``shrink`` hook (the corpus drivers
+attach a budget at ~40% of the retry deadline, so a hang degrades to an
+explicitly ``BOUNDED`` verdict on retry instead of timing out again).
+
+:func:`isolated_validate_corpus` / :func:`isolated_fuzz_optimizer` are
+the batch drivers: each seed/program runs in its own child, the batch
+always completes, and the aggregate confidence is the weakest surviving
+member's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lang.syntax import Program
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.robust.budget import Budget
+from repro.robust.confidence import Confidence
+from repro.semantics.thread import SemanticsConfig
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_OOM = "oom"
+STATUS_CRASHED = "crashed"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """Limits one isolated task runs under.
+
+    ``memory_mb`` is enforced as the child's soft ``RLIMIT_AS`` (the
+    hard governor behind the cooperative :class:`Budget` ceiling);
+    ``None`` disables it.  ``retry`` enables the
+    retry-once-with-smaller-bounds semantics; the retry's deadline is the
+    original times ``shrink_factor``.
+    """
+
+    timeout_seconds: float = 60.0
+    memory_mb: Optional[float] = None
+    retry: bool = True
+    shrink_factor: float = 0.5
+
+    def shrink(self) -> "IsolationPolicy":
+        """The policy for the single retry (no further retries)."""
+        return replace(
+            self,
+            timeout_seconds=max(0.1, self.timeout_seconds * self.shrink_factor),
+            retry=False,
+        )
+
+
+@dataclass(frozen=True)
+class ProgramOutcome:
+    """What happened to one isolated task — crash, hang, OOM, or result.
+
+    ``result`` carries the task's (pickled-back) return value only for
+    ``STATUS_OK``; ``detail`` is the human-readable classification and
+    ``retried`` records whether this outcome came from the
+    smaller-bounds retry.
+    """
+
+    key: object
+    status: str
+    result: object = None
+    detail: str = ""
+    retried: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a usable result."""
+        return self.status == STATUS_OK
+
+    def __str__(self) -> str:
+        suffix = " (after retry)" if self.retried else ""
+        body = self.detail or self.status
+        return f"[{self.key}] {self.status.upper()}{suffix}: {body}"
+
+
+@dataclass(frozen=True)
+class IsolatedResult:
+    """Aggregate of an isolated batch: per-task outcomes + summary.
+
+    ``outcomes`` preserves input order.  ``confidence`` is the weakest
+    confidence among successful members (failures are reported
+    separately and do not dilute it — they are not verdicts at all).
+    """
+
+    outcomes: Tuple[ProgramOutcome, ...]
+    confidence: Confidence = Confidence.PROVED
+
+    @property
+    def ok(self) -> bool:
+        """Whether every task completed with a usable result."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> Tuple[ProgramOutcome, ...]:
+        """The isolated (crashed / hung / OOM / errored) members."""
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def __str__(self) -> str:
+        good = sum(1 for o in self.outcomes if o.ok)
+        return (
+            f"isolated batch: {good}/{len(self.outcomes)} ok, "
+            f"{len(self.failures)} isolated failures, "
+            f"confidence={self.confidence}"
+        )
+
+
+def _child_main(conn, fn, args, kwargs, memory_mb) -> None:
+    """Child-process trampoline: apply the rlimit, run, report back.
+
+    On ``MemoryError`` the soft address-space limit is restored *before*
+    pickling the reply, so reporting the OOM cannot itself OOM.
+    """
+    old_limit = None
+    try:
+        if memory_mb is not None:
+            import resource
+
+            old_limit = resource.getrlimit(resource.RLIMIT_AS)
+            resource.setrlimit(
+                resource.RLIMIT_AS,
+                (int(memory_mb * 1024 * 1024), old_limit[1]),
+            )
+        result = fn(*args, **(kwargs or {}))
+        conn.send((STATUS_OK, result))
+    except MemoryError:
+        if old_limit is not None:
+            import resource
+
+            resource.setrlimit(resource.RLIMIT_AS, old_limit)
+        conn.send((STATUS_OOM, "MemoryError: memory ceiling hit"))
+    except BaseException as exc:  # report, never propagate out of the child
+        try:
+            conn.send((STATUS_ERROR, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _context():
+    """Fork where available (no pickling of the task closure), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _run_once(
+    key, fn, args, kwargs, policy: IsolationPolicy, retried: bool
+) -> ProgramOutcome:
+    """One governed child execution, classified."""
+    ctx = _context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_child_main,
+        args=(child_conn, fn, args, kwargs, policy.memory_mb),
+        daemon=True,
+    )
+    started = time.monotonic()
+    process.start()
+    child_conn.close()
+    payload = None
+    # A dead child closes its pipe end, so poll() wakes early on a crash
+    # instead of sitting out the full deadline.  A wakeup with no payload
+    # is that EOF: the child died before reporting — classify by exit
+    # code below rather than falling into the timeout branch (the child
+    # may not be reaped yet, so is_alive() is unreliable here).
+    woke = parent_conn.poll(policy.timeout_seconds)
+    if woke:
+        try:
+            payload = parent_conn.recv()
+        except (EOFError, OSError):
+            payload = None
+    elapsed = time.monotonic() - started
+    if not woke:
+        process.terminate()
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM normally suffices
+            process.kill()
+            process.join()
+        parent_conn.close()
+        return ProgramOutcome(
+            key,
+            STATUS_TIMEOUT,
+            detail=f"no result within {policy.timeout_seconds:.1f}s; child killed",
+            retried=retried,
+            elapsed_seconds=elapsed,
+        )
+    # Result (or EOF) arrived: give the child a moment to exit cleanly.
+    process.join(timeout=5.0)
+    if process.is_alive():  # pragma: no cover - stuck after reporting
+        process.terminate()
+        process.join()
+    parent_conn.close()
+    if payload is None:
+        return ProgramOutcome(
+            key,
+            STATUS_CRASHED,
+            detail=f"child died without reporting (exit code {process.exitcode})",
+            retried=retried,
+            elapsed_seconds=elapsed,
+        )
+    status, value = payload
+    if status == STATUS_OK:
+        return ProgramOutcome(
+            key, STATUS_OK, result=value, retried=retried, elapsed_seconds=elapsed
+        )
+    return ProgramOutcome(
+        key, status, detail=str(value), retried=retried, elapsed_seconds=elapsed
+    )
+
+
+def run_isolated(
+    key,
+    fn: Callable,
+    args: Tuple = (),
+    kwargs: Optional[Dict] = None,
+    policy: IsolationPolicy = IsolationPolicy(),
+    shrink: Optional[Callable[[Tuple, Optional[Dict]], Tuple[Tuple, Optional[Dict]]]] = None,
+) -> ProgramOutcome:
+    """Run ``fn(*args, **kwargs)`` in a governed child process.
+
+    On any non-``ok`` outcome, when ``policy.retry`` is set the task runs
+    exactly once more under :meth:`IsolationPolicy.shrink`; a ``shrink``
+    hook may rewrite ``(args, kwargs)`` for the retry (the corpus drivers
+    use it to attach a cooperative budget so the retry degrades instead
+    of hanging again).
+    """
+    outcome = _run_once(key, fn, args, kwargs, policy, retried=False)
+    if outcome.ok or not policy.retry:
+        return outcome
+    retry_args, retry_kwargs = args, kwargs
+    if shrink is not None:
+        retry_args, retry_kwargs = shrink(args, kwargs)
+    return _run_once(key, fn, retry_args, retry_kwargs, policy.shrink(), retried=True)
+
+
+def run_batch_isolated(
+    tasks: Sequence[Tuple[object, Callable, Tuple]],
+    policy: IsolationPolicy = IsolationPolicy(),
+    policy_overrides: Optional[Mapping[object, IsolationPolicy]] = None,
+    shrink: Optional[Callable] = None,
+) -> IsolatedResult:
+    """Run ``(key, fn, args)`` tasks each in its own child; never abort.
+
+    ``policy_overrides`` lets individual keys carry their own limits
+    (e.g. a known-heavy litmus family getting a longer deadline).
+    """
+    overrides = policy_overrides or {}
+    outcomes = [
+        run_isolated(
+            key, fn, args, policy=overrides.get(key, policy), shrink=shrink
+        )
+        for key, fn, args in tasks
+    ]
+    confidence = Confidence.weakest(
+        _result_confidence(o.result) for o in outcomes if o.ok
+    )
+    return IsolatedResult(tuple(outcomes), confidence)
+
+
+def _result_confidence(result: object) -> Optional[Confidence]:
+    """Pull a confidence off a task result when it carries one."""
+    value = getattr(result, "confidence", None)
+    return value if isinstance(value, Confidence) else None
+
+
+# -- corpus drivers -----------------------------------------------------------
+
+
+def _governed_config(
+    config: Optional[SemanticsConfig], policy: IsolationPolicy
+) -> SemanticsConfig:
+    """The retry config: a cooperative budget well inside the hard limits,
+    so the second attempt degrades to a ``BOUNDED`` verdict instead of
+    being killed like the first.
+
+    One validation runs up to four explorations (source/target behavior
+    sets and race checks), each with a build phase plus a salvage
+    fixpoint, so the per-exploration deadline is sized at a tenth of the
+    retry's wall-clock timeout.
+    """
+    config = config or SemanticsConfig()
+    retry_timeout = policy.timeout_seconds * policy.shrink_factor
+    deadline = max(0.05, retry_timeout / 10.0)
+    budget = Budget(
+        deadline_seconds=deadline,
+        memory_mb=None if policy.memory_mb is None else policy.memory_mb * 0.5,
+    )
+    return replace(config, max_states=min(config.max_states, 50_000), budget=budget)
+
+
+def _validate_one(optimizer, program, config, check_target_wwrf, static_tier):
+    """Child-side task: validate one program (module-level for spawn)."""
+    from repro.sim.validate import validate_optimizer
+
+    return validate_optimizer(
+        optimizer,
+        program,
+        config,
+        check_target_wwrf=check_target_wwrf,
+        static_tier=static_tier,
+    )
+
+
+def isolated_validate_corpus(
+    optimizer,
+    seeds: Sequence[int] = (),
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    config: Optional[SemanticsConfig] = None,
+    policy: IsolationPolicy = IsolationPolicy(),
+    programs: Optional[Mapping[object, Program]] = None,
+    policy_overrides: Optional[Mapping[object, IsolationPolicy]] = None,
+    check_target_wwrf: bool = True,
+    static_tier: bool = True,
+) -> IsolatedResult:
+    """Fault-isolated counterpart of
+    :func:`repro.sim.validate.validate_corpus`.
+
+    Each generated seed — plus any explicitly supplied ``programs``
+    (label → :class:`Program`) — is validated in its own governed child.
+    A hang, crash, or OOM of one member becomes an isolated
+    :class:`ProgramOutcome` failure; every other member still gets its
+    correct verdict, and the batch-level ``confidence`` is the weakest
+    among the survivors.
+    """
+    entries: List[Tuple[object, Program]] = [
+        (seed, random_wwrf_program(seed, generator_config)) for seed in seeds
+    ]
+    entries += list((programs or {}).items())
+    tasks = [
+        (key, _validate_one, (optimizer, program, config, check_target_wwrf, static_tier))
+        for key, program in entries
+    ]
+
+    def shrink(args, kwargs):
+        opt, program, cfg, wwrf, tier = args
+        return (opt, program, _governed_config(cfg, policy), wwrf, tier), kwargs
+
+    return run_batch_isolated(
+        tasks, policy, policy_overrides=policy_overrides, shrink=shrink
+    )
+
+
+def _fuzz_one(optimizer, seed, generator_config, config, check_wwrf):
+    """Child-side task: generate-and-validate one fuzz seed."""
+    program = random_wwrf_program(seed, generator_config)
+    return _validate_one(optimizer, program, config, check_wwrf, True)
+
+
+def isolated_fuzz_optimizer(
+    optimizer,
+    seeds: Sequence[int],
+    generator_config: GeneratorConfig = GeneratorConfig(),
+    config: Optional[SemanticsConfig] = None,
+    policy: IsolationPolicy = IsolationPolicy(),
+    check_wwrf: bool = True,
+):
+    """Fault-isolated counterpart of :func:`repro.fuzz.fuzz_optimizer`.
+
+    Returns ``(FuzzReport, IsolatedResult)``: the familiar campaign
+    report aggregated over the seeds that produced verdicts, alongside
+    the per-seed outcomes (isolated failures appear in the latter, as
+    failures of the harness rather than counterexamples to the theorem).
+    """
+    from repro.fuzz import FuzzFailure, FuzzReport
+    from repro.lang.printer import format_program
+
+    started = time.monotonic()
+    tasks = [
+        (seed, _fuzz_one, (optimizer, seed, generator_config, config, check_wwrf))
+        for seed in seeds
+    ]
+
+    def shrink(args, kwargs):
+        opt, seed, gen, cfg, wwrf = args
+        return (opt, seed, gen, _governed_config(cfg, policy), wwrf), kwargs
+
+    batch = run_batch_isolated(tasks, policy, shrink=shrink)
+
+    transformed = 0
+    skipped = 0
+    confidence = Confidence.PROVED
+    failures: List[FuzzFailure] = []
+    for outcome in batch.outcomes:
+        if not outcome.ok:
+            skipped += 1
+            confidence = Confidence.weakest((confidence, Confidence.BOUNDED))
+            continue
+        report = outcome.result
+        if report.changed:
+            transformed += 1
+        confidence = Confidence.weakest((confidence, report.confidence))
+        if not report.refinement.definitive:
+            skipped += 1
+            continue
+        if not report.ok:
+            program = random_wwrf_program(outcome.key, generator_config)
+            failures.append(
+                FuzzFailure(outcome.key, str(report), format_program(program))
+            )
+    report = FuzzReport(
+        optimizer.name,
+        len(tasks),
+        transformed,
+        skipped,
+        tuple(failures),
+        time.monotonic() - started,
+        0,
+        confidence,
+    )
+    return report, batch
+
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_OOM",
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "IsolationPolicy",
+    "ProgramOutcome",
+    "IsolatedResult",
+    "run_isolated",
+    "run_batch_isolated",
+    "isolated_validate_corpus",
+    "isolated_fuzz_optimizer",
+]

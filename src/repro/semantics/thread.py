@@ -27,7 +27,7 @@ Mode semantics implemented here (paper Sec. 3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.lang.syntax import (
     AccessMode,
@@ -63,6 +63,7 @@ from repro.semantics.events import (
     UpdateEvent,
     WriteEvent,
 )
+from repro.robust.budget import Budget
 from repro.semantics.promises import NoPromises, PromiseOracle
 from repro.semantics.threadstate import LocalState, ThreadState
 
@@ -78,7 +79,11 @@ class SemanticsConfig:
     no observable litmus behaviors, only state-space volume).
     ``certification_max_steps`` bounds the certification search;
     ``max_states`` / ``max_outputs`` bound exploration graph size and
-    observable trace length.
+    observable trace length.  ``budget`` optionally attaches a
+    :class:`repro.robust.budget.Budget` (wall-clock deadline, state cap,
+    memory ceiling) that every budget-aware consumer of this config — the
+    explorer, the race checkers, the simulation checker — meters against
+    with cooperative cancellation.
     """
 
     promise_oracle: PromiseOracle = field(default_factory=NoPromises)
@@ -89,6 +94,7 @@ class SemanticsConfig:
     certification_max_steps: int = 5000
     max_states: int = 2_000_000
     max_outputs: int = 8
+    budget: Optional[Budget] = None
 
     @property
     def promise_budget(self) -> int:

@@ -48,6 +48,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lang.syntax import AccessMode, Program
 from repro.memory.memory import Memory
+from repro.robust.budget import BudgetExhausted
 from repro.semantics.events import EventClass, ThreadEvent, WriteEvent, event_class
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import ThreadState, initial_thread_state
@@ -166,14 +167,33 @@ class _Checker:
         root = self._intern(initial, failure)
         frontier = [root]
         seen_frontier = {root}
-        while frontier:
-            node_id = frontier.pop()
-            if node_id in self.immediately_bad:
-                continue
-            for succ_id in self._expand(node_id):
-                if succ_id not in seen_frontier:
-                    seen_frontier.add(succ_id)
-                    frontier.append(succ_id)
+        meter = self.sem.budget.start() if self.sem.budget else None
+        try:
+            while frontier:
+                if meter is not None:
+                    try:
+                        meter.tick(len(self.nodes))
+                    except BudgetExhausted:
+                        # Cooperative cancellation.  Unexpanded nodes are
+                        # marked bad (as the product-state cap does), so a
+                        # budget stop can only make the verdict more
+                        # pessimistic, never claim an unproved simulation.
+                        self.exhaustive = False
+                        for pending in frontier:
+                            self.immediately_bad.setdefault(
+                                pending, "exploration budget exhausted"
+                            )
+                        break
+                node_id = frontier.pop()
+                if node_id in self.immediately_bad:
+                    continue
+                for succ_id in self._expand(node_id):
+                    if succ_id not in seen_frontier:
+                        seen_frontier.add(succ_id)
+                        frontier.append(succ_id)
+        finally:
+            if meter is not None:
+                meter.close()
 
         good = self._greatest_fixpoint()
         holds = root in good

@@ -34,19 +34,34 @@ from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
 from repro.races.tiered import ww_rf_tiered
 from repro.races.wwrf import RaceReport, ww_rf
+from repro.robust.confidence import Confidence, derive_confidence
 from repro.semantics.thread import SemanticsConfig
 from repro.sim.refinement import RefinementResult, check_refinement
 
 
 @dataclass(frozen=True)
 class ValidationReport:
-    """The outcome of validating one optimizer run on one program."""
+    """The outcome of validating one optimizer run on one program.
+
+    ``confidence`` tags how strong the evidence is (PR 1's boolean
+    ``exhaustive`` flag generalized): ``PROVED`` for an exhaustive run,
+    ``BOUNDED`` for a truncated one, ``SAMPLED`` when the degradation
+    ladder fell back to randomized runs.  The constructor *enforces* the
+    pipeline invariant that a non-exhaustive report can never claim
+    ``PROVED`` — an explicit claim is downgraded to ``BOUNDED``.
+    """
 
     optimizer: str
     refinement: RefinementResult
     source_wwrf: RaceReport
     target_wwrf: Optional[RaceReport]
     changed: bool
+    confidence: Optional[Confidence] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "confidence", derive_confidence(self.exhaustive, self.confidence)
+        )
 
     @property
     def ok(self) -> bool:
@@ -80,7 +95,10 @@ class ValidationReport:
             status = "OK?"  # bounded: not a proof
         change = "transformed" if self.changed else "unchanged"
         suffix = "" if self.exhaustive else " [TRUNCATED]"
-        return f"[{status}] {self.optimizer}: {change}; {self.refinement}{suffix}"
+        return (
+            f"[{status}] {self.optimizer}: {change}; {self.refinement}{suffix} "
+            f"confidence={self.confidence}"
+        )
 
 
 def validate_optimizer(
@@ -150,12 +168,18 @@ def verify_optimizer_by_simulation(
 
 @dataclass(frozen=True)
 class CorpusResult:
-    """Aggregate of a corpus sweep."""
+    """Aggregate of a corpus sweep.
+
+    ``confidence`` is the *weakest* per-program confidence in the sweep:
+    the corpus verdict is only as strong as its weakest member, so a
+    single bounded or sampled program demotes the whole aggregate.
+    """
 
     optimizer: str
     total: int
     transformed: int
     failures: Tuple[Tuple[int, str], ...]
+    confidence: Confidence = Confidence.PROVED
 
     @property
     def ok(self) -> bool:
@@ -165,7 +189,8 @@ class CorpusResult:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
         return (
             f"corpus[{self.optimizer}]: {self.total} programs, "
-            f"{self.transformed} transformed, {status}"
+            f"{self.transformed} transformed, {status}, "
+            f"confidence={self.confidence}"
         )
 
 
@@ -177,9 +202,16 @@ def validate_corpus(
     check_target_wwrf: bool = True,
     static_tier: bool = True,
 ) -> CorpusResult:
-    """Sweep ``seeds`` through the generator and validate each program."""
+    """Sweep ``seeds`` through the generator and validate each program.
+
+    For fault isolation against pathological programs (hangs, memory
+    bombs) use :func:`repro.robust.isolation.isolated_validate_corpus`,
+    which runs each seed in a governed subprocess and keeps the batch
+    alive through individual crashes.
+    """
     transformed = 0
     failures: List[Tuple[int, str]] = []
+    confidence = Confidence.PROVED
     for seed in seeds:
         source = random_wwrf_program(seed, generator_config)
         report = validate_optimizer(
@@ -193,4 +225,7 @@ def validate_corpus(
             transformed += 1
         if not report.ok:
             failures.append((seed, str(report)))
-    return CorpusResult(optimizer.name, len(seeds), transformed, tuple(failures))
+        confidence = Confidence.weakest((confidence, report.confidence))
+    return CorpusResult(
+        optimizer.name, len(seeds), transformed, tuple(failures), confidence
+    )

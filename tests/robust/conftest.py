@@ -1,0 +1,36 @@
+"""Shared builders for the robustness tests: hostile programs.
+
+``divergent_program`` has a *productive cycle* — every loop iteration
+writes a fresh value, so the PS2.1 state space is infinite and an
+ungoverned BFS neither terminates nor stays within memory.  It is the
+canonical adversarial input for budgets, checkpoints, isolation, and the
+degradation ladder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.lang.syntax import Program
+
+
+def build_divergent_program() -> Program:
+    """A one-thread program whose exploration diverges (see module doc)."""
+    pb = ProgramBuilder(atomics={"x"})
+    with pb.function("spin") as f:
+        entry = f.block("entry")
+        entry.jmp("loop")
+        loop = f.block("loop")
+        loop.load("r", "x", "rlx")
+        loop.store("x", binop("+", "r", 1), "rlx")
+        loop.print_("r")
+        loop.jmp("loop")
+    pb.thread("spin")
+    return pb.build()
+
+
+@pytest.fixture
+def divergent_program() -> Program:
+    """Fixture form of :func:`build_divergent_program`."""
+    return build_divergent_program()

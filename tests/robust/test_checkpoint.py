@@ -1,0 +1,114 @@
+"""Checkpoint/resume: integrity, compatibility, and the round-trip
+property — an interrupted-then-resumed exploration reaches the identical
+``BehaviorSet`` as an uninterrupted run."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.robust.budget import Budget
+from repro.robust.checkpoint import (
+    CheckpointError,
+    checkpoint_from_bytes,
+    checkpoint_to_bytes,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.semantics.exploration import Explorer
+from repro.semantics.thread import SemanticsConfig
+
+
+def interrupt_and_resume(program, max_states_first: int):
+    """Build under a state-count budget, snapshot, resume, finish."""
+    first = Explorer(program, SemanticsConfig(), nonpreemptive=False)
+    first.build(meter=Budget(max_states=max_states_first).start())
+    checkpoint = first.snapshot()
+    resumed = Explorer.resume(checkpoint, program)
+    return first, checkpoint, resumed.behaviors()
+
+
+class TestRoundTrip:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=40))
+    def test_interrupted_resume_reaches_identical_behaviors(self, seed):
+        """The headline property over generated concurrent programs."""
+        program = random_wwrf_program(seed, GeneratorConfig())
+        uninterrupted = Explorer(program, SemanticsConfig()).behaviors()
+        first, checkpoint, resumed = interrupt_and_resume(program, max_states_first=5)
+        assert not first.exhaustive or not checkpoint.frontier
+        assert resumed.exhaustive == uninterrupted.exhaustive
+        assert resumed.traces == uninterrupted.traces
+        assert resumed.state_count == uninterrupted.state_count
+
+    def test_resume_through_file(self, tmp_path, divergent_program):
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=50).start())
+        path = str(tmp_path / "exploration.ckpt")
+        save_checkpoint(explorer.snapshot(), path)
+        loaded = load_checkpoint(path)
+        assert loaded.state_count == len(explorer.states)
+        resumed = Explorer.resume(loaded, divergent_program)
+        resumed.build(meter=Budget(max_states=200).start())
+        assert len(resumed.states) > loaded.state_count
+
+    def test_build_writes_periodic_checkpoints(self, tmp_path, divergent_program):
+        path = str(tmp_path / "periodic.ckpt")
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(
+            meter=Budget(max_states=120).start(),
+            checkpoint_path=path,
+            checkpoint_interval=25,
+        )
+        loaded = load_checkpoint(path)
+        assert loaded.state_count > 0
+        assert loaded.frontier  # interrupted mid-BFS: resumable
+
+
+class TestIntegrity:
+    def test_bytes_round_trip(self, divergent_program):
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        checkpoint = explorer.snapshot()
+        assert checkpoint_from_bytes(checkpoint_to_bytes(checkpoint)) == checkpoint
+
+    def test_corrupted_payload_fails_loudly(self, divergent_program):
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        blob = bytearray(checkpoint_to_bytes(explorer.snapshot()))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CheckpointError, match="digest"):
+            checkpoint_from_bytes(bytes(blob))
+
+    def test_missing_header_fails_loudly(self):
+        with pytest.raises(CheckpointError):
+            checkpoint_from_bytes(b"not-a-checkpoint-at-all")
+
+    def test_non_checkpoint_pickle_rejected(self):
+        import hashlib
+        import pickle
+
+        payload = pickle.dumps({"not": "a checkpoint"})
+        digest = hashlib.sha256(payload).hexdigest().encode()
+        with pytest.raises(CheckpointError, match="not ExplorationCheckpoint"):
+            checkpoint_from_bytes(digest + b"\n" + payload)
+
+    def test_resume_refuses_different_program(self, divergent_program):
+        from repro.lang.builder import straightline_program
+        from repro.lang.syntax import Const, Print
+
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        other = straightline_program([[Print(Const(1))]])
+        with pytest.raises(CheckpointError, match="different program"):
+            Explorer.resume(explorer.snapshot(), other)
+
+    def test_dropped_truncation_survives_resume(self, divergent_program):
+        """A max_states truncation dropped successors permanently — a
+        resumed run must stay non-exhaustive rather than heal a hole."""
+        explorer = Explorer(divergent_program, SemanticsConfig(max_states=30))
+        explorer.build()
+        assert not explorer.exhaustive
+        resumed = Explorer.resume(explorer.snapshot(), divergent_program)
+        assert not resumed.exhaustive
+        assert resumed.stop_reason == "states"

@@ -1,0 +1,147 @@
+"""CLI surface of the resource-governance features: ``--deadline`` /
+``--memory-mb``, ``explore --checkpoint/--resume``, ``validate
+--degrade``, ``fuzz --replay``, and the exit-code contract (0 PROVED,
+1 FAILED, 2 usage, 3 BOUNDED, 4 SAMPLED)."""
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.robust.confidence import (
+    EXIT_BOUNDED,
+    EXIT_PROVED,
+    EXIT_SAMPLED,
+    EXIT_USAGE,
+)
+
+DIVERGENT = """
+atomics x;
+fn spin {
+entry:
+    jmp loop;
+loop:
+    r := x.rlx;
+    x.rlx := r + 1;
+    print(r);
+    jmp loop;
+}
+threads spin;
+"""
+
+OPTIMIZABLE = """
+fn t1 {
+entry:
+    r := 2;
+    s := r * 3;
+    print(s);
+    return;
+}
+threads t1;
+"""
+
+
+@pytest.fixture
+def divergent_file(tmp_path):
+    path = tmp_path / "divergent.rtl"
+    path.write_text(DIVERGENT)
+    return str(path)
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    path = tmp_path / "opt.rtl"
+    path.write_text(OPTIMIZABLE)
+    return str(path)
+
+
+def _states(out: str) -> int:
+    return int(re.search(r"states: (\d+)", out).group(1))
+
+
+class TestGovernedExplore:
+    def test_deadline_exits_bounded(self, divergent_file, capsys):
+        assert main(["explore", divergent_file, "--deadline", "0.4"]) == EXIT_BOUNDED
+        out = capsys.readouterr().out
+        assert "TRUNCATED:deadline" in out
+        assert _states(out) > 0
+
+    def test_max_states_exits_bounded(self, divergent_file, capsys):
+        assert main(["explore", divergent_file, "--max-states", "60"]) == EXIT_BOUNDED
+        assert "TRUNCATED:states" in capsys.readouterr().out
+
+    def test_finite_program_still_proved(self, opt_file, capsys):
+        assert main(["explore", opt_file, "--deadline", "30"]) == EXIT_PROVED
+        assert "exhaustive" in capsys.readouterr().out
+
+
+class TestCheckpointResume:
+    def test_checkpoint_then_resume_makes_progress(self, divergent_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        code = main(
+            ["explore", divergent_file, "--deadline", "0.3", "--checkpoint", ckpt]
+        )
+        assert code == EXIT_BOUNDED
+        first = capsys.readouterr().out
+        assert f"--resume {ckpt}" in first
+        code = main(
+            ["explore", divergent_file, "--resume", ckpt, "--deadline", "0.3"]
+        )
+        assert code == EXIT_BOUNDED
+        second = capsys.readouterr().out
+        assert "resumed:" in second
+        assert _states(second) >= _states(first)
+
+    def test_corrupt_checkpoint_is_usage_error(self, divergent_file, tmp_path, capsys):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"garbage")
+        code = main(["explore", divergent_file, "--resume", str(bad)])
+        assert code == EXIT_USAGE
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_wrong_program_is_usage_error(self, divergent_file, opt_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        main(["explore", divergent_file, "--deadline", "0.3", "--checkpoint", ckpt])
+        capsys.readouterr()
+        code = main(["explore", opt_file, "--resume", ckpt])
+        assert code == EXIT_USAGE
+        assert "checkpoint error" in capsys.readouterr().err
+
+
+class TestGovernedVerdicts:
+    def test_truncated_races_exit_bounded_with_warning(self, divergent_file, capsys):
+        code = main(["races", divergent_file, "--deadline", "0.3"])
+        assert code == EXIT_BOUNDED
+        assert "not proved" in capsys.readouterr().out
+
+    def test_validate_degrades_instead_of_truncating(self, divergent_file, capsys):
+        code = main(
+            ["validate", divergent_file, "--opt", "constprop", "--degrade",
+             "--deadline", "0.5"]
+        )
+        assert code in (EXIT_BOUNDED, EXIT_SAMPLED)
+        out = capsys.readouterr().out
+        assert "confidence=" in out
+        assert "not a proof" in out
+
+    def test_validate_finite_program_is_proof(self, opt_file, capsys):
+        code = main(
+            ["validate", opt_file, "--opt", "constprop", "--degrade",
+             "--deadline", "30"]
+        )
+        assert code == EXIT_PROVED
+        assert "[OK]" in capsys.readouterr().out
+
+
+class TestFuzzReplay:
+    def test_replay_regenerates_one_case(self, capsys):
+        code = main(["fuzz", "--opt", "constprop", "--replay", "3"])
+        out = capsys.readouterr().out
+        assert "threads" in out  # the regenerated program is printed
+        assert code in (EXIT_PROVED, EXIT_BOUNDED)
+
+    def test_replay_matches_campaign_verdict(self, capsys):
+        assert main(["fuzz", "--opt", "constprop", "--seeds", "3:4"]) == 0
+        campaign = capsys.readouterr().out
+        main(["fuzz", "--opt", "constprop", "--replay", "3"])
+        assert "OK" in campaign

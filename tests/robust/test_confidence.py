@@ -1,0 +1,112 @@
+"""The confidence taxonomy and its pipeline-wide soundness invariant:
+**no verdict may claim PROVED unless exploration was exhaustive**."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.robust.confidence import (
+    Confidence,
+    EXIT_BOUNDED,
+    EXIT_FAILED,
+    EXIT_PROVED,
+    EXIT_SAMPLED,
+    derive_confidence,
+    exit_code,
+)
+
+
+class TestDeriveConfidence:
+    @given(st.sampled_from([None, *Confidence]))
+    def test_non_exhaustive_never_proved(self, claimed):
+        """The invariant, property-tested over every possible claim."""
+        assert derive_confidence(False, claimed) is not Confidence.PROVED
+
+    def test_exhaustive_defaults_to_proved(self):
+        assert derive_confidence(True) is Confidence.PROVED
+        assert derive_confidence(False) is Confidence.BOUNDED
+
+    def test_explicit_weaker_claims_are_honored(self):
+        assert derive_confidence(True, Confidence.SAMPLED) is Confidence.SAMPLED
+        assert derive_confidence(False, Confidence.SAMPLED) is Confidence.SAMPLED
+
+    def test_proved_claim_downgraded_when_not_exhaustive(self):
+        assert derive_confidence(False, Confidence.PROVED) is Confidence.BOUNDED
+
+
+class TestWeakest:
+    def test_weakest_orders_by_rank(self):
+        assert (
+            Confidence.weakest([Confidence.PROVED, Confidence.SAMPLED])
+            is Confidence.SAMPLED
+        )
+        assert (
+            Confidence.weakest([Confidence.PROVED, Confidence.BOUNDED])
+            is Confidence.BOUNDED
+        )
+
+    def test_weakest_of_empty_is_proved(self):
+        assert Confidence.weakest([]) is Confidence.PROVED
+
+    def test_weakest_skips_none(self):
+        assert Confidence.weakest([None, Confidence.BOUNDED]) is Confidence.BOUNDED
+
+
+class TestExitCodes:
+    def test_contract(self):
+        assert exit_code(True, Confidence.PROVED) == EXIT_PROVED == 0
+        assert exit_code(False, Confidence.PROVED) == EXIT_FAILED == 1
+        assert exit_code(True, Confidence.BOUNDED) == EXIT_BOUNDED == 3
+        assert exit_code(True, Confidence.SAMPLED) == EXIT_SAMPLED == 4
+
+    @given(st.sampled_from(list(Confidence)))
+    def test_failure_dominates_confidence(self, confidence):
+        assert exit_code(False, confidence) == EXIT_FAILED
+
+
+class TestReportInvariant:
+    """The invariant holds at the report layer, not just the helper."""
+
+    def test_validation_report_cannot_claim_proved_when_truncated(
+        self, divergent_program
+    ):
+        from repro.opt.constprop import ConstProp
+        from repro.robust.budget import Budget
+        from repro.semantics.thread import SemanticsConfig
+        from repro.sim.validate import validate_optimizer
+
+        config = SemanticsConfig(budget=Budget(deadline_seconds=0.3))
+        report = validate_optimizer(ConstProp(), divergent_program, config)
+        assert not report.exhaustive
+        assert report.confidence is not Confidence.PROVED
+        assert "confidence=" in str(report)
+
+    def test_race_report_confidence_tracks_exhaustiveness(self, divergent_program):
+        from repro.races.wwrf import ww_rf
+        from repro.robust.budget import Budget
+        from repro.semantics.thread import SemanticsConfig
+
+        config = SemanticsConfig(budget=Budget(deadline_seconds=0.3))
+        report = ww_rf(divergent_program, config)
+        assert not report.exhaustive
+        assert report.confidence is not Confidence.PROVED
+
+    def test_forged_proved_claim_is_downgraded(self):
+        from repro.opt.constprop import ConstProp
+        from repro.lang.builder import straightline_program
+        from repro.lang.syntax import Const, Print
+        from repro.semantics.thread import SemanticsConfig
+        from repro.sim.validate import ValidationReport, validate_optimizer
+
+        program = straightline_program([[Print(Const(1))]])
+        report = validate_optimizer(
+            ConstProp(), program, SemanticsConfig(max_states=2)
+        )
+        forged = ValidationReport(
+            optimizer=report.optimizer,
+            refinement=report.refinement,
+            source_wwrf=report.source_wwrf,
+            target_wwrf=report.target_wwrf,
+            changed=report.changed,
+            confidence=Confidence.PROVED,
+        )
+        assert forged.confidence is Confidence.BOUNDED
