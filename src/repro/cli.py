@@ -19,6 +19,16 @@ additionally takes ``--checkpoint`` / ``--resume`` to persist and
 continue long BFS runs, and ``validate`` takes ``--degrade`` to walk the
 exhaustive → bounded → sampled ladder instead of stopping at a trip.
 
+Performance (``docs/performance.md``): the sweep commands — ``litmus``,
+``validate``, ``races``, ``fuzz`` — accept ``--jobs N`` to fan
+per-program work across worker processes (results are aggregated in
+program order, so output is identical at any parallelism) and
+``--cache DIR`` to reuse exhaustively-proved verdicts across runs from a
+persistent on-disk cache; ``validate`` and ``races`` accept multiple
+files.  Under ``--jobs``, a ``--deadline`` still bounds the *whole*
+sweep's wall clock.  ``explore --stats`` prints certification-cache and
+intern-table counters.
+
 Exit codes (the confidence contract of ``repro.robust.confidence``):
 0 = verdict holds and is PROVED (exhaustive), 1 = verdict fails,
 2 = usage/parse error, 3 = verdict holds but only BOUNDED (a budget or
@@ -31,7 +41,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from dataclasses import replace as _dc_replace
+from typing import Any, Dict, List, Optional
 
 from repro.lang.parser import ParseError, parse_program
 from repro.lang.printer import format_program
@@ -103,6 +114,20 @@ def _config(args: argparse.Namespace) -> SemanticsConfig:
     return SemanticsConfig(**kwargs)
 
 
+def _open_cache(cache_root: Optional[str]):
+    """A :class:`repro.perf.cache.ResultCache` for ``--cache DIR`` (or None)."""
+    if not cache_root:
+        return None
+    from repro.perf.cache import ResultCache
+
+    return ResultCache(cache_root)
+
+
+def _budgeted(config: SemanticsConfig, budget: Optional[Budget]) -> SemanticsConfig:
+    """Attach a per-job budget (the sweep pool's remaining-deadline split)."""
+    return config if budget is None else _dc_replace(config, budget=budget)
+
+
 def _optimizer(name: str) -> Optimizer:
     if name == "pipeline":
         return compose(
@@ -145,6 +170,17 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if not result.exhaustive and result.stop_reason:
         status += f":{result.stop_reason}"
     print(f"states: {result.state_count} ({status})")
+    if result.dropped_edges:
+        print(f"dropped successor edges: {result.dropped_edges} "
+              "(state cap hit; outcome sets are a lower bound)")
+    if args.stats:
+        from repro.perf.intern import interner_stats
+
+        print(explorer.cert_stats)
+        for name, counters in interner_stats().items():
+            print(f"intern[{name}]: {counters['entries']} entries, "
+                  f"{counters['hits']} hits / {counters['misses']} misses, "
+                  f"{counters['flushes']} flushes")
     print(f"complete outcome sets ({len(result.outputs())}):")
     for outs in sorted(result.outputs()):
         print(f"  {outs}")
@@ -160,31 +196,118 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_races(args: argparse.Namespace) -> int:
-    """``races`` — ww-RF verdict plus read-write race witnesses."""
-    program = _load(args.file, getattr(args, 'csimp', False))
-    config = _config(args)
-    if args.static:
-        report, static = ww_rf_tiered_with_static(
-            program, config, nonpreemptive=args.np
+def _run_file_sweep(files, fn, job_args, jobs=1, budget=None):
+    """Run one per-file case function over many files.
+
+    Returns ``[(name, ok, record, error), ...]`` in sorted-name order.
+    The serial, budget-free path calls ``fn`` directly so parse/IO errors
+    keep their historical exit-2 route through :func:`main`; with
+    ``--jobs`` or a budget it goes through the sweep pool, which captures
+    per-file faults and splits the sweep-wide deadline across jobs.
+    """
+    if jobs <= 1 and budget is None:
+        return [(path, True, fn(*job_args(path)), None) for path in files]
+    from repro.perf.pool import SweepJob, run_sweep
+
+    sweep = run_sweep(
+        [SweepJob(path, fn, job_args(path)) for path in files],
+        jobs_n=jobs,
+        budget=budget,
+    )
+    return [(o.name, o.ok, o.value, o.error) for o in sweep.outcomes]
+
+
+def _races_file_case(
+    path: str,
+    csimp: bool,
+    static: bool,
+    np: bool,
+    config: SemanticsConfig,
+    cache_root: Optional[str],
+    budget: Optional[Budget] = None,
+) -> Dict[str, Any]:
+    """Race-check one file (module-level so the sweep pool can run it)."""
+    config = _budgeted(config, budget)
+    cache = _open_cache(cache_root)
+    kind = f"races:static={int(static)}:np={int(np)}"
+    source_text = None
+    if cache is not None:
+        with open(path) as handle:
+            source_text = handle.read()
+        payload = cache.lookup(source_text, config, kind)
+        if payload is not None:
+            return dict(payload, cached=True)
+    program = _load(path, csimp)
+    lines: List[str] = []
+    if static:
+        report, static_report = ww_rf_tiered_with_static(
+            program, config, nonpreemptive=np
         )
-        print(f"static tier: {static}")
+        lines.append(f"static tier: {static_report}")
     else:
-        check = ww_nprf if args.np else ww_rf
+        check = ww_nprf if np else ww_rf
         report = check(program, config)
-    print(f"ww-RF: {report}")
+    lines.append(f"ww-RF: {report}")
     witnesses = rw_races(program, config)
     if witnesses:
-        print("read-write races:")
+        lines.append("read-write races:")
         for witness in witnesses:
-            print(f"  thread {witness.tid} na-reads {witness.loc!r} unobserved write")
+            lines.append(
+                f"  thread {witness.tid} na-reads {witness.loc!r} unobserved write"
+            )
     else:
-        print("read-write races: none")
-    if not report.race_free:
+        lines.append("read-write races: none")
+    record = {
+        "lines": lines,
+        "race_free": report.race_free,
+        "exhaustive": report.exhaustive,
+        "confidence": str(report.confidence),
+        "cached": False,
+    }
+    if cache is not None:
+        cache.store(source_text, config, kind, record, exhaustive=report.exhaustive)
+    return record
+
+
+def _print_races_record(record: Dict[str, Any], prefix: str = "") -> None:
+    for line in record["lines"]:
+        print(prefix + line)
+    if record["race_free"] and not record["exhaustive"]:
+        print(prefix + "WARNING: exploration TRUNCATED — race freedom not proved")
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    """``races`` — ww-RF verdict plus read-write race witnesses.
+
+    Accepts several files; with ``--jobs N`` they are checked in
+    parallel.  The exit code is the worst verdict across files."""
+    config = _config(args)
+    files = sorted(dict.fromkeys(args.file))
+    records = _run_file_sweep(
+        files,
+        _races_file_case,
+        lambda path: (
+            path, getattr(args, "csimp", False), args.static, args.np,
+            config, args.cache,
+        ),
+        jobs=args.jobs,
+        budget=config.budget,
+    )
+    failed = False
+    confidences: List[Confidence] = []
+    for path, ok, record, error in records:
+        prefix = f"{path}: " if len(files) > 1 else ""
+        if not ok:
+            print(f"{prefix}ERROR: {error}")
+            failed = True
+            continue
+        _print_races_record(record, prefix)
+        if not record["race_free"]:
+            failed = True
+        confidences.append(Confidence(record["confidence"]))
+    if failed:
         return 1
-    if not report.exhaustive:
-        print("WARNING: exploration TRUNCATED — race freedom not proved")
-    return exit_code(report.race_free, report.confidence)
+    return exit_code(True, Confidence.weakest(confidences))
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -203,6 +326,63 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if lint.ok else 1
 
 
+def _validate_file_case(
+    path: str,
+    csimp: bool,
+    opt_name: str,
+    strict: bool,
+    no_wwrf: bool,
+    degrade: bool,
+    config: SemanticsConfig,
+    cache_root: Optional[str],
+    budget: Optional[Budget] = None,
+) -> Dict[str, Any]:
+    """Validate one file (module-level so the sweep pool can run it).
+
+    The optimizer is reconstructed by name inside the worker — cheaper
+    than pickling composed pipelines, and it keeps ``--strict`` wrapping
+    local to the process that uses it.
+    """
+    config = _budgeted(config, budget)
+    cache = _open_cache(cache_root)
+    kind = f"validate:{opt_name}:strict={int(strict)}:wwrf={int(not no_wwrf)}"
+    source_text = None
+    if cache is not None:
+        with open(path) as handle:
+            source_text = handle.read()
+        payload = cache.lookup(source_text, config, kind)
+        if payload is not None:
+            return dict(payload, cached=True)
+    program = _load(path, csimp)
+    optimizer = _optimizer(opt_name)
+    if strict:
+        from repro.opt.base import strict_optimizer
+
+        optimizer = strict_optimizer(optimizer)
+    if degrade:
+        from repro.robust.degrade import DegradationPolicy, validate_with_degradation
+
+        policy = DegradationPolicy(budget=config.budget)
+        report = validate_with_degradation(
+            optimizer, program, config, policy,
+            check_target_wwrf=not no_wwrf,
+        )
+    else:
+        report = validate_optimizer(
+            optimizer, program, config, check_target_wwrf=not no_wwrf
+        )
+    record = {
+        "report": str(report),
+        "ok": report.ok,
+        "exhaustive": report.exhaustive,
+        "confidence": str(report.confidence),
+        "cached": False,
+    }
+    if cache is not None:
+        cache.store(source_text, config, kind, record, exhaustive=report.exhaustive)
+    return record
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """``validate`` — run an optimizer and translation-validate it.
 
@@ -210,36 +390,46 @@ def cmd_validate(args: argparse.Namespace) -> int:
     a budget trip walks the exhaustive → bounded → sampled ladder
     instead of returning a truncated verdict; the exit code reports the
     resulting confidence (0 PROVED, 3 BOUNDED, 4 SAMPLED).
+
+    Accepts several files; with ``--jobs N`` they are validated in
+    parallel and the exit code is the worst verdict across files.
     """
-    program = _load(args.file, getattr(args, 'csimp', False))
-    optimizer = _optimizer(args.opt)
-    if args.strict:
-        from repro.opt.base import strict_optimizer
-
-        optimizer = strict_optimizer(optimizer)
     config = _config(args)
-    if args.degrade:
-        from repro.robust.degrade import DegradationPolicy, validate_with_degradation
-
-        policy = DegradationPolicy(budget=config.budget)
-        report = validate_with_degradation(
-            optimizer, program, config, policy,
-            check_target_wwrf=not args.no_wwrf,
-        )
-    else:
-        report = validate_optimizer(
-            optimizer, program, config, check_target_wwrf=not args.no_wwrf
-        )
-    print(report)
-    if args.show:
-        print()
-        print(format_program(optimizer.run(program)))
-    if not report.ok:
+    files = sorted(dict.fromkeys(args.file))
+    records = _run_file_sweep(
+        files,
+        _validate_file_case,
+        lambda path: (
+            path, getattr(args, "csimp", False), args.opt, args.strict,
+            args.no_wwrf, args.degrade, config, args.cache,
+        ),
+        jobs=args.jobs,
+        budget=config.budget,
+    )
+    failed = False
+    confidences: List[Confidence] = []
+    for path, ok, record, error in records:
+        prefix = f"{path}: " if len(files) > 1 else ""
+        if not ok:
+            print(f"{prefix}ERROR: {error}")
+            failed = True
+            continue
+        print(f"{prefix}{record['report']}")
+        if args.show:
+            program = _load(path, getattr(args, "csimp", False))
+            optimizer = _optimizer(args.opt)
+            print()
+            print(format_program(optimizer.run(program)))
+        if not record["ok"]:
+            failed = True
+            continue
+        if not record["exhaustive"]:
+            print(f"{prefix}WARNING: verification degraded to "
+                  f"{record['confidence']} — not a proof")
+        confidences.append(Confidence(record["confidence"]))
+    if failed:
         return 1
-    if not report.exhaustive:
-        print(f"WARNING: verification degraded to {report.confidence} — "
-              "not a proof")
-    return exit_code(report.ok, report.confidence)
+    return exit_code(True, Confidence.weakest(confidences))
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -295,12 +485,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return exit_code(report.ok, report.confidence)
     lo, _, hi = args.seeds.partition(":")
     seeds = range(int(lo), int(hi)) if hi else range(int(lo))
+    budget = None
+    if args.deadline is not None:
+        budget = Budget(deadline_seconds=args.deadline)
     report = fuzz_optimizer(
         optimizer,
         seeds,
         gen,
         check_wwrf=not args.no_wwrf,
         check_machine_equivalence=args.check_equivalence,
+        jobs=args.jobs,
+        cache=_open_cache(args.cache),
+        budget=budget,
     )
     print(report)
     for failure in report.failures:
@@ -309,19 +505,58 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_litmus(args: argparse.Namespace) -> int:
-    """``litmus`` — check ``//! exists/forbidden`` spec files."""
+def _litmus_case(
+    path: str, cache_root: Optional[str], budget: Optional[Budget] = None
+) -> Dict[str, Any]:
+    """Check one spec file (module-level so the sweep pool can run it)."""
     from repro.litmus.spec import run_spec_file
 
+    cache = _open_cache(cache_root)
+    hits_before = cache.hits if cache is not None else 0
+    result = run_spec_file(path, cache=cache, budget=budget)
+    return {
+        "result": str(result),
+        "ok": result.ok,
+        "observed": [list(o) for o in result.observed],
+        "cached": cache is not None and cache.hits > hits_before,
+    }
+
+
+def cmd_litmus(args: argparse.Namespace) -> int:
+    """``litmus`` — check ``//! exists/forbidden`` spec files.
+
+    With ``--jobs N`` the files are checked in parallel; output is
+    aggregated in file-name order either way, so serial and parallel
+    sweeps print identically.  ``--cache DIR`` reuses exhaustive
+    verdicts for unchanged files across runs.
+    """
+    budget = None
+    if args.deadline is not None:
+        budget = Budget(deadline_seconds=args.deadline)
+    files = sorted(dict.fromkeys(args.files))
+    records = _run_file_sweep(
+        files,
+        _litmus_case,
+        lambda path: (path, args.cache),
+        jobs=args.jobs,
+        budget=budget,
+    )
     ok = True
-    for path in args.files:
-        result = run_spec_file(path)
-        print(f"{path}: {result}")
-        if not result.ok:
+    cached = 0
+    for path, job_ok, record, error in records:
+        if not job_ok:
+            print(f"{path}: ERROR {error}")
+            ok = False
+            continue
+        print(f"{path}: {record['result']}")
+        cached += record["cached"]
+        if not record["ok"]:
             ok = False
         if args.show_outcomes:
-            for outcome in result.observed:
-                print(f"  observed {outcome}")
+            for outcome in record["observed"]:
+                print(f"  observed {tuple(outcome)}")
+    if args.cache:
+        print(f"cache: {cached}/{len(files)} files answered from {args.cache}")
     return 0 if ok else 1
 
 
@@ -334,8 +569,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("file", help="CSimpRTL source file (or CSimp with --csimp / *.csimp)")
+    def sweep_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan per-program work across N worker "
+                            "processes (default 1 = serial; output is "
+                            "identical at any parallelism)")
+        p.add_argument("--cache", metavar="DIR", default=None,
+                       help="persistent result cache: reuse exhaustively-"
+                            "proved verdicts for unchanged programs")
+
+    def common(p: argparse.ArgumentParser, multi: bool = False) -> None:
+        if multi:
+            p.add_argument("file", nargs="+",
+                           help="CSimpRTL source file(s) (or CSimp with "
+                                "--csimp / *.csimp)")
+        else:
+            p.add_argument("file", help="CSimpRTL source file (or CSimp with --csimp / *.csimp)")
         p.add_argument("--promises", type=int, default=0, metavar="N",
                        help="enable a syntactic promise oracle with budget N")
         p.add_argument("--np", action="store_true",
@@ -350,7 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "exits 3, never claiming a proof)")
         p.add_argument("--deadline", type=float, default=None, metavar="SECS",
                        help="wall-clock budget; exploration stops cleanly "
-                            "at the deadline instead of hanging")
+                            "at the deadline instead of hanging (with "
+                            "--jobs it bounds the whole sweep)")
         p.add_argument("--memory-mb", type=float, default=None, metavar="MB",
                        help="approximate memory budget; exploration stops "
                             "cleanly at the ceiling instead of OOMing")
@@ -358,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("explore", help="exhaustive behavior exploration")
     common(p)
     p.add_argument("--traces", action="store_true", help="print all traces")
+    p.add_argument("--stats", action="store_true",
+                   help="print certification-cache and intern-table "
+                        "counters after exploring")
     p.add_argument("--checkpoint", metavar="PATH", default=None,
                    help="periodically persist the BFS frontier so an "
                         "interrupted run can be resumed")
@@ -369,7 +622,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("races", help="race detection")
-    common(p)
+    common(p, multi=True)
+    sweep_options(p)
     p.add_argument("--static", action="store_true",
                    help="tiered checking: try the static thread-modular "
                         "analysis first, explore only if inconclusive")
@@ -381,7 +635,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("validate", help="optimize + translation-validate")
-    common(p)
+    common(p, multi=True)
+    sweep_options(p)
     p.add_argument("--opt", default="pipeline",
                    help="constprop | dce | cse | licm | linv | cleanup | peel | pipeline")
     p.add_argument("--show", action="store_true", help="print the transformed program")
@@ -412,8 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fmt)
 
     p = sub.add_parser("fuzz", help="differential fuzzing of an optimizer")
+    sweep_options(p)
     p.add_argument("--opt", default="pipeline")
     p.add_argument("--seeds", default="0:25", metavar="LO:HI")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                   help="wall-clock budget for the whole campaign")
     p.add_argument("--threads", type=int, default=2)
     p.add_argument("--instrs", type=int, default=4)
     p.add_argument("--no-wwrf", action="store_true")
@@ -425,8 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("litmus", help="check //! exists/forbidden spec files")
+    sweep_options(p)
     p.add_argument("files", nargs="+")
     p.add_argument("--show-outcomes", action="store_true")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                   help="wall-clock budget for the whole sweep")
     p.set_defaults(func=cmd_litmus)
 
     return parser

@@ -17,12 +17,13 @@ or to this implementation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.printer import format_program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
+from repro.robust.budget import Budget
 from repro.robust.confidence import Confidence
 from repro.semantics.exploration import behaviors, np_behaviors
 from repro.semantics.promises import SyntacticPromises
@@ -65,6 +66,8 @@ class FuzzReport:
     elapsed_seconds: float
     equivalence_budget_misses: int = 0
     confidence: Confidence = Confidence.PROVED
+    #: Seeds answered from the persistent result cache (``cache=``).
+    cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -72,12 +75,102 @@ class FuzzReport:
 
     def __str__(self) -> str:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        cached = f", {self.cache_hits} cached" if self.cache_hits else ""
         return (
             f"fuzz[{self.optimizer}]: {self.seeds} programs, "
             f"{self.transformed} transformed, {self.skipped_truncated} skipped "
-            f"(bounds), {status}, {self.elapsed_seconds:.1f}s, "
+            f"(bounds){cached}, {status}, {self.elapsed_seconds:.1f}s, "
             f"confidence={self.confidence}"
         )
+
+
+def _fuzz_kind(
+    optimizer: Optimizer, check_wwrf: bool, check_machine_equivalence: bool,
+    equivalence_config: SemanticsConfig,
+) -> str:
+    """The result-cache namespace for one campaign shape: the optimizer and
+    every check toggle participate, so differently-configured campaigns
+    never share verdicts."""
+    return (
+        f"fuzz:{optimizer.name}:wwrf={int(check_wwrf)}"
+        f":eq={int(check_machine_equivalence)}"
+        f":pb={equivalence_config.promise_budget}"
+    )
+
+
+def _fuzz_case(
+    optimizer: Optimizer,
+    seed: int,
+    generator_config: GeneratorConfig,
+    config: SemanticsConfig,
+    check_wwrf: bool,
+    check_machine_equivalence: bool,
+    equivalence_config: SemanticsConfig,
+    cache=None,
+    budget: Optional[Budget] = None,
+) -> Dict[str, Any]:
+    """Validate one seed; module-level so the sweep pool can dispatch it.
+
+    Returns a plain JSON-shaped record (also the persistent-cache payload):
+    exhaustively-verified records are reused on later runs of the same
+    campaign shape without re-exploring.
+    """
+    # Per-case RNG discipline: the program is a pure function of the
+    # seed, so a FuzzFailure's seed alone replays it exactly.
+    program = random_wwrf_program(seed, generator_config)
+    text = format_program(program)
+    kind = _fuzz_kind(optimizer, check_wwrf, check_machine_equivalence, equivalence_config)
+    if cache is not None:
+        payload = cache.lookup(text, config, kind)
+        if payload is not None:
+            return dict(payload, cached=True)
+    if budget is not None:
+        config = replace(config, budget=budget)
+
+    report = validate_optimizer(
+        optimizer, program, config, check_target_wwrf=check_wwrf
+    )
+    record: Dict[str, Any] = {
+        "seed": seed,
+        "changed": report.changed,
+        "definitive": report.refinement.definitive,
+        "ok": report.ok,
+        "reason": None if report.ok else str(report),
+        "source_text": None if report.ok else text,
+        "confidence": str(report.confidence),
+        "budget_miss": False,
+        "exhaustive": report.exhaustive,
+        "cached": False,
+    }
+    if (
+        check_machine_equivalence
+        and record["definitive"]
+        and record["ok"]
+    ):
+        interleaving = behaviors(program, equivalence_config)
+        nonpreemptive = np_behaviors(program, equivalence_config)
+        record["exhaustive"] = (
+            record["exhaustive"]
+            and interleaving.exhaustive
+            and nonpreemptive.exhaustive
+        )
+        if interleaving.exhaustive and nonpreemptive.exhaustive:
+            if not nonpreemptive.traces <= interleaving.traces:
+                # This direction holds at ANY promise budget: a genuine
+                # soundness violation of the non-preemptive machine.
+                record["ok"] = False
+                record["reason"] = (
+                    "Thm 4.1 violation: NP produced a behavior the "
+                    "interleaving machine cannot"
+                )
+                record["source_text"] = text
+            elif interleaving.traces != nonpreemptive.traces:
+                # The equality direction needs a budget covering each
+                # block's writes; count, don't fail.
+                record["budget_miss"] = True
+    if cache is not None:
+        cache.store(text, config, kind, record, exhaustive=record["exhaustive"])
+    return record
 
 
 def fuzz_optimizer(
@@ -88,6 +181,9 @@ def fuzz_optimizer(
     check_wwrf: bool = True,
     check_machine_equivalence: bool = False,
     equivalence_promise_budget: int = 2,
+    jobs: int = 1,
+    cache=None,
+    budget: Optional[Budget] = None,
 ) -> FuzzReport:
     """Run a fuzz campaign; see module docstring for what is checked.
 
@@ -97,7 +193,16 @@ def fuzz_optimizer(
     promising the block's writes up front (paper Sec. 4), so the
     equivalence is a theorem of the *full* semantics and holds in the
     bounded one exactly when the budget covers each block's writes.
+
+    ``jobs`` fans seeds across worker processes
+    (:func:`repro.perf.pool.run_sweep`); aggregation is seed-ordered, so
+    the report is identical at any parallelism.  ``cache`` is an optional
+    :class:`repro.perf.cache.ResultCache` reusing exhaustively-verified
+    per-seed verdicts across runs; ``budget`` bounds the whole campaign's
+    wall clock.
     """
+    from repro.perf.pool import SweepJob, run_sweep
+
     config = config or SemanticsConfig()
     equivalence_config = SemanticsConfig(
         promise_oracle=SyntacticPromises(
@@ -106,59 +211,70 @@ def fuzz_optimizer(
         )
     )
     started = time.monotonic()
+    seed_list = list(seeds)
+    sweep = run_sweep(
+        [
+            SweepJob(
+                name=f"seed-{seed:010d}",
+                fn=_fuzz_case,
+                args=(
+                    optimizer,
+                    seed,
+                    generator_config,
+                    config,
+                    check_wwrf,
+                    check_machine_equivalence,
+                    equivalence_config,
+                    cache,
+                ),
+            )
+            for seed in seed_list
+        ],
+        jobs_n=jobs,
+        budget=budget,
+    )
+
     transformed = 0
     skipped = 0
     budget_misses = 0
+    cache_hits = 0
     confidence = Confidence.PROVED
     failures: List[FuzzFailure] = []
-
-    for seed in seeds:
-        # Per-case RNG discipline: the program is a pure function of the
-        # seed, so a FuzzFailure's seed alone replays it exactly.
-        program = random_wwrf_program(seed, generator_config)
-        report = validate_optimizer(
-            optimizer, program, config, check_target_wwrf=check_wwrf
-        )
-        if report.changed:
+    for outcome in sweep.outcomes:
+        if not outcome.ok:
+            seed = int(outcome.name.split("-", 1)[1])
+            failures.append(FuzzFailure(seed, f"job error: {outcome.error}", ""))
+            confidence = Confidence.weakest((confidence, Confidence.BOUNDED))
+            continue
+        record = outcome.value
+        if record["cached"]:
+            cache_hits += 1
+        if record["changed"]:
             transformed += 1
-        confidence = Confidence.weakest((confidence, report.confidence))
-        if not report.refinement.definitive:
+        confidence = Confidence.weakest(
+            (confidence, Confidence(record["confidence"]))
+        )
+        if not record["definitive"]:
             skipped += 1
             continue
-        if not report.ok:
+        if not record["ok"]:
             failures.append(
-                FuzzFailure(seed, str(report), format_program(program))
+                FuzzFailure(record["seed"], record["reason"], record["source_text"] or "")
             )
             continue
-        if check_machine_equivalence:
-            interleaving = behaviors(program, equivalence_config)
-            nonpreemptive = np_behaviors(program, equivalence_config)
-            if interleaving.exhaustive and nonpreemptive.exhaustive:
-                if not nonpreemptive.traces <= interleaving.traces:
-                    # This direction holds at ANY promise budget: a genuine
-                    # soundness violation of the non-preemptive machine.
-                    failures.append(
-                        FuzzFailure(
-                            seed,
-                            "Thm 4.1 violation: NP produced a behavior the "
-                            "interleaving machine cannot",
-                            format_program(program),
-                        )
-                    )
-                elif interleaving.traces != nonpreemptive.traces:
-                    # The equality direction needs a budget covering each
-                    # block's writes; count, don't fail.
-                    budget_misses += 1
+        if record["budget_miss"]:
+            budget_misses += 1
 
     return FuzzReport(
         optimizer.name,
-        len(list(seeds)),
+        len(seed_list),
         transformed,
         skipped,
         tuple(failures),
         time.monotonic() - started,
         budget_misses,
         confidence,
+        cache_hits,
     )
 
 

@@ -26,7 +26,7 @@ single self-contained artifact::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.lang.parser import parse_program
@@ -79,9 +79,14 @@ class SpecResult:
         return "spec FAILED: " + "; ".join(self.failures)
 
 
-def check_spec(spec: LitmusSpec) -> SpecResult:
-    """Evaluate a litmus spec against the exhaustive behavior set."""
-    result = behaviors(spec.program, spec.config())
+def check_spec(spec: LitmusSpec, config: Optional[SemanticsConfig] = None) -> SpecResult:
+    """Evaluate a litmus spec against the exhaustive behavior set.
+
+    ``config`` overrides the spec's own configuration (used to attach a
+    runtime budget without disturbing the semantics knobs the spec's
+    directives selected).
+    """
+    result = behaviors(spec.program, config if config is not None else spec.config())
     observed = frozenset(result.outputs())
     failures: List[str] = []
     for outcome in spec.exists:
@@ -161,9 +166,44 @@ def parse_spec(source: str, structured: bool = False) -> LitmusSpec:
     )
 
 
-def run_spec_file(path: str) -> SpecResult:
-    """Parse and check a spec file (``*.csimp`` selects surface syntax)."""
+def run_spec_file(path: str, cache=None, budget=None) -> SpecResult:
+    """Parse and check a spec file (``*.csimp`` selects surface syntax).
+
+    ``cache`` is an optional :class:`repro.perf.cache.ResultCache`: a
+    previously stored *exhaustive* verdict for the identical source text
+    and configuration is returned without re-exploring (the dominant cost
+    of a litmus sweep).  Only exhaustive results are ever stored — a
+    bounded verdict is an artifact of its budget, not of the program.
+    ``budget`` attaches a runtime :class:`~repro.robust.budget.Budget` to
+    the exploration; it does not participate in the cache key.
+    """
     with open(path) as handle:
         source = handle.read()
     spec = parse_spec(source, structured=path.endswith(".csimp"))
-    return check_spec(spec)
+    config = spec.config()
+    if budget is not None:
+        config = replace(config, budget=budget)
+    if cache is not None:
+        payload = cache.lookup(source, config, "litmus")
+        if payload is not None:
+            return SpecResult(
+                ok=payload["ok"],
+                failures=tuple(payload["failures"]),
+                observed=tuple(tuple(o) for o in payload["observed"]),
+                exhaustive=payload["exhaustive"],
+            )
+    result = check_spec(spec, config)
+    if cache is not None:
+        cache.store(
+            source,
+            config,
+            "litmus",
+            {
+                "ok": result.ok,
+                "failures": list(result.failures),
+                "observed": [list(o) for o in result.observed],
+                "exhaustive": result.exhaustive,
+            },
+            exhaustive=result.exhaustive,
+        )
+    return result

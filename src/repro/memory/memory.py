@@ -26,15 +26,16 @@ This is the finite-branching substitution documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.memory.message import MemoryItem, Message, Reservation, init_message
 from repro.memory.timemap import TimeMap
 from repro.memory.timestamps import TS_ZERO, Timestamp, midpoint, successor
+from repro.perf.intern import HashConsed, intern_items, seal
 
 
 @dataclass(frozen=True)
-class Memory:
+class Memory(HashConsed):
     """An immutable, hashable set of memory items with disjoint intervals.
 
     ``sc_view`` is the global SC time map of full PS2.1: SC fences join
@@ -42,18 +43,46 @@ class Memory:
     ``repro.semantics.thread._fence_steps``).  It lives here because it is
     part of the *shared* state exactly like the message set; every
     structural operation below preserves it.
+
+    Construction hash-conses: the sorted item tuple (and each per-location
+    tuple) is interned so equal memories share storage and compare by
+    identity, and the hash is precomputed — memories sit inside every
+    machine state the explorer probes.
     """
 
     items: Tuple[MemoryItem, ...]
     sc_view: "TimeMap" = None  # type: ignore[assignment]
 
+    _transient = ("_hashcode", "_by_var")
+
     def __post_init__(self) -> None:
-        ordered = tuple(sorted(self.items, key=lambda m: (m.var, m.to, m.frm)))
+        ordered = intern_items(tuple(sorted(self.items, key=lambda m: (m.var, m.to, m.frm))))
         object.__setattr__(self, "items", ordered)
         if self.sc_view is None:
             from repro.memory.timemap import BOTTOM_TIMEMAP
 
             object.__setattr__(self, "sc_view", BOTTOM_TIMEMAP)
+        grouped: Dict[str, List[MemoryItem]] = {}
+        for item in ordered:
+            grouped.setdefault(item.var, []).append(item)
+        object.__setattr__(
+            self,
+            "_by_var",
+            {var: intern_items(tuple(items)) for var, items in grouped.items()},
+        )
+        seal(self, ("Memory", ordered, self.sc_view._hashcode))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Memory:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return self.items == other.items and self.sc_view == other.sc_view
 
     # -- construction --------------------------------------------------------
 
@@ -78,20 +107,18 @@ class Memory:
         return iter(self.items)
 
     def per_loc(self, var: str) -> Tuple[MemoryItem, ...]:
-        """All items for ``var``, sorted by "to"-timestamp."""
-        return tuple(m for m in self.items if m.var == var)
+        """All items for ``var``, sorted by "to"-timestamp (O(1): the
+        per-location index is built once at construction)."""
+        return self._by_var.get(var, ())
 
     def concrete(self, var: Optional[str] = None) -> Tuple[Message, ...]:
         """Concrete messages (optionally restricted to one location)."""
-        return tuple(
-            m
-            for m in self.items
-            if isinstance(m, Message) and (var is None or m.var == var)
-        )
+        items = self.items if var is None else self.per_loc(var)
+        return tuple(m for m in items if isinstance(m, Message))
 
     def locations(self) -> Tuple[str, ...]:
         """All locations that have at least one item."""
-        return tuple(sorted({m.var for m in self.items}))
+        return tuple(sorted(self._by_var))
 
     def latest_ts(self, var: str) -> Timestamp:
         """The greatest "to"-timestamp among ``var``'s items (0 if none)."""

@@ -16,10 +16,11 @@ from typing import Union
 from repro.lang.values import Int32
 from repro.memory.timemap import BOTTOM_VIEW, View
 from repro.memory.timestamps import Timestamp
+from repro.perf.intern import HashConsed, seal
 
 
 @dataclass(frozen=True)
-class Message:
+class Message(HashConsed):
     """A concrete write message ``⟨var: value@(frm, to], view⟩``.
 
     The "to"-timestamp identifies the message; the "from"-timestamp makes
@@ -41,6 +42,27 @@ class Message:
             raise ValueError(f"bad interval ({self.frm}, {self.to}]")
         if self.frm == self.to and self.to != 0:
             raise ValueError("only the initialization message may have an empty interval")
+        # Timestamps are Fractions, whose hash needs a modular inverse —
+        # worth computing exactly once per message.
+        seal(self, ("Msg", self.var, self.value, self.frm, self.to, self.view._hashcode))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Message:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return (
+            self.var == other.var
+            and self.value == other.value
+            and self.frm == other.frm
+            and self.to == other.to
+            and self.view == other.view
+        )
 
     @property
     def is_reservation(self) -> bool:
@@ -55,7 +77,7 @@ class Message:
 
 
 @dataclass(frozen=True)
-class Reservation:
+class Reservation(HashConsed):
     """A reservation ``⟨var: (frm, to]⟩`` — an interval claim, no value."""
 
     var: str
@@ -65,6 +87,19 @@ class Reservation:
     def __post_init__(self) -> None:
         if not (self.frm < self.to):
             raise ValueError(f"bad reservation interval ({self.frm}, {self.to}]")
+        seal(self, ("Rsv", self.var, self.frm, self.to))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Reservation:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return self.var == other.var and self.frm == other.frm and self.to == other.to
 
     @property
     def is_reservation(self) -> bool:

@@ -9,6 +9,12 @@ Both types are immutable and hashable — they appear inside machine states
 that are memoized during exhaustive exploration.  Time maps are stored
 sparsely: variables at timestamp 0 are not represented, so the bottom map is
 the empty tuple regardless of the variable universe.
+
+Hashing is the exploration hot path (every visited-set probe hashes whole
+machine states, and timestamps are :class:`~fractions.Fraction` values,
+which are costly to hash), so both types precompute their hash at
+construction via :class:`repro.perf.intern.HashConsed`, and a view interns
+its component time maps so equal maps share identity.
 """
 
 from __future__ import annotations
@@ -17,10 +23,11 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from repro.memory.timestamps import TS_ZERO, Timestamp
+from repro.perf.intern import HashConsed, intern_timemap, seal
 
 
 @dataclass(frozen=True)
-class TimeMap:
+class TimeMap(HashConsed):
     """A sparse, immutable ``Var → Time`` map (absent vars are at 0)."""
 
     entries: Tuple[Tuple[str, Timestamp], ...] = ()
@@ -30,6 +37,19 @@ class TimeMap:
             sorted((var, t) for var, t in dict(self.entries).items() if t != TS_ZERO)
         )
         object.__setattr__(self, "entries", cleaned)
+        seal(self, ("TimeMap", cleaned))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not TimeMap:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return self.entries == other.entries
 
     @staticmethod
     def of(mapping: Mapping[str, Timestamp]) -> "TimeMap":
@@ -81,7 +101,7 @@ BOTTOM_TIMEMAP = TimeMap()
 
 
 @dataclass(frozen=True)
-class View:
+class View(HashConsed):
     """A thread view ``V = (T_na, T_rlx)`` (paper Fig. 8).
 
     ``tna`` bounds non-atomic reads, ``trlx`` bounds relaxed and acquire
@@ -93,6 +113,23 @@ class View:
 
     tna: TimeMap = BOTTOM_TIMEMAP
     trlx: TimeMap = BOTTOM_TIMEMAP
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tna", intern_timemap(self.tna))
+        object.__setattr__(self, "trlx", intern_timemap(self.trlx))
+        seal(self, ("View", self.tna._hashcode, self.trlx._hashcode))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not View:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return self.tna == other.tna and self.trlx == other.trlx
 
     def join(self, other: "View") -> "View":
         """``V1 ⊔ V2`` — pointwise join of both components."""

@@ -1,0 +1,47 @@
+"""Performance subsystem: parallel sweeps, hash-consing, result caching.
+
+Three layers (``docs/performance.md``):
+
+* :mod:`repro.perf.intern` — state hash-consing: precomputed structural
+  hashes on the frozen state dataclasses plus intern tables for shared
+  substructures (views, time maps, per-location message tuples), so the
+  explorer's visited-set probes stop recomputing deep ``Fraction``-heavy
+  tuple hashes;
+* :mod:`repro.perf.pool`   — the process-pool sweep scheduler behind
+  ``--jobs N`` on the sweep commands, with deterministic aggregation and
+  wall-clock budget propagation to workers;
+* :mod:`repro.perf.cache`  — the persistent on-disk result cache behind
+  ``--cache DIR``, keyed by SHA-256 of (program text, semantics config,
+  semantics code version).
+
+This package initializer re-exports lazily (PEP 562): :mod:`intern` is
+imported by the core state modules, so eagerly importing :mod:`pool` or
+:mod:`cache` here would create an import cycle through the semantics.
+"""
+
+from __future__ import annotations
+
+_SUBMODULE_EXPORTS = {
+    "Interner": "repro.perf.intern",
+    "interner_stats": "repro.perf.intern",
+    "clear_interners": "repro.perf.intern",
+    "SweepJob": "repro.perf.pool",
+    "SweepOutcome": "repro.perf.pool",
+    "SweepResult": "repro.perf.pool",
+    "run_sweep": "repro.perf.pool",
+    "CacheError": "repro.perf.cache",
+    "ResultCache": "repro.perf.cache",
+    "SEMANTICS_VERSION": "repro.perf.cache",
+    "behavior_digest": "repro.perf.cache",
+}
+
+__all__ = sorted(_SUBMODULE_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _SUBMODULE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

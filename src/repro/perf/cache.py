@@ -1,0 +1,216 @@
+"""Persistent result cache for sweep verdicts (on-disk, content-addressed).
+
+Litmus suites, validation corpora, and fuzz regressions re-explore the
+same programs run after run; exploration dominates their cost.  This cache
+stores finished verdicts on disk keyed by everything the verdict depends
+on:
+
+* the program source text,
+* a digest of the :class:`~repro.semantics.thread.SemanticsConfig` (every
+  semantics-affecting knob; the attached runtime ``budget`` is excluded —
+  see below),
+* the ``kind`` of check (``"litmus"``, ``"fuzz:<optimizer>"``, ...),
+* :data:`SEMANTICS_VERSION`, a hand-bumped constant naming the semantics
+  code revision.  Any change to the step relation, certification, or
+  exploration must bump it; stale entries then miss silently and are
+  recomputed, never trusted.
+
+**Only exhaustive (PROVED-confidence) results may be stored.**  A PROVED
+verdict is a statement about the program's full behavior set and holds
+under *any* budget — which is why the budget can be excluded from the key.
+A BOUNDED or SAMPLED verdict is an artifact of the specific budget that
+truncated it; caching one would let a tiny smoke-test budget poison later
+thorough runs.  :meth:`ResultCache.store` enforces this.
+
+Integrity follows :mod:`repro.robust.checkpoint`'s policy: each entry
+wraps its payload with a SHA-256 digest, and a corrupt or
+digest-mismatched entry raises :class:`CacheError` loudly at load time —
+a cache that silently returned garbage verdicts would be worse than no
+cache.  (A *version*-mismatched entry, by contrast, is a well-formed entry
+for different semantics: that is a silent miss.)
+
+Layout: ``root/<key[:2]>/<key>.json`` — two-level fan-out keeps
+directories small on multi-thousand-program corpora.  Writes are atomic
+(temp file + ``os.replace``), so a killed sweep never leaves a truncated
+entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.semantics.thread import SemanticsConfig
+
+#: Bump when the semantics/exploration code changes meaning.  Cached
+#: verdicts from other versions are ignored (silent miss), never reused.
+SEMANTICS_VERSION = "ps21-repro-1"
+
+
+class CacheError(ValueError):
+    """A cache entry failed integrity validation (corrupt file/digest)."""
+
+
+def config_digest(config: SemanticsConfig) -> str:
+    """Stable digest of every semantics-affecting config knob.
+
+    The runtime ``budget`` is deliberately excluded: only exhaustive
+    results are cached, and those are budget-independent.  The promise
+    oracle contributes its class name and default budget — the two
+    attributes that determine which promise steps exist.
+    """
+    oracle = config.promise_oracle
+    parts = (
+        type(oracle).__name__,
+        oracle.default_budget,
+        config.enable_reservations,
+        config.gap_leaving_writes,
+        config.certify_against_cap,
+        config.fuse_local_steps,
+        config.certification_max_steps,
+        config.max_states,
+        config.max_outputs,
+    )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def behavior_digest(bset: Any) -> str:
+    """Canonical SHA-256 of a :class:`BehaviorSet`'s observable content.
+
+    Traces are serialized deterministically (each element as ``int`` or
+    marker string, traces sorted), so two explorations of the same program
+    — serial or parallel, fresh or resumed — digest identically iff they
+    observed the same behaviors.
+    """
+    canon = sorted(
+        (
+            [int(e) if isinstance(e, int) else str(e) for e in trace]
+            for trace in bset.traces
+        ),
+        # key=repr: traces mixing ints and marker strings (EVENT_DONE)
+        # are not elementwise comparable.
+        key=repr,
+    )
+    blob = json.dumps(
+        {"exhaustive": bset.exhaustive, "traces": canon},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_key(program_text: str, config: SemanticsConfig, kind: str) -> str:
+    """The content address of one (program, config, check-kind) verdict."""
+    h = hashlib.sha256()
+    h.update(SEMANTICS_VERSION.encode())
+    h.update(b"\x00")
+    h.update(config_digest(config).encode())
+    h.update(b"\x00")
+    h.update(kind.encode())
+    h.update(b"\x00")
+    h.update(program_text.encode())
+    return h.hexdigest()
+
+
+def _payload_digest(payload: Dict[str, Any]) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk verdict cache rooted at ``root`` (created on first store).
+
+    ``hits`` / ``misses`` / ``stores`` count this process's traffic; the
+    CLI prints them so a warm re-run's skip rate is visible.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def lookup(
+        self, program_text: str, config: SemanticsConfig, kind: str
+    ) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` on a miss.
+
+        Raises :class:`CacheError` on a corrupt entry — unreadable JSON,
+        missing fields, or a payload digest mismatch.  A version mismatch
+        is a silent miss (the entry belongs to different semantics).
+        """
+        key = cache_key(program_text, config, kind)
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CacheError(f"corrupt cache entry {path}: {exc}") from exc
+        if not isinstance(entry, dict) or not {
+            "version",
+            "kind",
+            "payload",
+            "digest",
+        } <= set(entry):
+            raise CacheError(f"malformed cache entry {path}: missing fields")
+        if _payload_digest(entry["payload"]) != entry["digest"]:
+            raise CacheError(f"cache entry {path} failed its integrity digest")
+        if entry["version"] != SEMANTICS_VERSION or entry["kind"] != kind:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(
+        self,
+        program_text: str,
+        config: SemanticsConfig,
+        kind: str,
+        payload: Dict[str, Any],
+        exhaustive: bool,
+    ) -> bool:
+        """Persist a verdict; returns whether it was stored.
+
+        Non-exhaustive results are refused (returns ``False``): they are
+        budget artifacts, and the cache key deliberately omits the budget.
+        ``payload`` must be JSON-serializable.
+        """
+        if not exhaustive:
+            return False
+        key = cache_key(program_text, config, kind)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "version": SEMANTICS_VERSION,
+            "kind": kind,
+            "payload": payload,
+            "digest": _payload_digest(payload),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self.stores += 1
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """This process's cache traffic: hit/miss/store counts."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __str__(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"cache[{self.root}]: {self.hits} hits / {self.misses} misses "
+            f"({rate:.0f}% hit rate), {self.stores} stored"
+        )

@@ -1,0 +1,171 @@
+"""State hash-consing: cached structural hashes + intern tables.
+
+The explorer's hot path is the visited-set probe ``succ in self._index``
+(:meth:`repro.semantics.exploration.Explorer.build`).  Machine states are
+deeply nested frozen dataclasses — pools of thread states holding views
+over sparse time maps whose timestamps are exact :class:`~fractions.Fraction`
+values — and a plain dataclass ``__hash__`` walks that whole structure on
+*every* probe (tuples do not cache their hash, and hashing a ``Fraction``
+computes a modular inverse).  Two complementary fixes live here:
+
+* **Cached hashes** — :class:`HashConsed` is the mixin behind every state
+  dataclass that precomputes its hash once at construction (stored in a
+  ``_hashcode`` slot on the instance dict) and exposes it through
+  ``__hash__``.  The cached value is *per-process* (string hashing is
+  randomized by ``PYTHONHASHSEED``), so the mixin strips it when pickling
+  and recomputes on unpickle — a checkpoint written by one process never
+  smuggles stale hashes into another.
+
+* **Interning** — :class:`Interner` canonicalizes shared substructures
+  (views, time maps, per-location message tuples, thread pools) so equal
+  values become the *same object*.  ``PyObject_RichCompareBool`` — the
+  workhorse behind tuple/dict equality — short-circuits on identity, so
+  interned substructures make the equality half of a dict probe O(1) per
+  shared component, and deduplication shrinks the resident state graph.
+
+Intern tables are process-global and bounded: past ``max_entries`` the
+table is flushed wholesale (an *epoch flush*).  Flushing only loses
+sharing, never correctness — interning is a pure identity optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class HashConsed:
+    """Mixin for frozen dataclasses with a precomputed structural hash.
+
+    Subclasses call :func:`seal` at the end of ``__post_init__`` with the
+    tuple of their (normalized) fields; ``__hash__`` then returns the
+    cached value.  ``_transient`` names the instance-dict entries that are
+    derived caches: they are dropped on pickle and rebuilt on unpickle by
+    re-running ``__post_init__`` (hash randomization makes a cached hash
+    meaningless in any other process).
+    """
+
+    _transient: Tuple[str, ...] = ("_hashcode",)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in self._transient:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:  # pragma: no cover - always overridden
+        raise NotImplementedError
+
+
+def seal(obj: object, key: tuple) -> None:
+    """Precompute and store ``obj``'s hash (call last in ``__post_init__``).
+
+    ``key`` should start with a type tag so structurally similar values of
+    different classes do not collide systematically.
+    """
+    object.__setattr__(obj, "_hashcode", hash(key))
+
+
+class Interner:
+    """A bounded hash-consing table: ``intern(x)`` returns the canonical
+    object equal to ``x``.
+
+    Lookups rely on the value's ``__hash__``/``__eq__`` — with
+    :class:`HashConsed` values the probe itself is cheap.  The table never
+    exceeds ``max_entries``: on overflow it is flushed entirely, which
+    costs only future sharing (an interned object already handed out stays
+    valid — interning has no correctness obligations).
+    """
+
+    __slots__ = ("_table", "max_entries", "hits", "misses", "flushes")
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self._table: Dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def intern(self, value: T) -> T:
+        """Return the canonical object equal to ``value`` (inserting it
+        as the canonical representative on a miss)."""
+        canonical = self._table.get(value)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        if len(self._table) >= self.max_entries:
+            self._table.clear()
+            self.flushes += 1
+        self.misses += 1
+        self._table[value] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Flush the table and reset all counters."""
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+
+#: Process-global intern tables for the substructures machine states share
+#: most heavily.  Per-table rather than one big table so stats stay
+#: attributable and a flush in one family does not evict the others.
+TIMEMAPS = Interner()
+VIEWS = Interner()
+ITEM_TUPLES = Interner()
+POOLS = Interner()
+
+_ALL = {
+    "timemaps": TIMEMAPS,
+    "views": VIEWS,
+    "item_tuples": ITEM_TUPLES,
+    "pools": POOLS,
+}
+
+
+def intern_timemap(timemap):
+    """Canonicalize a :class:`~repro.memory.timemap.TimeMap`."""
+    return TIMEMAPS.intern(timemap)
+
+
+def intern_view(view):
+    """Canonicalize a :class:`~repro.memory.timemap.View`."""
+    return VIEWS.intern(view)
+
+
+def intern_items(items: tuple) -> tuple:
+    """Canonicalize a tuple of memory items (whole-memory or per-location)."""
+    return ITEM_TUPLES.intern(items)
+
+
+def intern_pool(pool: tuple) -> tuple:
+    """Canonicalize a thread pool tuple."""
+    return POOLS.intern(pool)
+
+
+def interner_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters for every global intern table."""
+    return {
+        name: {
+            "entries": len(table),
+            "hits": table.hits,
+            "misses": table.misses,
+            "flushes": table.flushes,
+        }
+        for name, table in _ALL.items()
+    }
+
+
+def clear_interners() -> None:
+    """Flush every global intern table (tests, long-lived processes)."""
+    for table in _ALL.values():
+        table.clear()

@@ -1,0 +1,214 @@
+"""Parallel sweep scheduler: fan per-program jobs across worker processes.
+
+Every sweep-shaped command — ``repro litmus`` over the suite,
+``repro validate``/``repro races`` over many files, ``repro fuzz`` over a
+generated corpus, the benchmark harness — reduces to the same shape: a
+list of independent *(name, function, args)* jobs whose results are folded
+deterministically.  :func:`run_sweep` is that shape, once:
+
+* ``jobs_n <= 1`` runs serially in-process (the default — no
+  multiprocessing import-time cost, identical behavior to the historical
+  code path);
+* ``jobs_n > 1`` fans jobs across a fork-context ``multiprocessing.Pool``
+  (the same isolation primitive as :mod:`repro.robust.isolation`: fork
+  keeps the already-imported interpreter, so workers start in
+  milliseconds and share the monotonic clock with the parent).
+
+Determinism: the scheduler is *order-free* by construction.  Outcomes are
+collected with ``imap_unordered`` for throughput and then sorted by job
+name, so serial and parallel sweeps produce byte-identical reports — a
+Hypothesis property test (``tests/perf/test_pool.py``) checks verdicts
+and behavior digests match across ``jobs_n`` values.
+
+Budgets: a sweep-level :class:`~repro.robust.budget.Budget` deadline means
+wall clock *for the whole sweep*.  The parent computes the absolute
+monotonic deadline once; each worker, when it dequeues a job, re-derives
+the remaining time and runs the job under a child budget with exactly that
+much left (fork children share ``CLOCK_MONOTONIC``).  A job starting after
+the deadline fails fast with ``BudgetExhausted("deadline")`` instead of
+running unbounded.
+
+Failure isolation: a job that raises records a failed
+:class:`SweepOutcome` carrying the formatted error; one crashing program
+never takes down the sweep (mirroring ``robust/isolation.py``'s policy).
+Job functions must be module-level callables — the pool pickles them even
+under fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.robust.budget import Budget, BudgetExhausted
+from repro.robust.confidence import Confidence
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work: call ``fn(*args, **kwargs)``.
+
+    ``name`` identifies the job in the report and fixes the deterministic
+    output order (outcomes sort by name).  When the sweep runs under a
+    budget, ``fn`` additionally receives a ``budget=`` keyword carrying
+    the per-worker remainder — budget-aware job functions must accept it.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The result of one job: its value, or the error that ate it."""
+
+    name: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"FAILED ({self.error})"
+        return f"{self.name}: {status} [{self.elapsed_seconds:.2f}s]"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep: outcomes sorted by job name.
+
+    ``jobs`` records the parallelism the sweep actually ran with (1 for
+    the serial path), ``elapsed_seconds`` the sweep wall clock.
+    """
+
+    outcomes: Tuple[SweepOutcome, ...]
+    jobs: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def failures(self) -> Tuple[SweepOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def confidence(self) -> Optional[Confidence]:
+        """Fold the per-job confidences with ``Confidence.weakest``.
+
+        Only outcomes whose value exposes a ``confidence`` attribute
+        participate; ``None`` when no outcome does.  Failed jobs do not
+        contribute (callers decide how failures affect exit codes).
+        """
+        found = [
+            o.value.confidence
+            for o in self.outcomes
+            if o.ok and hasattr(o.value, "confidence")
+        ]
+        return Confidence.weakest(found) if found else None
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} failed"
+        return (
+            f"sweep: {len(self.outcomes)} jobs, {status}, "
+            f"jobs={self.jobs}, {self.elapsed_seconds:.2f}s"
+        )
+
+
+def _run_job(
+    job: SweepJob, deadline_at: Optional[float], budget: Optional[Budget]
+) -> SweepOutcome:
+    """Execute one job, deriving the per-job budget from the sweep deadline."""
+    started = time.monotonic()
+    kwargs = dict(job.kwargs)
+    if budget is not None:
+        remaining = None
+        if deadline_at is not None:
+            remaining = deadline_at - started
+            if remaining <= 0:
+                return SweepOutcome(
+                    name=job.name,
+                    ok=False,
+                    error="budget exhausted: deadline (sweep deadline "
+                    "passed before the job started)",
+                    elapsed_seconds=0.0,
+                )
+        kwargs["budget"] = Budget(
+            deadline_seconds=remaining,
+            max_states=budget.max_states,
+            memory_mb=budget.memory_mb,
+            memory_check_interval=budget.memory_check_interval,
+            trace_memory=budget.trace_memory,
+        )
+    try:
+        value = job.fn(*job.args, **kwargs)
+        return SweepOutcome(
+            name=job.name,
+            ok=True,
+            value=value,
+            elapsed_seconds=time.monotonic() - started,
+        )
+    except BudgetExhausted as exc:
+        return SweepOutcome(
+            name=job.name,
+            ok=False,
+            error=f"budget exhausted: {exc.reason}",
+            elapsed_seconds=time.monotonic() - started,
+        )
+    except Exception:
+        return SweepOutcome(
+            name=job.name,
+            ok=False,
+            error=traceback.format_exc(limit=5).strip().splitlines()[-1],
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+
+def _pool_worker(payload: Tuple[SweepJob, Optional[float], Optional[Budget]]) -> SweepOutcome:
+    """Module-level trampoline so the pool can pickle the call."""
+    job, deadline_at, budget = payload
+    return _run_job(job, deadline_at, budget)
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    jobs_n: int = 1,
+    budget: Optional[Budget] = None,
+) -> SweepResult:
+    """Run ``jobs`` with up to ``jobs_n`` worker processes.
+
+    Returns a :class:`SweepResult` whose outcomes are sorted by job name
+    regardless of completion order, so reports are deterministic across
+    parallelism levels.  ``budget.deadline_seconds`` (if set) is the wall
+    clock for the *whole sweep*; each job runs under the remainder.
+    """
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError("sweep job names must be unique")
+    started = time.monotonic()
+    deadline_at: Optional[float] = None
+    if budget is not None and budget.deadline_seconds is not None:
+        deadline_at = started + budget.deadline_seconds
+
+    jobs_n = max(1, jobs_n)
+    outcomes: List[SweepOutcome]
+    if jobs_n == 1 or len(jobs) <= 1:
+        outcomes = [_run_job(job, deadline_at, budget) for job in jobs]
+        jobs_n = 1
+    else:
+        ctx = multiprocessing.get_context("fork")
+        payloads = [(job, deadline_at, budget) for job in jobs]
+        with ctx.Pool(processes=min(jobs_n, len(jobs))) as pool:
+            outcomes = list(pool.imap_unordered(_pool_worker, payloads))
+
+    ordered = tuple(sorted(outcomes, key=lambda o: o.name))
+    return SweepResult(
+        outcomes=ordered,
+        jobs=jobs_n,
+        elapsed_seconds=time.monotonic() - started,
+    )

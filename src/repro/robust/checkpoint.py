@@ -56,6 +56,9 @@ class ExplorationCheckpoint:
     #: True when the ``max_states`` cap permanently dropped successors —
     #: such a truncation cannot be healed by resuming.
     dropped: bool = False
+    #: How many successor edges that cap discarded (severity of the
+    #: truncation; 0 for pre-severity checkpoints).
+    dropped_edges: int = 0
 
     @property
     def state_count(self) -> int:

@@ -48,9 +48,13 @@ STATUS_ERROR = "error"
 class IsolationPolicy:
     """Limits one isolated task runs under.
 
-    ``memory_mb`` is enforced as the child's soft ``RLIMIT_AS`` (the
-    hard governor behind the cooperative :class:`Budget` ceiling);
-    ``None`` disables it.  ``retry`` enables the
+    ``memory_mb`` is enforced two ways in the child: as the soft
+    ``RLIMIT_AS`` (the hard governor behind the cooperative
+    :class:`Budget` ceiling) and by a :mod:`tracemalloc` watchdog thread
+    that catches Python-level allocation the rlimit cannot see (a forked
+    child inherits the parent's allocator free lists, so small-object
+    churn may never request new address space); ``None`` disables both.
+    ``retry`` enables the
     retry-once-with-smaller-bounds semantics; the retry's deadline is the
     original times ``shrink_factor``.
     """
@@ -128,8 +132,55 @@ class IsolatedResult:
         )
 
 
+#: How often the child's memory watchdog samples traced allocation.
+_WATCHDOG_INTERVAL_SECONDS = 0.05
+
+
+def _start_memory_watchdog(conn, memory_mb) -> None:
+    """Enforce ``memory_mb`` against Python-level allocation in the child.
+
+    ``RLIMIT_AS`` only fails *new* address-space mappings.  A forked
+    child inherits the parent's allocator free lists, so a small-object
+    workload (exploration states) can recycle already-mapped pages
+    indefinitely without the rlimit ever firing — the ceiling would then
+    silently depend on how warm the parent's heap was.  tracemalloc
+    counts the child's own allocations regardless of which pages serve
+    them; the watchdog samples it and, past the ceiling, reports
+    ``STATUS_OOM`` and exits the child outright (``os._exit`` also keeps
+    the report race-free: the main thread can no longer send a competing
+    payload).
+
+    Must be called *before* the rlimit is applied — starting a thread
+    maps a fresh stack, which the rlimit would refuse.
+    """
+    import os
+    import threading
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+    ceiling = memory_mb * 1024 * 1024
+
+    def watch() -> None:
+        while True:
+            time.sleep(_WATCHDOG_INTERVAL_SECONDS)
+            try:
+                current, _peak = tracemalloc.get_traced_memory()
+                over = current >= ceiling
+            except MemoryError:
+                over = True  # the probe itself OOMed: same verdict
+            if over:
+                try:
+                    conn.send((STATUS_OOM, "MemoryError: memory ceiling hit"))
+                    conn.close()
+                finally:
+                    os._exit(1)
+
+    threading.Thread(target=watch, daemon=True, name="memory-watchdog").start()
+
+
 def _child_main(conn, fn, args, kwargs, memory_mb) -> None:
-    """Child-process trampoline: apply the rlimit, run, report back.
+    """Child-process trampoline: apply the limits, run, report back.
 
     On ``MemoryError`` the soft address-space limit is restored *before*
     pickling the reply, so reporting the OOM cannot itself OOM.
@@ -139,6 +190,7 @@ def _child_main(conn, fn, args, kwargs, memory_mb) -> None:
         if memory_mb is not None:
             import resource
 
+            _start_memory_watchdog(conn, memory_mb)
             old_limit = resource.getrlimit(resource.RLIMIT_AS)
             resource.setrlimit(
                 resource.RLIMIT_AS,

@@ -34,12 +34,36 @@ from repro.semantics.threadstate import ThreadState
 
 @dataclass
 class CertificationStats:
-    """Accounting for certification searches (exposed by the explorer)."""
+    """Accounting for certification searches (exposed by the explorer).
+
+    ``cache_entries`` tracks the live size of the (bounded) memo cache and
+    ``cache_evictions`` how many entries the
+    ``config.certification_cache_cap`` ceiling pushed out — long sweeps
+    watch these to confirm the cache is not accreting unbounded memory.
+    """
 
     calls: int = 0
     cache_hits: int = 0
     expansions: int = 0
     budget_exhausted: int = 0
+    #: Calls answered without touching the cache (no outstanding promises).
+    trivial: int = 0
+    cache_entries: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Memoizable calls that missed (trivially-consistent calls with no
+        outstanding promises never reach the cache and are not counted)."""
+        return max(0, self.calls - self.cache_hits - self.trivial)
+
+    def __str__(self) -> str:
+        return (
+            f"certification: {self.calls} calls, {self.cache_hits} hits / "
+            f"{self.cache_misses} misses, {self.cache_entries} cached "
+            f"({self.cache_evictions} evicted), {self.expansions} expansions, "
+            f"{self.budget_exhausted} budget-exhausted"
+        )
 
 
 def consistent(
@@ -58,10 +82,18 @@ def consistent(
     without fulfilling all promises, the configuration is conservatively
     deemed inconsistent and ``stats.budget_exhausted`` is bumped so callers
     can detect a too-small budget.
+
+    The cache is bounded by ``config.certification_cache_cap`` (0 disables
+    the bound): once full, the oldest entries are evicted FIFO — dicts
+    preserve insertion order, and older entries belong to memories the BFS
+    has mostly moved past, so FIFO approximates LRU here at no bookkeeping
+    cost.  Evictions are counted in ``stats.cache_evictions``.
     """
     if stats is not None:
         stats.calls += 1
     if not ts.has_promises:
+        if stats is not None:
+            stats.trivial += 1
         return True
     key = (ts, mem)
     if cache is not None and key in cache:
@@ -73,6 +105,14 @@ def consistent(
     result = _search(program, ts, base, config, stats)
     if cache is not None:
         cache[key] = result
+        cap = config.certification_cache_cap
+        if cap > 0:
+            while len(cache) > cap:
+                del cache[next(iter(cache))]
+                if stats is not None:
+                    stats.cache_evictions += 1
+        if stats is not None:
+            stats.cache_entries = len(cache)
     return result
 
 

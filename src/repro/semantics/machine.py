@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.lang.syntax import Assign, Be, Call, Jmp, Program, Return, Skip
+from repro.perf.intern import HashConsed, intern_pool, seal
 from repro.semantics.threadstate import next_op
 from repro.memory.memory import Memory
 from repro.semantics.certification import CertificationStats, consistent
@@ -53,12 +54,35 @@ ProgEvent = Union[SilentEvent, OutputEvent, SwitchEvent]
 
 
 @dataclass(frozen=True)
-class MachineState:
-    """``W = (TP, t, M)``."""
+class MachineState(HashConsed):
+    """``W = (TP, t, M)``.
+
+    The hash is precomputed at construction and the pool tuple is
+    interned: the explorer probes its visited set with every successor
+    state, and a cached hash plus identity-sharing substructures turn
+    that probe from a deep structural walk into near-O(1) work
+    (:mod:`repro.perf.intern`).
+    """
 
     pool: ThreadPool
     cur: int
     mem: Memory
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pool", intern_pool(self.pool))
+        seal(self, ("W", self.pool, self.cur, self.mem._hashcode))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not MachineState:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return self.cur == other.cur and self.mem == other.mem and self.pool == other.pool
 
     @property
     def current_thread(self) -> ThreadState:

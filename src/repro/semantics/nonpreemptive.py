@@ -25,6 +25,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.lang.syntax import Program
 from repro.memory.memory import Memory
+from repro.perf.intern import HashConsed, intern_pool, seal
 from repro.semantics.certification import CertificationStats, consistent
 from repro.semantics.events import (
     CancelEvent,
@@ -51,13 +52,35 @@ class SwitchBit(enum.Enum):
 
 
 @dataclass(frozen=True)
-class NPMachineState:
-    """``Ŵ = (TP, t, M, β)``."""
+class NPMachineState(HashConsed):
+    """``Ŵ = (TP, t, M, β)`` (hash-consed like
+    :class:`~repro.semantics.machine.MachineState`)."""
 
     pool: ThreadPool
     cur: int
     mem: Memory
     bit: SwitchBit = SwitchBit.FREE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pool", intern_pool(self.pool))
+        seal(self, ("NPW", self.pool, self.cur, self.mem._hashcode, self.bit))
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not NPMachineState:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return (
+            self.cur == other.cur
+            and self.bit is other.bit
+            and self.mem == other.mem
+            and self.pool == other.pool
+        )
 
     @property
     def current_thread(self) -> ThreadState:

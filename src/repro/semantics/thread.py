@@ -78,6 +78,8 @@ class SemanticsConfig:
     placement and CAS-adjacent insertion handled directly, reservations add
     no observable litmus behaviors, only state-space volume).
     ``certification_max_steps`` bounds the certification search;
+    ``certification_cache_cap`` bounds the certification memo cache (FIFO
+    eviction above the cap; 0 means unbounded);
     ``max_states`` / ``max_outputs`` bound exploration graph size and
     observable trace length.  ``budget`` optionally attaches a
     :class:`repro.robust.budget.Budget` (wall-clock deadline, state cap,
@@ -92,6 +94,7 @@ class SemanticsConfig:
     certify_against_cap: bool = True
     fuse_local_steps: bool = False
     certification_max_steps: int = 5000
+    certification_cache_cap: int = 100_000
     max_states: int = 2_000_000
     max_outputs: int = 8
     budget: Optional[Budget] = None

@@ -19,10 +19,11 @@ from repro.lang.syntax import Instr, Program, Terminator
 from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.timemap import BOTTOM_VIEW, View
+from repro.perf.intern import HashConsed, intern_view, seal
 
 
 @dataclass(frozen=True)
-class LocalState:
+class LocalState(HashConsed):
     """The sequential control state ``σ`` of one thread.
 
     ``stack`` holds ``(function, return_label)`` frames for pending calls.
@@ -41,6 +42,29 @@ class LocalState:
             sorted((name, Int32(value)) for name, value in dict(self.regs).items() if value != 0)
         )
         object.__setattr__(self, "regs", cleaned)
+        seal(
+            self,
+            ("Local", self.func, self.label, self.offset, cleaned, self.stack, self.done),
+        )
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not LocalState:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return (
+            self.offset == other.offset
+            and self.label == other.label
+            and self.func == other.func
+            and self.regs == other.regs
+            and self.stack == other.stack
+            and self.done == other.done
+        )
 
     @property
     def reg_map(self) -> Dict[str, Int32]:
@@ -81,7 +105,7 @@ def next_op(program: Program, local: LocalState) -> Optional[Union[Instr, Termin
 
 
 @dataclass(frozen=True)
-class ThreadState:
+class ThreadState(HashConsed):
     """``TS = (σ, V, P)`` plus the fence views of the full PS2.1 model.
 
     ``promises`` is a :class:`~repro.memory.memory.Memory` holding this
@@ -89,6 +113,9 @@ class ThreadState:
     ``promise_budget`` counts how many promise steps the thread may still
     take; it is part of the state so exploration stays finite (see
     :mod:`repro.semantics.promises`).
+
+    Construction interns the three views (most thread states share
+    ``V⊥`` or a handful of joined views) and precomputes the hash.
     """
 
     local: LocalState
@@ -97,6 +124,45 @@ class ThreadState:
     vrel: View = BOTTOM_VIEW
     vacq: View = BOTTOM_VIEW
     promise_budget: int = 0
+
+    def __post_init__(self) -> None:
+        # Duck-typed view stand-ins (the races API accepts any object with
+        # tna/trlx) are neither internable nor hash-consed: skip them.
+        for name in ("view", "vrel", "vacq"):
+            value = getattr(self, name)
+            if isinstance(value, View):
+                object.__setattr__(self, name, intern_view(value))
+        seal(
+            self,
+            (
+                "TS",
+                self.local._hashcode,
+                getattr(self.view, "_hashcode", 0),
+                self.promises._hashcode,
+                getattr(self.vrel, "_hashcode", 0),
+                getattr(self.vacq, "_hashcode", 0),
+                self.promise_budget,
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hashcode
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not ThreadState:
+            return NotImplemented
+        if self._hashcode != other._hashcode:
+            return False
+        return (
+            self.local == other.local
+            and self.view == other.view
+            and self.promises == other.promises
+            and self.vrel == other.vrel
+            and self.vacq == other.vacq
+            and self.promise_budget == other.promise_budget
+        )
 
     def with_local(self, local: LocalState) -> "ThreadState":
         """A copy with the sequential state replaced."""

@@ -194,6 +194,26 @@ class CorpusResult:
         )
 
 
+def _corpus_case(
+    optimizer: Optimizer,
+    seed: int,
+    generator_config: GeneratorConfig,
+    config: Optional[SemanticsConfig],
+    check_target_wwrf: bool,
+    static_tier: bool,
+) -> Tuple[int, bool, bool, str, Confidence]:
+    """Validate one corpus seed (module-level for the sweep pool)."""
+    source = random_wwrf_program(seed, generator_config)
+    report = validate_optimizer(
+        optimizer,
+        source,
+        config,
+        check_target_wwrf=check_target_wwrf,
+        static_tier=static_tier,
+    )
+    return (seed, report.changed, report.ok, str(report), report.confidence)
+
+
 def validate_corpus(
     optimizer: Optimizer,
     seeds: Sequence[int],
@@ -201,31 +221,51 @@ def validate_corpus(
     config: Optional[SemanticsConfig] = None,
     check_target_wwrf: bool = True,
     static_tier: bool = True,
+    jobs: int = 1,
 ) -> CorpusResult:
     """Sweep ``seeds`` through the generator and validate each program.
+
+    ``jobs > 1`` fans seeds across worker processes via
+    :func:`repro.perf.pool.run_sweep`; aggregation is seed-ordered, so
+    the result is identical at any parallelism level.
 
     For fault isolation against pathological programs (hangs, memory
     bombs) use :func:`repro.robust.isolation.isolated_validate_corpus`,
     which runs each seed in a governed subprocess and keeps the batch
     alive through individual crashes.
     """
+    from repro.perf.pool import SweepJob, run_sweep
+
+    seed_list = list(seeds)
+    sweep = run_sweep(
+        [
+            SweepJob(
+                name=f"seed-{seed:010d}",
+                fn=_corpus_case,
+                args=(
+                    optimizer, seed, generator_config, config,
+                    check_target_wwrf, static_tier,
+                ),
+            )
+            for seed in seed_list
+        ],
+        jobs_n=jobs,
+    )
     transformed = 0
     failures: List[Tuple[int, str]] = []
     confidence = Confidence.PROVED
-    for seed in seeds:
-        source = random_wwrf_program(seed, generator_config)
-        report = validate_optimizer(
-            optimizer,
-            source,
-            config,
-            check_target_wwrf=check_target_wwrf,
-            static_tier=static_tier,
-        )
-        if report.changed:
+    for outcome in sweep.outcomes:
+        if not outcome.ok:
+            seed = int(outcome.name.split("-", 1)[1])
+            failures.append((seed, f"job error: {outcome.error}"))
+            confidence = Confidence.weakest((confidence, Confidence.BOUNDED))
+            continue
+        seed, changed, ok, text, report_confidence = outcome.value
+        if changed:
             transformed += 1
-        if not report.ok:
-            failures.append((seed, str(report)))
-        confidence = Confidence.weakest((confidence, report.confidence))
+        if not ok:
+            failures.append((seed, text))
+        confidence = Confidence.weakest((confidence, report_confidence))
     return CorpusResult(
-        optimizer.name, len(seeds), transformed, tuple(failures), confidence
+        optimizer.name, len(seed_list), transformed, tuple(failures), confidence
     )

@@ -1,0 +1,168 @@
+"""The persistent result cache: round-trips, invalidation, integrity.
+
+The warm-cache round-trip (ISSUE satellite): run a sweep with ``--cache``,
+mutate exactly one program, re-run, and exactly that program re-explores.
+Corrupt entries fail loudly (:class:`CacheError`), mirroring
+``robust/checkpoint.py``'s integrity policy; entries written under a
+different :data:`SEMANTICS_VERSION` are silent misses.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.litmus.spec import run_spec_file
+from repro.perf import cache as cache_mod
+from repro.perf.cache import (
+    CacheError,
+    ResultCache,
+    behavior_digest,
+    cache_key,
+    config_digest,
+)
+from repro.semantics.exploration import behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+SPEC = """//! exists ({value})
+atomics x;
+fn t1 {{
+entry:
+    x.rlx := {value};
+    r := x.rlx;
+    print(r);
+    return;
+}}
+threads t1;
+"""
+
+
+def _write_specs(tmp_path, values):
+    paths = []
+    for i, value in enumerate(values):
+        path = tmp_path / f"prog{i}.litmus"
+        path.write_text(SPEC.format(value=value))
+        paths.append(str(path))
+    return paths
+
+
+class TestKeying:
+    def test_key_depends_on_program_text(self):
+        config = SemanticsConfig()
+        assert cache_key("a", config, "litmus") != cache_key("b", config, "litmus")
+
+    def test_key_depends_on_kind(self):
+        config = SemanticsConfig()
+        assert cache_key("a", config, "litmus") != cache_key("a", config, "races:x")
+
+    def test_config_digest_tracks_semantics_knobs(self):
+        base = SemanticsConfig()
+        assert config_digest(base) != config_digest(
+            SemanticsConfig(promise_oracle=SyntacticPromises(budget=1, max_outstanding=1))
+        )
+        assert config_digest(base) != config_digest(SemanticsConfig(max_outputs=4))
+
+    def test_budget_excluded_from_digest(self):
+        from repro.robust.budget import Budget
+
+        assert config_digest(SemanticsConfig()) == config_digest(
+            SemanticsConfig(budget=Budget(deadline_seconds=1.0))
+        )
+
+
+class TestStoreAndLookup:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        assert cache.lookup("prog", config, "k") is None
+        assert cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        assert cache.lookup("prog", config, "k") == {"ok": True}
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_non_exhaustive_results_refused(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        assert not cache.store("prog", config, "k", {"ok": True}, exhaustive=False)
+        assert cache.lookup("prog", config, "k") is None
+
+    def test_version_mismatch_is_silent_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        # A semantics-code bump changes the key, so the old entry is
+        # simply not found — stale verdicts can never be trusted.
+        monkeypatch.setattr(cache_mod, "SEMANTICS_VERSION", "ps21-repro-999")
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.lookup("prog", config, "k") is None
+
+    def test_corrupt_json_fails_loudly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        (entry,) = glob.glob(os.path.join(str(tmp_path), "*", "*.json"))
+        with open(entry, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(CacheError):
+            cache.lookup("prog", config, "k")
+
+    def test_tampered_payload_fails_loudly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        (entry,) = glob.glob(os.path.join(str(tmp_path), "*", "*.json"))
+        with open(entry) as handle:
+            blob = json.load(handle)
+        blob["payload"]["ok"] = False  # flip the verdict, keep the digest
+        with open(entry, "w") as handle:
+            json.dump(blob, handle)
+        with pytest.raises(CacheError):
+            cache.lookup("prog", config, "k")
+
+
+class TestWarmRoundTrip:
+    def test_mutating_one_program_reexplores_exactly_it(self, tmp_path):
+        paths = _write_specs(tmp_path, [1, 2, 3])
+        root = str(tmp_path / "cache")
+
+        cold = ResultCache(root)
+        for path in paths:
+            assert run_spec_file(path, cache=cold).ok
+        assert cold.stores == 3 and cold.hits == 0
+
+        warm = ResultCache(root)
+        for path in paths:
+            assert run_spec_file(path, cache=warm).ok
+        assert warm.hits == 3 and warm.misses == 0
+
+        # Mutate exactly one program; only it may re-explore.
+        with open(paths[1], "w") as handle:
+            handle.write(SPEC.format(value=7))
+        third = ResultCache(root)
+        for path in paths:
+            assert run_spec_file(path, cache=third).ok
+        assert third.hits == 2 and third.misses == 1 and third.stores == 1
+
+    def test_cached_verdict_matches_fresh(self, tmp_path):
+        (path,) = _write_specs(tmp_path, [5])
+        cache = ResultCache(str(tmp_path / "cache"))
+        fresh = run_spec_file(path, cache=cache)
+        cached = run_spec_file(path, cache=cache)
+        assert cached == fresh
+        assert cache.hits == 1
+
+
+class TestBehaviorDigest:
+    def test_digest_is_deterministic_and_discriminating(self):
+        from repro.litmus.library import lb
+
+        # Promises enable LB's (1, 1) outcome, so the two behavior sets of
+        # the *same* program genuinely differ — and so must their digests.
+        plain = behavior_digest(behaviors(lb(), SemanticsConfig()))
+        again = behavior_digest(behaviors(lb(), SemanticsConfig()))
+        assert plain == again
+        promising = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1)
+        )
+        assert behavior_digest(behaviors(lb(), promising)) != plain

@@ -1,0 +1,129 @@
+"""Hash-consing layer: cached hashes, interning, and pickling.
+
+The correctness obligations of ``repro.perf.intern`` are (1) the cached
+hash always agrees with structural equality, (2) interning returns equal
+objects by identity without ever changing equality, and (3) a pickled
+state never smuggles a per-process hash across process boundaries
+(``PYTHONHASHSEED`` randomizes string hashes, so a stale cached hash
+would silently corrupt visited sets restored from checkpoints).
+"""
+
+import pickle
+
+from fractions import Fraction
+
+from repro.memory.memory import Memory
+from repro.memory.message import Message
+from repro.memory.timemap import BOTTOM_VIEW, TimeMap, View
+from repro.perf.intern import (
+    Interner,
+    clear_interners,
+    intern_view,
+    interner_stats,
+)
+from repro.semantics.machine import initial_machine_state
+from repro.semantics.threadstate import LocalState, ThreadState
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Const, Load, Print, Reg, Store
+
+
+def _program():
+    return straightline_program(
+        [
+            [Store("x", Const(1), AccessMode.RLX), Load("r1", "y", AccessMode.RLX), Print(Reg("r1"))],
+            [Store("y", Const(1), AccessMode.RLX), Load("r2", "x", AccessMode.RLX), Print(Reg("r2"))],
+        ],
+        atomics={"x", "y"},
+    )
+
+
+class TestCachedHashes:
+    def test_equal_values_equal_hashes(self):
+        a = TimeMap((("x", Fraction(1, 2)),))
+        b = TimeMap((("x", Fraction(2, 4)),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a._hashcode == b._hashcode
+
+    def test_distinct_values_distinct(self):
+        a = TimeMap((("x", Fraction(1, 2)),))
+        b = TimeMap((("x", Fraction(1, 3)),))
+        assert a != b
+
+    def test_hash_survives_dataclass_replace(self):
+        local = LocalState(func="t1", label="entry", offset=0)
+        moved = local.set_reg("r1", 7)
+        assert moved != local
+        assert hash(moved) == hash(LocalState(func="t1", label="entry", offset=0,
+                                              regs=(("r1", 7),)))
+
+    def test_machine_state_hash_consistent(self):
+        from repro.semantics.thread import SemanticsConfig
+
+        program = _program()
+        w1 = initial_machine_state(program, SemanticsConfig())
+        w2 = initial_machine_state(program, SemanticsConfig())
+        assert w1 == w2
+        assert hash(w1) == hash(w2)
+
+
+class TestPickleTransience:
+    def test_pickle_strips_and_recomputes_hashcode(self):
+        view = View(
+            TimeMap((("x", Fraction(1, 2)),)), TimeMap((("x", Fraction(1, 2)),))
+        )
+        blob = pickle.dumps(view)
+        assert b"_hashcode" not in blob
+        restored = pickle.loads(blob)
+        assert restored == view
+        assert hash(restored) == hash(view)
+
+    def test_memory_by_var_index_rebuilt(self):
+        mem = Memory((Message("x", 1, Fraction(0), Fraction(1), BOTTOM_VIEW),))
+        restored = pickle.loads(pickle.dumps(mem))
+        assert restored == mem
+        assert restored.per_loc("x") == mem.per_loc("x")
+
+    def test_thread_state_roundtrip(self):
+        ts = ThreadState(local=LocalState(func="t1", label="entry", offset=0))
+        restored = pickle.loads(pickle.dumps(ts))
+        assert restored == ts and hash(restored) == hash(ts)
+
+
+class TestInterner:
+    def test_intern_canonicalizes(self):
+        table = Interner()
+        a = ("x", 1)
+        b = ("x", 1)
+        assert table.intern(a) is a
+        assert table.intern(b) is a
+        assert table.hits == 1 and table.misses == 1
+
+    def test_bounded_flush(self):
+        table = Interner(max_entries=2)
+        table.intern((1,))
+        table.intern((2,))
+        table.intern((3,))  # overflow: wholesale flush, then insert
+        assert table.flushes == 1
+        assert len(table) == 1
+
+    def test_flush_is_only_a_sharing_loss(self):
+        table = Interner(max_entries=1)
+        a = table.intern(("x",))
+        table.intern(("y",))  # flushes the table
+        b = table.intern(("x",))
+        assert a == b  # equality intact even though identity diverged
+
+    def test_global_view_interning(self):
+        clear_interners()
+        v1 = intern_view(View(TimeMap((("x", Fraction(1, 2)),)), TimeMap(())))
+        v2 = intern_view(View(TimeMap((("x", Fraction(1, 2)),)), TimeMap(())))
+        assert v1 is v2
+        stats = interner_stats()
+        assert stats["views"]["hits"] >= 1
+
+    def test_states_share_interned_views(self):
+        clear_interners()
+        a = ThreadState(local=LocalState(func="t1", label="entry", offset=0))
+        b = ThreadState(local=LocalState(func="t2", label="entry", offset=0))
+        assert a.view is b.view  # both interned to the canonical bottom view

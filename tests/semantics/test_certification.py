@@ -121,3 +121,55 @@ def test_budget_exhaustion_is_conservative():
     stats = CertificationStats()
     assert not consistent(program, state, mem, tiny, None, stats)
     assert stats.budget_exhausted == 1
+
+
+def test_trivial_calls_counted_separately():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    state = initial_thread_state(program, "t1")
+    mem = Memory.initial(["x"])
+    stats = CertificationStats()
+    assert consistent(program, state, mem, CFG, {}, stats)
+    assert stats.trivial == 1
+    assert stats.cache_misses == 0
+
+
+def test_cache_bounded_by_cap():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    capped = SemanticsConfig(certification_cache_cap=1)
+    cache: dict = {}
+    stats = CertificationStats()
+    for value in (1, 2, 3):
+        mem = Memory.initial(["x"])
+        state, mem = with_promise(program, "t1", "x", value, 0, 1, mem)
+        consistent(program, state, mem, capped, cache, stats)
+    assert len(cache) == 1
+    assert stats.cache_entries == 1
+    assert stats.cache_evictions == 2
+
+
+def test_eviction_is_fifo_and_only_costs_hits():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    capped = SemanticsConfig(certification_cache_cap=2)
+    cache: dict = {}
+    stats = CertificationStats()
+    keys = []
+    for value in (1, 2, 3):
+        mem = Memory.initial(["x"])
+        state, mem = with_promise(program, "t1", "x", value, 0, 1, mem)
+        keys.append((state, mem))
+        consistent(program, state, mem, capped, cache, stats)
+    assert keys[0] not in cache       # oldest evicted
+    assert keys[1] in cache and keys[2] in cache
+    # An evicted entry recomputes correctly on re-query.
+    assert consistent(program, *keys[0], capped, cache, stats)
+
+
+def test_zero_cap_means_unbounded():
+    program = straightline_program([[Store("x", Const(1), AccessMode.NA)]])
+    unbounded = SemanticsConfig(certification_cache_cap=0)
+    cache: dict = {}
+    for value in (1, 2, 3):
+        mem = Memory.initial(["x"])
+        state, mem = with_promise(program, "t1", "x", value, 0, 1, mem)
+        consistent(program, state, mem, unbounded, cache)
+    assert len(cache) == 3

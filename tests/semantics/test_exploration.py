@@ -92,6 +92,20 @@ class TestBounds:
         with pytest.raises(ExplorationBoundExceeded):
             behaviors(program, config, strict=True)
 
+    def test_dropped_edges_counted_and_reported(self):
+        program = straightline_program([[Print(Const(1))], [Print(Const(2))]])
+        config = SemanticsConfig(max_states=3)
+        result = behaviors(program, config)
+        # The cap silently discarded successors; the count says how many.
+        assert result.dropped_edges > 0
+        assert f"{result.dropped_edges} edges dropped" in str(result)
+
+    def test_exhaustive_run_drops_nothing(self):
+        program = straightline_program([[Print(Const(1))], [Print(Const(2))]])
+        result = behaviors(program, SemanticsConfig())
+        assert result.exhaustive and result.dropped_edges == 0
+        assert "dropped" not in str(result)
+
 
 class TestExplorerReuse:
     def test_build_idempotent(self):
