@@ -14,18 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.dataflow import BlockAnalysis, solve_forward
 from repro.analysis.lattice import (
     FLAT_BOT,
     FLAT_TOP,
     FlatValue,
-    Lattice,
     flat_const,
     flat_join,
 )
 from repro.lang.syntax import (
     Assign,
-    BasicBlock,
     BinOp,
     Call,
     Cas,
@@ -185,22 +182,15 @@ def value_analysis(program: Program, func: str, initial: Optional[Env] = None) -
     with arbitrary register contents.  Functions that are both thread
     entries and call targets must use the ``⊤`` default, which
     :func:`repro.opt.constprop.entry_env_for` decides.
+
+    The fixpoint runs on the shared abstract-interpretation engine
+    (:mod:`repro.static.absint`); the lattice and transfers above are
+    the domain.  Imported lazily — the constants domain module imports
+    this one for them.
     """
+    from repro.static.absint import solve
+    from repro.static.absint.domains.constants import ConstantsDomain
+
     heap = program.function(func)
-
-    def transfer(label: str, block: BasicBlock, env: Env) -> Env:
-        for instr in block.instrs:
-            env = transfer_instruction(instr, env)
-        return transfer_terminator(block.term, env)
-
-    analysis = BlockAnalysis(
-        lattice=Lattice(
-            bottom=Env.unreached(),
-            join=lambda a, b: a.join(b),
-            eq=lambda a, b: a == b,
-        ),
-        transfer=transfer,
-        boundary=initial if initial is not None else Env.initial(),
-    )
-    entry_envs = solve_forward(heap, analysis)
-    return ValueResult(heap, entry_envs)
+    result = solve(heap, ConstantsDomain(initial))
+    return ValueResult(heap, dict(result.entry))

@@ -56,7 +56,7 @@ from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv
 from repro.races.rwrace import rw_races
-from repro.races.tiered import ww_rf_tiered_with_static
+from repro.races.tiered import check_races_tiered
 from repro.races.wwrf import ww_nprf, ww_rf
 from repro.robust.budget import Budget
 from repro.robust.checkpoint import CheckpointError
@@ -240,15 +240,19 @@ def _races_file_case(
     program = _load(path, csimp)
     lines: List[str] = []
     if static:
-        report, static_report = ww_rf_tiered_with_static(
-            program, config, nonpreemptive=np
-        )
-        lines.append(f"static tier: {static_report}")
+        # The three-tier ladder: static rw and ww tiers first, one shared
+        # exploration only for whatever they leave inconclusive.
+        ladder = check_races_tiered(program, config, nonpreemptive=np)
+        report = ladder.ww
+        lines.append(f"static rw tier: {ladder.static_rw}")
+        lines.append(f"static tier: {ladder.static_ww}")
+        lines.append(f"ww-RF: {report}")
+        witnesses = ladder.rw.witnesses
     else:
         check = ww_nprf if np else ww_rf
         report = check(program, config)
-    lines.append(f"ww-RF: {report}")
-    witnesses = rw_races(program, config)
+        lines.append(f"ww-RF: {report}")
+        witnesses = rw_races(program, config)
     if witnesses:
         lines.append("read-write races:")
         for witness in witnesses:
@@ -312,17 +316,58 @@ def cmd_races(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """``analyze`` — purely static: lint the IR and run the thread-modular
-    ww-race analysis.  No state exploration happens; the race verdict may
-    be inconclusive (``POTENTIAL_RACE`` / ``UNKNOWN``)."""
-    from repro.static import analyze_ww_races, lint_program
+    ww- and rw-race analyses.  No state exploration happens; the race
+    verdicts may be inconclusive (``POTENTIAL_RACE`` / ``UNKNOWN``).
+
+    ``--json`` emits a single machine-readable object (verdicts,
+    witnesses, per-analysis timings in seconds) and nothing else, so CI
+    and sweeps can consume static results without scraping text."""
+    import json
+    import time
+
+    from repro.static import analyze_rw_races, analyze_ww_races, lint_program
 
     program = _load(args.file, getattr(args, 'csimp', False))
+    t0 = time.perf_counter()
     lint = lint_program(program)
+    t1 = time.perf_counter()
+    ww = analyze_ww_races(program)
+    t2 = time.perf_counter()
+    rw = analyze_rw_races(program)
+    t3 = time.perf_counter()
+    if getattr(args, "json", False):
+        payload = {
+            "file": args.file,
+            "lint": {
+                "ok": lint.ok,
+                "issues": [str(issue) for issue in lint.issues],
+            },
+            "ww": {
+                "verdict": str(ww.verdict),
+                "race_free": ww.race_free,
+                "checked_pairs": ww.checked_pairs,
+                "witnesses": [str(w) for w in ww.witnesses],
+            },
+            "rw": {
+                "verdict": str(rw.verdict),
+                "race_free": rw.race_free,
+                "checked_pairs": rw.checked_pairs,
+                "witnesses": [str(w) for w in rw.witnesses],
+            },
+            "timings": {
+                "lint_s": t1 - t0,
+                "ww_s": t2 - t1,
+                "rw_s": t3 - t2,
+                "total_s": t3 - t0,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if lint.ok else 1
     print(lint)
     for issue in lint.issues:
         print(f"  {issue}")
-    static = analyze_ww_races(program)
-    print(static)
+    print(ww)
+    print(rw)
     return 0 if lint.ok else 1
 
 
@@ -335,6 +380,7 @@ def _validate_file_case(
     degrade: bool,
     config: SemanticsConfig,
     cache_root: Optional[str],
+    report_rw: bool = False,
     budget: Optional[Budget] = None,
 ) -> Dict[str, Any]:
     """Validate one file (module-level so the sweep pool can run it).
@@ -345,7 +391,10 @@ def _validate_file_case(
     """
     config = _budgeted(config, budget)
     cache = _open_cache(cache_root)
-    kind = f"validate:{opt_name}:strict={int(strict)}:wwrf={int(not no_wwrf)}"
+    kind = (
+        f"validate:{opt_name}:strict={int(strict)}:wwrf={int(not no_wwrf)}"
+        f":rw={int(report_rw)}"
+    )
     source_text = None
     if cache is not None:
         with open(path) as handle:
@@ -369,7 +418,8 @@ def _validate_file_case(
         )
     else:
         report = validate_optimizer(
-            optimizer, program, config, check_target_wwrf=not no_wwrf
+            optimizer, program, config, check_target_wwrf=not no_wwrf,
+            report_rw=report_rw,
         )
     record = {
         "report": str(report),
@@ -402,6 +452,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         lambda path: (
             path, getattr(args, "csimp", False), args.opt, args.strict,
             args.no_wwrf, args.degrade, config, args.cache,
+            getattr(args, "rw", False),
         ),
         jobs=args.jobs,
         budget=config.budget,
@@ -630,8 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_races)
 
     p = sub.add_parser("analyze", help="static analyses only (lint + "
-                       "thread-modular ww-race detection)")
+                       "thread-modular ww/rw-race detection)")
     common(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON object (verdicts, "
+                        "witnesses, per-analysis timings) instead of text")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("validate", help="optimize + translation-validate")
@@ -648,6 +702,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrade", action="store_true",
                    help="on a budget trip, degrade exhaustive → bounded → "
                         "sampled instead of stopping (exit 3/4 by rung)")
+    p.add_argument("--rw", action="store_true",
+                   help="also run the tiered rw-race census on source and "
+                        "target (informational: rw-races never fail "
+                        "validation, but introductions are reported)")
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("run", help="randomized executions")

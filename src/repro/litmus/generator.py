@@ -34,6 +34,11 @@ class GeneratorConfig:
     prints_per_thread: int = 1
     allow_branches: bool = True
     allow_cas: bool = False
+    #: Restrict non-atomic reads to the reading thread's *owned* locations,
+    #: making programs rw-race-free by the same ownership discipline that
+    #: already makes them ww-race-free (used to build statically
+    #: dischargeable corpora for the rw tier benchmarks).
+    owned_reads_only: bool = False
 
 
 def random_wwrf_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Program:
@@ -75,9 +80,13 @@ def _gen_thread(
             # Non-atomic write to an owned location.
             loc = rng.choice(list(owned))
             block.store(loc, _rand_expr(rng, config), AccessMode.NA)
-        elif choice < 0.55 and config.na_locations:
-            # Non-atomic read of any location (may be rw-racy: allowed).
-            loc = rng.choice(list(config.na_locations))
+        elif choice < 0.55 and (
+            owned if config.owned_reads_only else config.na_locations
+        ):
+            # Non-atomic read: any location (may be rw-racy: allowed), or
+            # owned only under the stricter rw-race-free discipline.
+            pool = owned if config.owned_reads_only else config.na_locations
+            loc = rng.choice(list(pool))
             block.load(rng.choice(list(config.registers)), loc, AccessMode.NA)
         elif choice < 0.70 and config.atomic_locations:
             loc = rng.choice(list(config.atomic_locations))

@@ -6,20 +6,33 @@
 * :mod:`repro.races.rwrace` — read-write race *detection* (the paper allows
   rw-races in sources; the detector exists to demonstrate Fig. 5's claim
   that LInv introduces them);
-* :mod:`repro.races.tiered` — tiered checking: the static thread-modular
-  analysis (:mod:`repro.static.wwraces`) first, exhaustive exploration
-  only when it is inconclusive.
+* :mod:`repro.races.tiered` — the three-tier ladder: static rw
+  (:mod:`repro.static.rwraces`) and static ww
+  (:mod:`repro.static.wwraces`) first, one shared exhaustive exploration
+  only for whatever they leave inconclusive.
 """
 
 from repro.races.wwrf import RaceReport, WwRaceWitness, ww_nprf, ww_race_witness, ww_rf
-from repro.races.rwrace import rw_race_witness, rw_races
-from repro.races.tiered import ww_rf_tiered, ww_rf_tiered_with_static
+from repro.races.rwrace import RwRaceWitness, rw_race_witness, rw_races
+from repro.races.tiered import (
+    RaceLadderReport,
+    RwReport,
+    check_races_tiered,
+    rw_races_tiered,
+    ww_rf_tiered,
+    ww_rf_tiered_with_static,
+)
 
 __all__ = [
+    "RaceLadderReport",
     "RaceReport",
+    "RwRaceWitness",
+    "RwReport",
     "WwRaceWitness",
+    "check_races_tiered",
     "rw_race_witness",
     "rw_races",
+    "rw_races_tiered",
     "ww_nprf",
     "ww_race_witness",
     "ww_rf",

@@ -1,33 +1,95 @@
-"""Tiered write-write race checking: static first, exhaustive on demand.
+"""Tiered race checking: static tiers first, one shared exploration last.
 
-``ww_rf_tiered`` runs the thread-modular static analysis of
-:mod:`repro.static.wwraces` (tier 0) and only falls back to exhaustive
-PS2.1 state exploration (tier 1, :func:`repro.races.wwrf.ww_rf`) when the
-static verdict is ``POTENTIAL_RACE`` or ``UNKNOWN``.  The contract:
+The three-tier ladder (cheapest first):
+
+* **tier 0 — static rw** (:mod:`repro.static.rwraces`): thread-modular
+  read-write discharge, zero machine states;
+* **tier 1 — static ww** (:mod:`repro.static.wwraces`): the same for
+  write-write pairs;
+* **tier 2 — dynamic explorer**: exhaustive PS2.1 state exploration,
+  built *once* and scanned for both race kinds, entered only for the
+  analyses the static tiers left inconclusive.
+
+The contract:
 
 * a static ``RACE_FREE`` is **sound** — it may never contradict what
   exhaustive exploration would find (validated by the Hypothesis property
-  test in ``tests/static/test_soundness.py`` and the E-STATIC benchmark);
+  tests in ``tests/static/test_soundness.py`` /
+  ``tests/static/test_rw_soundness.py`` and the E-STATIC benchmarks);
 * the fallback preserves exhaustive semantics exactly, including the
   ``exhaustive`` truncation flag and the ``stop_reason`` of a
   budget-governed exploration (``config.budget``) — a deadline- or
   memory-cancelled fallback reports ``confidence == BOUNDED``, never a
   proof;
-* the returned :class:`~repro.races.wwrf.RaceReport` records which tier
-  decided via its ``method`` field (``"static"`` → zero states explored,
-  ``confidence == PROVED``: the static verdict is a proof and costs no
-  budget).
+* the returned reports record which tier decided via their ``method``
+  field (``"static"`` → zero states explored, ``confidence == PROVED``:
+  the static verdict is a proof and costs no budget).
+
+``ww_rf_tiered`` / ``ww_rf_tiered_with_static`` keep the original
+two-tier ww entry points; ``rw_races_tiered`` is the rw counterpart and
+``check_races_tiered`` runs the full ladder.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.lang.syntax import Program
-from repro.races.wwrf import RaceReport, ww_nprf, ww_rf
+from repro.races.rwrace import RwRaceWitness, rw_race_witness
+from repro.races.wwrf import RaceReport, ww_nprf, ww_race_witness, ww_rf
+from repro.robust.confidence import Confidence
+from repro.semantics.exploration import Explorer
 from repro.semantics.thread import SemanticsConfig
+from repro.static.rwraces import StaticRwReport, analyze_rw_races
 from repro.static.wwraces import StaticRaceReport, analyze_ww_races
+
+
+@dataclass(frozen=True)
+class RwReport:
+    """The verdict of a read-write race check (mirror of
+    :class:`~repro.races.wwrf.RaceReport`, with the full witness list —
+    rw detection is a census, not just a freedom bit)."""
+
+    race_free: bool
+    witnesses: Tuple[RwRaceWitness, ...]
+    exhaustive: bool
+    state_count: int
+    method: str = "exhaustive"
+    stop_reason: Optional[str] = None
+
+    @property
+    def confidence(self) -> Confidence:
+        """Evidence strength, as for :class:`RaceReport`."""
+        if self.method == "sampled":
+            return Confidence.SAMPLED
+        return Confidence.PROVED if self.exhaustive else Confidence.BOUNDED
+
+    def __bool__(self) -> bool:
+        return self.race_free
+
+    def __str__(self) -> str:
+        if self.race_free:
+            verdict = "race-free"
+        else:
+            verdict = f"RACY ({len(self.witnesses)} witnesses)"
+        if self.method == "static":
+            kind = "static"
+        else:
+            kind = "exhaustive" if self.exhaustive else "TRUNCATED"
+        return f"RwReport({verdict}, {self.state_count} states, {kind})"
+
+
+def _scan_rw(program: Program, explorer: Explorer) -> Tuple[RwRaceWitness, ...]:
+    """All distinct (tid, loc) rw-race witnesses over a built explorer."""
+    seen = set()
+    witnesses: List[RwRaceWitness] = []
+    for state in explorer.states:
+        witness = rw_race_witness(program, state)
+        if witness is not None and (witness.tid, witness.loc) not in seen:
+            seen.add((witness.tid, witness.loc))
+            witnesses.append(witness)
+    return tuple(witnesses)
 
 
 def ww_rf_tiered(
@@ -59,3 +121,109 @@ def ww_rf_tiered_with_static(
         return report, static
     check = ww_nprf if nonpreemptive else ww_rf
     return replace(check(program, config), method="exhaustive"), static
+
+
+def rw_races_tiered(
+    program: Program,
+    config: Optional[SemanticsConfig] = None,
+    nonpreemptive: bool = False,
+) -> Tuple[RwReport, StaticRwReport]:
+    """rw-race detection via the static tier, falling back to exploration.
+
+    Returns the dynamic-shaped report and the static tier's own report
+    (whose witnesses explain any fallback)."""
+    static = analyze_rw_races(program)
+    if static.race_free:
+        report = RwReport(
+            race_free=True,
+            witnesses=(),
+            exhaustive=True,
+            state_count=0,
+            method="static",
+        )
+        return report, static
+    explorer = Explorer(
+        program, config or SemanticsConfig(), nonpreemptive=nonpreemptive
+    ).build()
+    witnesses = _scan_rw(program, explorer)
+    report = RwReport(
+        race_free=not witnesses,
+        witnesses=witnesses,
+        exhaustive=explorer.exhaustive,
+        state_count=len(explorer.states),
+        method="exhaustive",
+        stop_reason=explorer.stop_reason,
+    )
+    return report, static
+
+
+@dataclass(frozen=True)
+class RaceLadderReport:
+    """The combined outcome of the three-tier ladder."""
+
+    ww: RaceReport
+    rw: RwReport
+    static_ww: StaticRaceReport
+    static_rw: StaticRwReport
+
+    @property
+    def race_free(self) -> bool:
+        """Free of both race kinds."""
+        return self.ww.race_free and self.rw.race_free
+
+    @property
+    def state_count(self) -> int:
+        """States the (shared) dynamic tier explored — 0 when every
+        analysis was discharged statically."""
+        return max(self.ww.state_count, self.rw.state_count)
+
+    def __str__(self) -> str:
+        return f"RaceLadder(ww: {self.ww}, rw: {self.rw})"
+
+
+def check_races_tiered(
+    program: Program,
+    config: Optional[SemanticsConfig] = None,
+    nonpreemptive: bool = False,
+) -> RaceLadderReport:
+    """Run the full ladder: static rw, static ww, then — only if either
+    was inconclusive — build **one** explorer and scan its states for
+    whichever race kinds remain undecided."""
+    static_rw = analyze_rw_races(program)
+    static_ww = analyze_ww_races(program)
+    rw_report: Optional[RwReport] = None
+    ww_report: Optional[RaceReport] = None
+    if static_rw.race_free:
+        rw_report = RwReport(True, (), True, 0, method="static")
+    if static_ww.race_free:
+        ww_report = RaceReport(True, None, True, 0, method="static")
+    if rw_report is None or ww_report is None:
+        explorer = Explorer(
+            program, config or SemanticsConfig(), nonpreemptive=nonpreemptive
+        ).build()
+        count = len(explorer.states)
+        if ww_report is None:
+            witness = None
+            for state in explorer.states:
+                witness = ww_race_witness(program, state)
+                if witness is not None:
+                    break
+            ww_report = RaceReport(
+                race_free=witness is None,
+                witness=witness,
+                exhaustive=explorer.exhaustive,
+                state_count=count,
+                method="exhaustive",
+                stop_reason=explorer.stop_reason,
+            )
+        if rw_report is None:
+            witnesses = _scan_rw(program, explorer)
+            rw_report = RwReport(
+                race_free=not witnesses,
+                witnesses=witnesses,
+                exhaustive=explorer.exhaustive,
+                state_count=count,
+                method="exhaustive",
+                stop_reason=explorer.stop_reason,
+            )
+    return RaceLadderReport(ww_report, rw_report, static_ww, static_rw)

@@ -24,12 +24,15 @@ steps are pointless against a capped memory; both are disabled via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.lang.syntax import Program
 from repro.memory.memory import Memory, capped_memory
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.static.certcheck import FulfillMap
 
 
 @dataclass
@@ -50,18 +53,21 @@ class CertificationStats:
     trivial: int = 0
     cache_entries: int = 0
     cache_evictions: int = 0
+    #: Searches the static pre-check refuted without any DFS expansion.
+    precheck_skips: int = 0
 
     @property
     def cache_misses(self) -> int:
         """Memoizable calls that missed (trivially-consistent calls with no
         outstanding promises never reach the cache and are not counted)."""
-        return max(0, self.calls - self.cache_hits - self.trivial)
+        return max(0, self.calls - self.cache_hits - self.trivial - self.precheck_skips)
 
     def __str__(self) -> str:
         return (
             f"certification: {self.calls} calls, {self.cache_hits} hits / "
             f"{self.cache_misses} misses, {self.cache_entries} cached "
             f"({self.cache_evictions} evicted), {self.expansions} expansions, "
+            f"{self.precheck_skips} precheck-refuted, "
             f"{self.budget_exhausted} budget-exhausted"
         )
 
@@ -73,6 +79,7 @@ def consistent(
     config: SemanticsConfig,
     cache: Optional[Dict[Tuple[ThreadState, Memory], bool]] = None,
     stats: Optional[CertificationStats] = None,
+    precheck: Optional["FulfillMap"] = None,
 ) -> bool:
     """Decide ``consistent(TS, M, ι)``.
 
@@ -82,6 +89,15 @@ def consistent(
     without fulfilling all promises, the configuration is conservatively
     deemed inconsistent and ``stats.budget_exhausted`` is bumped so callers
     can detect a too-small budget.
+
+    ``precheck`` optionally carries the static fulfill map of
+    :mod:`repro.static.certcheck`: when it *proves* the configuration
+    inconsistent (a promise no continuation suffix can fulfill-store),
+    the DFS is skipped outright.  The refutation is sound, so results
+    are bitwise identical with and without a pre-check — only faster
+    (and occasionally *stronger*: a statically-refuted search that would
+    have exhausted the step budget no longer pollutes
+    ``stats.budget_exhausted``).
 
     The cache is bounded by ``config.certification_cache_cap`` (0 disables
     the bound): once full, the oldest entries are evicted FIFO — dicts
@@ -95,6 +111,10 @@ def consistent(
         if stats is not None:
             stats.trivial += 1
         return True
+    if precheck is not None and precheck.certainly_inconsistent(ts):
+        if stats is not None:
+            stats.precheck_skips += 1
+        return False
     key = (ts, mem)
     if cache is not None and key in cache:
         if stats is not None:

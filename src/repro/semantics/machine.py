@@ -119,6 +119,7 @@ def _fused_local_step(
     config: SemanticsConfig,
     cert_cache: Optional[Dict],
     cert_stats: Optional[CertificationStats],
+    cert_precheck=None,
 ) -> Optional[MachineState]:
     """The unique pure-local successor of the current thread, if it exists
     and passes certification.
@@ -140,7 +141,9 @@ def _fused_local_step(
     if len(steps) != 1:
         return None
     _, new_ts, new_mem = steps[0]
-    if not consistent(program, new_ts, new_mem, config, cert_cache, cert_stats):
+    if not consistent(
+        program, new_ts, new_mem, config, cert_cache, cert_stats, cert_precheck
+    ):
         return None
     return MachineState(update_pool(state.pool, state.cur, new_ts), state.cur, new_mem)
 
@@ -151,10 +154,17 @@ def machine_steps(
     config: SemanticsConfig,
     cert_cache: Optional[Dict] = None,
     cert_stats: Optional[CertificationStats] = None,
+    cert_precheck=None,
 ) -> Iterator[Tuple[ProgEvent, MachineState]]:
-    """Enumerate all machine steps from ``state`` (Fig. 9)."""
+    """Enumerate all machine steps from ``state`` (Fig. 9).
+
+    ``cert_precheck`` optionally carries a static
+    :class:`repro.static.certcheck.FulfillMap` that lets ``consistent``
+    refute unfulfillable promise sets without searching."""
     if config.fuse_local_steps:
-        fused = _fused_local_step(program, state, config, cert_cache, cert_stats)
+        fused = _fused_local_step(
+            program, state, config, cert_cache, cert_stats, cert_precheck
+        )
         if fused is not None:
             yield SilentEvent(), fused
             return
@@ -174,5 +184,7 @@ def machine_steps(
         if isinstance(event, OutputEvent):
             yield event, new_state
         else:
-            if consistent(program, new_ts, new_mem, config, cert_cache, cert_stats):
+            if consistent(
+                program, new_ts, new_mem, config, cert_cache, cert_stats, cert_precheck
+            ):
                 yield SilentEvent(), new_state

@@ -123,8 +123,13 @@ def np_machine_steps(
     config: SemanticsConfig,
     cert_cache: Optional[Dict] = None,
     cert_stats: Optional[CertificationStats] = None,
+    cert_precheck=None,
 ) -> Iterator[Tuple[ProgEvent, NPMachineState]]:
-    """Enumerate all non-preemptive machine steps from ``state`` (Fig. 10)."""
+    """Enumerate all non-preemptive machine steps from ``state`` (Fig. 10).
+
+    ``cert_precheck`` optionally carries a static
+    :class:`repro.static.certcheck.FulfillMap` that lets ``consistent``
+    refute unfulfillable promise sets without searching."""
     # (sw) — only when the switch bit is ◦.
     if state.bit is SwitchBit.FREE:
         for tid, ts in enumerate(state.pool):
@@ -155,5 +160,7 @@ def np_machine_steps(
         if isinstance(event, OutputEvent):
             yield event, new_state
         else:
-            if consistent(program, new_ts, new_mem, config, cert_cache, cert_stats):
+            if consistent(
+                program, new_ts, new_mem, config, cert_cache, cert_stats, cert_precheck
+            ):
                 yield SilentEvent(), new_state

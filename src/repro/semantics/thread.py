@@ -80,6 +80,10 @@ class SemanticsConfig:
     ``certification_max_steps`` bounds the certification search;
     ``certification_cache_cap`` bounds the certification memo cache (FIFO
     eviction above the cap; 0 means unbounded);
+    ``certification_precheck`` lets the explorer build the static
+    fulfill map of :mod:`repro.static.certcheck` once per program and
+    skip certification searches it refutes (sound — identical results,
+    fewer searches; only relevant when promises are enabled);
     ``max_states`` / ``max_outputs`` bound exploration graph size and
     observable trace length.  ``budget`` optionally attaches a
     :class:`repro.robust.budget.Budget` (wall-clock deadline, state cap,
@@ -95,6 +99,7 @@ class SemanticsConfig:
     fuse_local_steps: bool = False
     certification_max_steps: int = 5000
     certification_cache_cap: int = 100_000
+    certification_precheck: bool = True
     max_states: int = 2_000_000
     max_outputs: int = 8
     budget: Optional[Budget] = None

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.lang.syntax import Program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
-from repro.races.tiered import ww_rf_tiered
+from repro.races.tiered import RwReport, rw_races_tiered, ww_rf_tiered
 from repro.races.wwrf import RaceReport, ww_rf
 from repro.robust.confidence import Confidence, derive_confidence
 from repro.semantics.thread import SemanticsConfig
@@ -57,6 +57,12 @@ class ValidationReport:
     target_wwrf: Optional[RaceReport]
     changed: bool
     confidence: Optional[Confidence] = None
+    #: rw-race census of source/target (``validate_optimizer(report_rw=True)``,
+    #: via the tiered checker).  Informational: the paper *allows* rw-races,
+    #: so they never affect ``ok`` — but an optimizer introducing one is
+    #: exactly Fig. 5's LInv phenomenon, surfaced by :meth:`introduced_rw`.
+    source_rw: Optional[RwReport] = None
+    target_rw: Optional[RwReport] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -86,6 +92,21 @@ class ValidationReport:
         target_done = self.target_wwrf is None or self.target_wwrf.exhaustive
         return self.refinement.definitive and source_done and target_done
 
+    def introduced_rw(self) -> Optional[Tuple[Tuple[int, str], ...]]:
+        """``(tid, loc)`` rw-race pairs present in the target but not the
+        source (``None`` when rw reporting was off).  Optimizers preserve
+        thread indices, so pairwise comparison is meaningful."""
+        if self.source_rw is None or self.target_rw is None:
+            return None
+        source_pairs = {(w.tid, w.loc) for w in self.source_rw.witnesses}
+        return tuple(
+            sorted(
+                (w.tid, w.loc)
+                for w in self.target_rw.witnesses
+                if (w.tid, w.loc) not in source_pairs
+            )
+        )
+
     def __bool__(self) -> bool:
         return self.ok
 
@@ -95,10 +116,14 @@ class ValidationReport:
             status = "OK?"  # bounded: not a proof
         change = "transformed" if self.changed else "unchanged"
         suffix = "" if self.exhaustive else " [TRUNCATED]"
-        return (
+        text = (
             f"[{status}] {self.optimizer}: {change}; {self.refinement}{suffix} "
             f"confidence={self.confidence}"
         )
+        introduced = self.introduced_rw()
+        if introduced is not None:
+            text += f"; rw-races introduced: {len(introduced)}"
+        return text
 
 
 def validate_optimizer(
@@ -108,12 +133,16 @@ def validate_optimizer(
     check_target_wwrf: bool = True,
     nonpreemptive: bool = False,
     static_tier: bool = True,
+    report_rw: bool = False,
 ) -> ValidationReport:
     """Validate one optimizer run: refinement + ww-RF preservation.
 
     ``static_tier`` (default) routes the race checks through
     :func:`repro.races.ww_rf_tiered`, skipping state exploration for
-    programs the static analysis proves race-free.
+    programs the static analysis proves race-free.  ``report_rw``
+    additionally runs the tiered rw-race census on source and target
+    (:func:`repro.races.rw_races_tiered` — static tier first), attaching
+    the reports for diagnostics; rw-races never affect the verdict.
     """
     config = config or SemanticsConfig()
     target = optimizer.run(source)
@@ -125,12 +154,18 @@ def validate_optimizer(
     target_wwrf = None
     if check_target_wwrf and source_wwrf.race_free:
         target_wwrf = check(target, config)
+    source_rw = target_rw = None
+    if report_rw:
+        source_rw, _ = rw_races_tiered(source, config, nonpreemptive=nonpreemptive)
+        target_rw, _ = rw_races_tiered(target, config, nonpreemptive=nonpreemptive)
     return ValidationReport(
         optimizer=optimizer.name,
         refinement=refinement,
         source_wwrf=source_wwrf,
         target_wwrf=target_wwrf,
         changed=target != source,
+        source_rw=source_rw,
+        target_rw=target_rw,
     )
 
 

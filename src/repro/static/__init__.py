@@ -1,18 +1,29 @@
 """Static analyses over CSimpRTL programs (no state exploration).
 
-Three passes, all built on the CFG/dataflow framework of
-:mod:`repro.analysis`:
+All passes share one substrate: the abstract-interpretation engine of
+:mod:`repro.static.absint` (a generic worklist fixpoint over CSimpRTL
+CFGs with pluggable domains — flat constants, intervals, per-location
+access/ownership facts, interprocedural mod-ref summaries).  On top of
+it:
 
+* :mod:`repro.static.summary` — per-thread access summaries (the shared
+  facts both race detectors consume);
+* :mod:`repro.static.protocol` — the release/acquire flag-protocol
+  discharge argument;
 * :mod:`repro.static.wwraces` — thread-modular static write-write race
-  detection (``RACE_FREE`` / ``POTENTIAL_RACE`` / ``UNKNOWN``), the cheap
-  tier of :func:`repro.races.ww_rf_tiered`;
+  detection (``RACE_FREE`` / ``POTENTIAL_RACE`` / ``UNKNOWN``);
+* :mod:`repro.static.rwraces` — its read-write counterpart;
+* :mod:`repro.static.certcheck` — the view-bound certification
+  pre-check consumed by :mod:`repro.semantics.certification`;
 * :mod:`repro.static.lint` — IR well-formedness verification and the
   strict optimizer output gate;
 * :mod:`repro.static.crossing` — crossing-legality checking of a
   source/target diff against the paper's Sec. 7 rules.
 
-See ``docs/static-analysis.md`` for the soundness arguments and the
-tiering contract.
+The race tiers feed the three-tier ladder of :mod:`repro.races.tiered`
+(static-rw → static-ww → dynamic explorer).  See
+``docs/static-analysis.md`` for the soundness arguments and the tiering
+contract.
 """
 
 from repro.static.crossing import CrossingReport, CrossingViolation, check_crossing
@@ -23,32 +34,42 @@ from repro.static.lint import (
     check_optimizer_output,
     lint_program,
 )
+from repro.static.rwraces import StaticRwReport, StaticRwWitness, analyze_rw_races
+from repro.static.summary import (
+    AccessSite,
+    ThreadAccessSummary,
+    build_access_summaries,
+    build_access_summary,
+)
 from repro.static.wwraces import (
-    StaticFact,
     StaticRaceReport,
     StaticRaceWitness,
     StaticVerdict,
     ThreadSummary,
     analyze_ww_races,
     build_thread_summary,
-    thread_flow_facts,
 )
 
 __all__ = [
+    "AccessSite",
     "CrossingReport",
     "CrossingViolation",
     "LintIssue",
     "LintReport",
-    "StaticFact",
     "StaticRaceReport",
     "StaticRaceWitness",
+    "StaticRwReport",
+    "StaticRwWitness",
     "StaticVerdict",
     "StrictModeViolation",
+    "ThreadAccessSummary",
     "ThreadSummary",
+    "analyze_rw_races",
     "analyze_ww_races",
+    "build_access_summaries",
+    "build_access_summary",
     "build_thread_summary",
     "check_crossing",
     "check_optimizer_output",
     "lint_program",
-    "thread_flow_facts",
 ]

@@ -1,0 +1,35 @@
+"""Abstract interpretation over CSimpRTL CFGs.
+
+A generic worklist fixpoint engine (:mod:`~repro.static.absint.engine`)
+parameterized by pluggable abstract domains
+(:mod:`~repro.static.absint.domain`,
+:mod:`~repro.static.absint.domains`), with interprocedural function
+summaries (:mod:`~repro.static.absint.interproc`).  Every static
+analysis in :mod:`repro.static` — the ww/rw race detectors, the
+certification pre-check, ConstProp's value analysis — runs on this one
+substrate; see ``docs/static-analysis.md`` for the architecture and
+the obligations a new domain must meet.
+"""
+
+from repro.static.absint.domain import Direction, Domain
+from repro.static.absint.engine import (
+    FixpointDivergence,
+    FixpointResult,
+    solve,
+)
+from repro.static.absint.interproc import (
+    call_graph,
+    reachable_functions,
+    solve_summaries,
+)
+
+__all__ = [
+    "Direction",
+    "Domain",
+    "FixpointDivergence",
+    "FixpointResult",
+    "call_graph",
+    "reachable_functions",
+    "solve",
+    "solve_summaries",
+]

@@ -1,0 +1,122 @@
+"""The abstract-domain interface of the fixpoint engine.
+
+A :class:`Domain` packages everything the worklist solver in
+:mod:`repro.static.absint.engine` needs to run one analysis over a
+CSimpRTL function: the lattice operations (``bottom`` / ``join`` /
+``eq``), the transfer functions at instruction granularity, and the
+optional precision/termination hooks (``widen`` / ``narrow`` /
+``edge``).  Concrete domains live in
+:mod:`repro.static.absint.domains`.
+
+Directionality is a property of the domain, not of the solver call:
+``direction = "forward"`` domains transform the fact *entering* an
+instruction into the fact after it, ``"backward"`` domains transform
+the fact *after* an instruction (a property of the execution suffix)
+into the fact before it.
+
+The contract every domain must respect for the race/certification
+clients to stay sound: ``transfer`` over-approximates the concrete
+semantics, ``join`` is an upper bound, ``widen(old, new)`` is an upper
+bound of both arguments, and ``narrow(old, refined)`` stays above the
+least fixpoint whenever ``refined`` does.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Generic, TypeVar
+
+from repro.lang.syntax import Instr, Terminator
+
+T = TypeVar("T")
+
+
+class Direction(enum.Enum):
+    """Dataflow direction of a domain."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Domain(ABC, Generic[T]):
+    """One pluggable abstract domain (a join-semilattice + transfers).
+
+    Subclasses override the abstract lattice operations and whichever
+    transfer hooks their analysis needs; everything else has a sound
+    conservative default (identity transfers, ``widen = join``,
+    ``narrow`` keeps the refined fact, no edge refinement).
+    """
+
+    #: Human-readable name (used in diagnostics and timings).
+    name: str = "domain"
+
+    #: Dataflow direction; the engine orients its worklist accordingly.
+    direction: Direction = Direction.FORWARD
+
+    # -- lattice ------------------------------------------------------------
+
+    @abstractmethod
+    def bottom(self) -> T:
+        """The least element (unreached / no information yet)."""
+
+    @abstractmethod
+    def boundary(self) -> T:
+        """The fact at the CFG boundary: function entry for forward
+        domains, function exit for backward domains."""
+
+    @abstractmethod
+    def join(self, a: T, b: T) -> T:
+        """Least upper bound of two facts."""
+
+    def eq(self, a: T, b: T) -> bool:
+        """Fact equality (used by the solver's change detection)."""
+        return bool(a == b)
+
+    def is_bottom(self, fact: T) -> bool:
+        """Whether ``fact`` is the unreached element (such blocks are
+        skipped entirely — their transfers never run)."""
+        return self.eq(fact, self.bottom())
+
+    def leq(self, a: T, b: T) -> bool:
+        """``a ⊑ b`` in the induced partial order."""
+        return self.eq(self.join(a, b), b)
+
+    # -- termination / precision hooks --------------------------------------
+
+    def widen(self, old: T, new: T) -> T:
+        """Widening at loop heads.  Must be an upper bound of both
+        arguments; the default (plain join) is only terminating for
+        domains with finite ascending chains — infinite-height domains
+        (intervals) override this."""
+        return self.join(old, new)
+
+    def narrow(self, old: T, refined: T) -> T:
+        """Narrowing after stabilization.  ``refined`` is the recomputed
+        incoming fact under the widened solution; the default accepts
+        it wholesale (sound because the engine runs a bounded number of
+        descending passes)."""
+        return refined
+
+    # -- transfer functions -------------------------------------------------
+
+    def transfer(self, instr: Instr, fact: T) -> T:
+        """Push a fact through one instruction (direction-dependent)."""
+        return fact
+
+    def transfer_terminator(self, term: Terminator, fact: T) -> T:
+        """Push a fact through a block terminator.  Interprocedural
+        domains handle ``Call`` here (the engine itself never inspects
+        call targets — function summaries are closed over by the domain
+        at construction time)."""
+        return fact
+
+    def edge(self, label: str, term: Terminator, target: str, fact: T) -> T:
+        """Refine the fact flowing along the CFG edge
+        ``label → target`` (forward domains only).  Returning a bottom
+        fact marks the edge dead — branch refinement uses this to prune
+        statically impossible paths."""
+        return fact

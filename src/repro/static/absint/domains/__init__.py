@@ -1,0 +1,53 @@
+"""Concrete abstract domains for the fixpoint engine.
+
+* :mod:`~repro.static.absint.domains.constants` — flat constant
+  propagation (the substrate of ConstProp's value analysis) and the
+  hardened ``possibly_nonzero`` predicate;
+* :mod:`~repro.static.absint.domains.intervals` — value ranges with
+  widening and branch-edge refinement;
+* :mod:`~repro.static.absint.domains.locksets` — the per-location
+  ownership/publication facts of the static race analyses;
+* :mod:`~repro.static.absint.domains.modref` — interprocedural
+  mod-ref/fulfill summaries and the backward fulfillable-store domain
+  behind the certification pre-check.
+"""
+
+from repro.static.absint.domains.constants import ConstantsDomain, possibly_nonzero
+from repro.static.absint.domains.intervals import (
+    Interval,
+    IntervalEnv,
+    IntervalsDomain,
+    eval_interval,
+    interval_binop,
+    interval_join,
+    interval_meet,
+    interval_widen,
+    refine_env,
+)
+from repro.static.absint.domains.locksets import AccessDomain, AccessFact
+from repro.static.absint.domains.modref import (
+    FULFILLING_MODES,
+    FulfillDomain,
+    ModRef,
+    modref_summaries,
+)
+
+__all__ = [
+    "AccessDomain",
+    "AccessFact",
+    "ConstantsDomain",
+    "FULFILLING_MODES",
+    "FulfillDomain",
+    "Interval",
+    "IntervalEnv",
+    "IntervalsDomain",
+    "ModRef",
+    "eval_interval",
+    "interval_binop",
+    "interval_join",
+    "interval_meet",
+    "interval_widen",
+    "modref_summaries",
+    "possibly_nonzero",
+    "refine_env",
+]

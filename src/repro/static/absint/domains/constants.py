@@ -1,0 +1,80 @@
+"""The flat-constants domain, and hardened nonzero reasoning.
+
+The lattice and transfers are exactly those of
+:mod:`repro.analysis.value` (``⊥ ⊑ #v ⊑ ⊤`` per register) — this module
+wraps them in the :class:`~repro.static.absint.domain.Domain` interface
+so they run on the shared engine, and
+:func:`repro.analysis.value.value_analysis` delegates here.  No edge
+refinement is installed: ConstProp's behavior must not silently change
+with the substrate swap (branch-sensitive reasoning lives in the
+intervals domain).
+
+:func:`possibly_nonzero` is the value question the race analyses ask of
+every atomic store ("could this publish a nonzero flag?").  It layers
+two sound reasons to answer *no*: a constant environment proving the
+stored expression is ``#0``, and the environment-free interval
+evaluation (``r * 0``, ``0 + 0`` …).  Everything else conservatively
+answers *yes*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.value import (
+    Env,
+    eval_abstract,
+    transfer_instruction,
+    transfer_terminator,
+)
+from repro.lang.syntax import Expr, Instr, Terminator
+from repro.static.absint.domain import Direction, Domain
+from repro.static.absint.domains.intervals import IntervalEnv, eval_interval
+
+
+class ConstantsDomain(Domain[Env]):
+    """Forward constant propagation over one function's registers."""
+
+    name = "constants"
+    direction = Direction.FORWARD
+
+    def __init__(self, initial: Optional[Env] = None) -> None:
+        self._initial = initial if initial is not None else Env.initial()
+
+    def bottom(self) -> Env:
+        return Env.unreached()
+
+    def boundary(self) -> Env:
+        return self._initial
+
+    def join(self, a: Env, b: Env) -> Env:
+        return a.join(b)
+
+    def is_bottom(self, fact: Env) -> bool:
+        return fact.is_unreached
+
+    def transfer(self, instr: Instr, fact: Env) -> Env:
+        return transfer_instruction(instr, fact)
+
+    def transfer_terminator(self, term: Terminator, fact: Env) -> Env:
+        return transfer_terminator(term, fact)
+
+
+def possibly_nonzero(expr: Expr, env: Optional[Env] = None) -> bool:
+    """Whether ``expr`` may evaluate to a nonzero value (conservative).
+
+    ``env`` — an optional constant environment at the program point; an
+    unreached environment answers *no* (the point never executes).
+    Without one, the structural interval evaluation still discharges
+    register-independent zeros.
+    """
+    if env is not None:
+        if env.is_unreached:
+            return False
+        value = eval_abstract(expr, env)
+        if value.is_const:
+            return int(value.value) != 0
+        if value.is_bot:
+            return False
+    interval = eval_interval(expr, IntervalEnv.top())
+    return not (interval.lo == 0 and interval.hi == 0)

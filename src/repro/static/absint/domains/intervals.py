@@ -1,0 +1,393 @@
+"""The interval domain over ``Int32`` registers.
+
+Classic value-range analysis: every register maps to an interval
+``[lo, hi] ⊆ [INT32_MIN, INT32_MAX]``.  Arithmetic is computed exactly
+on the bounds and conservatively widened to ``⊤`` whenever the exact
+range escapes the 32-bit window (wraparound would otherwise break
+soundness); comparisons evaluate to ``[0, 1]`` refined to ``[1, 1]`` /
+``[0, 0]`` when the operand ranges decide them.  The domain supplies
+
+* **widening** (jump to the respective 32-bit extreme on any growing
+  bound) so loops converge despite the lattice's 2^32 height;
+* **branch-edge refinement** (:func:`refine_env`) translating guard
+  shapes — bare registers, ``r op const`` comparisons, and arbitrarily
+  nested ``· != 0`` / ``· == 0`` wrappers — into interval meets, with
+  dead edges reported as bottom;
+* :func:`eval_interval`, the environment-free fragment of which backs
+  the hardened ``possibly_nonzero`` reasoning of the race analyses
+  (e.g. ``r * 0`` is provably zero without knowing ``r``).
+
+Loads map to ``⊤`` (a weak-memory read is never statically known
+thread-locally) and CAS destinations to ``[0, 1]`` (the success flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.lang.syntax import (
+    Assign,
+    Be,
+    BinOp,
+    Call,
+    Cas,
+    Const,
+    Expr,
+    Instr,
+    Load,
+    Reg,
+    Terminator,
+)
+from repro.static.absint.domain import Direction, Domain
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty integer interval ``[lo, hi]`` within the Int32 range."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not INT32_MIN <= self.lo <= self.hi <= INT32_MAX:
+            raise ValueError(f"bad interval [{self.lo}, {self.hi}]")
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies in the interval."""
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.is_const:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+TOP_INTERVAL = Interval(INT32_MIN, INT32_MAX)
+BOOL_INTERVAL = Interval(0, 1)
+
+
+def interval_const(value: int) -> Interval:
+    """The singleton interval (value is truncated into Int32 range by the
+    caller's ``Int32`` arithmetic before it gets here)."""
+    return Interval(int(value), int(value))
+
+
+def interval_join(a: Interval, b: Interval) -> Interval:
+    """Least upper bound: the convex hull of the two intervals."""
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def interval_meet(a: Interval, b: Interval) -> Optional[Interval]:
+    """Intersection, ``None`` when empty (the bottom interval)."""
+    lo, hi = max(a.lo, b.lo), min(a.hi, b.hi)
+    if lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def interval_widen(old: Interval, new: Interval) -> Interval:
+    """Any growing bound jumps to its 32-bit extreme."""
+    lo = old.lo if new.lo >= old.lo else INT32_MIN
+    hi = old.hi if new.hi <= old.hi else INT32_MAX
+    return Interval(lo, hi)
+
+
+def _clamped(lo: int, hi: int) -> Interval:
+    """The exact range if it fits in Int32, else ``⊤`` (wraparound)."""
+    if lo < INT32_MIN or hi > INT32_MAX:
+        return TOP_INTERVAL
+    return Interval(lo, hi)
+
+
+def interval_binop(op: str, a: Interval, b: Interval) -> Interval:
+    """Sound abstract transfer of one CSimpRTL binary operator."""
+    if op == "+":
+        return _clamped(a.lo + b.lo, a.hi + b.hi)
+    if op == "-":
+        return _clamped(a.lo - b.hi, a.hi - b.lo)
+    if op == "*":
+        products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        return _clamped(min(products), max(products))
+    if op == "==":
+        if a.is_const and b.is_const and a.lo == b.lo:
+            return interval_const(1)
+        if interval_meet(a, b) is None:
+            return interval_const(0)
+        return BOOL_INTERVAL
+    if op == "!=":
+        if a.is_const and b.is_const and a.lo == b.lo:
+            return interval_const(0)
+        if interval_meet(a, b) is None:
+            return interval_const(1)
+        return BOOL_INTERVAL
+    if op == "<":
+        if a.hi < b.lo:
+            return interval_const(1)
+        if a.lo >= b.hi:
+            return interval_const(0)
+        return BOOL_INTERVAL
+    if op == "<=":
+        if a.hi <= b.lo:
+            return interval_const(1)
+        if a.lo > b.hi:
+            return interval_const(0)
+        return BOOL_INTERVAL
+    if op == ">":
+        return interval_binop("<", b, a)
+    if op == ">=":
+        return interval_binop("<=", b, a)
+    raise ValueError(f"unknown binary operator: {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Register environments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalEnv:
+    """Register → interval, with a default for absent registers.
+
+    ``entries is None`` encodes the unreached (bottom) environment; the
+    default is ``[0]`` at a thread entry (registers are
+    zero-initialized) and ``⊤`` after call boundaries.
+    """
+
+    entries: Optional[Tuple[Tuple[str, Interval], ...]]
+    default: Interval = TOP_INTERVAL
+
+    @staticmethod
+    def unreached() -> "IntervalEnv":
+        return IntervalEnv(None)
+
+    @staticmethod
+    def initial() -> "IntervalEnv":
+        return IntervalEnv((), interval_const(0))
+
+    @staticmethod
+    def top() -> "IntervalEnv":
+        return IntervalEnv((), TOP_INTERVAL)
+
+    @property
+    def is_unreached(self) -> bool:
+        return self.entries is None
+
+    def get(self, reg: str) -> Interval:
+        """The interval of ``reg`` (the default for unbound registers)."""
+        if self.entries is None:
+            raise ValueError("no values in the unreached environment")
+        for name, value in self.entries:
+            if name == reg:
+                return value
+        return self.default
+
+    def set(self, reg: str, value: Interval) -> "IntervalEnv":
+        """A copy with ``reg`` bound to ``value`` (no-op when unreached)."""
+        if self.entries is None:
+            return self
+        items = dict(self.entries)
+        items[reg] = value
+        trimmed = tuple(
+            sorted((name, iv) for name, iv in items.items() if iv != self.default)
+        )
+        return IntervalEnv(trimmed, self.default)
+
+    def join(self, other: "IntervalEnv") -> "IntervalEnv":
+        """Pointwise convex-hull join of two environments."""
+        if self.entries is None:
+            return other
+        if other.entries is None:
+            return self
+        default = interval_join(self.default, other.default)
+        regs = {name for name, _ in self.entries} | {name for name, _ in other.entries}
+        items = tuple(
+            sorted(
+                (reg, interval_join(self.get(reg), other.get(reg))) for reg in regs
+            )
+        )
+        items = tuple((reg, iv) for reg, iv in items if iv != default)
+        return IntervalEnv(items, default)
+
+    def widen(self, other: "IntervalEnv") -> "IntervalEnv":
+        """Pointwise widening of ``self`` (old) against ``other`` (new)."""
+        if self.entries is None:
+            return other
+        if other.entries is None:
+            return self
+        default = (
+            self.default
+            if other.default == self.default
+            else interval_widen(self.default, other.default)
+        )
+        regs = {name for name, _ in self.entries} | {name for name, _ in other.entries}
+        items = tuple(
+            sorted(
+                (reg, interval_widen(self.get(reg), other.get(reg))) for reg in regs
+            )
+        )
+        items = tuple((reg, iv) for reg, iv in items if iv != default)
+        return IntervalEnv(items, default)
+
+
+def eval_interval(expr: Expr, env: IntervalEnv) -> Interval:
+    """Abstract evaluation of an expression (``⊤``-env callers get the
+    environment-free structural reasoning: ``r * 0 = [0]`` etc.)."""
+    if env.is_unreached:
+        raise ValueError("cannot evaluate in the unreached environment")
+    if isinstance(expr, Const):
+        return interval_const(int(expr.value))
+    if isinstance(expr, Reg):
+        return env.get(expr.name)
+    if isinstance(expr, BinOp):
+        return interval_binop(
+            expr.op, eval_interval(expr.left, env), eval_interval(expr.right, env)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Branch refinement
+# ---------------------------------------------------------------------------
+
+_FLIPPED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_MIRRORED = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _refine_compare(env: IntervalEnv, reg: str, op: str, bound: int) -> Optional[IntervalEnv]:
+    """Meet ``reg``'s interval with the constraint ``reg op bound``;
+    ``None`` marks the edge dead."""
+    current = env.get(reg)
+    constraint: Optional[Interval]
+    if op == "==":
+        constraint = interval_meet(current, interval_const(bound))
+    elif op == "!=":
+        if current.is_const and current.lo == bound:
+            return None
+        if current.lo == bound:
+            constraint = Interval(bound + 1, current.hi)
+        elif current.hi == bound:
+            constraint = Interval(current.lo, bound - 1)
+        else:
+            constraint = current  # an interior hole is not representable
+    elif op == "<":
+        constraint = (
+            interval_meet(current, Interval(INT32_MIN, bound - 1))
+            if bound > INT32_MIN
+            else None
+        )
+    elif op == "<=":
+        constraint = interval_meet(current, Interval(INT32_MIN, bound))
+    elif op == ">":
+        constraint = (
+            interval_meet(current, Interval(bound + 1, INT32_MAX))
+            if bound < INT32_MAX
+            else None
+        )
+    elif op == ">=":
+        constraint = interval_meet(current, Interval(bound, INT32_MAX))
+    else:
+        return env
+    if constraint is None:
+        return None
+    return env.set(reg, constraint)
+
+
+def refine_env(cond: Expr, env: IntervalEnv, taken: bool) -> Optional[IntervalEnv]:
+    """Refine ``env`` under the knowledge that ``cond`` evaluated nonzero
+    (``taken``) or zero (``not taken``).  ``None`` marks the edge
+    statically dead.  Handles nested/negated guard wrappers
+    (``(r != 0) == 0`` etc.) by recursion; anything unrecognized returns
+    ``env`` unchanged (the conservative fallback)."""
+    if env.is_unreached:
+        return env
+    value = eval_interval(cond, env)
+    if taken and value.is_const and value.lo == 0:
+        return None
+    if not taken and not value.contains(0):
+        return None
+    if isinstance(cond, Reg):
+        return _refine_compare(env, cond.name, "!=" if taken else "==", 0)
+    if isinstance(cond, BinOp) and cond.op in _FLIPPED:
+        # Peel ``X != 0`` / ``X == 0`` wrappers down to the inner test.
+        for this, other in ((cond.left, cond.right), (cond.right, cond.left)):
+            if isinstance(other, Const) and int(other.value) == 0:
+                if cond.op == "!=" and not isinstance(this, (Const, Reg)):
+                    return refine_env(this, env, taken)
+                if cond.op == "==" and not isinstance(this, (Const, Reg)):
+                    return refine_env(this, env, not taken)
+        op = cond.op if taken else _FLIPPED[cond.op]
+        if isinstance(cond.left, Reg) and isinstance(cond.right, Const):
+            return _refine_compare(env, cond.left.name, op, int(cond.right.value))
+        if isinstance(cond.right, Reg) and isinstance(cond.left, Const):
+            return _refine_compare(
+                env, cond.right.name, _MIRRORED[op], int(cond.left.value)
+            )
+    return env
+
+
+# ---------------------------------------------------------------------------
+# The domain
+# ---------------------------------------------------------------------------
+
+
+class IntervalsDomain(Domain[IntervalEnv]):
+    """Forward interval analysis of one function's registers."""
+
+    name = "intervals"
+    direction = Direction.FORWARD
+
+    def __init__(self, initial: Optional[IntervalEnv] = None) -> None:
+        self._initial = initial if initial is not None else IntervalEnv.initial()
+
+    def bottom(self) -> IntervalEnv:
+        return IntervalEnv.unreached()
+
+    def boundary(self) -> IntervalEnv:
+        return self._initial
+
+    def join(self, a: IntervalEnv, b: IntervalEnv) -> IntervalEnv:
+        return a.join(b)
+
+    def is_bottom(self, fact: IntervalEnv) -> bool:
+        return fact.is_unreached
+
+    def widen(self, old: IntervalEnv, new: IntervalEnv) -> IntervalEnv:
+        return old.widen(new)
+
+    def transfer(self, instr: Instr, fact: IntervalEnv) -> IntervalEnv:
+        if fact.is_unreached:
+            return fact
+        if isinstance(instr, Assign):
+            return fact.set(instr.dst, eval_interval(instr.expr, fact))
+        if isinstance(instr, Cas):
+            return fact.set(instr.dst, BOOL_INTERVAL)
+        if isinstance(instr, Load):
+            return fact.set(instr.dst, TOP_INTERVAL)
+        return fact
+
+    def transfer_terminator(self, term: Terminator, fact: IntervalEnv) -> IntervalEnv:
+        if fact.is_unreached:
+            return fact
+        if isinstance(term, Call):
+            return IntervalEnv.top()  # the callee shares the register file
+        return fact
+
+    def edge(
+        self, label: str, term: Terminator, target: str, fact: IntervalEnv
+    ) -> IntervalEnv:
+        if not isinstance(term, Be) or fact.is_unreached:
+            return fact
+        if term.then_target == term.else_target:
+            return fact  # both polarities flow along the same edge
+        refined = refine_env(term.cond, fact, taken=(target == term.then_target))
+        if refined is None:
+            return IntervalEnv.unreached()
+        return refined

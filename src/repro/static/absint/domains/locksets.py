@@ -1,0 +1,123 @@
+"""The per-location ownership / lock-set domain of the race analyses.
+
+An :class:`AccessFact` is the reduced product of three components at a
+program point of one thread:
+
+* a constant environment (shared with
+  :mod:`repro.static.absint.domains.constants`) that sharpens the
+  "possibly nonzero?" question for published flag values;
+* ``written`` — the non-atomic locations the thread may have na-written
+  *so far* (its ownership footprint up to this point);
+* ``published`` — the atomic locations to which a possibly-nonzero
+  value may already have been stored (the flag-protocol publication
+  events; once a flag is in ``published``, later na-writes can no
+  longer be ordered before the publication).
+
+``Call`` terminators fold in the callee's
+:class:`~repro.static.absint.domains.modref.ModRef` totals and top the
+register environment — that is what makes the flag-protocol facts
+*computable* in the presence of calls instead of bailing out wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional
+
+from repro.analysis.value import Env, transfer_instruction
+from repro.lang.syntax import (
+    AccessMode,
+    Call,
+    Cas,
+    Instr,
+    Store,
+    Terminator,
+)
+from repro.static.absint.domain import Direction, Domain
+from repro.static.absint.domains.constants import possibly_nonzero
+from repro.static.absint.domains.modref import ModRef
+
+
+@dataclass(frozen=True)
+class AccessFact:
+    """Ownership/publication facts at one program point (may-facts)."""
+
+    env: Env
+    written: FrozenSet[str] = frozenset()
+    published: FrozenSet[str] = frozenset()
+
+    @staticmethod
+    def unreached() -> "AccessFact":
+        return AccessFact(Env.unreached())
+
+    @property
+    def is_unreached(self) -> bool:
+        return self.env.is_unreached
+
+    def join(self, other: "AccessFact") -> "AccessFact":
+        """Pointwise join: env join, union of written/published sets."""
+        if self.is_unreached:
+            return other
+        if other.is_unreached:
+            return self
+        return AccessFact(
+            self.env.join(other.env),
+            self.written | other.written,
+            self.published | other.published,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"(written={sorted(self.written)}, published={sorted(self.published)})"
+
+
+class AccessDomain(Domain[AccessFact]):
+    """Forward ownership/publication analysis of one thread function."""
+
+    name = "access"
+    direction = Direction.FORWARD
+
+    def __init__(
+        self,
+        summaries: Mapping[str, ModRef],
+        initial_env: Optional[Env] = None,
+    ) -> None:
+        self._summaries = summaries
+        self._initial_env = initial_env if initial_env is not None else Env.initial()
+
+    def bottom(self) -> AccessFact:
+        return AccessFact.unreached()
+
+    def boundary(self) -> AccessFact:
+        return AccessFact(self._initial_env)
+
+    def join(self, a: AccessFact, b: AccessFact) -> AccessFact:
+        return a.join(b)
+
+    def is_bottom(self, fact: AccessFact) -> bool:
+        return fact.is_unreached
+
+    def transfer(self, instr: Instr, fact: AccessFact) -> AccessFact:
+        if fact.is_unreached:
+            return fact
+        env = transfer_instruction(instr, fact.env)
+        written, published = fact.written, fact.published
+        if isinstance(instr, Store):
+            if instr.mode is AccessMode.NA:
+                written = written | {instr.loc}
+            elif possibly_nonzero(instr.expr, fact.env):
+                published = published | {instr.loc}
+        elif isinstance(instr, Cas):
+            published = published | {instr.loc}
+        return AccessFact(env, written, published)
+
+    def transfer_terminator(self, term: Terminator, fact: AccessFact) -> AccessFact:
+        if fact.is_unreached:
+            return fact
+        if isinstance(term, Call):
+            callee = self._summaries.get(term.func, ModRef())
+            return AccessFact(
+                fact.env.top_everything(),
+                fact.written | callee.writes,
+                fact.published | callee.publishes,
+            )
+        return fact

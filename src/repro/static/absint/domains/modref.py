@@ -1,0 +1,143 @@
+"""Mod-ref function summaries and the backward fulfillable-store domain.
+
+:class:`ModRef` is the per-function effect summary the interprocedural
+analyses apply at ``Call`` terminators:
+
+* ``writes`` — non-atomic locations a call may na-write (transitively);
+* ``publishes`` — atomic locations a call may store a possibly-nonzero
+  value to, or CAS (the "publication" events the flag protocol orders);
+* ``fulfills`` — locations a call may write with a *promise-fulfilling*
+  store.  In PS2.1 only plain ``na``/``rlx`` stores fulfill promises
+  (release stores and the CAS write part never do — see
+  ``repro.semantics.thread._write_steps``), so this is the footprint
+  the certification pre-check needs.
+
+:class:`FulfillDomain` is a backward may-analysis over the same
+``fulfills`` footprint: the fact at a program point is the set of
+locations some execution suffix from that point may still fulfill.  A
+thread whose outstanding promise targets a location outside this set
+can never certify — the basis of
+:mod:`repro.static.certcheck`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.lang.syntax import (
+    AccessMode,
+    Call,
+    Cas,
+    Instr,
+    Program,
+    Store,
+    Terminator,
+)
+from repro.static.absint.domain import Direction, Domain
+from repro.static.absint.domains.constants import possibly_nonzero
+from repro.static.absint.interproc import reachable_labels, solve_summaries
+
+#: The store modes that may fulfill an outstanding promise.
+FULFILLING_MODES = frozenset({AccessMode.NA, AccessMode.RLX})
+
+
+@dataclass(frozen=True)
+class ModRef:
+    """May-effect summary of one function (callees included)."""
+
+    writes: FrozenSet[str] = frozenset()
+    publishes: FrozenSet[str] = frozenset()
+    fulfills: FrozenSet[str] = frozenset()
+
+    def union(self, other: "ModRef") -> "ModRef":
+        """Componentwise union — the summary of either effect happening."""
+        return ModRef(
+            self.writes | other.writes,
+            self.publishes | other.publishes,
+            self.fulfills | other.fulfills,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"(writes={sorted(self.writes)}, publishes={sorted(self.publishes)}, "
+            f"fulfills={sorted(self.fulfills)})"
+        )
+
+
+def _instr_modref(instr: Instr) -> ModRef:
+    """The direct effect of one instruction."""
+    if isinstance(instr, Store):
+        writes = frozenset({instr.loc}) if instr.mode is AccessMode.NA else frozenset()
+        publishes = (
+            frozenset({instr.loc})
+            if instr.mode.is_atomic and possibly_nonzero(instr.expr)
+            else frozenset()
+        )
+        fulfills = (
+            frozenset({instr.loc}) if instr.mode in FULFILLING_MODES else frozenset()
+        )
+        return ModRef(writes, publishes, fulfills)
+    if isinstance(instr, Cas):
+        # The write part may publish any value but never fulfills.
+        return ModRef(publishes=frozenset({instr.loc}))
+    return ModRef()
+
+
+def modref_summaries(
+    program: Program, funcs: Tuple[str, ...]
+) -> Dict[str, ModRef]:
+    """Per-function :class:`ModRef` summaries (bottom-up fixpoint over
+    the call graph; recursion-safe)."""
+
+    def analyze(func: str, summaries: Mapping[str, ModRef]) -> ModRef:
+        heap = program.function(func)
+        reach = reachable_labels(heap)
+        total = ModRef()
+        for label, block in heap.blocks:
+            if label not in reach:
+                continue
+            for instr in block.instrs:
+                total = total.union(_instr_modref(instr))
+            if isinstance(block.term, Call):
+                total = total.union(summaries.get(block.term.func, ModRef()))
+        return total
+
+    return solve_summaries(program, funcs, analyze, bottom=ModRef())
+
+
+class FulfillDomain(Domain[FrozenSet[str]]):
+    """Backward may-fulfill analysis: which locations can an execution
+    suffix from this point still write with an ``na``/``rlx`` store?"""
+
+    name = "fulfill"
+    direction = Direction.BACKWARD
+
+    def __init__(self, summaries: Mapping[str, ModRef]) -> None:
+        self._summaries = summaries
+
+    def bottom(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def boundary(self) -> FrozenSet[str]:
+        return frozenset()  # at function exit nothing more can be fulfilled
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a | b
+
+    def is_bottom(self, fact: FrozenSet[str]) -> bool:
+        # The empty set is a legitimate fact here (nothing fulfillable),
+        # not an unreached marker: never skip blocks.
+        return False
+
+    def transfer(self, instr: Instr, fact: FrozenSet[str]) -> FrozenSet[str]:
+        if isinstance(instr, Store) and instr.mode in FULFILLING_MODES:
+            return fact | {instr.loc}
+        return fact
+
+    def transfer_terminator(
+        self, term: Terminator, fact: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        if isinstance(term, Call):
+            return fact | self._summaries.get(term.func, ModRef()).fulfills
+        return fact

@@ -1,0 +1,286 @@
+"""The worklist fixpoint solver over CSimpRTL CFGs.
+
+One engine serves every static analysis in :mod:`repro.static`: it
+iterates a :class:`~repro.static.absint.domain.Domain`'s transfer
+functions over a function's block CFG to the least fixpoint, at
+instruction granularity, in either direction.  Compared to the
+block-level Kleene solvers of :mod:`repro.analysis.dataflow` it adds
+
+* **widening** at loop heads (heads of CFG back edges for forward
+  domains, their tails for backward ones) after ``widen_delay``
+  ordinary joins, making infinite-height domains (intervals) converge;
+* **narrowing**: a bounded number of descending passes that claw back
+  precision lost to widening (sound for any count — each pass stays
+  above the least fixpoint);
+* **edge refinement**: forward domains may refine the fact flowing
+  along each branch edge (the intervals domain turns ``be r < 10``
+  into ``r ∈ [_, 9]`` on the then-edge), and may kill statically dead
+  edges outright by returning bottom;
+* **per-instruction replay**: :meth:`FixpointResult.at` recovers the
+  fact holding at any ``(label, offset)`` program point, which is what
+  the race summaries and the certification pre-check consume.
+
+The engine never inspects call targets itself: interprocedural domains
+close over function summaries (see
+:mod:`repro.static.absint.interproc`) and apply them in
+``transfer_terminator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Generic, List, Set, TypeVar
+
+from repro.lang.cfg import Cfg
+from repro.lang.syntax import CodeHeap
+from repro.static.absint.domain import Direction, Domain
+
+T = TypeVar("T")
+
+#: Default number of plain joins at a widening point before widening kicks in.
+DEFAULT_WIDEN_DELAY = 3
+
+#: Default number of descending (narrowing) passes after stabilization.
+DEFAULT_NARROW_PASSES = 1
+
+#: Hard iteration ceiling — a domain violating the ascending-chain
+#: contract (widening that is not an upper bound) trips this instead of
+#: hanging the analysis.
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+class FixpointDivergence(RuntimeError):
+    """The solver exceeded its iteration budget — the domain's widening
+    does not enforce convergence."""
+
+
+@dataclass
+class FixpointResult(Generic[T]):
+    """The solved facts of one function under one domain.
+
+    ``entry[label]`` is the fact at block entry and ``exit[label]`` the
+    fact at block exit.  For forward domains "exit" means after every
+    instruction *and* the terminator transfer (the fact that flowed to
+    successors, before edge refinement); for backward domains "exit" is
+    the fact just after the last instruction (already including the
+    terminator transfer of the successor join) and "entry" the fact
+    before the first.
+    """
+
+    heap: CodeHeap
+    domain: Domain[T]
+    entry: Dict[str, T]
+    exit: Dict[str, T]
+    iterations: int
+    widened: FrozenSet[str] = frozenset()
+
+    def at(self, label: str, offset: int) -> T:
+        """The fact holding at program point ``(label, offset)`` —
+        before instruction ``offset`` executes (``offset == len(instrs)``
+        addresses the point just before the terminator)."""
+        block = self.heap[label]
+        if not 0 <= offset <= len(block.instrs):
+            raise IndexError(f"offset {offset} out of range for block {label!r}")
+        if self.domain.direction is Direction.FORWARD:
+            fact = self.entry[label]
+            for instr in block.instrs[:offset]:
+                fact = self.domain.transfer(instr, fact)
+            return fact
+        fact = self.exit[label]
+        for instr in reversed(block.instrs[offset:]):
+            fact = self.domain.transfer(instr, fact)
+        return fact
+
+    def before_instructions(self, label: str) -> List[T]:
+        """``facts[i]`` = fact just before instruction ``i`` of the block
+        (forward replay; backward domains get the suffix facts)."""
+        block = self.heap[label]
+        return [self.at(label, i) for i in range(len(block.instrs))]
+
+
+def solve(
+    heap: CodeHeap,
+    domain: Domain[T],
+    widen_delay: int = DEFAULT_WIDEN_DELAY,
+    narrow_passes: int = DEFAULT_NARROW_PASSES,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> FixpointResult[T]:
+    """Solve ``domain`` over ``heap`` to a sound fixpoint."""
+    if domain.direction is Direction.FORWARD:
+        return _solve_forward(heap, domain, widen_delay, narrow_passes, max_iterations)
+    return _solve_backward(heap, domain, widen_delay, max_iterations)
+
+
+# ---------------------------------------------------------------------------
+# Forward
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worklist:
+    """A deterministic worklist ordered by a fixed priority map."""
+
+    position: Dict[str, int]
+    pending: Set[str] = field(default_factory=set)
+
+    def push(self, label: str) -> None:
+        self.pending.add(label)
+
+    def pop(self) -> str:
+        label = min(self.pending, key=lambda l: self.position[l])
+        self.pending.discard(label)
+        return label
+
+    def __bool__(self) -> bool:
+        return bool(self.pending)
+
+
+def _block_out_forward(heap: CodeHeap, domain: Domain[T], label: str, fact: T) -> T:
+    block = heap[label]
+    for instr in block.instrs:
+        fact = domain.transfer(instr, fact)
+    return domain.transfer_terminator(block.term, fact)
+
+
+def _solve_forward(
+    heap: CodeHeap,
+    domain: Domain[T],
+    widen_delay: int,
+    narrow_passes: int,
+    max_iterations: int,
+) -> FixpointResult[T]:
+    cfg = Cfg.of(heap)
+    order = cfg.reverse_postorder()
+    position = {label: i for i, label in enumerate(order)}
+    widen_points = {head for _tail, head in cfg.back_edges()}
+
+    entry: Dict[str, T] = {label: domain.bottom() for label in cfg.labels()}
+    entry[cfg.entry] = domain.boundary()
+    exit_: Dict[str, T] = {label: domain.bottom() for label in cfg.labels()}
+    join_counts: Dict[str, int] = {}
+    widened: Set[str] = set()
+
+    work = _Worklist(position)
+    work.push(cfg.entry)
+    iterations = 0
+    while work:
+        iterations += 1
+        if iterations > max_iterations:
+            raise FixpointDivergence(
+                f"{domain.name}: no fixpoint after {max_iterations} iterations"
+            )
+        label = work.pop()
+        if domain.is_bottom(entry[label]):
+            continue  # unreached so far: nothing to propagate
+        out = _block_out_forward(heap, domain, label, entry[label])
+        exit_[label] = out
+        term = heap[label].term
+        for succ in cfg.succ_map[label]:
+            refined = domain.edge(label, term, succ, out)
+            if domain.is_bottom(refined):
+                continue  # statically dead edge
+            joined = domain.join(entry[succ], refined)
+            if domain.eq(joined, entry[succ]):
+                continue
+            if succ in widen_points:
+                count = join_counts.get(succ, 0) + 1
+                join_counts[succ] = count
+                if count > widen_delay:
+                    joined = domain.widen(entry[succ], joined)
+                    widened.add(succ)
+            entry[succ] = joined
+            work.push(succ)
+
+    preds = cfg.predecessors()
+    for _ in range(max(0, narrow_passes)):
+        changed = False
+        for label in order:
+            if domain.is_bottom(entry[label]):
+                continue
+            incoming = domain.boundary() if label == cfg.entry else domain.bottom()
+            for pred in preds.get(label, ()):
+                if domain.is_bottom(entry[pred]):
+                    continue
+                refined = domain.edge(pred, heap[pred].term, label, exit_[pred])
+                incoming = domain.join(incoming, refined)
+            if domain.is_bottom(incoming):
+                continue
+            narrowed = domain.narrow(entry[label], incoming)
+            if not domain.eq(narrowed, entry[label]):
+                entry[label] = narrowed
+                exit_[label] = _block_out_forward(heap, domain, label, narrowed)
+                changed = True
+            elif domain.is_bottom(exit_[label]):
+                exit_[label] = _block_out_forward(heap, domain, label, entry[label])
+        if not changed:
+            break
+
+    # Blocks reached but never recomputed in a narrowing pass still need
+    # their exit fact materialized (narrow_passes == 0).
+    for label in order:
+        if not domain.is_bottom(entry[label]) and domain.is_bottom(exit_[label]):
+            exit_[label] = _block_out_forward(heap, domain, label, entry[label])
+
+    return FixpointResult(heap, domain, entry, exit_, iterations, frozenset(widened))
+
+
+# ---------------------------------------------------------------------------
+# Backward
+# ---------------------------------------------------------------------------
+
+
+def _solve_backward(
+    heap: CodeHeap,
+    domain: Domain[T],
+    widen_delay: int,
+    max_iterations: int,
+) -> FixpointResult[T]:
+    cfg = Cfg.of(heap)
+    order = tuple(reversed(cfg.reverse_postorder()))
+    position = {label: i for i, label in enumerate(order)}
+    # In the backward orientation, cyclic joins accumulate at back-edge
+    # *tails*; widen there.
+    widen_points = {tail for tail, _head in cfg.back_edges()}
+
+    entry: Dict[str, T] = {label: domain.bottom() for label in cfg.labels()}
+    exit_: Dict[str, T] = {label: domain.bottom() for label in cfg.labels()}
+    join_counts: Dict[str, int] = {}
+    widened: Set[str] = set()
+
+    work = _Worklist(position)
+    for label in cfg.labels():
+        work.push(label)
+    iterations = 0
+    while work:
+        iterations += 1
+        if iterations > max_iterations:
+            raise FixpointDivergence(
+                f"{domain.name}: no fixpoint after {max_iterations} iterations"
+            )
+        label = work.pop()
+        block = heap[label]
+        succs = cfg.succ_map[label]
+        if succs:
+            incoming = domain.bottom()
+            for succ in succs:
+                incoming = domain.join(incoming, entry[succ])
+        else:
+            incoming = domain.boundary()
+        fact = domain.transfer_terminator(block.term, incoming)
+        if label in widen_points:
+            count = join_counts.get(label, 0) + 1
+            join_counts[label] = count
+            if count > widen_delay:
+                fact = domain.widen(exit_[label], fact)
+                widened.add(label)
+        exit_[label] = fact
+        for instr in reversed(block.instrs):
+            fact = domain.transfer(instr, fact)
+        if domain.eq(fact, entry[label]):
+            continue
+        entry[label] = fact
+        for pred, pred_succs in cfg.succ_map.items():
+            if label in pred_succs:
+                work.push(pred)
+
+    return FixpointResult(heap, domain, entry, exit_, iterations, frozenset(widened))

@@ -1,0 +1,88 @@
+"""Interprocedural support: call graphs and bottom-up summary fixpoints.
+
+The engine itself is function-local; interprocedural analyses compose it
+with *function summaries*.  A summary is any join-semilattice value a
+domain knows how to apply at ``Call`` terminators; this module computes
+the family of summaries for all functions reachable from a set of
+entries as the least fixpoint of a caller-ignores-context bottom-up
+iteration, which handles mutual recursion (summaries ascend from
+``bottom`` until stable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple, TypeVar
+
+from repro.lang.cfg import Cfg
+from repro.lang.syntax import Call, CodeHeap, Program
+
+S = TypeVar("S")
+
+#: A summary-stability ceiling mirroring the engine's: summaries live in
+#: finite lattices (sets of locations), so this only trips on a broken
+#: ``analyze`` that never stabilizes.
+MAX_SUMMARY_ROUNDS = 10_000
+
+
+def reachable_labels(heap: CodeHeap) -> frozenset:
+    """Block labels reachable from the function entry."""
+    return Cfg.of(heap).reachable()
+
+
+def called_functions(program: Program, func: str) -> Tuple[str, ...]:
+    """Functions directly called from ``func``'s reachable blocks."""
+    heap = program.function(func)
+    reach = reachable_labels(heap)
+    out = []
+    for label, block in heap.blocks:
+        if label in reach and isinstance(block.term, Call):
+            if block.term.func not in out:
+                out.append(block.term.func)
+    return tuple(out)
+
+
+def call_graph(program: Program) -> Dict[str, Tuple[str, ...]]:
+    """``func → directly called functions`` over the whole program."""
+    return {name: called_functions(program, name) for name, _ in program.functions}
+
+
+def reachable_functions(program: Program, entry: str) -> Tuple[str, ...]:
+    """Functions call-reachable from ``entry`` (sorted), ``entry`` included."""
+    seen = {entry}
+    work = [entry]
+    while work:
+        func = work.pop()
+        for callee in called_functions(program, func):
+            if callee not in seen:
+                seen.add(callee)
+                work.append(callee)
+    return tuple(sorted(seen))
+
+
+def solve_summaries(
+    program: Program,
+    funcs: Tuple[str, ...],
+    analyze: Callable[[str, Mapping[str, S]], S],
+    bottom: S,
+    eq: Callable[[S, S], bool] = lambda a, b: bool(a == b),
+) -> Dict[str, S]:
+    """Least fixpoint of per-function summaries over ``funcs``.
+
+    ``analyze(func, summaries)`` recomputes one function's summary given
+    the current summaries of everything it may call; iteration repeats
+    until no summary changes.  Monotone ``analyze`` over a finite
+    lattice terminates; recursion needs no special casing (a recursive
+    callee simply contributes its previous-round summary until the
+    chain stabilizes).
+    """
+    summaries: Dict[str, S] = {func: bottom for func in funcs}
+    for _ in range(MAX_SUMMARY_ROUNDS):
+        changed = False
+        for func in funcs:
+            new = analyze(func, summaries)
+            if not eq(new, summaries[func]):
+                summaries[func] = new
+                changed = True
+        if not changed:
+            return summaries
+    raise RuntimeError("function-summary fixpoint did not stabilize")

@@ -1,0 +1,102 @@
+"""View-bound certification pre-check: refute ``consistent`` statically.
+
+Certification (:mod:`repro.semantics.certification`) decides whether a
+thread can fulfill all its outstanding promises by running it in
+isolation against the capped memory — a DFS that is the dominant cost
+of promise-enabled exploration.  Many of those searches are doomed from
+the start: a promise on location ``x`` can only ever be discharged by a
+plain ``na``/``rlx`` store of ``x`` (release stores and the CAS write
+part never fulfill — see ``repro.semantics.thread._write_steps``), and
+whether any such store is reachable from the thread's current program
+point is a purely *static* question.
+
+:func:`build_fulfill_map` answers it once per program: a backward
+may-analysis (:class:`~repro.static.absint.domains.modref.FulfillDomain`
+on the shared engine) computes, for every program point of every
+function, the set of locations some execution suffix may still
+fulfill-store, with callee effects folded in through mod-ref summaries.
+:meth:`FulfillMap.certainly_inconsistent` then refutes a thread state in
+O(#promises) set lookups: if some concrete promise targets a location
+outside the union of fulfillable sets along the thread's continuation
+(current point, plus the return points of every pending stack frame),
+no isolated execution — capped memory or not — can empty the promise
+set, so ``consistent`` must return ``False``.
+
+Soundness of the refutation (the only direction used): the may-analysis
+over-approximates the control flow of every isolated suffix.  Program
+steps follow the CFG; calls enter callees whose transitive ``fulfills``
+footprint the mod-ref summaries cover; returns resume at the recorded
+return labels, covered frame by frame.  Certification disables promise
+and reservation steps, which touch no code anyway.  Hence every
+fulfilling store any certifying run could execute lies in the computed
+set, and a promise outside it is unfulfillable — a *proof* of
+inconsistency, never a heuristic.  The pre-check therefore only skips
+searches that would have returned ``False`` (including the expensive
+budget-exhausted kind); it can never mask a consistent configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.lang.syntax import Program
+from repro.static.absint import FixpointResult, solve
+from repro.static.absint.domains.modref import FulfillDomain, modref_summaries
+from repro.semantics.threadstate import LocalState, ThreadState
+
+
+@dataclass
+class FulfillMap:
+    """Per-program-point fulfillable-location sets for a whole program.
+
+    Queries are memoized per ``(func, label, offset)`` — the explorer
+    probes the map on every certification call, and the backward replay
+    of :meth:`FixpointResult.at` would otherwise repeat per state.
+    """
+
+    results: Dict[str, FixpointResult[FrozenSet[str]]]
+    _memo: Dict[Tuple[str, str, int], FrozenSet[str]] = field(default_factory=dict)
+
+    def fulfillable_at(self, func: str, label: str, offset: int) -> FrozenSet[str]:
+        """Locations some suffix from ``(func, label, offset)`` may still
+        fulfill-store (within ``func`` and its callees)."""
+        key = (func, label, offset)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self.results[func].at(label, offset)
+            self._memo[key] = cached
+        return cached
+
+    def fulfillable(self, local: LocalState) -> FrozenSet[str]:
+        """Locations the whole continuation of ``local`` may fulfill:
+        the current point plus every pending frame's return point."""
+        locs: FrozenSet[str] = frozenset()
+        if not local.done:
+            locs = self.fulfillable_at(local.func, local.label, local.offset)
+        for func, ret_label in local.stack:
+            locs = locs | self.fulfillable_at(func, ret_label, 0)
+        return locs
+
+    def certainly_inconsistent(self, ts: ThreadState) -> bool:
+        """Whether ``ts`` provably cannot certify: some concrete promise
+        targets a location no continuation suffix can fulfill-store.
+        ``False`` means "unknown" — the caller must still search."""
+        if not ts.has_promises:
+            return False
+        locs = self.fulfillable(ts.local)
+        return any(
+            item.is_concrete and item.var not in locs for item in ts.promises
+        )
+
+
+def build_fulfill_map(program: Program) -> FulfillMap:
+    """Solve the backward fulfill analysis for every function of
+    ``program`` (one engine fixpoint per function, linear in program
+    size — negligible next to a single certification search)."""
+    funcs = tuple(name for name, _ in program.functions)
+    summaries = modref_summaries(program, funcs)
+    domain = FulfillDomain(summaries)
+    return FulfillMap(
+        {func: solve(program.function(func), domain) for func in funcs}
+    )

@@ -1,0 +1,214 @@
+"""The release/acquire flag-protocol argument shared by both static
+race detectors.
+
+For a non-atomic location ``x`` accessed by a *first* thread (writer)
+and a *second* thread, a flag ``a ∈ ι`` discharges the pair when
+
+(i)   every possibly-nonzero store to ``a`` anywhere in the program is
+      a release store in the first thread's entry function, and ``a``
+      is never CASed (:func:`flag_owned_by`);
+(ii)  in the first thread, none of its relevant ``x``-accesses is
+      reachable after a possibly-nonzero store of ``a``
+      (:func:`sites_precede_publish`, via the forward ``released``
+      facts of the access summary);
+(iii) in the second thread, every relevant na-access of ``x`` sits
+      behind an *acquire guard* on ``a``: a branch edge taken only when
+      a register loaded from ``a`` with ``acq`` mode was nonzero
+      (:func:`sites_guarded_by`).
+
+Then any nonzero ``a``-message is the first thread's release store
+whose message view covers all its ``x``-writes; the second thread's
+acquire join raises its view above them before any guarded access
+runs.  Conversely, while the first thread still has ``x``-writes ahead,
+no nonzero ``a``-message exists and none can be *promised*: release
+stores never fulfill promises in PS2.1, so an uncertifiable nonzero
+promise on ``a`` is pruned by the machine's per-step certification.
+
+Guard recognition is hardened against nested and negated condition
+shapes: :func:`guard_condition` peels any tower of ``· != 0`` /
+``· == 0`` wrappers around a register test, tracking polarity, and
+conservatively rejects everything else (an unrecognized guard merely
+fails to discharge — never unsoundly discharges).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.lang.syntax import (
+    AccessMode,
+    Be,
+    BinOp,
+    Cas,
+    CodeHeap,
+    Const,
+    Expr,
+    Instr,
+    Load,
+    Program,
+    Reg,
+    Store,
+    instr_def,
+    terminator_targets,
+)
+from repro.static.absint.domains.constants import possibly_nonzero
+from repro.static.absint.interproc import reachable_labels
+from repro.static.summary import AccessSite, ThreadAccessSummary
+
+
+def guard_condition(cond: Expr) -> Optional[Tuple[str, bool]]:
+    """Reduce a branch condition to a register nonzero-test, if possible.
+
+    Returns ``(register, polarity)`` where ``polarity=True`` means the
+    condition is nonzero exactly when the register is nonzero (so the
+    *then* edge is the guarded one) and ``polarity=False`` the negation
+    (the *else* edge is guarded).  Handles bare registers and nested
+    ``expr != 0`` / ``expr == 0`` / ``0 != expr`` / ``0 == expr``
+    wrappers to any depth; anything else — comparisons against nonzero
+    constants, arithmetic, multi-register conditions — returns ``None``
+    (the conservative fallback: no guard recognized)."""
+    if isinstance(cond, Reg):
+        return (cond.name, True)
+    if isinstance(cond, BinOp) and cond.op in ("==", "!="):
+        for this, other in ((cond.left, cond.right), (cond.right, cond.left)):
+            if isinstance(other, Const) and int(other.value) == 0:
+                inner = guard_condition(this)
+                if inner is None:
+                    # ``X != 0`` is nonzero iff X is: only a recognized X helps.
+                    continue
+                reg, polarity = inner
+                return (reg, polarity if cond.op == "!=" else not polarity)
+    return None
+
+
+def acquire_guard_edges(heap: CodeHeap, flag: str) -> FrozenSet[Tuple[str, str]]:
+    """CFG edges taken only after an acquire read of ``flag`` saw nonzero.
+
+    Recognized shape: a block whose terminator is ``be c, then, else``
+    where ``c`` reduces (via :func:`guard_condition`) to a nonzero test
+    of a register ``r`` whose last definition in the block is
+    ``r := flag.acq``.  Positive polarity guards the then-edge, negative
+    the else-edge; a degenerate branch with equal targets guards
+    nothing (the edges are indistinguishable)."""
+    edges: Set[Tuple[str, str]] = set()
+    for label, block in heap.blocks:
+        term = block.term
+        if not isinstance(term, Be) or term.then_target == term.else_target:
+            continue
+        guard = guard_condition(term.cond)
+        if guard is None:
+            continue
+        reg, polarity = guard
+        last_def: Optional[Instr] = None
+        for instr in block.instrs:
+            if instr_def(instr) == reg:
+                last_def = instr
+        if (
+            isinstance(last_def, Load)
+            and last_def.loc == flag
+            and last_def.mode is AccessMode.ACQ
+        ):
+            target = term.then_target if polarity else term.else_target
+            edges.add((label, target))
+    return frozenset(edges)
+
+
+def flag_owned_by(
+    program: Program,
+    summaries: Sequence[ThreadAccessSummary],
+    first: ThreadAccessSummary,
+    flag: str,
+) -> bool:
+    """Condition (i): all possibly-nonzero stores to ``flag`` are release
+    stores in ``first``'s entry function, attributed only to ``first``,
+    and ``flag`` is never CASed in any thread-reachable code."""
+    for summary in summaries:
+        for func in summary.functions:
+            heap = program.function(func)
+            reach = reachable_labels(heap)
+            for label, block in heap.blocks:
+                if label not in reach:
+                    continue
+                for instr in block.instrs:
+                    if isinstance(instr, Cas) and instr.loc == flag:
+                        return False
+                    if (
+                        isinstance(instr, Store)
+                        and instr.loc == flag
+                        and possibly_nonzero(instr.expr)
+                    ):
+                        if not (
+                            summary.tid == first.tid
+                            and func == first.entry
+                            and instr.mode is AccessMode.REL
+                        ):
+                            return False
+    return True
+
+
+def sites_precede_publish(sites: Sequence[AccessSite], flag: str) -> bool:
+    """Condition (ii): none of the given accesses is reachable after a
+    possibly-nonzero store of ``flag`` (sites without a publication
+    fact conservatively fail)."""
+    for site in sites:
+        if site.released is None or flag in site.released:
+            return False
+    return True
+
+
+def sites_guarded_by(
+    program: Program,
+    second: ThreadAccessSummary,
+    sites: Sequence[AccessSite],
+    flag: str,
+) -> bool:
+    """Condition (iii): every site in ``sites`` lies in ``second``'s
+    entry function and becomes unreachable once the acquire-guard edges
+    on ``flag`` are cut from its CFG."""
+    if any(site.func != second.entry for site in sites):
+        return False  # a site in a callee escapes the entry-CFG cut
+    heap = program.function(second.entry)
+    guard_edges = acquire_guard_edges(heap, flag)
+    if not guard_edges:
+        return False
+    site_blocks = {site.label for site in sites}
+    reached: Set[str] = {heap.entry}
+    work = [heap.entry]
+    while work:
+        label = work.pop()
+        term = heap[label].term
+        for succ in terminator_targets(term):
+            if (label, succ) in guard_edges:
+                continue
+            if succ not in reached:
+                reached.add(succ)
+                work.append(succ)
+    return not (site_blocks & reached)
+
+
+def protected(
+    program: Program,
+    summaries: Sequence[ThreadAccessSummary],
+    first: ThreadAccessSummary,
+    second: ThreadAccessSummary,
+    first_sites: Sequence[AccessSite],
+    second_sites: Sequence[AccessSite],
+) -> bool:
+    """Whether some flag orders all of ``first_sites`` (accesses of the
+    flag-owning thread) before all of ``second_sites`` (guarded accesses
+    of the other thread) — the full protocol argument.  The race
+    detectors instantiate the two site lists with whichever access kind
+    their race definition pairs (writes/writes for ww, either order of
+    writes/reads for rw)."""
+    if first.entry == second.entry:
+        return False  # flag ownership cannot distinguish the two threads
+    if not second_sites:
+        return True  # nothing on the second side to order
+    for flag in sorted(program.atomics):
+        if (
+            flag_owned_by(program, summaries, first, flag)
+            and sites_precede_publish(first_sites, flag)
+            and sites_guarded_by(program, second, second_sites, flag)
+        ):
+            return True
+    return False

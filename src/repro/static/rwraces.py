@@ -1,0 +1,158 @@
+"""Thread-modular static read-write race analysis (the first rung of
+the three-tier race ladder).
+
+The exhaustive rw detector (:mod:`repro.races.rwrace`) builds the full
+PS2.1 state graph just to report states where a thread is about to
+na-read a location carrying an unobserved concrete message.  This
+module discharges most programs without a single machine state, on the
+same substrate as the ww detector (:mod:`repro.static.summary` /
+:mod:`repro.static.protocol`): for every thread ``R`` and every
+non-atomic location ``x`` it may read,
+
+1. **Ownership.**  If no *other* thread na-writes ``x``, no racing
+   message can exist: messages on a non-atomic location arise only
+   from na-writes, the init message's timestamp ``0`` never exceeds a
+   view floor, ``R``'s own fulfilled writes sit below its view and its
+   own outstanding promises are excluded by the race definition itself,
+   and another thread cannot even *promise* an ``x``-write — the
+   machine certifies every step, and certification needs a reachable
+   fulfilling (na/rlx) store of ``x`` in that thread.
+
+2. **Flag protocol.**  Otherwise, every writing thread ``W`` must be
+   flag-ordered against ``R``'s reads, in either direction: ``W``'s
+   writes before ``R``'s guarded reads, or ``R``'s reads (all before
+   its own publication) before ``W``'s guarded writes — conditions
+   (i)–(iii) of :mod:`repro.static.protocol` with the corresponding
+   site lists.  Soundness mirrors the ww argument, with one extra
+   corner: the flag owner might publish while still holding an
+   outstanding promise on ``x``.  But condition (ii) says no
+   ``x``-access of the owner is reachable after the publication, so
+   such a promise could never be certified past that step — the
+   machine prunes the publication, and every nonzero flag message a
+   guard can read carries a view above *all* of the owner's
+   ``x``-messages; in the converse direction, before the publication
+   the guarded thread's ``x``-writes are unreachable and uncertifiable
+   (its guard cannot read a nonzero flag), so no racing message exists
+   at any of ``R``'s read states.
+
+Verdicts carry the same soundness contract as the ww analysis:
+``RACE_FREE`` is a proof (validated by
+``tests/static/test_rw_soundness.py``), everything else falls through
+to the dynamic tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.lang.syntax import Program
+from repro.static.protocol import protected
+from repro.static.summary import (
+    AccessSite,
+    ThreadAccessSummary,
+    build_access_summaries,
+)
+from repro.static.wwraces import (
+    CALLS_REASON,
+    UNPROTECTED_REASON,
+    StaticVerdict,
+)
+
+
+@dataclass(frozen=True)
+class StaticRwWitness:
+    """A writer/reader site pair the analysis could not order."""
+
+    loc: str
+    reader_tid: int
+    writer_tid: int
+    read_site: AccessSite
+    write_site: AccessSite
+    definite: bool
+    reason: str
+
+    def __str__(self) -> str:
+        kind = "potential rw-race" if self.definite else "unanalyzable rw-pair"
+        return (
+            f"{kind} on {self.loc!r}: thread {self.reader_tid} reads "
+            f"({self.read_site}) vs thread {self.writer_tid} writes "
+            f"({self.write_site}) — {self.reason}"
+        )
+
+
+@dataclass(frozen=True)
+class StaticRwReport:
+    """The verdict of the static rw pass, with witnesses and summaries."""
+
+    verdict: StaticVerdict
+    witnesses: Tuple[StaticRwWitness, ...]
+    summaries: Tuple[ThreadAccessSummary, ...]
+    checked_pairs: int
+
+    @property
+    def race_free(self) -> bool:
+        """Whether the sound ``RACE_FREE`` verdict was reached."""
+        return self.verdict is StaticVerdict.RACE_FREE
+
+    def __bool__(self) -> bool:
+        return self.race_free
+
+    def __str__(self) -> str:
+        head = f"static rw-analysis: {self.verdict} ({self.checked_pairs} pairs checked)"
+        if not self.witnesses:
+            return head
+        lines = [head] + [f"  {w}" for w in self.witnesses]
+        return "\n".join(lines)
+
+
+def _first_write_site(summary: ThreadAccessSummary, loc: str) -> AccessSite:
+    for site in summary.writes:
+        if site.loc == loc:
+            return site
+    raise ValueError(f"no write site for {loc!r} in thread {summary.tid}")
+
+
+def analyze_rw_races(program: Program) -> StaticRwReport:
+    """Run the full static rw-race analysis on ``program``."""
+    summaries = build_access_summaries(program)
+    witnesses: List[StaticRwWitness] = []
+    checked = 0
+    for reader in summaries:
+        for loc in sorted(reader.read_locs()):
+            read_sites = tuple(s for s in reader.reads if s.loc == loc)
+            writers = [
+                w
+                for w in summaries
+                if w.tid != reader.tid and loc in w.write_locs()
+            ]
+            for writer in writers:
+                checked += 1
+                write_sites = tuple(s for s in writer.writes if s.loc == loc)
+                if protected(
+                    program, summaries, writer, reader, write_sites, read_sites
+                ) or protected(
+                    program, summaries, reader, writer, read_sites, write_sites
+                ):
+                    continue
+                context_gap = any(
+                    site.released is None for site in read_sites + write_sites
+                )
+                witnesses.append(
+                    StaticRwWitness(
+                        loc,
+                        reader.tid,
+                        writer.tid,
+                        read_sites[0],
+                        _first_write_site(writer, loc),
+                        definite=not context_gap,
+                        reason=CALLS_REASON if context_gap else UNPROTECTED_REASON,
+                    )
+                )
+    if not witnesses:
+        verdict = StaticVerdict.RACE_FREE
+    elif any(w.definite for w in witnesses):
+        verdict = StaticVerdict.POTENTIAL_RACE
+    else:
+        verdict = StaticVerdict.UNKNOWN
+    return StaticRwReport(verdict, tuple(witnesses), summaries, checked)

@@ -1,84 +1,81 @@
-"""Thread-modular static write-write race analysis (tier 0 of race checking).
+"""Thread-modular static write-write race analysis (a static tier of
+race checking).
 
 Exhaustive ``ww_rf`` (:mod:`repro.races.wwrf`) decides race freedom by
-walking every reachable PS2.1 machine state — exponential in program size
-and the dominant cost of ``validate_corpus``.  Following the thread-local
-analyses of Mukherjee et al. ("A Thread-Local Semantics and Efficient
-Static Analyses for Race Free Programs"), this module never explores an
-interleaving: it runs one forward dataflow per thread over the existing
-CFG/dataflow framework and combines the per-thread summaries pairwise.
-Verdicts:
+walking every reachable PS2.1 machine state — exponential in program
+size and the dominant cost of ``validate_corpus``.  Following the
+thread-local analyses of Mukherjee et al. ("A Thread-Local Semantics
+and Efficient Static Analyses for Race Free Programs"), this module
+never explores an interleaving: it combines the per-thread
+ownership/publication summaries of :mod:`repro.static.summary` —
+computed on the shared abstract-interpretation engine
+(:mod:`repro.static.absint`) — pairwise, discharging pairs with the
+flag-protocol argument of :mod:`repro.static.protocol`.  Verdicts:
 
-* ``RACE_FREE`` — *sound*: exhaustive exploration cannot find a ww-race
-  (the obligation validated by ``tests/static/test_soundness.py``);
+* ``RACE_FREE`` — *sound*: exhaustive exploration cannot find a
+  ww-race (the obligation validated by
+  ``tests/static/test_soundness.py`` and the E-STATIC benchmark);
 * ``POTENTIAL_RACE`` — a concrete suspicious pair of write sites was
-  found; may be a false positive (the analysis is path- and
-  value-insensitive), so callers fall back to exhaustive checking;
+  found; may be a false positive (the analysis is path-insensitive),
+  so callers fall back to exhaustive checking;
 * ``UNKNOWN`` — the conflicting accesses sit outside the analysis
-  fragment (e.g. function calls around them defeat the protection
-  reasoning); callers fall back as for ``POTENTIAL_RACE``.
+  fragment (function calls put a site's publication context out of
+  reach); callers fall back as for ``POTENTIAL_RACE``.
 
-Two discharge arguments are implemented, both justified against Fig. 11's
-race definition (a thread about to na-write ``x`` while an unobserved
-non-promise message on ``x`` exists):
+Two discharge arguments are implemented, both justified against
+Fig. 11's race definition (a thread about to na-write ``x`` while an
+unobserved non-promise message on ``x`` exists):
 
-1. **Disjoint writers.**  If only one thread (index) ever na-writes ``x``,
-   no racing message can exist: messages on a non-atomic location arise
-   only from na-writes (well-formedness forbids atomic accesses to it),
-   the initialization message's timestamp ``0`` never exceeds a view
-   floor, a thread's own fulfilled writes are below its view, and its own
-   promises are excluded by Fig. 11 itself.  Another thread's *promise* of
-   an na-write to ``x`` would have to be certified thread-locally, which
-   requires that thread to reach an na-write of ``x`` — impossible if it
-   has none.
+1. **Disjoint writers.**  If only one thread (index) ever na-writes
+   ``x``, no racing message can exist: messages on a non-atomic
+   location arise only from na-writes (well-formedness forbids atomic
+   accesses to it), the initialization message's timestamp ``0`` never
+   exceeds a view floor, a thread's own fulfilled writes are below its
+   view, and its own promises are excluded by Fig. 11 itself.  Another
+   thread's *promise* of an na-write to ``x`` would have to be
+   certified thread-locally, which requires that thread to reach an
+   na-write of ``x`` — impossible if it has none.
 
-2. **Flag protocol** (release/acquire "protection").  For a location ``x``
-   written by threads ``A`` and ``B``, a flag ``a ∈ ι`` discharges the
-   pair when (i) *every* possibly-nonzero store to ``a`` anywhere in the
-   program is a release store in ``A``'s code, and ``a`` is never CASed;
-   (ii) in ``A``, no na-write of ``x`` is reachable after a
-   possibly-nonzero store of ``a`` (the forward "released" facts below);
-   (iii) in ``B``, every na-write of ``x`` is dominated by an acquire
-   guard: a branch taken only when a register loaded from ``a`` with
-   ``acq`` mode was nonzero.  Then any nonzero message on ``a`` carries
-   ``A``'s full view past all its ``x``-writes (release message views),
-   ``B``'s acquire join raises its view above them, and conversely while
-   ``A`` still has ``x``-writes ahead no nonzero ``a``-message exists, so
-   ``B`` can neither reach its write nor certify a promise of it (its
-   guard cannot read a nonzero value — release stores cannot fulfill
+2. **Flag protocol** (release/acquire "protection") — conditions
+   (i)–(iii) of :mod:`repro.static.protocol`, instantiated with the
+   second thread's *write* sites.  Any nonzero flag message carries the
+   first thread's full view past all its ``x``-writes (release message
+   views), the second thread's acquire join raises its view above
+   them, and conversely while the first thread still has ``x``-writes
+   ahead no nonzero flag message exists, so the second thread can
+   neither reach its write nor certify a promise of it (its guard
+   cannot read a nonzero value — release stores cannot fulfill
    promises in PS2.1, so no uncertified nonzero message ever appears).
+
+Unlike the PR 1 detector, calls no longer defeat the analysis
+wholesale: callee effects are folded in through mod-ref summaries, and
+only the sites whose publication context is genuinely unknown
+(``released is None``) demote the verdict to ``UNKNOWN``.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import List, Tuple
 
-from repro.analysis.dataflow import BlockAnalysis, solve_forward
-from repro.analysis.lattice import Lattice
-from repro.lang.cfg import Cfg
-from repro.lang.syntax import (
-    AccessMode,
-    Be,
-    BinOp,
-    Call,
-    Cas,
-    CodeHeap,
-    Const,
-    Expr,
-    Instr,
-    Load,
-    Program,
-    Reg,
-    Store,
-    instr_def,
-    terminator_targets,
+from repro.lang.syntax import Program
+from repro.static.protocol import protected
+from repro.static.summary import (
+    AccessSite,
+    ThreadAccessSummary,
+    build_access_summaries,
+    build_access_summary,
 )
+
+#: Backwards-compatible aliases: the ww detector's summary types are the
+#: shared access-summary types since the absint port.
+ThreadSummary = ThreadAccessSummary
+NaWriteSite = AccessSite
 
 
 class StaticVerdict(enum.Enum):
-    """Three-valued outcome of the static ww-race analysis."""
+    """Three-valued outcome of a static race analysis."""
 
     RACE_FREE = "race-free"
     POTENTIAL_RACE = "potential-race"
@@ -88,300 +85,16 @@ class StaticVerdict(enum.Enum):
         return self.value
 
 
-# ---------------------------------------------------------------------------
-# Per-thread forward dataflow
-# ---------------------------------------------------------------------------
+#: The witness reason attached when call-context gaps block the
+#: protection reasoning.
+CALLS_REASON = "function calls defeat the protection analysis"
+UNPROTECTED_REASON = "no release/acquire protection found"
 
 
-@dataclass(frozen=True)
-class StaticFact:
-    """May-facts at a program point of one thread.
-
-    ``written`` — non-atomic locations possibly written so far;
-    ``released`` — atomic locations to which a possibly-nonzero value may
-    already have been stored (the "publication" events the flag-protocol
-    ordering condition keys on).
-    """
-
-    written: FrozenSet[str] = frozenset()
-    released: FrozenSet[str] = frozenset()
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"(written={sorted(self.written)}, released={sorted(self.released)})"
-
-
-def _fact_join(a: StaticFact, b: StaticFact) -> StaticFact:
-    return StaticFact(a.written | b.written, a.released | b.released)
-
-
-def _possibly_nonzero(expr: Expr) -> bool:
-    """Whether ``expr`` may evaluate to a nonzero value (conservative)."""
-    return not (isinstance(expr, Const) and int(expr.value) == 0)
-
-
-def fact_transfer(instr: Instr, fact: StaticFact) -> StaticFact:
-    """Forward transfer of one instruction over a :class:`StaticFact`."""
-    if isinstance(instr, Store):
-        if instr.mode is AccessMode.NA:
-            return StaticFact(fact.written | {instr.loc}, fact.released)
-        if _possibly_nonzero(instr.expr):
-            return StaticFact(fact.written, fact.released | {instr.loc})
-        return fact
-    if isinstance(instr, Cas):
-        # The write part may store ``new``; treat as a possible publication.
-        return StaticFact(fact.written, fact.released | {instr.loc})
-    return fact
-
-
-def thread_flow_facts(program: Program, func: str) -> Dict[str, StaticFact]:
-    """Block-entry :class:`StaticFact`s of one function (least fixpoint)."""
-    heap = program.function(func)
-
-    def transfer(label: str, block, fact: StaticFact) -> StaticFact:
-        for instr in block.instrs:
-            fact = fact_transfer(instr, fact)
-        return fact
-
-    analysis = BlockAnalysis(
-        lattice=Lattice(bottom=StaticFact(), join=_fact_join, eq=lambda a, b: a == b),
-        transfer=transfer,
-        boundary=StaticFact(),
-    )
-    return solve_forward(heap, analysis)
-
-
-# ---------------------------------------------------------------------------
-# Thread summaries
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class NaWriteSite:
-    """One static na-write occurrence: where, and what was published before.
-
-    ``released`` is the flag set possibly published before this point
-    (``None`` when unavailable — the site sits in a called function, or
-    calls make the entry-function facts unreliable).
-    """
-
-    loc: str
-    func: str
-    label: str
-    index: int
-    released: Optional[FrozenSet[str]]
-
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"{self.loc} @ {self.func}:{self.label}+{self.index}"
-
-
-@dataclass(frozen=True)
-class ThreadSummary:
-    """The per-thread result of the forward pass."""
-
-    tid: int
-    entry: str
-    functions: Tuple[str, ...]
-    has_calls: bool
-    writes: Tuple[NaWriteSite, ...]
-
-    def write_locs(self) -> FrozenSet[str]:
-        """Non-atomic locations this thread may write."""
-        return frozenset(site.loc for site in self.writes)
-
-
-def _reachable_labels(heap: CodeHeap) -> FrozenSet[str]:
-    return Cfg.of(heap).reachable()
-
-
-def _reachable_functions(program: Program, entry: str) -> Tuple[str, ...]:
-    """Functions call-reachable from ``entry`` (reachable blocks only)."""
-    seen = {entry}
-    work = [entry]
-    while work:
-        func = work.pop()
-        heap = program.function(func)
-        reach = _reachable_labels(heap)
-        for label, block in heap.blocks:
-            if label not in reach:
-                continue
-            if isinstance(block.term, Call) and block.term.func not in seen:
-                seen.add(block.term.func)
-                work.append(block.term.func)
-    return tuple(sorted(seen))
-
-
-def build_thread_summary(program: Program, tid: int) -> ThreadSummary:
-    """Run the forward pass for thread ``tid`` and summarize its writes."""
-    entry = program.threads[tid]
-    functions = _reachable_functions(program, entry)
-    has_calls = False
-    for func in functions:
-        heap = program.function(func)
-        reach = _reachable_labels(heap)
-        if any(
-            isinstance(block.term, Call)
-            for label, block in heap.blocks
-            if label in reach
-        ):
-            has_calls = True
-            break
-
-    writes: List[NaWriteSite] = []
-    for func in functions:
-        heap = program.function(func)
-        reach = _reachable_labels(heap)
-        facts = None if has_calls or func != entry else thread_flow_facts(program, func)
-        for label, block in heap.blocks:
-            if label not in reach:
-                continue
-            fact = facts[label] if facts is not None else None
-            for index, instr in enumerate(block.instrs):
-                if isinstance(instr, Store) and instr.mode is AccessMode.NA:
-                    released = fact.released if fact is not None else None
-                    writes.append(NaWriteSite(instr.loc, func, label, index, released))
-                if fact is not None:
-                    fact = fact_transfer(instr, fact)
-    return ThreadSummary(tid, entry, functions, has_calls, tuple(writes))
-
-
-# ---------------------------------------------------------------------------
-# Flag-protocol protection
-# ---------------------------------------------------------------------------
-
-
-def _acquire_guard_edges(heap: CodeHeap, flag: str) -> FrozenSet[Tuple[str, str]]:
-    """CFG edges taken only after an acquire read of ``flag`` saw nonzero.
-
-    Recognized shape: a block whose terminator is ``be c, then, else``
-    where ``c`` is ``r`` or ``r != 0`` and the last definition of ``r`` in
-    the block is ``r := flag.acq``.  The then-edge is the guard.
-    """
-    edges: Set[Tuple[str, str]] = set()
-    for label, block in heap.blocks:
-        term = block.term
-        if not isinstance(term, Be):
-            continue
-        reg = _guard_register(term.cond)
-        if reg is None:
-            continue
-        last_def: Optional[Instr] = None
-        for instr in block.instrs:
-            if instr_def(instr) == reg:
-                last_def = instr
-        if (
-            isinstance(last_def, Load)
-            and last_def.loc == flag
-            and last_def.mode is AccessMode.ACQ
-        ):
-            edges.add((label, term.then_target))
-    return frozenset(edges)
-
-
-def _guard_register(cond: Expr) -> Optional[str]:
-    """The register whose nonzero-ness the branch condition tests, if any."""
-    if isinstance(cond, Reg):
-        return cond.name
-    if isinstance(cond, BinOp) and cond.op == "!=":
-        if isinstance(cond.left, Reg) and isinstance(cond.right, Const):
-            if int(cond.right.value) == 0:
-                return cond.left.name
-        if isinstance(cond.right, Reg) and isinstance(cond.left, Const):
-            if int(cond.left.value) == 0:
-                return cond.right.name
-    return None
-
-
-def _flag_owned_by(
-    program: Program, summaries: Sequence[ThreadSummary], first: ThreadSummary, flag: str
-) -> bool:
-    """Condition (i): all possibly-nonzero stores to ``flag`` are release
-    stores in ``first``'s entry function, attributed only to ``first``, and
-    ``flag`` is never CASed in any thread-reachable code."""
-    for summary in summaries:
-        for func in summary.functions:
-            heap = program.function(func)
-            reach = _reachable_labels(heap)
-            for label, block in heap.blocks:
-                if label not in reach:
-                    continue
-                for instr in block.instrs:
-                    if isinstance(instr, Cas) and instr.loc == flag:
-                        return False
-                    if (
-                        isinstance(instr, Store)
-                        and instr.loc == flag
-                        and _possibly_nonzero(instr.expr)
-                    ):
-                        if not (
-                            summary.tid == first.tid
-                            and func == first.entry
-                            and instr.mode is AccessMode.REL
-                        ):
-                            return False
-    return True
-
-
-def _writes_precede_publish(first: ThreadSummary, loc: str, flag: str) -> bool:
-    """Condition (ii): no na-write of ``loc`` in ``first`` is reachable
-    after a possibly-nonzero store of ``flag``."""
-    for site in first.writes:
-        if site.loc != loc:
-            continue
-        if site.released is None or flag in site.released:
-            return False
-    return True
-
-
-def _writes_guarded_by(
-    program: Program, second: ThreadSummary, loc: str, flag: str
-) -> bool:
-    """Condition (iii): every na-write of ``loc`` in ``second`` sits behind
-    an acquire guard on ``flag`` — unreachable once guard edges are cut."""
-    heap = program.function(second.entry)
-    guard_edges = _acquire_guard_edges(heap, flag)
-    if not guard_edges:
-        return False
-    write_blocks = {site.label for site in second.writes if site.loc == loc}
-    reached: Set[str] = {heap.entry}
-    work = [heap.entry]
-    while work:
-        label = work.pop()
-        term = heap[label].term
-        if isinstance(term, Be) and (label, term.then_target) in guard_edges:
-            succs: Tuple[str, ...] = (term.else_target,)
-        else:
-            succs = terminator_targets(term)
-        for succ in succs:
-            if succ not in reached:
-                reached.add(succ)
-                work.append(succ)
-    return not (write_blocks & reached)
-
-
-def _protected(
-    program: Program,
-    summaries: Sequence[ThreadSummary],
-    first: ThreadSummary,
-    second: ThreadSummary,
-    loc: str,
-) -> bool:
-    """Whether some flag orders all of ``first``'s ``loc``-writes before
-    all of ``second``'s (the full flag-protocol argument)."""
-    if first.entry == second.entry:
-        return False
-    for flag in sorted(program.atomics):
-        if (
-            _flag_owned_by(program, summaries, first, flag)
-            and _writes_precede_publish(first, loc, flag)
-            and _writes_guarded_by(program, second, loc, flag)
-        ):
-            return True
-    return False
-
-
-# ---------------------------------------------------------------------------
-# Pairwise combination and the report
-# ---------------------------------------------------------------------------
+def build_thread_summary(program: Program, tid: int) -> ThreadAccessSummary:
+    """Summarize thread ``tid``'s non-atomic accesses (shared with the
+    rw detector; see :func:`repro.static.summary.build_access_summary`)."""
+    return build_access_summary(program, tid)
 
 
 @dataclass(frozen=True)
@@ -391,8 +104,8 @@ class StaticRaceWitness:
     loc: str
     tid_a: int
     tid_b: int
-    site_a: NaWriteSite
-    site_b: NaWriteSite
+    site_a: AccessSite
+    site_b: AccessSite
     definite: bool
     reason: str
 
@@ -410,7 +123,7 @@ class StaticRaceReport:
 
     verdict: StaticVerdict
     witnesses: Tuple[StaticRaceWitness, ...]
-    summaries: Tuple[ThreadSummary, ...]
+    summaries: Tuple[ThreadAccessSummary, ...]
     checked_pairs: int
 
     @property
@@ -429,7 +142,7 @@ class StaticRaceReport:
         return "\n".join(lines)
 
 
-def _first_site(summary: ThreadSummary, loc: str) -> NaWriteSite:
+def _first_site(summary: ThreadAccessSummary, loc: str) -> AccessSite:
     for site in summary.writes:
         if site.loc == loc:
             return site
@@ -438,9 +151,7 @@ def _first_site(summary: ThreadSummary, loc: str) -> NaWriteSite:
 
 def analyze_ww_races(program: Program) -> StaticRaceReport:
     """Run the full static ww-race analysis on ``program``."""
-    summaries = tuple(
-        build_thread_summary(program, tid) for tid in range(len(program.threads))
-    )
+    summaries = build_access_summaries(program)
     witnesses: List[StaticRaceWitness] = []
     checked = 0
     for i in range(len(summaries)):
@@ -448,24 +159,20 @@ def analyze_ww_races(program: Program) -> StaticRaceReport:
             a, b = summaries[i], summaries[j]
             for loc in sorted(a.write_locs() & b.write_locs()):
                 checked += 1
-                if a.has_calls or b.has_calls:
-                    witnesses.append(
-                        StaticRaceWitness(
-                            loc, a.tid, b.tid, _first_site(a, loc), _first_site(b, loc),
-                            definite=False,
-                            reason="function calls defeat the protection analysis",
-                        )
-                    )
+                a_sites = tuple(s for s in a.writes if s.loc == loc)
+                b_sites = tuple(s for s in b.writes if s.loc == loc)
+                if protected(
+                    program, summaries, a, b, a_sites, b_sites
+                ) or protected(program, summaries, b, a, b_sites, a_sites):
                     continue
-                if _protected(program, summaries, a, b, loc) or _protected(
-                    program, summaries, b, a, loc
-                ):
-                    continue
+                context_gap = any(
+                    site.released is None for site in a_sites + b_sites
+                )
                 witnesses.append(
                     StaticRaceWitness(
                         loc, a.tid, b.tid, _first_site(a, loc), _first_site(b, loc),
-                        definite=True,
-                        reason="no release/acquire protection found",
+                        definite=not context_gap,
+                        reason=CALLS_REASON if context_gap else UNPROTECTED_REASON,
                     )
                 )
     if not witnesses:

@@ -1,0 +1,347 @@
+"""Unit and property tests for the abstract-interpretation engine.
+
+Covers the worklist solver (both directions, widening/narrowing,
+dead-edge pruning), the interval domain's soundness against concrete
+``eval_expr``, the constants domain's parity with ConstProp's value
+analysis, and the interprocedural summary machinery.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.lang.syntax import eval_expr
+from repro.lang.values import Int32
+from repro.static.absint import solve
+from repro.static.absint.domains.constants import ConstantsDomain, possibly_nonzero
+from repro.static.absint.domains.intervals import (
+    INT32_MAX,
+    Interval,
+    IntervalEnv,
+    IntervalsDomain,
+    eval_interval,
+    interval_const,
+)
+from repro.static.absint.domains.modref import FulfillDomain, modref_summaries
+from repro.static.absint.interproc import (
+    call_graph,
+    reachable_functions,
+)
+
+
+def _single_function(build):
+    """A one-function program from a FunctionBuilder callback."""
+    pb = ProgramBuilder()
+    with pb.function("f") as f:
+        build(f)
+    pb.thread("f")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# Forward solving: intervals
+# ---------------------------------------------------------------------------
+
+
+def test_straight_line_intervals():
+    def build(f):
+        b = f.block("entry")
+        b.assign("r", 3)
+        b.assign("s", binop("+", "r", 4))
+        b.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    env = result.at("entry", 2)
+    assert env.get("r") == interval_const(3)
+    assert env.get("s") == interval_const(7)
+
+
+def test_widening_makes_counting_loop_converge():
+    """``r := r + 1`` forever: the interval chain is 2^32 long, so
+    convergence within the iteration budget proves widening fired."""
+
+    def build(f):
+        b = f.block("entry")
+        b.jmp("loop")
+        loop = f.block("loop")
+        loop.assign("r", binop("+", "r", 1))
+        loop.be(binop("<", "r", 1000), "loop", "exit")
+        e = f.block("exit")
+        e.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    assert result.widened  # the loop head was widened
+    r = result.entry["exit"].get("r")
+    assert r.contains(1000)  # sound: the loop exits with r >= 1000
+
+
+def test_narrowing_recovers_branch_bound():
+    """After widening blows `r` to ⊤ at the loop head, the exit branch
+    still bounds the exit environment via edge refinement."""
+
+    def build(f):
+        b = f.block("entry")
+        b.jmp("loop")
+        loop = f.block("loop")
+        loop.assign("r", binop("+", "r", 1))
+        loop.be(binop("<", "r", 10), "loop", "exit")
+        e = f.block("exit")
+        e.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    r = result.entry["exit"].get("r")
+    assert r.lo >= 10  # the else-edge of `r < 10` knows r >= 10
+    assert r.hi < INT32_MAX or r == Interval(10, INT32_MAX)
+
+
+def test_dead_edge_is_pruned():
+    """A constant-false branch arm stays unreached (bottom)."""
+
+    def build(f):
+        b = f.block("entry")
+        b.assign("r", 0)
+        b.be("r", "dead", "live")
+        d = f.block("dead")
+        d.ret()
+        v = f.block("live")
+        v.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    assert result.entry["dead"].is_unreached
+    assert not result.entry["live"].is_unreached
+
+
+def test_branch_refinement_on_then_edge():
+    def build(f):
+        b = f.block("entry")
+        b.load("r", "x", "na")
+        b.be(binop("<", "r", 10), "small", "big")
+        s = f.block("small")
+        s.ret()
+        g = f.block("big")
+        g.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    assert result.entry["small"].get("r").hi == 9
+    assert result.entry["big"].get("r").lo == 10
+
+
+def test_degenerate_branch_refines_nothing():
+    """``be c, L, L`` must not refine: both polarities flow to L."""
+
+    def build(f):
+        b = f.block("entry")
+        b.assign("r", 0)
+        b.be("r", "join", "join")
+        j = f.block("join")
+        j.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), IntervalsDomain())
+    assert not result.entry["join"].is_unreached
+    assert result.entry["join"].get("r") == interval_const(0)
+
+
+# ---------------------------------------------------------------------------
+# Interval soundness property
+# ---------------------------------------------------------------------------
+
+_REGS = ("r1", "r2", "r3")
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.integers(min_value=-50, max_value=50).map(
+            lambda v: binop("+", v, 0)
+        ),
+        st.sampled_from(_REGS).map(lambda r: binop("+", r, 0)),
+    )
+    ops = st.sampled_from(["+", "-", "*", "==", "!=", "<", "<=", ">", ">="])
+    return st.recursive(
+        leaves,
+        lambda sub: st.tuples(ops, sub, sub).map(lambda t: binop(t[0], t[1], t[2])),
+        max_leaves=6,
+    )
+
+
+@given(
+    expr=_exprs(),
+    values=st.tuples(*(st.integers(min_value=-50, max_value=50) for _ in _REGS)),
+    slack=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_eval_interval_contains_concrete_value(expr, values, slack):
+    """Galois soundness: if every register's interval contains its
+    concrete value, the abstract result contains the concrete result."""
+    reg_map = {reg: Int32(v) for reg, v in zip(_REGS, values)}
+    env = IntervalEnv.top()
+    for reg, v in zip(_REGS, values):
+        env = env.set(reg, Interval(v - slack, v + slack))
+    concrete = int(eval_expr(expr, reg_map))
+    assert eval_interval(expr, env).contains(concrete)
+
+
+@given(expr=_exprs(), values=st.tuples(*(st.integers(-50, 50) for _ in _REGS)))
+@settings(max_examples=100, deadline=None)
+def test_possibly_nonzero_is_conservative(expr, values):
+    """``possibly_nonzero(e) == False`` must imply e evaluates to 0 for
+    every register valuation (the env-free fragment)."""
+    if not possibly_nonzero(expr):
+        reg_map = {reg: Int32(v) for reg, v in zip(_REGS, values)}
+        assert int(eval_expr(expr, reg_map)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Constants domain parity
+# ---------------------------------------------------------------------------
+
+
+def test_constants_domain_matches_value_analysis():
+    from repro.analysis.value import value_analysis
+
+    def build(f):
+        b = f.block("entry")
+        b.assign("r", 3)
+        b.be("r", "t", "e")
+        t = f.block("t")
+        t.assign("s", 1)
+        t.jmp("j")
+        e = f.block("e")
+        e.assign("s", 2)
+        e.jmp("j")
+        j = f.block("j")
+        j.print_("s")
+        j.ret()
+
+    program = _single_function(build)
+    via_engine = solve(program.function("f"), ConstantsDomain())
+    via_api = value_analysis(program, "f")
+    for label in ("entry", "t", "e", "j"):
+        assert via_engine.entry[label] == via_api.entry_envs[label]
+    # `s` joins #1 ⊔ #2 = ⊤ at the join block (no edge refinement).
+    assert via_api.entry_envs["j"].get("s").is_top
+
+
+# ---------------------------------------------------------------------------
+# Backward solving: fulfill facts
+# ---------------------------------------------------------------------------
+
+
+def test_backward_fulfill_facts():
+    pb = ProgramBuilder(atomics={"x", "b"})
+    with pb.function("f") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("x", 1, "rel")
+        b.store("b", 2, "rlx")
+        b.ret()
+    pb.thread("f")
+    program = pb.build()
+    summaries = modref_summaries(program, ("f",))
+    result = solve(program.function("f"), FulfillDomain(summaries))
+    # Before the na store both a and b lie ahead; after it only b; the
+    # rel store never fulfills so it contributes nothing.
+    assert result.at("entry", 0) == frozenset({"a", "b"})
+    assert result.at("entry", 1) == frozenset({"b"})
+    assert result.at("entry", 3) == frozenset()
+
+
+def test_fulfill_facts_cross_calls():
+    pb = ProgramBuilder()
+    with pb.function("helper") as f:
+        b = f.block("entry")
+        b.store("c", 7, "na")
+        b.ret()
+    with pb.function("f") as f:
+        b = f.block("entry")
+        b.call("helper", "after")
+        a = f.block("after")
+        a.ret()
+    pb.thread("f")
+    program = pb.build()
+    summaries = modref_summaries(program, ("f", "helper"))
+    result = solve(program.function("f"), FulfillDomain(summaries))
+    # At the call point the callee's fulfill footprint is visible.
+    assert result.at("entry", 0) == frozenset({"c"})
+    assert result.at("after", 0) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural machinery
+# ---------------------------------------------------------------------------
+
+
+def _call_chain_program():
+    pb = ProgramBuilder()
+    with pb.function("c") as f:
+        b = f.block("entry")
+        b.store("z", 1, "na")
+        b.ret()
+    with pb.function("b") as f:
+        blk = f.block("entry")
+        blk.call("c", "done")
+        d = f.block("done")
+        d.ret()
+    with pb.function("a") as f:
+        blk = f.block("entry")
+        blk.call("b", "done")
+        d = f.block("done")
+        d.ret()
+    with pb.function("other") as f:
+        b = f.block("entry")
+        b.ret()
+    pb.thread("a")
+    return pb.build()
+
+
+def test_call_graph_and_reachability():
+    program = _call_chain_program()
+    graph = call_graph(program)
+    assert set(graph["a"]) == {"b"}
+    assert set(graph["b"]) == {"c"}
+    assert reachable_functions(program, "a") == ("a", "b", "c")
+    assert "other" not in reachable_functions(program, "a")
+
+
+def test_modref_summaries_are_transitive():
+    program = _call_chain_program()
+    summaries = modref_summaries(program, ("a", "b", "c"))
+    assert summaries["a"].writes == frozenset({"z"})
+    assert summaries["a"].fulfills == frozenset({"z"})
+
+
+def test_modref_summaries_tolerate_recursion():
+    pb = ProgramBuilder()
+    with pb.function("f") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.be("r", "again", "done")
+        again = f.block("again")
+        again.call("f", "done")
+        d = f.block("done")
+        d.ret()
+    pb.thread("f")
+    program = pb.build()
+    summaries = modref_summaries(program, ("f",))
+    assert summaries["f"].writes == frozenset({"a"})
+
+
+def test_constants_domain_replay_offsets():
+    def build(f):
+        b = f.block("entry")
+        b.assign("r", 1)
+        b.assign("r", binop("+", "r", 1))
+        b.assign("r", binop("*", "r", 3))
+        b.ret()
+
+    program = _single_function(build)
+    result = solve(program.function("f"), ConstantsDomain())
+    facts = result.before_instructions("entry")
+    assert facts[1].get("r").value == 1
+    assert facts[2].get("r").value == 2
+    assert result.at("entry", 3).get("r").value == 6

@@ -1,0 +1,150 @@
+"""Tests for the view-bound certification pre-check.
+
+Two obligations: the :class:`FulfillMap` answers point queries correctly
+(unit tests), and — the load-bearing one — enabling the pre-check never
+changes any observable behavior, it only skips certification searches
+that would have failed anyway (equivalence property over generated
+programs with promises enabled).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.builder import ProgramBuilder
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.semantics.exploration import Explorer
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+from repro.semantics.threadstate import LocalState
+from repro.static.certcheck import build_fulfill_map
+
+SMALL = GeneratorConfig(threads=2, instrs_per_thread=4, prints_per_thread=1)
+
+
+def _mp_program():
+    """t1 writes x then releases a flag; t2 reads under an acquire guard."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("x", 1, "na")
+        b.store("f", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "f", "acq")
+        b.be("r", "yes", "no")
+        y = f.block("yes")
+        y.load("s", "x", "na")
+        y.ret()
+        n = f.block("no")
+        n.ret()
+    pb.thread("t1").thread("t2")
+    return pb.build()
+
+
+# ---------------------------------------------------------------------------
+# FulfillMap point queries
+# ---------------------------------------------------------------------------
+
+
+def test_fulfillable_shrinks_along_execution():
+    program = _mp_program()
+    fmap = build_fulfill_map(program)
+    # Before the na store of x, x is still fulfillable; after it (and
+    # before the rel store, which never fulfills) nothing is.
+    assert fmap.fulfillable_at("t1", "entry", 0) == frozenset({"x"})
+    assert fmap.fulfillable_at("t1", "entry", 1) == frozenset()
+    assert fmap.fulfillable_at("t1", "entry", 2) == frozenset()
+
+
+def test_fulfillable_covers_stack_frames():
+    pb = ProgramBuilder()
+    with pb.function("helper") as f:
+        b = f.block("entry")
+        b.skip()
+        b.ret()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.call("helper", "after")
+        a = f.block("after")
+        a.store("x", 1, "na")
+        a.ret()
+    pb.thread("t1")
+    program = pb.build()
+    fmap = build_fulfill_map(program)
+    # A thread parked inside `helper` (empty local footprint) still owes
+    # the caller's post-return store via the recorded frame.
+    inside = LocalState(
+        func="helper", label="entry", offset=1, regs=(),
+        stack=(("t1", "after"),), done=False,
+    )
+    assert "x" in fmap.fulfillable(inside)
+    # A finished thread with no frames can fulfill nothing.
+    finished = LocalState(
+        func="t1", label="after", offset=1, regs=(), stack=(), done=True
+    )
+    assert fmap.fulfillable(finished) == frozenset()
+
+
+def test_queries_are_memoized():
+    program = _mp_program()
+    fmap = build_fulfill_map(program)
+    first = fmap.fulfillable_at("t2", "yes", 0)
+    assert fmap._memo[("t2", "yes", 0)] == first
+    assert fmap.fulfillable_at("t2", "yes", 0) is first
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: the pre-check never changes behaviors
+# ---------------------------------------------------------------------------
+
+
+def _behaviors(program, precheck):
+    config = SemanticsConfig(
+        promise_oracle=SyntacticPromises(budget=1, max_outstanding=1),
+        certification_precheck=precheck,
+    )
+    explorer = Explorer(program, config)
+    return explorer.behaviors(), explorer
+
+
+@given(seed=st.integers(min_value=0, max_value=5_000))
+@settings(max_examples=15, deadline=None)
+def test_precheck_preserves_behaviors(seed):
+    program = random_wwrf_program(seed, SMALL)
+    with_precheck, _ = _behaviors(program, True)
+    without_precheck, _ = _behaviors(program, False)
+    assert with_precheck.traces == without_precheck.traces
+    assert with_precheck.state_count == without_precheck.state_count
+
+
+def test_precheck_skips_are_observable():
+    """A promise on a location the promising thread never stores again
+    is refuted statically: the skip counter must tick, and the verdict
+    (no such behavior survives) is unchanged."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("f", 1, "rlx")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "f", "rlx")
+        b.print_("r")
+        b.ret()
+    pb.thread("t1").thread("t2")
+    program = pb.build()
+    with_precheck, explorer = _behaviors(program, True)
+    without_precheck, baseline = _behaviors(program, False)
+    assert with_precheck.traces == without_precheck.traces
+    assert explorer.cert_stats.precheck_skips > 0
+    assert baseline.cert_stats.precheck_skips == 0
+    # Skipped searches are exactly searches not run: the with-precheck
+    # explorer performs fewer actual certification DFSes.
+    assert explorer.cert_stats.cache_misses <= baseline.cert_stats.cache_misses
+
+
+def test_precheck_disabled_when_promises_off():
+    explorer = Explorer(_mp_program(), SemanticsConfig())
+    assert explorer.cert_precheck is None

@@ -1,0 +1,203 @@
+"""Regression tests for the hardened guard and nonzero reasoning.
+
+The flag-protocol analysis must recognize nested and negated guard
+shapes (``(r != 0) != 0``, ``r == 0``, ``0 == r``) and — crucially —
+fall back *conservatively* on everything it cannot prove: an
+unrecognized guard or an undecidable store value may only make the
+analysis less precise, never unsound.
+"""
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.lang.syntax import Const, Reg
+from repro.static.absint.domains.constants import possibly_nonzero
+from repro.static.protocol import acquire_guard_edges, guard_condition
+from repro.static.wwraces import StaticVerdict, analyze_ww_races
+from repro.analysis.value import Env
+from repro.analysis.lattice import flat_const
+
+
+# ---------------------------------------------------------------------------
+# guard_condition
+# ---------------------------------------------------------------------------
+
+
+def test_bare_register_guard():
+    assert guard_condition(Reg("r")) == ("r", True)
+
+
+def test_nonzero_comparison_guards():
+    assert guard_condition(binop("!=", "r", 0)) == ("r", True)
+    assert guard_condition(binop("==", "r", 0)) == ("r", False)
+    # Flipped operand order must be recognized too.
+    assert guard_condition(binop("!=", 0, "r")) == ("r", True)
+    assert guard_condition(binop("==", 0, "r")) == ("r", False)
+
+
+def test_nested_guard_towers():
+    # (r != 0) != 0 ≡ r != 0: polarity survives the wrapper.
+    assert guard_condition(binop("!=", binop("!=", "r", 0), 0)) == ("r", True)
+    # (r == 0) == 0 ≡ r != 0: two negations cancel.
+    assert guard_condition(binop("==", binop("==", "r", 0), 0)) == ("r", True)
+    # (r != 0) == 0 ≡ r == 0.
+    assert guard_condition(binop("==", binop("!=", "r", 0), 0)) == ("r", False)
+    # Three deep, mixed operand order.
+    cond = binop("==", 0, binop("!=", binop("==", "r", 0), 0))
+    assert guard_condition(cond) == ("r", True)
+
+
+def test_unrecognized_guards_return_none():
+    # Comparison against a nonzero constant says nothing about r != 0.
+    assert guard_condition(binop("!=", "r", 1)) is None
+    assert guard_condition(binop("==", "r", 2)) is None
+    # Arithmetic is not a pure nonzero test.
+    assert guard_condition(binop("+", "r", 1)) is None
+    # Multi-register conditions are out of scope.
+    assert guard_condition(binop("==", "r1", "r2")) is None
+    # A constant condition names no register.
+    assert guard_condition(Const(1)) is None
+    # A wrapper around an unrecognized inner stays unrecognized.
+    assert guard_condition(binop("!=", binop("+", "r", 1), 0)) is None
+
+
+# ---------------------------------------------------------------------------
+# possibly_nonzero
+# ---------------------------------------------------------------------------
+
+
+def test_possibly_nonzero_structural_zeros():
+    assert not possibly_nonzero(Const(0))
+    assert not possibly_nonzero(binop("+", 0, 0))
+    assert not possibly_nonzero(binop("*", "r", 0))
+    assert not possibly_nonzero(binop("*", 0, binop("+", "r", 5)))
+
+
+def test_possibly_nonzero_conservative_on_unknowns():
+    assert possibly_nonzero(Reg("r"))
+    assert possibly_nonzero(binop("+", "r", 0))
+    # r - r is always 0 but the interval evaluation cannot correlate the
+    # two occurrences: the conservative answer is "maybe nonzero".
+    assert possibly_nonzero(binop("-", "r", "r"))
+    assert possibly_nonzero(Const(1))
+
+
+def test_possibly_nonzero_with_environment():
+    env = Env.initial().set("r", flat_const(0))
+    assert not possibly_nonzero(Reg("r"), env)
+    assert not possibly_nonzero(binop("+", "r", 0), env)
+    assert possibly_nonzero(binop("+", "r", 1), env)
+    # An unreached point never publishes anything.
+    assert not possibly_nonzero(Reg("r"), Env.unreached())
+    # An unknown register is conservatively nonzero.
+    assert possibly_nonzero(Reg("s"), Env((),))
+
+
+# ---------------------------------------------------------------------------
+# acquire_guard_edges
+# ---------------------------------------------------------------------------
+
+
+def _guarded_reader(cond_builder, *, redefine=False, mode="acq"):
+    """A reader thread: ``r := a.mode; be cond(r), yes, no``."""
+    pb = ProgramBuilder(atomics={"a"})
+    with pb.function("w") as f:
+        b = f.block("entry")
+        b.store("x", 1, "na")
+        b.store("a", 1, "rel")
+        b.ret()
+    with pb.function("r") as f:
+        b = f.block("entry")
+        b.load("r", "a", mode)
+        if redefine:
+            b.assign("r", 1)
+        b.be(cond_builder("r"), "yes", "no")
+        y = f.block("yes")
+        y.load("s", "x", "na")
+        y.ret()
+        n = f.block("no")
+        n.ret()
+    pb.thread("w")
+    pb.thread("r")
+    return pb.build()
+
+
+def test_acquire_guard_positive_polarity():
+    program = _guarded_reader(lambda r: binop("!=", r, 0))
+    edges = acquire_guard_edges(program.function("r"), "a")
+    assert edges == frozenset({("entry", "yes")})
+
+
+def test_acquire_guard_negative_polarity_guards_else_edge():
+    program = _guarded_reader(lambda r: binop("==", r, 0))
+    edges = acquire_guard_edges(program.function("r"), "a")
+    assert edges == frozenset({("entry", "no")})
+
+
+def test_acquire_guard_rejects_redefined_register():
+    # The guard register is overwritten after the acquire load: the
+    # branch no longer tests the flag, so no edge may be guarded.
+    program = _guarded_reader(lambda r: binop("!=", r, 0), redefine=True)
+    assert acquire_guard_edges(program.function("r"), "a") == frozenset()
+
+
+def test_acquire_guard_requires_acquire_mode():
+    program = _guarded_reader(lambda r: binop("!=", r, 0), mode="rlx")
+    assert acquire_guard_edges(program.function("r"), "a") == frozenset()
+
+
+def test_acquire_guard_rejects_unrecognized_condition():
+    program = _guarded_reader(lambda r: binop("!=", r, 1))
+    assert acquire_guard_edges(program.function("r"), "a") == frozenset()
+
+
+def test_degenerate_branch_guards_nothing():
+    pb = ProgramBuilder(atomics={"a"})
+    with pb.function("r") as f:
+        b = f.block("entry")
+        b.load("r", "a", "acq")
+        b.be("r", "join", "join")
+        j = f.block("join")
+        j.ret()
+    pb.thread("r")
+    program = pb.build()
+    assert acquire_guard_edges(program.function("r"), "a") == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end conservative fallback
+# ---------------------------------------------------------------------------
+
+
+def _message_passing(guard):
+    """Writer publishes x via flag a; a second *writer* of x waits on
+    the guard.  With a recognized guard the ww-pair is discharged; with
+    an unrecognized one the analysis must stay inconclusive."""
+    pb = ProgramBuilder(atomics={"a"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("x", 1, "na")
+        b.store("a", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "a", "acq")
+        b.be(guard("r"), "yes", "no")
+        y = f.block("yes")
+        y.store("x", 2, "na")
+        y.ret()
+        n = f.block("no")
+        n.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    return pb.build()
+
+
+def test_nested_guard_still_discharges_message_passing():
+    program = _message_passing(lambda r: binop("!=", binop("!=", r, 0), 0))
+    report = analyze_ww_races(program)
+    assert report.verdict is StaticVerdict.RACE_FREE
+
+
+def test_unrecognized_guard_falls_back_to_potential_race():
+    program = _message_passing(lambda r: binop("!=", r, 1))
+    report = analyze_ww_races(program)
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE

@@ -1,0 +1,199 @@
+"""Unit tests for the static read-write race analysis."""
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.static.rwraces import analyze_rw_races
+from repro.static.wwraces import CALLS_REASON, UNPROTECTED_REASON, StaticVerdict
+
+
+def test_owned_reads_are_race_free():
+    """Each thread reads only locations it alone writes: ownership
+    discharges every pair without a flag argument."""
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "a", "na")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.store("b", 2, "na")
+        b.load("r", "b", "na")
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    report = analyze_rw_races(pb.build())
+    assert report.verdict is StaticVerdict.RACE_FREE
+    assert report.checked_pairs == 0  # no cross-thread writer to pair with
+
+
+def test_unwritten_location_read_is_race_free():
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("s", "a", "na")
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    assert analyze_rw_races(pb.build()).race_free
+
+
+def test_unprotected_cross_thread_read_is_flagged():
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    report = analyze_rw_races(pb.build())
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+    assert report.checked_pairs == 1
+    (witness,) = report.witnesses
+    assert witness.loc == "a"
+    assert witness.reader_tid == 1 and witness.writer_tid == 0
+    assert witness.read_site.loc == "a" and witness.write_site.loc == "a"
+    assert witness.definite
+    assert witness.reason == UNPROTECTED_REASON
+
+
+def _mp_writer_publishes(guarded_read=True):
+    """Writer stores x then releases flag; reader acquires flag and
+    reads x (guarded or not)."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("x", 1, "na")
+        b.store("f", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "f", "acq")
+        if guarded_read:
+            b.be("r", "yes", "no")
+            y = f.block("yes")
+            y.load("s", "x", "na")
+            y.ret()
+            n = f.block("no")
+            n.ret()
+        else:
+            b.load("s", "x", "na")
+            b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    return pb.build()
+
+
+def test_flag_protocol_writer_publishes_reader_guarded():
+    report = analyze_rw_races(_mp_writer_publishes(guarded_read=True))
+    assert report.verdict is StaticVerdict.RACE_FREE
+    assert report.checked_pairs == 1
+
+
+def test_unguarded_read_not_discharged():
+    report = analyze_rw_races(_mp_writer_publishes(guarded_read=False))
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_flag_protocol_reader_publishes_writer_guarded():
+    """The converse order: the reader finishes its x-reads, then
+    publishes; the writer's x-write sits behind the acquire guard."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r", "x", "na")
+        b.store("f", 1, "rel")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "f", "acq")
+        b.be("r", "yes", "no")
+        y = f.block("yes")
+        y.store("x", 1, "na")
+        y.ret()
+        n = f.block("no")
+        n.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    report = analyze_rw_races(pb.build())
+    assert report.verdict is StaticVerdict.RACE_FREE
+
+
+def test_read_after_publication_not_discharged():
+    """The flag owner reads x *after* releasing the flag: neither order
+    of the protocol applies and the pair must survive."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("f", 1, "rel")
+        b.load("r", "x", "na")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "f", "acq")
+        b.be("r", "yes", "no")
+        y = f.block("yes")
+        y.store("x", 1, "na")
+        y.ret()
+        n = f.block("no")
+        n.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    report = analyze_rw_races(pb.build())
+    assert report.verdict is StaticVerdict.POTENTIAL_RACE
+
+
+def test_calls_produce_unknown_not_potential_race():
+    pb = ProgramBuilder()
+    with pb.function("helper") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.call("helper", "done")
+        d = f.block("done")
+        d.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    report = analyze_rw_races(pb.build())
+    assert report.verdict is StaticVerdict.UNKNOWN
+    assert all(not w.definite for w in report.witnesses)
+    assert all(w.reason == CALLS_REASON for w in report.witnesses)
+
+
+def test_report_str_mentions_verdict_and_sites():
+    report = analyze_rw_races(_mp_writer_publishes(guarded_read=False))
+    text = str(report)
+    assert text.startswith("static rw-analysis: potential-race")
+    assert "thread 1 reads" in text
+    assert "thread 0 writes" in text
+
+
+def test_own_thread_rw_is_not_a_race():
+    """A thread reading its own written location is never an rw-race
+    (the definition quantifies over *other* threads' messages)."""
+    pb = ProgramBuilder()
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "a", "na")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.assign("r", binop("+", 1, 2))
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    assert analyze_rw_races(pb.build()).race_free
