@@ -1,0 +1,135 @@
+"""E-STATIC-VALIDATE: tier 0 (static certifier) vs. always-exploration.
+
+The static translation-validation tier must pull its weight in front of
+refinement checking: over a realistic ww-race-free corpus, the crossing
+oracle + Owicki–Gries certifier should discharge most transformations
+without enumerating a single behavior, and the tiered ladder
+(:func:`repro.sim.validate.validate_tiered`) should beat the
+always-exploration sweep wall-clock.
+
+Corpus: the litmus library plus two generated batches — 20 default
+seeds and 15 seeds with reorderable instruction clusters (so the
+``I_reorder`` permutation rule actually fires).  Gallery: ConstProp,
+CSE, DCE, Reorder — the passes the certifier ships legality profiles
+for.
+
+Reported (human rows + a machine-readable ``BENCH`` json line):
+
+* soundness — no CERTIFIED verdict contradicted by exploration;
+* the static discharge fraction over transformed programs
+  (acceptance target ≥ 0.70);
+* ladder speedup, tiered vs. always-exploration (target ≥ 2x).
+"""
+
+import json
+import time
+
+from benchmarks.conftest import report
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, Reorder
+from repro.sim import validate_optimizer, validate_tiered
+
+DEFAULT_SEEDS = range(20)
+REORDER_SEEDS = range(15)
+
+GALLERY = (ConstProp(), CSE(), DCE(), Reorder())
+
+
+def _corpus():
+    programs = [(name, test.program) for name, test in sorted(LITMUS_SUITE.items())]
+    default = GeneratorConfig()
+    clustered = GeneratorConfig(instrs_per_thread=3, reorder_clusters=2)
+    programs += [
+        (f"gen-{seed}", random_wwrf_program(seed, default)) for seed in DEFAULT_SEEDS
+    ]
+    programs += [
+        (f"cluster-{seed}", random_wwrf_program(seed, clustered))
+        for seed in REORDER_SEEDS
+    ]
+    return programs
+
+
+def test_static_validate_tier_discharge_rate(benchmark):
+    programs = _corpus()
+
+    def tiered_sweep():
+        start = time.perf_counter()
+        results = [
+            (name, opt.name, validate_tiered(opt, program))
+            for name, program in programs
+            for opt in GALLERY
+        ]
+        return results, time.perf_counter() - start
+
+    tiered, tiered_secs = benchmark.pedantic(tiered_sweep, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    exploration = [
+        (name, opt.name, validate_optimizer(opt, program))
+        for name, program in programs
+        for opt in GALLERY
+    ]
+    exploration_secs = time.perf_counter() - start
+
+    unsound = [
+        (name, opt)
+        for (name, opt, t), (_, _, e) in zip(tiered, exploration)
+        if t.method == "static" and t.ok and not e.ok
+    ]
+    disagreements = [
+        (name, opt)
+        for (name, opt, t), (_, _, e) in zip(tiered, exploration)
+        if t.ok != e.ok
+    ]
+    transformed = [(name, opt, t) for name, opt, t in tiered if t.changed]
+    static_hits = [(name, opt) for name, opt, t in transformed if t.method == "static"]
+    fraction = len(static_hits) / len(transformed) if transformed else 0.0
+    behaviors_tiered = sum(t.behavior_count for _, _, t in tiered)
+    speedup = exploration_secs / max(tiered_secs, 1e-9)
+
+    rows = [
+        ("programs (litmus + gen + cluster)", len(programs)),
+        ("(program, pass) validations", len(tiered)),
+        ("transformed", len(transformed)),
+        ("statically certified", len(static_hits)),
+        ("static discharge fraction (target ≥ 0.70)", f"{fraction:.2f}"),
+        ("soundness violations (must be 0)", len(unsound)),
+        ("verdict disagreements (must be 0)", len(disagreements)),
+        ("behaviors enumerated (tiered)", behaviors_tiered),
+        ("tiered sweep secs", f"{tiered_secs:.2f}"),
+        ("exploration sweep secs", f"{exploration_secs:.2f}"),
+        ("ladder speedup (target ≥ 2x)", f"{speedup:.2f}x"),
+    ]
+    report("E-STATIC-VALIDATE", rows)
+    print("BENCH " + json.dumps({
+        "experiment": "static-validate-tier",
+        "programs": len(programs),
+        "validations": len(tiered),
+        "transformed": len(transformed),
+        "statically_certified": len(static_hits),
+        "discharge_fraction": round(fraction, 3),
+        "soundness_violations": len(unsound),
+        "disagreements": len(disagreements),
+        "behaviors_tiered": behaviors_tiered,
+        "tiered_secs": round(tiered_secs, 3),
+        "exploration_secs": round(exploration_secs, 3),
+        "speedup": round(speedup, 2),
+    }))
+
+    assert not unsound, f"CERTIFIED contradicts exploration on {unsound}"
+    assert not disagreements, f"ladder verdict differs from exploration on {disagreements}"
+    assert fraction >= 0.70
+    assert speedup >= 2.0
+
+
+def test_tier_zero_agreement_on_litmus():
+    """Tier-0 PROVED verdicts must be byte-identical — in behavior-set
+    terms — to what exploration concludes, over the full litmus suite."""
+    for name, test in sorted(LITMUS_SUITE.items()):
+        for opt in GALLERY:
+            ladder = validate_tiered(opt, test.program)
+            exploration = validate_optimizer(opt, test.program)
+            assert ladder.ok == exploration.ok, (name, opt.name)
+            if ladder.method == "static":
+                assert ladder.behavior_count == 0, (name, opt.name)

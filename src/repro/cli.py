@@ -55,6 +55,7 @@ from repro.opt.copyprop import CopyProp
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv
+from repro.opt.reorder import Reorder
 from repro.races.rwrace import rw_races
 from repro.races.tiered import check_races_tiered
 from repro.races.wwrf import ww_nprf, ww_rf
@@ -77,6 +78,7 @@ OPTIMIZERS = {
     "cleanup": Cleanup,
     "copyprop": CopyProp,
     "peel": Peel,
+    "reorder": Reorder,
 }
 
 
@@ -314,9 +316,50 @@ def cmd_races(args: argparse.Namespace) -> int:
     return exit_code(True, Confidence.weakest(confidences))
 
 
+def _crossing_matrix(program: Program) -> Dict[str, Dict[str, Any]]:
+    """Run every registered pass and report its crossing-oracle verdict:
+    the per-optimizer row of the static transformation matrix."""
+    import time
+
+    from repro.static.crossing import check_crossing
+
+    matrix: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(OPTIMIZERS):
+        optimizer = _optimizer(name)
+        t0 = time.perf_counter()
+        try:
+            target = optimizer.run(program)
+            report = check_crossing(program, target, optimizer.crossing_profile)
+        except Exception as exc:  # a pass crash is a data point, not a CLI crash
+            matrix[name] = {
+                "verdict": "error",
+                "violations": [str(exc)],
+                "inconclusive_sites": [],
+                "changed": False,
+                "seconds": time.perf_counter() - t0,
+            }
+            continue
+        if not report.ok:
+            verdict = "violations"
+        elif report.inconclusive:
+            verdict = "inconclusive"
+        else:
+            verdict = "clean"
+        matrix[name] = {
+            "verdict": verdict,
+            "violations": [str(v) for v in report.violations],
+            "inconclusive_sites": list(report.inconclusive),
+            "changed": target != program,
+            "seconds": time.perf_counter() - t0,
+        }
+    return matrix
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """``analyze`` — purely static: lint the IR and run the thread-modular
-    ww- and rw-race analyses.  No state exploration happens; the race
+    """``analyze`` — purely static: lint the IR, run the thread-modular
+    ww- and rw-race analyses, and report the per-optimizer crossing
+    matrix (run each registered pass, check its output against its
+    declared legality profile).  No state exploration happens; the race
     verdicts may be inconclusive (``POTENTIAL_RACE`` / ``UNKNOWN``).
 
     ``--json`` emits a single machine-readable object (verdicts,
@@ -335,6 +378,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     t2 = time.perf_counter()
     rw = analyze_rw_races(program)
     t3 = time.perf_counter()
+    crossing = _crossing_matrix(program)
+    t4 = time.perf_counter()
     if getattr(args, "json", False):
         payload = {
             "file": args.file,
@@ -354,11 +399,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 "checked_pairs": rw.checked_pairs,
                 "witnesses": [str(w) for w in rw.witnesses],
             },
+            "crossing": crossing,
             "timings": {
                 "lint_s": t1 - t0,
                 "ww_s": t2 - t1,
                 "rw_s": t3 - t2,
-                "total_s": t3 - t0,
+                "crossing_s": t4 - t3,
+                "total_s": t4 - t0,
             },
         }
         print(json.dumps(payload, indent=2))
@@ -368,6 +415,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"  {issue}")
     print(ww)
     print(rw)
+    print("crossing matrix:")
+    for name, row in crossing.items():
+        change = "transformed" if row["changed"] else "unchanged"
+        print(f"  {name}: {row['verdict']} ({change}, {row['seconds'] * 1000:.1f} ms)")
+        for violation in row["violations"]:
+            print(f"    violation: {violation}")
+        for site in row["inconclusive_sites"]:
+            print(f"    inconclusive at {site}")
     return 0 if lint.ok else 1
 
 
@@ -381,6 +436,7 @@ def _validate_file_case(
     config: SemanticsConfig,
     cache_root: Optional[str],
     report_rw: bool = False,
+    static_certify: bool = False,
     budget: Optional[Budget] = None,
 ) -> Dict[str, Any]:
     """Validate one file (module-level so the sweep pool can run it).
@@ -393,7 +449,7 @@ def _validate_file_case(
     cache = _open_cache(cache_root)
     kind = (
         f"validate:{opt_name}:strict={int(strict)}:wwrf={int(not no_wwrf)}"
-        f":rw={int(report_rw)}"
+        f":rw={int(report_rw)}:tier={int(static_certify)}"
     )
     source_text = None
     if cache is not None:
@@ -416,6 +472,13 @@ def _validate_file_case(
             optimizer, program, config, policy,
             check_target_wwrf=not no_wwrf,
         )
+    elif static_certify:
+        from repro.sim.validate import validate_tiered
+
+        report = validate_tiered(
+            optimizer, program, config, check_target_wwrf=not no_wwrf,
+            report_rw=report_rw,
+        )
     else:
         report = validate_optimizer(
             optimizer, program, config, check_target_wwrf=not no_wwrf,
@@ -426,6 +489,7 @@ def _validate_file_case(
         "ok": report.ok,
         "exhaustive": report.exhaustive,
         "confidence": str(report.confidence),
+        "method": getattr(report, "method", "exploration"),
         "cached": False,
     }
     if cache is not None:
@@ -452,7 +516,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         lambda path: (
             path, getattr(args, "csimp", False), args.opt, args.strict,
             args.no_wwrf, args.degrade, config, args.cache,
-            getattr(args, "rw", False),
+            getattr(args, "rw", False), getattr(args, "static_tier", False),
         ),
         jobs=args.jobs,
         budget=config.budget,
@@ -692,7 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, multi=True)
     sweep_options(p)
     p.add_argument("--opt", default="pipeline",
-                   help="constprop | dce | cse | licm | linv | cleanup | peel | pipeline")
+                   help="constprop | dce | cse | licm | linv | cleanup | "
+                        "peel | reorder | copyprop | pipeline")
+    p.add_argument("--static-tier", action="store_true",
+                   help="tiered validation: run the static certifier "
+                        "first (zero states on CERTIFIED), explore only "
+                        "on INCONCLUSIVE (incompatible with --degrade)")
     p.add_argument("--show", action="store_true", help="print the transformed program")
     p.add_argument("--no-wwrf", action="store_true",
                    help="skip the ww-RF preservation check")

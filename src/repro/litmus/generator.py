@@ -39,6 +39,10 @@ class GeneratorConfig:
     #: already makes them ww-race-free (used to build statically
     #: dischargeable corpora for the rw tier benchmarks).
     owned_reads_only: bool = False
+    #: Append this many store/load/assign clusters per thread — movable
+    #: adjacent instructions that give the reordering pass (and the
+    #: certifier's ``I_reorder`` permutation rule) something to permute.
+    reorder_clusters: int = 0
 
 
 def random_wwrf_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Program:
@@ -122,6 +126,16 @@ def _gen_thread(
             block = f.block(join_label)
         else:
             block.assign(rng.choice(list(config.registers)), _rand_expr(rng, config))
+
+    for _ in range(config.reorder_clusters):
+        # A store-before-load-before-assign run: the reorder pass will
+        # hoist the load and sink the store when no dependence forbids it.
+        if owned:
+            block.store(rng.choice(list(owned)), _rand_expr(rng, config), AccessMode.NA)
+        pool = owned if config.owned_reads_only else config.na_locations
+        if pool:
+            block.load(rng.choice(list(config.registers)), rng.choice(list(pool)), AccessMode.NA)
+        block.assign(rng.choice(list(config.registers)), _rand_expr(rng, config))
 
     for _ in range(config.prints_per_thread):
         block.print_(rng.choice(list(config.registers)))

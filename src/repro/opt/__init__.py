@@ -24,6 +24,7 @@ from repro.opt.copyprop import CopyProp
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv, naive_licm
+from repro.opt.reorder import Reorder
 
 __all__ = [
     "CSE",
@@ -35,6 +36,7 @@ __all__ = [
     "LInv",
     "Optimizer",
     "Peel",
+    "Reorder",
     "compose",
     "identity_optimizer",
     "naive_licm",

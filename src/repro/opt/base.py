@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.lang.syntax import CodeHeap, Program
+from repro.static.crossing import CrossingProfile
 
 
 class Optimizer:
@@ -33,6 +34,14 @@ class Optimizer:
 
     #: Class-level default for the strict output gate (opt-in).
     strict: bool = False
+
+    #: The pass's declared legality contract for the crossing oracle and
+    #: the static certification tier (:mod:`repro.static.certify`).
+    #: ``None`` means "undeclared": the certifier is always inconclusive
+    #: for such a pass and validation falls through to exploration.  A
+    #: profile is a *claim the oracle checks*, never a waiver — declaring
+    #: a wrong one makes a pass inconclusive, not unsoundly certified.
+    crossing_profile: Optional[CrossingProfile] = None
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         """Transform one function of ``program``; must not change ``ι``."""
@@ -81,6 +90,16 @@ class _Composed(Optimizer):
     def name(self) -> str:  # type: ignore[override]
         return f"{self.second.name}∘{self.first.name}"
 
+    @property
+    def crossing_profile(self) -> Optional[CrossingProfile]:  # type: ignore[override]
+        """The merged contract of both stages (vertical composition), or
+        ``None`` when either stage is undeclared or the invariants do not
+        compose."""
+        first, second = self.first.crossing_profile, self.second.crossing_profile
+        if first is None or second is None:
+            return None
+        return first.merge(second)
+
     def run(self, program: Program, strict: Optional[bool] = None) -> Program:
         return self.second.run(self.first.run(program, strict), strict)
 
@@ -98,6 +117,7 @@ def compose(first: Optimizer, second: Optimizer) -> Optimizer:
 @dataclass(frozen=True)
 class _Identity(Optimizer):
     name: str = "id"
+    crossing_profile: Optional[CrossingProfile] = CrossingProfile(invariant="id")
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         return program.function(func)
@@ -117,6 +137,10 @@ class _Strict(Optimizer):
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"strict({self.inner.name})"
+
+    @property
+    def crossing_profile(self) -> Optional[CrossingProfile]:  # type: ignore[override]
+        return self.inner.crossing_profile
 
     def run(self, program: Program, strict: Optional[bool] = None) -> Program:
         return self.inner.run(program, strict=True)

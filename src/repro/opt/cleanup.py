@@ -17,6 +17,7 @@ from typing import Dict, Set
 from repro.lang.cfg import Cfg
 from repro.lang.syntax import BasicBlock, Be, Call, CodeHeap, Jmp, Program, Skip, Terminator
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 
 def _drop_skips(block: BasicBlock) -> BasicBlock:
@@ -68,6 +69,13 @@ class Cleanup(Optimizer):
     removal."""
 
     name: str = "cleanup"
+    #: Genuine CFG restructuring (skip removal, jump threading, dead
+    #: block deletion) — trace-preserving, but block shapes change, so
+    #: only the crossing oracle's restructuring phase applies; the
+    #: aligned Owicki–Gries checker stays inconclusive.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="id", may_restructure_cfg=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

@@ -37,6 +37,7 @@ from repro.lang.syntax import (
     Terminator,
 )
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 
 def entry_env_for(program: Program, func: str) -> Env:
@@ -72,6 +73,10 @@ class ConstProp(Optimizer):
     """The constant propagation pass."""
 
     name: str = "constprop"
+    #: In-place expression folding: no memory event added, removed or
+    #: moved — verified with ``I_id`` (decided branches become jumps,
+    #: which the certifier discharges via the constants domain).
+    crossing_profile: CrossingProfile = CrossingProfile(invariant="id")
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

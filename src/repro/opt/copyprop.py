@@ -36,6 +36,7 @@ from repro.lang.syntax import (
     Terminator,
 )
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 #: Copy facts: frozenset of (dst, src) pairs meaning dst currently equals
 #: src.  ``None`` is the unreached top element (must-analysis).
@@ -100,6 +101,9 @@ class CopyProp(Optimizer):
     """The copy propagation pass."""
 
     name: str = "copyprop"
+    #: Register-only rewriting — trace-preserving, verified with ``I_id``
+    #: (expression differences are discharged via the copy facts).
+    crossing_profile: CrossingProfile = CrossingProfile(invariant="id")
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

@@ -42,6 +42,7 @@ from repro.lang.syntax import (
     Skip,
 )
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,14 @@ class CSE(Optimizer):
 
     name: str = "cse"
     acquire_kills: bool = True
+    #: Redundant-read elimination under the acquire-kill discipline —
+    #: memory is untouched, so ``I_id`` justifies it.  The certifier
+    #: re-derives every elimination from the (always acquire-killing)
+    #: availability analysis, so the ``acquire_kills=False`` variant is
+    #: inconclusive exactly where it is unsound.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="id", may_eliminate_reads=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

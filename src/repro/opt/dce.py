@@ -43,6 +43,7 @@ from repro.lang.syntax import (
     Store,
 )
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 
 def instruction_is_dead(instr: Instr, live_after) -> bool:
@@ -62,6 +63,12 @@ class DCE(Optimizer):
     """The dead code elimination pass."""
 
     name: str = "dce"
+    #: Dead-store/-load elimination under the release-barrier liveness —
+    #: verified with ``I_dce`` (the timestamp-gap invariant); the
+    #: certifier re-justifies every elimination from the liveness facts.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="dce", may_eliminate_reads=True, may_eliminate_writes=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

@@ -42,6 +42,7 @@ from repro.lang.syntax import (
 )
 from repro.opt.base import Optimizer, compose
 from repro.opt.cse import CSE
+from repro.static.crossing import CrossingProfile
 
 
 def _fresh_register_namer(program: Program):
@@ -77,6 +78,11 @@ class LInv(Optimizer):
     """
 
     name: str = "linv"
+    #: Inserts preheaders of hoisted loads: read introduction plus CFG
+    #: restructuring (the reads stay within the source mod-ref footprint).
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="id", may_introduce_reads=True, may_restructure_cfg=True
+    )
     require_profitable: bool = True
 
     def run(self, program: Program, strict: Optional[bool] = None) -> Program:

@@ -1,0 +1,97 @@
+"""Adjacent-instruction reordering (paper Sec. 7.2, categories (1)/(2)).
+
+The pass canonicalizes each basic block by bubble-sorting its
+instructions into *load → compute → store* order with adjacent swaps,
+performing a swap only when :func:`repro.static.crossing.must_preserve_order`
+allows it.  Because the oracle predicate is directional, the pass only
+moves accesses in the promise-free-sound directions:
+
+* **non-atomic loads hoist** (a read may move up past independent
+  instructions — "roach motel" into acquire-protected regions stays
+  forbidden by the oracle);
+* **non-atomic stores sink** (a write may be *delayed* past independent
+  instructions; delaying never requires a promise, whereas hoisting a
+  write above a read would, and PS2.1 makes that direction unsound in
+  general).
+
+Atomic accesses, fences, prints, CAS and terminators never move.  The
+result is deterministic (a fixpoint of a stable bubble sort), and the
+legality of every swap is decided by the same ``must_preserve_order``
+predicate the static certifier replays — this pass exists precisely to
+exercise the certifier's ``I_reorder`` permutation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    CodeHeap,
+    Instr,
+    Load,
+    Program,
+    Store,
+)
+from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile, must_preserve_order
+
+
+def _priority(instr: Instr) -> Optional[int]:
+    """Sort key: lower sorts earlier.  ``None`` marks an immovable
+    instruction (an absolute barrier for the bubble sort)."""
+    if isinstance(instr, Load) and instr.mode is AccessMode.NA:
+        return 0
+    if isinstance(instr, Assign):
+        return 1
+    if isinstance(instr, Store) and instr.mode is AccessMode.NA:
+        return 2
+    return None  # atomics, CAS, fences, prints, skips: never moved
+
+
+def reorder_block(instrs: List[Instr]) -> List[Instr]:
+    """Stable bubble sort of one block under the crossing oracle.
+
+    Adjacent ``(a, b)`` swap to ``(b, a)`` iff both are movable, ``b``
+    strictly prefers to be earlier, and the swap crosses no dependence
+    or memory-model boundary.  Equal priorities never swap, so the pass
+    is idempotent and preserves load-load / store-store program order.
+    """
+    out = list(instrs)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(out) - 1):
+            a, b = out[i], out[i + 1]
+            pa, pb = _priority(a), _priority(b)
+            if pa is None or pb is None or pa <= pb:
+                continue
+            if must_preserve_order(a, b):
+                continue
+            out[i], out[i + 1] = b, a
+            changed = True
+    return out
+
+
+@dataclass(frozen=True)
+class Reorder(Optimizer):
+    """The adjacent-reordering pass."""
+
+    name: str = "reorder"
+    #: Memory events are permuted but never added or removed — verified
+    #: with ``I_reorder`` (target memory embeds into source memory while
+    #: the source may run ahead on delayed na-writes).
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="reorder", may_reorder=True
+    )
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        new_blocks = []
+        for label, block in heap.blocks:
+            instrs = tuple(reorder_block(list(block.instrs)))
+            new_blocks.append((label, BasicBlock(instrs, block.term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)

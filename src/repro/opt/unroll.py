@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 from repro.lang.cfg import NaturalLoop, Cfg
 from repro.lang.syntax import BasicBlock, Be, Call, CodeHeap, Jmp, Program, Terminator
 from repro.opt.base import Optimizer
+from repro.static.crossing import CrossingProfile
 
 
 def _rename_term(term: Terminator, mapping: Dict[str, str]) -> Terminator:
@@ -44,6 +45,11 @@ class Peel(Optimizer):
     """Peel one iteration off every natural loop of every function."""
 
     name: str = "peel"
+    #: Duplicates loop bodies under fresh labels — pure restructuring
+    #: (every copy is fingerprint-matched to its original).
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="id", may_restructure_cfg=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

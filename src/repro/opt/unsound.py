@@ -42,6 +42,7 @@ from repro.lang.syntax import (
 )
 from repro.opt.base import Optimizer
 from repro.opt.dce import instruction_is_dead
+from repro.static.crossing import CrossingProfile
 
 
 def _naive_transfer(instr: Instr, live: LiveSet, all_na_locs) -> LiveSet:
@@ -71,6 +72,14 @@ class NaiveDCE(Optimizer):
     elimination.  Unsound in PS2.1; negative experiments only."""
 
     name: str = "naive-dce"
+    #: A deliberately *lying* claim (the pass pretends to be the sound
+    #: DCE).  The certifier must still refuse: it re-derives liveness
+    #: with the release barrier, so Fig. 15-style eliminations are
+    #: inconclusive, never CERTIFIED — the negative control of the
+    #: soundness-mirror tests.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="dce", may_eliminate_reads=True, may_eliminate_writes=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
@@ -132,6 +141,12 @@ class RedundantWriteIntroduction(Optimizer):
     framework rules out category (5)."""
 
     name: str = "redundant-write-intro"
+    #: Another lying claim ("I only introduce reads") — the oracle's W2
+    #: rule flags the introduced stores regardless, so certification
+    #: cannot succeed on any program the pass actually changes.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="id", may_introduce_reads=True, may_restructure_cfg=True
+    )
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)

@@ -13,6 +13,7 @@
 """
 
 from repro.races.wwrf import RaceReport, WwRaceWitness, ww_nprf, ww_race_witness, ww_rf
+from repro.races.ladder import TierOutcome, format_tiers
 from repro.races.rwrace import RwRaceWitness, rw_race_witness, rw_races
 from repro.races.tiered import (
     RaceLadderReport,
@@ -28,8 +29,10 @@ __all__ = [
     "RaceReport",
     "RwRaceWitness",
     "RwReport",
+    "TierOutcome",
     "WwRaceWitness",
     "check_races_tiered",
+    "format_tiers",
     "rw_race_witness",
     "rw_races",
     "rw_races_tiered",

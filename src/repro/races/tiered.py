@@ -32,10 +32,12 @@ two-tier ww entry points; ``rw_races_tiered`` is the rw counterpart and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.lang.syntax import Program
+from repro.races.ladder import TierOutcome, format_tiers
 from repro.races.rwrace import RwRaceWitness, rw_race_witness
 from repro.races.wwrf import RaceReport, ww_nprf, ww_race_witness, ww_rf
 from repro.robust.confidence import Confidence
@@ -165,6 +167,8 @@ class RaceLadderReport:
     rw: RwReport
     static_ww: StaticRaceReport
     static_rw: StaticRwReport
+    #: Per-tier timing/decision trail (empty for reports built by hand).
+    tiers: Tuple[TierOutcome, ...] = ()
 
     @property
     def race_free(self) -> bool:
@@ -178,7 +182,9 @@ class RaceLadderReport:
         return max(self.ww.state_count, self.rw.state_count)
 
     def __str__(self) -> str:
-        return f"RaceLadder(ww: {self.ww}, rw: {self.rw})"
+        head = f"RaceLadder(ww: {self.ww}, rw: {self.rw})"
+        trail = format_tiers(self.tiers)
+        return f"{head}\n{trail}" if trail else head
 
 
 def check_races_tiered(
@@ -189,8 +195,16 @@ def check_races_tiered(
     """Run the full ladder: static rw, static ww, then — only if either
     was inconclusive — build **one** explorer and scan its states for
     whichever race kinds remain undecided."""
+    started = time.perf_counter()
     static_rw = analyze_rw_races(program)
+    rw_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
     static_ww = analyze_ww_races(program)
+    ww_elapsed = time.perf_counter() - started
+    tiers = [
+        TierOutcome("static-rw", rw_elapsed, static_rw.race_free),
+        TierOutcome("static-ww", ww_elapsed, static_ww.race_free),
+    ]
     rw_report: Optional[RwReport] = None
     ww_report: Optional[RaceReport] = None
     if static_rw.race_free:
@@ -198,6 +212,7 @@ def check_races_tiered(
     if static_ww.race_free:
         ww_report = RaceReport(True, None, True, 0, method="static")
     if rw_report is None or ww_report is None:
+        started = time.perf_counter()
         explorer = Explorer(
             program, config or SemanticsConfig(), nonpreemptive=nonpreemptive
         ).build()
@@ -226,4 +241,10 @@ def check_races_tiered(
                 method="exhaustive",
                 stop_reason=explorer.stop_reason,
             )
-    return RaceLadderReport(ww_report, rw_report, static_ww, static_rw)
+        tiers.append(TierOutcome(
+            "exploration",
+            time.perf_counter() - started,
+            True,
+            f"{count} states",
+        ))
+    return RaceLadderReport(ww_report, rw_report, static_ww, static_rw, tuple(tiers))

@@ -12,38 +12,57 @@ checker, and the translation-validation pipeline.
 * :mod:`repro.sim.simulation` — an executable thread-local simulation
   checker implementing the diagrams of Fig. 14 over the non-preemptive
   semantics;
+* :mod:`repro.sim.og` — the static Owicki–Gries obligation checker that
+  discharges the same invariants from dataflow facts (tier 0's engine);
 * :mod:`repro.sim.validate` — per-program and corpus translation
   validation of optimizers (``Correct(Opt)``, Def. 6.4, checked
-  empirically).
+  empirically), including the tiered ladder
+  (:func:`~repro.sim.validate.validate_tiered`: static certifier first,
+  exploration only on INCONCLUSIVE).
 """
 
 from repro.sim.refinement import RefinementResult, check_refinement, check_equivalence
 from repro.sim.tmap import TimestampMapping, initial_tmap
-from repro.sim.invariant import Invariant, identity_invariant, dce_invariant, wf_check
+from repro.sim.invariant import (
+    Invariant,
+    identity_invariant,
+    dce_invariant,
+    reorder_invariant,
+    wf_check,
+)
 from repro.sim.delayed import DelayedWriteSet
+from repro.sim.og import Obligation, OGReport, check_og
 from repro.sim.simulation import SimulationResult, check_thread_simulation
 from repro.sim.validate import (
+    TieredValidationReport,
     ValidationReport,
     validate_corpus,
     validate_optimizer,
+    validate_tiered,
     verify_optimizer_by_simulation,
 )
 
 __all__ = [
     "DelayedWriteSet",
     "Invariant",
+    "OGReport",
+    "Obligation",
     "RefinementResult",
     "SimulationResult",
+    "TieredValidationReport",
     "TimestampMapping",
     "ValidationReport",
     "check_equivalence",
     "check_refinement",
+    "check_og",
     "check_thread_simulation",
     "dce_invariant",
     "identity_invariant",
     "initial_tmap",
+    "reorder_invariant",
     "validate_corpus",
     "validate_optimizer",
+    "validate_tiered",
     "verify_optimizer_by_simulation",
     "wf_check",
 ]

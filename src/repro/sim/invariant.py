@@ -131,6 +131,19 @@ def dce_invariant() -> Invariant:
     return Invariant("dce", _dce)
 
 
+def reorder_invariant() -> Invariant:
+    """``I_reorder`` — for adjacent-instruction reordering (Sec. 7.2).
+
+    The target's memory embeds into the source's through ``φ`` with equal
+    values and identical atomic messages, but the memories need not be
+    equal: while a non-atomic store is *delayed* in the target, the source
+    has already performed it, so the source memory may run ahead on
+    na-locations.  This is exactly the side condition
+    ``(φ, ι ⊢ M_t ∼ M_s)`` — no gap requirement, since reordering never
+    eliminates a write."""
+    return Invariant("reorder", _atomics_agree)
+
+
 def wf_check(
     invariant: Invariant,
     atomics: FrozenSet[str],

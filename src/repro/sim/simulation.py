@@ -48,6 +48,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lang.syntax import AccessMode, Program
 from repro.memory.memory import Memory
+from repro.memory.timestamps import Timestamp
 from repro.robust.budget import BudgetExhausted
 from repro.semantics.events import EventClass, ThreadEvent, WriteEvent, event_class
 from repro.semantics.thread import SemanticsConfig, thread_steps
@@ -353,7 +354,9 @@ class _Checker:
             )
             yield self._intern(succ)
 
-    def _environment_perturbations(self, state: ProductState):
+    def _environment_perturbations(
+        self, state: ProductState
+    ) -> Iterator[Tuple[str, ProductState]]:
         """I-preserving environment writes at a switch point (Rely).
 
         For each location and value, append a non-atomic message to the
@@ -498,7 +501,9 @@ class _Checker:
         return phi2 if phi2.monotone() else None
 
     @staticmethod
-    def _new_write_key(mem_before: Memory, mem_after: Memory, loc: str):
+    def _new_write_key(
+        mem_before: Memory, mem_after: Memory, loc: str
+    ) -> Optional[Tuple[str, "Timestamp"]]:
         """The (loc, to) of the message added between two memories."""
         before = set(mem_before.concrete(loc))
         added = [m for m in mem_after.concrete(loc) if m not in before]

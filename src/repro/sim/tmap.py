@@ -13,7 +13,7 @@ conditions of Fig. 12:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.memory.memory import Memory
 from repro.memory.timestamps import Timestamp
@@ -71,7 +71,7 @@ def message_keys(memory: Memory) -> FrozenSet[Tuple[str, Timestamp]]:
     return frozenset((m.var, m.to) for m in memory.concrete())
 
 
-def initial_tmap(locations) -> TimestampMapping:
+def initial_tmap(locations: Iterable[str]) -> TimestampMapping:
     """``φ0 = {(x, 0) ↦ 0 | x ∈ Var}`` over the given locations."""
     return TimestampMapping(
         tuple((((var, Timestamp(0))), Timestamp(0)) for var in sorted(locations))

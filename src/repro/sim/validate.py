@@ -26,17 +26,24 @@ callers (the CLI in particular) never report a bounded run as definitive.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.syntax import Program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.opt.base import Optimizer
+from repro.races.ladder import TierOutcome, format_tiers
 from repro.races.tiered import RwReport, rw_races_tiered, ww_rf_tiered
 from repro.races.wwrf import RaceReport, ww_rf
 from repro.robust.confidence import Confidence, derive_confidence
 from repro.semantics.thread import SemanticsConfig
 from repro.sim.refinement import RefinementResult, check_refinement
+
+if TYPE_CHECKING:  # runtime imports would cycle through repro.sim
+    from repro.sim.invariant import Invariant
+    from repro.sim.simulation import SimCheckConfig, SimulationResult
+    from repro.static.certify import CertificateReport
 
 
 @dataclass(frozen=True)
@@ -169,13 +176,142 @@ def validate_optimizer(
     )
 
 
+@dataclass(frozen=True)
+class TieredValidationReport:
+    """The outcome of the tiered validation ladder on one program.
+
+    Tier 0 (:func:`repro.static.certify.certify_transformation`) either
+    **certifies** the transformation statically — then ``report`` is
+    ``None``, zero states were explored, and the verdict is a proof
+    (``confidence == PROVED``) — or is inconclusive, in which case
+    ``report`` carries the full exploration-based
+    :class:`ValidationReport` with its usual confidence semantics.
+    """
+
+    optimizer: str
+    certificate: "CertificateReport"
+    report: Optional[ValidationReport]
+    changed: bool
+    tiers: Tuple[TierOutcome, ...] = ()
+
+    @property
+    def method(self) -> str:
+        """``"static"`` when tier 0 decided, else ``"exploration"``."""
+        return "static" if self.certificate.certified else "exploration"
+
+    @property
+    def ok(self) -> bool:
+        if self.certificate.certified:
+            return True
+        assert self.report is not None
+        return self.report.ok
+
+    @property
+    def exhaustive(self) -> bool:
+        """A certificate is a proof; otherwise defer to the exploration."""
+        if self.certificate.certified:
+            return True
+        assert self.report is not None
+        return self.report.exhaustive
+
+    @property
+    def confidence(self) -> Confidence:
+        if self.certificate.certified:
+            return Confidence.PROVED
+        assert self.report is not None
+        assert self.report.confidence is not None
+        return self.report.confidence
+
+    @property
+    def behavior_count(self) -> int:
+        """Behaviors the exploration tier enumerated (0 for a static
+        proof — tier 0 never builds a state)."""
+        if self.report is None:
+            return 0
+        refinement = self.report.refinement
+        return len(refinement.target_behaviors.traces) + len(
+            refinement.source_behaviors.traces
+        )
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        change = "transformed" if self.changed else "unchanged"
+        if self.certificate.certified:
+            head = (
+                f"[OK] {self.optimizer}: {change}; statically certified "
+                f"({self.certificate.invariant}) confidence=proved"
+            )
+        else:
+            head = f"{self.report} [tier 0 inconclusive]"
+        trail = format_tiers(self.tiers)
+        return f"{head}\n{trail}" if trail else head
+
+
+def validate_tiered(
+    optimizer: Optimizer,
+    source: Program,
+    config: Optional[SemanticsConfig] = None,
+    check_target_wwrf: bool = True,
+    nonpreemptive: bool = False,
+    report_rw: bool = False,
+) -> TieredValidationReport:
+    """Tiered translation validation, mirroring
+    :func:`repro.races.check_races_tiered`: the static certifier first
+    (zero states), exhaustive :func:`validate_optimizer` only when it is
+    inconclusive.  The soundness contract — a CERTIFIED verdict agrees
+    with what exploration would prove — is validated by the Hypothesis
+    mirror in ``tests/static/test_certify_soundness.py`` and the
+    E-STATIC-VALIDATE benchmark.
+    """
+    from repro.static.certify import certify_transformation
+
+    target = optimizer.run(source)
+    if target.atomics != source.atomics:
+        raise AssertionError(f"{optimizer.name} changed the atomics set ι")
+    started = time.perf_counter()
+    certificate = certify_transformation(optimizer, source, target)
+    tiers = [
+        TierOutcome(
+            "static-certify",
+            time.perf_counter() - started,
+            certificate.certified,
+            str(certificate.verdict),
+        )
+    ]
+    changed = target != source
+    if certificate.certified:
+        return TieredValidationReport(
+            optimizer.name, certificate, None, changed, tuple(tiers)
+        )
+    started = time.perf_counter()
+    report = validate_optimizer(
+        optimizer,
+        source,
+        config,
+        check_target_wwrf=check_target_wwrf,
+        nonpreemptive=nonpreemptive,
+        report_rw=report_rw,
+    )
+    tiers.append(TierOutcome(
+        "exploration",
+        time.perf_counter() - started,
+        True,
+        f"{len(report.refinement.target_behaviors.traces)} target behaviors",
+    ))
+    return TieredValidationReport(
+        optimizer.name, certificate, report, changed, tuple(tiers)
+    )
+
+
 def verify_optimizer_by_simulation(
     optimizer: Optimizer,
     source: Program,
-    invariant,
+    invariant: "Invariant",
     sem_config: Optional[SemanticsConfig] = None,
-    check_config=None,
-) -> dict:
+    check_config: Optional["SimCheckConfig"] = None,
+) -> Dict[str, "SimulationResult"]:
     """``Verif(Opt)`` for one program (paper Def. 6.3), executably: run the
     optimizer and check the thread-local simulation ``I, ι |= π_t ≼ π_s``
     for every thread-entry function, with the caller-chosen invariant.
@@ -215,18 +351,28 @@ class CorpusResult:
     transformed: int
     failures: Tuple[Tuple[int, str], ...]
     confidence: Confidence = Confidence.PROVED
+    #: Programs tier 0 certified without exploration (tiered sweeps only).
+    static_discharged: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
+    @property
+    def static_fraction(self) -> float:
+        """Share of the corpus discharged statically (0.0 when untiered)."""
+        return self.static_discharged / self.total if self.total else 0.0
+
     def __str__(self) -> str:
         status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
-        return (
+        text = (
             f"corpus[{self.optimizer}]: {self.total} programs, "
             f"{self.transformed} transformed, {status}, "
             f"confidence={self.confidence}"
         )
+        if self.static_discharged:
+            text += f", {self.static_discharged} statically certified"
+        return text
 
 
 def _corpus_case(
@@ -236,9 +382,22 @@ def _corpus_case(
     config: Optional[SemanticsConfig],
     check_target_wwrf: bool,
     static_tier: bool,
-) -> Tuple[int, bool, bool, str, Confidence]:
+    tiered: bool = False,
+) -> Tuple[int, bool, bool, str, Confidence, str]:
     """Validate one corpus seed (module-level for the sweep pool)."""
     source = random_wwrf_program(seed, generator_config)
+    if tiered:
+        tiered_report = validate_tiered(
+            optimizer, source, config, check_target_wwrf=check_target_wwrf
+        )
+        return (
+            seed,
+            tiered_report.changed,
+            tiered_report.ok,
+            str(tiered_report),
+            tiered_report.confidence,
+            tiered_report.method,
+        )
     report = validate_optimizer(
         optimizer,
         source,
@@ -246,7 +405,10 @@ def _corpus_case(
         check_target_wwrf=check_target_wwrf,
         static_tier=static_tier,
     )
-    return (seed, report.changed, report.ok, str(report), report.confidence)
+    return (
+        seed, report.changed, report.ok, str(report), report.confidence,
+        "exploration",
+    )
 
 
 def validate_corpus(
@@ -257,8 +419,14 @@ def validate_corpus(
     check_target_wwrf: bool = True,
     static_tier: bool = True,
     jobs: int = 1,
+    tiered: bool = False,
 ) -> CorpusResult:
     """Sweep ``seeds`` through the generator and validate each program.
+
+    ``tiered`` routes every seed through :func:`validate_tiered`: the
+    static certifier first, exploration only on INCONCLUSIVE — the
+    result records how many programs tier 0 discharged
+    (:attr:`CorpusResult.static_discharged`).
 
     ``jobs > 1`` fans seeds across worker processes via
     :func:`repro.perf.pool.run_sweep`; aggregation is seed-ordered, so
@@ -279,7 +447,7 @@ def validate_corpus(
                 fn=_corpus_case,
                 args=(
                     optimizer, seed, generator_config, config,
-                    check_target_wwrf, static_tier,
+                    check_target_wwrf, static_tier, tiered,
                 ),
             )
             for seed in seed_list
@@ -287,6 +455,7 @@ def validate_corpus(
         jobs_n=jobs,
     )
     transformed = 0
+    static_discharged = 0
     failures: List[Tuple[int, str]] = []
     confidence = Confidence.PROVED
     for outcome in sweep.outcomes:
@@ -295,12 +464,19 @@ def validate_corpus(
             failures.append((seed, f"job error: {outcome.error}"))
             confidence = Confidence.weakest((confidence, Confidence.BOUNDED))
             continue
-        seed, changed, ok, text, report_confidence = outcome.value
+        seed, changed, ok, text, report_confidence, method = outcome.value
         if changed:
             transformed += 1
+        if method == "static":
+            static_discharged += 1
         if not ok:
             failures.append((seed, text))
         confidence = Confidence.weakest((confidence, report_confidence))
     return CorpusResult(
-        optimizer.name, len(seed_list), transformed, tuple(failures), confidence
+        optimizer.name,
+        len(seed_list),
+        transformed,
+        tuple(failures),
+        confidence,
+        static_discharged,
     )

@@ -26,7 +26,14 @@ The race tiers feed the three-tier ladder of :mod:`repro.races.tiered`
 contract.
 """
 
-from repro.static.crossing import CrossingReport, CrossingViolation, check_crossing
+from repro.static.crossing import (
+    BlockMatching,
+    CrossingProfile,
+    CrossingReport,
+    CrossingViolation,
+    check_crossing,
+    match_blocks,
+)
 from repro.static.lint import (
     LintIssue,
     LintReport,
@@ -52,6 +59,8 @@ from repro.static.wwraces import (
 
 __all__ = [
     "AccessSite",
+    "BlockMatching",
+    "CrossingProfile",
     "CrossingReport",
     "CrossingViolation",
     "LintIssue",
@@ -70,6 +79,7 @@ __all__ = [
     "build_access_summary",
     "build_thread_summary",
     "check_crossing",
+    "match_blocks",
     "check_optimizer_output",
     "lint_program",
 ]

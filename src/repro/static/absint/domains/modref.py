@@ -4,6 +4,10 @@
 analyses apply at ``Call`` terminators:
 
 * ``writes`` — non-atomic locations a call may na-write (transitively);
+* ``reads`` — non-atomic locations a call may na-read (transitively);
+  the "ref" half of mod-ref, consumed by the crossing oracle (benign
+  LICM-preheader insertions re-read only this footprint) and the
+  Owicki–Gries interference checks of :mod:`repro.sim.og`;
 * ``publishes`` — atomic locations a call may store a possibly-nonzero
   value to, or CAS (the "publication" events the flag protocol orders);
 * ``fulfills`` — locations a call may write with a *promise-fulfilling*
@@ -30,6 +34,7 @@ from repro.lang.syntax import (
     Call,
     Cas,
     Instr,
+    Load,
     Program,
     Store,
     Terminator,
@@ -49,6 +54,7 @@ class ModRef:
     writes: FrozenSet[str] = frozenset()
     publishes: FrozenSet[str] = frozenset()
     fulfills: FrozenSet[str] = frozenset()
+    reads: FrozenSet[str] = frozenset()
 
     def union(self, other: "ModRef") -> "ModRef":
         """Componentwise union — the summary of either effect happening."""
@@ -56,17 +62,22 @@ class ModRef:
             self.writes | other.writes,
             self.publishes | other.publishes,
             self.fulfills | other.fulfills,
+            self.reads | other.reads,
         )
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return (
-            f"(writes={sorted(self.writes)}, publishes={sorted(self.publishes)}, "
-            f"fulfills={sorted(self.fulfills)})"
+            f"(writes={sorted(self.writes)}, reads={sorted(self.reads)}, "
+            f"publishes={sorted(self.publishes)}, fulfills={sorted(self.fulfills)})"
         )
 
 
 def _instr_modref(instr: Instr) -> ModRef:
     """The direct effect of one instruction."""
+    if isinstance(instr, Load):
+        if instr.mode is AccessMode.NA:
+            return ModRef(reads=frozenset({instr.loc}))
+        return ModRef()
     if isinstance(instr, Store):
         writes = frozenset({instr.loc}) if instr.mode is AccessMode.NA else frozenset()
         publishes = (

@@ -9,10 +9,29 @@ elimination may cross relaxed accesses and acquire reads but never a
 (category (5) of Ševčík's classification — redundant write introduction
 — is unsound in PS).
 
-This checker verifies those rules statically on the CFG diff, block by
-block.  Blocks are matched by label; for each matched pair it segments
-the instruction stream at atomic events and compares per-segment counts
-of non-atomic accesses per location:
+This checker verifies those rules statically on the CFG diff.  Blocks
+are matched in three phases:
+
+1. **by label** — the common case (in-place rewriting passes);
+2. **by dominator-order fingerprint** — remaining one-sided blocks are
+   paired by instruction/terminator fingerprint, walking the target CFG
+   in dominator order (depth in the dominator tree, then reverse
+   postorder).  A unique unmatched source block with the same
+   fingerprint is a *rename* (restructuring passes relabel); any other
+   fingerprint hit is a *copy* (loop peeling / unrolling duplicates
+   bodies under fresh labels);
+3. **insertion/deletion legality** — a target-only block is *benign*
+   under a profile with ``may_introduce_reads`` when it only re-reads
+   non-atomic locations already in the source function's mod-ref
+   ``reads`` footprint (LICM preheaders); a source-only block is benign
+   when it was unreachable, or under ``may_restructure_cfg`` when it
+   carries no events (jump threading).  Everything else stays
+   ``inconclusive`` — the checker is a linter, and refinement checking
+   remains the ground truth for what it cannot match.
+
+For each matched pair it segments the instruction stream at atomic
+events and compares per-segment counts of non-atomic accesses per
+location:
 
 * **R1 acquire-crossing** — segment at acquire events (``acq`` loads,
   ``acq`` CAS reads, ``acq``/``sc`` fences).  A target na-read of ``x``
@@ -30,27 +49,117 @@ of non-atomic accesses per location:
   may not have more na-writes of ``x`` in a segment than the source
   (catches both introduction and motion across any atomic).
 
-Blocks present on only one side (pass restructured the CFG — LICM
-preheaders, unrolled bodies) are reported ``inconclusive`` rather than
-violated: the checker is a linter, and refinement checking remains the
-ground truth for restructuring passes.
+An ``sc`` fence is both an acquire and a release boundary (and an atomic
+event for W2); a CAS contributes its read part to R1 and its write part
+to W1.
+
+:class:`CrossingProfile` is the per-pass legality contract every
+``repro.opt`` pass declares (``Optimizer.crossing_profile``): which
+difference kinds the pass may produce, and which simulation invariant
+(``I_id`` / ``I_dce`` / ``I_reorder``) justifies them.  The profile
+never *weakens* the crossing rules on matched blocks — it only decides
+how one-sided blocks are classified, and is what the certification tier
+(:mod:`repro.static.certify`) checks the diff against.
+
+:func:`must_preserve_order` is the adjacent-swap dependence predicate
+shared by the reordering pass (:mod:`repro.opt.reorder`) and the
+Owicki–Gries permutation obligations (:mod:`repro.sim.og`): it answers
+whether ``a; b → b; a`` is a legal thread-local swap under the crossing
+matrix (register dependences, same-location conflicts, atomic fences,
+the R1/W1/W2 directions).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.lang.cfg import Cfg
 from repro.lang.syntax import (
     AccessMode,
     BasicBlock,
+    Be,
+    Call,
     Cas,
+    CodeHeap,
     Fence,
     FenceKind,
+    Instr,
+    Jmp,
     Load,
+    Print,
     Program,
+    Skip,
     Store,
+    Terminator,
+    instr_def,
+    instr_uses,
 )
+
+
+@dataclass(frozen=True)
+class CrossingProfile:
+    """The legality contract a pass declares for the crossing oracle.
+
+    ``invariant`` names the simulation invariant that justifies the
+    pass's differences (``"id"``, ``"dce"`` or ``"reorder"`` — the
+    instances of :mod:`repro.sim.invariant`); the flags say which
+    difference *kinds* the pass may produce.  The certification tier
+    treats any difference outside the declared kinds as undischargeable,
+    so a lying profile makes a pass *inconclusive*, never unsoundly
+    certified: the oracle still checks every claim.
+    """
+
+    invariant: str = "id"
+    #: May replace a redundant non-atomic load with a register move/skip
+    #: (CSE-style; each replacement must be availability-justified).
+    may_eliminate_reads: bool = False
+    #: May drop dead non-atomic writes (DCE-style; each elimination must
+    #: be liveness-justified, release barrier included).
+    may_eliminate_writes: bool = False
+    #: May insert blocks that re-read locations the source already reads
+    #: (LICM preheaders).
+    may_introduce_reads: bool = False
+    #: May permute instructions within a block (adjacent-swap legality
+    #: per :func:`must_preserve_order`).
+    may_reorder: bool = False
+    #: May relabel, duplicate or delete blocks (LICM / unrolling /
+    #: cleanup restructuring).
+    may_restructure_cfg: bool = False
+
+    def merge(self, other: "CrossingProfile") -> Optional["CrossingProfile"]:
+        """The profile of a vertical composition, or ``None`` when the
+        two invariants do not compose (neither side is ``I_id``)."""
+        if self.invariant == other.invariant:
+            invariant = self.invariant
+        elif self.invariant == "id":
+            invariant = other.invariant
+        elif other.invariant == "id":
+            invariant = self.invariant
+        else:
+            return None
+        return CrossingProfile(
+            invariant=invariant,
+            may_eliminate_reads=self.may_eliminate_reads or other.may_eliminate_reads,
+            may_eliminate_writes=self.may_eliminate_writes or other.may_eliminate_writes,
+            may_introduce_reads=self.may_introduce_reads or other.may_introduce_reads,
+            may_reorder=self.may_reorder or other.may_reorder,
+            may_restructure_cfg=self.may_restructure_cfg or other.may_restructure_cfg,
+        )
+
+    def __str__(self) -> str:
+        kinds = [
+            name
+            for name, on in (
+                ("elim-reads", self.may_eliminate_reads),
+                ("elim-writes", self.may_eliminate_writes),
+                ("intro-reads", self.may_introduce_reads),
+                ("reorder", self.may_reorder),
+                ("restructure", self.may_restructure_cfg),
+            )
+            if on
+        ]
+        return f"profile(I_{self.invariant}: {', '.join(kinds) or 'in-place'})"
 
 
 @dataclass(frozen=True)
@@ -96,7 +205,7 @@ class CrossingReport:
         return "\n".join(lines)
 
 
-def _is_acquire_event(instr) -> bool:
+def _is_acquire_event(instr: Instr) -> bool:
     if isinstance(instr, Load):
         return instr.mode is AccessMode.ACQ
     if isinstance(instr, Cas):
@@ -106,7 +215,7 @@ def _is_acquire_event(instr) -> bool:
     return False
 
 
-def _is_release_event(instr) -> bool:
+def _is_release_event(instr: Instr) -> bool:
     if isinstance(instr, Store):
         return instr.mode is AccessMode.REL
     if isinstance(instr, Cas):
@@ -116,13 +225,15 @@ def _is_release_event(instr) -> bool:
     return False
 
 
-def _is_atomic_event(instr) -> bool:
+def _is_atomic_event(instr: Instr) -> bool:
     if isinstance(instr, (Load, Store)):
         return instr.mode is not AccessMode.NA
     return isinstance(instr, (Cas, Fence))
 
 
-def _na_reads(block: BasicBlock, barrier) -> Dict[str, List[int]]:
+def _na_reads(
+    block: BasicBlock, barrier: Callable[[Instr], bool]
+) -> Dict[str, List[int]]:
     """Location → segment indices of its na-reads, segmenting at ``barrier``."""
     out: Dict[str, List[int]] = {}
     segment = 0
@@ -134,7 +245,9 @@ def _na_reads(block: BasicBlock, barrier) -> Dict[str, List[int]]:
     return out
 
 
-def _na_writes(block: BasicBlock, barrier) -> Tuple[Dict[Tuple[str, int], int], int]:
+def _na_writes(
+    block: BasicBlock, barrier: Callable[[Instr], bool]
+) -> Tuple[Dict[Tuple[str, int], int], int]:
     """``(loc, segment) → count`` of na-writes, plus the final segment index."""
     counts: Dict[Tuple[str, int], int] = {}
     segment = 0
@@ -191,8 +304,145 @@ def _check_block(
     return violations
 
 
-def check_crossing(source: Program, target: Program) -> CrossingReport:
-    """Statically verify the crossing legality of ``source → target``."""
+# ---------------------------------------------------------------------------
+# Block matching (phase 2: dominator-order fingerprints)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockMatching:
+    """How the blocks of one function's source/target CFGs pair up.
+
+    ``pairs`` are one-to-one matches (by label, or by unique fingerprint
+    among blocks one-sided on *both* CFGs — a rename).  ``copies`` pair a
+    target-only block with a source block whose fingerprint it duplicates
+    (peeled/unrolled bodies); the source block keeps its own match.
+    ``inserted``/``deleted`` blocks have no counterpart at all.
+    """
+
+    pairs: Tuple[Tuple[str, str], ...]
+    copies: Tuple[Tuple[str, str], ...]
+    inserted: Tuple[str, ...]
+    deleted: Tuple[str, ...]
+
+
+def _term_shape(term: Terminator) -> Tuple[object, ...]:
+    """A terminator fingerprint that ignores jump-target labels (copies
+    and renames retarget edges, but keep the terminator's shape)."""
+    if isinstance(term, Jmp):
+        return ("jmp",)
+    if isinstance(term, Be):
+        return ("be", term.cond)
+    if isinstance(term, Call):
+        return ("call", term.func)
+    return ("return",)
+
+
+def _fingerprint(block: BasicBlock) -> Tuple[object, ...]:
+    return (block.instrs, _term_shape(block.term))
+
+
+def _dominator_order(heap: CodeHeap) -> Dict[str, Tuple[int, int]]:
+    """Label → (dominator depth, reverse-postorder index); unreachable
+    blocks sort last.  This is the deterministic visit order phase 2
+    matches in, so nested copies pair outside-in."""
+    cfg = Cfg.of(heap)
+    doms = cfg.dominators()
+    rpo = {label: index for index, label in enumerate(cfg.reverse_postorder())}
+    fallback = len(heap.block_map) + 1
+    return {
+        label: (
+            (len(doms[label]), rpo[label]) if label in rpo else (fallback, fallback)
+        )
+        for label in heap.block_map
+    }
+
+
+def match_blocks(src_heap: CodeHeap, tgt_heap: CodeHeap) -> BlockMatching:
+    """Match the blocks of ``src_heap`` and ``tgt_heap`` (phases 1–2)."""
+    src_blocks = src_heap.block_map
+    tgt_blocks = tgt_heap.block_map
+    pairs: List[Tuple[str, str]] = [
+        (label, label) for label in sorted(set(src_blocks) & set(tgt_blocks))
+    ]
+    unmatched_src = sorted(set(src_blocks) - set(tgt_blocks))
+    unmatched_tgt = sorted(set(tgt_blocks) - set(src_blocks))
+    if not unmatched_tgt:
+        return BlockMatching(tuple(pairs), (), (), tuple(unmatched_src))
+
+    order = _dominator_order(tgt_heap)
+    src_fingerprints = {
+        label: _fingerprint(block) for label, block in src_heap.blocks
+    }
+    copies: List[Tuple[str, str]] = []
+    inserted: List[str] = []
+    for label in sorted(unmatched_tgt, key=lambda l: (order[l], l)):
+        fp = _fingerprint(tgt_blocks[label])
+        renames = [s for s in unmatched_src if src_fingerprints[s] == fp]
+        if len(renames) == 1:
+            pairs.append((renames[0], label))
+            unmatched_src.remove(renames[0])
+            continue
+        originals = [s for s in sorted(src_blocks) if src_fingerprints[s] == fp]
+        if originals:
+            copies.append((originals[0], label))
+            continue
+        inserted.append(label)
+    return BlockMatching(
+        tuple(pairs), tuple(copies), tuple(inserted), tuple(unmatched_src)
+    )
+
+
+def _has_events(block: BasicBlock) -> bool:
+    """Whether the block performs any memory access, fence or output."""
+    return any(
+        isinstance(instr, (Load, Store, Cas, Fence, Print))
+        for instr in block.instrs
+    )
+
+
+def _benign_insertion(block: BasicBlock, ref_locs: FrozenSet[str]) -> bool:
+    """Whether an inserted target block only re-reads locations already
+    in the source function's non-atomic read footprint (an LICM
+    preheader: hoisted loads plus an unconditional jump)."""
+    if not isinstance(block.term, Jmp):
+        return False
+    for instr in block.instrs:
+        if isinstance(instr, Skip):
+            continue
+        if (
+            isinstance(instr, Load)
+            and instr.mode is AccessMode.NA
+            and instr.loc in ref_locs
+        ):
+            continue
+        return False
+    return True
+
+
+def _na_ref_locs(source: Program, func: str) -> FrozenSet[str]:
+    """The source function's transitive non-atomic read footprint (the
+    mod-ref ``reads`` fact of :mod:`repro.static.absint.domains.modref`),
+    used to prune spurious introduced-read conflicts on inserted blocks."""
+    from repro.static.absint.domains.modref import modref_summaries
+
+    return modref_summaries(source, (func,))[func].reads
+
+
+def check_crossing(
+    source: Program,
+    target: Program,
+    profile: Optional[CrossingProfile] = None,
+) -> CrossingReport:
+    """Statically verify the crossing legality of ``source → target``.
+
+    Without a ``profile`` this behaves as a conservative linter: every
+    matched or copied block pair is rule-checked, and every one-sided or
+    duplicated block is reported inconclusive.  With the pass's declared
+    :class:`CrossingProfile`, benign insertions (``may_introduce_reads``)
+    and event-free deletions/copies (``may_restructure_cfg``) are
+    discharged instead — the rules on matched blocks are never relaxed.
+    """
     violations: List[CrossingViolation] = []
     inconclusive: List[str] = []
     src_funcs = dict(source.functions)
@@ -201,13 +451,110 @@ def check_crossing(source: Program, target: Program) -> CrossingReport:
         if fname not in src_funcs or fname not in tgt_funcs:
             inconclusive.append(f"{fname}:<function>")
             continue
-        src_blocks = src_funcs[fname].block_map
-        tgt_blocks = tgt_funcs[fname].block_map
-        for label in sorted(set(src_blocks) | set(tgt_blocks)):
-            if label not in src_blocks or label not in tgt_blocks:
-                inconclusive.append(f"{fname}:{label}")
-                continue
-            violations.extend(
-                _check_block(fname, label, src_blocks[label], tgt_blocks[label])
-            )
+        src_heap, tgt_heap = src_funcs[fname], tgt_funcs[fname]
+        src_blocks, tgt_blocks = src_heap.block_map, tgt_heap.block_map
+        matching = match_blocks(src_heap, tgt_heap)
+        for src_label, tgt_label in matching.pairs:
+            violations.extend(_check_block(
+                fname, tgt_label, src_blocks[src_label], tgt_blocks[tgt_label]
+            ))
+        for src_label, tgt_label in matching.copies:
+            # A copy is rule-checked against its original, but duplication
+            # itself needs a restructuring profile to be conclusive (a
+            # sequentially-duplicated write would re-execute).
+            violations.extend(_check_block(
+                fname, tgt_label, src_blocks[src_label], tgt_blocks[tgt_label]
+            ))
+            if profile is None or not profile.may_restructure_cfg:
+                inconclusive.append(f"{fname}:{tgt_label}")
+        ref_locs: Optional[FrozenSet[str]] = None
+        for tgt_label in matching.inserted:
+            if profile is not None and profile.may_introduce_reads:
+                if ref_locs is None:
+                    ref_locs = _na_ref_locs(source, fname)
+                if _benign_insertion(tgt_blocks[tgt_label], ref_locs):
+                    continue
+            inconclusive.append(f"{fname}:{tgt_label}")
+        if matching.deleted:
+            reachable = Cfg.of(src_heap).reachable()
+            for src_label in matching.deleted:
+                if src_label not in reachable:
+                    continue  # deleting unreachable code drops no events
+                if (
+                    profile is not None
+                    and profile.may_restructure_cfg
+                    and not _has_events(src_blocks[src_label])
+                ):
+                    continue  # jump threading through an event-free block
+                inconclusive.append(f"{fname}:{src_label}")
     return CrossingReport(tuple(violations), tuple(inconclusive))
+
+
+# ---------------------------------------------------------------------------
+# The adjacent-swap dependence predicate
+# ---------------------------------------------------------------------------
+
+
+def _memory_footprint(instr: Instr) -> Optional[Tuple[str, bool, bool]]:
+    """``(loc, writes, atomic)`` for memory-accessing instructions."""
+    if isinstance(instr, Load):
+        return (instr.loc, False, instr.mode is not AccessMode.NA)
+    if isinstance(instr, Store):
+        return (instr.loc, True, instr.mode is not AccessMode.NA)
+    if isinstance(instr, Cas):
+        return (instr.loc, True, True)
+    return None
+
+
+def must_preserve_order(first: Instr, second: Instr) -> bool:
+    """Whether the adjacent swap ``first; second → second; first`` must be
+    rejected (the conservative thread-local dependence predicate of the
+    crossing matrix).
+
+    The predicate is *directional*: an acquire event followed by a
+    non-atomic read is ordered (R1 forbids hoisting the read), while the
+    opposite order is not (sinking a read past an acquire is the legal
+    roach-motel direction).  It only ever answers ``False`` for swaps
+    that delay writes or advance reads — the promise-free-sound
+    directions — so every permutation it admits is justified by ``I_id``
+    reasoning without promise steps.
+    """
+    if isinstance(first, Skip) or isinstance(second, Skip):
+        return False
+    # Outputs and fences are immovable: prints order the observable
+    # trace, fences segment every rule of the matrix.
+    if isinstance(first, (Print, Fence)) or isinstance(second, (Print, Fence)):
+        return True
+    # Register dependences (read-after-write, write-after-read,
+    # write-after-write on the register file).
+    first_def, second_def = instr_def(first), instr_def(second)
+    if first_def is not None and first_def in instr_uses(second):
+        return True
+    if second_def is not None and second_def in instr_uses(first):
+        return True
+    if first_def is not None and first_def == second_def:
+        return True
+    first_mem = _memory_footprint(first)
+    second_mem = _memory_footprint(second)
+    if first_mem is None or second_mem is None:
+        return False  # a pure register computation conflicts with nothing more
+    loc1, write1, atomic1 = first_mem
+    loc2, write2, atomic2 = second_mem
+    # Same-location pairs with a write keep program order (coherence).
+    if loc1 == loc2 and (write1 or write2):
+        return True
+    # Atomic accesses never move across each other.
+    if atomic1 and atomic2:
+        return True
+    # A non-atomic write never crosses an atomic event in either
+    # direction (W1 release barrier / W2 segment counts).
+    if (write1 and not atomic1 and atomic2) or (write2 and not atomic2 and atomic1):
+        return True
+    # Non-atomic writes keep their order even across locations
+    # (conservative: the reordering pass never needs this direction).
+    if write1 and not atomic1 and write2 and not atomic2:
+        return True
+    # R1: a non-atomic read must not be hoisted above an acquire event.
+    if _is_acquire_event(first) and not write2 and not atomic2:
+        return True
+    return False

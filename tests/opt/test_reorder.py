@@ -1,0 +1,154 @@
+"""Adjacent-instruction reordering pass tests (:mod:`repro.opt.reorder`).
+
+The pass permutes movable non-atomic instructions inside a basic block in
+the promise-free-sound directions only — loads hoist, stores sink — with
+legality decided by :func:`repro.static.crossing.must_preserve_order`.
+Translation validation over litmus and generated corpora is the ground
+truth for its soundness."""
+
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import Load, Store
+from repro.litmus.generator import GeneratorConfig
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import Reorder
+from repro.opt.reorder import reorder_block
+from repro.sim import validate_corpus, validate_optimizer
+from repro.static.crossing import must_preserve_order
+
+
+def _entry_instrs(program, fname="t1"):
+    heap = program.function_map[fname]
+    return heap.block_map[heap.entry].instrs
+
+
+def _single(build):
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        build(f)
+    pb.thread("t1")
+    return pb.build()
+
+
+def test_load_hoists_above_independent_store():
+    def t1(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "b", "na")
+        b.print_("r")
+        b.ret()
+
+    target = Reorder().run(_single(t1))
+    instrs = _entry_instrs(target)
+    assert isinstance(instrs[0], Load) and instrs[0].loc == "b"
+    assert isinstance(instrs[1], Store) and instrs[1].loc == "a"
+
+
+def test_store_sinks_below_assign():
+    def t1(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.assign("r", 2)
+        b.print_("r")
+        b.ret()
+
+    target = Reorder().run(_single(t1))
+    instrs = _entry_instrs(target)
+    assert instrs[0].dst == "r"
+    assert isinstance(instrs[1], Store)
+
+
+def test_no_swap_across_register_dependence():
+    def t1(f):
+        b = f.block("entry")
+        b.assign("r", 2)
+        b.store("a", "r", "na")
+        b.load("s", "a", "na")
+        b.print_("s")
+        b.ret()
+
+    source = _single(t1)
+    assert Reorder().run(source) == source
+
+
+def test_no_swap_across_same_location():
+    def t1(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    source = _single(t1)
+    assert Reorder().run(source) == source
+
+
+def test_atomics_prints_and_fences_are_immovable():
+    def t1(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("f", 1, "rel")
+        b.fence("sc")
+        b.print_(0)
+        b.load("r", "b", "na")
+        b.ret()
+
+    source = _single(t1)
+    target = Reorder().run(source)
+    # The na-store cannot sink past the release store, and the na-load
+    # cannot hoist above the sc fence or the print.
+    assert target == source
+
+
+def test_load_does_not_hoist_above_acquire():
+    def t1(f):
+        b = f.block("entry")
+        b.load("g", "f", "acq")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    source = _single(t1)
+    assert Reorder().run(source) == source
+
+
+def test_reorder_is_idempotent():
+    opt = Reorder()
+    for test in LITMUS_SUITE.values():
+        once = opt.run(test.program)
+        assert opt.run(once) == once
+
+
+def test_reorder_block_is_deterministic():
+    for test in LITMUS_SUITE.values():
+        for _fname, heap in test.program.functions:
+            for _label, block in heap.blocks:
+                assert reorder_block(block.instrs) == reorder_block(block.instrs)
+
+
+def test_must_preserve_order_is_direction_sensitive():
+    from repro.lang.syntax import AccessMode, Const, Int32
+
+    acq = Load("g", "f", AccessMode.ACQ)
+    na_read = Load("r", "a", AccessMode.NA)
+    # R1: a na-read may not move above an acquire...
+    assert must_preserve_order(acq, na_read)
+    # ...but sinking it below one is roach-motel legal.
+    assert not must_preserve_order(na_read, acq)
+    # Writes never cross atomics in either direction.
+    na_write = Store("a", Const(Int32(1)), AccessMode.NA)
+    assert must_preserve_order(na_write, acq)
+    assert must_preserve_order(acq, na_write)
+
+
+def test_reorder_validates_on_litmus():
+    opt = Reorder()
+    for test in LITMUS_SUITE.values():
+        report = validate_optimizer(opt, test.program)
+        assert report.ok, test.name
+
+
+def test_reorder_validates_on_cluster_corpus():
+    config = GeneratorConfig(threads=2, instrs_per_thread=3, reorder_clusters=2)
+    result = validate_corpus(Reorder(), range(12), generator_config=config)
+    assert result.ok
+    assert result.transformed > 0

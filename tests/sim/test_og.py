@@ -1,0 +1,223 @@
+"""Owicki–Gries obligation checker tests (:mod:`repro.sim.og`).
+
+``check_og`` replays the per-program-point invariant annotations (I_id,
+I_dce, I_reorder) against the source's dataflow facts and emits one
+obligation per rewritten site.  These tests exercise each discharge rule
+in isolation: redundant-read, dead-code + interference, expression
+equivalence (constants / availability / copies), branch folding, and the
+I_reorder permutation rule."""
+
+from repro.lang.builder import ProgramBuilder, binop
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, CopyProp, Reorder
+from repro.opt.unsound import NaiveDCE
+from repro.sim import check_og
+from repro.static import analyze_ww_races
+from repro.static.crossing import CrossingProfile
+
+ID = CrossingProfile(invariant="id")
+DCE_PROFILE = DCE.crossing_profile
+REORDER_PROFILE = Reorder.crossing_profile
+
+
+def _program(build_t1, atomics={"f"}, extra_threads=()):
+    pb = ProgramBuilder(atomics=set(atomics))
+    with pb.function("t1") as f:
+        build_t1(f)
+    pb.thread("t1")
+    for name, build in extra_threads:
+        with pb.function(name) as f:
+            build(f)
+        pb.thread(name)
+    return pb.build()
+
+
+def test_identical_programs_discharge_vacuously():
+    for test in LITMUS_SUITE.values():
+        report = check_og(test.program, test.program, ID)
+        assert report.ok
+        assert not report.obligations
+
+
+def test_gallery_obligations_discharge_on_litmus():
+    for opt in (ConstProp(), CSE(), DCE(), CopyProp(), Reorder()):
+        profile = opt.crossing_profile
+        assert profile is not None
+        for test in LITMUS_SUITE.values():
+            if not analyze_ww_races(test.program).race_free:
+                # Interference freedom is only expected under the ww-RF
+                # precondition (the certifier checks it before OG runs).
+                continue
+            target = opt.run(test.program)
+            report = check_og(test.program, target, profile)
+            assert report.ok, (opt.name, test.name, report.undischarged)
+
+
+def test_redundant_read_discharged_by_availability():
+    """CSE replaces the second load of `a` with the cached register —
+    discharged because the load is *available* (no acquire intervenes)."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("r1", "a", "na")
+        b.load("r2", "a", "na")
+        b.print_("r2")
+        b.ret()
+
+    source = _program(src)
+    target = CSE().run(source)
+    assert target != source
+    report = check_og(source, target, CSE.crossing_profile)
+    assert report.ok
+    assert any(ob.kind == "redundant-read" for ob in report.obligations)
+
+
+def test_stale_read_across_acquire_is_undischarged():
+    """The unsound CSE variant reuses a load across an acquire: the
+    availability fact is killed at the acquire, so the obligation must
+    stay open."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("r1", "a", "na")
+        b.load("g", "f", "acq")
+        b.load("r2", "a", "na")
+        b.print_("r2")
+        b.ret()
+
+    source = _program(src)
+    target = CSE(acquire_kills=False).run(source)
+    assert target != source
+    report = check_og(source, target, CSE.crossing_profile)
+    assert not report.ok
+
+
+def test_dead_write_discharged_with_interference_freedom():
+    """DCE drops an overwritten na-store; the obligation carries both the
+    liveness fact (dead on all paths) and interference freedom (no other
+    thread writes the location)."""
+
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("a", 2, "na")
+        b.print_(0)
+        b.ret()
+
+    source = _program(src)
+    target = DCE().run(source)
+    assert target != source
+    report = check_og(source, target, DCE_PROFILE)
+    assert report.ok
+    assert any(ob.kind == "dead-code" for ob in report.obligations)
+
+
+def test_naive_dce_obligation_stays_open():
+    """NaiveDCE claims I_dce but eliminates a *live* store (observable
+    through the release flag): the liveness replay refuses to discharge."""
+    source = LITMUS_SUITE["Fig15-src"].program
+    target = NaiveDCE().run(source)
+    assert target != source
+    report = check_og(source, target, DCE_PROFILE)
+    assert not report.ok
+    assert report.undischarged
+
+
+def test_constant_folding_discharged_by_value_analysis():
+    def src(f):
+        b = f.block("entry")
+        b.assign("r1", 2)
+        b.assign("r2", binop("+", "r1", 3))
+        b.print_("r2")
+        b.ret()
+
+    source = _program(src)
+    target = ConstProp().run(source)
+    assert target != source
+    report = check_og(source, target, ConstProp.crossing_profile)
+    assert report.ok
+    assert any(ob.kind == "constants" for ob in report.obligations)
+
+
+def test_branch_folding_discharged():
+    def src(f):
+        b = f.block("entry")
+        b.assign("r", 0)
+        b.be("r", "then", "else")
+        t = f.block("then")
+        t.print_(1)
+        t.ret()
+        e = f.block("else")
+        e.print_(2)
+        e.ret()
+
+    source = _program(src)
+    target = ConstProp().run(source)
+    assert target != source
+    report = check_og(source, target, ConstProp.crossing_profile)
+    assert report.ok
+    assert any(ob.kind == "branch-decided" for ob in report.obligations)
+
+
+def test_permutation_discharged_under_reorder_profile():
+    """An adjacent load/store swap in promise-free-sound direction: the
+    I_reorder permutation rule matches the multiset and checks every
+    must-preserve pair."""
+
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "b", "na")
+        b.print_("r")
+        b.ret()
+
+    source = _program(src)
+    target = Reorder().run(source)
+    assert target != source
+    report = check_og(source, target, REORDER_PROFILE)
+    assert report.ok
+    assert any(ob.kind == "permutation" for ob in report.obligations)
+
+
+def test_permutation_refused_without_reorder_profile():
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.load("r", "b", "na")
+        b.print_("r")
+        b.ret()
+
+    source = _program(src)
+    target = Reorder().run(source)
+    assert target != source
+    report = check_og(source, target, ID)
+    assert not report.ok
+
+
+def test_cfg_mismatch_is_an_open_obligation():
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.jmp("body")
+        c = f.block("body")
+        c.store("a", 1, "na")
+        c.ret()
+
+    report = check_og(_program(src), _program(tgt), ID)
+    assert not report.ok
+    assert any(ob.kind == "cfg-mismatch" for ob in report.obligations)
+
+
+def test_obligation_rendering():
+    source = LITMUS_SUITE["Fig16-src"].program
+    target = DCE().run(source)
+    report = check_og(source, target, DCE_PROFILE)
+    assert report.ok
+    text = str(report)
+    assert "discharged" in text or all(
+        "✓" in str(ob) for ob in report.obligations
+    )

@@ -1,0 +1,97 @@
+"""Tiered translation validation tests (:func:`repro.sim.validate_tiered`).
+
+Tier 0 (the static certifier) must short-circuit exploration with a
+PROVED verdict that agrees — in behavior-set terms — with what
+exhaustive refinement checking would have concluded, and INCONCLUSIVE
+must fall through to the exploration tier unchanged."""
+
+import pytest
+
+from repro.litmus.generator import GeneratorConfig
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, Reorder
+from repro.opt.unsound import NaiveDCE
+from repro.robust.confidence import Confidence
+from repro.sim import validate_corpus, validate_optimizer, validate_tiered
+
+GALLERY = (ConstProp(), CSE(), DCE(), Reorder())
+
+
+def test_certified_reports_are_static_and_proved():
+    report = validate_tiered(DCE(), LITMUS_SUITE["Fig16-src"].program)
+    assert report.ok
+    assert report.method == "static"
+    assert report.confidence is Confidence.PROVED
+    assert report.exhaustive
+    assert report.behavior_count == 0
+    assert report.report is None
+    assert report.certificate.certified
+    assert "statically certified" in str(report)
+    assert report.tiers and report.tiers[0].tier == "static-certify"
+
+
+def test_inconclusive_falls_through_to_exploration():
+    report = validate_tiered(NaiveDCE(), LITMUS_SUITE["Fig15-src"].program)
+    assert not report.certificate.certified
+    assert report.method == "exploration"
+    assert report.report is not None
+    assert not report.ok  # NaiveDCE is genuinely unsound on Fig. 15
+    assert [t.tier for t in report.tiers] == ["static-certify", "exploration"]
+    assert not report.tiers[0].decided and report.tiers[1].decided
+
+
+def test_tiered_agrees_with_exploration_on_litmus():
+    """Behavior-set ground truth over the full litmus suite: the ladder's
+    verdict (ok / not ok) must be byte-identical to always-exploration,
+    whichever tier decided it."""
+    for opt in GALLERY:
+        for test in LITMUS_SUITE.values():
+            ladder = validate_tiered(opt, test.program)
+            exploration = validate_optimizer(opt, test.program)
+            assert ladder.ok == exploration.ok, (opt.name, test.name)
+            assert ladder.changed == exploration.changed, (opt.name, test.name)
+
+
+def test_tiered_corpus_counts_static_discharges():
+    result = validate_corpus(DCE(), range(10), tiered=True)
+    assert result.ok
+    assert result.static_discharged == 10
+    assert result.static_fraction == 1.0
+    assert "statically certified" in str(result)
+
+
+def test_untiered_corpus_has_zero_static_discharges():
+    result = validate_corpus(DCE(), range(4))
+    assert result.ok
+    assert result.static_discharged == 0
+
+
+def test_tiered_corpus_parallel_matches_serial():
+    serial = validate_corpus(Reorder(), range(6), tiered=True)
+    parallel = validate_corpus(Reorder(), range(6), tiered=True, jobs=2)
+    assert serial.ok == parallel.ok
+    assert serial.static_discharged == parallel.static_discharged
+
+
+def test_tiered_rejects_iota_change():
+    class BadOpt(DCE):
+        def run(self, program, strict=None):
+            target = super().run(program)
+            return type(target)(
+                functions=target.functions,
+                atomics=target.atomics | {"zzz_new"},
+                threads=target.threads,
+            )
+
+    with pytest.raises(AssertionError):
+        validate_tiered(BadOpt(), LITMUS_SUITE["MP-relacq"].program)
+
+
+def test_reorder_corpus_with_clusters():
+    """Reorderable clusters make the pass actually fire; tier 0 should
+    still discharge the bulk statically."""
+    config = GeneratorConfig(threads=2, instrs_per_thread=3, reorder_clusters=2)
+    result = validate_corpus(Reorder(), range(8), generator_config=config, tiered=True)
+    assert result.ok
+    assert result.transformed > 0
+    assert result.static_fraction >= 0.7

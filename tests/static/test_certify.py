@@ -1,0 +1,129 @@
+"""Static transformation certifier tests (tier 0 of the validation ladder).
+
+The certifier combines the crossing oracle with the Owicki–Gries
+obligation checker; ``CERTIFIED`` must only ever be issued when the
+transformation is genuinely a refinement (the Hypothesis mirror in
+``test_certify_soundness.py`` checks that against exhaustive
+exploration — here we pin down the fixed verdicts).
+"""
+
+from dataclasses import dataclass
+
+from repro.lang.builder import ProgramBuilder
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import CSE, DCE, ConstProp, CopyProp, Reorder, identity_optimizer
+from repro.opt.base import Optimizer
+from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.sim import validate_optimizer
+from repro.static.certify import CertVerdict, certify_transformation
+
+GALLERY = (ConstProp(), CSE(), DCE(), CopyProp(), Reorder())
+
+
+def test_identity_certifies_on_litmus():
+    for test in LITMUS_SUITE.values():
+        report = certify_transformation(identity_optimizer(), test.program)
+        if report.certified:
+            assert report.invariant == "I_id"
+            assert "certified" in str(report)
+
+
+def test_gallery_certifies_most_of_litmus():
+    """The sound gallery should statically discharge the bulk of the
+    litmus suite (Fig4 is rightly inconclusive: its source is not
+    statically ww-race-free)."""
+    for opt in GALLERY:
+        certified = 0
+        for test in LITMUS_SUITE.values():
+            report = certify_transformation(opt, test.program)
+            assert report.verdict in (CertVerdict.CERTIFIED, CertVerdict.INCONCLUSIVE)
+            certified += report.certified
+        assert certified >= len(LITMUS_SUITE) - 2, (opt.name, certified)
+
+
+def test_unprofiled_pass_is_inconclusive():
+    @dataclass(frozen=True)
+    class Anon(Optimizer):
+        name: str = "anon"
+
+        def run_function(self, program, fname, heap):
+            return heap
+
+    report = certify_transformation(Anon(), LITMUS_SUITE["MP-relacq"].program)
+    assert not report.certified
+    assert any("profile" in reason for reason in report.reasons)
+
+
+def test_naive_dce_is_never_certified_on_fig15():
+    """Fig. 15's unsound elimination must be rejected even though
+    NaiveDCE *claims* the I_dce profile — the claim is checked, not
+    trusted."""
+    report = certify_transformation(NaiveDCE(), LITMUS_SUITE["Fig15-src"].program)
+    assert report.verdict is CertVerdict.INCONCLUSIVE
+    assert report.crossing is not None and not report.crossing.ok
+
+
+def test_write_introduction_is_never_certified():
+    for test in LITMUS_SUITE.values():
+        opt = RedundantWriteIntroduction()
+        if opt.run(test.program) == test.program:
+            continue
+        report = certify_transformation(opt, test.program)
+        assert not report.certified, test.name
+
+
+def test_unsound_cse_variant_is_not_certified():
+    """CSE with acquire_kills=False reuses a stale load across an acquire;
+    the certifier must refuse (either crossing R1 or an undischarged OG
+    obligation), and exploration agrees the result is not a refinement."""
+    pb = ProgramBuilder(atomics={"f"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.load("r1", "a", "na")
+        b.load("g", "f", "acq")
+        b.load("r2", "a", "na")
+        b.print_("r2")
+        b.ret()
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("f", 1, "rel")
+        b.ret()
+    pb.thread("t1")
+    pb.thread("t2")
+    source = pb.build()
+
+    bad = CSE(acquire_kills=False)
+    assert bad.run(source) != source
+    report = certify_transformation(bad, source)
+    assert not report.certified
+
+
+def test_certificate_report_is_checkable():
+    """A CERTIFIED report carries the full witness: profile invariant,
+    crossing report, and the discharged OG obligations."""
+    source = LITMUS_SUITE["Fig16-src"].program
+    report = certify_transformation(DCE(), source)
+    assert report.certified
+    assert report.invariant == "I_dce"
+    assert report.crossing is not None and report.crossing.ok
+    assert report.og is not None and report.og.ok
+    assert all(ob.discharged for ob in report.og.obligations)
+
+
+def test_certified_matches_exploration_on_litmus():
+    """Behavior-set ground truth: every CERTIFIED verdict over the litmus
+    suite is confirmed by exhaustive refinement checking."""
+    for opt in GALLERY:
+        for test in LITMUS_SUITE.values():
+            report = certify_transformation(opt, test.program)
+            if report.certified:
+                exhaustive = validate_optimizer(opt, test.program)
+                assert exhaustive.ok, (opt.name, test.name)
+
+
+def test_precomputed_target_is_honoured():
+    source = LITMUS_SUITE["Fig16-src"].program
+    target = DCE().run(source)
+    report = certify_transformation(DCE(), source, target)
+    assert report.certified == certify_transformation(DCE(), source).certified

@@ -1,0 +1,63 @@
+"""Soundness of tier 0: CERTIFIED must imply exhaustive refinement.
+
+The load-bearing property of the tiered validation ladder — a static
+``CERTIFIED`` short-circuits exploration, so a single counterexample here
+would make :func:`repro.sim.validate.validate_tiered` unsound.  The
+Hypothesis property sweeps generator seeds over both the sound gallery
+and the deliberately unsound passes (whose *lying* crossing profiles are
+the adversarial case: the certifier must check the claim, never trust
+it)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt import CSE, DCE, ConstProp, CopyProp, Reorder
+from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.sim import validate_optimizer
+from repro.static.certify import certify_transformation
+
+SMALL = GeneratorConfig(threads=2, instrs_per_thread=4, prints_per_thread=1)
+REORDERABLE = GeneratorConfig(
+    threads=2, instrs_per_thread=3, prints_per_thread=1, reorder_clusters=1
+)
+
+SOUND = (ConstProp(), CSE(), DCE(), CopyProp(), Reorder())
+UNSOUND = (NaiveDCE(), RedundantWriteIntroduction())
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_certified_implies_refinement(seed):
+    program = random_wwrf_program(seed, SMALL)
+    for opt in SOUND + UNSOUND:
+        report = certify_transformation(opt, program)
+        if report.certified:
+            exhaustive = validate_optimizer(opt, program)
+            assert exhaustive.ok, (
+                f"CERTIFIED contradicts exploration: {opt.name} on seed {seed}"
+            )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_certified_reorder_implies_refinement(seed):
+    """Dedicated sweep with reorderable instruction clusters so the
+    I_reorder permutation rule actually fires."""
+    program = random_wwrf_program(seed, REORDERABLE)
+    opt = Reorder()
+    report = certify_transformation(opt, program)
+    if report.certified:
+        exhaustive = validate_optimizer(opt, program)
+        assert exhaustive.ok, f"CERTIFIED reorder contradicts exploration on seed {seed}"
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=10, deadline=None)
+def test_certificate_is_deterministic(seed):
+    program = random_wwrf_program(seed, SMALL)
+    for opt in SOUND:
+        first = certify_transformation(opt, program)
+        second = certify_transformation(opt, program)
+        assert first.verdict == second.verdict
+        assert first.reasons == second.reasons

@@ -3,8 +3,10 @@
 from repro.lang.builder import ProgramBuilder
 from repro.litmus.library import LITMUS_SUITE
 from repro.opt import CSE, DCE, ConstProp, CopyProp
+from repro.opt.base import compose
+from repro.opt.unroll import Peel
 from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
-from repro.static import check_crossing
+from repro.static import CrossingProfile, check_crossing, match_blocks
 
 
 def _two_block_program(build_t1):
@@ -178,3 +180,255 @@ def test_missing_function_is_inconclusive():
     report = check_crossing(one, two)
     assert report.ok
     assert "extra:<function>" in report.inconclusive
+
+
+# -- sc accesses: two-sided boundaries ------------------------------------
+#
+# An sc fence is *both* an acquire and a release event, so it must act as
+# a boundary for R1 (reads may not hoist above it) and for W1 (writes
+# before it may not be eliminated).  Same for the two halves of a CAS:
+# the read part with mode acq is an acquire event, the write part with
+# mode rel is a release event.
+
+
+def test_read_hoisted_above_sc_fence():
+    def src(f):
+        b = f.block("entry")
+        b.fence("sc")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.fence("sc")
+        b.print_("r")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert not report.ok
+    assert [v.rule for v in report.violations] == ["acquire-crossing"]
+    assert report.violations[0].loc == "a"
+
+
+def test_write_eliminated_before_sc_fence():
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.fence("sc")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.fence("sc")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert not report.ok
+    assert any(v.rule == "release-crossing" and v.loc == "a" for v in report.violations)
+
+
+def test_read_hoisted_above_acquire_cas():
+    def src(f):
+        b = f.block("entry")
+        b.cas("g", "f", 0, 1, "acq", "rlx")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.cas("g", "f", 0, 1, "acq", "rlx")
+        b.print_("r")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert not report.ok
+    assert [v.rule for v in report.violations] == ["acquire-crossing"]
+
+
+def test_write_eliminated_before_release_cas():
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.cas("g", "f", 0, 1, "rlx", "rel")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.cas("g", "f", 0, 1, "rlx", "rel")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert not report.ok
+    assert any(v.rule == "release-crossing" and v.loc == "a" for v in report.violations)
+
+
+def test_relaxed_cas_is_not_a_boundary():
+    """A fully relaxed CAS is neither acquire nor release: hoisting a
+    na-read above it and dropping a thread-local write before it are both
+    crossing-legal."""
+
+    def src(f):
+        b = f.block("entry")
+        b.cas("g", "f", 0, 1, "rlx", "rlx")
+        b.load("r", "a", "na")
+        b.print_("r")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.load("r", "a", "na")
+        b.cas("g", "f", 0, 1, "rlx", "rlx")
+        b.print_("r")
+        b.ret()
+
+    report = check_crossing(_two_block_program(src), _two_block_program(tgt))
+    assert report.ok and not report.inconclusive
+
+
+# -- CFG block matching (restructuring passes) ----------------------------
+
+
+def test_renamed_block_matched_by_fingerprint():
+    """A pure label rename is matched by instruction fingerprint and
+    rule-checked as an ordinary pair — clean, no inconclusive sites."""
+
+    def src(f):
+        b = f.block("entry")
+        b.jmp("loop")
+        c = f.block("loop")
+        c.store("a", 1, "na")
+        c.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.jmp("body")
+        c = f.block("body")
+        c.store("a", 1, "na")
+        c.ret()
+
+    source = _two_block_program(src)
+    target = _two_block_program(tgt)
+    matching = match_blocks(
+        source.function_map["t1"], target.function_map["t1"]
+    )
+    assert ("loop", "body") in matching.pairs
+    assert not matching.copies and not matching.inserted
+    report = check_crossing(source, target)
+    assert report.ok and not report.inconclusive
+
+
+def test_copied_block_clean_under_restructuring_profile():
+    """A duplicated block (loop peeling shape) is inconclusive without a
+    profile but clean when the pass declares ``may_restructure_cfg``."""
+
+    def src(f):
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.jmp("body")
+        c = f.block("body")
+        c.store("a", 1, "na")
+        c.ret()
+
+    source = _two_block_program(src)
+    target = _two_block_program(tgt)
+    baseline = check_crossing(source, target)
+    assert baseline.ok and baseline.inconclusive
+    profiled = check_crossing(
+        source, target, CrossingProfile(may_restructure_cfg=True)
+    )
+    assert profiled.ok and not profiled.inconclusive
+
+
+def test_peel_copies_clean_with_profile():
+    """Loop peeling duplicates event-carrying blocks; under the declared
+    ``may_restructure_cfg`` profile the copies are rule-checked against
+    their originals and come out clean on the whole litmus suite."""
+    for test in LITMUS_SUITE.values():
+        target = Peel().run(test.program)
+        profile = Peel.crossing_profile
+        report = check_crossing(test.program, target, profile)
+        assert report.ok, (test.name, report.violations)
+        assert not report.inconclusive, (test.name, report.inconclusive)
+
+
+def test_benign_inserted_preheader_requires_read_license():
+    """An inserted block holding a hoisted na-load (LICM preheader shape)
+    is an R2 introduced-read unless the pass declares
+    ``may_introduce_reads``."""
+
+    def src(f):
+        b = f.block("entry")
+        b.jmp("loop")
+        c = f.block("loop")
+        c.load("r", "a", "na")
+        c.print_("r")
+        c.ret()
+
+    def tgt(f):
+        b = f.block("entry")
+        b.jmp("pre")
+        p = f.block("pre")
+        p.load("r", "a", "na")
+        p.jmp("loop")
+        c = f.block("loop")
+        c.load("r", "a", "na")
+        c.print_("r")
+        c.ret()
+
+    source = _two_block_program(src)
+    target = _two_block_program(tgt)
+    baseline = check_crossing(source, target)
+    assert not baseline.ok or baseline.inconclusive
+    profiled = check_crossing(
+        source,
+        target,
+        CrossingProfile(may_introduce_reads=True, may_restructure_cfg=True),
+    )
+    assert profiled.ok and not profiled.inconclusive
+
+
+def test_lying_profile_does_not_suppress_crossing_rules():
+    """A profile only *licenses* structural latitude; R1/W1 violations are
+    still flagged even when the pass claims elimination rights."""
+    source = LITMUS_SUITE["Fig15-src"].program
+    target = NaiveDCE().run(source)
+    report = check_crossing(source, target, NaiveDCE.crossing_profile)
+    assert not report.ok
+    assert any(v.rule == "release-crossing" for v in report.violations)
+
+
+# -- crossing profiles -----------------------------------------------------
+
+
+def test_profile_merge_composes_invariants_and_flags():
+    id_profile = CrossingProfile(invariant="id")
+    dce_profile = CrossingProfile(
+        invariant="dce", may_eliminate_reads=True, may_eliminate_writes=True
+    )
+    merged = id_profile.merge(dce_profile)
+    assert merged is not None
+    assert merged.invariant == "dce"
+    assert merged.may_eliminate_reads and merged.may_eliminate_writes
+    assert not merged.may_reorder
+
+
+def test_profile_merge_rejects_conflicting_invariants():
+    dce_profile = CrossingProfile(invariant="dce")
+    reorder_profile = CrossingProfile(invariant="reorder", may_reorder=True)
+    assert dce_profile.merge(reorder_profile) is None
+
+
+def test_composed_optimizer_profile():
+    composed = compose(ConstProp(), CSE())
+    profile = composed.crossing_profile
+    assert profile is not None
+    assert profile.invariant == "id"
+    assert profile.may_eliminate_reads

@@ -50,6 +50,21 @@ def flag_file(tmp_path):
     return str(path)
 
 
+DEAD = """
+atomics f;
+fn t1 { entry: a.na := 1; a.na := 2; r := a.na; print(r); return; }
+fn t2 { entry: g := f.acq; print(g); return; }
+threads t1, t2;
+"""
+
+
+@pytest.fixture
+def dead_file(tmp_path):
+    path = tmp_path / "dead.rtl"
+    path.write_text(DEAD)
+    return str(path)
+
+
 def test_analyze_clean(sb_file, capsys):
     assert main(["analyze", sb_file]) == 0
     out = capsys.readouterr().out
@@ -105,3 +120,48 @@ def test_validate_strict_ok(sb_file, capsys):
 def test_exhaustive_runs_still_exit_0(sb_file):
     assert main(["races", sb_file]) == 0
     assert main(["validate", "--opt", "dce", sb_file]) == 0
+
+
+# -- crossing matrix + tiered validation (tier 0) --------------------------
+
+
+def test_analyze_prints_crossing_matrix(sb_file, capsys):
+    assert main(["analyze", sb_file]) == 0
+    out = capsys.readouterr().out
+    assert "crossing matrix:" in out
+    for name in ("constprop", "cse", "dce", "reorder"):
+        assert name in out
+
+
+def test_analyze_json_has_crossing_section(sb_file, capsys):
+    import json
+
+    assert main(["analyze", "--json", sb_file]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    crossing = payload["crossing"]
+    assert "dce" in crossing and "reorder" in crossing
+    for entry in crossing.values():
+        assert entry["verdict"] in ("clean", "inconclusive", "violations", "error")
+        assert "seconds" in entry and "changed" in entry
+    assert "crossing_s" in payload["timings"]
+
+
+def test_validate_static_tier_certifies(dead_file, capsys):
+    assert main(["validate", "--opt", "dce", "--static-tier", dead_file]) == 0
+    out = capsys.readouterr().out
+    assert "statically certified" in out
+    assert "static-certify" in out
+
+
+def test_validate_static_tier_falls_back(sb_file, capsys):
+    """cleanup restructures the CFG beyond what OG discharges — the ladder
+    must fall back to exploration and still exit 0."""
+    assert main(["validate", "--opt", "reorder", "--static-tier", sb_file]) == 0
+    out = capsys.readouterr().out
+    assert "tier" in out or "statically certified" in out
+
+
+def test_validate_without_flag_is_unchanged(dead_file, capsys):
+    assert main(["validate", "--opt", "dce", dead_file]) == 0
+    out = capsys.readouterr().out
+    assert "statically certified" not in out
