@@ -9,7 +9,8 @@ Commands:
 * ``validate FILE`` — run an optimizer and translation-validate it;
 * ``run FILE``      — sample randomized executions;
 * ``witness FILE``  — find a schedule realizing an output trace;
-* ``fmt FILE``      — parse and pretty-print.
+* ``fmt FILE``      — parse and pretty-print;
+* ``serve``         — run the verification service daemon (HTTP/JSON).
 
 All commands accept ``--promises N`` to enable a syntactic promise oracle
 with budget N, and ``--np`` to use the non-preemptive machine.  Resource
@@ -29,12 +30,19 @@ files.  Under ``--jobs``, a ``--deadline`` still bounds the *whole*
 sweep's wall clock.  ``explore --stats`` prints certification-cache and
 intern-table counters.
 
+The service (``docs/service.md``): ``serve`` starts the asyncio
+verification daemon — batch ``/v1/litmus`` / ``/v1/validate`` /
+``/v1/races`` endpoints over a shared content-addressed store, with
+queue backpressure (429 + Retry-After) and graceful SIGTERM drain.
+
 Exit codes (the confidence contract of ``repro.robust.confidence``):
 0 = verdict holds and is PROVED (exhaustive), 1 = verdict fails,
 2 = usage/parse error, 3 = verdict holds but only BOUNDED (a budget or
 ``--max-states`` cap was hit), 4 = verdict holds but only SAMPLED (the
 degradation ladder fell back to randomized runs) — a degraded run is
-never reported as a proof.
+never reported as a proof.  Code 4 is also raised for corrupt persisted
+state (a checkpoint failing its integrity digest): in both cases the
+evidence on hand cannot support the claim.
 """
 
 from __future__ import annotations
@@ -82,13 +90,14 @@ OPTIMIZERS = {
 }
 
 
-def _load(path: str, structured: bool = False) -> Program:
-    """Load a program: CSimpRTL by default; the structured CSimp surface
-    syntax with ``--csimp`` or for ``*.csimp`` files."""
-    with open(path) as handle:
-        source = handle.read()
+def _load_source(source: str, structured: bool = False) -> Program:
+    """Parse program text: CSimpRTL by default, CSimp when ``structured``.
+
+    The service daemon uses this directly — its jobs arrive as source
+    text over HTTP, never as file paths.
+    """
     try:
-        if structured or path.endswith(".csimp"):
+        if structured:
             from repro.csimp import lower_program, parse_csimp
 
             return lower_program(parse_csimp(source))
@@ -97,6 +106,14 @@ def _load(path: str, structured: bool = False) -> Program:
         # Constructor validation (e.g. an unresolved jump target) fires
         # during parsing; surface it like a parse error, not a traceback.
         raise ParseError(str(exc)) from exc
+
+
+def _load(path: str, structured: bool = False) -> Program:
+    """Load a program file: CSimpRTL by default; the structured CSimp
+    surface syntax with ``--csimp`` or for ``*.csimp`` files."""
+    with open(path) as handle:
+        source = handle.read()
+    return _load_source(source, structured or path.endswith(".csimp"))
 
 
 def _config(args: argparse.Namespace) -> SemanticsConfig:
@@ -675,6 +692,38 @@ def cmd_litmus(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve`` — run the verification service daemon.
+
+    Blocks until SIGTERM/SIGINT, then drains: admitted jobs finish and
+    flush their responses before the process exits.  See
+    ``docs/service.md`` for the HTTP API and operational contract.
+    """
+    from repro.robust.retry import RetryPolicy
+    from repro.serve.daemon import DaemonConfig, serve_forever
+    from repro.serve.supervisor import SupervisorConfig
+
+    supervisor = SupervisorConfig(
+        job_deadline_seconds=args.job_deadline,
+        memory_mb=args.memory_mb,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        quarantine_after=args.quarantine_after,
+    )
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_batch_jobs=args.max_batch,
+        default_deadline_seconds=min(args.job_deadline, args.max_deadline),
+        max_deadline_seconds=args.max_deadline,
+        store_root=args.store,
+        store_max_entries=args.store_max_entries,
+        supervisor=supervisor,
+    )
+    return serve_forever(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -809,6 +858,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "seed instead of running a campaign")
     p.set_defaults(func=cmd_fuzz)
 
+    p = sub.add_parser("serve", help="run the verification service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 = pick a free one; printed at startup)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="dispatcher threads (each forks one governed "
+                        "worker per job attempt)")
+    p.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                   help="bounded work queue size; a full queue answers "
+                        "429 with Retry-After")
+    p.add_argument("--max-batch", type=int, default=32, metavar="N",
+                   help="largest accepted programs[] batch (413 beyond)")
+    p.add_argument("--job-deadline", type=float, default=20.0, metavar="SECS",
+                   help="default per-job hard wall clock; halves at each "
+                        "degradation rung")
+    p.add_argument("--max-deadline", type=float, default=120.0, metavar="SECS",
+                   help="ceiling on client-requested deadline_seconds")
+    p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                   help="rungs of the exhaustive → bounded → sampled "
+                        "ladder to walk (1 disables degradation)")
+    p.add_argument("--quarantine-after", type=int, default=3, metavar="N",
+                   help="worker deaths before a program is quarantined "
+                        "as poison")
+    p.add_argument("--memory-mb", type=float, default=None, metavar="MB",
+                   help="per-worker memory ceiling")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="content-addressed verdict store shared with "
+                        "--cache sweeps (preloaded at startup)")
+    p.add_argument("--store-max-entries", type=int, default=None, metavar="N",
+                   help="LRU-evict the store beyond N entries")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("litmus", help="check //! exists/forbidden spec files")
     sweep_options(p)
     p.add_argument("files", nargs="+")
@@ -832,8 +913,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"parse error: {exc}", file=sys.stderr)
         return 2
     except CheckpointError as exc:
-        print(f"checkpoint error: {exc}", file=sys.stderr)
-        return 2
+        from repro.robust.confidence import EXIT_CORRUPT
+
+        print(f"checkpoint error: corrupt or incompatible checkpoint — {exc}",
+              file=sys.stderr)
+        return EXIT_CORRUPT
 
 
 if __name__ == "__main__":  # pragma: no cover

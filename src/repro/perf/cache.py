@@ -22,27 +22,29 @@ A BOUNDED or SAMPLED verdict is an artifact of the specific budget that
 truncated it; caching one would let a tiny smoke-test budget poison later
 thorough runs.  :meth:`ResultCache.store` enforces this.
 
-Integrity follows :mod:`repro.robust.checkpoint`'s policy: each entry
-wraps its payload with a SHA-256 digest, and a corrupt or
-digest-mismatched entry raises :class:`CacheError` loudly at load time —
-a cache that silently returned garbage verdicts would be worse than no
-cache.  (A *version*-mismatched entry, by contrast, is a well-formed entry
-for different semantics: that is a silent miss.)
+Storage is the concurrency-safe content-addressed store of
+:mod:`repro.serve.store`: atomic fsynced publishes, optional LRU caps,
+and — the robustness upgrade over the original cache — **corrupt entries
+are quarantined and recomputed, not fatal**.  A flipped bit or torn file
+moves the entry to ``root/quarantine/`` and registers a miss; the old
+policy of raising :class:`CacheError` turned one bad byte into a dead
+sweep, which a shared always-on service cannot afford.  (A *version*-
+mismatched entry is a well-formed entry for different semantics: that is
+a silent miss too, but it stays in place.)  Integrity is still checked on
+every read — a quarantined verdict is never *served*.
 
 Layout: ``root/<key[:2]>/<key>.json`` — two-level fan-out keeps
-directories small on multi-thousand-program corpora.  Writes are atomic
-(temp file + ``os.replace``), so a killed sweep never leaves a truncated
-entry behind.
+directories small on multi-thousand-program corpora.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import Any, Dict, Optional
 
 from repro.semantics.thread import SemanticsConfig
+from repro.serve.store import ContentStore
 
 #: Bump when the semantics/exploration code changes meaning.  Cached
 #: verdicts from other versions are ignored (silent miss), never reused.
@@ -50,7 +52,13 @@ SEMANTICS_VERSION = "ps21-repro-1"
 
 
 class CacheError(ValueError):
-    """A cache entry failed integrity validation (corrupt file/digest)."""
+    """A cache entry failed integrity validation.
+
+    Retained for API compatibility: since the quarantine policy landed,
+    corrupt entries are moved aside and recomputed instead of raising, so
+    well-behaved callers should never see this.  It still guards against
+    programming errors (e.g. storing a non-JSON-serializable payload).
+    """
 
 
 def config_digest(config: SemanticsConfig) -> str:
@@ -114,61 +122,79 @@ def cache_key(program_text: str, config: SemanticsConfig, kind: str) -> str:
     return h.hexdigest()
 
 
-def _payload_digest(payload: Dict[str, Any]) -> str:
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
 class ResultCache:
     """On-disk verdict cache rooted at ``root`` (created on first store).
 
-    ``hits`` / ``misses`` / ``stores`` count this process's traffic; the
-    CLI prints them so a warm re-run's skip rate is visible.
+    A thin typed façade over :class:`~repro.serve.store.ContentStore`
+    that adds the semantics-version envelope and the exhaustive-only
+    store policy.  ``hits`` / ``misses`` / ``stores`` count this
+    process's traffic; the CLI prints them so a warm re-run's skip rate
+    is visible.  ``max_entries`` / ``max_bytes`` bound the store with
+    LRU eviction (both ``None`` by default: sweeps historically ran
+    unbounded).
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(
+        self,
+        root: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = root
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
+        self._store = ContentStore(root, max_entries=max_entries, max_bytes=max_bytes)
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], key + ".json")
+    # Counters delegate to the store so the façade and the store never
+    # disagree about traffic.
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    @property
+    def stores(self) -> int:
+        return self._store.stores
+
+    @property
+    def quarantined(self) -> int:
+        return self._store.quarantined
+
+    @property
+    def store_backend(self) -> ContentStore:
+        """The underlying content-addressed store (service wiring)."""
+        return self._store
+
+    def preload(self) -> int:
+        """Warm-start: scan the store into memory (see
+        :meth:`ContentStore.preload`)."""
+        return self._store.preload()
 
     def lookup(
         self, program_text: str, config: SemanticsConfig, kind: str
     ) -> Optional[Dict[str, Any]]:
         """The cached payload, or ``None`` on a miss.
 
-        Raises :class:`CacheError` on a corrupt entry — unreadable JSON,
-        missing fields, or a payload digest mismatch.  A version mismatch
+        A corrupt entry — unreadable JSON, missing fields, or a payload
+        digest mismatch — is quarantined by the backing store and
+        reported as a miss (the caller recomputes).  A version mismatch
         is a silent miss (the entry belongs to different semantics).
         """
         key = cache_key(program_text, config, kind)
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                raw = handle.read()
-        except FileNotFoundError:
-            self.misses += 1
+        entry = self._store.get(key)
+        if entry is None:
             return None
-        try:
-            entry = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise CacheError(f"corrupt cache entry {path}: {exc}") from exc
-        if not isinstance(entry, dict) or not {
-            "version",
-            "kind",
-            "payload",
-            "digest",
-        } <= set(entry):
-            raise CacheError(f"malformed cache entry {path}: missing fields")
-        if _payload_digest(entry["payload"]) != entry["digest"]:
-            raise CacheError(f"cache entry {path} failed its integrity digest")
-        if entry["version"] != SEMANTICS_VERSION or entry["kind"] != kind:
-            self.misses += 1
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != SEMANTICS_VERSION
+            or entry.get("kind") != kind
+        ):
+            # Well-formed but for different semantics: count as a miss
+            # without quarantining (the entry is not corrupt).
+            self._store.hits -= 1
+            self._store.misses += 1
             return None
-        self.hits += 1
         return entry["payload"]
 
     def store(
@@ -183,24 +209,17 @@ class ResultCache:
 
         Non-exhaustive results are refused (returns ``False``): they are
         budget artifacts, and the cache key deliberately omits the budget.
-        ``payload`` must be JSON-serializable.
+        ``payload`` must be JSON-serializable (:class:`CacheError`
+        otherwise).
         """
         if not exhaustive:
             return False
         key = cache_key(program_text, config, kind)
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        entry = {
-            "version": SEMANTICS_VERSION,
-            "kind": kind,
-            "payload": payload,
-            "digest": _payload_digest(payload),
-        }
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True)
-        os.replace(tmp, path)
-        self.stores += 1
+        entry = {"version": SEMANTICS_VERSION, "kind": kind, "payload": payload}
+        try:
+            self._store.put(key, entry)
+        except TypeError as exc:
+            raise CacheError(f"unserializable cache payload: {exc}") from exc
         return True
 
     def stats(self) -> Dict[str, int]:
@@ -210,7 +229,8 @@ class ResultCache:
     def __str__(self) -> str:
         total = self.hits + self.misses
         rate = (100.0 * self.hits / total) if total else 0.0
+        extra = f", {self.quarantined} quarantined" if self.quarantined else ""
         return (
             f"cache[{self.root}]: {self.hits} hits / {self.misses} misses "
-            f"({rate:.0f}% hit rate), {self.stores} stored"
+            f"({rate:.0f}% hit rate), {self.stores} stored{extra}"
         )

@@ -40,6 +40,12 @@ from repro.robust.checkpoint import (
 from repro.robust.confidence import Confidence, derive_confidence, exit_code
 
 _LAZY = {
+    "RetryPolicy": "repro.robust.retry",
+    "ChaosError": "repro.robust.chaos",
+    "ChaosInjector": "repro.robust.chaos",
+    "FaultRule": "repro.robust.chaos",
+    "chaos_rules": "repro.robust.chaos",
+    "fault_point": "repro.robust.chaos",
     "DegradationPolicy": "repro.robust.degrade",
     "DegradedBehaviors": "repro.robust.degrade",
     "explore_with_degradation": "repro.robust.degrade",
@@ -48,6 +54,7 @@ _LAZY = {
     "ProgramOutcome": "repro.robust.isolation",
     "IsolatedResult": "repro.robust.isolation",
     "run_isolated": "repro.robust.isolation",
+    "run_isolated_retrying": "repro.robust.isolation",
     "run_batch_isolated": "repro.robust.isolation",
     "isolated_validate_corpus": "repro.robust.isolation",
     "isolated_fuzz_optimizer": "repro.robust.isolation",

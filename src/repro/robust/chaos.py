@@ -1,0 +1,299 @@
+"""Deterministic fault injection for the verification service.
+
+A daemon serving millions of requests meets every partial failure there
+is: SIGKILLed pool workers, torn cache writes, bit-flipped checkpoints,
+sudden memory exhaustion, full queues.  This module is the harness that
+*manufactures* those failures on demand — deterministically, so a chaos
+test that fails replays byte-for-byte from its seed.
+
+Two mechanisms:
+
+**Fault points.**  Crash-critical code paths call
+:func:`fault_point(site, key) <fault_point>` at the places where the real
+world could kill them — immediately before a cache ``os.replace``
+publish, at the top of a pool worker's job loop, inside a supervised
+job's child process.  With no injector installed the call is a single
+``is None`` check (nanoseconds; production pays nothing).  Tests install
+a :class:`ChaosInjector` whose :class:`FaultRule`\\ s decide, per site and
+hit count, whether to inject:
+
+* ``KILL``  — ``SIGKILL`` the calling process mid-operation (a torn
+  write, a dead worker);
+* ``DELAY`` — sleep, simulating a stalled disk or a descheduled worker;
+* ``OOM``   — raise :class:`MemoryError`, as the allocator would;
+* ``ERROR`` — raise :class:`ChaosError`, an arbitrary software fault.
+
+Because every process-spawning layer in this repo uses the *fork* start
+method, an injector installed in the test process is inherited by pool
+workers and isolation children — which is exactly how "kill a worker
+mid-sweep" is injected without any cooperation from the worker code.
+
+**Data faults.**  :func:`corrupt_file` / :func:`truncate_file` flip or
+tear bytes in persisted artifacts (store entries, checkpoints), again
+deterministically from a seed.  They simulate the failure the atomic
+write-temp + ``os.replace`` protocol defends against *plus* the bit rot
+it cannot: tests assert the readers quarantine or refuse loudly, never
+return garbage.
+
+:func:`schedule` builds a rate-based :class:`ChaosInjector` from a seed
+and per-fault probabilities: each (site, key, hit) triple hashes to a
+uniform float, so the "10% of jobs die" schedules of the service
+benchmark are reproducible everywhere, across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+KILL = "kill"
+DELAY = "delay"
+OOM = "oom"
+ERROR = "error"
+
+FAULT_KINDS = (KILL, DELAY, OOM, ERROR)
+
+
+class ChaosError(RuntimeError):
+    """The injected software fault (``ERROR`` rules raise it)."""
+
+
+def _unit_float(*parts: object) -> float:
+    """A uniform float in [0, 1) derived stably from ``parts``.
+
+    Hash-based rather than ``random.Random`` so the draw for a given
+    (seed, site, key, hit) is identical in every process — a forked
+    worker and the parent agree on the schedule without sharing state.
+    """
+    blob = "\x00".join(str(part) for part in parts).encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection decision: *at this site, on these hits, do this*.
+
+    ``site`` matches exactly, or by prefix when it ends with ``*``
+    (``"store.*"`` covers every store fault point).  ``after`` skips the
+    first N matching hits; ``count`` bounds how many times the rule
+    fires (``None`` = forever).  ``probability`` (with the injector's
+    seed) makes firing stochastic-but-deterministic; 1.0 always fires.
+    ``key`` restricts the rule to one fault-point key (one job, one
+    cache entry); empty matches all.
+    """
+
+    site: str
+    kind: str = KILL
+    after: int = 0
+    count: Optional[int] = 1
+    probability: float = 1.0
+    delay_seconds: float = 0.05
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+
+    def matches_site(self, site: str) -> bool:
+        """Whether this rule covers ``site`` (exact or ``prefix*``)."""
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+
+@dataclass
+class ChaosInjector:
+    """An installed set of :class:`FaultRule`\\ s plus hit accounting.
+
+    ``hits`` counts every fault-point crossing by site (whether or not a
+    rule fired) and ``injected`` every fault actually delivered — the
+    audit trail chaos tests assert against.  Injectors are fork-inherited;
+    ``os.getpid()`` is recorded at install time so ``injected`` counters
+    mutated in a child are understood to be invisible to the parent.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    hits: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+    _fired: Dict[int, int] = field(default_factory=dict)
+
+    def at(self, site: str, key: str = "") -> None:
+        """Cross one fault point; deliver whatever the rules say."""
+        hit = self.hits.get(site, 0)
+        self.hits[site] = hit + 1
+        for index, rule in enumerate(self.rules):
+            if not rule.matches_site(site):
+                continue
+            if rule.key and rule.key != key:
+                continue
+            if hit < rule.after:
+                continue
+            fired = self._fired.get(index, 0)
+            if rule.count is not None and fired >= rule.count:
+                continue
+            if rule.probability < 1.0:
+                draw = _unit_float(self.seed, site, key, hit)
+                if draw >= rule.probability:
+                    continue
+            self._fired[index] = fired + 1
+            self.injected[site] = self.injected.get(site, 0) + 1
+            self._deliver(rule, site, key)
+
+    def _deliver(self, rule: FaultRule, site: str, key: str) -> None:
+        if rule.kind == DELAY:
+            time.sleep(rule.delay_seconds)
+            return
+        if rule.kind == OOM:
+            raise MemoryError(f"chaos: injected OOM at {site} ({key})")
+        if rule.kind == ERROR:
+            raise ChaosError(f"chaos: injected fault at {site} ({key})")
+        # KILL: die the way the OOM-killer / a crashing C extension would —
+        # no cleanup, no atexit, no finally blocks.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: The process-global injector; ``None`` means chaos is off (production).
+_ACTIVE: Optional[ChaosInjector] = None
+
+
+def install(injector: ChaosInjector) -> ChaosInjector:
+    """Install ``injector`` as the process-global chaos source."""
+    global _ACTIVE
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Disable chaos injection (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[ChaosInjector]:
+    """The installed injector, if any."""
+    return _ACTIVE
+
+
+class chaos_rules:
+    """Context manager installing rules for the duration of a test body.
+
+    ``with chaos_rules(FaultRule("pool.worker", kind=KILL)): ...``
+    """
+
+    def __init__(self, *rules: FaultRule, seed: int = 0) -> None:
+        self.injector = ChaosInjector(rules=tuple(rules), seed=seed)
+
+    def __enter__(self) -> ChaosInjector:
+        return install(self.injector)
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall()
+
+
+def fault_point(site: str, key: str = "") -> None:
+    """Declare a crash-critical point; a no-op unless chaos is installed.
+
+    Sites in the tree today:
+
+    * ``store.put``        — before a store entry's atomic publish;
+    * ``checkpoint.save``  — before a checkpoint's atomic publish;
+    * ``pool.worker``      — a pool worker about to run a job;
+    * ``supervisor.job``   — a supervised job's child, about to execute;
+    * ``queue.put``        — before enqueueing a service work item.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.at(site, key)
+
+
+def schedule(
+    seed: int,
+    sites: Sequence[str] = ("pool.worker", "supervisor.job"),
+    kill_rate: float = 0.0,
+    delay_rate: float = 0.0,
+    oom_rate: float = 0.0,
+    delay_seconds: float = 0.02,
+    max_faults_per_site: Optional[int] = None,
+) -> ChaosInjector:
+    """A rate-based injector: each hit draws independently per fault kind.
+
+    The benchmark's "10% fault schedule" is
+    ``schedule(seed, kill_rate=0.1)``.  ``max_faults_per_site`` caps
+    total injections per site so a retried job eventually gets through
+    even under an adversarial seed.
+    """
+    rules = []
+    for site in sites:
+        if kill_rate > 0:
+            rules.append(FaultRule(site, KILL, probability=kill_rate,
+                                   count=max_faults_per_site))
+        if delay_rate > 0:
+            rules.append(FaultRule(site, DELAY, probability=delay_rate,
+                                   count=max_faults_per_site,
+                                   delay_seconds=delay_seconds))
+        if oom_rate > 0:
+            rules.append(FaultRule(site, OOM, probability=oom_rate,
+                                   count=max_faults_per_site))
+    return ChaosInjector(rules=tuple(rules), seed=seed)
+
+
+# -- data faults --------------------------------------------------------------
+
+
+def corrupt_file(path: str, seed: int = 0) -> int:
+    """Flip one byte of ``path`` at a seed-determined offset.
+
+    Returns the offset flipped.  Simulates bit rot / a buggy writer; the
+    readers must detect it via their integrity digests.
+    """
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        blob = bytearray(b"\x00")
+        offset = 0
+    else:
+        offset = int(_unit_float(seed, path, len(blob)) * len(blob))
+        blob[offset] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    return offset
+
+
+def truncate_file(path: str, fraction: float = 0.5) -> int:
+    """Tear ``path`` down to ``fraction`` of its size (a torn write).
+
+    Returns the new size.  This is what a mid-write kill would leave
+    behind *without* the write-temp + rename protocol.
+    """
+    size = os.path.getsize(path)
+    keep = max(0, int(size * fraction))
+    with open(path, "rb") as handle:
+        blob = handle.read(keep)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return keep
+
+
+__all__ = [
+    "KILL",
+    "DELAY",
+    "OOM",
+    "ERROR",
+    "FAULT_KINDS",
+    "ChaosError",
+    "FaultRule",
+    "ChaosInjector",
+    "chaos_rules",
+    "install",
+    "uninstall",
+    "active",
+    "fault_point",
+    "schedule",
+    "corrupt_file",
+    "truncate_file",
+]

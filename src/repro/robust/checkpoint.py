@@ -99,11 +99,23 @@ def checkpoint_from_bytes(blob: bytes) -> ExplorationCheckpoint:
 
 
 def save_checkpoint(checkpoint: ExplorationCheckpoint, path: str) -> None:
-    """Atomically write a checkpoint file (write-temp + rename)."""
+    """Atomically write a checkpoint file (write-temp + fsync + rename).
+
+    A writer killed at any instant — including between the write and the
+    rename (the ``checkpoint.save`` chaos fault point) — leaves either
+    the previous checkpoint intact or the new one published, never a torn
+    hybrid; the fsync keeps a post-rename crash from publishing a name
+    that points at unwritten blocks.
+    """
+    from repro.robust import chaos
+
     blob = checkpoint_to_bytes(checkpoint)
     tmp = f"{path}.tmp.{os.getpid()}"
     with io.open(tmp, "wb") as handle:
         handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    chaos.fault_point("checkpoint.save", path)
     os.replace(tmp, path)
 
 

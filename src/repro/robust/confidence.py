@@ -70,6 +70,11 @@ EXIT_FAILED = 1
 EXIT_USAGE = 2
 EXIT_BOUNDED = 3
 EXIT_SAMPLED = 4
+#: Corrupt persisted state (a checkpoint that failed its integrity
+#: digest) shares code 4 with ``SAMPLED``: both mean "the evidence on
+#: hand cannot support the verdict you asked for" — the weakest-evidence
+#: family — and are distinguished by the message on stderr.
+EXIT_CORRUPT = 4
 
 EXIT_BY_CONFIDENCE = {
     Confidence.PROVED: EXIT_PROVED,

@@ -35,6 +35,7 @@ from repro.lang.syntax import Program
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
 from repro.robust.budget import Budget
 from repro.robust.confidence import Confidence
+from repro.robust.retry import RetryPolicy
 from repro.semantics.thread import SemanticsConfig
 
 STATUS_OK = "ok"
@@ -286,6 +287,46 @@ def _run_once(
     )
 
 
+def run_isolated_retrying(
+    key,
+    fn: Callable,
+    args: Tuple = (),
+    kwargs: Optional[Dict] = None,
+    policy: IsolationPolicy = IsolationPolicy(),
+    retry: RetryPolicy = RetryPolicy.once(),
+    shrink: Optional[Callable[[Tuple, Optional[Dict]], Tuple[Tuple, Optional[Dict]]]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ProgramOutcome:
+    """Run ``fn`` in a governed child, retrying per a :class:`RetryPolicy`.
+
+    The general form of the historical retry-once rule: up to
+    ``retry.max_attempts`` governed executions, exponential backoff with
+    deterministic jitter between them (``sleep`` is injectable so tests
+    and the chaos harness don't wait out real backoff), the isolation
+    limits shrinking once after the first failure, and the ``shrink``
+    hook rewriting ``(args, kwargs)`` for every retry (the corpus drivers
+    use it to attach a cooperative budget so a retried hang degrades to a
+    ``BOUNDED`` verdict instead of timing out again).
+    """
+    attempt_policy = policy
+    attempt_args, attempt_kwargs = args, kwargs
+    outcome = _run_once(key, fn, attempt_args, attempt_kwargs, attempt_policy,
+                        retried=False)
+    for attempt in range(retry.max_attempts - 1):
+        if outcome.ok:
+            return outcome
+        delay = retry.delay(attempt, key=str(key))
+        if delay > 0:
+            sleep(delay)
+        if shrink is not None:
+            attempt_args, attempt_kwargs = shrink(attempt_args, attempt_kwargs)
+        if attempt == 0:
+            attempt_policy = attempt_policy.shrink()
+        outcome = _run_once(key, fn, attempt_args, attempt_kwargs, attempt_policy,
+                            retried=True)
+    return outcome
+
+
 def run_isolated(
     key,
     fn: Callable,
@@ -298,17 +339,14 @@ def run_isolated(
 
     On any non-``ok`` outcome, when ``policy.retry`` is set the task runs
     exactly once more under :meth:`IsolationPolicy.shrink`; a ``shrink``
-    hook may rewrite ``(args, kwargs)`` for the retry (the corpus drivers
-    use it to attach a cooperative budget so the retry degrades instead
-    of hanging again).
+    hook may rewrite ``(args, kwargs)`` for the retry.  This is
+    :func:`run_isolated_retrying` specialized to the retry-once policy
+    the corpus drivers have always used.
     """
-    outcome = _run_once(key, fn, args, kwargs, policy, retried=False)
-    if outcome.ok or not policy.retry:
-        return outcome
-    retry_args, retry_kwargs = args, kwargs
-    if shrink is not None:
-        retry_args, retry_kwargs = shrink(args, kwargs)
-    return _run_once(key, fn, retry_args, retry_kwargs, policy.shrink(), retried=True)
+    retry = RetryPolicy.once() if policy.retry else RetryPolicy.none()
+    return run_isolated_retrying(
+        key, fn, args, kwargs, policy=policy, retry=retry, shrink=shrink
+    )
 
 
 def run_batch_isolated(
@@ -498,6 +536,7 @@ __all__ = [
     "ProgramOutcome",
     "IsolatedResult",
     "run_isolated",
+    "run_isolated_retrying",
     "run_batch_isolated",
     "isolated_validate_corpus",
     "isolated_fuzz_optimizer",

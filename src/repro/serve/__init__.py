@@ -1,0 +1,53 @@
+"""The fault-tolerant verification service (``repro serve``).
+
+Verification-as-a-service over the reproduction's checkers, built so
+that *no infrastructure failure can change a verdict* — a crashed
+worker, a torn cache entry, or a flooded queue degrades availability or
+confidence, never soundness:
+
+* :mod:`repro.serve.store` — concurrency-safe content-addressed store:
+  atomic publishes, corrupt-entry quarantine (recompute, don't crash),
+  locked LRU eviction, warm-start preloading;
+* :mod:`repro.serve.queue` — bounded sharded work queue whose
+  :class:`~repro.serve.queue.QueueFull` backpressure becomes the
+  daemon's ``429 Retry-After``;
+* :mod:`repro.serve.supervisor` — per-job fork isolation with retry +
+  exponential backoff (:class:`~repro.robust.retry.RetryPolicy`),
+  automatic degradation ``exhaustive → bounded → sampled`` with
+  parent-side confidence capping, and poison-job quarantine;
+* :mod:`repro.serve.daemon` — the stdlib asyncio HTTP/JSON front end
+  (``/v1/litmus``, ``/v1/validate``, ``/v1/races``, ``/healthz``,
+  ``/metrics``) with admission control and graceful SIGTERM drain.
+
+Faults are injected (never simulated by mocks) through the global
+hooks in :mod:`repro.robust.chaos`; ``docs/service.md`` is the
+operator's guide.
+"""
+
+from repro.serve.daemon import DaemonConfig, VerificationDaemon, serve_forever
+from repro.serve.queue import QueueClosed, QueueFull, ShardedQueue
+from repro.serve.store import ContentStore, content_key, payload_digest
+from repro.serve.supervisor import (
+    JOB_KINDS,
+    JobResult,
+    JobSpec,
+    Supervisor,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "ContentStore",
+    "content_key",
+    "payload_digest",
+    "ShardedQueue",
+    "QueueFull",
+    "QueueClosed",
+    "JOB_KINDS",
+    "JobSpec",
+    "JobResult",
+    "Supervisor",
+    "SupervisorConfig",
+    "DaemonConfig",
+    "VerificationDaemon",
+    "serve_forever",
+]

@@ -1,0 +1,177 @@
+"""Bounded sharded work queue with backpressure for the daemon.
+
+The service accepts batches faster than exhaustive exploration can
+drain them, so the queue between the HTTP front end and the supervisor
+is the admission-control point:
+
+* **Bounded** — a total ``capacity`` across all shards.  A full queue
+  rejects the enqueue with :class:`QueueFull` carrying a
+  ``retry_after_seconds`` hint (the daemon turns it into
+  ``429 Retry-After``) instead of growing without bound and OOMing the
+  daemon under load.
+* **Sharded** — items land in ``shards`` FIFO lanes by a deterministic
+  CRC of their key (a job's content address), and :meth:`get` serves the
+  lanes round-robin.  One hot program family cannot starve every other
+  request behind its own backlog, and same-key jobs stay FIFO within
+  their lane.
+* **Drainable** — :meth:`close` stops new work but lets consumers keep
+  popping until the shards are empty; a ``get`` on a closed, empty queue
+  returns ``None`` (the dispatcher's exit signal).  This is what makes
+  the daemon's SIGTERM drain lossless: everything admitted before the
+  signal still gets its verdict.
+
+The ``queue.put`` chaos fault point lets the fault-injection harness
+force :class:`QueueFull` deterministically, so the 429 path is testable
+without actually flooding a daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.robust import chaos
+
+
+class QueueFull(RuntimeError):
+    """The queue refused an enqueue; retry after ``retry_after_seconds``."""
+
+    def __init__(self, capacity: int, depth: int, retry_after_seconds: float):
+        super().__init__(
+            f"queue full ({depth}/{capacity}); retry after "
+            f"{retry_after_seconds:.1f}s"
+        )
+        self.capacity = capacity
+        self.depth = depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+class QueueClosed(RuntimeError):
+    """Enqueue after :meth:`ShardedQueue.close` (the daemon is draining)."""
+
+
+class ShardedQueue:
+    """A thread-safe bounded multi-lane FIFO.
+
+    ``drain_seconds_per_item`` sizes the ``Retry-After`` hint: with a
+    full queue of ``N`` items the caller is told to come back after
+    roughly the time the supervisor needs to drain half of it (clamped
+    to ``[1, 60]`` seconds — precise ETAs are not the point, shedding
+    load smoothly is).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        shards: int = 4,
+        drain_seconds_per_item: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.capacity = capacity
+        self.drain_seconds_per_item = drain_seconds_per_item
+        self._shards: List[deque] = [deque() for _ in range(shards)]
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._cursor = 0
+        self._closed = False
+        self.enqueued = 0
+        self.dequeued = 0
+        self.rejected = 0
+
+    # -- producers ------------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """Deterministic lane for ``key`` (stable across processes)."""
+        return zlib.crc32(key.encode()) % len(self._shards)
+
+    def retry_after(self, depth: Optional[int] = None) -> float:
+        """The backoff hint handed to rejected producers, in seconds."""
+        depth = self.depth if depth is None else depth
+        return max(1.0, min(60.0, 0.5 * depth * self.drain_seconds_per_item))
+
+    def put(self, item: Any, key: str = "") -> int:
+        """Enqueue ``item`` into its key's lane; the lane index is returned.
+
+        Raises :class:`QueueFull` when at capacity and :class:`QueueClosed`
+        after :meth:`close`.  Never blocks — backpressure is the caller's
+        problem by design (the daemon translates it to a 429).
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("queue is closed (daemon draining)")
+            depth = sum(len(lane) for lane in self._shards)
+            try:
+                chaos.fault_point("queue.put", key)
+            except chaos.ChaosError:
+                # Injected queue-full: exercise the 429 path deterministically.
+                self.rejected += 1
+                raise QueueFull(self.capacity, depth, self.retry_after(depth))
+            if depth >= self.capacity:
+                self.rejected += 1
+                raise QueueFull(self.capacity, depth, self.retry_after(depth))
+            shard = self.shard_of(key)
+            self._shards[shard].append(item)
+            self.enqueued += 1
+            self._not_empty.notify()
+            return shard
+
+    # -- consumers ------------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the next item, serving lanes round-robin.
+
+        Blocks until an item arrives, the queue is closed *and* empty
+        (returns ``None`` — the consumer should exit), or ``timeout``
+        elapses (also ``None``; check :attr:`closed` to tell the cases
+        apart).
+        """
+        with self._not_empty:
+            while True:
+                for offset in range(len(self._shards)):
+                    lane = self._shards[(self._cursor + offset) % len(self._shards)]
+                    if lane:
+                        self._cursor = (self._cursor + offset + 1) % len(self._shards)
+                        self.dequeued += 1
+                        return lane.popleft()
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new work; wake every waiting consumer for the drain."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return sum(len(lane) for lane in self._shards)
+
+    def stats(self) -> Dict[str, int]:
+        """Depth, capacity, shard count, and lifetime traffic counters."""
+        with self._lock:
+            return {
+                "depth": sum(len(lane) for lane in self._shards),
+                "capacity": self.capacity,
+                "shards": len(self._shards),
+                "enqueued": self.enqueued,
+                "dequeued": self.dequeued,
+                "rejected": self.rejected,
+            }
+
+
+__all__ = ["ShardedQueue", "QueueFull", "QueueClosed"]

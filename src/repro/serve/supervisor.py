@@ -1,0 +1,559 @@
+"""Supervised job execution: retries, degradation, poison quarantine.
+
+The supervisor is the layer between the daemon's work queue and the
+fork-isolated workers of :mod:`repro.robust.isolation`.  Every job runs
+in its own governed child process; the supervisor's contract is that a
+job *always* comes back as a :class:`JobResult` — possibly unanswered,
+never an exception, never a hang — and that a degraded answer can never
+overclaim its confidence:
+
+* **Health-checked execution** — each attempt runs under a hard
+  wall-clock timeout (and optional memory ceiling); a worker that
+  crashes, hangs, or OOMs is classified, not propagated.
+* **Retry with backoff** — failed attempts are retried per a
+  :class:`~repro.robust.retry.RetryPolicy` (exponential backoff with
+  deterministic jitter), each retry one rung further down the
+  degradation ladder.
+* **Degradation ladder** — attempt 1 is exhaustive (may earn
+  ``PROVED``); attempt 2 reruns under a state cap (capped at
+  ``BOUNDED``); attempt 3 falls back to randomized sampling or, for
+  race checks, the sound-but-incomplete static analysis (capped at
+  ``SAMPLED``).  The cap is enforced *here*, on the parent side, so no
+  child bug can smuggle a ``PROVED`` out of a degraded rung.
+* **Poison quarantine** — a job whose workers die ``quarantine_after``
+  times (crash/OOM, not mere timeouts) is quarantined by content key:
+  further submissions of the same program are refused immediately
+  instead of burning a worker each time.
+
+The ``supervisor.job`` chaos fault point fires inside the child at the
+start of every attempt, so the fault-injection suite can kill, delay, or
+OOM workers deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.robust.budget import Budget
+from repro.robust.confidence import Confidence
+from repro.robust.degrade import (
+    RUNG_BOUNDED,
+    RUNG_CONFIDENCE,
+    RUNG_EXHAUSTIVE,
+    RUNG_SAMPLED,
+)
+from repro.robust.isolation import (
+    STATUS_CRASHED,
+    STATUS_OK,
+    STATUS_OOM,
+    IsolationPolicy,
+    run_isolated,
+)
+from repro.robust.retry import RetryPolicy
+from repro.serve.store import ContentStore, content_key
+
+JOB_KINDS = ("litmus", "validate", "races")
+
+#: The ladder walked across attempts: one rung per retry.
+LADDER = (RUNG_EXHAUSTIVE, RUNG_BOUNDED, RUNG_SAMPLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of verification work submitted to the service."""
+
+    kind: str
+    source: str
+    name: str = ""
+    options: Mapping[str, Any] = field(default_factory=dict)
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; one of {JOB_KINDS}")
+
+    def content_key(self) -> str:
+        """The job's content address (cache key and quarantine identity)."""
+        return content_key(
+            self.kind,
+            self.source,
+            json.dumps(dict(self.options), sort_keys=True),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What the service says about one job.
+
+    ``ok`` is three-valued: ``True``/``False`` is the verdict,
+    ``None`` means the service could not answer (every rung failed, or
+    the job is quarantined) — an *unanswered* job is a harness failure,
+    never a fabricated verdict.  ``confidence`` is the honest evidence
+    strength (capped by the rung that produced the answer), ``attempts``
+    is the audit trail of ``(rung, status)`` pairs.
+    """
+
+    name: str
+    kind: str
+    ok: Optional[bool]
+    confidence: Optional[str] = None
+    detail: str = ""
+    rung: Optional[str] = None
+    attempts: Tuple[Tuple[str, str], ...] = ()
+    cached: bool = False
+    error: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def answered(self) -> bool:
+        return self.ok is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-shaped form (what the daemon serializes)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "confidence": self.confidence,
+            "detail": self.detail,
+            "rung": self.rung,
+            "attempts": [list(a) for a in self.attempts],
+            "cached": self.cached,
+            "error": self.error,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+        }
+
+    def __str__(self) -> str:
+        if not self.answered:
+            return f"[{self.name or self.kind}] UNANSWERED: {self.error}"
+        verdict = "ok" if self.ok else "FAILED"
+        src = "cache" if self.cached else self.rung
+        return f"[{self.name or self.kind}] {verdict} ({self.confidence}, {src})"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Limits and policies for supervised execution.
+
+    ``job_deadline_seconds`` is the hard per-attempt wall clock (each
+    rung down the ladder halves it); ``retry`` also bounds how many
+    rungs are walked (``max_attempts`` of 1 disables degradation
+    entirely).  ``quarantine_after`` counts worker *deaths* (crash or
+    OOM) per content key before the program is declared poison.
+    """
+
+    job_deadline_seconds: float = 30.0
+    memory_mb: Optional[float] = None
+    retry: RetryPolicy = RetryPolicy(max_attempts=3, base_delay_seconds=0.05)
+    quarantine_after: int = 3
+    bounded_max_states: int = 5_000
+    sample_runs: int = 32
+    sample_max_steps: int = 500
+
+
+class Supervisor:
+    """Runs :class:`JobSpec`\\ s through governed workers, never raising.
+
+    Thread-safe: the daemon's dispatcher threads call :meth:`run_job`
+    concurrently.  ``store`` (a :class:`~repro.serve.store.ContentStore`)
+    is consulted before any worker is spawned and updated only with
+    exhaustively-earned verdicts, so a warm store never replays a
+    degraded answer as anything stronger than it was.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ContentStore] = None,
+        config: SupervisorConfig = SupervisorConfig(),
+        sleep=time.sleep,
+    ) -> None:
+        self.store = store
+        self.config = config
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._crashes: Dict[str, int] = {}
+        self._poisoned: Dict[str, str] = {}
+        self.counters: Dict[str, int] = {
+            "jobs": 0,
+            "answered": 0,
+            "unanswered": 0,
+            "cached": 0,
+            "degraded": 0,
+            "retries": 0,
+            "worker_crashes": 0,
+            "quarantined_jobs": 0,
+        }
+
+    # -- quarantine bookkeeping ----------------------------------------------
+
+    def is_quarantined(self, key: str) -> bool:
+        """Whether ``key`` has been declared poison (refused on sight)."""
+        with self._lock:
+            return key in self._poisoned
+
+    def _record_crash(self, key: str, detail: str) -> bool:
+        """Count a worker death; returns True when the key turns poison."""
+        with self._lock:
+            self.counters["worker_crashes"] += 1
+            count = self._crashes.get(key, 0) + 1
+            self._crashes[key] = count
+            if count >= self.config.quarantine_after and key not in self._poisoned:
+                self._poisoned[key] = detail
+                return True
+            return key in self._poisoned
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self.counters[counter] += by
+
+    # -- execution ------------------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> JobResult:
+        """Execute one job to a :class:`JobResult`; never raises."""
+        started = time.monotonic()
+        self._bump("jobs")
+        key = spec.content_key()
+
+        with self._lock:
+            poison = self._poisoned.get(key)
+        if poison is not None:
+            self._bump("unanswered")
+            self._bump("quarantined_jobs")
+            return JobResult(
+                spec.name, spec.kind, ok=None,
+                error=f"quarantined poison job ({poison})",
+                elapsed_seconds=time.monotonic() - started,
+            )
+
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                self._bump("answered")
+                self._bump("cached")
+                return JobResult(
+                    spec.name, spec.kind,
+                    ok=cached["ok"],
+                    confidence=cached["confidence"],
+                    detail=cached.get("detail", ""),
+                    rung=cached.get("rung", RUNG_EXHAUSTIVE),
+                    cached=True,
+                    elapsed_seconds=time.monotonic() - started,
+                )
+
+        deadline = spec.deadline_seconds or self.config.job_deadline_seconds
+        attempts: List[Tuple[str, str]] = []
+        rungs = LADDER[: max(1, self.config.retry.max_attempts)]
+        for index, rung in enumerate(rungs):
+            if index:
+                self._bump("retries")
+                delay = self.config.retry.delay(index - 1, key=key)
+                if delay > 0:
+                    self._sleep(delay)
+            attempt_deadline = max(0.2, deadline * (0.5 ** index))
+            outcome = run_isolated(
+                key,
+                _execute_job,
+                (
+                    spec.kind, spec.source, dict(spec.options), rung,
+                    self.config.bounded_max_states, self.config.sample_runs,
+                    self.config.sample_max_steps, attempt_deadline,
+                    spec.name,
+                ),
+                policy=IsolationPolicy(
+                    timeout_seconds=attempt_deadline,
+                    memory_mb=self.config.memory_mb,
+                    retry=False,
+                ),
+            )
+            attempts.append((rung, outcome.status))
+            if outcome.status == STATUS_OK:
+                return self._answered(
+                    spec, key, rung, outcome.result, tuple(attempts), started
+                )
+            if outcome.status in (STATUS_CRASHED, STATUS_OOM):
+                if self._record_crash(key, outcome.detail or outcome.status):
+                    self._bump("unanswered")
+                    self._bump("quarantined_jobs")
+                    return JobResult(
+                        spec.name, spec.kind, ok=None,
+                        attempts=tuple(attempts),
+                        error=f"quarantined after repeated worker deaths "
+                              f"({outcome.detail or outcome.status})",
+                        elapsed_seconds=time.monotonic() - started,
+                    )
+
+        self._bump("unanswered")
+        trail = ", ".join(f"{rung}:{status}" for rung, status in attempts)
+        return JobResult(
+            spec.name, spec.kind, ok=None,
+            attempts=tuple(attempts),
+            error=f"every rung failed ({trail})",
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    def _answered(
+        self,
+        spec: JobSpec,
+        key: str,
+        rung: str,
+        verdict: Dict[str, Any],
+        attempts: Tuple[Tuple[str, str], ...],
+        started: float,
+    ) -> JobResult:
+        """Fold a child verdict into a result, capping its confidence.
+
+        The cap is the soundness gate of the whole service: whatever the
+        child claims, an answer from a degraded rung (or a non-exhaustive
+        exploration) can never read ``PROVED``.
+        """
+        claimed = Confidence(verdict["confidence"])
+        if not verdict.get("exhaustive", False):
+            claimed = Confidence.weakest((claimed, Confidence.BOUNDED))
+        capped = Confidence.weakest((claimed, RUNG_CONFIDENCE[rung]))
+        self._bump("answered")
+        if rung != RUNG_EXHAUSTIVE:
+            self._bump("degraded")
+        if (
+            self.store is not None
+            and rung == RUNG_EXHAUSTIVE
+            and verdict.get("exhaustive", False)
+        ):
+            self.store.put(key, {
+                "ok": verdict["ok"],
+                "confidence": str(capped),
+                "detail": verdict.get("detail", ""),
+                "rung": rung,
+            })
+        return JobResult(
+            spec.name, spec.kind,
+            ok=verdict["ok"],
+            confidence=str(capped),
+            detail=verdict.get("detail", ""),
+            rung=rung,
+            attempts=attempts,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    def run_batch(self, specs) -> List[JobResult]:
+        """Run jobs serially in submission order (the daemon parallelizes
+        by calling :meth:`run_job` from several dispatcher threads)."""
+        return [self.run_job(spec) for spec in specs]
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the job counters plus the poisoned-key count."""
+        with self._lock:
+            stats = dict(self.counters)
+            stats["poisoned_keys"] = len(self._poisoned)
+            return stats
+
+
+# -- child-side executors -----------------------------------------------------
+#
+# These run in the forked worker.  They return plain JSON-shaped dicts
+# (``ok`` / ``confidence`` / ``exhaustive`` / ``detail``) — the parent
+# supervises, classifies, and caps; the child only computes.
+
+
+def _execute_job(
+    kind: str,
+    source: str,
+    options: Dict[str, Any],
+    rung: str,
+    bounded_max_states: int,
+    sample_runs: int,
+    sample_max_steps: int,
+    deadline_seconds: float,
+    name: str = "",
+) -> Dict[str, Any]:
+    from repro.robust import chaos
+
+    # Keyed by "<job>:<rung>" — each attempt runs in a fresh forked
+    # child, so per-process fault counters reset; a rung-qualified key is
+    # what lets chaos rules target (say) only the exhaustive attempt
+    # deterministically across those processes.
+    chaos.fault_point("supervisor.job", f"{name or kind}:{rung}")
+    # A cooperative budget well inside the hard kill timeout, so rungs
+    # that trip it return a truncated-but-classifiable verdict instead
+    # of being SIGTERMed from outside.
+    budget = Budget(deadline_seconds=max(0.05, deadline_seconds * 0.8))
+    if kind == "litmus":
+        return _execute_litmus(
+            source, options, rung, budget,
+            bounded_max_states, sample_runs, sample_max_steps,
+        )
+    if kind == "validate":
+        return _execute_validate(
+            source, options, rung, budget,
+            bounded_max_states, sample_runs, sample_max_steps,
+        )
+    return _execute_races(source, options, rung, budget, bounded_max_states)
+
+
+def _spec_clauses(spec, observed) -> List[str]:
+    """Evaluate a litmus spec's clauses over an outcome set."""
+    failures: List[str] = []
+    for outcome in spec.exists:
+        if outcome not in observed:
+            failures.append(f"expected outcome {outcome} not observed")
+    for outcome in spec.forbidden:
+        if outcome in observed:
+            failures.append(f"forbidden outcome {outcome} observed")
+    if spec.only is not None and observed != frozenset(spec.only):
+        failures.append(
+            f"outcome set {sorted(observed)} differs from declared {sorted(spec.only)}"
+        )
+    return failures
+
+
+def _execute_litmus(
+    source, options, rung, budget, bounded_max_states, sample_runs, sample_max_steps
+) -> Dict[str, Any]:
+    from repro.litmus.spec import parse_spec
+    from repro.robust.degrade import sampled_behaviors
+    from repro.semantics.exploration import behaviors
+
+    spec = parse_spec(source, structured=bool(options.get("csimp")))
+    config = spec.config()
+    if rung == RUNG_SAMPLED:
+        bset = sampled_behaviors(
+            spec.program, config, runs=sample_runs, max_steps=sample_max_steps,
+            deadline_seconds=budget.deadline_seconds,
+        )
+    else:
+        config = replace(config, budget=budget)
+        if rung == RUNG_BOUNDED:
+            config = replace(
+                config, max_states=min(config.max_states, bounded_max_states)
+            )
+        bset = behaviors(spec.program, config)
+    observed = frozenset(bset.outputs())
+    failures = _spec_clauses(spec, observed)
+    detail = (
+        f"spec {'OK' if not failures else 'FAILED'} "
+        f"({len(observed)} outcomes, {rung})"
+    )
+    if failures:
+        detail += ": " + "; ".join(failures)
+    return {
+        "ok": not failures,
+        "exhaustive": bset.exhaustive,
+        "confidence": str(
+            Confidence.PROVED if bset.exhaustive else RUNG_CONFIDENCE[rung]
+        ),
+        "detail": detail,
+        "observed": [list(o) for o in sorted(observed)],
+    }
+
+
+def _execute_validate(
+    source, options, rung, budget, bounded_max_states, sample_runs, sample_max_steps
+) -> Dict[str, Any]:
+    from repro.cli import _load_source, _optimizer
+    from repro.robust.degrade import sampled_behaviors
+    from repro.semantics.thread import SemanticsConfig
+    from repro.sim.validate import validate_optimizer
+
+    program = _load_source(source, structured=bool(options.get("csimp")))
+    optimizer = _optimizer(options.get("opt", "pipeline"))
+    config = SemanticsConfig(budget=budget)
+    if rung == RUNG_SAMPLED:
+        target = optimizer.run(program)
+        src = sampled_behaviors(
+            program, None, runs=sample_runs, max_steps=sample_max_steps,
+            deadline_seconds=budget.deadline_seconds,
+        )
+        tgt = sampled_behaviors(
+            target, None, runs=sample_runs, max_steps=sample_max_steps,
+            deadline_seconds=budget.deadline_seconds,
+        )
+        extra = tgt.traces - src.traces
+        return {
+            "ok": not extra,
+            "exhaustive": False,
+            "confidence": str(Confidence.SAMPLED),
+            "detail": (
+                f"sampled refinement ({len(tgt.traces)} target traces vs "
+                f"{len(src.traces)} source): "
+                + ("no new behaviors observed" if not extra
+                   else f"{len(extra)} unmatched target traces")
+            ),
+        }
+    if rung == RUNG_BOUNDED:
+        config = replace(
+            config, max_states=min(config.max_states, bounded_max_states)
+        )
+    report = validate_optimizer(
+        optimizer, program, config,
+        check_target_wwrf=not options.get("no_wwrf", False),
+    )
+    return {
+        "ok": report.ok,
+        "exhaustive": report.exhaustive,
+        "confidence": str(report.confidence),
+        "detail": str(report),
+    }
+
+
+def _execute_races(source, options, rung, budget, bounded_max_states) -> Dict[str, Any]:
+    from repro.cli import _load_source
+    from repro.semantics.thread import SemanticsConfig
+
+    program = _load_source(source, structured=bool(options.get("csimp")))
+    nonpreemptive = bool(options.get("np"))
+    if rung == RUNG_SAMPLED:
+        # Last rung: the static thread-modular analysis — sound and
+        # cheap, but incomplete.  An inconclusive verdict is *not* an
+        # answer; raising turns it into an unanswered job rather than a
+        # guess.
+        from repro.static import analyze_ww_races
+
+        report = analyze_ww_races(program)
+        if not report.race_free and report.witnesses:
+            witnesses = "; ".join(str(w) for w in report.witnesses)
+            return {
+                "ok": False,
+                "exhaustive": False,
+                "confidence": str(Confidence.SAMPLED),
+                "detail": f"static ww-analysis: {witnesses}",
+            }
+        if not report.race_free:
+            raise RuntimeError("static race analysis inconclusive")
+        return {
+            "ok": True,
+            "exhaustive": False,
+            "confidence": str(Confidence.SAMPLED),
+            "detail": f"static ww-analysis: race-free "
+                      f"({report.checked_pairs} pairs checked)",
+        }
+    from repro.races.rwrace import rw_races
+    from repro.races.wwrf import ww_nprf, ww_rf
+
+    config = SemanticsConfig(budget=budget)
+    if rung == RUNG_BOUNDED:
+        config = replace(
+            config, max_states=min(config.max_states, bounded_max_states)
+        )
+    check = ww_nprf if nonpreemptive else ww_rf
+    report = check(program, config)
+    rw = rw_races(program, config)
+    detail = f"ww-RF: {report}; rw-races: {len(rw) or 'none'}"
+    return {
+        "ok": report.race_free,
+        "exhaustive": report.exhaustive,
+        "confidence": str(report.confidence),
+        "detail": detail,
+    }
+
+
+__all__ = [
+    "JOB_KINDS",
+    "LADDER",
+    "JobSpec",
+    "JobResult",
+    "SupervisorConfig",
+    "Supervisor",
+]

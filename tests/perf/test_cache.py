@@ -1,22 +1,24 @@
 """The persistent result cache: round-trips, invalidation, integrity.
 
-The warm-cache round-trip (ISSUE satellite): run a sweep with ``--cache``,
-mutate exactly one program, re-run, and exactly that program re-explores.
-Corrupt entries fail loudly (:class:`CacheError`), mirroring
-``robust/checkpoint.py``'s integrity policy; entries written under a
-different :data:`SEMANTICS_VERSION` are silent misses.
+The warm-cache round-trip (PR 3's ISSUE satellite): run a sweep with
+``--cache``, mutate exactly one program, re-run, and exactly that program
+re-explores.  Corrupt entries are quarantined and recomputed (the
+fault-tolerant-service ISSUE satellite) — the verdict is never served,
+the evidence moves to ``root/quarantine/``, and the sweep survives;
+entries written under a different :data:`SEMANTICS_VERSION` are silent
+misses.  A writer SIGKILLed mid-publish must leave the previous entry
+readable (write-temp + ``os.replace`` atomicity).
 """
 
 import glob
 import json
+import multiprocessing
 import os
-
-import pytest
+import signal
 
 from repro.litmus.spec import run_spec_file
 from repro.perf import cache as cache_mod
 from repro.perf.cache import (
-    CacheError,
     ResultCache,
     behavior_digest,
     cache_key,
@@ -97,28 +99,98 @@ class TestStoreAndLookup:
         fresh = ResultCache(str(tmp_path))
         assert fresh.lookup("prog", config, "k") is None
 
-    def test_corrupt_json_fails_loudly(self, tmp_path):
+    def test_corrupt_json_is_quarantined_and_recomputed(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         config = SemanticsConfig()
         cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
-        (entry,) = glob.glob(os.path.join(str(tmp_path), "*", "*.json"))
+        (entry,) = glob.glob(os.path.join(str(tmp_path), "??", "*.json"))
         with open(entry, "w") as handle:
             handle.write("{not json")
-        with pytest.raises(CacheError):
-            cache.lookup("prog", config, "k")
+        # The corrupt verdict is never served: the lookup misses (the
+        # caller recomputes), the evidence moves to quarantine/, and the
+        # event is counted — one flipped bit no longer kills a sweep.
+        assert cache.lookup("prog", config, "k") is None
+        assert cache.quarantined == 1
+        assert not os.path.exists(entry)
+        assert os.path.exists(
+            os.path.join(str(tmp_path), "quarantine", os.path.basename(entry))
+        )
+        # Recompute-and-store heals the entry.
+        cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        assert cache.lookup("prog", config, "k") == {"ok": True}
 
-    def test_tampered_payload_fails_loudly(self, tmp_path):
+    def test_tampered_payload_is_quarantined(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         config = SemanticsConfig()
         cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
-        (entry,) = glob.glob(os.path.join(str(tmp_path), "*", "*.json"))
+        (entry,) = glob.glob(os.path.join(str(tmp_path), "??", "*.json"))
         with open(entry) as handle:
             blob = json.load(handle)
         blob["payload"]["ok"] = False  # flip the verdict, keep the digest
         with open(entry, "w") as handle:
             json.dump(blob, handle)
-        with pytest.raises(CacheError):
-            cache.lookup("prog", config, "k")
+        assert cache.lookup("prog", config, "k") is None
+        assert cache.quarantined == 1
+        assert not os.path.exists(entry)
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        from repro.robust.chaos import truncate_file
+
+        cache = ResultCache(str(tmp_path))
+        config = SemanticsConfig()
+        cache.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        (entry,) = glob.glob(os.path.join(str(tmp_path), "??", "*.json"))
+        truncate_file(entry, fraction=0.5)
+        assert cache.lookup("prog", config, "k") is None
+        assert cache.quarantined == 1
+
+
+def _store_then_die(root: str, payload_value: int) -> None:
+    """Child task: publish an entry but get SIGKILLed at the replace point
+    (the ``store.put`` chaos fault point) — a mid-write crash."""
+    from repro.robust.chaos import FaultRule, chaos_rules
+
+    cache = ResultCache(root)
+    with chaos_rules(FaultRule("store.put", kind="kill")):
+        cache.store("prog", SemanticsConfig(), "k", {"v": payload_value},
+                    exhaustive=True)
+
+
+class TestAtomicPublish:
+    """ISSUE satellite: a SIGKILL mid-write can never publish a torn entry."""
+
+    def test_sigkill_mid_write_leaves_old_entry_readable(self, tmp_path):
+        root = str(tmp_path)
+        config = SemanticsConfig()
+        cache = ResultCache(root)
+        cache.store("prog", config, "k", {"v": 1}, exhaustive=True)
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_store_then_die, args=(root, 2))
+        child.start()
+        child.join()
+        assert child.exitcode == -signal.SIGKILL
+
+        # The kill landed after the temp write, before the publish: the
+        # old entry must still be served, intact, with nothing quarantined.
+        fresh = ResultCache(root)
+        assert fresh.lookup("prog", config, "k") == {"v": 1}
+        assert fresh.quarantined == 0
+
+    def test_killed_writers_stale_temp_is_swept(self, tmp_path):
+        root = str(tmp_path)
+        config = SemanticsConfig()
+        ResultCache(root).store("prog", config, "k", {"v": 1}, exhaustive=True)
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_store_then_die, args=(root, 2))
+        child.start()
+        child.join()
+        assert glob.glob(os.path.join(root, "??", "*.tmp.*"))
+        # Any eviction pass sweeps the orphaned temp file.
+        store = ResultCache(root).store_backend
+        store.max_entries = 100
+        store.evict()
+        assert not glob.glob(os.path.join(root, "??", "*.tmp.*"))
 
 
 class TestWarmRoundTrip:

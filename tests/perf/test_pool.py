@@ -121,6 +121,51 @@ class TestSweepBudget:
         assert len(late) >= 1
 
 
+class TestWorkerDeath:
+    """ISSUE satellite: a SIGKILLed worker must cost exactly one job —
+    surfaced as ``stop_reason="worker_crashed"`` — never hang the sweep."""
+
+    def test_killed_worker_surfaces_crash_and_sweep_completes(self):
+        from repro.robust.chaos import FaultRule, chaos_rules
+
+        jobs = [SweepJob(f"j{i}", _square, (i,)) for i in range(6)]
+        # The fork pool inherits the injector: exactly one worker dies
+        # (SIGKILL, no cleanup) at the moment it picks up job "j2".
+        with chaos_rules(FaultRule("pool.worker", kind="kill", key="j2")):
+            result = run_sweep(jobs, jobs_n=2)
+        assert len(result.outcomes) == 6
+        assert result.worker_crashes == 1
+        (crashed,) = result.failures
+        assert crashed.name == "j2"
+        assert crashed.stop_reason == "worker_crashed"
+        assert "died mid-job" in crashed.error
+        survivors = {o.name: o.value for o in result.outcomes if o.ok}
+        assert survivors == {f"j{i}": i * i for i in range(6) if i != 2}
+
+    def test_every_worker_murdered_still_terminates(self):
+        from repro.robust.chaos import FaultRule, chaos_rules
+
+        jobs = [SweepJob(f"j{i}", _square, (i,)) for i in range(4)]
+        # Every job is poison: each dispatch kills its worker.  The sweep
+        # must respawn (bounded), attribute every job, and terminate.
+        with chaos_rules(FaultRule("pool.worker", kind="kill", count=None)):
+            result = run_sweep(jobs, jobs_n=2)
+        assert len(result.outcomes) == 4
+        assert all(o.stop_reason == "worker_crashed" for o in result.outcomes)
+        assert result.worker_crashes >= 1
+
+    def test_no_zombies_left_behind(self):
+        import multiprocessing
+
+        from repro.robust.chaos import FaultRule, chaos_rules
+
+        jobs = [SweepJob(f"j{i}", _square, (i,)) for i in range(4)]
+        with chaos_rules(FaultRule("pool.worker", kind="kill", key="j1")):
+            run_sweep(jobs, jobs_n=2)
+        # Every worker (including the murdered one) has been joined.
+        assert multiprocessing.active_children() == []
+
+
 class TestSerialParallelDeterminism:
     @settings(max_examples=6, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,

@@ -1,0 +1,183 @@
+"""The fault-injection harness itself: rule matching, determinism,
+delivery, and the data-fault helpers.
+
+Chaos tests elsewhere rely on these exact semantics — a fault that fires
+twice when the rule says once, or differently across processes for the
+same seed, silently weakens every downstream suite.
+"""
+
+import multiprocessing
+import signal
+import time
+
+import pytest
+
+from repro.robust.chaos import (
+    ChaosError,
+    ChaosInjector,
+    FaultRule,
+    active,
+    chaos_rules,
+    corrupt_file,
+    fault_point,
+    install,
+    schedule,
+    truncate_file,
+    uninstall,
+)
+
+
+class TestRuleMatching:
+    def test_exact_site(self):
+        rule = FaultRule("store.put", kind="error")
+        assert rule.matches_site("store.put")
+        assert not rule.matches_site("store.get")
+
+    def test_prefix_site(self):
+        rule = FaultRule("store.*", kind="error")
+        assert rule.matches_site("store.put")
+        assert rule.matches_site("store.evict")
+        assert not rule.matches_site("pool.worker")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", kind="nuke")
+
+    def test_key_filter(self):
+        injector = ChaosInjector(rules=(FaultRule("s", kind="error", key="a"),))
+        injector.at("s", key="b")  # no fault: wrong key
+        with pytest.raises(ChaosError):
+            injector.at("s", key="a")
+
+    def test_after_skips_first_hits(self):
+        injector = ChaosInjector(rules=(FaultRule("s", kind="error", after=2,
+                                                  count=None),))
+        injector.at("s")
+        injector.at("s")
+        with pytest.raises(ChaosError):
+            injector.at("s")
+
+    def test_count_bounds_firings(self):
+        injector = ChaosInjector(rules=(FaultRule("s", kind="error", count=1),))
+        with pytest.raises(ChaosError):
+            injector.at("s")
+        injector.at("s")  # spent
+        assert injector.injected == {"s": 1}
+        assert injector.hits == {"s": 2}
+
+
+class TestDeterminism:
+    def test_probability_draws_replay_from_seed(self):
+        def decisions(seed):
+            injector = ChaosInjector(
+                rules=(FaultRule("s", kind="error", probability=0.3, count=None),),
+                seed=seed,
+            )
+            fired = []
+            for _ in range(50):
+                try:
+                    injector.at("s", key="k")
+                    fired.append(False)
+                except ChaosError:
+                    fired.append(True)
+            return fired
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)  # astronomically unlikely to tie
+
+    def test_schedule_rates_are_roughly_honored(self):
+        injector = schedule(seed=3, sites=("s",), kill_rate=0.0, oom_rate=0.1)
+        oom = 0
+        for _ in range(400):
+            try:
+                injector.at("s", key="k")
+            except MemoryError:
+                oom += 1
+        assert 15 <= oom <= 75  # ~40 expected; the draw is hash-uniform
+
+    def test_schedule_cap(self):
+        injector = schedule(seed=3, sites=("s",), oom_rate=1.0,
+                            max_faults_per_site=2)
+        faults = 0
+        for _ in range(10):
+            try:
+                injector.at("s")
+            except MemoryError:
+                faults += 1
+        assert faults == 2
+
+
+class TestDelivery:
+    def test_error_raises_chaos_error(self):
+        with chaos_rules(FaultRule("s", kind="error")):
+            with pytest.raises(ChaosError):
+                fault_point("s")
+
+    def test_oom_raises_memory_error(self):
+        with chaos_rules(FaultRule("s", kind="oom")):
+            with pytest.raises(MemoryError):
+                fault_point("s")
+
+    def test_delay_sleeps(self):
+        with chaos_rules(FaultRule("s", kind="delay", delay_seconds=0.05)):
+            started = time.monotonic()
+            fault_point("s")
+            assert time.monotonic() - started >= 0.04
+
+    def test_kill_is_sigkill(self):
+        def victim():
+            install(ChaosInjector(rules=(FaultRule("s", kind="kill"),)))
+            fault_point("s")
+
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=victim)
+        child.start()
+        child.join()
+        assert child.exitcode == -signal.SIGKILL
+
+
+class TestInstallation:
+    def test_fault_point_is_noop_without_injector(self):
+        uninstall()
+        fault_point("anything")  # must not raise
+
+    def test_context_manager_installs_and_removes(self):
+        assert active() is None
+        with chaos_rules(FaultRule("s", kind="error")) as injector:
+            assert active() is injector
+        assert active() is None
+
+    def test_injector_counts_hits_even_when_nothing_fires(self):
+        with chaos_rules() as injector:
+            fault_point("s")
+            fault_point("s", key="k")
+        assert injector.hits == {"s": 2}
+        assert injector.injected == {}
+
+
+class TestDataFaults:
+    def test_corrupt_file_flips_exactly_one_byte(self, tmp_path):
+        path = tmp_path / "blob"
+        payload = bytes(range(200))
+        path.write_bytes(payload)
+        offset = corrupt_file(str(path), seed=11)
+        after = path.read_bytes()
+        assert len(after) == len(payload)
+        diffs = [i for i, (a, b) in enumerate(zip(payload, after)) if a != b]
+        assert diffs == [offset]
+
+    def test_corrupt_file_is_seed_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"x" * 100)
+        b.write_bytes(b"x" * 100)
+        # Offset depends on the path, so compare one path re-corrupted.
+        first = corrupt_file(str(a), seed=5)
+        a.write_bytes(b"x" * 100)
+        assert corrupt_file(str(a), seed=5) == first
+
+    def test_truncate_file_tears(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"y" * 100)
+        kept = truncate_file(str(path), fraction=0.3)
+        assert kept == 30
+        assert path.read_bytes() == b"y" * 30

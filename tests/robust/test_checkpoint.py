@@ -93,6 +93,29 @@ class TestIntegrity:
         with pytest.raises(CheckpointError, match="not ExplorationCheckpoint"):
             checkpoint_from_bytes(digest + b"\n" + payload)
 
+    def test_truncated_file_fails_loudly(self, tmp_path, divergent_program):
+        """A torn write (file cut mid-payload) is a typed error at load."""
+        from repro.robust.chaos import truncate_file
+
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        path = str(tmp_path / "torn.ckpt")
+        save_checkpoint(explorer.snapshot(), path)
+        truncate_file(path, fraction=0.6)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_bitflipped_file_fails_loudly(self, tmp_path, divergent_program):
+        from repro.robust.chaos import corrupt_file
+
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        path = str(tmp_path / "flipped.ckpt")
+        save_checkpoint(explorer.snapshot(), path)
+        corrupt_file(path, seed=3)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
     def test_resume_refuses_different_program(self, divergent_program):
         from repro.lang.builder import straightline_program
         from repro.lang.syntax import Const, Print
@@ -112,3 +135,45 @@ class TestIntegrity:
         resumed = Explorer.resume(explorer.snapshot(), divergent_program)
         assert not resumed.exhaustive
         assert resumed.stop_reason == "states"
+
+
+def _save_then_die(checkpoint, path):
+    """Child task: save a checkpoint but get SIGKILLed at the replace
+    point (the ``checkpoint.save`` chaos fault point) — a mid-write crash."""
+    from repro.robust.chaos import FaultRule, chaos_rules
+
+    with chaos_rules(FaultRule("checkpoint.save", kind="kill")):
+        save_checkpoint(checkpoint, path)
+
+
+class TestAtomicSave:
+    """ISSUE satellite: a SIGKILL mid-save can never publish a torn
+    checkpoint — the previous one stays readable."""
+
+    def test_sigkill_mid_save_leaves_old_checkpoint_readable(
+        self, tmp_path, divergent_program
+    ):
+        import multiprocessing
+        import signal
+
+        explorer = Explorer(divergent_program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=20).start())
+        old = explorer.snapshot()
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(old, path)
+
+        explorer.build(meter=Budget(max_states=60).start())
+        newer = explorer.snapshot()
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_save_then_die, args=(newer, path))
+        child.start()
+        child.join()
+        assert child.exitcode == -signal.SIGKILL
+
+        # The kill landed after the temp write, before the publish: the
+        # old checkpoint must load intact and still resume.
+        loaded = load_checkpoint(path)
+        assert loaded == old
+        resumed = Explorer.resume(loaded, divergent_program)
+        resumed.build(meter=Budget(max_states=40).start())
+        assert len(resumed.states) > loaded.state_count

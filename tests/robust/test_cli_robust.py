@@ -1,7 +1,9 @@
 """CLI surface of the resource-governance features: ``--deadline`` /
 ``--memory-mb``, ``explore --checkpoint/--resume``, ``validate
 --degrade``, ``fuzz --replay``, and the exit-code contract (0 PROVED,
-1 FAILED, 2 usage, 3 BOUNDED, 4 SAMPLED)."""
+1 FAILED, 2 usage, 3 BOUNDED, 4 SAMPLED; corrupt persisted state —
+a checkpoint failing its integrity digest — also exits 4, the
+weakest-evidence code, with a clear message on stderr)."""
 
 import re
 
@@ -10,9 +12,9 @@ import pytest
 from repro.cli import main
 from repro.robust.confidence import (
     EXIT_BOUNDED,
+    EXIT_CORRUPT,
     EXIT_PROVED,
     EXIT_SAMPLED,
-    EXIT_USAGE,
 )
 
 DIVERGENT = """
@@ -92,19 +94,43 @@ class TestCheckpointResume:
         assert "resumed:" in second
         assert _states(second) >= _states(first)
 
-    def test_corrupt_checkpoint_is_usage_error(self, divergent_file, tmp_path, capsys):
+    def test_corrupt_checkpoint_exits_4(self, divergent_file, tmp_path, capsys):
         bad = tmp_path / "bad.ckpt"
         bad.write_bytes(b"garbage")
         code = main(["explore", divergent_file, "--resume", str(bad)])
-        assert code == EXIT_USAGE
+        assert code == EXIT_CORRUPT
+        err = capsys.readouterr().err
+        assert "checkpoint error" in err and "corrupt" in err
+
+    def test_truncated_checkpoint_exits_4(self, divergent_file, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        main(["explore", divergent_file, "--deadline", "0.3",
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        blob = ckpt.read_bytes()
+        ckpt.write_bytes(blob[: len(blob) // 2])  # torn write
+        code = main(["explore", divergent_file, "--resume", str(ckpt)])
+        assert code == EXIT_CORRUPT
         assert "checkpoint error" in capsys.readouterr().err
 
-    def test_resume_wrong_program_is_usage_error(self, divergent_file, opt_file, tmp_path, capsys):
+    def test_bitflipped_checkpoint_exits_4(self, divergent_file, tmp_path, capsys):
+        from repro.robust.chaos import corrupt_file
+
+        ckpt = tmp_path / "run.ckpt"
+        main(["explore", divergent_file, "--deadline", "0.3",
+              "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        corrupt_file(str(ckpt), seed=7)
+        code = main(["explore", divergent_file, "--resume", str(ckpt)])
+        assert code == EXIT_CORRUPT
+        assert "checkpoint error" in capsys.readouterr().err
+
+    def test_resume_wrong_program_exits_4(self, divergent_file, opt_file, tmp_path, capsys):
         ckpt = str(tmp_path / "run.ckpt")
         main(["explore", divergent_file, "--deadline", "0.3", "--checkpoint", ckpt])
         capsys.readouterr()
         code = main(["explore", opt_file, "--resume", ckpt])
-        assert code == EXIT_USAGE
+        assert code == EXIT_CORRUPT
         assert "checkpoint error" in capsys.readouterr().err
 
 

@@ -1,0 +1,236 @@
+"""The content-addressed store: atomicity, quarantine, eviction,
+concurrency.
+
+Acceptance (ISSUE): parallel writers racing the same directory end in a
+byte-identical state to serial writes; corrupt entries are quarantined
+and recomputed, never fatal; a mid-write SIGKILL never publishes a torn
+entry (that half lives in ``tests/perf/test_cache.py`` against the
+cache facade — here we cover the store's own contract).
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.robust.chaos import corrupt_file, truncate_file
+from repro.serve.store import ContentStore, content_key, payload_digest
+
+
+class TestKeysAndDigests:
+    def test_content_key_is_stable_and_discriminating(self):
+        assert content_key("a", "b") == content_key("a", "b")
+        assert content_key("a", "b") != content_key("ab", "")
+        assert content_key("a", "b") != content_key("a", "c")
+
+    def test_payload_digest_canonical(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        key = content_key("prog")
+        assert store.get(key) is None
+        store.put(key, {"verdict": "ok"})
+        assert store.get(key) == {"verdict": "ok"}
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+        assert store.entry_count() == 1
+
+    def test_last_writer_wins(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        key = content_key("prog")
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+        assert store.entry_count() == 1
+
+
+class TestQuarantine:
+    def _poison(self, tmp_path, mutate):
+        store = ContentStore(str(tmp_path))
+        key = content_key("prog")
+        store.put(key, {"v": 1})
+        (path,) = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(str(tmp_path))
+            for name in names
+            if name.endswith(".json") and os.path.basename(root) != "quarantine"
+        ]
+        mutate(path)
+        return store, key, path
+
+    def test_corrupt_json_quarantined(self, tmp_path):
+        store, key, path = self._poison(
+            tmp_path, lambda p: open(p, "w").write("{torn")
+        )
+        assert store.get(key) is None
+        assert store.quarantined == 1
+        assert not os.path.exists(path)
+        assert store.quarantine_count() == 1
+
+    def test_bitflip_quarantined(self, tmp_path):
+        store, key, _ = self._poison(tmp_path, lambda p: corrupt_file(p, seed=2))
+        assert store.get(key) is None
+        assert store.quarantined == 1
+
+    def test_truncation_quarantined(self, tmp_path):
+        store, key, _ = self._poison(
+            tmp_path, lambda p: truncate_file(p, fraction=0.4)
+        )
+        assert store.get(key) is None
+        assert store.quarantined == 1
+
+    def test_wrong_digest_quarantined(self, tmp_path):
+        def swap_payload(path):
+            entry = json.load(open(path))
+            entry["payload"] = {"v": 999}  # digest now stale
+            json.dump(entry, open(path, "w"))
+
+        store, key, _ = self._poison(tmp_path, swap_payload)
+        assert store.get(key) is None
+        assert store.quarantined == 1
+
+    def test_recompute_heals(self, tmp_path):
+        store, key, _ = self._poison(
+            tmp_path, lambda p: open(p, "w").write("garbage")
+        )
+        assert store.get(key) is None
+        store.put(key, {"v": 1})
+        assert store.get(key) == {"v": 1}
+
+
+class TestEviction:
+    def test_lru_by_recency(self, tmp_path):
+        store = ContentStore(str(tmp_path), max_entries=2)
+        keys = [content_key(f"p{i}") for i in range(3)]
+        now = time.time()
+        for index, key in enumerate(keys[:2]):
+            store.put(key, {"i": index})
+            # Distinct mtimes without sleeping: backdate earlier entries.
+            os.utime(store._path(key), (now - 100 + index, now - 100 + index))
+        assert store.get(keys[0]) is not None  # refresh key0's clock
+        store.put(keys[2], {"i": 2})  # triggers eviction; key1 is LRU
+        assert store.get(keys[1]) is None
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[2]) is not None
+        assert store.evictions == 1
+
+    def test_max_bytes(self, tmp_path):
+        store = ContentStore(str(tmp_path), max_bytes=1)
+        store.put(content_key("a"), {"v": "x" * 100})
+        store.put(content_key("b"), {"v": "y" * 100})
+        assert store.entry_count() <= 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        for i in range(5):
+            store.put(content_key(f"p{i}"), {"i": i})
+        assert store.evict() == 0
+        assert store.entry_count() == 5
+
+    def test_eviction_spares_quarantine(self, tmp_path):
+        store = ContentStore(str(tmp_path), max_entries=1)
+        key = content_key("bad")
+        store.put(key, {"v": 1})
+        path = store._path(key)
+        corrupt_file(path, seed=1)
+        assert store.get(key) is None  # quarantined
+        for i in range(3):
+            store.put(content_key(f"p{i}"), {"i": i})
+        assert store.quarantine_count() == 1  # evictions never touch it
+
+
+class TestPreload:
+    def test_warm_start_serves_from_memory(self, tmp_path):
+        writer = ContentStore(str(tmp_path))
+        keys = [content_key(f"p{i}") for i in range(4)]
+        for index, key in enumerate(keys):
+            writer.put(key, {"i": index})
+
+        warm = ContentStore(str(tmp_path))
+        assert warm.preload() == 4
+        assert warm.preloaded == 4
+        for index, key in enumerate(keys):
+            assert warm.get(key) == {"i": index}
+        assert warm.hits == 4
+
+    def test_preload_quarantines_rot(self, tmp_path):
+        writer = ContentStore(str(tmp_path))
+        good, bad = content_key("good"), content_key("bad")
+        writer.put(good, {"v": 1})
+        writer.put(bad, {"v": 2})
+        corrupt_file(writer._path(bad), seed=9)
+
+        warm = ContentStore(str(tmp_path))
+        assert warm.preload() == 1
+        assert warm.quarantined == 1
+        assert warm.get(good) == {"v": 1}
+        assert warm.get(bad) is None
+
+    def test_preload_still_sees_later_disk_writes(self, tmp_path):
+        warm = ContentStore(str(tmp_path))
+        warm.preload()
+        other = ContentStore(str(tmp_path))
+        key = content_key("late")
+        other.put(key, {"v": 7})
+        assert warm.get(key) == {"v": 7}  # disk fallthrough
+
+
+def _hammer(root: str, worker: int, keys, barrier) -> None:
+    """Child task: race the same key set against sibling writers."""
+    store = ContentStore(root)
+    barrier.wait()
+    for _round in range(5):
+        for index, key in enumerate(keys):
+            store.put(key, {"key": index})  # same content per key everywhere
+            got = store.get(key)
+            assert got is None or got == {"key": index}
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_end_byte_identical_to_serial(self, tmp_path):
+        """ISSUE acceptance: N processes racing the same keys leave the
+        store exactly as one serial writer would — same entries, same
+        bytes, nothing quarantined."""
+        parallel_root = str(tmp_path / "parallel")
+        serial_root = str(tmp_path / "serial")
+        keys = [content_key(f"p{i}") for i in range(6)]
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        workers = [
+            ctx.Process(target=_hammer, args=(parallel_root, w, keys, barrier))
+            for w in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+            assert worker.exitcode == 0
+
+        serial = ContentStore(serial_root)
+        for index, key in enumerate(keys):
+            serial.put(key, {"key": index})
+
+        raced = ContentStore(parallel_root)
+        assert raced.quarantine_count() == 0
+        assert raced.entry_count() == len(keys)
+        for key in keys:
+            with open(raced._path(key), "rb") as handle:
+                parallel_bytes = handle.read()
+            with open(serial._path(key), "rb") as handle:
+                serial_bytes = handle.read()
+            assert parallel_bytes == serial_bytes
+
+    def test_concurrent_eviction_is_cooperative(self, tmp_path):
+        root = str(tmp_path)
+        primer = ContentStore(root)
+        for i in range(10):
+            primer.put(content_key(f"p{i}"), {"i": i})
+        stores = [ContentStore(root, max_entries=4) for _ in range(3)]
+        removed = sum(store.evict() for store in stores)
+        assert removed == 6  # no double-count under the store lock
+        assert primer.entry_count() == 4
