@@ -1,9 +1,13 @@
-"""E-POR: local-step fusion (partial-order reduction) — state counts and
-wall-clock of the exhaustive explorer with and without the reduction,
-with behavior-set equality asserted on every measured program."""
+"""E-POR: partial-order reduction — state counts and wall-clock of the
+exhaustive explorer under ``--por=none`` (every interleaving),
+``--por=fusion`` (eager pure-local step fusion), and ``--por=dpor``
+(sleep-set dynamic POR, :mod:`repro.semantics.dpor`), with behavior-set
+equality asserted on every measured program and a machine-readable
+``BENCH`` json line per suite comparison."""
 
 import dataclasses
-
+import json
+import time
 
 from benchmarks.conftest import report
 from repro.litmus.library import LITMUS_SUITE, iriw_rlx
@@ -64,3 +68,55 @@ def test_por_on_iriw(benchmark):
             ("reduction", f"{plain.state_count / fused.state_count:.2f}x"),
         ],
     )
+
+
+def test_por_modes_across_suite(benchmark):
+    """none/fusion/dpor on every litmus test: equality + BENCH trajectory."""
+
+    def run():
+        rows = []
+        for name in sorted(LITMUS_SUITE):
+            test = LITMUS_SUITE[name]
+            base, _ = configs_for(test)
+            counts = {}
+            times = {}
+            traces = {}
+            for por in ("none", "fusion", "dpor"):
+                start = time.monotonic()
+                result = behaviors(test.program, dataclasses.replace(base, por=por))
+                times[por] = time.monotonic() - start
+                counts[por] = result.state_count
+                traces[por] = result.traces
+            assert traces["none"] == traces["fusion"] == traces["dpor"], name
+            rows.append((name, counts, times))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = {
+        por: sum(counts[por] for _, counts, _ in rows)
+        for por in ("none", "fusion", "dpor")
+    }
+    total_secs = {
+        por: round(sum(times[por] for _, _, times in rows), 3)
+        for por in ("none", "fusion", "dpor")
+    }
+    report(
+        "E-POR/modes",
+        [
+            (name, " / ".join(str(counts[p]) for p in ("none", "fusion", "dpor")))
+            for name, counts, _ in rows
+        ]
+        + [("TOTAL (none/fusion/dpor)",
+            f"{totals['none']} / {totals['fusion']} / {totals['dpor']}")],
+    )
+    print("BENCH " + json.dumps({
+        "experiment": "por-modes-litmus",
+        "none_states": totals["none"],
+        "fusion_states": totals["fusion"],
+        "dpor_states": totals["dpor"],
+        "none_secs": total_secs["none"],
+        "fusion_secs": total_secs["fusion"],
+        "dpor_secs": total_secs["dpor"],
+        "reduction": round(totals["none"] / totals["dpor"], 2),
+    }))
+    assert totals["dpor"] < totals["fusion"] < totals["none"]

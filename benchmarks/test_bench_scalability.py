@@ -1,6 +1,12 @@
 """Scalability series: how exploration cost grows with program size —
 the figure-style series that contextualizes every other experiment
-(states and wall-clock vs thread count / block width / promise budget)."""
+(states and wall-clock vs thread count / block width / promise budget),
+plus the POR trajectory: states explored under ``--por=none`` / ``fusion``
+/ ``dpor`` on the same families, emitted as machine-readable ``BENCH``
+json lines (seeded into ``BENCH.json`` by this series)."""
+
+import json
+import time
 
 import pytest
 
@@ -61,3 +67,66 @@ def test_states_vs_block_width(benchmark, width):
     states = benchmark.pedantic(lambda: count_states(program), rounds=1, iterations=1)
     report(f"scalability/width={width}", [("states", states)])
     assert states > 0
+
+
+def disjoint_threads(threads: int, width: int):
+    """``threads`` threads, each writing ``width`` private NA locations —
+    the fully-independent family where DPOR's reduction is structural
+    (one schedule per Mazurkiewicz class = exactly one schedule)."""
+    return straightline_program(
+        [
+            [Store(f"t{t}v{i}", Const(i + 1), AccessMode.NA) for i in range(width)]
+            for t in range(threads)
+        ]
+    )
+
+
+def _por_row(program, label):
+    row = {"family": label}
+    for por in ("none", "fusion", "dpor"):
+        start = time.monotonic()
+        explorer = Explorer(program, SemanticsConfig(por=por)).build()
+        assert explorer.exhaustive
+        row[f"{por}_states"] = len(explorer.states)
+        row[f"{por}_secs"] = round(time.monotonic() - start, 3)
+    row["reduction"] = round(row["none_states"] / row["dpor_states"], 2)
+    return row
+
+
+@pytest.mark.parametrize("threads,width", [(3, 4), (4, 4)])
+def test_states_por_disjoint_threads(benchmark, threads, width):
+    program = disjoint_threads(threads, width)
+    row = benchmark.pedantic(
+        lambda: _por_row(program, f"disjoint/threads={threads},width={width}"),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        f"scalability/disjoint threads={threads} width={width}",
+        [(por, row[f"{por}_states"]) for por in ("none", "fusion", "dpor")]
+        + [("reduction (none/dpor)", f"{row['reduction']}x")],
+    )
+    print("BENCH " + json.dumps({"experiment": "por-scalability", **row}))
+    # The headline target: DPOR explores >=10x fewer states than the
+    # unreduced explorer on the independent family.
+    assert row["none_states"] >= 10 * row["dpor_states"]
+
+
+@pytest.mark.parametrize("width", [4, 6])
+def test_states_por_block_width(benchmark, width):
+    program = straightline_program(
+        [
+            [Store(f"v{i}", Const(i), AccessMode.NA) for i in range(width)],
+            [Load(f"r{i}", f"v{i}", AccessMode.NA) for i in range(width)],
+        ]
+    )
+    row = benchmark.pedantic(
+        lambda: _por_row(program, f"width={width}"), rounds=1, iterations=1
+    )
+    report(
+        f"scalability/por width={width}",
+        [(por, row[f"{por}_states"]) for por in ("none", "fusion", "dpor")]
+        + [("reduction (none/dpor)", f"{row['reduction']}x")],
+    )
+    print("BENCH " + json.dumps({"experiment": "por-scalability", **row}))
+    assert row["dpor_states"] < row["fusion_states"] < row["none_states"]

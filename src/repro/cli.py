@@ -27,8 +27,11 @@ program order, so output is identical at any parallelism) and
 ``--cache DIR`` to reuse exhaustively-proved verdicts across runs from a
 persistent on-disk cache; ``validate`` and ``races`` accept multiple
 files.  Under ``--jobs``, a ``--deadline`` still bounds the *whole*
-sweep's wall clock.  ``explore --stats`` prints certification-cache and
-intern-table counters.
+sweep's wall clock.  ``--por {none,fusion,dpor}`` selects the
+partial-order reduction (``explore`` defaults to ``dpor``, other
+commands to ``none``); ``explore --stats`` prints certification-cache,
+DPOR, and intern-table counters, and ``explore --profile=FILE`` wraps
+the run in ``cProfile`` (top-20 cumulative functions).
 
 The service (``docs/service.md``): ``serve`` starts the asyncio
 verification daemon — batch ``/v1/litmus`` / ``/v1/validate`` /
@@ -122,8 +125,14 @@ def _config(args: argparse.Namespace) -> SemanticsConfig:
         kwargs["promise_oracle"] = SyntacticPromises(
             budget=args.promises, max_outstanding=args.promises
         )
-    if getattr(args, "por", False):
+    por = getattr(args, "por", None)
+    if por is None:
+        por = getattr(args, "por_default", "none")
+    if por == "fusion":
         kwargs["fuse_local_steps"] = True
+        kwargs["por"] = "fusion"
+    elif por == "dpor":
+        kwargs["por"] = "dpor"
     if getattr(args, "max_states", None) is not None:
         kwargs["max_states"] = args.max_states
     deadline = getattr(args, "deadline", None)
@@ -179,12 +188,25 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(f"resumed: {checkpoint}")
     else:
         explorer = Explorer(program, config, nonpreemptive=args.np)
+    profiler = None
+    if getattr(args, "profile", None):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.checkpoint:
         explorer.build(
             checkpoint_path=args.checkpoint,
             checkpoint_interval=args.checkpoint_interval,
         )
     result = explorer.behaviors()
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        print(f"profile written to {args.profile}")
     status = "exhaustive" if result.exhaustive else "TRUNCATED"
     if not result.exhaustive and result.stop_reason:
         status += f":{result.stop_reason}"
@@ -196,6 +218,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
         from repro.perf.intern import interner_stats
 
         print(explorer.cert_stats)
+        if explorer.dpor_stats is not None:
+            counters = explorer.dpor_stats.as_dict()
+            print("dpor: " + ", ".join(
+                f"{key}={counters[key]}" for key in sorted(counters)))
         for name, counters in interner_stats().items():
             print(f"intern[{name}]: {counters['entries']} entries, "
                   f"{counters['hits']} hits / {counters['misses']} misses, "
@@ -755,9 +781,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the non-preemptive machine")
         p.add_argument("--csimp", action="store_true",
                        help="parse the structured CSimp surface syntax")
-        p.add_argument("--por", action="store_true",
-                       help="fuse deterministic local steps (partial-order "
-                            "reduction; behavior-preserving)")
+        p.add_argument("--por", nargs="?", const="fusion", default=None,
+                       choices=["none", "fusion", "dpor"],
+                       help="partial-order reduction: 'none', 'fusion' "
+                            "(eager local-step fusion), or 'dpor' "
+                            "(sleep-set DPOR; behavior-preserving, "
+                            "interleaving machine only).  Bare --por means "
+                            "'fusion'.  Default: dpor for explore, none "
+                            "elsewhere")
         p.add_argument("--max-states", type=int, default=None, metavar="N",
                        help="bound the exploration graph (a truncated run "
                             "exits 3, never claiming a proof)")
@@ -783,7 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(must match the program and machine)")
     p.add_argument("--checkpoint-interval", type=int, default=100_000,
                    metavar="N", help="states interned between checkpoints")
-    p.set_defaults(func=cmd_explore)
+    p.add_argument("--profile", metavar="FILE", default=None,
+                   help="profile the run with cProfile: write raw stats "
+                        "to FILE and print the top-20 cumulative-time "
+                        "functions")
+    p.set_defaults(func=cmd_explore, por_default="dpor")
 
     p = sub.add_parser("races", help="race detection")
     common(p, multi=True)

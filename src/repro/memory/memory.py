@@ -18,23 +18,45 @@ to enumerate one representative placement per distinguishable position:
 * inside each free gap ``(lo, hi)``: the interval ``(lo, mid(lo, hi)]`` —
   note the *upper half* of the gap stays free, so a later write can still be
   placed either before or after this one inside the same original gap;
-* past the end: ``(t_max, t_max + 1]``.
+* past the end: ``(t_max, successor(t_max)]``.
 
 This is the finite-branching substitution documented in DESIGN.md.
+
+Timestamps are integers spaced ``GRANULE`` apart
+(:mod:`repro.memory.timestamps`); a memory whose free gaps have shrunk
+below ``MIN_GAP`` is flagged *tight* (``needs_renormalize``) so the machine
+layer can renormalize the enclosing state before placements run dry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.memory.message import MemoryItem, Message, Reservation, init_message
-from repro.memory.timemap import TimeMap
-from repro.memory.timestamps import TS_ZERO, Timestamp, midpoint, successor
-from repro.perf.intern import HashConsed, intern_items, seal
+from repro.memory.timemap import BOTTOM_TIMEMAP, TimeMap
+from repro.memory.timestamps import (
+    MIN_GAP,
+    TS_ZERO,
+    Timestamp,
+    midpoint,
+    successor,
+)
+from repro.perf.intern import HASH_MASK, HashConsed, hash_mix, intern_items, stable_hash
+
+_MEM_TAG = stable_hash("Memory")
 
 
-@dataclass(frozen=True)
+def _var_tight(items: Tuple[MemoryItem, ...]) -> bool:
+    """Whether one location's (sorted) items leave a nearly-closed gap."""
+    prev_to = TS_ZERO
+    for m in items:
+        if prev_to < m.frm < prev_to + MIN_GAP:
+            return True
+        if m.to > prev_to:
+            prev_to = m.to
+    return False
+
+
 class Memory(HashConsed):
     """An immutable, hashable set of memory items with disjoint intervals.
 
@@ -46,34 +68,50 @@ class Memory(HashConsed):
 
     Construction hash-conses: the sorted item tuple (and each per-location
     tuple) is interned so equal memories share storage and compare by
-    identity, and the hash is precomputed — memories sit inside every
-    machine state the explorer probes.
+    identity.  The hash is the order-independent sum of the item hashes
+    mixed with the SC view's hash, so the single-item operations
+    (:meth:`add`, :meth:`try_add`, :meth:`remove`, :meth:`with_sc_view`)
+    produce their successor's hash by *delta* instead of re-walking the
+    whole item set.
     """
 
-    items: Tuple[MemoryItem, ...]
-    sc_view: "TimeMap" = None  # type: ignore[assignment]
+    __slots__ = ("items", "sc_view", "_by_var", "_isum", "_tight")
 
-    _transient = ("_hashcode", "_by_var")
+    _fields = ("items", "sc_view")
 
-    def __post_init__(self) -> None:
-        ordered = intern_items(tuple(sorted(self.items, key=lambda m: (m.var, m.to, m.frm))))
-        object.__setattr__(self, "items", ordered)
-        if self.sc_view is None:
-            from repro.memory.timemap import BOTTOM_TIMEMAP
-
-            object.__setattr__(self, "sc_view", BOTTOM_TIMEMAP)
+    def __init__(
+        self,
+        items: Tuple[MemoryItem, ...] = (),
+        sc_view: Optional[TimeMap] = None,
+    ) -> None:
+        ordered = intern_items(tuple(sorted(items, key=lambda m: (m.var, m.to, m.frm))))
+        if sc_view is None:
+            sc_view = BOTTOM_TIMEMAP
         grouped: Dict[str, List[MemoryItem]] = {}
+        isum = 0
         for item in ordered:
             grouped.setdefault(item.var, []).append(item)
-        object.__setattr__(
-            self,
-            "_by_var",
-            {var: intern_items(tuple(items)) for var, items in grouped.items()},
-        )
-        seal(self, ("Memory", ordered, self.sc_view._hashcode))
+            isum += item._hashcode
+        by_var = {var: intern_items(tuple(group)) for var, group in grouped.items()}
+        tight = any(_var_tight(group) for group in by_var.values())
+        self._seal(ordered, sc_view, by_var, isum & HASH_MASK, tight)
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def _seal(
+        self,
+        ordered: Tuple[MemoryItem, ...],
+        sc_view: TimeMap,
+        by_var: Dict[str, Tuple[MemoryItem, ...]],
+        isum: int,
+        tight: bool,
+    ) -> None:
+        object.__setattr__(self, "items", ordered)
+        object.__setattr__(self, "sc_view", sc_view)
+        object.__setattr__(self, "_by_var", by_var)
+        object.__setattr__(self, "_isum", isum)
+        object.__setattr__(self, "_tight", tight)
+        object.__setattr__(
+            self, "_hashcode", hash_mix(_MEM_TAG, isum, sc_view._hashcode)
+        )
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -84,6 +122,8 @@ class Memory(HashConsed):
             return False
         return self.items == other.items and self.sc_view == other.sc_view
 
+    __hash__ = HashConsed.__hash__
+
     # -- construction --------------------------------------------------------
 
     @staticmethod
@@ -91,9 +131,13 @@ class Memory(HashConsed):
         """The initial memory ``M0 = {⟨x: 0@(0,0], V⊥⟩ | x ∈ locations}``."""
         return Memory(tuple(init_message(var) for var in sorted(set(locations))))
 
-    def with_sc_view(self, sc_view: "TimeMap") -> "Memory":
+    def with_sc_view(self, sc_view: TimeMap) -> "Memory":
         """A copy with the global SC view replaced (SC fence steps)."""
-        return Memory(self.items, sc_view)
+        if sc_view == self.sc_view:
+            return self
+        fresh = object.__new__(Memory)
+        fresh._seal(self.items, sc_view, self._by_var, self._isum, self._tight)
+        return fresh
 
     # -- queries -------------------------------------------------------------
 
@@ -105,6 +149,11 @@ class Memory(HashConsed):
 
     def __iter__(self) -> Iterator[MemoryItem]:
         return iter(self.items)
+
+    @property
+    def needs_renormalize(self) -> bool:
+        """Whether some free gap is too narrow for further placements."""
+        return self._tight
 
     def per_loc(self, var: str) -> Tuple[MemoryItem, ...]:
         """All items for ``var``, sorted by "to"-timestamp (O(1): the
@@ -152,25 +201,59 @@ class Memory(HashConsed):
                 return False
         return True
 
+    def _with_var_items(
+        self, var: str, var_items: Tuple[MemoryItem, ...], isum: int
+    ) -> "Memory":
+        """Rebuild around one location's updated item tuple (delta hash)."""
+        by_var = dict(self._by_var)
+        if var_items:
+            by_var[var] = intern_items(var_items)
+        else:
+            by_var.pop(var, None)
+        ordered: List[MemoryItem] = []
+        for name in sorted(by_var):
+            ordered.extend(by_var[name])
+        # A narrow gap elsewhere stays narrow; only this location's layout
+        # changed, so tightness is the old flag joined with a local check.
+        # (Renormalization rebuilds via __init__ and recomputes it exactly.)
+        tight = self._tight or _var_tight(var_items)
+        fresh = object.__new__(Memory)
+        fresh._seal(
+            intern_items(tuple(ordered)), self.sc_view, by_var, isum & HASH_MASK, tight
+        )
+        return fresh
+
+    def _inserted(self, item: MemoryItem) -> "Memory":
+        group = self._by_var.get(item.var, ())
+        key = (item.to, item.frm)
+        pos = 0
+        while pos < len(group) and (group[pos].to, group[pos].frm) < key:
+            pos += 1
+        var_items = group[:pos] + (item,) + group[pos:]
+        return self._with_var_items(item.var, var_items, self._isum + item._hashcode)
+
     def add(self, item: MemoryItem) -> "Memory":
         """A copy with ``item`` inserted; raises on interval overlap."""
         if not self._disjoint(item):
             raise ValueError(f"interval overlap inserting {item}")
-        return Memory(self.items + (item,), self.sc_view)
+        return self._inserted(item)
 
     def try_add(self, item: MemoryItem) -> Optional["Memory"]:
         """A copy with ``item`` inserted, or ``None`` on interval overlap."""
         if not self._disjoint(item):
             return None
-        return Memory(self.items + (item,), self.sc_view)
+        return self._inserted(item)
 
     def remove(self, item: MemoryItem) -> "Memory":
         """A copy with ``item`` removed; raises if absent (used by cancel)."""
-        if item not in self.items:
+        group = self._by_var.get(item.var, ())
+        if item not in group:
             raise ValueError(f"cannot remove absent item {item}")
-        remaining = list(self.items)
+        remaining = list(group)
         remaining.remove(item)
-        return Memory(tuple(remaining), self.sc_view)
+        return self._with_var_items(
+            item.var, tuple(remaining), self._isum - item._hashcode
+        )
 
     def replace(self, old: MemoryItem, new: MemoryItem) -> "Memory":
         """Atomically swap ``old`` for ``new`` (used by promise lowering)."""
@@ -239,6 +322,26 @@ class Memory(HashConsed):
             return None
         return (read_to, midpoint(read_to, nxt.frm))
 
+    # -- renormalization -------------------------------------------------------
+
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add every timestamp occurring in this memory to ``into``."""
+        for item in self.items:
+            item.collect_timestamps(into)
+        self.sc_view.collect_timestamps(into)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "Memory":
+        """The memory with every timestamp pushed through ``mapping``.
+
+        ``mapping`` must be strictly monotone on the timestamps present
+        (e.g. from :func:`repro.memory.timestamps.renormalize_map`), so
+        disjointness, ordering and adjacency are preserved.
+        """
+        return Memory(
+            tuple(item.remap_timestamps(mapping) for item in self.items),
+            self.sc_view.remap_timestamps(mapping),
+        )
+
     # -- capped memory ---------------------------------------------------------
 
     def cap(self, promises: "Memory") -> "Memory":
@@ -246,7 +349,7 @@ class Memory(HashConsed):
 
         Two steps: (1) fill every gap between the timestamp intervals of the
         same location with reservations; (2) for every location insert the
-        cap reservation ``⟨x: (t, t+1]⟩`` past the latest message.
+        cap reservation ``⟨x: (t, t̂]⟩`` past the latest message.
 
         ``promises`` is the certifying thread's promise set: the paper's
         construction caps the *whole* memory, which includes the thread's

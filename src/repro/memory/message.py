@@ -6,12 +6,15 @@ view ``V`` (nontrivial only for release writes).  A :class:`Reservation`
 ``⟨x: (f, t]⟩`` claims a timestamp interval without writing a value; threads
 use reservations to protect intervals they plan to use, and the capped
 memory is built out of them.
+
+Both are immutable ``__slots__`` structs with a deterministic hash sealed at
+construction (:mod:`repro.perf.intern`) — memories hash as the sum of their
+item hashes, so per-item hashes are computed exactly once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from typing import Dict, Set, Union
 
 from repro.lang.values import Int32
 from repro.memory.timemap import BOTTOM_VIEW, View
@@ -19,7 +22,6 @@ from repro.memory.timestamps import Timestamp
 from repro.perf.intern import HashConsed, seal
 
 
-@dataclass(frozen=True)
 class Message(HashConsed):
     """A concrete write message ``⟨var: value@(frm, to], view⟩``.
 
@@ -30,24 +32,29 @@ class Message(HashConsed):
     non-atomic and relaxed writes.
     """
 
-    var: str
-    value: Int32
-    frm: Timestamp
-    to: Timestamp
-    view: View = BOTTOM_VIEW
+    __slots__ = ("var", "value", "frm", "to", "view")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "value", Int32(self.value))
-        if not (self.frm <= self.to):
-            raise ValueError(f"bad interval ({self.frm}, {self.to}]")
-        if self.frm == self.to and self.to != 0:
+    _fields = ("var", "value", "frm", "to", "view")
+
+    def __init__(
+        self,
+        var: str,
+        value: int,
+        frm: Timestamp,
+        to: Timestamp,
+        view: View = BOTTOM_VIEW,
+    ) -> None:
+        value = Int32(value)
+        if not (frm <= to):
+            raise ValueError(f"bad interval ({frm}, {to}]")
+        if frm == to and to != 0:
             raise ValueError("only the initialization message may have an empty interval")
-        # Timestamps are Fractions, whose hash needs a modular inverse —
-        # worth computing exactly once per message.
-        seal(self, ("Msg", self.var, self.value, self.frm, self.to, self.view._hashcode))
-
-    def __hash__(self) -> int:
-        return self._hashcode
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "frm", frm)
+        object.__setattr__(self, "to", to)
+        object.__setattr__(self, "view", view)
+        seal(self, ("Msg", var, value, frm, to, view._hashcode))
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -64,6 +71,8 @@ class Message(HashConsed):
             and self.view == other.view
         )
 
+    __hash__ = HashConsed.__hash__
+
     @property
     def is_reservation(self) -> bool:
         return False
@@ -72,25 +81,40 @@ class Message(HashConsed):
     def is_concrete(self) -> bool:
         return True
 
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add the interval endpoints and message-view timestamps to ``into``."""
+        into.add(self.frm)
+        into.add(self.to)
+        self.view.collect_timestamps(into)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "Message":
+        """The message with interval and view pushed through ``mapping``."""
+        return Message(
+            self.var,
+            self.value,
+            mapping[self.frm],
+            mapping[self.to],
+            self.view.remap_timestamps(mapping),
+        )
+
     def __str__(self) -> str:
         return f"<{self.var}: {int(self.value)}@({self.frm}, {self.to}]>"
 
 
-@dataclass(frozen=True)
 class Reservation(HashConsed):
     """A reservation ``⟨var: (frm, to]⟩`` — an interval claim, no value."""
 
-    var: str
-    frm: Timestamp
-    to: Timestamp
+    __slots__ = ("var", "frm", "to")
 
-    def __post_init__(self) -> None:
-        if not (self.frm < self.to):
-            raise ValueError(f"bad reservation interval ({self.frm}, {self.to}]")
-        seal(self, ("Rsv", self.var, self.frm, self.to))
+    _fields = ("var", "frm", "to")
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def __init__(self, var: str, frm: Timestamp, to: Timestamp) -> None:
+        if not (frm < to):
+            raise ValueError(f"bad reservation interval ({frm}, {to}]")
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "frm", frm)
+        object.__setattr__(self, "to", to)
+        seal(self, ("Rsv", var, frm, to))
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -101,6 +125,8 @@ class Reservation(HashConsed):
             return False
         return self.var == other.var and self.frm == other.frm and self.to == other.to
 
+    __hash__ = HashConsed.__hash__
+
     @property
     def is_reservation(self) -> bool:
         return True
@@ -108,6 +134,15 @@ class Reservation(HashConsed):
     @property
     def is_concrete(self) -> bool:
         return False
+
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add the interval endpoints to ``into``."""
+        into.add(self.frm)
+        into.add(self.to)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "Reservation":
+        """The reservation with its interval pushed through ``mapping``."""
+        return Reservation(self.var, mapping[self.frm], mapping[self.to])
 
     def __str__(self) -> str:
         return f"<{self.var}: ({self.frm}, {self.to}]>"

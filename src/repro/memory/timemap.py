@@ -5,42 +5,68 @@ write observed for it (``T ∈ Var → Time``, defaulting to 0).  A thread
 :class:`View` bundles two time maps: ``tna`` governing non-atomic reads and
 ``trlx`` governing relaxed/acquire reads.
 
-Both types are immutable and hashable — they appear inside machine states
-that are memoized during exhaustive exploration.  Time maps are stored
-sparsely: variables at timestamp 0 are not represented, so the bottom map is
-the empty tuple regardless of the variable universe.
+Both types are immutable, slotted and hashable — they appear inside machine
+states that are memoized during exhaustive exploration.  Time maps are
+stored sparsely: variables at timestamp 0 are not represented, so the
+bottom map is the empty tuple regardless of the variable universe.
 
 Hashing is the exploration hot path (every visited-set probe hashes whole
-machine states, and timestamps are :class:`~fractions.Fraction` values,
-which are costly to hash), so both types precompute their hash at
-construction via :class:`repro.perf.intern.HashConsed`, and a view interns
-its component time maps so equal maps share identity.
+machine states), so both types precompute a deterministic hash at
+construction (:mod:`repro.perf.intern`).  A time map's hash is the
+order-independent sum of its entry hashes, which lets ``set``/``bump``
+compute the successor's hash as a *delta* (subtract the old entry's hash,
+add the new one) instead of re-walking the map; a view mixes its two
+component hashes.  Views intern their component time maps so equal maps
+share identity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Iterator, Mapping, Set, Tuple
 
 from repro.memory.timestamps import TS_ZERO, Timestamp
-from repro.perf.intern import HashConsed, intern_timemap, seal
+from repro.perf.intern import (
+    HASH_MASK,
+    HashConsed,
+    hash_mix,
+    hash_pair,
+    intern_timemap,
+    stable_hash,
+)
+
+_TM_TAG = stable_hash("TimeMap")
+_VIEW_TAG = stable_hash("View")
 
 
-@dataclass(frozen=True)
 class TimeMap(HashConsed):
     """A sparse, immutable ``Var → Time`` map (absent vars are at 0)."""
 
-    entries: Tuple[Tuple[str, Timestamp], ...] = ()
+    __slots__ = ("entries", "_hsum")
 
-    def __post_init__(self) -> None:
+    _fields = ("entries",)
+
+    def __init__(self, entries: Tuple[Tuple[str, Timestamp], ...] = ()) -> None:
         cleaned = tuple(
-            sorted((var, t) for var, t in dict(self.entries).items() if t != TS_ZERO)
+            sorted((var, t) for var, t in dict(entries).items() if t != TS_ZERO)
         )
-        object.__setattr__(self, "entries", cleaned)
-        seal(self, ("TimeMap", cleaned))
+        hsum = 0
+        for var, t in cleaned:
+            hsum += hash_pair(var, t)
+        self._seal(cleaned, hsum & HASH_MASK)
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def _seal(self, cleaned: Tuple[Tuple[str, Timestamp], ...], hsum: int) -> None:
+        object.__setattr__(self, "entries", cleaned)
+        object.__setattr__(self, "_hsum", hsum)
+        object.__setattr__(self, "_hashcode", hash_mix(_TM_TAG, hsum))
+
+    @classmethod
+    def _make(
+        cls, cleaned: Tuple[Tuple[str, Timestamp], ...], hsum: int
+    ) -> "TimeMap":
+        """Fast path for internally produced (already normalized) entries."""
+        timemap = object.__new__(cls)
+        timemap._seal(cleaned, hsum)
+        return timemap
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -50,6 +76,8 @@ class TimeMap(HashConsed):
         if self._hashcode != other._hashcode:
             return False
         return self.entries == other.entries
+
+    __hash__ = HashConsed.__hash__
 
     @staticmethod
     def of(mapping: Mapping[str, Timestamp]) -> "TimeMap":
@@ -64,10 +92,25 @@ class TimeMap(HashConsed):
         return TS_ZERO
 
     def set(self, var: str, t: Timestamp) -> "TimeMap":
-        """A copy with ``var`` mapped to ``t``."""
-        items = dict(self.entries)
-        items[var] = t
-        return TimeMap(tuple(items.items()))
+        """A copy with ``var`` mapped to ``t`` (delta-hashed)."""
+        old = self.get(var)
+        if old == t:
+            return self
+        hsum = self._hsum
+        if old != TS_ZERO:
+            hsum -= hash_pair(var, old)
+        if t != TS_ZERO:
+            hsum += hash_pair(var, t)
+        entry = (var, t)
+        kept = tuple(e for e in self.entries if e[0] != var)
+        if t == TS_ZERO:
+            cleaned = kept
+        else:
+            pos = 0
+            while pos < len(kept) and kept[pos] < entry:
+                pos += 1
+            cleaned = kept[:pos] + (entry,) + kept[pos:]
+        return TimeMap._make(cleaned, hsum & HASH_MASK)
 
     def bump(self, var: str, t: Timestamp) -> "TimeMap":
         """A copy with ``var`` raised to at least ``t`` (no-op if already ≥)."""
@@ -75,11 +118,14 @@ class TimeMap(HashConsed):
 
     def join(self, other: "TimeMap") -> "TimeMap":
         """Pointwise maximum ``T1 ⊔ T2``."""
-        items: Dict[str, Timestamp] = dict(self.entries)
+        if self is other or not other.entries:
+            return self
+        if not self.entries:
+            return other
+        joined = self
         for var, t in other.entries:
-            if items.get(var, TS_ZERO) < t:
-                items[var] = t
-        return TimeMap(tuple(items.items()))
+            joined = joined.bump(var, t)
+        return joined
 
     def leq(self, other: "TimeMap") -> bool:
         """Pointwise order ``T1 ≤ T2``."""
@@ -88,6 +134,20 @@ class TimeMap(HashConsed):
     def vars(self) -> Tuple[str, ...]:
         """Variables with a nonzero recorded timestamp."""
         return tuple(var for var, _ in self.entries)
+
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add every timestamp in the map to ``into`` (renormalization)."""
+        for _, t in self.entries:
+            into.add(t)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "TimeMap":
+        """The map with every timestamp pushed through ``mapping``."""
+        if not self.entries:
+            return self
+        return TimeMap(tuple((var, mapping[t]) for var, t in self.entries))
+
+    def __iter__(self) -> Iterator[Tuple[str, Timestamp]]:
+        return iter(self.entries)
 
     def __str__(self) -> str:
         if not self.entries:
@@ -100,7 +160,6 @@ class TimeMap(HashConsed):
 BOTTOM_TIMEMAP = TimeMap()
 
 
-@dataclass(frozen=True)
 class View(HashConsed):
     """A thread view ``V = (T_na, T_rlx)`` (paper Fig. 8).
 
@@ -111,16 +170,18 @@ class View(HashConsed):
     full view.
     """
 
-    tna: TimeMap = BOTTOM_TIMEMAP
-    trlx: TimeMap = BOTTOM_TIMEMAP
+    __slots__ = ("tna", "trlx")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "tna", intern_timemap(self.tna))
-        object.__setattr__(self, "trlx", intern_timemap(self.trlx))
-        seal(self, ("View", self.tna._hashcode, self.trlx._hashcode))
+    _fields = ("tna", "trlx")
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def __init__(self, tna: TimeMap = BOTTOM_TIMEMAP, trlx: TimeMap = BOTTOM_TIMEMAP) -> None:
+        tna = intern_timemap(tna)
+        trlx = intern_timemap(trlx)
+        object.__setattr__(self, "tna", tna)
+        object.__setattr__(self, "trlx", trlx)
+        object.__setattr__(
+            self, "_hashcode", hash_mix(_VIEW_TAG, tna._hashcode, trlx._hashcode)
+        )
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -130,6 +191,8 @@ class View(HashConsed):
         if self._hashcode != other._hashcode:
             return False
         return self.tna == other.tna and self.trlx == other.trlx
+
+    __hash__ = HashConsed.__hash__
 
     def join(self, other: "View") -> "View":
         """``V1 ⊔ V2`` — pointwise join of both components."""
@@ -158,6 +221,17 @@ class View(HashConsed):
     def leq(self, other: "View") -> bool:
         """Pointwise order on both components."""
         return self.tna.leq(other.tna) and self.trlx.leq(other.trlx)
+
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add every timestamp in either component to ``into``."""
+        self.tna.collect_timestamps(into)
+        self.trlx.collect_timestamps(into)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "View":
+        """The view with every timestamp pushed through ``mapping``."""
+        return View(
+            self.tna.remap_timestamps(mapping), self.trlx.remap_timestamps(mapping)
+        )
 
     def __str__(self) -> str:
         return f"(na:{self.tna}, rlx:{self.trlx})"

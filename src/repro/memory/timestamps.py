@@ -1,44 +1,130 @@
-"""Dense timestamps (paper: ``Time f, t ∈ Q``).
+"""Integer timestamps with gap renormalization (paper: ``Time f, t ∈ Q``).
 
 PS2.1 draws timestamps from the rationals so that a new write can always be
-placed *between* two existing writes.  We use :class:`fractions.Fraction`
-directly — exact, hashable, totally ordered — and expose the handful of
-operations the semantics needs: the zero timestamp, successor (``t + 1``,
-used by cap reservations and appends), and midpoints (used to place a write
-inside a gap).
+placed *between* two existing writes.  Only the **relative order** of
+timestamps is observable, so any order-isomorphic embedding of the rationals
+works; this module uses plain machine integers spaced ``GRANULE`` apart:
+
+* Appends go ``GRANULE`` past the maximum (:func:`successor`), so every
+  freshly created interval leaves ~2**32 of headroom underneath.
+* In-gap placements take the integer :func:`midpoint`; each placement halves
+  the remaining room, so a gap supports ~32 nested placements before the
+  integer midpoint stops existing, at which point :func:`midpoint` raises
+  :class:`GapClosed`.
+* Before a closed (or nearly closed: width < :data:`MIN_GAP`) gap is ever
+  stepped over, the machine layer **renormalizes**: :func:`renormalize`
+  remaps every timestamp in a state (memory intervals, the SC view, every
+  thread view and promise set) to ``rank * GRANULE`` by rank in the sorted
+  timestamp set.  The remap is strictly monotone and preserves equalities,
+  so adjacency (``frm == prev.to``) and every view comparison survive — the
+  renormalized state is observationally identical, with every gap reopened
+  to at least ``GRANULE``.
+
+Exploration under the default configuration never creates gaps (writes are
+appends; canonical placements fill gaps exactly), so renormalization only
+triggers when gap-leaving writes or reservation cancels are in play.  The
+simulation layer never renormalizes (its timestamp *mappings* pin source
+timestamps to target timestamps); the ``GRANULE`` headroom is what keeps
+its gap-leaving placements live, and exhausting it raises :class:`GapClosed`
+loudly rather than silently misplacing a write.
+
+The module keeps the historical ``ts``/``midpoint``/``successor`` API.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Union
+from typing import Dict, Iterable, List, Set, Tuple, Union
 
-#: A timestamp is an exact rational number.
-Timestamp = Fraction
+#: A timestamp is a plain machine integer; only relative order is
+#: observable, so integers spaced ``GRANULE`` apart stand in for ℚ.
+Timestamp = int
 
 #: The initial timestamp; the initialization message for every location is
 #: ``⟨x: 0@(0, 0], V⊥⟩``.
-TS_ZERO: Timestamp = Fraction(0)
+TS_ZERO: Timestamp = 0
+
+#: Spacing between appended timestamps: 32 bits of in-gap headroom.
+GRANULE: Timestamp = 1 << 32
+
+#: Minimum workable gap width.  A plain in-gap placement needs an integer
+#: strictly inside the gap (width ≥ 2); a gap-leaving placement also needs
+#: an integer strictly inside the *lower half* (width ≥ 4).  A memory with
+#: any gap narrower than this is "tight" and renormalized before use.
+MIN_GAP: Timestamp = 4
 
 
-def ts(value: Union[int, str, Fraction]) -> Timestamp:
-    """Convenience constructor for timestamps (``ts(1)``, ``ts("1/2")``)."""
-    return Fraction(value)
+class GapClosed(ValueError):
+    """An in-gap placement was requested but no integer midpoint exists.
+
+    Raised by :func:`midpoint` when ``hi - lo < 2``.  The machine layer
+    renormalizes tight memories before enumerating placements, so seeing
+    this exception escape means a caller skipped renormalization (or the
+    simulation layer exhausted its 2**32 headroom).
+    """
+
+
+def ts(value: Union[int, str]) -> Timestamp:
+    """Convenience constructor for timestamps (``ts(1)``, ``ts("7")``)."""
+    return int(value)
 
 
 def midpoint(lo: Timestamp, hi: Timestamp) -> Timestamp:
-    """The midpoint of ``(lo, hi)`` — the canonical dense-placement choice.
+    """An integer strictly inside ``(lo, hi)`` — the canonical placement.
 
     Any placement strictly inside the open interval is observationally
     equivalent to any other (only relative order is observable), so
-    enumerating just the midpoint covers the whole gap.
+    enumerating just the midpoint covers the whole gap.  Raises
+    :class:`GapClosed` when the gap holds no integer (``hi - lo < 2``).
     """
     if not lo < hi:
         raise ValueError(f"empty gap: ({lo}, {hi})")
-    return (lo + hi) / 2
+    if hi - lo < 2:
+        raise GapClosed(f"no integer midpoint in ({lo}, {hi}); renormalize first")
+    return (lo + hi) // 2
 
 
 def successor(t: Timestamp) -> Timestamp:
-    """``t + 1`` — used to append past the maximal message and to build the
-    cap reservation ``⟨x: (t, t+1]⟩`` of the capped memory."""
-    return t + 1
+    """``t + GRANULE`` — used to append past the maximal message and to
+    build the cap reservation ``⟨x: (t, t̂]⟩`` of the capped memory.
+
+    The stride (rather than ``t + 1``) is what leaves room *inside* every
+    appended interval for later gap-leaving placements without immediate
+    renormalization.
+    """
+    return t + GRANULE
+
+
+def renormalize_map(stamps: Iterable[Timestamp]) -> Dict[Timestamp, Timestamp]:
+    """The order-preserving remap ``t ↦ rank(t) * GRANULE``.
+
+    ``stamps`` is every timestamp occurring anywhere in the state (0 is
+    always included and maps to 0).  The result is strictly monotone on the
+    input set — order *and* equality of all timestamps are preserved, so
+    interval adjacency and view comparisons are unaffected — and every
+    consecutive pair ends up ``GRANULE`` apart, reopening all gaps.
+    """
+    ordered: List[Timestamp] = sorted(set(stamps) | {TS_ZERO})
+    return {t: rank * GRANULE for rank, t in enumerate(ordered)}
+
+
+def renormalize(memory, views=()):
+    """Renormalize ``memory`` and the accompanying ``views`` together.
+
+    ``memory`` is a :class:`~repro.memory.memory.Memory`; ``views`` is any
+    iterable of objects exposing ``collect_timestamps(into)`` and
+    ``remap_timestamps(mapping)`` (thread :class:`~repro.memory.timemap.View`
+    objects, promise memories, ...).  Everything is remapped through **one**
+    shared map so cross-structure equalities (a view pointing at a message's
+    ``to``, a promise mirrored in memory) survive.
+
+    Returns ``(new_memory, new_views_tuple, mapping)``.
+    """
+    stamps: Set[Timestamp] = set()
+    memory.collect_timestamps(stamps)
+    views = tuple(views)
+    for view in views:
+        view.collect_timestamps(stamps)
+    mapping = renormalize_map(stamps)
+    new_memory = memory.remap_timestamps(mapping)
+    new_views = tuple(view.remap_timestamps(mapping) for view in views)
+    return new_memory, new_views, mapping

@@ -5,7 +5,7 @@ Three layers (``docs/performance.md``):
 * :mod:`repro.perf.intern` — state hash-consing: precomputed structural
   hashes on the frozen state dataclasses plus intern tables for shared
   substructures (views, time maps, per-location message tuples), so the
-  explorer's visited-set probes stop recomputing deep ``Fraction``-heavy
+  explorer's visited-set probes stop recomputing deep structural
   tuple hashes;
 * :mod:`repro.perf.pool`   — the process-pool sweep scheduler behind
   ``--jobs N`` on the sweep commands, with deterministic aggregation and

@@ -48,7 +48,10 @@ from repro.serve.store import ContentStore
 
 #: Bump when the semantics/exploration code changes meaning.  Cached
 #: verdicts from other versions are ignored (silent miss), never reused.
-SEMANTICS_VERSION = "ps21-repro-1"
+#: ``-2``: integer timestamps + sleep-set DPOR landed — behavior *sets*
+#: are unchanged, but state counts and trace digests of truncated runs
+#: are not comparable across the boundary, so ``-1`` entries must miss.
+SEMANTICS_VERSION = "ps21-repro-2"
 
 
 class CacheError(ValueError):
@@ -77,6 +80,7 @@ def config_digest(config: SemanticsConfig) -> str:
         config.gap_leaving_writes,
         config.certify_against_cap,
         config.fuse_local_steps,
+        config.por,
         config.certification_max_steps,
         config.max_states,
         config.max_outputs,

@@ -1,20 +1,26 @@
-"""State hash-consing: cached structural hashes + intern tables.
+"""State hash-consing: slotted structs, deterministic hashes, intern tables.
 
 The explorer's hot path is the visited-set probe ``succ in self._index``
 (:meth:`repro.semantics.exploration.Explorer.build`).  Machine states are
-deeply nested frozen dataclasses — pools of thread states holding views
-over sparse time maps whose timestamps are exact :class:`~fractions.Fraction`
-values — and a plain dataclass ``__hash__`` walks that whole structure on
-*every* probe (tuples do not cache their hash, and hashing a ``Fraction``
-computes a modular inverse).  Two complementary fixes live here:
+deeply nested immutable structs — pools of thread states holding views over
+sparse time maps of integer timestamps — and three complementary fixes keep
+the probe cheap:
 
-* **Cached hashes** — :class:`HashConsed` is the mixin behind every state
-  dataclass that precomputes its hash once at construction (stored in a
-  ``_hashcode`` slot on the instance dict) and exposes it through
-  ``__hash__``.  The cached value is *per-process* (string hashing is
-  randomized by ``PYTHONHASHSEED``), so the mixin strips it when pickling
-  and recomputes on unpickle — a checkpoint written by one process never
-  smuggles stale hashes into another.
+* **Slotted structs with cached hashes** — :class:`HashConsed` is the base
+  class behind every state struct.  Subclasses declare ``__slots__`` (no
+  instance dict, no per-field dataclass overhead), freeze themselves by
+  construction, and store a precomputed structural hash in the
+  ``_hashcode`` slot via :func:`seal`.  ``__hash__`` is a slot read.
+
+* **Deterministic hashing** — :func:`stable_hash` is a process-independent
+  64-bit structural hash (strings are digested with ``blake2b`` and
+  memoized; everything else mixes arithmetically).  Because the cached
+  hash no longer depends on ``PYTHONHASHSEED``, pickled states keep it:
+  there is no transient-stripping on pickle any more.  Instead,
+  ``__reduce__`` re-runs the constructor on unpickle, which re-normalizes,
+  re-interns and re-seals — a checkpoint written by one process rebuilds
+  identical hashes in any other, and ``BehaviorSet`` digests are stable
+  across runs without pickling state objects at all.
 
 * **Interning** — :class:`Interner` canonicalizes shared substructures
   (views, time maps, per-location message tuples, thread pools) so equal
@@ -23,6 +29,12 @@ computes a modular inverse).  Two complementary fixes live here:
   interned substructures make the equality half of a dict probe O(1) per
   shared component, and deduplication shrinks the resident state graph.
 
+Structs whose payload is a bag of entries (time maps, memories) keep an
+*incremental* hash: an order-independent sum of per-entry hashes, so a
+single-entry update recomputes the struct hash from the old sum plus a
+delta instead of re-walking the whole structure (see
+:func:`hash_pair` / :func:`hash_mix`).
+
 Intern tables are process-global and bounded: past ``max_entries`` the
 table is flushed wholesale (an *epoch flush*).  Flushing only loses
 sharing, never correctness — interning is a pure identity optimization.
@@ -30,45 +42,165 @@ sharing, never correctness — interning is a pure identity optimization.
 
 from __future__ import annotations
 
+import enum
+from hashlib import blake2b
 from typing import Dict, Tuple, TypeVar
 
 T = TypeVar("T")
 
+_MASK = (1 << 64) - 1
+_PRIME = 0x100000001B3
+_OFFSET = 0xCBF29CE484222325
+_NONE_HASH = 0x9E3779B97F4A7C15
+
+#: Memoized string digests.  The string universe of a run is tiny (variable
+#: names, register names, type tags), so this is effectively O(1) per call.
+_STR_HASHES: Dict[str, int] = {}
+
+
+def _str_hash(text: str) -> int:
+    cached = _STR_HASHES.get(text)
+    if cached is None:
+        if len(_STR_HASHES) >= 1_000_000:  # pragma: no cover - pathological
+            _STR_HASHES.clear()
+        cached = int.from_bytes(
+            blake2b(text.encode("utf-8"), digest_size=8).digest(), "little"
+        )
+        _STR_HASHES[text] = cached
+    return cached
+
+
+def _int_hash(value: int) -> int:
+    """splitmix64-style finalizer over an arbitrary-magnitude int."""
+    h = value & _MASK
+    value >>= 64
+    while value not in (0, -1):
+        h = ((h ^ (value & _MASK)) * _PRIME) & _MASK
+        value >>= 64
+    if value == -1:
+        h ^= 0x517CC1B727220A95
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK
+    return h ^ (h >> 31)
+
+
+def stable_hash(key: object) -> int:
+    """A deterministic 64-bit structural hash (process-independent).
+
+    Supports the building blocks of seal keys: strings, ints (including
+    ``Int32`` and ``bool``), ``None``, enums, nested tuples, and any
+    :class:`HashConsed` instance (hashed by its cached ``_hashcode``).
+    """
+    cls = key.__class__
+    if cls is tuple:
+        h = _OFFSET
+        for item in key:  # type: ignore[attr-defined]
+            h = ((h ^ stable_hash(item)) * _PRIME) & _MASK
+        return ((h ^ len(key)) * _PRIME) & _MASK  # type: ignore[arg-type]
+    if cls is str:
+        return _str_hash(key)  # type: ignore[arg-type]
+    if cls is int or isinstance(key, int):  # Int32, bool, Timestamp
+        return _int_hash(int(key))
+    if key is None:
+        return _NONE_HASH
+    hashcode = getattr(key, "_hashcode", None)
+    if hashcode is not None:
+        return hashcode  # type: ignore[return-value]
+    if isinstance(key, enum.Enum):
+        return _str_hash(f"{type(key).__name__}.{key.name}")
+    if isinstance(key, str):  # str subclasses
+        return _str_hash(str(key))
+    raise TypeError(f"stable_hash: unsupported key component {key!r}")
+
+
+def hash_mix(*values: int) -> int:
+    """Mix already-hashed 64-bit values into one (order-sensitive, cheap).
+
+    Used by structs whose components are themselves hashed (e.g. a view
+    mixing its two time-map hashes) to avoid a full :func:`stable_hash`
+    walk.
+    """
+    h = _OFFSET
+    for v in values:
+        h = ((h ^ (v & _MASK)) * _PRIME) & _MASK
+    return h
+
+
+_PAIR_HASHES: Dict[Tuple[str, int], int] = {}
+
+
+def hash_pair(var: str, t: int) -> int:
+    """Memoized hash of a ``(variable, timestamp)`` entry.
+
+    Time maps hash as the mod-2**64 *sum* of their entry hashes, which is
+    order-independent, so ``set``/``bump`` can subtract the old entry's
+    hash and add the new one instead of re-hashing every entry.
+    """
+    key = (var, t)
+    cached = _PAIR_HASHES.get(key)
+    if cached is None:
+        if len(_PAIR_HASHES) >= 1_000_000:  # pragma: no cover - pathological
+            _PAIR_HASHES.clear()
+        cached = hash_mix(_str_hash(var), _int_hash(t))
+        _PAIR_HASHES[key] = cached
+    return cached
+
+
+HASH_MASK = _MASK
+
 
 class HashConsed:
-    """Mixin for frozen dataclasses with a precomputed structural hash.
+    """Base class for immutable ``__slots__`` structs with a cached hash.
 
-    Subclasses call :func:`seal` at the end of ``__post_init__`` with the
-    tuple of their (normalized) fields; ``__hash__`` then returns the
-    cached value.  ``_transient`` names the instance-dict entries that are
-    derived caches: they are dropped on pickle and rebuilt on unpickle by
-    re-running ``__post_init__`` (hash randomization makes a cached hash
-    meaningless in any other process).
+    Subclasses declare ``__slots__`` for their fields (plus any derived
+    caches), list the *constructor* fields in ``_fields`` (in positional
+    order), assign via ``object.__setattr__`` inside ``__init__``, and call
+    :func:`seal` last.  The base provides:
+
+    * ``__hash__`` — the cached ``_hashcode`` slot;
+    * immutability — ``__setattr__``/``__delattr__`` raise;
+    * ``replace(**changes)`` — the ``dataclasses.replace`` equivalent;
+    * ``__reduce__`` — pickling re-runs the constructor with the field
+      values, so unpickling re-normalizes, re-interns and re-seals (no
+      stale caches can be smuggled between processes);
+    * a generic ``__repr__`` over ``_fields``.
     """
 
-    _transient: Tuple[str, ...] = ("_hashcode",)
+    __slots__ = ("_hashcode",)
 
-    def __getstate__(self):
-        state = dict(self.__dict__)
-        for name in self._transient:
-            state.pop(name, None)
-        return state
+    _fields: Tuple[str, ...] = ()
 
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self.__post_init__()
+    def __hash__(self) -> int:
+        return self._hashcode  # type: ignore[attr-defined]
 
-    def __post_init__(self) -> None:  # pragma: no cover - always overridden
-        raise NotImplementedError
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __reduce__(self):
+        return (type(self), tuple(getattr(self, f) for f in self._fields))
+
+    def replace(self, **changes):
+        """A copy with the given fields replaced (constructor re-run)."""
+        kwargs = {f: getattr(self, f) for f in self._fields}
+        kwargs.update(changes)
+        return type(self)(**kwargs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={getattr(self, f)!r}" for f in self._fields)
+        return f"{type(self).__name__}({inner})"
 
 
 def seal(obj: object, key: tuple) -> None:
-    """Precompute and store ``obj``'s hash (call last in ``__post_init__``).
+    """Precompute and store ``obj``'s hash (call last in ``__init__``).
 
     ``key`` should start with a type tag so structurally similar values of
-    different classes do not collide systematically.
+    different classes do not collide systematically.  The hash is
+    deterministic (:func:`stable_hash`), so it survives pickling.
     """
-    object.__setattr__(obj, "_hashcode", hash(key))
+    object.__setattr__(obj, "_hashcode", stable_hash(key))
 
 
 class Interner:

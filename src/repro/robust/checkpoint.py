@@ -59,6 +59,12 @@ class ExplorationCheckpoint:
     #: How many successor edges that cap discarded (severity of the
     #: truncation; 0 for pre-severity checkpoints).
     dropped_edges: int = 0
+    #: Sleep-set DPOR continuation (``repro.semantics.dpor``): the live
+    #: DFS stack with per-node sleep/backtrack/done sets, the visited-
+    #: sleep memo, subtree summaries, and stats.  ``None`` for plain-BFS
+    #: checkpoints and for checkpoints written before this field existed
+    #: (readers use ``getattr(cp, "dpor", None)``).
+    dpor: Optional[tuple] = None
 
     @property
     def state_count(self) -> int:

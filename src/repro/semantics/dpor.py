@@ -1,0 +1,436 @@
+"""Sleep-set dynamic partial-order reduction for the interleaving machine.
+
+The unreduced explorer (:mod:`repro.semantics.exploration`) enumerates
+every interleaving of every thread step.  Most of those interleavings are
+*equivalent*: steps of different threads that touch disjoint locations
+commute, so any two schedules that differ only in the order of commuting
+steps reach the same machine state and produce the same observable trace.
+This module explores one representative per equivalence class using the
+classic combination of
+
+* **backtrack sets** (Flanagan–Godefroid DPOR): at each schedule node only
+  a growing subset of the enabled threads is explored; whenever a later
+  transition is found to be *dependent* with the transition chosen at an
+  earlier node, the later thread is added to that node's backtrack set
+  (the *race clause*), which re-runs the node with the other order; and
+
+* **sleep sets** (Godefroid): a thread already explored at a node is put
+  to sleep for the node's later siblings and stays asleep down the tree
+  until some dependent transition executes, which prunes the redundant
+  second half of each commuting diamond.
+
+**Dependency relation.**  Transitions are per-thread macro-steps; the
+footprint of a step is derived statically from the thread's next
+instruction (reads / writes / flags).  Two footprints are dependent iff
+
+* they write-write or write-read overlap on some location,
+* both are SC fences (they exchange with the global SC view),
+* both are outputs (their relative order is the observable trace), or
+* either has promise/reservation activity (see below).
+
+**Soundness gate.**  Promises give a thread's steps global reach (any
+thread may promise to any location, and certification inspects the whole
+memory), reservations block other threads' placements, and gap-leaving
+writes interact with timestamp renormalization.  Rather than model those
+dependencies finely, any config with ``promise_budget > 0``,
+``enable_reservations`` or ``gap_leaving_writes`` makes *every* pair of
+transitions dependent — and since an all-dependent DPOR prunes nothing,
+:class:`~repro.semantics.exploration.Explorer` downgrades such configs to
+the fused BFS outright (strictly better: pure-local steps still fuse).
+The gated :data:`TOP_FP` path here remains for direct callers.  The big wins — and the ≥10x benchmark targets
+— live in the promise-free configurations where exploration cost actually
+bites.
+
+**Cycle proviso.**  A schedule hitting a state currently on the DFS stack
+(a back edge) marks that ancestor *fully expanded* (backtrack = all
+enabled, sleep cleared), so no transition can be ignored forever around a
+cycle (the standard ignoring-problem fix).
+
+**Stateful memoization.**  Re-reaching an already-explored state with a
+sleep set that is a superset of a recorded visit is subsumed by that
+visit and skipped; the skipped subtree's transition summary (which
+threads executed which footprints below) is replayed against the current
+stack so no race-clause backtrack point is lost.
+
+The reduced graph is written into the owning
+:class:`~repro.semantics.exploration.Explorer`'s ``states``/``edges``/
+``terminal`` arrays, so the trace fixpoint, checkpointing, and all
+downstream consumers work unchanged.  Validation: behavior-set equality
+against the unreduced explorer over the litmus library and fuzz corpus
+(``tests/semantics/test_dpor.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lang.syntax import Cas, Fence, FenceKind, Load, Print, Program, Store
+from repro.robust.budget import BudgetExhausted
+from repro.semantics.certification import consistent
+from repro.semantics.events import OutputEvent
+from repro.semantics.machine import MachineState, renormalized_state
+from repro.semantics.thread import SemanticsConfig, thread_steps
+from repro.semantics.threadstate import ThreadState, next_op, update_pool
+
+#: Footprint flag: the step is an observable output (all outputs are
+#: mutually dependent — their relative order is the trace).
+FLAG_OUT = 1
+#: Footprint flag: the step is an SC fence (exchanges with the SC view).
+FLAG_SC = 2
+#: Footprint flag: promise/reserve/cancel activity — depends on everything.
+FLAG_PRM = 4
+
+#: A transition footprint: ``(reads, writes, flags)``.
+Footprint = Tuple[FrozenSet[str], FrozenSet[str], int]
+
+_NO_LOCS: FrozenSet[str] = frozenset()
+
+#: The empty footprint — independent of everything (pure-local steps).
+EMPTY_FP: Footprint = (_NO_LOCS, _NO_LOCS, 0)
+
+#: The universal footprint — dependent on everything (the soundness gate).
+TOP_FP: Footprint = (_NO_LOCS, _NO_LOCS, FLAG_PRM)
+
+
+def dependent(a: Footprint, b: Footprint) -> bool:
+    """Whether two transition footprints may fail to commute."""
+    reads_a, writes_a, flags_a = a
+    reads_b, writes_b, flags_b = b
+    if (flags_a | flags_b) & FLAG_PRM:
+        return True
+    if flags_a & flags_b & (FLAG_OUT | FLAG_SC):
+        return True
+    if writes_a & writes_b:
+        return True
+    return bool(writes_a & reads_b) or bool(reads_a & writes_b)
+
+
+def thread_footprint(
+    program: Program, ts: ThreadState, gated: bool
+) -> Optional[Footprint]:
+    """The static footprint of ``ts``'s next macro-step, ``None`` if the
+    thread is disabled (done with nothing left to fulfill).
+
+    With the soundness gate up (``gated``) every enabled thread gets
+    :data:`TOP_FP`.  Otherwise the footprint is read off the next
+    instruction: loads read, stores write, CAS does both, SC fences and
+    prints carry their flags, and pure-local operations are empty.
+    """
+    if ts.local.done and not ts.has_promises:
+        return None
+    if gated or ts.local.done:
+        return TOP_FP
+    op = next_op(program, ts.local)
+    if isinstance(op, Load):
+        return (frozenset((op.loc,)), _NO_LOCS, 0)
+    if isinstance(op, Store):
+        return (_NO_LOCS, frozenset((op.loc,)), 0)
+    if isinstance(op, Cas):
+        locs = frozenset((op.loc,))
+        return (locs, locs, 0)
+    if isinstance(op, Print):
+        return (_NO_LOCS, _NO_LOCS, FLAG_OUT)
+    if isinstance(op, Fence):
+        if op.kind is FenceKind.SC:
+            return (_NO_LOCS, _NO_LOCS, FLAG_SC)
+        return EMPTY_FP  # acquire/release fences only touch own views
+    return EMPTY_FP  # Skip/Assign/Jmp/Be/Call/Return: pure-local
+
+
+@dataclass
+class DporStats:
+    """Counters describing one DPOR exploration (``explore --stats``)."""
+
+    #: Schedule nodes pushed on the DFS stack.
+    nodes: int = 0
+    #: Macro-transitions executed (per chosen thread, all successors).
+    transitions: int = 0
+    #: Subtrees skipped because a recorded visit subsumed the sleep set.
+    sleep_skips: int = 0
+    #: Nodes where every enabled thread was asleep (pruned leaves).
+    sleep_blocked: int = 0
+    #: Threads added to an ancestor's backtrack set by the race clause.
+    backtrack_points: int = 0
+    #: Nodes forced to full expansion by the cycle proviso.
+    full_expansions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict rendering for JSON output."""
+        return {
+            "nodes": self.nodes,
+            "transitions": self.transitions,
+            "sleep_skips": self.sleep_skips,
+            "sleep_blocked": self.sleep_blocked,
+            "backtrack_points": self.backtrack_points,
+            "full_expansions": self.full_expansions,
+        }
+
+
+@dataclass
+class _Node:
+    """One schedule node on the DPOR DFS stack.
+
+    ``backtrack``/``done`` realize the Flanagan–Godefroid sets; ``sleep``
+    is the entry sleep set; ``summary`` accumulates ``{tid: footprint}``
+    for every transition executed in the subtree below (merged upward on
+    pop, replayed for the race clause when a memoized subtree is skipped).
+    """
+
+    idx: int
+    enabled: Tuple[int, ...]
+    fp: Dict[int, Footprint]
+    sleep: FrozenSet[int]
+    backtrack: Set[int] = field(default_factory=set)
+    done: Set[int] = field(default_factory=set)
+    summary: Dict[int, Footprint] = field(default_factory=dict)
+    full: bool = False
+    chosen: Optional[int] = None
+    queue: List[int] = field(default_factory=list)
+    child_sleep: FrozenSet[int] = frozenset()
+
+
+def _merge_fp(summary: Dict[int, Footprint], tid: int, fp: Footprint) -> None:
+    old = summary.get(tid)
+    if old is None:
+        summary[tid] = fp
+    elif old != fp:
+        summary[tid] = (old[0] | fp[0], old[1] | fp[1], old[2] | fp[2])
+
+
+def _merge_summary(into: Dict[int, Footprint], new: Dict[int, Footprint]) -> None:
+    for tid, fp in new.items():
+        _merge_fp(into, tid, fp)
+
+
+def _race_clause(stack: List[_Node], tid: int, fp: Footprint, stats: DporStats) -> None:
+    """Add backtrack points for a (future) transition of ``tid`` with
+    footprint ``fp`` against every stack ancestor whose chosen transition
+    is dependent with it.
+
+    This is the conservative all-ancestors variant of the Flanagan–
+    Godefroid race clause: over-approximating the set of racing ancestors
+    only adds exploration, never loses a schedule.
+    """
+    for node in stack:
+        chosen = node.chosen
+        if chosen is None or chosen == tid:
+            continue
+        if not dependent(node.fp[chosen], fp):
+            continue
+        if tid in node.fp:
+            if tid not in node.backtrack:
+                node.backtrack.add(tid)
+                stats.backtrack_points += 1
+        else:
+            for other in node.enabled:
+                if other not in node.backtrack:
+                    node.backtrack.add(other)
+                    stats.backtrack_points += 1
+
+
+def dpor_build(
+    explorer,
+    meter=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: int = 100_000,
+) -> None:
+    """Explore ``explorer.program`` with sleep-set DPOR, filling the
+    explorer's ``states``/``edges``/``terminal`` arrays in place.
+
+    Budget-aware exactly like the BFS: ``meter`` is ticked between atomic
+    operations and a trip stops the search in a consistent, resumable
+    shape (the live DFS stack, memo tables and stats are kept on the
+    explorer as ``_dpor_state`` for :meth:`Explorer.snapshot`).
+    """
+    program: Program = explorer.program
+    config: SemanticsConfig = explorer.config
+    gated = (
+        config.promise_budget > 0
+        or config.enable_reservations
+        or config.gap_leaving_writes
+    )
+
+    resume = getattr(explorer, "_dpor_resume", None)
+    if resume is not None:
+        stack, visited, summaries, stats = resume
+        explorer._dpor_resume = None
+    else:
+        stack = []
+        #: idx -> entry sleep sets of completed explorations of that state.
+        visited: Dict[int, List[FrozenSet[int]]] = {}
+        #: idx -> merged subtree summary over those explorations.
+        summaries: Dict[int, Dict[int, Footprint]] = {}
+        stats = DporStats()
+    explorer.dpor_stats = stats
+    explorer._dpor_state = (stack, visited, summaries, stats)
+    on_stack: Dict[int, _Node] = {node.idx: node for node in stack}
+    edge_seen: Set[Tuple[int, Optional[int], int]] = {
+        (idx, label, succ)
+        for idx, out in enumerate(explorer.edges)
+        for label, succ in out
+    }
+
+    def intern(state) -> Optional[int]:
+        idx = explorer._index.get(state)
+        if idx is not None:
+            return idx
+        if len(explorer.states) >= config.max_states:
+            explorer.exhaustive = False
+            explorer.stop_reason = explorer.stop_reason or "states"
+            explorer.dropped_edges += 1
+            return None
+        idx = len(explorer.states)
+        explorer._index[state] = idx
+        explorer.states.append(state)
+        explorer.edges.append([])
+        explorer.terminal.append(state.all_done)
+        return idx
+
+    def push(idx: int, sleep: FrozenSet[int]) -> None:
+        state = explorer.states[idx]
+        stats.nodes += 1
+        enabled: List[int] = []
+        fps: Dict[int, Footprint] = {}
+        for tid, ts in enumerate(state.pool):
+            fp = thread_footprint(program, ts, gated)
+            if fp is None:
+                continue
+            enabled.append(tid)
+            fps[tid] = fp
+        node = _Node(idx=idx, enabled=tuple(enabled), fp=fps, sleep=sleep)
+        for tid in enabled:
+            _race_clause(stack, tid, fps[tid], stats)
+        if enabled:
+            # Seed the backtrack set with one awake thread, preferring one
+            # whose next step is pure-local (empty footprint): nothing is
+            # ever dependent with it, so the race clause can never force a
+            # sibling and the node stays a singleton — local-step fusion
+            # falls out of DPOR as a special case.
+            awake = [tid for tid in enabled if tid not in sleep]
+            if not awake:
+                stats.sleep_blocked += 1
+            else:
+                seed = next(
+                    (tid for tid in awake if fps[tid] == EMPTY_FP), awake[0]
+                )
+                node.backtrack.add(seed)
+        stack.append(node)
+        on_stack[idx] = node
+
+    def execute(node: _Node, tid: int) -> List[int]:
+        state = explorer.states[node.idx]
+        succs: List[int] = []
+        seen: Set[int] = set()
+        for event, new_ts, new_mem in thread_steps(
+            program, state.pool[tid], state.mem, config
+        ):
+            is_out = isinstance(event, OutputEvent)
+            if not is_out and not consistent(
+                program,
+                new_ts,
+                new_mem,
+                config,
+                explorer.cert_cache,
+                explorer.cert_stats,
+                explorer.cert_precheck,
+            ):
+                continue
+            new_state = MachineState(
+                update_pool(state.pool, tid, new_ts), tid, new_mem
+            )
+            if new_mem.needs_renormalize:
+                new_state = renormalized_state(new_state)
+            succ_idx = intern(new_state)
+            if succ_idx is None:
+                continue
+            label = int(event.value) if is_out else None
+            key = (node.idx, label, succ_idx)
+            if key not in edge_seen:
+                edge_seen.add(key)
+                explorer.edges[node.idx].append((label, succ_idx))
+            if succ_idx not in seen:
+                seen.add(succ_idx)
+                succs.append(succ_idx)
+        return succs
+
+    if not stack:
+        push(0, frozenset())
+
+    next_checkpoint = len(explorer.states) + checkpoint_interval
+    while stack:
+        if meter is not None:
+            try:
+                meter.tick(
+                    len(explorer.states),
+                    sample=explorer.states[-1] if explorer.states else None,
+                )
+            except BudgetExhausted as exc:
+                explorer.exhaustive = False
+                explorer.stop_reason = exc.reason
+                return
+        if checkpoint_path and len(explorer.states) >= next_checkpoint:
+            from repro.robust.checkpoint import save_checkpoint
+
+            save_checkpoint(explorer.snapshot(), checkpoint_path)
+            next_checkpoint = len(explorer.states) + checkpoint_interval
+
+        node = stack[-1]
+        if node.queue:
+            succ = node.queue.pop()
+            target = on_stack.get(succ)
+            if target is not None:
+                # Back edge: cycle proviso — fully expand the cycle target
+                # so no transition is ignored around the loop.
+                if not target.full:
+                    target.full = True
+                    target.sleep = frozenset()
+                    target.backtrack = set(target.enabled)
+                    stats.full_expansions += 1
+                continue
+            records = visited.get(succ)
+            if records is not None and any(s <= node.child_sleep for s in records):
+                # A previous exploration with a smaller sleep set subsumes
+                # this visit; replay its transition summary for the race
+                # clause and skip the subtree.
+                stats.sleep_skips += 1
+                summ = summaries.get(succ, {})
+                for tid, fp in summ.items():
+                    _race_clause(stack, tid, fp, stats)
+                _merge_summary(node.summary, summ)
+                continue
+            push(succ, node.child_sleep)
+            continue
+
+        if node.chosen is not None:
+            node.done.add(node.chosen)
+            _merge_fp(node.summary, node.chosen, node.fp[node.chosen])
+            node.chosen = None
+
+        nxt = None
+        for tid in sorted(node.backtrack):
+            if tid not in node.done and tid not in node.sleep:
+                nxt = tid
+                break
+        if nxt is None:
+            stack.pop()
+            del on_stack[node.idx]
+            visited.setdefault(node.idx, []).append(node.sleep)
+            _merge_summary(summaries.setdefault(node.idx, {}), node.summary)
+            if stack:
+                _merge_summary(stack[-1].summary, node.summary)
+            continue
+
+        node.chosen = nxt
+        stats.transitions += 1
+        node.queue = execute(node, nxt)
+        chosen_fp = node.fp[nxt]
+        node.child_sleep = frozenset(
+            tid
+            for tid in (node.sleep | node.done)
+            if tid != nxt
+            and tid in node.fp
+            and not dependent(node.fp[tid], chosen_fp)
+        )
+
+    explorer._dpor_state = None

@@ -17,17 +17,24 @@ certifiable by the bundle's own continuation; single-step granularity
 therefore reaches the same consistent machine states while keeping the
 state graph canonical (this is the standard presentation in the PS
 literature, e.g. Kang et al. POPL'17).
+
+Timestamps are integers with bounded in-gap headroom
+(:mod:`repro.memory.timestamps`): whenever a successor state's memory is
+*tight* (some free gap shrunk below ``MIN_GAP``), the successor is
+renormalized — every timestamp in the whole state is remapped through one
+order-preserving map — before it is handed to the explorer.  The current
+state is never renormalized in place (the explorer indexes it by identity).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Set, Tuple, Union
 
 from repro.lang.syntax import Assign, Be, Call, Jmp, Program, Return, Skip
-from repro.perf.intern import HashConsed, intern_pool, seal
-from repro.semantics.threadstate import next_op
 from repro.memory.memory import Memory
+from repro.memory.timestamps import Timestamp, renormalize_map
+from repro.perf.intern import HashConsed, intern_pool, seal
 from repro.semantics.certification import CertificationStats, consistent
 from repro.semantics.events import OutputEvent, SilentEvent
 from repro.semantics.thread import SemanticsConfig, thread_steps
@@ -35,6 +42,7 @@ from repro.semantics.threadstate import (
     ThreadPool,
     ThreadState,
     initial_thread_state,
+    next_op,
     update_pool,
 )
 
@@ -53,7 +61,6 @@ class SwitchEvent:
 ProgEvent = Union[SilentEvent, OutputEvent, SwitchEvent]
 
 
-@dataclass(frozen=True)
 class MachineState(HashConsed):
     """``W = (TP, t, M)``.
 
@@ -64,16 +71,16 @@ class MachineState(HashConsed):
     (:mod:`repro.perf.intern`).
     """
 
-    pool: ThreadPool
-    cur: int
-    mem: Memory
+    __slots__ = ("pool", "cur", "mem")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "pool", intern_pool(self.pool))
-        seal(self, ("W", self.pool, self.cur, self.mem._hashcode))
+    _fields = ("pool", "cur", "mem")
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def __init__(self, pool: ThreadPool, cur: int, mem: Memory) -> None:
+        pool = intern_pool(pool)
+        object.__setattr__(self, "pool", pool)
+        object.__setattr__(self, "cur", cur)
+        object.__setattr__(self, "mem", mem)
+        seal(self, ("W", pool, cur, mem._hashcode))
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -83,6 +90,8 @@ class MachineState(HashConsed):
         if self._hashcode != other._hashcode:
             return False
         return self.cur == other.cur and self.mem == other.mem and self.pool == other.pool
+
+    __hash__ = HashConsed.__hash__
 
     @property
     def current_thread(self) -> ThreadState:
@@ -96,6 +105,31 @@ class MachineState(HashConsed):
     def __str__(self) -> str:
         threads = ", ".join(f"t{i}:{ts.local}" for i, ts in enumerate(self.pool))
         return f"W(cur=t{self.cur}, [{threads}], M={self.mem})"
+
+
+def renormalized_state(state):
+    """``state`` with all timestamps renormalized, if its memory is tight.
+
+    Builds **one** rank map over every timestamp in the state — memory
+    intervals, the SC view, each thread's views and promise set — and
+    remaps everything through it, so every cross-structure equality
+    (views pointing at message timestamps, promises mirrored in memory)
+    survives.  Order is preserved exactly, so the result is
+    observationally identical with all gaps reopened to ``GRANULE``.
+
+    Works for both machine flavors (anything with ``pool``/``mem`` fields
+    and a ``replace`` method).  States whose memory is not tight are
+    returned unchanged — the common case is a single attribute check.
+    """
+    if not state.mem.needs_renormalize:
+        return state
+    stamps: Set[Timestamp] = set()
+    state.mem.collect_timestamps(stamps)
+    for ts in state.pool:
+        ts.collect_timestamps(stamps)
+    mapping = renormalize_map(stamps)
+    pool = tuple(ts.remap_timestamps(mapping) for ts in state.pool)
+    return state.replace(pool=pool, mem=state.mem.remap_timestamps(mapping))
 
 
 def initial_machine_state(program: Program, config: SemanticsConfig) -> MachineState:
@@ -158,10 +192,13 @@ def machine_steps(
 ) -> Iterator[Tuple[ProgEvent, MachineState]]:
     """Enumerate all machine steps from ``state`` (Fig. 9).
 
+    Successor states with tight memories are renormalized before they are
+    yielded (``state`` itself never is — see :func:`renormalized_state`).
+
     ``cert_precheck`` optionally carries a static
     :class:`repro.static.certcheck.FulfillMap` that lets ``consistent``
     refute unfulfillable promise sets without searching."""
-    if config.fuse_local_steps:
+    if config.fuse_local_steps or config.por == "fusion":
         fused = _fused_local_step(
             program, state, config, cert_cache, cert_stats, cert_precheck
         )
@@ -169,7 +206,9 @@ def machine_steps(
             yield SilentEvent(), fused
             return
 
-    # (sw-step): switch to any other live thread.
+    # (sw-step): switch to any other live thread.  The memory is shared
+    # with ``state``, which was renormalized when it was created, so no
+    # renormalization check is needed on switch successors.
     for tid, ts in enumerate(state.pool):
         if tid == state.cur:
             continue
@@ -181,6 +220,8 @@ def machine_steps(
     ts = state.current_thread
     for event, new_ts, new_mem in thread_steps(program, ts, state.mem, config):
         new_state = MachineState(update_pool(state.pool, state.cur, new_ts), state.cur, new_mem)
+        if new_mem.needs_renormalize:
+            new_state = renormalized_state(new_state)
         if isinstance(event, OutputEvent):
             yield event, new_state
         else:

@@ -20,7 +20,6 @@ observable behaviors; `tests/semantics/test_equivalence.py` and the
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.lang.syntax import Program
@@ -36,7 +35,12 @@ from repro.semantics.events import (
     SilentEvent,
     event_class,
 )
-from repro.semantics.machine import ProgEvent, SwitchEvent, initial_machine_state
+from repro.semantics.machine import (
+    ProgEvent,
+    SwitchEvent,
+    initial_machine_state,
+    renormalized_state,
+)
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import ThreadPool, ThreadState, update_pool
 
@@ -51,22 +55,27 @@ class SwitchBit(enum.Enum):
         return "◦" if self is SwitchBit.FREE else "•"
 
 
-@dataclass(frozen=True)
 class NPMachineState(HashConsed):
     """``Ŵ = (TP, t, M, β)`` (hash-consed like
     :class:`~repro.semantics.machine.MachineState`)."""
 
-    pool: ThreadPool
-    cur: int
-    mem: Memory
-    bit: SwitchBit = SwitchBit.FREE
+    __slots__ = ("pool", "cur", "mem", "bit")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "pool", intern_pool(self.pool))
-        seal(self, ("NPW", self.pool, self.cur, self.mem._hashcode, self.bit))
+    _fields = ("pool", "cur", "mem", "bit")
 
-    def __hash__(self) -> int:
-        return self._hashcode
+    def __init__(
+        self,
+        pool: ThreadPool,
+        cur: int,
+        mem: Memory,
+        bit: SwitchBit = SwitchBit.FREE,
+    ) -> None:
+        pool = intern_pool(pool)
+        object.__setattr__(self, "pool", pool)
+        object.__setattr__(self, "cur", cur)
+        object.__setattr__(self, "mem", mem)
+        object.__setattr__(self, "bit", bit)
+        seal(self, ("NPW", pool, cur, mem._hashcode, bit.value))
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -81,6 +90,8 @@ class NPMachineState(HashConsed):
             and self.mem == other.mem
             and self.pool == other.pool
         )
+
+    __hash__ = HashConsed.__hash__
 
     @property
     def current_thread(self) -> ThreadState:
@@ -157,6 +168,8 @@ def np_machine_steps(
         new_state = NPMachineState(
             update_pool(state.pool, state.cur, new_ts), state.cur, new_mem, new_bit
         )
+        if new_mem.needs_renormalize:
+            new_state = renormalized_state(new_state)
         if isinstance(event, OutputEvent):
             yield event, new_state
         else:

@@ -18,7 +18,7 @@ Two uses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lang.syntax import (
@@ -100,7 +100,7 @@ def sc_thread_step(
     if local.offset < len(block.instrs):
         instr = block.instrs[local.offset]
         regs = local.reg_map
-        advance = replace(local, offset=local.offset + 1)
+        advance = local.replace(offset=local.offset + 1)
         if isinstance(instr, Skip) or isinstance(instr, Fence):
             return None, advance, mem
         if isinstance(instr, Assign):
@@ -122,15 +122,14 @@ def sc_thread_step(
 
     term = block.term
     if isinstance(term, Jmp):
-        return None, replace(local, label=term.target, offset=0), mem
+        return None, local.replace(label=term.target, offset=0), mem
     if isinstance(term, Be):
         cond = eval_expr(term.cond, local.reg_map)
         target = term.then_target if cond != 0 else term.else_target
-        return None, replace(local, label=target, offset=0), mem
+        return None, local.replace(label=target, offset=0), mem
     if isinstance(term, Call):
         callee = program.function(term.func)
-        new_local = replace(
-            local,
+        new_local = local.replace(
             func=term.func,
             label=callee.entry,
             offset=0,
@@ -140,8 +139,8 @@ def sc_thread_step(
     if isinstance(term, Return):
         if local.stack:
             caller, ret_label = local.stack[-1]
-            return None, replace(local, func=caller, label=ret_label, offset=0, stack=local.stack[:-1]), mem
-        return None, replace(local, done=True), mem
+            return None, local.replace(func=caller, label=ret_label, offset=0, stack=local.stack[:-1]), mem
+        return None, local.replace(done=True), mem
     raise TypeError(f"not a terminator: {term!r}")
 
 

@@ -26,7 +26,7 @@ Mode semantics implemented here (paper Sec. 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
 
 from repro.lang.syntax import (
@@ -51,6 +51,7 @@ from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.message import Message, Reservation
 from repro.memory.timemap import BOTTOM_VIEW, View
+from repro.memory.timestamps import successor
 from repro.semantics.events import (
     CancelEvent,
     FenceEvent,
@@ -84,6 +85,14 @@ class SemanticsConfig:
     fulfill map of :mod:`repro.static.certcheck` once per program and
     skip certification searches it refutes (sound — identical results,
     fewer searches; only relevant when promises are enabled);
+    ``por`` selects the partial-order reduction the explorer applies:
+    ``"none"`` (every interleaving), ``"fusion"`` (eager pure-local step
+    fusion, equivalent to ``fuse_local_steps``), or ``"dpor"`` (sleep-set
+    dynamic POR over the message-dependency relation, see
+    :mod:`repro.semantics.dpor`).  The default is ``"none"`` because
+    several consumers (the race detectors, the simulation checker) inspect
+    the *shape* of the state graph, not just its traces; the ``explore``
+    CLI defaults to ``dpor``.
     ``max_states`` / ``max_outputs`` bound exploration graph size and
     observable trace length.  ``budget`` optionally attaches a
     :class:`repro.robust.budget.Budget` (wall-clock deadline, state cap,
@@ -97,6 +106,7 @@ class SemanticsConfig:
     gap_leaving_writes: bool = False
     certify_against_cap: bool = True
     fuse_local_steps: bool = False
+    por: str = "none"
     certification_max_steps: int = 5000
     certification_cache_cap: int = 100_000
     certification_precheck: bool = True
@@ -114,7 +124,7 @@ StepResult = Tuple[ThreadEvent, ThreadState, Memory]
 
 def _advance(local: LocalState) -> LocalState:
     """Move past the current instruction inside the block."""
-    return replace(local, offset=local.offset + 1)
+    return local.replace(offset=local.offset + 1)
 
 
 def thread_steps(
@@ -224,7 +234,7 @@ def _fence_steps(ts: ThreadState, mem: Memory, kind: FenceKind) -> Iterator[Step
         new_mem = mem.with_sc_view(merged)
     if kind in (FenceKind.REL, FenceKind.SC):
         vrel = vrel.join(view)
-    new_ts = replace(ts, local=_advance(ts.local), view=view, vrel=vrel, vacq=vacq)
+    new_ts = ts.replace(local=_advance(ts.local), view=view, vrel=vrel, vacq=vacq)
     yield FenceEvent(kind), new_ts, new_mem
 
 
@@ -244,7 +254,7 @@ def _read_steps(ts: ThreadState, mem: Memory, instr: Load) -> Iterator[StepResul
             if mode is AccessMode.ACQ:
                 view = view.join(message.view)
         new_local = _advance(ts.local.set_reg(instr.dst, message.value))
-        new_ts = replace(ts, local=new_local, view=view, vacq=vacq)
+        new_ts = ts.replace(local=new_local, view=view, vacq=vacq)
         yield ReadEvent(mode, instr.loc, message.value), new_ts, mem
 
 
@@ -266,8 +276,8 @@ def _write_steps(
             if item.var != loc or item.value != value or item.to <= floor:
                 continue
             view = ts.view.bump_write(loc, item.to)
-            new_ts = replace(
-                ts, local=new_local, view=view, promises=ts.promises.remove(item)
+            new_ts = ts.replace(
+                local=new_local, view=view, promises=ts.promises.remove(item)
             )
             yield event, new_ts, mem
 
@@ -284,7 +294,7 @@ def _write_steps(
         new_mem = mem.try_add(Message(loc, value, frm, to, msg_view))
         if new_mem is None:
             continue
-        new_ts = replace(ts, local=new_local, view=view)
+        new_ts = ts.replace(local=new_local, view=view)
         yield event, new_ts, new_mem
 
 
@@ -319,7 +329,7 @@ def _cas_steps(ts: ThreadState, mem: Memory, instr: Cas) -> Iterator[StepResult]
             if instr.mode_r is AccessMode.ACQ:
                 view = view.join(message.view)
             new_local = _advance(ts.local.set_reg(instr.dst, Int32(0)))
-            new_ts = replace(ts, local=new_local, view=view, vacq=vacq)
+            new_ts = ts.replace(local=new_local, view=view, vacq=vacq)
             yield ReadEvent(instr.mode_r, loc, message.value), new_ts, mem
             continue
 
@@ -343,7 +353,7 @@ def _cas_steps(ts: ThreadState, mem: Memory, instr: Cas) -> Iterator[StepResult]
         if new_mem is None:
             continue
         new_local = _advance(ts.local.set_reg(instr.dst, Int32(1)))
-        new_ts = replace(ts, local=new_local, view=view, vacq=vacq)
+        new_ts = ts.replace(local=new_local, view=view, vacq=vacq)
         yield (
             UpdateEvent(instr.mode_r, instr.mode_w, loc, message.value, new_value),
             new_ts,
@@ -356,19 +366,18 @@ def _terminator_steps(
 ) -> Iterator[StepResult]:
     local = ts.local
     if isinstance(term, Jmp):
-        new_local = replace(local, label=term.target, offset=0)
+        new_local = local.replace(label=term.target, offset=0)
         yield SilentEvent(), ts.with_local(new_local), mem
         return
     if isinstance(term, Be):
         cond = eval_expr(term.cond, local.reg_map)
         target = term.then_target if cond != 0 else term.else_target
-        new_local = replace(local, label=target, offset=0)
+        new_local = local.replace(label=target, offset=0)
         yield SilentEvent(), ts.with_local(new_local), mem
         return
     if isinstance(term, Call):
         callee = program.function(term.func)
-        new_local = replace(
-            local,
+        new_local = local.replace(
             func=term.func,
             label=callee.entry,
             offset=0,
@@ -379,11 +388,11 @@ def _terminator_steps(
     if isinstance(term, Return):
         if local.stack:
             caller_func, ret_label = local.stack[-1]
-            new_local = replace(
-                local, func=caller_func, label=ret_label, offset=0, stack=local.stack[:-1]
+            new_local = local.replace(
+                func=caller_func, label=ret_label, offset=0, stack=local.stack[:-1]
             )
         else:
-            new_local = replace(local, done=True)
+            new_local = local.replace(done=True)
         yield SilentEvent(), ts.with_local(new_local), mem
         return
     raise TypeError(f"not a terminator: {term!r}")
@@ -406,8 +415,7 @@ def _promise_steps(
             new_mem = mem.try_add(message)
             if new_mem is None:
                 continue
-            new_ts = replace(
-                ts,
+            new_ts = ts.replace(
                 promises=ts.promises.add(message),
                 promise_budget=ts.promise_budget - 1,
             )
@@ -426,11 +434,11 @@ def _reserve_steps(
         return
     for loc in mem.locations():
         last = mem.latest_ts(loc)
-        reservation = Reservation(loc, last, last + 1)
+        reservation = Reservation(loc, last, successor(last))
         new_mem = mem.try_add(reservation)
         if new_mem is None:
             continue
-        new_ts = replace(ts, promises=ts.promises.add(reservation))
+        new_ts = ts.replace(promises=ts.promises.add(reservation))
         yield ReserveEvent(loc), new_ts, new_mem
 
 
@@ -438,5 +446,5 @@ def _cancel_steps(ts: ThreadState, mem: Memory) -> Iterator[StepResult]:
     for item in ts.promises:
         if not isinstance(item, Reservation):
             continue
-        new_ts = replace(ts, promises=ts.promises.remove(item))
+        new_ts = ts.replace(promises=ts.promises.remove(item))
         yield CancelEvent(item.var), new_ts, mem.remove(item)

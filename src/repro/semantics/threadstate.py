@@ -7,22 +7,22 @@ stack.  A :class:`ThreadState` bundles the local state with the PS2.1 view
 views of the full PS2.1 thread-view structure (``vrel``, ``vacq``), which the
 paper elides together with fences (footnote 1).
 
-Everything is immutable and hashable.
+Everything is an immutable ``__slots__`` struct with a deterministic hash
+sealed at construction (:mod:`repro.perf.intern`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.lang.syntax import Instr, Program, Terminator
 from repro.lang.values import Int32
 from repro.memory.memory import Memory
 from repro.memory.timemap import BOTTOM_VIEW, View
+from repro.memory.timestamps import Timestamp
 from repro.perf.intern import HashConsed, intern_view, seal
 
 
-@dataclass(frozen=True)
 class LocalState(HashConsed):
     """The sequential control state ``σ`` of one thread.
 
@@ -30,25 +30,29 @@ class LocalState(HashConsed):
     ``done`` marks a thread that executed ``return`` with an empty stack.
     """
 
-    func: str
-    label: str
-    offset: int
-    regs: Tuple[Tuple[str, Int32], ...] = ()
-    stack: Tuple[Tuple[str, str], ...] = ()
-    done: bool = False
+    __slots__ = ("func", "label", "offset", "regs", "stack", "done")
 
-    def __post_init__(self) -> None:
+    _fields = ("func", "label", "offset", "regs", "stack", "done")
+
+    def __init__(
+        self,
+        func: str,
+        label: str,
+        offset: int,
+        regs: Tuple[Tuple[str, Int32], ...] = (),
+        stack: Tuple[Tuple[str, str], ...] = (),
+        done: bool = False,
+    ) -> None:
         cleaned = tuple(
-            sorted((name, Int32(value)) for name, value in dict(self.regs).items() if value != 0)
+            sorted((name, Int32(value)) for name, value in dict(regs).items() if value != 0)
         )
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "offset", offset)
         object.__setattr__(self, "regs", cleaned)
-        seal(
-            self,
-            ("Local", self.func, self.label, self.offset, cleaned, self.stack, self.done),
-        )
-
-    def __hash__(self) -> int:
-        return self._hashcode
+        object.__setattr__(self, "stack", stack)
+        object.__setattr__(self, "done", done)
+        seal(self, ("Local", func, label, offset, cleaned, stack, done))
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -66,6 +70,8 @@ class LocalState(HashConsed):
             and self.done == other.done
         )
 
+    __hash__ = HashConsed.__hash__
+
     @property
     def reg_map(self) -> Dict[str, Int32]:
         """The register file as a plain dict (absent registers are 0)."""
@@ -82,7 +88,7 @@ class LocalState(HashConsed):
         """A copy with the register bound to ``value``."""
         regs = dict(self.regs)
         regs[name] = Int32(value)
-        return replace(self, regs=tuple(regs.items()))
+        return self.replace(regs=tuple(regs.items()))
 
     def __str__(self) -> str:
         if self.done:
@@ -104,7 +110,9 @@ def next_op(program: Program, local: LocalState) -> Optional[Union[Instr, Termin
     return block.term
 
 
-@dataclass(frozen=True)
+_EMPTY_PROMISES = Memory(())
+
+
 class ThreadState(HashConsed):
     """``TS = (σ, V, P)`` plus the fence views of the full PS2.1 model.
 
@@ -118,35 +126,45 @@ class ThreadState(HashConsed):
     ``V⊥`` or a handful of joined views) and precomputes the hash.
     """
 
-    local: LocalState
-    view: View = BOTTOM_VIEW
-    promises: Memory = Memory(())
-    vrel: View = BOTTOM_VIEW
-    vacq: View = BOTTOM_VIEW
-    promise_budget: int = 0
+    __slots__ = ("local", "view", "promises", "vrel", "vacq", "promise_budget")
 
-    def __post_init__(self) -> None:
+    _fields = ("local", "view", "promises", "vrel", "vacq", "promise_budget")
+
+    def __init__(
+        self,
+        local: LocalState,
+        view: View = BOTTOM_VIEW,
+        promises: Memory = _EMPTY_PROMISES,
+        vrel: View = BOTTOM_VIEW,
+        vacq: View = BOTTOM_VIEW,
+        promise_budget: int = 0,
+    ) -> None:
         # Duck-typed view stand-ins (the races API accepts any object with
         # tna/trlx) are neither internable nor hash-consed: skip them.
-        for name in ("view", "vrel", "vacq"):
-            value = getattr(self, name)
-            if isinstance(value, View):
-                object.__setattr__(self, name, intern_view(value))
+        if isinstance(view, View):
+            view = intern_view(view)
+        if isinstance(vrel, View):
+            vrel = intern_view(vrel)
+        if isinstance(vacq, View):
+            vacq = intern_view(vacq)
+        object.__setattr__(self, "local", local)
+        object.__setattr__(self, "view", view)
+        object.__setattr__(self, "promises", promises)
+        object.__setattr__(self, "vrel", vrel)
+        object.__setattr__(self, "vacq", vacq)
+        object.__setattr__(self, "promise_budget", promise_budget)
         seal(
             self,
             (
                 "TS",
-                self.local._hashcode,
-                getattr(self.view, "_hashcode", 0),
-                self.promises._hashcode,
-                getattr(self.vrel, "_hashcode", 0),
-                getattr(self.vacq, "_hashcode", 0),
-                self.promise_budget,
+                local._hashcode,
+                getattr(view, "_hashcode", 0),
+                promises._hashcode,
+                getattr(vrel, "_hashcode", 0),
+                getattr(vacq, "_hashcode", 0),
+                promise_budget,
             ),
         )
-
-    def __hash__(self) -> int:
-        return self._hashcode
 
     def __eq__(self, other) -> bool:
         if self is other:
@@ -164,18 +182,38 @@ class ThreadState(HashConsed):
             and self.promise_budget == other.promise_budget
         )
 
+    __hash__ = HashConsed.__hash__
+
     def with_local(self, local: LocalState) -> "ThreadState":
         """A copy with the sequential state replaced."""
-        return replace(self, local=local)
+        return self.replace(local=local)
 
     def with_view(self, view: View) -> "ThreadState":
         """A copy with the thread view replaced."""
-        return replace(self, view=view)
+        return self.replace(view=view)
 
     @property
     def has_promises(self) -> bool:
         """Whether any *concrete* promise (not a mere reservation) remains."""
         return any(item.is_concrete for item in self.promises)
+
+    def collect_timestamps(self, into: Set[Timestamp]) -> None:
+        """Add every timestamp in the views and promise set to ``into``."""
+        for view in (self.view, self.vrel, self.vacq):
+            if isinstance(view, View):
+                view.collect_timestamps(into)
+        self.promises.collect_timestamps(into)
+
+    def remap_timestamps(self, mapping: Dict[Timestamp, Timestamp]) -> "ThreadState":
+        """The thread state with every timestamp pushed through ``mapping``."""
+        return ThreadState(
+            self.local,
+            self.view.remap_timestamps(mapping),
+            self.promises.remap_timestamps(mapping),
+            self.vrel.remap_timestamps(mapping),
+            self.vacq.remap_timestamps(mapping),
+            self.promise_budget,
+        )
 
     def __str__(self) -> str:
         return f"TS({self.local}, V={self.view}, P={self.promises})"

@@ -1,7 +1,5 @@
 """Memory tests: disjointness, gaps, canonical placement, capped memory."""
 
-from fractions import Fraction
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +7,9 @@ from hypothesis import strategies as st
 from repro.lang.values import Int32
 from repro.memory.memory import Memory, capped_memory
 from repro.memory.message import Message, Reservation, init_message
-from repro.memory.timestamps import ts
+from repro.memory.timestamps import GRANULE, ts
+
+G = GRANULE
 
 
 def msg(var, value, frm, to):
@@ -96,19 +96,19 @@ class TestGaps:
 
 class TestCandidateIntervals:
     def test_append_only_when_dense(self):
-        mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
-        assert mem.candidate_intervals("x", ts(0)) == ((ts(1), ts(2)),)
+        mem = Memory((init_message("x"), msg("x", 1, 0, G)))
+        assert mem.candidate_intervals("x", ts(0)) == ((G, 2 * G),)
 
     def test_gap_candidate(self):
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G)))
         candidates = mem.candidate_intervals("x", ts(0))
-        assert (ts(0), Fraction(1, 2)) in candidates
-        assert (ts(2), ts(3)) in candidates
+        assert (ts(0), G // 2) in candidates
+        assert (2 * G, 3 * G) in candidates
 
     def test_floor_filters_candidates(self):
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
-        candidates = mem.candidate_intervals("x", ts(2))
-        assert candidates == ((ts(2), ts(3)),)
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G)))
+        candidates = mem.candidate_intervals("x", 2 * G)
+        assert candidates == ((2 * G, 3 * G),)
 
     def test_gap_leaving_adds_raised_from(self):
         mem = Memory((init_message("x"),))
@@ -118,7 +118,7 @@ class TestCandidateIntervals:
         assert all(frm < to for frm, to in leaving)
 
     def test_candidates_are_insertable(self):
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2), msg("x", 2, 3, 4)))
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G), msg("x", 2, 3 * G, 4 * G)))
         for frm, to in mem.candidate_intervals("x", ts(0), leave_gaps=True):
             assert mem.try_add(Message("x", Int32(9), frm, to)) is not None
 
@@ -126,40 +126,40 @@ class TestCandidateIntervals:
 class TestCasInterval:
     def test_cas_adjacent_free(self):
         mem = Memory((init_message("x"),))
-        assert mem.cas_interval("x", ts(0)) == (ts(0), ts(1))
+        assert mem.cas_interval("x", ts(0)) == (ts(0), G)
 
     def test_cas_blocked_by_adjacent_message(self):
         mem = Memory((init_message("x"), msg("x", 1, 0, 1)))
         assert mem.cas_interval("x", ts(0)) is None
 
     def test_cas_squeezes_into_gap(self):
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G)))
         interval = mem.cas_interval("x", ts(0))
-        assert interval == (ts(0), Fraction(1, 2))
+        assert interval == (ts(0), G // 2)
 
 
 class TestCappedMemory:
     def test_cap_fills_gaps_and_caps(self):
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G)))
         capped = capped_memory(mem)
-        # gap (0,1) filled, cap (2,3] added
+        # gap (0,G) filled, cap (2G,3G] added
         reservations = [m for m in capped if m.is_reservation]
-        assert (ts(0), ts(1)) in [(r.frm, r.to) for r in reservations]
-        assert (ts(2), ts(3)) in [(r.frm, r.to) for r in reservations]
+        assert (ts(0), G) in [(r.frm, r.to) for r in reservations]
+        assert (2 * G, 3 * G) in [(r.frm, r.to) for r in reservations]
 
     def test_capped_memory_has_no_candidates_below_cap(self):
         """After capping, a thread can only append past the cap — the point
         of the construction (no squeezing between existing writes)."""
-        mem = Memory((init_message("x"), msg("x", 1, 1, 2)))
+        mem = Memory((init_message("x"), msg("x", 1, G, 2 * G)))
         capped = capped_memory(mem)
         candidates = capped.candidate_intervals("x", ts(0))
-        assert candidates == ((ts(3), ts(4)),)
+        assert candidates == ((3 * G, 4 * G),)
 
     def test_cap_per_location(self):
         mem = Memory.initial(["x", "y"])
         capped = capped_memory(mem)
-        assert capped.latest_ts("x") == 1
-        assert capped.latest_ts("y") == 1
+        assert capped.latest_ts("x") == G
+        assert capped.latest_ts("y") == G
 
 
 @settings(max_examples=50, deadline=None)

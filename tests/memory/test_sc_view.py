@@ -62,4 +62,4 @@ def test_sc_fence_updates_shared_view():
     _, state, mem = next(iter(thread_steps(program, state, mem, config)))
     assert mem.sc_view.get("x") == 0  # write alone does not publish
     _, state, mem = next(iter(thread_steps(program, state, mem, config)))
-    assert mem.sc_view.get("x") == 1  # the fence does
+    assert mem.sc_view.get("x") == mem.latest_ts("x")  # the fence does

@@ -11,7 +11,7 @@ VARS = ("x", "y", "z")
 
 timemaps = st.dictionaries(
     st.sampled_from(VARS),
-    st.fractions(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
     max_size=3,
 ).map(TimeMap.of)
 

@@ -1,12 +1,24 @@
-"""Timestamp arithmetic tests."""
-
-from fractions import Fraction
+"""Timestamp arithmetic and renormalization tests."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.memory.timestamps import TS_ZERO, midpoint, successor, ts
+from repro.lang.values import Int32
+from repro.memory.memory import Memory
+from repro.memory.message import Message, init_message
+from repro.memory.timemap import TimeMap, View
+from repro.memory.timestamps import (
+    GRANULE,
+    MIN_GAP,
+    TS_ZERO,
+    GapClosed,
+    midpoint,
+    renormalize,
+    renormalize_map,
+    successor,
+    ts,
+)
 
 
 def test_zero():
@@ -15,11 +27,11 @@ def test_zero():
 
 def test_ts_constructor():
     assert ts(1) == 1
-    assert ts("1/2") == Fraction(1, 2)
+    assert ts("7") == 7
 
 
 def test_midpoint_simple():
-    assert midpoint(ts(0), ts(1)) == Fraction(1, 2)
+    assert midpoint(ts(0), GRANULE) == GRANULE // 2
 
 
 def test_midpoint_of_empty_gap_rejected():
@@ -29,29 +41,111 @@ def test_midpoint_of_empty_gap_rejected():
         midpoint(ts(2), ts(1))
 
 
-def test_successor():
-    assert successor(ts(5)) == 6
-    assert successor(Fraction(1, 2)) == Fraction(3, 2)
+def test_midpoint_of_closed_gap_raises_gap_closed():
+    with pytest.raises(GapClosed):
+        midpoint(ts(3), ts(4))
+    # GapClosed is a ValueError, so legacy handlers still catch it.
+    assert issubclass(GapClosed, ValueError)
 
 
-rationals = st.fractions(min_value=-1000, max_value=1000)
+def test_successor_strides_by_granule():
+    assert successor(ts(0)) == GRANULE
+    assert successor(ts(5)) == 5 + GRANULE
 
 
-@given(rationals, rationals)
-def test_midpoint_strictly_between(a, b):
-    lo, hi = min(a, b), max(a, b)
-    if lo == hi:
-        return
-    mid = midpoint(lo, hi)
-    assert lo < mid < hi
+def test_granule_supports_min_gap():
+    """An appended interval leaves room for both plain and gap-leaving
+    placements (width ≥ MIN_GAP) for ~32 nested halvings."""
+    lo, hi = ts(0), successor(ts(0))
+    depth = 0
+    while hi - lo >= MIN_GAP:
+        hi = midpoint(lo, hi)
+        depth += 1
+    assert depth >= 30
 
 
-@given(rationals, rationals)
-def test_midpoint_is_dense(a, b):
-    """Midpoints can be taken forever — density of Q."""
-    lo, hi = min(a, b), max(a, b)
-    if lo == hi:
-        return
-    m1 = midpoint(lo, hi)
-    m2 = midpoint(lo, m1)
-    assert lo < m2 < m1 < hi
+timestamps = st.lists(
+    st.integers(min_value=0, max_value=1 << 48), min_size=0, max_size=12
+)
+
+
+@given(timestamps)
+def test_renormalize_map_preserves_order_and_equality(stamps):
+    mapping = renormalize_map(stamps)
+    assert mapping[0] == 0
+    items = sorted(mapping.items())
+    for (a, fa), (b, fb) in zip(items, items[1:]):
+        assert a < b
+        assert fa < fb
+        assert fb - fa == GRANULE  # every gap reopens to a full granule
+
+
+@given(timestamps, timestamps)
+def test_renormalize_map_is_a_function_of_the_set(a, b):
+    """Duplicates and order do not matter — only the timestamp set."""
+    assert renormalize_map(a + b) == renormalize_map(b + a + a)
+
+
+def test_tight_memory_flagged_and_renormalize_reopens():
+    mem = Memory((init_message("x"),))
+    assert not mem.needs_renormalize
+    # Gap-leaving placements leave ever-narrower unused gaps underneath;
+    # keep squeezing the lowest gap until the memory flags itself tight.
+    rounds = 0
+    while not mem.needs_renormalize:
+        assert rounds < 40, "tightness flag never tripped"
+        frm, to = mem.candidate_intervals("x", TS_ZERO, leave_gaps=True)[1]
+        mem = mem.add(Message("x", Int32(rounds + 1), frm, to))
+        rounds += 1
+    assert mem.needs_renormalize
+    new_mem, views, mapping = renormalize(mem)
+    assert views == ()
+    assert not new_mem.needs_renormalize
+    assert len(new_mem) == len(mem)
+    # Same locations, same values, same relative order.
+    old = [(m.var, int(m.value)) for m in mem.concrete("x")]
+    new = [(m.var, int(m.value)) for m in new_mem.concrete("x")]
+    assert old == new
+
+
+def test_renormalize_shares_one_map_with_views():
+    mem = Memory((init_message("x"), Message("x", Int32(1), 0, GRANULE)))
+    tm = TimeMap((("x", GRANULE),))
+    view = View(tm, tm)
+    new_mem, (new_view,), mapping = renormalize(mem, [view])
+    # The view still points exactly at the message's to-timestamp.
+    assert new_view.trlx.get("x") == new_mem.latest_ts("x")
+    assert mapping[GRANULE] == new_mem.latest_ts("x")
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=60), min_size=0, max_size=10, unique=True
+    )
+)
+def test_renormalize_round_trip_preserves_interval_order(starts):
+    """Property: renormalizing an arbitrary (sparse, gappy) memory plus a
+    view keeps the order of all timestamps and interval adjacency."""
+    items = [init_message("x")]
+    prev = 0
+    for i, start in enumerate(sorted(starts)):
+        frm = max(prev, start * GRANULE)
+        to = frm + GRANULE // (i + 1)
+        items.append(Message("x", Int32(i), frm, to))
+        prev = to
+    mem = Memory(tuple(items))
+    tm = TimeMap((("x", mem.latest_ts("x")),)) if len(items) > 1 else TimeMap()
+    view = View(tm, tm)
+    new_mem, (new_view,), mapping = renormalize(mem, [view])
+    old_items = mem.per_loc("x")
+    new_items = new_mem.per_loc("x")
+    assert [int(m.value) for m in old_items if m.is_concrete] == [
+        int(m.value) for m in new_items if m.is_concrete
+    ]
+    for old_a, new_a, old_b, new_b in zip(
+        old_items, new_items, old_items[1:], new_items[1:]
+    ):
+        # Adjacency (frm == prev.to) and gaps survive exactly.
+        assert (old_b.frm == old_a.to) == (new_b.frm == new_a.to)
+        assert (old_b.frm > old_a.to) == (new_b.frm > new_a.to)
+    assert new_view.trlx.get("x") == new_mem.latest_ts("x") or not tm.entries

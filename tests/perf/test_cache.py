@@ -238,3 +238,31 @@ class TestBehaviorDigest:
             promise_oracle=SyntacticPromises(budget=1, max_outstanding=1)
         )
         assert behavior_digest(behaviors(lb(), promising)) != plain
+
+
+class TestSemanticsVersionBump:
+    """The integer-timestamp/DPOR rework bumped :data:`SEMANTICS_VERSION`
+    to ``ps21-repro-2``: entries from the ``-1`` era must be silent
+    misses — never served, never mistaken for corruption."""
+
+    def test_version_reflects_the_rework(self):
+        assert cache_mod.SEMANTICS_VERSION == "ps21-repro-2"
+
+    def test_old_version_entries_are_misses_not_corruption(self, tmp_path, monkeypatch):
+        config = SemanticsConfig()
+        monkeypatch.setattr(cache_mod, "SEMANTICS_VERSION", "ps21-repro-1")
+        old = ResultCache(str(tmp_path))
+        old.store("prog", config, "k", {"ok": True}, exhaustive=True)
+        monkeypatch.undo()
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.lookup("prog", config, "k") is None
+        # A version miss is not a corruption event: nothing quarantined,
+        # and storing under the new version works alongside the old entry.
+        assert fresh.quarantined == 0
+        assert fresh.store("prog", config, "k", {"ok": 2}, exhaustive=True)
+        assert fresh.lookup("prog", config, "k") == {"ok": 2}
+
+    def test_config_digest_tracks_por_mode(self):
+        digests = {config_digest(SemanticsConfig(por=por))
+                   for por in ("none", "fusion", "dpor")}
+        assert len(digests) == 3

@@ -110,8 +110,6 @@ def test_duck_typed_view_with_missing_entry():
     which used to flow into `message.to > floor` and raise TypeError.  The
     check must treat a missing entry as the zero timestamp."""
     import types
-    from dataclasses import replace
-    from fractions import Fraction
 
     from repro.memory.memory import Memory
     from repro.memory.message import Message
@@ -122,10 +120,10 @@ def test_duck_typed_view_with_missing_entry():
         [[Store("a", Const(1), AccessMode.NA)], [Store("a", Const(2), AccessMode.NA)]]
     )
     ts = initial_thread_state(program, "t1")
-    ts = replace(ts, view=types.SimpleNamespace(tna={}, trlx={}))
+    ts = ts.replace(view=types.SimpleNamespace(tna={}, trlx={}))
     mem = Memory(
         Memory.initial(["a"]).items
-        + (Message("a", 1, Fraction(0), Fraction(1)),)
+        + (Message("a", 1, 0, 1),)
     )
     assert thread_generates_ww_race(program, 0, ts, mem) == "a"
 

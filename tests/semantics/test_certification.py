@@ -1,6 +1,5 @@
 """Promise certification tests (paper Sec. 3, ``consistent``)."""
 
-from dataclasses import replace
 
 from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import AccessMode, Const, Reg, Store
@@ -20,7 +19,7 @@ def with_promise(program, func, loc, value, frm, to, mem):
     state = initial_thread_state(program, func)
     promise = Message(loc, Int32(value), ts(frm), ts(to))
     mem = mem.add(promise)
-    return replace(state, promises=Memory((promise,))), mem
+    return state.replace(promises=Memory((promise,))), mem
 
 
 def test_no_promises_always_consistent():

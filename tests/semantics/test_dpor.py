@@ -1,0 +1,213 @@
+"""Sleep-set DPOR (:mod:`repro.semantics.dpor`): behavior preservation
+against the unreduced explorer is the whole point.
+
+Equality is asserted on ``.traces`` (the observable behavior set) — state
+counts are *expected* to differ; that reduction is what DPOR is for.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import Const
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE, sb, sb_with_sc_fences
+from repro.robust.budget import Budget
+from repro.semantics.dpor import (
+    EMPTY_FP,
+    FLAG_OUT,
+    FLAG_PRM,
+    FLAG_SC,
+    TOP_FP,
+    dependent,
+)
+from repro.semantics.exploration import Explorer, behaviors
+from repro.semantics.promises import SyntacticPromises
+from repro.semantics.thread import SemanticsConfig
+
+DPOR = SemanticsConfig(por="dpor")
+
+
+def suite_config(test) -> SemanticsConfig:
+    base = SemanticsConfig()
+    if test.promise_budget:
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(
+                budget=test.promise_budget, max_outstanding=test.promise_budget
+            )
+        )
+    return base
+
+
+class TestDependency:
+    def test_disjoint_accesses_independent(self):
+        a = (frozenset(("x",)), frozenset(), 0)
+        b = (frozenset(), frozenset(("y",)), 0)
+        assert not dependent(a, b)
+
+    def test_write_read_overlap_dependent(self):
+        w = (frozenset(), frozenset(("x",)), 0)
+        r = (frozenset(("x",)), frozenset(), 0)
+        assert dependent(w, r) and dependent(r, w)
+
+    def test_read_read_overlap_independent(self):
+        r = (frozenset(("x",)), frozenset(), 0)
+        assert not dependent(r, r)
+
+    def test_flags(self):
+        out = (frozenset(), frozenset(), FLAG_OUT)
+        sc = (frozenset(), frozenset(), FLAG_SC)
+        assert dependent(out, out) and dependent(sc, sc)
+        assert not dependent(out, sc)
+        assert dependent(TOP_FP, EMPTY_FP)  # FLAG_PRM beats everything
+        assert TOP_FP[2] & FLAG_PRM
+        assert not dependent(EMPTY_FP, EMPTY_FP)
+
+
+class TestLitmusEquality:
+    @pytest.mark.parametrize("name", sorted(LITMUS_SUITE))
+    def test_dpor_preserves_behaviors_on_suite(self, name):
+        test = LITMUS_SUITE[name]
+        base = suite_config(test)
+        plain = behaviors(test.program, base)
+        reduced = behaviors(test.program, dataclasses.replace(base, por="dpor"))
+        assert plain.traces == reduced.traces, name
+        assert reduced.state_count <= plain.state_count
+
+    def test_sc_fences(self):
+        """SC fences exchange with the global SC view — mutually
+        dependent, so DPOR must keep both fence orders."""
+        plain = behaviors(sb_with_sc_fences())
+        reduced = behaviors(sb_with_sc_fences(), DPOR)
+        assert plain.traces == reduced.traces
+        assert (0, 0) not in reduced.outputs()  # the forbidden SB outcome
+
+
+class TestPropertyEquality:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_random_programs(self, seed):
+        program = random_wwrf_program(seed, GeneratorConfig(instrs_per_thread=5))
+        assert behaviors(program).traces == behaviors(program, DPOR).traces
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_random_programs_with_branches_and_cas(self, seed):
+        program = random_wwrf_program(
+            seed,
+            GeneratorConfig(instrs_per_thread=4, allow_branches=True, allow_cas=True),
+        )
+        assert behaviors(program).traces == behaviors(program, DPOR).traces
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=60))
+    def test_promise_heavy_configs(self, seed):
+        """``por="dpor"`` must stay behavior-equal even where the
+        soundness gate downgrades it to the fused BFS."""
+        program = random_wwrf_program(
+            seed, GeneratorConfig(threads=2, instrs_per_thread=3)
+        )
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1)
+        )
+        plain = behaviors(program, base)
+        reduced = behaviors(program, dataclasses.replace(base, por="dpor"))
+        assert plain.traces == reduced.traces
+
+
+class TestCycleProviso:
+    def test_infinite_print_loop(self):
+        """A looping thread exercises the back-edge rule: without the
+        cycle proviso the one-shot printer could be ignored forever and
+        its output lost from the behavior set."""
+        pb = ProgramBuilder()
+        block = pb.function("spin").block("loop")
+        block.print_(Const(1))
+        block.jmp("loop")
+        pb.function("shot").block("entry").print_(Const(2))
+        pb.thread("spin").thread("shot")
+        program = pb.build()
+        plain = behaviors(program, SemanticsConfig(por="none", max_outputs=4))
+        reduced = behaviors(program, SemanticsConfig(por="dpor", max_outputs=4))
+        assert plain.traces == reduced.traces
+        explorer = Explorer(program, SemanticsConfig(por="dpor", max_outputs=4))
+        explorer.build()
+        assert explorer.dpor_stats.full_expansions > 0
+
+
+class TestStatsAndGating:
+    def test_stats_populated_and_states_reduced(self):
+        explorer = Explorer(sb(), DPOR)
+        result = explorer.behaviors()
+        stats = explorer.dpor_stats
+        assert stats is not None
+        assert stats.nodes == result.state_count
+        assert stats.sleep_skips + stats.sleep_blocked > 0
+        assert stats.backtrack_points > 0
+        assert result.state_count < behaviors(sb()).state_count
+        assert set(stats.as_dict()) == {
+            "nodes", "transitions", "sleep_skips", "sleep_blocked",
+            "backtrack_points", "full_expansions",
+        }
+
+    def test_promise_config_downgrades_to_fused_bfs(self):
+        """The soundness gate: an all-dependent DPOR prunes nothing, so
+        promise configs run the (validated) fused BFS instead."""
+        config = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=2, max_outstanding=2),
+            por="dpor",
+        )
+        explorer = Explorer(sb(), config)
+        explorer.build()
+        assert explorer.dpor_stats is None
+        assert explorer.config.fuse_local_steps
+
+    def test_nonpreemptive_machine_ignores_dpor(self):
+        """DPOR models the interleaving machine's switches; ``--np`` has
+        its own (coarser) scheduling discipline."""
+        explorer = Explorer(sb(), DPOR, nonpreemptive=True)
+        explorer.build()
+        assert explorer.dpor_stats is None
+
+
+class TestCheckpointResume:
+    def test_interrupted_dpor_resumes_to_identical_behaviors(self):
+        program = LITMUS_SUITE["2+2W"].program
+        unreduced = behaviors(program)
+        uninterrupted = behaviors(program, DPOR)
+        first = Explorer(program, DPOR)
+        first.build(meter=Budget(max_states=10).start())
+        checkpoint = first.snapshot()
+        assert checkpoint.dpor is not None  # live DFS stack persisted
+        resumed = Explorer.resume(checkpoint, program, DPOR).behaviors()
+        assert resumed.traces == uninterrupted.traces == unreduced.traces
+        assert resumed.state_count == uninterrupted.state_count
+
+    def test_checkpoint_file_round_trip(self, tmp_path):
+        from repro.robust.checkpoint import load_checkpoint, save_checkpoint
+
+        program = sb()
+        explorer = Explorer(program, DPOR)
+        explorer.build(meter=Budget(max_states=8).start())
+        path = str(tmp_path / "dpor.ckpt")
+        save_checkpoint(explorer.snapshot(), path)
+        resumed = Explorer.resume(load_checkpoint(path), program, DPOR)
+        assert resumed.behaviors().traces == behaviors(program).traces
+
+    def test_pre_dpor_checkpoint_still_resumes(self):
+        """Checkpoints written before the ``dpor`` field existed load and
+        resume as plain BFS (readers use ``getattr``)."""
+        program = sb()
+        explorer = Explorer(program, SemanticsConfig())
+        explorer.build(meter=Budget(max_states=10).start())
+        checkpoint = explorer.snapshot()
+        # Simulate the old schema: an unpickled pre-field checkpoint has
+        # no ``dpor`` in its instance dict; the class default covers it.
+        object.__delattr__(checkpoint, "dpor")
+        assert "dpor" not in checkpoint.__dict__
+        assert getattr(checkpoint, "dpor", None) is None
+        resumed = Explorer.resume(checkpoint, program)
+        assert resumed.behaviors().traces == behaviors(program).traces

@@ -78,11 +78,10 @@ def test_reservation_blocks_other_writers():
 def test_reservations_not_concrete_promises():
     """A thread holding only reservations is considered promise-free for
     certification purposes."""
-    from dataclasses import replace
-
+    
     program, ts, mem = setup()
     reservation = Reservation("x", 0, 1)
-    ts2 = replace(ts, promises=Memory((reservation,)))
+    ts2 = ts.replace(promises=Memory((reservation,)))
     assert not ts2.has_promises
 
 

@@ -119,14 +119,17 @@ class TestWrites:
         assert len(results) == 1  # only the append candidate on dense memory
         event, ts1, mem1 = results[0]
         assert event == WriteEvent(AccessMode.RLX, "x", Int32(9))
-        assert mem1.message_at("x", ts(1)).value == 9
-        assert ts1.view.trlx.get("x") == 1
+        t = mem1.latest_ts("x")
+        assert mem1.message_at("x", t).value == 9
+        assert ts1.view.trlx.get("x") == t
 
     def test_write_enumerates_gap_placements(self):
         program, ts0, mem = single_thread([Store("x", Const(9), AccessMode.NA)])
-        mem = mem.add(Message("x", Int32(1), ts(1), ts(2)))
+        from repro.memory.timestamps import GRANULE
+
+        mem = mem.add(Message("x", Int32(1), GRANULE, 2 * GRANULE))
         results = steps(program, ts0, mem)
-        # one candidate inside the gap (0,1), one append after 2
+        # one candidate inside the gap (0,G), one append after 2G
         assert len(results) == 2
 
     def test_release_write_carries_thread_view(self):
@@ -136,8 +139,8 @@ class TestWrites:
         )
         _, ts1, mem1 = steps(program, ts0, mem)[0]  # y := 1 (na)
         _, ts2, mem2 = steps(program, ts1, mem1)[0]  # x.rel := 1
-        msg = mem2.message_at("x", ts(1))
-        assert msg.view.tna.get("y") == 1  # release publishes the y write
+        msg = mem2.message_at("x", mem2.latest_ts("x"))
+        assert msg.view.tna.get("y") == mem2.latest_ts("y")  # release publishes the y write
 
     def test_na_write_carries_bottom_view(self):
         program, ts0, mem = single_thread(
@@ -145,18 +148,16 @@ class TestWrites:
         )
         _, ts1, mem1 = steps(program, ts0, mem)[0]
         _, _, mem2 = steps(program, ts1, mem1)[0]
-        msg = mem2.message_at("z", ts(1))
+        msg = mem2.message_at("z", mem2.latest_ts("z"))
         assert msg.view.tna.get("y") == 0
 
 
 class TestPromiseFulfillment:
     def test_write_can_fulfill_promise(self):
-        from dataclasses import replace
-
         program, ts0, mem = single_thread([Store("x", Const(1), AccessMode.NA)])
         promise = Message("x", Int32(1), ts(0), ts(1))
         mem = mem.add(promise)
-        ts0 = replace(ts0, promises=Memory((promise,)))
+        ts0 = ts0.replace(promises=Memory((promise,)))
         results = steps(program, ts0, mem)
         fulfills = [r for r in results if r[2] == mem]  # memory unchanged
         assert fulfills
@@ -164,20 +165,16 @@ class TestPromiseFulfillment:
         assert not ts1.has_promises
 
     def test_wrong_value_cannot_fulfill(self):
-        from dataclasses import replace
-
         program, ts0, mem = single_thread([Store("x", Const(2), AccessMode.NA)])
         promise = Message("x", Int32(1), ts(0), ts(1))
         mem = mem.add(promise)
-        ts0 = replace(ts0, promises=Memory((promise,)))
+        ts0 = ts0.replace(promises=Memory((promise,)))
         for _, ts1, _ in steps(program, ts0, mem):
             assert ts1.has_promises  # promise never discharged
 
     def test_release_write_blocked_by_promise_on_same_loc(self):
-        from dataclasses import replace
-
         program, ts0, mem = single_thread([Store("x", Const(1), AccessMode.REL)], atomics={"x"})
         promise = Message("x", Int32(1), ts(0), ts(1))
         mem = mem.add(promise)
-        ts0 = replace(ts0, promises=Memory((promise,)))
+        ts0 = ts0.replace(promises=Memory((promise,)))
         assert steps(program, ts0, mem) == []

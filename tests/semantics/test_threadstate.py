@@ -62,16 +62,12 @@ class TestThreadState:
         assert not state.has_promises
 
     def test_has_promises_only_counts_concrete(self):
-        from dataclasses import replace
-
         program = straightline_program([[Skip()]])
         state = initial_thread_state(program, "t1")
-        with_reservation = replace(
-            state, promises=Memory((Reservation("x", ts(0), ts(1)),))
+        with_reservation = state.replace(promises=Memory((Reservation("x", ts(0), ts(1)),))
         )
         assert not with_reservation.has_promises
-        with_promise = replace(
-            state, promises=Memory((Message("x", Int32(1), ts(0), ts(1)),))
+        with_promise = state.replace(promises=Memory((Message("x", Int32(1), ts(0), ts(1)),))
         )
         assert with_promise.has_promises
 

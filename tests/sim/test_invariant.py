@@ -45,15 +45,15 @@ class TestDceInvariant:
         assert dce_invariant()(initial_tmap(["x"]), mem, mem, NO_ATOMICS)
 
     def test_requires_gap_below_related_message(self):
-        """Target wrote x=2 at (0,1]; source has it at (3/2, 2] with the
-        free interval (1, 3/2] below — I_dce holds."""
+        """Target wrote x=2 at (0,1]; source has it at (3, 4] with the
+        free interval (2, 3] below — I_dce holds."""
         mem_t = Memory.initial(["x"]).add(msg("x", 2, 0, 1))
         mem_s = (
             Memory.initial(["x"])
-            .add(msg("x", 1, 0, 1))
-            .add(Message("x", Int32(2), ts("3/2"), ts(2)))
+            .add(msg("x", 1, 0, 2))
+            .add(Message("x", Int32(2), ts(3), ts(4)))
         )
-        phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
+        phi = initial_tmap(["x"]).set("x", ts(1), ts(4))
         assert dce_invariant()(phi, mem_t, mem_s, NO_ATOMICS)
 
     def test_fails_without_gap(self):
@@ -66,14 +66,14 @@ class TestDceInvariant:
 
     def test_fails_on_value_mismatch(self):
         mem_t = Memory.initial(["x"]).add(msg("x", 2, 0, 1))
-        mem_s = Memory.initial(["x"]).add(Message("x", Int32(3), ts("3/2"), ts(2)))
+        mem_s = Memory.initial(["x"]).add(Message("x", Int32(3), ts(1), ts(2)))
         phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
         assert not dce_invariant()(phi, mem_t, mem_s, NO_ATOMICS)
 
     def test_atomic_locations_must_map_identically(self):
         atomics = frozenset({"x"})
         mem_t = Memory.initial(["x"]).add(msg("x", 1, 0, 1))
-        mem_s = Memory.initial(["x"]).add(Message("x", Int32(1), ts("3/2"), ts(2)))
+        mem_s = Memory.initial(["x"]).add(Message("x", Int32(1), ts(1), ts(2)))
         phi = initial_tmap(["x"]).set("x", ts(1), ts(2))
         assert not dce_invariant()(phi, mem_t, mem_s, atomics)
 
