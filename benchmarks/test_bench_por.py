@@ -10,8 +10,10 @@ import json
 import time
 
 from benchmarks.conftest import report
+from repro.lang.builder import straightline_program
+from repro.lang.syntax import AccessMode, Load
 from repro.litmus.library import LITMUS_SUITE, iriw_rlx
-from repro.semantics.exploration import behaviors
+from repro.semantics.exploration import Explorer, behaviors
 from repro.semantics.promises import SyntacticPromises
 from repro.semantics.thread import SemanticsConfig
 
@@ -120,3 +122,29 @@ def test_por_modes_across_suite(benchmark):
         "reduction": round(totals["none"] / totals["dpor"], 2),
     }))
     assert totals["dpor"] < totals["fusion"] < totals["none"]
+
+
+def test_read_read_independence_regression():
+    """Two pure-reader threads over the same locations: same-location
+    read/read steps are independent, so DPOR must collapse the family to
+    essentially one schedule (a structural reduction, like the disjoint
+    writers), with zero redundant executions.  Regression guard for the
+    dependence relation: if reads ever started conflicting with reads,
+    this family would blow back up toward the unreduced count."""
+    program = straightline_program(
+        [
+            [Load(f"r{i}", f"v{i}", AccessMode.NA) for i in range(4)],
+            [Load(f"s{i}", f"v{i}", AccessMode.NA) for i in range(4)],
+        ]
+    )
+    counts = {}
+    for por in ("none", "dpor"):
+        explorer = Explorer(program, SemanticsConfig(por=por)).build()
+        assert explorer.exhaustive
+        counts[por] = len(explorer.states)
+        if por == "dpor":
+            assert explorer.dpor_stats.redundant_executions == 0
+    # 11 states when this guard was added (one schedule + bookkeeping)
+    # vs 72 unreduced; 5x headroom against noise, far under 72.
+    assert counts["dpor"] <= 15
+    assert counts["none"] >= 4 * counts["dpor"]

@@ -133,6 +133,8 @@ def _config(args: argparse.Namespace) -> SemanticsConfig:
         kwargs["por"] = "fusion"
     elif por == "dpor":
         kwargs["por"] = "dpor"
+    if getattr(args, "por_conservative", False):
+        kwargs["por_conservative"] = True
     if getattr(args, "max_states", None) is not None:
         kwargs["max_states"] = args.max_states
     deadline = getattr(args, "deadline", None)
@@ -218,6 +220,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         from repro.perf.intern import interner_stats
 
         print(explorer.cert_stats)
+        if explorer.por_downgrade is not None:
+            print(f"por downgrade: dpor -> bfs ({explorer.por_downgrade})")
         if explorer.dpor_stats is not None:
             counters = explorer.dpor_stats.as_dict()
             print("dpor: " + ", ".join(
@@ -787,8 +791,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(eager local-step fusion), or 'dpor' "
                             "(sleep-set DPOR; behavior-preserving, "
                             "interleaving machine only).  Bare --por means "
-                            "'fusion'.  Default: dpor for explore, none "
-                            "elsewhere")
+                            "'fusion'.  Default: dpor for explore, "
+                            "validate and races; none elsewhere")
+        p.add_argument("--por-conservative", action="store_true",
+                       help="with --por=dpor, treat promise/reserve steps "
+                            "as depending on everything instead of their "
+                            "certification-scoped location window (slower "
+                            "but assumption-free; soundness fallback)")
         p.add_argument("--max-states", type=int, default=None, metavar="N",
                        help="bound the exploration graph (a truncated run "
                             "exits 3, never claiming a proof)")
@@ -826,7 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--static", action="store_true",
                    help="tiered checking: try the static thread-modular "
                         "analysis first, explore only if inconclusive")
-    p.set_defaults(func=cmd_races)
+    p.set_defaults(func=cmd_races, por_default="dpor")
 
     p = sub.add_parser("analyze", help="static analyses only (lint + "
                        "thread-modular ww/rw-race detection)")
@@ -859,7 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the tiered rw-race census on source and "
                         "target (informational: rw-races never fail "
                         "validation, but introductions are reported)")
-    p.set_defaults(func=cmd_validate)
+    p.set_defaults(func=cmd_validate, por_default="dpor")
 
     p = sub.add_parser("run", help="randomized executions")
     common(p)

@@ -203,12 +203,18 @@ def fuzz_optimizer(
     """
     from repro.perf.pool import SweepJob, run_sweep
 
-    config = config or SemanticsConfig()
+    # DPOR by default on both the validation and equivalence explorations:
+    # every comparison here is on behavior *sets*, which DPOR preserves
+    # (promise-bearing configs included, via certification-scoped
+    # footprints); graph-scanning sub-checks and the non-preemptive
+    # machine downgrade themselves and record why.
+    config = config or SemanticsConfig(por="dpor")
     equivalence_config = SemanticsConfig(
         promise_oracle=SyntacticPromises(
             budget=equivalence_promise_budget,
             max_outstanding=equivalence_promise_budget,
-        )
+        ),
+        por="dpor",
     )
     started = time.monotonic()
     seed_list = list(seeds)

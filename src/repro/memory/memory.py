@@ -30,6 +30,8 @@ layer can renormalize the enclosing state before placements run dry.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+from operator import attrgetter
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.memory.message import MemoryItem, Message, Reservation, init_message
@@ -44,6 +46,8 @@ from repro.memory.timestamps import (
 from repro.perf.intern import HASH_MASK, HashConsed, hash_mix, intern_items, stable_hash
 
 _MEM_TAG = stable_hash("Memory")
+
+_ITEM_VAR = attrgetter("var")
 
 
 def _var_tight(items: Tuple[MemoryItem, ...]) -> bool:
@@ -210,16 +214,23 @@ class Memory(HashConsed):
             by_var[var] = intern_items(var_items)
         else:
             by_var.pop(var, None)
-        ordered: List[MemoryItem] = []
-        for name in sorted(by_var):
-            ordered.extend(by_var[name])
+        # ``items`` is sorted by (var, to, frm), so this location's items
+        # occupy one contiguous segment — splice the new tuple over it
+        # (C-level slicing) instead of regrouping every location.
+        items = self.items
+        lo = bisect_left(items, var, key=_ITEM_VAR)
+        hi = bisect_right(items, var, lo=lo, key=_ITEM_VAR)
         # A narrow gap elsewhere stays narrow; only this location's layout
         # changed, so tightness is the old flag joined with a local check.
         # (Renormalization rebuilds via __init__ and recomputes it exactly.)
         tight = self._tight or _var_tight(var_items)
         fresh = object.__new__(Memory)
         fresh._seal(
-            intern_items(tuple(ordered)), self.sc_view, by_var, isum & HASH_MASK, tight
+            intern_items(items[:lo] + var_items + items[hi:]),
+            self.sc_view,
+            by_var,
+            isum & HASH_MASK,
+            tight,
         )
         return fresh
 

@@ -51,7 +51,11 @@ from repro.serve.store import ContentStore
 #: ``-2``: integer timestamps + sleep-set DPOR landed — behavior *sets*
 #: are unchanged, but state counts and trace digests of truncated runs
 #: are not comparable across the boundary, so ``-1`` entries must miss.
-SEMANTICS_VERSION = "ps21-repro-2"
+#: ``-3``: source-set/wakeup-tree DPOR with certification-scoped promise
+#: footprints; DPOR became the default for validate/races sweeps and its
+#: reduced graphs (state counts, truncated-run digests) differ from the
+#: sleep-set-only core, so ``-2`` entries must miss.
+SEMANTICS_VERSION = "ps21-repro-3"
 
 
 class CacheError(ValueError):
@@ -81,6 +85,7 @@ def config_digest(config: SemanticsConfig) -> str:
         config.certify_against_cap,
         config.fuse_local_steps,
         config.por,
+        config.por_conservative,
         config.certification_max_steps,
         config.max_states,
         config.max_outputs,

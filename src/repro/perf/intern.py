@@ -90,12 +90,32 @@ def stable_hash(key: object) -> int:
     Supports the building blocks of seal keys: strings, ints (including
     ``Int32`` and ``bool``), ``None``, enums, nested tuples, and any
     :class:`HashConsed` instance (hashed by its cached ``_hashcode``).
+
+    The tuple loop dispatches the common leaf kinds (exact ``str``,
+    exact ``int``, cached ``_hashcode``) inline: :func:`seal` keys are
+    wide, shallow tuples of such leaves, and the recursive call per leaf
+    dominated exploration profiles before the inlining (the hash values
+    themselves are unchanged).
     """
     cls = key.__class__
     if cls is tuple:
         h = _OFFSET
+        str_hashes = _STR_HASHES
         for item in key:  # type: ignore[attr-defined]
-            h = ((h ^ stable_hash(item)) * _PRIME) & _MASK
+            icls = item.__class__
+            if icls is str:
+                ih = str_hashes.get(item)
+                if ih is None:
+                    ih = _str_hash(item)
+            elif icls is int:
+                ih = _int_hash(item)
+            elif icls is tuple:
+                ih = stable_hash(item)
+            else:
+                ih = getattr(item, "_hashcode", None)
+                if ih is None:
+                    ih = stable_hash(item)
+            h = ((h ^ ih) * _PRIME) & _MASK
         return ((h ^ len(key)) * _PRIME) & _MASK  # type: ignore[arg-type]
     if cls is str:
         return _str_hash(key)  # type: ignore[arg-type]
@@ -255,12 +275,14 @@ TIMEMAPS = Interner()
 VIEWS = Interner()
 ITEM_TUPLES = Interner()
 POOLS = Interner()
+FOOTPRINTS = Interner()
 
 _ALL = {
     "timemaps": TIMEMAPS,
     "views": VIEWS,
     "item_tuples": ITEM_TUPLES,
     "pools": POOLS,
+    "footprints": FOOTPRINTS,
 }
 
 
@@ -282,6 +304,17 @@ def intern_items(items: tuple) -> tuple:
 def intern_pool(pool: tuple) -> tuple:
     """Canonicalize a thread pool tuple."""
     return POOLS.intern(pool)
+
+
+def intern_footprint(fp: tuple) -> tuple:
+    """Canonicalize a DPOR ``(reads, writes, flags)`` mask footprint.
+
+    The DPOR core stores a footprint per (node, thread) and compares them
+    constantly (sleep-set filtering, race clauses, summary merging);
+    interning makes equal footprints the same object, so those
+    comparisons short-circuit on identity and the per-node dicts share
+    storage."""
+    return FOOTPRINTS.intern(fp)
 
 
 def interner_stats() -> Dict[str, Dict[str, int]]:

@@ -39,7 +39,13 @@ from typing import List, Optional, Tuple
 from repro.lang.syntax import Program
 from repro.races.ladder import TierOutcome, format_tiers
 from repro.races.rwrace import RwRaceWitness, rw_race_witness
-from repro.races.wwrf import RaceReport, ww_nprf, ww_race_witness, ww_rf
+from repro.races.wwrf import (
+    RaceReport,
+    graph_scan_config,
+    ww_nprf,
+    ww_race_witness,
+    ww_rf,
+)
 from repro.robust.confidence import Confidence
 from repro.semantics.exploration import Explorer
 from repro.semantics.thread import SemanticsConfig
@@ -59,6 +65,8 @@ class RwReport:
     state_count: int
     method: str = "exhaustive"
     stop_reason: Optional[str] = None
+    #: POR downgrade reason (see :class:`~repro.races.wwrf.RaceReport`).
+    downgrade: Optional[str] = None
 
     @property
     def confidence(self) -> Confidence:
@@ -144,8 +152,9 @@ def rw_races_tiered(
             method="static",
         )
         return report, static
+    scan_config, downgrade = graph_scan_config(config or SemanticsConfig())
     explorer = Explorer(
-        program, config or SemanticsConfig(), nonpreemptive=nonpreemptive
+        program, scan_config, nonpreemptive=nonpreemptive
     ).build()
     witnesses = _scan_rw(program, explorer)
     report = RwReport(
@@ -155,6 +164,7 @@ def rw_races_tiered(
         state_count=len(explorer.states),
         method="exhaustive",
         stop_reason=explorer.stop_reason,
+        downgrade=downgrade,
     )
     return report, static
 
@@ -213,8 +223,9 @@ def check_races_tiered(
         ww_report = RaceReport(True, None, True, 0, method="static")
     if rw_report is None or ww_report is None:
         started = time.perf_counter()
+        scan_config, downgrade = graph_scan_config(config or SemanticsConfig())
         explorer = Explorer(
-            program, config or SemanticsConfig(), nonpreemptive=nonpreemptive
+            program, scan_config, nonpreemptive=nonpreemptive
         ).build()
         count = len(explorer.states)
         if ww_report is None:
@@ -230,6 +241,7 @@ def check_races_tiered(
                 state_count=count,
                 method="exhaustive",
                 stop_reason=explorer.stop_reason,
+                downgrade=downgrade,
             )
         if rw_report is None:
             witnesses = _scan_rw(program, explorer)
@@ -240,6 +252,7 @@ def check_races_tiered(
                 state_count=count,
                 method="exhaustive",
                 stop_reason=explorer.stop_reason,
+                downgrade=downgrade,
             )
         tiers.append(TierOutcome(
             "exploration",

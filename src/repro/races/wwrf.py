@@ -25,8 +25,8 @@ validates on the litmus suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Optional, Tuple
 
 from repro.lang.syntax import AccessMode, Program, Store
 from repro.memory.memory import Memory
@@ -66,6 +66,10 @@ class RaceReport:
     state_count: int
     method: str = "exhaustive"
     stop_reason: Optional[str] = None
+    #: Why a requested POR mode was not used for this check (e.g.
+    #: ``"state-graph-scan"`` when ``--por=dpor`` was downgraded to fused
+    #: BFS because the detector scans every reachable state), or ``None``.
+    downgrade: Optional[str] = None
 
     @property
     def confidence(self) -> Confidence:
@@ -119,7 +123,29 @@ def ww_race_witness(program: Program, state) -> Optional[WwRaceWitness]:
     return WwRaceWitness(tid, loc, state)
 
 
+def graph_scan_config(
+    config: SemanticsConfig,
+) -> Tuple[SemanticsConfig, Optional[str]]:
+    """The exploration config a state-graph-scanning detector should use,
+    plus the downgrade reason when the request could not be honored.
+
+    The race predicates above inspect *every* reachable (state,
+    current-thread) pair; DPOR deliberately prunes interleavings whose
+    behaviors are equivalent, so the pre-step state exposing a race can
+    be absent from the reduced graph.  Local-step fusion is safe here —
+    the states it elides have a pure-local next operation for the
+    current thread, which no race predicate matches — so ``por="dpor"``
+    downgrades to fused BFS, reported as ``"state-graph-scan"``."""
+    if config.por == "dpor":
+        return (
+            _dc_replace(config, por="fusion", fuse_local_steps=True),
+            "state-graph-scan",
+        )
+    return config, None
+
+
 def _check(program: Program, config: SemanticsConfig, nonpreemptive: bool) -> RaceReport:
+    config, downgrade = graph_scan_config(config)
     explorer = Explorer(program, config, nonpreemptive=nonpreemptive).build()
     for state in explorer.states:
         witness = ww_race_witness(program, state)
@@ -130,6 +156,7 @@ def _check(program: Program, config: SemanticsConfig, nonpreemptive: bool) -> Ra
                 explorer.exhaustive,
                 len(explorer.states),
                 stop_reason=explorer.stop_reason,
+                downgrade=downgrade,
             )
     return RaceReport(
         True,
@@ -137,6 +164,7 @@ def _check(program: Program, config: SemanticsConfig, nonpreemptive: bool) -> Ra
         explorer.exhaustive,
         len(explorer.states),
         stop_reason=explorer.stop_reason,
+        downgrade=downgrade,
     )
 
 

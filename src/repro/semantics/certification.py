@@ -24,15 +24,47 @@ steps are pointless against a capped memory; both are disabled via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
-from repro.lang.syntax import Program
+from repro.lang.syntax import Cas, Load, Program, Store
 from repro.memory.memory import Memory, capped_memory
 from repro.semantics.thread import SemanticsConfig, thread_steps
 from repro.semantics.threadstate import ThreadState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.static.certcheck import FulfillMap
+
+
+def certification_locations(
+    program: Program, entries: Iterable[str]
+) -> FrozenSet[str]:
+    """The certification window of a thread whose continuation runs through
+    ``entries`` (its current function plus every pending caller frame).
+
+    These are exactly the locations whose memory content can influence the
+    outcome of :func:`consistent` for such a thread: the certification run
+    executes only code reachable from those functions in isolation, and
+    each of its steps consults memory *only* at the location it accesses —
+    a load's readable set, a store/CAS placement's free intervals.  The cap
+    (:func:`~repro.memory.memory.capped_memory`) is per-location too, so a
+    message on a location outside this set can change neither the window's
+    readable messages nor its candidate intervals.  Messages on locations
+    *inside* the window are therefore the only external state a
+    certification result depends on — which is what lets the DPOR layer
+    (:mod:`repro.semantics.dpor`) treat certification as a *read* of this
+    location set instead of a read of the whole memory.
+    """
+    from repro.semantics.promises import _reachable_functions
+
+    funcs: Set[str] = set()
+    for entry in entries:
+        funcs.update(_reachable_functions(program, entry))
+    locs: Set[str] = set()
+    for func in funcs:
+        for instr in program.function(func).instructions():
+            if isinstance(instr, (Load, Store, Cas)):
+                locs.add(instr.loc)
+    return frozenset(locs)
 
 
 @dataclass

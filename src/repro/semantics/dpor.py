@@ -1,45 +1,74 @@
-"""Sleep-set dynamic partial-order reduction for the interleaving machine.
+"""Source-set dynamic partial-order reduction for the interleaving machine.
 
 The unreduced explorer (:mod:`repro.semantics.exploration`) enumerates
 every interleaving of every thread step.  Most of those interleavings are
 *equivalent*: steps of different threads that touch disjoint locations
 commute, so any two schedules that differ only in the order of commuting
 steps reach the same machine state and produce the same observable trace.
-This module explores one representative per equivalence class using the
-classic combination of
+This module explores one representative per equivalence class using
 
 * **backtrack sets** (Flanagan–Godefroid DPOR): at each schedule node only
   a growing subset of the enabled threads is explored; whenever a later
   transition is found to be *dependent* with the transition chosen at an
-  earlier node, the later thread is added to that node's backtrack set
-  (the *race clause*), which re-runs the node with the other order; and
+  earlier node, a thread reversing that race is added to the earlier
+  node's backtrack set (the *race clause*);
+
+* **source sets + wakeup sequences** (Abdulla–Aronis–Jonsson–Sagonas):
+  the race clause is refined so a backtrack point is only added when no
+  *initial* of the not-happens-after suffix is already scheduled at the
+  racing node — races whose reversal is subsumed by an existing branch
+  are skipped (``source_skips``).  When a point *is* added, the suffix is
+  recorded as a wakeup sequence that seeds and guides the new branch, so
+  the reversal replays the known interleaving instead of re-deriving it
+  (``wakeup_sequences`` / ``wakeup_nodes``); and
 
 * **sleep sets** (Godefroid): a thread already explored at a node is put
   to sleep for the node's later siblings and stays asleep down the tree
   until some dependent transition executes, which prunes the redundant
-  second half of each commuting diamond.
+  second half of each commuting diamond.  A node whose every enabled
+  thread is asleep is a *redundant execution* — the optimality measure
+  (``redundant_executions``, 0 on families the reduction is optimal for).
 
-**Dependency relation.**  Transitions are per-thread macro-steps; the
-footprint of a step is derived statically from the thread's next
-instruction (reads / writes / flags).  Two footprints are dependent iff
+**Dependency relation.**  Transitions are per-thread macro-steps — one
+visible step plus the thread's deterministic pure-local suffix, with
+promise opportunities deferred past the suffix (sound for the same
+reason eager local-step fusion is: a local step changes neither memory
+nor candidates nor certification verdicts), so local chains never cost
+schedule nodes.  The footprint of a step is ``(reads, writes, flags)``
+with the location sets
+packed into bit masks over the program's locations
+(:class:`FootprintIndex`).  Two footprints are dependent iff
 
 * they write-write or write-read overlap on some location,
 * both are SC fences (they exchange with the global SC view),
 * both are outputs (their relative order is the observable trace), or
-* either has promise/reservation activity (see below).
+* either carries the conservative :data:`FLAG_PRM` (see below).
 
-**Soundness gate.**  Promises give a thread's steps global reach (any
-thread may promise to any location, and certification inspects the whole
-memory), reservations block other threads' placements, and gap-leaving
-writes interact with timestamp renormalization.  Rather than model those
-dependencies finely, any config with ``promise_budget > 0``,
-``enable_reservations`` or ``gap_leaving_writes`` makes *every* pair of
-transitions dependent — and since an all-dependent DPOR prunes nothing,
-:class:`~repro.semantics.exploration.Explorer` downgrades such configs to
-the fused BFS outright (strictly better: pure-local steps still fuse).
-The gated :data:`TOP_FP` path here remains for direct callers.  The big wins — and the ≥10x benchmark targets
-— live in the promise-free configurations where exploration cost actually
-bites.
+**Certification-scoped promise dependence.**  A thread holding (or able
+to make) promises has every step followed by a certification run
+(:func:`~repro.semantics.certification.consistent`).  The verdict of that
+run depends only on the memory content of the thread's *certification
+window* — the locations accessed by code reachable from its current
+function and pending callers, plus its outstanding promise/reservation
+locations (:func:`~repro.semantics.certification.certification_locations`)
+— so promise-bearing steps *read* that window rather than "everything".
+Promise steps additionally *write* the oracle's candidate locations
+(placement and visibility of the new message);
+:class:`~repro.semantics.promises.SyntacticPromises` candidates are
+memory-independent, which keeps every footprint a function of the thread
+state alone — the invariant sleep-set validity rests on.  Unknown oracle
+classes and reservation-enabled configs fall back to universal writes
+(a reserve step may target any location).  ``--por-conservative``
+(:attr:`SemanticsConfig.por_conservative`) restores the old
+"depends on everything" :data:`TOP_FP` treatment as a soundness oracle.
+
+**Finished threads.**  The interleaving machine never switches to a done,
+promise-free thread, and a done thread with unfulfilled concrete promises
+cannot certify — so finished threads are not scheduling units here.  The
+one wrinkle is a thread finishing with reservations outstanding: its
+cancel steps may only run while it is still the current thread, i.e. as
+an uninterrupted suffix of its final macro-step, so they are folded into
+that macro-step as alternative outcomes (``_cancel_closure``).
 
 **Cycle proviso.**  A schedule hitting a state currently on the DFS stack
 (a back edge) marks that ancestor *fully expanded* (backtrack = all
@@ -50,47 +79,55 @@ cycle (the standard ignoring-problem fix).
 sleep set that is a superset of a recorded visit is subsumed by that
 visit and skipped; the skipped subtree's transition summary (which
 threads executed which footprints below) is replayed against the current
-stack so no race-clause backtrack point is lost.
+stack so no race-clause backtrack point is lost.  Wakeup-sequence-guided
+branches integrate for free: a guided replay that reaches a memoized
+state skips with the same summary replay.
 
 The reduced graph is written into the owning
 :class:`~repro.semantics.exploration.Explorer`'s ``states``/``edges``/
 ``terminal`` arrays, so the trace fixpoint, checkpointing, and all
 downstream consumers work unchanged.  Validation: behavior-set equality
-against the unreduced explorer over the litmus library and fuzz corpus
+against the unreduced explorer over the litmus library and fuzz corpus —
+including promise-bearing, reservation, and SC-fence configurations —
+plus the ``--por-conservative`` differential
 (``tests/semantics/test_dpor.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.lang.syntax import Cas, Fence, FenceKind, Load, Print, Program, Store
+from repro.perf.intern import intern_footprint
 from repro.robust.budget import BudgetExhausted
-from repro.semantics.certification import consistent
+from repro.semantics.certification import certification_locations, consistent
 from repro.semantics.events import OutputEvent
-from repro.semantics.machine import MachineState, renormalized_state
+from repro.semantics.machine import MachineState, _PURE_LOCAL, renormalized_state
+from repro.semantics.promises import NoPromises, SyntacticPromises, syntactic_write_candidates
 from repro.semantics.thread import SemanticsConfig, thread_steps
-from repro.semantics.threadstate import ThreadState, next_op, update_pool
+from repro.semantics.threadstate import LocalState, ThreadState, next_op, update_pool
 
 #: Footprint flag: the step is an observable output (all outputs are
 #: mutually dependent — their relative order is the trace).
 FLAG_OUT = 1
 #: Footprint flag: the step is an SC fence (exchanges with the SC view).
 FLAG_SC = 2
-#: Footprint flag: promise/reserve/cancel activity — depends on everything.
+#: Footprint flag: conservative promise treatment — depends on everything.
 FLAG_PRM = 4
 
-#: A transition footprint: ``(reads, writes, flags)``.
-Footprint = Tuple[FrozenSet[str], FrozenSet[str], int]
-
-_NO_LOCS: FrozenSet[str] = frozenset()
+#: A transition footprint: ``(reads, writes, flags)``.  Reads and writes
+#: are bit masks over the program's sorted location list (see
+#: :class:`FootprintIndex`); :func:`dependent` only uses ``&``/``|``
+#: truthiness, so it also accepts the pre-mask ``frozenset`` encoding
+#: (old checkpoints carry it until migrated).
+Footprint = Tuple[int, int, int]
 
 #: The empty footprint — independent of everything (pure-local steps).
-EMPTY_FP: Footprint = (_NO_LOCS, _NO_LOCS, 0)
+EMPTY_FP: Footprint = (0, 0, 0)
 
-#: The universal footprint — dependent on everything (the soundness gate).
-TOP_FP: Footprint = (_NO_LOCS, _NO_LOCS, FLAG_PRM)
+#: The universal footprint — dependent on everything (conservative mode).
+TOP_FP: Footprint = (0, 0, FLAG_PRM)
 
 
 def dependent(a: Footprint, b: Footprint) -> bool:
@@ -106,36 +143,153 @@ def dependent(a: Footprint, b: Footprint) -> bool:
     return bool(writes_a & reads_b) or bool(reads_a & writes_b)
 
 
-def thread_footprint(
-    program: Program, ts: ThreadState, gated: bool
-) -> Optional[Footprint]:
-    """The static footprint of ``ts``'s next macro-step, ``None`` if the
-    thread is disabled (done with nothing left to fulfill).
+class FootprintIndex:
+    """Per-exploration footprint oracle: location bit assignment plus
+    memoized per-instruction, certification-window and promise-candidate
+    masks.
 
-    With the soundness gate up (``gated``) every enabled thread gets
-    :data:`TOP_FP`.  Otherwise the footprint is read off the next
-    instruction: loads read, stores write, CAS does both, SC fences and
-    prints carry their flags, and pure-local operations are empty.
+    ``thread_footprint`` must over-approximate the footprint of *every*
+    step the thread could take next, and must be a function of the thread
+    state alone (never of the shared memory): a sleeping thread's
+    footprint has to stay valid while independent transitions execute
+    underneath it.
     """
-    if ts.local.done and not ts.has_promises:
-        return None
-    if gated or ts.local.done:
-        return TOP_FP
-    op = next_op(program, ts.local)
-    if isinstance(op, Load):
-        return (frozenset((op.loc,)), _NO_LOCS, 0)
-    if isinstance(op, Store):
-        return (_NO_LOCS, frozenset((op.loc,)), 0)
-    if isinstance(op, Cas):
-        locs = frozenset((op.loc,))
-        return (locs, locs, 0)
-    if isinstance(op, Print):
-        return (_NO_LOCS, _NO_LOCS, FLAG_OUT)
-    if isinstance(op, Fence):
-        if op.kind is FenceKind.SC:
-            return (_NO_LOCS, _NO_LOCS, FLAG_SC)
-        return EMPTY_FP  # acquire/release fences only touch own views
-    return EMPTY_FP  # Skip/Assign/Jmp/Be/Call/Return: pure-local
+
+    __slots__ = (
+        "program",
+        "config",
+        "conservative",
+        "stats",
+        "loc_bit",
+        "universe",
+        "_oracle_kind",
+        "_max_outstanding",
+        "_op_fp",
+        "_window",
+        "_cand",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        config: SemanticsConfig,
+        stats: Optional["DporStats"] = None,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.conservative = config.por_conservative
+        self.stats = stats
+        self.loc_bit: Dict[str, int] = {
+            loc: 1 << i for i, loc in enumerate(sorted(program.locations()))
+        }
+        self.universe = (1 << len(self.loc_bit)) - 1
+        oracle = config.promise_oracle
+        self._max_outstanding = 0
+        if type(oracle) is NoPromises:
+            self._oracle_kind = "none"
+        elif type(oracle) is SyntacticPromises:
+            self._oracle_kind = "syntactic"
+            self._max_outstanding = oracle.max_outstanding
+        else:
+            # Unknown oracle classes may promise anywhere — universal.
+            self._oracle_kind = "other"
+        self._op_fp: Dict[Tuple[str, str, int], Footprint] = {}
+        self._window: Dict[FrozenSet[str], int] = {}
+        self._cand: Dict[FrozenSet[str], int] = {}
+
+    def mask(self, locs) -> int:
+        """The bit mask of a location set (unknown locations, which can
+        only come from a checkpoint of a different program build, are
+        conservatively treated as the whole universe)."""
+        m = 0
+        bits = self.loc_bit
+        for loc in locs:
+            b = bits.get(loc)
+            m |= self.universe if b is None else b
+        return m
+
+    def _compute_op_fp(self, local: LocalState) -> Footprint:
+        op = next_op(self.program, local)
+        bits = self.loc_bit
+        if isinstance(op, Load):
+            return (bits[op.loc], 0, 0)
+        if isinstance(op, Store):
+            return (0, bits[op.loc], 0)
+        if isinstance(op, Cas):
+            b = bits[op.loc]
+            return (b, b, 0)
+        if isinstance(op, Print):
+            return (0, 0, FLAG_OUT)
+        if isinstance(op, Fence):
+            if op.kind is FenceKind.SC:
+                return (0, 0, FLAG_SC)
+            return EMPTY_FP  # acquire/release fences only touch own views
+        return EMPTY_FP  # Skip/Assign/Jmp/Be/Call/Return: pure-local
+
+    def _continuation_funcs(self, local: LocalState) -> FrozenSet[str]:
+        return frozenset({local.func} | {func for func, _ in local.stack})
+
+    def _window_mask(self, local: LocalState) -> int:
+        funcs = self._continuation_funcs(local)
+        m = self._window.get(funcs)
+        if m is None:
+            m = self.mask(certification_locations(self.program, funcs))
+            self._window[funcs] = m
+        return m
+
+    def _candidate_mask(self, local: LocalState) -> int:
+        funcs = self._continuation_funcs(local)
+        m = self._cand.get(funcs)
+        if m is None:
+            m = 0
+            for func in funcs:
+                for loc, _value in syntactic_write_candidates(self.program, func):
+                    m |= self.loc_bit[loc]
+            self._cand[funcs] = m
+        return m
+
+    def thread_footprint(self, ts: ThreadState) -> Optional[Footprint]:
+        """The footprint of ``ts``'s next macro-step, ``None`` if the
+        thread is not a scheduling unit (finished — see module docs)."""
+        local = ts.local
+        if local.done:
+            return None
+        if self.conservative:
+            return TOP_FP
+        config = self.config
+        key = (local.func, local.label, local.offset)
+        base = self._op_fp.get(key)
+        if base is None:
+            base = self._op_fp[key] = self._compute_op_fp(local)
+        reads, writes, flags = base
+        if config.enable_reservations:
+            # A reserve step may target any location, and reservations
+            # block other threads' placements there: universal writes.
+            writes |= self.universe
+        promising = ts.has_promises
+        if self._oracle_kind == "syntactic":
+            if ts.promise_budget > 0 and (
+                sum(1 for item in ts.promises if item.is_concrete)
+                < self._max_outstanding
+            ):
+                writes |= self._candidate_mask(local)
+                promising = True
+        elif self._oracle_kind == "other":
+            writes |= self.universe
+            reads |= self.universe
+            promising = True
+        if promising:
+            # Every step of a (potentially) promising thread is followed
+            # by a certification run whose verdict depends exactly on the
+            # memory content of the certification window: a read of it.
+            reads |= self._window_mask(local)
+            bits = self.loc_bit
+            for item in ts.promises:
+                b = bits.get(item.var)
+                reads |= self.universe if b is None else b
+            if self.stats is not None:
+                self.stats.promise_footprints += 1
+        return intern_footprint((reads, writes, flags))
 
 
 @dataclass
@@ -148,12 +302,27 @@ class DporStats:
     transitions: int = 0
     #: Subtrees skipped because a recorded visit subsumed the sleep set.
     sleep_skips: int = 0
-    #: Nodes where every enabled thread was asleep (pruned leaves).
+    #: Nodes where every enabled thread was asleep (pruned redundant runs).
     sleep_blocked: int = 0
     #: Threads added to an ancestor's backtrack set by the race clause.
     backtrack_points: int = 0
     #: Nodes forced to full expansion by the cycle proviso.
     full_expansions: int = 0
+    #: Footprints widened to a certification window (promise-bearing).
+    promise_footprints: int = 0
+    #: Races skipped because an initial was already scheduled (source sets).
+    source_skips: int = 0
+    #: Wakeup sequences recorded to guide race-reversing branches.
+    wakeup_sequences: int = 0
+    #: Total nodes across all recorded wakeup sequences (tree size).
+    wakeup_nodes: int = 0
+
+    @property
+    def redundant_executions(self) -> int:
+        """Sleep-blocked explorations — executions an optimal reduction
+        would not have started; 0 on families the reduction is optimal
+        for (asserted by the disjoint benchmark families)."""
+        return self.sleep_blocked
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict rendering for JSON output."""
@@ -164,6 +333,11 @@ class DporStats:
             "sleep_blocked": self.sleep_blocked,
             "backtrack_points": self.backtrack_points,
             "full_expansions": self.full_expansions,
+            "promise_footprints": self.promise_footprints,
+            "source_skips": self.source_skips,
+            "wakeup_sequences": self.wakeup_sequences,
+            "wakeup_nodes": self.wakeup_nodes,
+            "redundant_executions": self.redundant_executions,
         }
 
 
@@ -175,6 +349,10 @@ class _Node:
     is the entry sleep set; ``summary`` accumulates ``{tid: footprint}``
     for every transition executed in the subtree below (merged upward on
     pop, replayed for the race clause when a memoized subtree is skipped).
+    ``scripts`` maps a backtracked thread to the wakeup sequence that
+    should follow it; ``hint`` is the remaining wakeup sequence this node
+    was entered under, and ``child_hint`` the portion forwarded to the
+    successors of the currently chosen transition.
     """
 
     idx: int
@@ -188,6 +366,9 @@ class _Node:
     chosen: Optional[int] = None
     queue: List[int] = field(default_factory=list)
     child_sleep: FrozenSet[int] = frozenset()
+    scripts: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    hint: Tuple[int, ...] = ()
+    child_hint: Tuple[int, ...] = ()
 
 
 def _merge_fp(summary: Dict[int, Footprint], tid: int, fp: Footprint) -> None:
@@ -209,8 +390,11 @@ def _race_clause(stack: List[_Node], tid: int, fp: Footprint, stats: DporStats) 
     is dependent with it.
 
     This is the conservative all-ancestors variant of the Flanagan–
-    Godefroid race clause: over-approximating the set of racing ancestors
-    only adds exploration, never loses a schedule.
+    Godefroid race clause, kept for summary replay (where the precise
+    event order inside the skipped subtree is no longer known, so the
+    source-set suffix analysis does not apply): over-approximating the
+    set of racing ancestors only adds exploration, never loses a
+    schedule.
     """
     for node in stack:
         chosen = node.chosen
@@ -229,13 +413,161 @@ def _race_clause(stack: List[_Node], tid: int, fp: Footprint, stats: DporStats) 
                     stats.backtrack_points += 1
 
 
+class _SourceClause:
+    """Source-set race analysis for one node push.
+
+    For a race between ancestor ``e`` (the chosen transition at stack
+    position ``pos``) and a next transition of ``tid``, the reversal only
+    needs exploring if no *initial* of ``v`` — the subsequence of events
+    after ``e`` not happens-after it, followed by ``tid``'s event — is
+    already in the ancestor's backtrack set (Abdulla et al., *Optimal
+    DPOR*, POPL'14).  The per-ancestor suffix analysis depends only on
+    ``pos``, so it is computed lazily and shared across all enabled
+    threads of the push.
+    """
+
+    __slots__ = ("stack", "stats", "_segments")
+
+    def __init__(self, stack: List[_Node], stats: DporStats) -> None:
+        self.stack = stack
+        self.stats = stats
+        self._segments: Dict[int, List[Tuple[int, Footprint]]] = {}
+
+    def _segment(self, pos: int) -> List[Tuple[int, Footprint]]:
+        """The chosen events after position ``pos`` that are *not*
+        happens-after the event chosen at ``pos``, in execution order."""
+        seg = self._segments.get(pos)
+        if seg is None:
+            node = self.stack[pos]
+            e_thr = node.chosen
+            e_fp = node.fp[e_thr]
+            after: List[Tuple[int, Footprint]] = []
+            seg = []
+            for anc in self.stack[pos + 1:]:
+                thr = anc.chosen
+                f = anc.fp[thr]
+                if (
+                    thr == e_thr
+                    or dependent(e_fp, f)
+                    or any(
+                        thr == g_thr or dependent(g_fp, f) for g_thr, g_fp in after
+                    )
+                ):
+                    after.append((thr, f))
+                else:
+                    seg.append((thr, f))
+            self._segments[pos] = seg
+        return seg
+
+    def apply(self, node: _Node, pos: int, tid: int, fp: Footprint) -> None:
+        """Handle the race between ``node.chosen`` (at ``pos``) and the
+        next ``tid`` transition with footprint ``fp``."""
+        stats = self.stats
+        notdep = self._segment(pos)
+        # Initials of v = notdep · (tid, fp): threads whose first event in
+        # v has no same-thread or dependent predecessor within v — those
+        # could equally be scheduled first at the racing node.
+        initials: List[int] = []
+        seen: Set[int] = set()
+        for j, (thr, efp) in enumerate(notdep):
+            if thr in seen:
+                continue
+            seen.add(thr)
+            if all(not dependent(g_fp, efp) for _, g_fp in notdep[:j]):
+                initials.append(thr)
+        if any(q in node.backtrack for q in initials):
+            stats.source_skips += 1
+            return
+        tid_initial = tid not in seen and all(
+            not dependent(g_fp, fp) for _, g_fp in notdep
+        )
+        if tid_initial and tid in node.fp:
+            q = tid
+        else:
+            q = next((t for t in initials if t in node.fp), None)
+        if q is None:
+            # No initial is enabled at the racing node: conservative
+            # Flanagan–Godefroid fallback (add every enabled thread).
+            for other in node.enabled:
+                if other not in node.backtrack:
+                    node.backtrack.add(other)
+                    stats.backtrack_points += 1
+            return
+        node.backtrack.add(q)
+        stats.backtrack_points += 1
+        # Record v (with q moved to the front) as the wakeup sequence
+        # guiding the new branch: q seeds the node, the rest is the hint
+        # forwarded down the chain.
+        seq = [thr for thr, _ in notdep]
+        seq.append(tid)
+        k = seq.index(q)
+        script = tuple(seq[:k] + seq[k + 1:])
+        if script and q not in node.scripts:
+            node.scripts[q] = script
+            stats.wakeup_sequences += 1
+            stats.wakeup_nodes += len(script) + 1
+
+
+def _cancel_closure(
+    program, ts: ThreadState, mem, config: SemanticsConfig
+) -> List[Tuple[ThreadState, object]]:
+    """Configurations a freshly finished thread reaches by cancelling any
+    of its remaining reservations (its only steps once done).  In the
+    interleaving machine those cancels can only run while the thread is
+    still current — an uninterrupted suffix of its final macro-step — so
+    the DPOR executor folds them in as alternative outcomes."""
+    out: List[Tuple[ThreadState, object]] = []
+    seen = {(ts, mem)}
+    frontier = [(ts, mem)]
+    while frontier:
+        cur_ts, cur_mem = frontier.pop()
+        for _event, nxt_ts, nxt_mem in thread_steps(
+            program, cur_ts, cur_mem, config
+        ):
+            key = (nxt_ts, nxt_mem)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+                frontier.append(key)
+    return out
+
+
+def _migrate_resume(resume: tuple, index: FootprintIndex) -> tuple:
+    """Upgrade a checkpoint payload written by the sleep-set-only core:
+    rebuild the stats record with defaults for counters that did not
+    exist yet, convert ``frozenset``-encoded footprints to masks, and
+    install the wakeup fields missing from old ``_Node`` pickles."""
+    stack, visited, summaries, stats = resume
+    stats = DporStats(
+        **{f.name: getattr(stats, f.name, 0) for f in dataclass_fields(DporStats)}
+    )
+
+    def fix(fp: Footprint) -> Footprint:
+        reads, writes, flags = fp
+        if isinstance(reads, int):
+            return fp
+        return intern_footprint((index.mask(reads), index.mask(writes), flags))
+
+    for node in stack:
+        node.fp = {tid: fix(fp) for tid, fp in node.fp.items()}
+        node.summary = {tid: fix(fp) for tid, fp in node.summary.items()}
+        if not hasattr(node, "scripts"):
+            node.scripts = {}
+            node.hint = ()
+            node.child_hint = ()
+    for summary in summaries.values():
+        for tid in list(summary):
+            summary[tid] = fix(summary[tid])
+    return stack, visited, summaries, stats
+
+
 def dpor_build(
     explorer,
     meter=None,
     checkpoint_path: Optional[str] = None,
     checkpoint_interval: int = 100_000,
 ) -> None:
-    """Explore ``explorer.program`` with sleep-set DPOR, filling the
+    """Explore ``explorer.program`` with source-set DPOR, filling the
     explorer's ``states``/``edges``/``terminal`` arrays in place.
 
     Budget-aware exactly like the BFS: ``meter`` is ticked between atomic
@@ -245,15 +577,11 @@ def dpor_build(
     """
     program: Program = explorer.program
     config: SemanticsConfig = explorer.config
-    gated = (
-        config.promise_budget > 0
-        or config.enable_reservations
-        or config.gap_leaving_writes
-    )
+    index = FootprintIndex(program, config)
 
     resume = getattr(explorer, "_dpor_resume", None)
     if resume is not None:
-        stack, visited, summaries, stats = resume
+        stack, visited, summaries, stats = _migrate_resume(resume, index)
         explorer._dpor_resume = None
     else:
         stack = []
@@ -262,6 +590,7 @@ def dpor_build(
         #: idx -> merged subtree summary over those explorations.
         summaries: Dict[int, Dict[int, Footprint]] = {}
         stats = DporStats()
+    index.stats = stats
     explorer.dpor_stats = stats
     explorer._dpor_state = (stack, visited, summaries, stats)
     on_stack: Dict[int, _Node] = {node.idx: node for node in stack}
@@ -287,30 +616,46 @@ def dpor_build(
         explorer.terminal.append(state.all_done)
         return idx
 
-    def push(idx: int, sleep: FrozenSet[int]) -> None:
+    def push(idx: int, sleep: FrozenSet[int], hint: Tuple[int, ...] = ()) -> None:
         state = explorer.states[idx]
         stats.nodes += 1
         enabled: List[int] = []
         fps: Dict[int, Footprint] = {}
         for tid, ts in enumerate(state.pool):
-            fp = thread_footprint(program, ts, gated)
+            fp = index.thread_footprint(ts)
             if fp is None:
                 continue
             enabled.append(tid)
             fps[tid] = fp
         node = _Node(idx=idx, enabled=tuple(enabled), fp=fps, sleep=sleep)
+        source = _SourceClause(stack, stats)
         for tid in enabled:
-            _race_clause(stack, tid, fps[tid], stats)
+            fp = fps[tid]
+            for pos, anc in enumerate(stack):
+                chosen = anc.chosen
+                if chosen is None or chosen == tid:
+                    continue
+                if not dependent(anc.fp[chosen], fp):
+                    continue
+                if tid in anc.backtrack:
+                    continue  # classic FG: the racing thread is scheduled
+                source.apply(anc, pos, tid, fp)
         if enabled:
-            # Seed the backtrack set with one awake thread, preferring one
-            # whose next step is pure-local (empty footprint): nothing is
-            # ever dependent with it, so the race clause can never force a
-            # sibling and the node stays a singleton — local-step fusion
-            # falls out of DPOR as a special case.
             awake = [tid for tid in enabled if tid not in sleep]
             if not awake:
                 stats.sleep_blocked += 1
+            elif hint and hint[0] in fps and hint[0] not in sleep:
+                # Wakeup-guided: the hinted thread is the sole seed, so
+                # the race-reversing branch replays the recorded suffix
+                # instead of wandering off it.
+                node.hint = hint
+                node.backtrack.add(hint[0])
             else:
+                # Seed the backtrack set with one awake thread, preferring
+                # one whose next step is pure-local (empty footprint):
+                # nothing is ever dependent with it, so the race clause
+                # can never force a sibling and the node stays a singleton
+                # — local-step fusion falls out of DPOR as a special case.
                 seed = next(
                     (tid for tid in awake if fps[tid] == EMPTY_FP), awake[0]
                 )
@@ -318,12 +663,53 @@ def dpor_build(
         stack.append(node)
         on_stack[idx] = node
 
+    def local_suffix(ts: ThreadState, mem):
+        """Extend a just-executed step through the thread's deterministic
+        pure-local continuation, promises deferred.
+
+        A pure-local step commutes with every other thread's steps and
+        leaves memory, promise candidates, and certification verdicts
+        unchanged (the fusion-mode argument, ``_fused_local_step``), so
+        folding the silent suffix into the macro-step neither loses
+        behaviors nor invalidates the recorded footprint — it only stops
+        local chains from costing one schedule node (and one promise
+        branching point) per step."""
+        while not ts.local.done and isinstance(
+            next_op(program, ts.local), _PURE_LOCAL
+        ):
+            steps = list(
+                thread_steps(program, ts, mem, config, allow_promises=False)
+            )
+            if len(steps) != 1:
+                break
+            _, next_ts, next_mem = steps[0]
+            if not consistent(
+                program,
+                next_ts,
+                next_mem,
+                config,
+                explorer.cert_cache,
+                explorer.cert_stats,
+                explorer.cert_precheck,
+            ):
+                break
+            ts, mem = next_ts, next_mem
+        return ts, mem
+
     def execute(node: _Node, tid: int) -> List[int]:
         state = explorer.states[node.idx]
         succs: List[int] = []
         seen: Set[int] = set()
+        outcomes: List[Tuple[Optional[int], ThreadState, object]] = []
+        head = state.pool[tid]
+        # A macro-step starting at a pure-local op is the deterministic
+        # local chain itself: no promise branching at its head either
+        # (deferral is sound for the same reason it is mid-chain).
+        head_local = not head.local.done and isinstance(
+            next_op(program, head.local), _PURE_LOCAL
+        )
         for event, new_ts, new_mem in thread_steps(
-            program, state.pool[tid], state.mem, config
+            program, head, state.mem, config, allow_promises=not head_local
         ):
             is_out = isinstance(event, OutputEvent)
             if not is_out and not consistent(
@@ -336,6 +722,19 @@ def dpor_build(
                 explorer.cert_precheck,
             ):
                 continue
+            label = int(event.value) if is_out else None
+            new_ts, new_mem = local_suffix(new_ts, new_mem)
+            outcomes.append((label, new_ts, new_mem))
+            if (
+                config.enable_reservations
+                and new_ts.local.done
+                and any(True for _ in new_ts.promises)
+            ):
+                for closed_ts, closed_mem in _cancel_closure(
+                    program, new_ts, new_mem, config
+                ):
+                    outcomes.append((None, closed_ts, closed_mem))
+        for label, new_ts, new_mem in outcomes:
             new_state = MachineState(
                 update_pool(state.pool, tid, new_ts), tid, new_mem
             )
@@ -344,7 +743,6 @@ def dpor_build(
             succ_idx = intern(new_state)
             if succ_idx is None:
                 continue
-            label = int(event.value) if is_out else None
             key = (node.idx, label, succ_idx)
             if key not in edge_seen:
                 edge_seen.add(key)
@@ -399,7 +797,7 @@ def dpor_build(
                     _race_clause(stack, tid, fp, stats)
                 _merge_summary(node.summary, summ)
                 continue
-            push(succ, node.child_sleep)
+            push(succ, node.child_sleep, node.child_hint)
             continue
 
         if node.chosen is not None:
@@ -424,6 +822,13 @@ def dpor_build(
         node.chosen = nxt
         stats.transitions += 1
         node.queue = execute(node, nxt)
+        script = node.scripts.get(nxt)
+        if script:
+            node.child_hint = script
+        elif node.hint and node.hint[0] == nxt:
+            node.child_hint = node.hint[1:]
+        else:
+            node.child_hint = ()
         chosen_fp = node.fp[nxt]
         node.child_sleep = frozenset(
             tid

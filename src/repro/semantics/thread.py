@@ -107,6 +107,11 @@ class SemanticsConfig:
     certify_against_cap: bool = True
     fuse_local_steps: bool = False
     por: str = "none"
+    #: Under ``por="dpor"``, treat every transition as dependent on every
+    #: other (the pre-source-set promise treatment) — prunes nothing, but
+    #: serves as the soundness oracle for the precise footprint relation
+    #: (``--por-conservative``).
+    por_conservative: bool = False
     certification_max_steps: int = 5000
     certification_cache_cap: int = 100_000
     certification_precheck: bool = True

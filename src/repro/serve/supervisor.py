@@ -207,8 +207,10 @@ class Supervisor:
             return key in self._poisoned
 
     def _bump(self, counter: str, by: int = 1) -> None:
+        # Tolerant of keys outside the seed dict: structured counters
+        # like ``downgrade:<reason>`` appear on first use.
         with self._lock:
-            self.counters[counter] += by
+            self.counters[counter] = self.counters.get(counter, 0) + by
 
     # -- execution ------------------------------------------------------------
 
@@ -317,6 +319,11 @@ class Supervisor:
         self._bump("answered")
         if rung != RUNG_EXHAUSTIVE:
             self._bump("degraded")
+        downgrade = verdict.get("downgrade_reason")
+        if downgrade:
+            # Structured POR-fallback accounting: surfaces in /metrics as
+            # e.g. ``downgrade:state-graph-scan``.
+            self._bump(f"downgrade:{downgrade}")
         if (
             self.store is not None
             and rung == RUNG_EXHAUSTIVE
@@ -459,7 +466,10 @@ def _execute_validate(
 
     program = _load_source(source, structured=bool(options.get("csimp")))
     optimizer = _optimizer(options.get("opt", "pipeline"))
-    config = SemanticsConfig(budget=budget)
+    # DPOR by default: refinement compares behavior *sets*, which DPOR
+    # preserves; the embedded race checks downgrade themselves (see
+    # repro.races.wwrf.graph_scan_config) and report it below.
+    config = SemanticsConfig(budget=budget, por="dpor")
     if rung == RUNG_SAMPLED:
         target = optimizer.run(program)
         src = sampled_behaviors(
@@ -495,6 +505,7 @@ def _execute_validate(
         "exhaustive": report.exhaustive,
         "confidence": str(report.confidence),
         "detail": str(report),
+        "downgrade_reason": report.source_wwrf.downgrade,
     }
 
 
@@ -532,7 +543,9 @@ def _execute_races(source, options, rung, budget, bounded_max_states) -> Dict[st
     from repro.races.rwrace import rw_races
     from repro.races.wwrf import ww_nprf, ww_rf
 
-    config = SemanticsConfig(budget=budget)
+    # The race checkers downgrade dpor themselves (state-graph scans need
+    # every reachable state) and record the reason on the report.
+    config = SemanticsConfig(budget=budget, por="dpor")
     if rung == RUNG_BOUNDED:
         config = replace(
             config, max_states=min(config.max_states, bounded_max_states)
@@ -546,6 +559,7 @@ def _execute_races(source, options, rung, budget, bounded_max_states) -> Dict[st
         "exhaustive": report.exhaustive,
         "confidence": str(report.confidence),
         "detail": detail,
+        "downgrade_reason": report.downgrade,
     }
 
 

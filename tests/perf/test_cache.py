@@ -241,12 +241,13 @@ class TestBehaviorDigest:
 
 
 class TestSemanticsVersionBump:
-    """The integer-timestamp/DPOR rework bumped :data:`SEMANTICS_VERSION`
-    to ``ps21-repro-2``: entries from the ``-1`` era must be silent
-    misses — never served, never mistaken for corruption."""
+    """The source-set/wakeup-tree DPOR rework bumped
+    :data:`SEMANTICS_VERSION` to ``ps21-repro-3``: entries from earlier
+    eras must be silent misses — never served, never mistaken for
+    corruption."""
 
     def test_version_reflects_the_rework(self):
-        assert cache_mod.SEMANTICS_VERSION == "ps21-repro-2"
+        assert cache_mod.SEMANTICS_VERSION == "ps21-repro-3"
 
     def test_old_version_entries_are_misses_not_corruption(self, tmp_path, monkeypatch):
         config = SemanticsConfig()
@@ -266,3 +267,10 @@ class TestSemanticsVersionBump:
         digests = {config_digest(SemanticsConfig(por=por))
                    for por in ("none", "fusion", "dpor")}
         assert len(digests) == 3
+
+    def test_config_digest_tracks_por_conservative(self):
+        precise = config_digest(SemanticsConfig(por="dpor"))
+        conservative = config_digest(
+            SemanticsConfig(por="dpor", por_conservative=True)
+        )
+        assert precise != conservative

@@ -148,22 +148,48 @@ class TestStatsAndGating:
         assert stats.sleep_skips + stats.sleep_blocked > 0
         assert stats.backtrack_points > 0
         assert result.state_count < behaviors(sb()).state_count
+        assert explorer.por_downgrade is None
         assert set(stats.as_dict()) == {
             "nodes", "transitions", "sleep_skips", "sleep_blocked",
-            "backtrack_points", "full_expansions",
+            "backtrack_points", "full_expansions", "promise_footprints",
+            "source_skips", "wakeup_sequences", "wakeup_nodes",
+            "redundant_executions",
         }
+        assert stats.as_dict()["redundant_executions"] == stats.sleep_blocked
 
-    def test_promise_config_downgrades_to_fused_bfs(self):
-        """The soundness gate: an all-dependent DPOR prunes nothing, so
-        promise configs run the (validated) fused BFS instead."""
+    def test_promise_config_runs_dpor_with_window_footprints(self):
+        """Promise configs no longer downgrade: the certification-scoped
+        footprint relation keeps DPOR sound, and the promise-footprint
+        counter proves the window path actually ran."""
         config = SemanticsConfig(
             promise_oracle=SyntacticPromises(budget=2, max_outstanding=2),
             por="dpor",
         )
         explorer = Explorer(sb(), config)
         explorer.build()
-        assert explorer.dpor_stats is None
-        assert explorer.config.fuse_local_steps
+        assert explorer.por_downgrade is None
+        stats = explorer.dpor_stats
+        assert stats is not None and stats.nodes > 0
+        assert stats.promise_footprints > 0
+        assert not explorer.config.fuse_local_steps
+
+    def test_conservative_mode_is_behavior_equal_and_not_smaller(self):
+        """``--por-conservative`` (all-dependent footprints) is the
+        soundness oracle: same traces, at least as many states as the
+        precise relation."""
+        config = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1),
+            por="dpor",
+        )
+        precise = Explorer(sb(), config)
+        precise_set = precise.behaviors()
+        conservative = Explorer(
+            sb(), dataclasses.replace(config, por_conservative=True)
+        )
+        conservative_set = conservative.behaviors()
+        assert precise_set.traces == conservative_set.traces
+        assert conservative_set.state_count >= precise_set.state_count
+        assert conservative.dpor_stats.promise_footprints == 0
 
     def test_nonpreemptive_machine_ignores_dpor(self):
         """DPOR models the interleaving machine's switches; ``--np`` has
@@ -171,6 +197,18 @@ class TestStatsAndGating:
         explorer = Explorer(sb(), DPOR, nonpreemptive=True)
         explorer.build()
         assert explorer.dpor_stats is None
+        assert explorer.por_downgrade == "nonpreemptive"
+
+    def test_gap_leaving_writes_downgrades_with_reason(self):
+        """Gap-leaving placements interact with cross-location timestamp
+        renormalization; the explorer records the structured downgrade."""
+        explorer = Explorer(
+            sb(), dataclasses.replace(DPOR, gap_leaving_writes=True)
+        )
+        explorer.build()
+        assert explorer.dpor_stats is None
+        assert explorer.por_downgrade == "gap-leaving-writes"
+        assert explorer.config.fuse_local_steps
 
 
 class TestCheckpointResume:
@@ -211,3 +249,184 @@ class TestCheckpointResume:
         assert getattr(checkpoint, "dpor", None) is None
         resumed = Explorer.resume(checkpoint, program)
         assert resumed.behaviors().traces == behaviors(program).traces
+
+    def test_mid_wakeup_tree_interruption_sweep(self):
+        """Interrupt the DFS at every small state cap — crossing points
+        where wakeup sequences are live on the stack — and resume each
+        checkpoint to completion with identical behaviors."""
+        program = LITMUS_SUITE["2+2W"].program
+        full = Explorer(program, DPOR)
+        expected = full.behaviors()
+        # The full run records wakeup sequences, so the cap sweep below
+        # necessarily snapshots mid-wakeup-tree states.
+        assert full.dpor_stats.wakeup_sequences > 0
+        unreduced = behaviors(program).traces
+        assert expected.traces == unreduced
+        for cap in (3, 5, 8, 13, 21):
+            first = Explorer(program, DPOR)
+            first.build(meter=Budget(max_states=cap).start())
+            resumed = Explorer.resume(first.snapshot(), program, DPOR).behaviors()
+            assert resumed.traces == unreduced, cap
+
+    def test_pre_source_set_checkpoint_payload_migrates(self):
+        """A checkpoint written by the PR-8 sleep-set core — frozenset
+        location footprints, no wakeup fields on the stack nodes, the
+        shorter stats record — migrates on resume and finishes with the
+        right behaviors."""
+        from types import SimpleNamespace
+
+        from repro.semantics.dpor import FootprintIndex
+
+        program = sb()
+        explorer = Explorer(program, DPOR)
+        explorer.build(meter=Budget(max_states=8).start())
+        checkpoint = explorer.snapshot()
+        stack, visited, summaries, stats = checkpoint.dpor
+        assert stack  # the DFS really was interrupted mid-flight
+        loc_bit = FootprintIndex(program, DPOR).loc_bit
+
+        def downgrade(fp):
+            reads, writes, flags = fp
+            unmask = lambda m: frozenset(  # noqa: E731
+                loc for loc, b in loc_bit.items() if m & b
+            )
+            return (unmask(reads), unmask(writes), flags)
+
+        for node in stack:
+            node.fp = {tid: downgrade(fp) for tid, fp in node.fp.items()}
+            node.summary = {
+                tid: downgrade(fp) for tid, fp in node.summary.items()
+            }
+            for name in ("scripts", "hint", "child_hint"):
+                delattr(node, name)
+        for summary in summaries.values():
+            for tid in list(summary):
+                summary[tid] = downgrade(summary[tid])
+        old_stats = SimpleNamespace(
+            nodes=stats.nodes,
+            transitions=stats.transitions,
+            sleep_skips=stats.sleep_skips,
+            sleep_blocked=stats.sleep_blocked,
+            backtrack_points=stats.backtrack_points,
+            full_expansions=stats.full_expansions,
+        )
+        object.__setattr__(
+            checkpoint, "dpor", (stack, visited, summaries, old_stats)
+        )
+        resumed = Explorer.resume(checkpoint, program, DPOR)
+        assert resumed.behaviors().traces == behaviors(program).traces
+        assert resumed.dpor_stats.nodes >= stats.nodes
+
+
+class TestNewlyEnabledCorpora:
+    """The configurations PR 8 downgraded to fused BFS — promises,
+    reservations, their mix — now run real DPOR; three-way behavior-set
+    equality {none, fusion, dpor} is the oracle, with the conservative
+    all-dependent mode as a differential check on the precise relation."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_promise_corpus_three_way(self, seed):
+        program = random_wwrf_program(
+            seed, GeneratorConfig(threads=2, instrs_per_thread=3)
+        )
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1)
+        )
+        plain = behaviors(program, base)
+        fused = behaviors(program, dataclasses.replace(base, por="fusion"))
+        reduced = behaviors(program, dataclasses.replace(base, por="dpor"))
+        assert plain.traces == fused.traces == reduced.traces
+
+    # Reservation configs cannot be equality-tested through full
+    # exploration: reserve steps stack reservations at ever-higher
+    # timestamps, so the reachable state space is infinite (which is why
+    # reservations are off by default and their semantics tests drive
+    # ``thread_steps`` directly).  Instead we pin down the two properties
+    # the DPOR core relies on for reservation soundness: footprints
+    # degenerate to all-dependent, and finishing threads fold their
+    # reachable cancel variants into the finishing macro-step.
+
+    def test_reservation_footprints_are_all_dependent(self):
+        """With reservations enabled a non-done thread may reserve *any*
+        location next, so its footprint must conflict with every write —
+        DPOR degenerates to full expansion rather than pruning."""
+        from repro.semantics.dpor import FootprintIndex
+        from repro.semantics.threadstate import initial_thread_state
+
+        program = sb()
+        config = SemanticsConfig(enable_reservations=True, por="dpor")
+        index = FootprintIndex(program, config)
+        ts = initial_thread_state(program, program.threads[0])
+        fp = index.thread_footprint(ts)
+        assert fp[1] == index.universe  # writes cover every location
+        other = initial_thread_state(program, program.threads[1])
+        assert dependent(fp, index.thread_footprint(other))
+
+    def test_finished_thread_cancel_closure(self):
+        """A thread that runs to ``done`` holding a reservation is
+        unswitchable (the machine skips done threads without concrete
+        promises), so DPOR must reach its cancel variants while the
+        thread is still current.  The closure enumerates them."""
+        from repro.lang.builder import straightline_program
+        from repro.lang.syntax import AccessMode, Store
+        from repro.memory.memory import Memory
+        from repro.semantics.dpor import _cancel_closure
+        from repro.semantics.events import ReserveEvent
+        from repro.semantics.thread import thread_steps
+        from repro.semantics.threadstate import initial_thread_state
+
+        program = straightline_program(
+            [[Store("x", Const(1), AccessMode.NA)]]
+        )
+        config = SemanticsConfig(enable_reservations=True, por="dpor")
+        ts = initial_thread_state(program, "t1")
+        mem = Memory.initial(sorted(program.locations()))
+        reserved = next(
+            (new_ts, new_mem)
+            for event, new_ts, new_mem in thread_steps(program, ts, mem, config)
+            if isinstance(event, ReserveEvent)
+        )
+        ts, mem = reserved
+        # Run the thread to completion while it still holds the reservation.
+        while not ts.local.done:
+            ts, mem = next(
+                (new_ts, new_mem)
+                for event, new_ts, new_mem in thread_steps(
+                    program, ts, mem, config
+                )
+                if not isinstance(event, ReserveEvent)
+            )
+        assert any(item.is_reservation for item in ts.promises)
+        closure = _cancel_closure(program, ts, mem, config)
+        # The cancelled variant (no reservation left) is reachable.
+        assert any(
+            not any(item.is_reservation for item in c_ts.promises)
+            for c_ts, _ in closure
+        )
+
+    def test_sc_fence_promise_program(self):
+        program = sb_with_sc_fences()
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1)
+        )
+        plain = behaviors(program, base)
+        reduced = behaviors(program, dataclasses.replace(base, por="dpor"))
+        assert plain.traces == reduced.traces
+        assert (0, 0) not in reduced.outputs()  # SC fences still forbid SB
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_conservative_differential(self, seed):
+        program = random_wwrf_program(
+            seed, GeneratorConfig(threads=2, instrs_per_thread=3)
+        )
+        base = SemanticsConfig(
+            promise_oracle=SyntacticPromises(budget=1, max_outstanding=1),
+            por="dpor",
+        )
+        precise = behaviors(program, base)
+        oracle = behaviors(
+            program, dataclasses.replace(base, por_conservative=True)
+        )
+        assert precise.traces == oracle.traces
