@@ -1,0 +1,133 @@
+"""E-STATIC-MERGE: static discharge of the merge family (tier 0).
+
+The merge-family passes are built to be *fully* statically dischargeable:
+Merge only performs adjacent, mode-side-conditioned merges (each one
+re-verified by the crossing oracle's merge explainer) plus stored-value
+forwarding of plain reads (re-derived by the Owicki–Gries
+``store-forward`` rule), and UnusedRead only drops plain, dead,
+interference-free reads.  Over the litmus library plus generated corpora
+with mergeable clusters and dead plain reads, the tiered ladder should
+certify nearly every transformation without enumerating a single
+behavior — a stronger target (≥ 0.95) than the general gallery's
+E-STATIC-VALIDATE (≥ 0.70).
+
+Reported (human rows + a machine-readable ``BENCH`` json line):
+
+* soundness — no CERTIFIED verdict contradicted by exploration;
+* the static discharge fraction over transformed programs (≥ 0.95);
+* ladder speedup, tiered vs. always-exploration (target ≥ 2x).
+"""
+
+import json
+import time
+
+from benchmarks.conftest import report
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.litmus.library import LITMUS_SUITE
+from repro.opt import Merge, UnusedRead
+from repro.sim import validate_optimizer, validate_tiered
+
+MERGE_SEEDS = range(20)
+UNUSED_SEEDS = range(15)
+
+GALLERY = (Merge(), UnusedRead())
+
+
+def _corpus():
+    programs = [(name, test.program) for name, test in sorted(LITMUS_SUITE.items())]
+    mergeable = GeneratorConfig(instrs_per_thread=3, merge_clusters=2)
+    deadreads = GeneratorConfig(instrs_per_thread=3, unused_read_sites=2)
+    programs += [
+        (f"merge-{seed}", random_wwrf_program(seed, mergeable))
+        for seed in MERGE_SEEDS
+    ]
+    programs += [
+        (f"unused-{seed}", random_wwrf_program(seed, deadreads))
+        for seed in UNUSED_SEEDS
+    ]
+    return programs
+
+
+def test_static_merge_discharge_rate(benchmark):
+    programs = _corpus()
+
+    def tiered_sweep():
+        start = time.perf_counter()
+        results = [
+            (name, opt.name, validate_tiered(opt, program))
+            for name, program in programs
+            for opt in GALLERY
+        ]
+        return results, time.perf_counter() - start
+
+    tiered, tiered_secs = benchmark.pedantic(tiered_sweep, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    exploration = [
+        (name, opt.name, validate_optimizer(opt, program))
+        for name, program in programs
+        for opt in GALLERY
+    ]
+    exploration_secs = time.perf_counter() - start
+
+    unsound = [
+        (name, opt)
+        for (name, opt, t), (_, _, e) in zip(tiered, exploration)
+        if t.method == "static" and t.ok and not e.ok
+    ]
+    disagreements = [
+        (name, opt)
+        for (name, opt, t), (_, _, e) in zip(tiered, exploration)
+        if t.ok != e.ok
+    ]
+    transformed = [(name, opt, t) for name, opt, t in tiered if t.changed]
+    static_hits = [(name, opt) for name, opt, t in transformed if t.method == "static"]
+    fraction = len(static_hits) / len(transformed) if transformed else 0.0
+    behaviors_tiered = sum(t.behavior_count for _, _, t in tiered)
+    speedup = exploration_secs / max(tiered_secs, 1e-9)
+
+    rows = [
+        ("programs (litmus + merge + unused)", len(programs)),
+        ("(program, pass) validations", len(tiered)),
+        ("transformed", len(transformed)),
+        ("statically certified", len(static_hits)),
+        ("static discharge fraction (target ≥ 0.95)", f"{fraction:.2f}"),
+        ("soundness violations (must be 0)", len(unsound)),
+        ("verdict disagreements (must be 0)", len(disagreements)),
+        ("behaviors enumerated (tiered)", behaviors_tiered),
+        ("tiered sweep secs", f"{tiered_secs:.2f}"),
+        ("exploration sweep secs", f"{exploration_secs:.2f}"),
+        ("ladder speedup (target ≥ 2x)", f"{speedup:.2f}x"),
+    ]
+    report("E-STATIC-MERGE", rows)
+    print("BENCH " + json.dumps({
+        "experiment": "static-merge",
+        "programs": len(programs),
+        "validations": len(tiered),
+        "transformed": len(transformed),
+        "statically_certified": len(static_hits),
+        "discharge_fraction": round(fraction, 3),
+        "soundness_violations": len(unsound),
+        "disagreements": len(disagreements),
+        "behaviors_tiered": behaviors_tiered,
+        "tiered_secs": round(tiered_secs, 3),
+        "exploration_secs": round(exploration_secs, 3),
+        "speedup": round(speedup, 2),
+    }))
+
+    assert not unsound, f"CERTIFIED contradicts exploration on {unsound}"
+    assert not disagreements, f"ladder verdict differs from exploration on {disagreements}"
+    assert fraction >= 0.95
+    assert speedup >= 2.0
+
+
+def test_merge_family_agreement_on_litmus():
+    """Tier-0 verdicts must agree with exploration over the full litmus
+    suite, and a static discharge must enumerate zero behaviors."""
+    for name, test in sorted(LITMUS_SUITE.items()):
+        for opt in GALLERY:
+            ladder = validate_tiered(opt, test.program)
+            exploration = validate_optimizer(opt, test.program)
+            assert ladder.ok == exploration.ok, (name, opt.name)
+            if ladder.method == "static":
+                assert ladder.behavior_count == 0, (name, opt.name)

@@ -12,18 +12,35 @@ Facts (a *must* analysis — intersection at joins):
   races (paper Sec. 2.5).
 * ``("expr", r, e)`` — register ``r`` equals the pure register expression
   ``e`` (no memory involved).
+* ``("stval", x, e)`` — this thread's *latest own write* to ``x`` stored
+  ``e``, and pinning the next own read of ``x`` to that message is still
+  a sound refinement: nothing since could have raised the thread's view
+  of ``x`` past its own message (other threads cannot raise our view
+  except through our own acquire operations and same-location reads,
+  which kill the fact).  This is the store-to-load forwarding fact of
+  the paper's RaW Merge lemma; forwarding targets must be reads of mode
+  ``⊑ rlx``, which the *consumers* enforce.
 
 What kills what, and why (the paper's crossing matrix):
 
 ===========================  =====================================
-own na read of y             nothing (raises only ``T_rlx``)
-own na write to x            ``("load", _, x)`` (raises ``T_na(x)``)
-own rlx read/write           nothing — crossing allowed
-own rel write / rel fence    nothing — a release publishes, it does
-                             not acquire knowledge
-own acq read / acq CAS /     every ``("load", ...)`` fact — the join
-acq or sc fence              with the message view may raise
-                             ``T_na`` of *any* location
+own na read of y             ``("stval", y, _)`` (the read may land
+                             on a newer message, raising the view)
+own na write to x            ``("load", _, x)`` (raises ``T_na(x)``);
+                             replaces ``("stval", x, _)``
+own rlx read of y            ``("stval", y, _)`` (same view-raising
+                             nondeterminism); load facts survive
+own rlx/rel write to x       replaces ``("stval", x, _)``; load facts
+                             survive — crossing allowed
+own rel write / rel fence    no load fact — a release publishes, it
+                             does not acquire knowledge
+own acq read / acq CAS /     every ``("load", ...)`` and
+acq or sc fence              ``("stval", ...)`` fact — the join with
+                             the message view may raise the view of
+                             *any* location
+own CAS on x                 ``("stval", x, _)`` (reads and may
+                             rewrite ``x``; the write may fail, so no
+                             new fact is generated)
 redefinition of r            every fact mentioning ``r``
 call                         everything (unknown callee)
 ===========================  =====================================
@@ -32,7 +49,7 @@ call                         everything (unknown callee)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, cast
 
 from repro.analysis.dataflow import BlockAnalysis, solve_forward
 from repro.analysis.lattice import Lattice
@@ -60,7 +77,7 @@ from repro.lang.syntax import (
     expr_regs,
 )
 
-#: A fact: ("load", reg, loc) or ("expr", reg, expr).
+#: A fact: ("load", reg, loc), ("expr", reg, expr) or ("stval", loc, expr).
 Fact = Tuple[str, str, object]
 
 #: ``None`` is the top element (unreached); otherwise the fact set.
@@ -82,12 +99,12 @@ def _eq(a: AvailFacts, b: AvailFacts) -> bool:
 
 def _kill_reg(facts: FrozenSet[Fact], reg: str) -> FrozenSet[Fact]:
     """Remove facts invalidated by a redefinition of ``reg``."""
-    keep = set()
+    keep: Set[Fact] = set()
     for fact in facts:
         kind, subject, payload = fact
-        if subject == reg:
-            continue
-        if kind == "expr" and reg in expr_regs(payload):
+        if kind != "stval" and subject == reg:
+            continue  # the fact's register is clobbered (stval subjects are locations)
+        if kind in ("expr", "stval") and reg in expr_regs(cast(Expr, payload)):
             continue
         keep.add(fact)
     return frozenset(keep)
@@ -98,6 +115,21 @@ def _kill_loads(facts: FrozenSet[Fact], loc: Optional[str] = None) -> FrozenSet[
     return frozenset(
         fact for fact in facts if fact[0] != "load" or (loc is not None and fact[2] != loc)
     )
+
+
+def _kill_stval(facts: FrozenSet[Fact], loc: str) -> FrozenSet[Fact]:
+    """Remove the stored-value fact for ``loc`` (overwritten, or its
+    message may no longer be the thread's view frontier)."""
+    return frozenset(
+        fact for fact in facts if fact[0] != "stval" or fact[1] != loc
+    )
+
+
+def _kill_acquire(facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+    """The acquire kill: every view-dependent fact — all load facts and
+    all stored-value facts (the joined message view may raise the
+    thread's view of any location)."""
+    return frozenset(fact for fact in facts if fact[0] not in ("load", "stval"))
 
 
 def transfer_instruction(
@@ -119,27 +151,28 @@ def transfer_instruction(
             out = out | {("expr", instr.dst, instr.expr)}
         return out
     if isinstance(instr, Load):
-        out = _kill_reg(facts, instr.dst)
+        out = _kill_stval(_kill_reg(facts, instr.dst), instr.loc)
         if instr.mode is AccessMode.NA:
             return out | {("load", instr.dst, instr.loc)}
         if instr.mode is AccessMode.ACQ and acquire_kills:
-            return _kill_loads(out)
-        return out  # relaxed read: crossing allowed
+            return _kill_acquire(out)
+        return out  # relaxed read: crossing allowed (load facts survive)
     if isinstance(instr, Store):
+        out = _kill_stval(facts, instr.loc)
+        out = out | {("stval", instr.loc, instr.expr)}
         if instr.mode is AccessMode.NA:
-            out = _kill_loads(facts, instr.loc)
+            out = _kill_loads(out, instr.loc)
             if isinstance(instr.expr, Reg):
                 out = out | {("load", instr.expr.name, instr.loc)}
-            return out
-        return facts  # relaxed or release write: crossing allowed
+        return out  # relaxed or release write: load facts survive
     if isinstance(instr, Cas):
-        out = _kill_reg(facts, instr.dst)
+        out = _kill_stval(_kill_reg(facts, instr.dst), instr.loc)
         if instr.mode_r is AccessMode.ACQ and acquire_kills:
-            out = _kill_loads(out)
+            out = _kill_acquire(out)
         return out
     if isinstance(instr, Fence):
         if instr.kind in (FenceKind.ACQ, FenceKind.SC) and acquire_kills:
-            return _kill_loads(facts)
+            return _kill_acquire(facts)
         return facts
     raise TypeError(f"not an instruction: {instr!r}")
 
@@ -212,4 +245,19 @@ def lookup_expr(facts: AvailFacts, expr: Expr, exclude: str) -> Optional[str]:
     for kind, reg, payload in sorted(facts, key=str):
         if kind == "expr" and payload == expr and reg != exclude:
             return reg
+    return None
+
+
+def stored_value(facts: AvailFacts, loc: str) -> Optional[Expr]:
+    """The expression this thread's latest own write provably stored to
+    ``loc`` — the store-to-load forwarding source — or ``None``.
+
+    At most one ``stval`` fact per location survives the transfer (a new
+    write replaces the old fact), so the first hit is the answer.
+    """
+    if facts is None:
+        return None
+    for kind, subject, payload in sorted(facts, key=str):
+        if kind == "stval" and subject == loc:
+            return cast(Expr, payload)
     return None

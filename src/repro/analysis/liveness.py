@@ -59,7 +59,11 @@ class LiveSet:
         """Pointwise union of both components."""
         return LiveSet(self.regs | other.regs, self.locs | other.locs)
 
-    def with_regs(self, add: FrozenSet[str] = frozenset(), kill: FrozenSet[str] = frozenset()):
+    def with_regs(
+        self,
+        add: FrozenSet[str] = frozenset(),
+        kill: FrozenSet[str] = frozenset(),
+    ) -> "LiveSet":
         """A copy with registers killed then added (locations untouched)."""
         return LiveSet((self.regs - kill) | add, self.locs)
 

@@ -66,7 +66,9 @@ from repro.opt.copyprop import CopyProp
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv
+from repro.opt.merge import Merge
 from repro.opt.reorder import Reorder
+from repro.opt.unused_read import UnusedRead
 from repro.races.rwrace import rw_races
 from repro.races.tiered import check_races_tiered
 from repro.races.wwrf import ww_nprf, ww_rf
@@ -90,6 +92,8 @@ OPTIMIZERS = {
     "copyprop": CopyProp,
     "peel": Peel,
     "reorder": Reorder,
+    "merge": Merge,
+    "unused-read": UnusedRead,
 }
 
 
@@ -850,7 +854,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_options(p)
     p.add_argument("--opt", default="pipeline",
                    help="constprop | dce | cse | licm | linv | cleanup | "
-                        "peel | reorder | copyprop | pipeline")
+                        "peel | reorder | copyprop | merge | unused-read | "
+                        "pipeline")
     p.add_argument("--static-tier", action="store_true",
                    help="tiered validation: run the static certifier "
                         "first (zero states on CERTIFIED), explore only "

@@ -43,6 +43,16 @@ class GeneratorConfig:
     #: adjacent instructions that give the reordering pass (and the
     #: certifier's ``I_reorder`` permutation rule) something to permute.
     reorder_clusters: int = 0
+    #: Append this many mergeable clusters per thread — adjacent
+    #: same-location access pairs (RaR double-reads, store-then-load
+    #: forwarding shapes, WaW double-stores) and absorbing fence pairs,
+    #: exercising the merge pass and the certifier's ``I_merge`` rules.
+    merge_clusters: int = 0
+    #: Append this many dead plain reads of owned locations per thread —
+    #: the destination register is never used afterwards and no other
+    #: thread writes the location, so the unused-read pass can drop every
+    #: one and the ``I_unused`` obligations all discharge.
+    unused_read_sites: int = 0
 
 
 def random_wwrf_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Program:
@@ -136,6 +146,38 @@ def _gen_thread(
         if pool:
             block.load(rng.choice(list(config.registers)), rng.choice(list(pool)), AccessMode.NA)
         block.assign(rng.choice(list(config.registers)), _rand_expr(rng, config))
+
+    pool = owned if config.owned_reads_only else config.na_locations
+    for _ in range(config.merge_clusters):
+        # An adjacent mergeable pair: RaR double-read, RaW store-then-load
+        # (forwarding), WaW double-store, or an absorbing fence pair.
+        shape = rng.random()
+        if shape < 0.30 and pool:
+            loc = rng.choice(list(pool))
+            block.load(rng.choice(list(config.registers)), loc, AccessMode.NA)
+            block.load(rng.choice(list(config.registers)), loc, AccessMode.NA)
+        elif shape < 0.60 and owned:
+            loc = rng.choice(list(owned))
+            block.store(loc, _rand_expr(rng, config), AccessMode.NA)
+            block.load(rng.choice(list(config.registers)), loc, AccessMode.NA)
+        elif shape < 0.85 and owned:
+            loc = rng.choice(list(owned))
+            block.store(loc, _rand_expr(rng, config), AccessMode.NA)
+            block.store(loc, _rand_expr(rng, config), AccessMode.NA)
+        else:
+            first, second = rng.choice(
+                [("rel", "rel"), ("acq", "acq"), ("rel", "sc"),
+                 ("acq", "sc"), ("sc", "sc")]
+            )
+            block.fence(first)
+            block.fence(second)
+
+    for index in range(config.unused_read_sites):
+        # A dead plain read of an owned (interference-free) location: the
+        # ``u*`` registers are outside ``config.registers``, so nothing
+        # downstream (prints included) ever uses them.
+        if owned:
+            block.load(f"u{index + 1}", rng.choice(list(owned)), AccessMode.NA)
 
     for _ in range(config.prints_per_thread):
         block.print_(rng.choice(list(config.registers)))

@@ -10,7 +10,12 @@ PS2.1 exactly as the paper prescribes:
   elimination with the acquire-read kill: allowed across relaxed accesses
   and release writes, never across an acquire read;
 * **LInv** and **LICM** (:mod:`repro.opt.licm`) — loop invariant code
-  motion as the vertical composition ``LInv ∘ CSE``.
+  motion as the vertical composition ``LInv ∘ CSE``;
+* **Merge** (:mod:`repro.opt.merge`) — the Merge-lemma gallery: adjacent
+  RaR read merging, RaW store-to-load forwarding, WaW overwrite merging
+  and fence merging, each under the paper's access-mode side conditions;
+* **UnusedRead** (:mod:`repro.opt.unused_read`) — unused *plain* read
+  elimination (``UnusedLoad.v``), refusing acquire-or-stronger reads.
 
 :mod:`repro.opt.base` defines the optimizer interface and vertical
 composition ``∘``.
@@ -24,7 +29,9 @@ from repro.opt.copyprop import CopyProp
 from repro.opt.cse import CSE
 from repro.opt.dce import DCE
 from repro.opt.licm import LICM, LInv, naive_licm
+from repro.opt.merge import Merge
 from repro.opt.reorder import Reorder
+from repro.opt.unused_read import UnusedRead
 
 __all__ = [
     "CSE",
@@ -34,9 +41,11 @@ __all__ = [
     "DCE",
     "LICM",
     "LInv",
+    "Merge",
     "Optimizer",
     "Peel",
     "Reorder",
+    "UnusedRead",
     "compose",
     "identity_optimizer",
     "naive_licm",

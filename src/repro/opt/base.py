@@ -22,8 +22,64 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.lang.syntax import CodeHeap, Program
-from repro.static.crossing import CrossingProfile
+from repro.lang.syntax import (
+    AccessMode,
+    BasicBlock,
+    Cas,
+    CodeHeap,
+    Fence,
+    FenceKind,
+    Instr,
+    Load,
+    Program,
+    Store,
+)
+from repro.static.crossing import CrossingProfile, write_mode_absorbed
+
+
+def release_barrier(instr: Instr) -> bool:
+    """Operations across which block-local *write* reasoning must not
+    cross: release stores, CASes with a release write part, and
+    release/SC fences (the paper's W1 rule — the last write before a
+    release is never dead)."""
+    if isinstance(instr, Store) and instr.mode is AccessMode.REL:
+        return True
+    if isinstance(instr, Cas) and instr.mode_w is AccessMode.REL:
+        return True
+    if isinstance(instr, Fence) and instr.kind in (FenceKind.REL, FenceKind.SC):
+        return True
+    return False
+
+
+def find_overwriting_store(
+    block: BasicBlock, index: int, adjacent_only: bool = False
+) -> Optional[int]:
+    """The index of a later store in ``block`` that overwrites the store
+    at ``index`` — same location, no intervening use of the location, no
+    release barrier between, and an absorbing mode
+    (:func:`repro.static.crossing.write_mode_absorbed`, the WaW Merge
+    lemma's ``o ⊑ o'``) — or ``None``.
+
+    This is the one adjacent-write scan shared by LocalDSE and the WaW
+    merge so the two passes cannot drift on the mode side conditions;
+    ``adjacent_only`` restricts it to the *immediately* following
+    instruction (the merge pass's lemma shape), while LocalDSE scans to
+    the end of the block.
+    """
+    store = block.instrs[index]
+    if not isinstance(store, Store):
+        return None
+    for j in range(index + 1, len(block.instrs)):
+        later = block.instrs[j]
+        if isinstance(later, Store) and later.loc == store.loc:
+            return j if write_mode_absorbed(store.mode, later.mode) else None
+        if release_barrier(later):
+            return None
+        if isinstance(later, (Load, Cas)) and later.loc == store.loc:
+            return None
+        if adjacent_only:
+            return None
+    return None  # reached the block exit: be conservative
 
 
 class Optimizer:

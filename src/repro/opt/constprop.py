@@ -13,7 +13,7 @@ verified with the identity invariant ``I_id`` (Sec. 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.lattice import FLAT_TOP
 from repro.analysis.value import Env, ValueResult, eval_abstract, transfer_instruction, value_analysis
@@ -81,7 +81,7 @@ class ConstProp(Optimizer):
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
         result = value_analysis(program, func, entry_env_for(program, func))
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             new_blocks.append((label, self._transform_block(label, block, result)))
         return CodeHeap(tuple(new_blocks), heap.entry)

@@ -13,7 +13,7 @@ and verifies with the identity invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.analysis.dataflow import BlockAnalysis, solve_forward
 from repro.analysis.lattice import Lattice
@@ -40,7 +40,7 @@ from repro.static.crossing import CrossingProfile
 
 #: Copy facts: frozenset of (dst, src) pairs meaning dst currently equals
 #: src.  ``None`` is the unreached top element (must-analysis).
-CopyFacts = Optional[frozenset]
+CopyFacts = Optional[FrozenSet[Tuple[str, str]]]
 
 
 def _join(a: CopyFacts, b: CopyFacts) -> CopyFacts:
@@ -51,7 +51,7 @@ def _join(a: CopyFacts, b: CopyFacts) -> CopyFacts:
     return a & b
 
 
-def _kill(facts: frozenset, reg: str) -> frozenset:
+def _kill(facts: FrozenSet[Tuple[str, str]], reg: str) -> FrozenSet[Tuple[str, str]]:
     return frozenset(pair for pair in facts if reg not in pair)
 
 
@@ -78,7 +78,7 @@ def transfer_terminator(term: Terminator, facts: CopyFacts) -> CopyFacts:
     return facts
 
 
-def _resolve(reg: str, facts: frozenset) -> str:
+def _resolve(reg: str, facts: FrozenSet[Tuple[str, str]]) -> str:
     """Follow copy chains: the ultimate source of ``reg`` (cycle-safe)."""
     sources = dict(facts)
     seen = {reg}
@@ -88,7 +88,7 @@ def _resolve(reg: str, facts: frozenset) -> str:
     return reg
 
 
-def _rewrite_expr(expr: Expr, facts: frozenset) -> Expr:
+def _rewrite_expr(expr: Expr, facts: FrozenSet[Tuple[str, str]]) -> Expr:
     if isinstance(expr, Reg):
         return Reg(_resolve(expr.name, facts))
     if isinstance(expr, BinOp):

@@ -21,9 +21,10 @@ behaviors — and is precisely why sources must be allowed to carry rw-races
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.analysis.availexpr import (
+    AvailFacts,
     AvailResult,
     available_analysis,
     lookup_expr,
@@ -68,7 +69,7 @@ class CSE(Optimizer):
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
         avail = available_analysis(program, func, self.acquire_kills)
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             new_blocks.append((label, self._transform_block(label, block, avail)))
         return CodeHeap(tuple(new_blocks), heap.entry)
@@ -80,7 +81,7 @@ class CSE(Optimizer):
             new_instrs.append(self._transform_instr(instr, before))
         return BasicBlock(tuple(new_instrs), block.term)
 
-    def _transform_instr(self, instr: Instr, before) -> Instr:
+    def _transform_instr(self, instr: Instr, before: AvailFacts) -> Instr:
         if isinstance(instr, Load) and instr.mode is AccessMode.NA:
             if before is not None and ("load", instr.dst, instr.loc) in before:
                 # dst already holds a readable value of the location:

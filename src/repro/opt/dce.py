@@ -28,9 +28,9 @@ Atomic accesses are never eliminated (the paper does not optimize atomics).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
-from repro.analysis.liveness import LivenessResult, liveness_analysis
+from repro.analysis.liveness import LiveSet, LivenessResult, liveness_analysis
 from repro.lang.syntax import (
     AccessMode,
     Assign,
@@ -46,7 +46,7 @@ from repro.opt.base import Optimizer
 from repro.static.crossing import CrossingProfile
 
 
-def instruction_is_dead(instr: Instr, live_after) -> bool:
+def instruction_is_dead(instr: Instr, live_after: LiveSet) -> bool:
     """The paper's ``TransI_d`` test: does ``instr`` only produce a value
     nothing ever uses?"""
     if isinstance(instr, Store) and instr.mode is AccessMode.NA:
@@ -73,7 +73,7 @@ class DCE(Optimizer):
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
         liveness = liveness_analysis(program, func)
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             new_blocks.append((label, self._transform_block(label, block, liveness)))
         return CodeHeap(tuple(new_blocks), heap.entry)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.analysis.loops import find_invariant_loads, loop_info
 from repro.lang.cfg import NaturalLoop
@@ -45,7 +45,7 @@ from repro.opt.cse import CSE
 from repro.static.crossing import CrossingProfile
 
 
-def _fresh_register_namer(program: Program):
+def _fresh_register_namer(program: Program) -> Iterator[str]:
     """Yield register names unused anywhere in ``program``."""
     used = program_registers(program)
     counter = itertools.count()
@@ -98,7 +98,9 @@ class LInv(Optimizer):
         namer = _fresh_register_namer(program)
         return self._transform_function(program, program.function(func), namer)
 
-    def _transform_function(self, program: Program, heap: CodeHeap, namer) -> CodeHeap:
+    def _transform_function(
+        self, program: Program, heap: CodeHeap, namer: Iterator[str]
+    ) -> CodeHeap:
         info = loop_info(heap)
         for loop in info.loops:
             invariants = find_invariant_loads(
@@ -109,7 +111,11 @@ class LInv(Optimizer):
         return heap
 
     def _insert_preheader(
-        self, heap: CodeHeap, loop: NaturalLoop, invariants: Tuple[str, ...], namer
+        self,
+        heap: CodeHeap,
+        loop: NaturalLoop,
+        invariants: Tuple[str, ...],
+        namer: Iterator[str],
     ) -> CodeHeap:
         header = loop.header
         preheader_label = f"{header}_ph"

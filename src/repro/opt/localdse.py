@@ -17,66 +17,43 @@ by tests and the benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.lang.syntax import (
     AccessMode,
     BasicBlock,
-    Cas,
     CodeHeap,
-    Fence,
-    FenceKind,
     Instr,
-    Load,
     Program,
     Skip,
     Store,
 )
-from repro.opt.base import Optimizer
-
-
-def _is_barrier(instr: Instr) -> bool:
-    """Operations across which the local argument must not reason."""
-    if isinstance(instr, Store) and instr.mode is AccessMode.REL:
-        return True
-    if isinstance(instr, Cas) and instr.mode_w is AccessMode.REL:
-        return True
-    if isinstance(instr, Fence) and instr.kind in (FenceKind.REL, FenceKind.SC):
-        return True
-    return False
-
-
-def _store_is_locally_dead(block: BasicBlock, index: int) -> bool:
-    """Is the na store at ``index`` overwritten later in the same block
-    with no intervening use or barrier?"""
-    store = block.instrs[index]
-    assert isinstance(store, Store) and store.mode is AccessMode.NA
-    for later in block.instrs[index + 1:]:
-        if _is_barrier(later):
-            return False
-        if isinstance(later, Load) and later.loc == store.loc:
-            return False
-        if isinstance(later, Store) and later.loc == store.loc:
-            return True  # overwritten before any use
-    return False  # reached the block exit: be conservative
+from repro.opt.base import Optimizer, find_overwriting_store
 
 
 @dataclass(frozen=True)
 class LocalDSE(Optimizer):
-    """LLVM-style basic-block-local dead store elimination."""
+    """LLVM-style basic-block-local dead store elimination.
+
+    The overwrite scan (same location, no intervening use, no release
+    barrier, absorbing mode) is
+    :func:`repro.opt.base.find_overwriting_store` — shared with the WaW
+    merge of :mod:`repro.opt.merge` so the two passes cannot drift on
+    the mode side conditions.
+    """
 
     name: str = "local-dse"
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             instrs: List[Instr] = []
             for index, instr in enumerate(block.instrs):
                 if (
                     isinstance(instr, Store)
                     and instr.mode is AccessMode.NA
-                    and _store_is_locally_dead(block, index)
+                    and find_overwriting_store(block, index) is not None
                 ):
                     instrs.append(Skip())
                 else:

@@ -24,7 +24,7 @@ exercise the certifier's ``I_reorder`` permutation rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.lang.syntax import (
     AccessMode,
@@ -90,7 +90,7 @@ class Reorder(Optimizer):
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             instrs = tuple(reorder_block(list(block.instrs)))
             new_blocks.append((label, BasicBlock(instrs, block.term)))

@@ -14,6 +14,15 @@ refinement failures the paper predicts:
   ``x := e; x := e`` puts *two* messages in memory, and another thread
   can observe intermediate states the source never produces (e.g. a
   coherence-order position between the duplicates);
+* :class:`UnsoundWaWMerge` — WaW overwrite merging that scans across
+  *every* intervening instruction (acquiring reads and release writes
+  included), claiming the adjacent-merge ``I_merge`` profile.  Across a
+  release write the elimination is genuinely unsound (a reader that
+  acquires the release must see the first write's value; dropping it
+  leaks a stale message), and the crossing oracle's W1 rule rejects it;
+  across only an acquire read the merge explainer finds no adjacent
+  shape, the dead-code rule refuses (the lying profile never declared
+  write elimination), and certification stays inconclusive;
 * ``naive_licm`` (in :mod:`repro.opt.licm`) — LICM across acquire reads.
 
 None of these are exported through the top-level API as real passes.
@@ -22,7 +31,7 @@ None of these are exported through the top-level API as real passes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import FrozenSet, List, Tuple
 
 from repro.analysis.dataflow import BlockAnalysis, solve_backward
 from repro.analysis.liveness import LiveSet, _live_lattice, _transfer_terminator
@@ -45,7 +54,9 @@ from repro.opt.dce import instruction_is_dead
 from repro.static.crossing import CrossingProfile
 
 
-def _naive_transfer(instr: Instr, live: LiveSet, all_na_locs) -> LiveSet:
+def _naive_transfer(
+    instr: Instr, live: LiveSet, all_na_locs: FrozenSet[str]
+) -> LiveSet:
     """Liveness transfer WITHOUT the release barrier — every write mode is
     treated like a relaxed one.  Everything else matches the sound
     analysis."""
@@ -107,7 +118,7 @@ class NaiveDCE(Optimizer):
         )
         exit_facts = solve_backward(heap, analysis)
 
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             fact = _transfer_terminator(
                 block.term, exit_facts[label], all_regs, all_na_locs, return_live
@@ -150,7 +161,7 @@ class RedundantWriteIntroduction(Optimizer):
 
     def run_function(self, program: Program, func: str) -> CodeHeap:
         heap = program.function(func)
-        new_blocks = []
+        new_blocks: List[Tuple[str, BasicBlock]] = []
         for label, block in heap.blocks:
             instrs: List[Instr] = []
             for instr in block.instrs:
@@ -159,5 +170,47 @@ class RedundantWriteIntroduction(Optimizer):
                     from repro.lang.syntax import Reg
 
                     instrs.append(Store(instr.loc, Reg(instr.dst), AccessMode.NA))
+            new_blocks.append((label, BasicBlock(tuple(instrs), block.term)))
+        return CodeHeap(tuple(new_blocks), heap.entry)
+
+
+@dataclass(frozen=True)
+class UnsoundWaWMerge(Optimizer):
+    """WaW merging with no barrier discipline: a store is dropped
+    whenever a later same-block store overwrites the location before any
+    same-location read — scanning straight across acquiring reads and
+    release writes, where the sound merge (and LocalDSE's shared scan,
+    :func:`repro.opt.base.find_overwriting_store`) must stop.
+
+    Across a release this breaks refinement outright: in a
+    message-passing shape ``a := 1; x.rel := 1; a := 2`` the reader that
+    acquires ``x = 1`` is entitled to see ``a ∈ {1, 2}``, but after the
+    merge it can read the stale initial value.  Negative control for the
+    merge family's certification tests."""
+
+    name: str = "unsound-waw-merge"
+    #: A deliberately *lying* claim: the profile says "adjacent merges
+    #: only" (``I_merge``), but the eliminations are not adjacent.  The
+    #: certifier must refuse every one — the merge explainer finds no
+    #: adjacent shape, so release-crossing eliminations hit the W1 rule
+    #: and the rest land on an undischargeable dead-code obligation.
+    crossing_profile: CrossingProfile = CrossingProfile(
+        invariant="merge", may_merge_accesses=True
+    )
+
+    def run_function(self, program: Program, func: str) -> CodeHeap:
+        heap = program.function(func)
+        new_blocks: List[Tuple[str, BasicBlock]] = []
+        for label, block in heap.blocks:
+            instrs: List[Instr] = list(block.instrs)
+            for index, instr in enumerate(block.instrs):
+                if not isinstance(instr, Store):
+                    continue
+                for later in block.instrs[index + 1:]:
+                    if isinstance(later, (Load, Cas)) and later.loc == instr.loc:
+                        break
+                    if isinstance(later, Store) and later.loc == instr.loc:
+                        instrs[index] = Skip()  # merged across anything between
+                        break
             new_blocks.append((label, BasicBlock(tuple(instrs), block.term)))
         return CodeHeap(tuple(new_blocks), heap.entry)

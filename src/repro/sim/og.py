@@ -32,7 +32,20 @@ The obligations, per aligned program point, by declared profile:
   constants domain decides the condition;
 * **permutation** (``I_reorder``) — a block whose instruction *multiset*
   is preserved discharges when the target order keeps every
-  :func:`repro.static.crossing.must_preserve_order` pair of the source.
+  :func:`repro.static.crossing.must_preserve_order` pair of the source;
+* **merge-rar / merge-forward / merge-waw / merge-fence** (``I_merge``)
+  — offsets :func:`repro.static.crossing.explain_merges` verifies as
+  adjacent Merge-lemma instances (shape plus access-mode side
+  condition) discharge structurally;
+* **store-forward** (``I_merge``) — a plain load rewritten to an
+  expression discharges when the ``("stval", x, e)`` availability fact
+  proves the thread's own latest write to ``x`` stored that value
+  (mode-monotone expression equivalence via :func:`_expr_equiv`);
+* **unused-read** (``I_unused``) — a plain load replaced by ``skip``
+  discharges from deadness of its destination plus thread-modular
+  interference freedom (no environment thread writes the location);
+  acquire-or-stronger reads are refused outright — their view join is
+  an event no deadness argument can remove.
 
 Anything not discharged leaves the report ``not ok`` — the certifier
 then falls back to exploration; this checker is deliberately incomplete
@@ -47,6 +60,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.analysis.availexpr import (
     AvailFacts,
     available_analysis,
+    stored_value,
     transfer_instruction as avail_transfer,
 )
 from repro.analysis.dataflow import BlockAnalysis, solve_forward
@@ -80,8 +94,12 @@ from repro.opt.copyprop import (
     transfer_terminator as copy_transfer_term,
 )
 from repro.opt.dce import instruction_is_dead
-from repro.static.absint.domains.modref import modref_summaries
-from repro.static.crossing import CrossingProfile, must_preserve_order
+from repro.static.absint.domains.modref import environment_writes
+from repro.static.crossing import (
+    CrossingProfile,
+    explain_merges,
+    must_preserve_order,
+)
 
 
 @dataclass(frozen=True)
@@ -238,21 +256,10 @@ def _expr_equiv(
 
 def _env_writes(program: Program, func: str) -> FrozenSet[str]:
     """Non-atomic locations the *other* threads may write while ``func``
-    runs — the interference footprint of the OG side conditions.
-
-    Conservative about aliasing: when ``func`` itself appears more than
-    once as a thread entry, its own footprint interferes with itself.
-    """
-    entries = tuple(program.threads)
-    summaries = modref_summaries(program, tuple(set(entries)))
-    writes: FrozenSet[str] = frozenset()
-    skipped_self = False
-    for entry in entries:
-        if entry == func and not skipped_self:
-            skipped_self = True
-            continue
-        writes = writes | summaries[entry].writes
-    return writes
+    runs — the interference footprint of the OG side conditions (shared
+    with the unused-read pass via
+    :func:`repro.static.absint.domains.modref.environment_writes`)."""
+    return environment_writes(program, func)
 
 
 def _same_shape(src: Instr, tgt: Instr) -> bool:
@@ -387,6 +394,60 @@ def _check_instruction(
         ):
             return [Obligation(invariant, "redundant-read", func, label, offset, True,
                                f"{tgt_i.expr.name} holds {src_i.loc}")]
+    # Store-to-load forwarding (I_merge): a plain load rewritten to the
+    # value its thread's own latest write stored, justified by the
+    # stored-value availability fact (acquire reads never forward — the
+    # pass refuses them, and no stval fact can discharge the view join).
+    if (
+        profile.may_merge_accesses
+        and isinstance(src_i, Load)
+        and src_i.mode is AccessMode.NA
+        and isinstance(tgt_i, Assign)
+        and tgt_i.dst == src_i.dst
+    ):
+        stored = stored_value(avail, src_i.loc) if avail is not None else None
+        if stored is not None:
+            reason = _expr_equiv(stored, tgt_i.expr, env, avail, copies)
+            if reason is not None:
+                return [Obligation(invariant, "store-forward", func, label, offset, True,
+                                   f"{src_i.loc} still holds {stored} ({reason})")]
+        # A merge chain may route the value through a register that holds
+        # an *available read* of the location (a RaR link whose head was
+        # itself forwarded): the ``("load", r, x)`` fact is the same
+        # re-performable-read justification CSE uses.
+        if (
+            isinstance(tgt_i.expr, Reg)
+            and avail is not None
+            and ("load", tgt_i.expr.name, src_i.loc) in avail
+        ):
+            return [Obligation(invariant, "store-forward", func, label, offset, True,
+                               f"{tgt_i.expr.name} holds an available read of {src_i.loc}")]
+        return [Obligation(invariant, "store-forward", func, label, offset, False,
+                           f"no stored-value fact equates {src_i.loc} with {tgt_i.expr}")]
+    # Unused plain read elimination (I_unused): a load whose destination
+    # is dead may be dropped — deadness plus interference freedom, and
+    # only for *plain* (na) reads (an acquire-or-stronger read performs
+    # a view join no deadness argument removes).
+    if (
+        profile.may_eliminate_unused_reads
+        and isinstance(src_i, Load)
+        and isinstance(tgt_i, Skip)
+    ):
+        if src_i.mode is not AccessMode.NA:
+            return [Obligation(invariant, "unused-read", func, label, offset, False,
+                               f"refuse to drop non-plain read {src_i}")]
+        dead = instruction_is_dead(src_i, live_after)
+        obs = [Obligation(
+            invariant, "unused-read", func, label, offset, dead,
+            f"{src_i.dst} is dead" if dead else f"cannot prove {src_i.dst} dead",
+        )]
+        interference_free = src_i.loc not in env_writes
+        obs.append(Obligation(
+            invariant, "interference", func, label, offset, interference_free,
+            f"no environment writer of {src_i.loc}" if interference_free
+            else f"environment may write {src_i.loc}",
+        ))
+        return obs
     # Dead code elimination (I_dce): anything replaced by skip.
     if isinstance(tgt_i, Skip) and not isinstance(src_i, Skip):
         eliminates_write = isinstance(src_i, Store)
@@ -473,9 +534,20 @@ def check_og(
                 invariant, func, label, src_block.term, tgt_block.term, envs[-1]
             )
             aligned: List[Obligation] = []
+            merged: Dict[int, str] = {}
+            if profile.may_merge_accesses:
+                # Offsets the crossing oracle's merge explainer verifies
+                # as adjacent Merge-lemma instances discharge structurally
+                # (shape + access-mode side condition already checked).
+                merged = explain_merges(src_block, tgt_block)
+                for off in sorted(merged):
+                    aligned.append(Obligation(
+                        invariant, f"merge-{merged[off]}", func, label, off, True,
+                        f"{src_block.instrs[off]} absorbed by an adjacent access",
+                    ))
             block_facts = None  # computed lazily at the first difference
             for offset, (src_i, tgt_i) in enumerate(zip(src_block.instrs, tgt_block.instrs)):
-                if src_i == tgt_i:
+                if src_i == tgt_i or offset in merged:
                     continue
                 if block_facts is None:
                     block_facts = (

@@ -117,6 +117,26 @@ def modref_summaries(
     return solve_summaries(program, funcs, analyze, bottom=ModRef())
 
 
+def environment_writes(program: Program, func: str) -> FrozenSet[str]:
+    """Non-atomic locations the *other* threads may write while ``func``
+    runs — the thread-modular interference footprint of the Owicki–Gries
+    side conditions (:mod:`repro.sim.og`) and of the unused-read pass.
+
+    Conservative about aliasing: when ``func`` itself appears more than
+    once as a thread entry, its own footprint interferes with itself.
+    """
+    entries = tuple(program.threads)
+    summaries = modref_summaries(program, tuple(set(entries)))
+    writes: FrozenSet[str] = frozenset()
+    skipped_self = False
+    for entry in entries:
+        if entry == func and not skipped_self:
+            skipped_self = True
+            continue
+        writes = writes | summaries[entry].writes
+    return writes
+
+
 class FulfillDomain(Domain[FrozenSet[str]]):
     """Backward may-fulfill analysis: which locations can an execution
     suffix from this point still write with an ``na``/``rlx`` store?"""

@@ -61,6 +61,18 @@ never *weakens* the crossing rules on matched blocks — it only decides
 how one-sided blocks are classified, and is what the certification tier
 (:mod:`repro.static.certify`) checks the diff against.
 
+Merging passes (``may_merge_accesses``) get one extra mechanism:
+:func:`explain_merges` recognizes the paper's Merge-lemma shapes —
+adjacent RaR read merging, RaW store-to-load forwarding, WaW overwrite
+merging and fence absorption, each gated on its access-mode side
+condition (:func:`read_mode_absorbs`, :func:`write_mode_absorbed`,
+:func:`fence_absorbs`) — and the rules then run against the *effective
+source* with those verified merges substituted in
+(:func:`merged_effective_block`).  That substitution is what keeps the
+segment indices honest when a merge removes an *atomic* event (a
+relaxed re-read, an absorbed fence): the dropped event no longer
+separates segments on either side.
+
 :func:`must_preserve_order` is the adjacent-swap dependence predicate
 shared by the reordering pass (:mod:`repro.opt.reorder`) and the
 Owicki–Gries permutation obligations (:mod:`repro.sim.og`): it answers
@@ -72,11 +84,12 @@ the R1/W1/W2 directions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.lang.cfg import Cfg
 from repro.lang.syntax import (
     AccessMode,
+    Assign,
     BasicBlock,
     Be,
     Call,
@@ -89,6 +102,7 @@ from repro.lang.syntax import (
     Load,
     Print,
     Program,
+    Reg,
     Skip,
     Store,
     Terminator,
@@ -126,6 +140,16 @@ class CrossingProfile:
     #: May relabel, duplicate or delete blocks (LICM / unrolling /
     #: cleanup restructuring).
     may_restructure_cfg: bool = False
+    #: May merge adjacent same-location accesses and adjacent fences
+    #: (the paper's Merge lemmas: RaR, RaW store-to-load forwarding,
+    #: WaW overwriting, fence absorption).  Each merge must satisfy the
+    #: access-mode side conditions checked by :func:`explain_merges`;
+    #: unexplained differences fall through to the standard rules.
+    may_merge_accesses: bool = False
+    #: May drop *unused* plain reads — non-atomic loads of a dead
+    #: destination register (``UnusedLoad.v``); acquire-or-stronger
+    #: reads are never eligible (their view join is an event).
+    may_eliminate_unused_reads: bool = False
 
     def merge(self, other: "CrossingProfile") -> Optional["CrossingProfile"]:
         """The profile of a vertical composition, or ``None`` when the
@@ -145,6 +169,10 @@ class CrossingProfile:
             may_introduce_reads=self.may_introduce_reads or other.may_introduce_reads,
             may_reorder=self.may_reorder or other.may_reorder,
             may_restructure_cfg=self.may_restructure_cfg or other.may_restructure_cfg,
+            may_merge_accesses=self.may_merge_accesses or other.may_merge_accesses,
+            may_eliminate_unused_reads=(
+                self.may_eliminate_unused_reads or other.may_eliminate_unused_reads
+            ),
         )
 
     def __str__(self) -> str:
@@ -156,6 +184,8 @@ class CrossingProfile:
                 ("intro-reads", self.may_introduce_reads),
                 ("reorder", self.may_reorder),
                 ("restructure", self.may_restructure_cfg),
+                ("merge", self.may_merge_accesses),
+                ("elim-unused-reads", self.may_eliminate_unused_reads),
             )
             if on
         ]
@@ -229,6 +259,164 @@ def _is_atomic_event(instr: Instr) -> bool:
     if isinstance(instr, (Load, Store)):
         return instr.mode is not AccessMode.NA
     return isinstance(instr, (Cas, Fence))
+
+
+# ---------------------------------------------------------------------------
+# Merge-lemma side conditions and the structural merge explainer
+# ---------------------------------------------------------------------------
+
+#: Read-mode strength order ``na ⊑ rlx ⊑ acq`` (paper Merge lemmas).
+_READ_STRENGTH: Dict[AccessMode, int] = {
+    AccessMode.NA: 0,
+    AccessMode.RLX: 1,
+    AccessMode.ACQ: 2,
+}
+
+#: Write-mode strength order ``na ⊑ rlx ⊑ rel``.
+_WRITE_STRENGTH: Dict[AccessMode, int] = {
+    AccessMode.NA: 0,
+    AccessMode.RLX: 1,
+    AccessMode.REL: 2,
+}
+
+
+def read_mode_absorbs(first: AccessMode, second: AccessMode) -> bool:
+    """RaR merge side condition: ``r1 := x_o; r2 := x_o'`` may reuse the
+    first read's value when ``o' ⊑ o`` — the kept read is at least as
+    strong as the one it replaces (an acquire must never be simulated by
+    a weaker read)."""
+    return _READ_STRENGTH.get(second, 3) <= _READ_STRENGTH.get(first, -1)
+
+
+def write_mode_absorbed(first: AccessMode, second: AccessMode) -> bool:
+    """WaW merge side condition: ``x_o := e1; x_o' := e2`` may drop the
+    first write when ``o ⊑ o'`` — the surviving write is at least as
+    strong, so every synchronization the dropped write offered remains."""
+    return _WRITE_STRENGTH.get(first, 3) <= _WRITE_STRENGTH.get(second, -1)
+
+
+def fence_absorbs(keeper: FenceKind, dropped: FenceKind) -> bool:
+    """Fence merge side condition: ``dropped ⊑ keeper`` in the fence
+    order (``rel ⊑ sc``, ``acq ⊑ sc``, equal kinds; ``rel`` and ``acq``
+    are incomparable — neither subsumes the other)."""
+    return dropped == keeper or keeper is FenceKind.SC
+
+
+def explain_merges(src: BasicBlock, tgt: BasicBlock) -> Dict[int, str]:
+    """Explain in-place rewrites of ``src → tgt`` as paper Merge-lemma
+    instances: ``offset → kind`` with kind in ``rar`` (adjacent read
+    merging), ``forward`` (adjacent store-to-load forwarding), ``waw``
+    (adjacent overwrite merging) and ``fence`` (adjacent fence
+    absorption).
+
+    Only equal-length blocks are considered — merging passes rewrite in
+    place, replacing the absorbed access with ``skip`` or a register
+    move so offsets stay aligned.  Every explained offset is one
+    adjacent merge with its access-mode side condition verified against
+    the *source* pair; chains (``x:=1; x:=2; x:=3``) compose because the
+    mode orders are total and each link is itself a lemma instance.
+    Offsets not in the result are unexplained: the caller's crossing
+    rules apply to them unchanged.
+    """
+    explained: Dict[int, str] = {}
+    n = len(src.instrs)
+    if len(tgt.instrs) != n:
+        return explained
+
+    # Backward absorption — the *earlier* instruction of the pair is
+    # dropped, kept alive by its successor (WaW overwrites, a fence
+    # absorbed by the next fence).  Descending order so a chain's links
+    # justify each other right-to-left.
+    bwd: Set[int] = set()
+    for i in range(n - 2, -1, -1):
+        s, nxt = src.instrs[i], src.instrs[i + 1]
+        if not isinstance(tgt.instrs[i], Skip) or isinstance(s, Skip):
+            continue
+        successor_kept = tgt.instrs[i + 1] == nxt or (i + 1) in bwd
+        if (
+            isinstance(s, Store)
+            and isinstance(nxt, Store)
+            and s.loc == nxt.loc
+            and write_mode_absorbed(s.mode, nxt.mode)
+            and successor_kept
+        ):
+            explained[i] = "waw"
+            bwd.add(i)
+        elif (
+            isinstance(s, Fence)
+            and isinstance(nxt, Fence)
+            and fence_absorbs(nxt.kind, s.kind)
+            and successor_kept
+        ):
+            explained[i] = "fence"
+            bwd.add(i)
+
+    # Forward absorption — the *later* instruction of the pair is
+    # dropped or turned into a value move, kept alive by its (intact)
+    # predecessor: RaR re-reads, RaW store-to-load forwarding, a fence
+    # absorbed by the previous fence.  ``fwd_load`` chains through
+    # already-rewritten loads (their destination still holds the
+    # location's value); fences chain only through forward absorptions
+    # (a backward-dropped fence cannot keep anything alive).
+    fwd_load: Set[int] = set()
+    fwd_fence: Set[int] = set()
+    for i in range(1, n):
+        if i in explained:
+            continue
+        s, prev = src.instrs[i], src.instrs[i - 1]
+        t = tgt.instrs[i]
+        prev_intact = tgt.instrs[i - 1] == prev
+        if isinstance(s, Load) and isinstance(prev, Load):
+            if (
+                s.loc == prev.loc
+                and read_mode_absorbs(prev.mode, s.mode)
+                and (prev_intact or (i - 1) in fwd_load)
+                and (
+                    (isinstance(t, Skip) and s.dst == prev.dst)
+                    or t == Assign(s.dst, Reg(prev.dst))
+                )
+            ):
+                explained[i] = "rar"
+                fwd_load.add(i)
+        elif isinstance(s, Load) and isinstance(prev, Store):
+            if (
+                s.loc == prev.loc
+                and s.mode is not AccessMode.ACQ
+                and prev_intact
+                and t == Assign(s.dst, prev.expr)
+            ):
+                explained[i] = "forward"
+                fwd_load.add(i)
+        elif isinstance(s, Fence) and isinstance(prev, Fence):
+            if (
+                fence_absorbs(prev.kind, s.kind)
+                and (prev_intact or (i - 1) in fwd_fence)
+                and isinstance(t, Skip)
+            ):
+                explained[i] = "fence"
+                fwd_fence.add(i)
+    return explained
+
+
+def merged_effective_block(src: BasicBlock, tgt: BasicBlock) -> BasicBlock:
+    """The *effective source* of a merge-explained rewrite: every
+    explained source instruction replaced by its target counterpart.
+
+    Each explained offset is a verified local Merge-lemma instance, so
+    the source refines this effective block; checking the standard
+    crossing rules on ``effective → tgt`` then accounts for the atomic
+    events the merges removed (an absorbed relaxed load or fence no
+    longer segments R1/W2 — comparing against the raw source would
+    misalign every later segment index).
+    """
+    explained = explain_merges(src, tgt)
+    if not explained:
+        return src
+    instrs = tuple(
+        tgt.instrs[i] if i in explained else instr
+        for i, instr in enumerate(src.instrs)
+    )
+    return BasicBlock(instrs, src.term)
 
 
 def _na_reads(
@@ -455,9 +643,13 @@ def check_crossing(
         src_blocks, tgt_blocks = src_heap.block_map, tgt_heap.block_map
         matching = match_blocks(src_heap, tgt_heap)
         for src_label, tgt_label in matching.pairs:
-            violations.extend(_check_block(
-                fname, tgt_label, src_blocks[src_label], tgt_blocks[tgt_label]
-            ))
+            src_block, tgt_block = src_blocks[src_label], tgt_blocks[tgt_label]
+            if profile is not None and profile.may_merge_accesses:
+                # Rewrite verified adjacent merges into the source before
+                # rule-checking, so an absorbed atomic access no longer
+                # shifts the R1/W2 segmentation of later instructions.
+                src_block = merged_effective_block(src_block, tgt_block)
+            violations.extend(_check_block(fname, tgt_label, src_block, tgt_block))
         for src_label, tgt_label in matching.copies:
             # A copy is rule-checked against its original, but duplication
             # itself needs a restructuring profile to be conclusive (a

@@ -4,8 +4,9 @@ guarantee (property-tested against the actual race detector)."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang.syntax import AccessMode, Cas, Store
+from repro.lang.syntax import AccessMode, Cas, Load, Store
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt import Merge, UnusedRead
 from repro.races.wwrf import ww_rf
 from repro.semantics.thread import SemanticsConfig
 
@@ -52,6 +53,48 @@ def test_generated_programs_are_ww_race_free(seed):
     config = GeneratorConfig(threads=2, instrs_per_thread=4)
     program = random_wwrf_program(seed, config)
     report = ww_rf(program, SemanticsConfig())
+    assert report.race_free
+
+
+def test_merge_clusters_give_the_merge_pass_work():
+    """Every merge cluster emits a mergeable adjacent pair (a fence pair
+    when the thread owns no location), so the pass always fires."""
+    config = GeneratorConfig(instrs_per_thread=2, merge_clusters=2)
+    for seed in range(10):
+        program = random_wwrf_program(seed, config)
+        assert Merge().run(program) != program, seed
+
+
+def test_unused_read_sites_are_all_eliminable():
+    """The generated ``u*`` reads are plain, dead (outside the print
+    pool) and interference-free (owned locations) — the unused-read pass
+    drops every one."""
+    config = GeneratorConfig(instrs_per_thread=2, unused_read_sites=2)
+    saw_site = False
+    for seed in range(10):
+        program = random_wwrf_program(seed, config)
+        for _, heap in program.functions:
+            if any(
+                isinstance(i, Load) and i.dst.startswith("u")
+                for i in heap.instructions()
+            ):
+                saw_site = True
+        out = UnusedRead().run(program)
+        for _, heap in out.functions:
+            for instr in heap.instructions():
+                assert not (isinstance(instr, Load) and instr.dst.startswith("u"))
+    assert saw_site
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_merge_corpus_stays_ww_race_free(seed):
+    """The new knobs only touch owned locations — the by-construction
+    ww-RF guarantee survives them."""
+    config = GeneratorConfig(
+        threads=2, instrs_per_thread=3, merge_clusters=1, unused_read_sites=1
+    )
+    report = ww_rf(random_wwrf_program(seed, config), SemanticsConfig())
     assert report.race_free
 
 

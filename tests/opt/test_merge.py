@@ -1,0 +1,321 @@
+"""Merge pass tests: each Merge-lemma shape under its access-mode side
+condition, the refusals, non-adjacent plain forwarding from the
+stored-value fact, and end-to-end validation + tier-0 certification."""
+
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    Const,
+    Fence,
+    FenceKind,
+    Load,
+    Reg,
+    Skip,
+    Store,
+)
+from repro.opt import Merge
+from repro.sim import validate_optimizer
+from repro.static.certify import certify_transformation
+
+
+def _program(build, atomics={"x"}):
+    pb = ProgramBuilder(atomics=set(atomics))
+    with pb.function("t1") as f:
+        build(f)
+    pb.thread("t1")
+    return pb.build()
+
+
+def _entry(program):
+    return Merge().run(program).function("t1")["entry"].instrs
+
+
+class TestRaR:
+    def test_same_register_second_read_dropped(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "a", "na")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[1], Skip)
+
+    def test_different_register_becomes_move(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.load("r2", "x", "rlx")
+            b.print_("r2")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[1] == Assign("r2", Reg("r1"))
+
+    def test_acquire_pair_merges(self):
+        """Equal modes absorb: ``o' ⊑ o`` holds at acq/acq."""
+
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "acq")
+            b.load("r2", "x", "acq")
+            b.print_("r2")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[1] == Assign("r2", Reg("r1"))
+
+    def test_refuses_acquire_after_relaxed(self):
+        """A relaxed read cannot simulate the acquire's view join."""
+
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.load("r2", "x", "acq")
+            b.print_("r2")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[1], Load)
+
+    def test_chains_through_rewritten_read(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.load("r2", "x", "rlx")
+            b.load("r3", "x", "rlx")
+            b.print_("r3")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[1] == Assign("r2", Reg("r1"))
+        assert instrs[2] == Assign("r3", Reg("r2"))
+
+
+class TestRaW:
+    def test_adjacent_plain_forwarding(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[1] == Assign("r1", Const(5))
+
+    def test_adjacent_relaxed_forwarding(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("x", 1, "rlx")
+            b.load("r1", "x", "rlx")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[1] == Assign("r1", Const(1))
+
+    def test_refuses_acquire_read(self):
+        """Forwarding skips the acquire's view join — never legal."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("x", 1, "rel")
+            b.load("r1", "x", "acq")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[1], Load)
+
+    def test_nonadjacent_plain_forwarding_from_stval(self):
+        """A relaxed store to another location does not kill the
+        stored-value fact, so the distant plain read still forwards."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.store("x", 1, "rlx")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[2] == Assign("r1", Const(5))
+
+    def test_stval_killed_by_acquire(self):
+        """An acquire read joins another thread's view — the thread's own
+        message may no longer be the one a later read returns."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.load("g", "x", "acq")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[2], Load)
+
+    def test_stval_killed_by_intervening_read(self):
+        """A same-location read may land on a *newer* message; the fact
+        no longer pins the location to the stored expression."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.store("x", 1, "rlx")
+            b.load("r2", "a", "na")
+            b.store("x", 2, "rlx")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert instrs[2] == Assign("r2", Const(5))  # still covered
+        assert isinstance(instrs[4], Load)  # fact killed by the read
+
+
+class TestWaW:
+    def test_adjacent_overwrite_dropped(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("a", 2, "na")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Skip)
+        assert instrs[1] == Store("a", Const(2), AccessMode.NA)
+
+    def test_stronger_survivor_absorbs(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("x", 1, "rlx")
+            b.store("x", 2, "rel")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Skip)
+
+    def test_refuses_weaker_survivor(self):
+        """Dropping a release keeps none of its synchronization."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("x", 1, "rel")
+            b.store("x", 2, "rlx")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Store)
+
+    def test_chain_collapses_to_last_store(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("a", 2, "na")
+            b.store("a", 3, "na")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Skip)
+        assert isinstance(instrs[1], Skip)
+        assert instrs[2] == Store("a", Const(3), AccessMode.NA)
+
+    def test_refuses_nonadjacent_overwrite(self):
+        """A store to another location intervenes: LocalDSE's scan would
+        drop the first write, the adjacent-only merge must not."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("b", 9, "na")
+            b.store("a", 2, "na")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Store)
+
+    def test_refuses_intervening_same_location_read(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.load("r1", "a", "na")
+            b.store("a", 2, "na")
+            b.print_("r1")
+            b.ret()
+
+        instrs = _entry(_program(src))
+        assert isinstance(instrs[0], Store)
+
+
+class TestFence:
+    def _fences(self, first, second):
+        def src(f):
+            b = f.block("entry")
+            b.fence(first)
+            b.fence(second)
+            b.ret()
+
+        return _entry(_program(src))
+
+    def test_equal_kinds_merge(self):
+        for kind in ("rel", "acq", "sc"):
+            instrs = self._fences(kind, kind)
+            assert isinstance(instrs[0], Skip), kind
+            assert instrs[1] == Fence(FenceKind(kind)), kind
+
+    def test_sc_absorbs_weaker_neighbor(self):
+        instrs = self._fences("acq", "sc")
+        assert isinstance(instrs[0], Skip)
+        instrs = self._fences("sc", "acq")
+        assert isinstance(instrs[1], Skip)
+
+    def test_rel_acq_pair_kept(self):
+        instrs = self._fences("rel", "acq")
+        assert instrs[0] == Fence(FenceKind.REL)
+        assert instrs[1] == Fence(FenceKind.ACQ)
+
+
+def _mixed_program():
+    pb = ProgramBuilder(atomics={"x"})
+    with pb.function("t1") as f:
+        b = f.block("entry")
+        b.store("a", 1, "na")
+        b.store("a", 2, "na")
+        b.load("r1", "x", "rlx")
+        b.load("r2", "x", "rlx")
+        b.store("b", 5, "na")
+        b.load("r3", "b", "na")
+        b.fence("rel")
+        b.fence("rel")
+        b.print_("r1")
+        b.print_("r2")
+        b.print_("r3")
+        b.ret()
+    pb.thread("t1")
+    with pb.function("t2") as f:
+        b = f.block("entry")
+        b.load("g", "x", "acq")
+        b.print_("g")
+        b.ret()
+    pb.thread("t2")
+    return pb.build()
+
+
+def test_merge_validates_by_exploration():
+    program = _mixed_program()
+    out = Merge().run(program)
+    assert out != program
+    result = validate_optimizer(Merge(), program)
+    assert result.ok, result
+
+
+def test_merge_certifies_tier_zero():
+    program = _mixed_program()
+    report = certify_transformation(Merge(), program)
+    assert report.certified, report

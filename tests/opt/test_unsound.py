@@ -6,9 +6,15 @@ from repro.lang.builder import ProgramBuilder, straightline_program
 from repro.lang.syntax import AccessMode, Const, Load, Skip, Store
 from repro.litmus.library import fig15_program
 from repro.opt.dce import DCE
-from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.opt.merge import Merge
+from repro.opt.unsound import (
+    NaiveDCE,
+    RedundantWriteIntroduction,
+    UnsoundWaWMerge,
+)
 from repro.races.wwrf import ww_rf
 from repro.sim.refinement import check_refinement
+from repro.static.certify import certify_transformation
 
 
 class TestNaiveDCE:
@@ -96,3 +102,76 @@ class TestRedundantWriteIntroduction:
         for invariant in (identity_invariant(), dce_invariant()):
             result = check_thread_simulation(source, target, "t1", invariant)
             assert not result.holds, invariant
+
+
+class TestUnsoundWaWMerge:
+    def message_passing(self):
+        """``t1: a := 1; x.rel := 1; a := 2`` — the first write to ``a``
+        is the message the reader that acquires ``x = 1`` may return."""
+        pb = ProgramBuilder(atomics={"x"})
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("x", 1, "rel")
+            b.store("a", 2, "na")
+            b.ret()
+        with pb.function("t2") as f:
+            b = f.block("entry")
+            b.load("r", "x", "acq")
+            b.be("r", "seen", "unseen")
+            seen = f.block("seen")
+            seen.load("r2", "a", "na")
+            seen.print_("r2")
+            seen.ret()
+            unseen = f.block("unseen")
+            unseen.print_(7)
+            unseen.ret()
+        pb.thread("t1").thread("t2")
+        return pb.build()
+
+    def test_merges_across_release(self):
+        source = self.message_passing()
+        out = UnsoundWaWMerge().run(source)
+        assert isinstance(out.function("t1")["entry"].instrs[0], Skip)
+
+    def test_sound_merge_refuses_the_same_elimination(self):
+        source = self.message_passing()
+        out = Merge().run(source)
+        assert isinstance(out.function("t1")["entry"].instrs[0], Store)
+
+    def test_breaks_refinement_across_release(self):
+        """The reader that acquired ``x = 1`` must see ``a ∈ {1, 2}``;
+        after the bogus merge it can read the stale initial 0."""
+        source = self.message_passing()
+        target = UnsoundWaWMerge().run(source)
+        result = check_refinement(source, target)
+        assert result.definitive
+        assert not result.holds
+        assert (0,) in result.target_behaviors.outputs()
+        assert (0,) not in result.source_behaviors.outputs()
+
+    def test_certifier_rejects_the_lying_profile_across_release(self):
+        """The pass claims ``I_merge`` (adjacent merges only); the W1
+        crossing rule catches the unexplained release-crossing drop."""
+        source = self.message_passing()
+        report = certify_transformation(UnsoundWaWMerge(), source)
+        assert not report.certified
+
+    def test_certifier_refuses_across_acquire_too(self):
+        """Across only an acquire read the drop is crossing-clean (it is
+        what DCE legally does) — but the merge profile cannot justify it,
+        so certification stays inconclusive rather than CERTIFIED."""
+        pb = ProgramBuilder(atomics={"x"})
+        with pb.function("t1") as f:
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.load("g", "x", "acq")
+            b.store("a", 2, "na")
+            b.print_("g")
+            b.ret()
+        pb.thread("t1")
+        source = pb.build()
+        target = UnsoundWaWMerge().run(source)
+        assert isinstance(target.function("t1")["entry"].instrs[0], Skip)
+        report = certify_transformation(UnsoundWaWMerge(), source)
+        assert not report.certified

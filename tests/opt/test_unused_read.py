@@ -1,0 +1,153 @@
+"""Unused plain read elimination tests: eligibility (dead + plain +
+interference-free), every refusal case, the UnusedRead ⊑ DCE containment,
+and end-to-end validation + tier-0 certification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import Load, Skip
+from repro.litmus.generator import GeneratorConfig, random_wwrf_program
+from repro.opt import DCE, UnusedRead
+from repro.sim import validate_optimizer
+from repro.static.certify import certify_transformation
+
+
+def _program(build_t1, atomics={"x"}, extra_threads=()):
+    pb = ProgramBuilder(atomics=set(atomics))
+    with pb.function("t1") as f:
+        build_t1(f)
+    pb.thread("t1")
+    for name, build in extra_threads:
+        with pb.function(name) as f:
+            build(f)
+        pb.thread(name)
+    return pb.build()
+
+
+def _entry(program):
+    return UnusedRead().run(program).function("t1")["entry"].instrs
+
+
+def test_eliminates_dead_plain_read():
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "a", "na")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    instrs = _entry(_program(src))
+    assert isinstance(instrs[0], Skip)
+
+
+def test_keeps_live_read():
+    def src(f):
+        b = f.block("entry")
+        b.load("r1", "a", "na")
+        b.print_("r1")
+        b.ret()
+
+    instrs = _entry(_program(src))
+    assert isinstance(instrs[0], Load)
+
+
+def test_refuses_relaxed_read():
+    """A relaxed read advances the thread's per-location view even when
+    its register is dead — not eliminable by deadness alone."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "x", "rlx")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    instrs = _entry(_program(src))
+    assert isinstance(instrs[0], Load)
+
+
+def test_refuses_acquire_read():
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "x", "acq")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    instrs = _entry(_program(src))
+    assert isinstance(instrs[0], Load)
+
+
+def test_refuses_environment_written_location():
+    """Another thread writes ``a``: the read is dead but not
+    interference-free, so the pass leaves it to DCE (whose validation is
+    exploration-backed)."""
+
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "a", "na")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    def writer(f):
+        b = f.block("entry")
+        b.store("a", 2, "na")
+        b.ret()
+
+    program = _program(src, extra_threads=(("t2", writer),))
+    instrs = _entry(program)
+    assert isinstance(instrs[0], Load)
+    # ...while DCE, which this pass under-approximates, does drop it.
+    dce_instrs = DCE().run(program).function("t1")["entry"].instrs
+    assert isinstance(dce_instrs[0], Skip)
+
+
+@given(seed=st.integers(min_value=0, max_value=2_000))
+@settings(max_examples=20, deadline=None)
+def test_unused_read_is_contained_in_dce(seed):
+    """Pointwise containment: every read UnusedRead drops, DCE drops too."""
+    config = GeneratorConfig(
+        threads=2, instrs_per_thread=3, unused_read_sites=2
+    )
+    program = random_wwrf_program(seed, config)
+    pruned = UnusedRead().run(program)
+    dce = DCE().run(program)
+    for (fname, heap), (_, dheap) in zip(pruned.functions, dce.functions):
+        for (label, block), (_, dblock) in zip(heap.blocks, dheap.blocks):
+            for offset, (instr, dinstr) in enumerate(
+                zip(block.instrs, dblock.instrs)
+            ):
+                original = program.function(fname)[label].instrs[offset]
+                if isinstance(instr, Skip) and not isinstance(original, Skip):
+                    assert isinstance(dinstr, Skip), (fname, label, offset)
+
+
+def test_validates_by_exploration():
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "a", "na")
+        b.store("a", 3, "na")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    program = _program(src)
+    out = UnusedRead().run(program)
+    assert out != program
+    result = validate_optimizer(UnusedRead(), program)
+    assert result.ok, result
+
+
+def test_certifies_tier_zero():
+    def src(f):
+        b = f.block("entry")
+        b.load("u", "a", "na")
+        b.store("a", 3, "na")
+        b.assign("r1", 1)
+        b.print_("r1")
+        b.ret()
+
+    report = certify_transformation(UnusedRead(), _program(src))
+    assert report.certified, report

@@ -1,0 +1,260 @@
+"""Owicki–Gries obligations of the merge family (I_merge / I_unused).
+
+Each discharge rule in isolation: the merge-explained structural
+obligations (merge-rar / merge-forward / merge-waw / merge-fence), the
+stored-value ``store-forward`` rule for non-adjacent plain forwarding,
+and the ``unused-read`` + ``interference`` pair — plus every refusal
+(forwarding across an acquire, dropping an atomic read, dropping a read
+of an environment-written location)."""
+
+from repro.lang.builder import ProgramBuilder
+from repro.opt import Merge, UnusedRead
+from repro.sim import check_og
+
+MERGE_PROFILE = Merge.crossing_profile
+UNUSED_PROFILE = UnusedRead.crossing_profile
+
+
+def _program(build_t1, atomics={"x"}, extra_threads=()):
+    pb = ProgramBuilder(atomics=set(atomics))
+    with pb.function("t1") as f:
+        build_t1(f)
+    pb.thread("t1")
+    for name, build in extra_threads:
+        with pb.function(name) as f:
+            build(f)
+        pb.thread(name)
+    return pb.build()
+
+
+def _pair(build_src, build_tgt, **kwargs):
+    return _program(build_src, **kwargs), _program(build_tgt, **kwargs)
+
+
+def _kinds(report):
+    return {ob.kind for ob in report.obligations}
+
+
+class TestStructuralMergeObligations:
+    def test_rar_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.load("r2", "x", "rlx")
+            b.print_("r2")
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, MERGE_PROFILE)
+        assert report.ok, report.undischarged
+        assert "merge-rar" in _kinds(report)
+
+    def test_forward_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("x", 1, "rlx")
+            b.load("r1", "x", "rlx")
+            b.print_("r1")
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, MERGE_PROFILE)
+        assert report.ok, report.undischarged
+        assert "merge-forward" in _kinds(report)
+
+    def test_waw_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("a", 2, "na")
+            b.print_(0)
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, MERGE_PROFILE)
+        assert report.ok, report.undischarged
+        assert "merge-waw" in _kinds(report)
+
+    def test_fence_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.fence("rel")
+            b.fence("rel")
+            b.print_(0)
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, MERGE_PROFILE)
+        assert report.ok, report.undischarged
+        assert "merge-fence" in _kinds(report)
+
+    def test_unexplained_waw_drop_stays_open(self):
+        """A hand-built non-adjacent overwrite elimination: no adjacent
+        pair explains it and the merge profile declares no write
+        elimination, so the obligation cannot discharge."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("b", 9, "na")
+            b.store("a", 2, "na")
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.skip()
+            b.store("b", 9, "na")
+            b.store("a", 2, "na")
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        report = check_og(source, target, MERGE_PROFILE)
+        assert not report.ok
+
+
+class TestStoreForwardObligation:
+    def test_nonadjacent_forwarding_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.store("x", 1, "rlx")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, MERGE_PROFILE)
+        assert report.ok, report.undischarged
+        assert "store-forward" in _kinds(report)
+
+    def test_forwarding_across_acquire_stays_open(self):
+        """Hand-built forwarding across an acquire: the stored-value fact
+        is killed (the view join may expose a newer message), so the
+        obligation must not discharge."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.load("g", "x", "acq")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.store("a", 5, "na")
+            b.load("g", "x", "acq")
+            b.assign("r1", 5)
+            b.print_("r1")
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        report = check_og(source, target, MERGE_PROFILE)
+        assert not report.ok
+        assert any(ob.kind == "store-forward" for ob in report.undischarged)
+
+
+class TestUnusedReadObligations:
+    def test_deadness_and_interference_discharged(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("u", "a", "na")
+            b.assign("r1", 1)
+            b.print_("r1")
+            b.ret()
+
+        source = _program(src)
+        target = UnusedRead().run(source)
+        assert target != source
+        report = check_og(source, target, UNUSED_PROFILE)
+        assert report.ok, report.undischarged
+        kinds = _kinds(report)
+        assert "unused-read" in kinds
+        assert "interference" in kinds
+
+    def test_live_read_drop_stays_open(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "a", "na")
+            b.print_("r1")
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.skip()
+            b.print_("r1")
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        report = check_og(source, target, UNUSED_PROFILE)
+        assert not report.ok
+        assert any(ob.kind == "unused-read" for ob in report.undischarged)
+
+    def test_relaxed_read_drop_refused_even_when_dead(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("u", "x", "rlx")
+            b.print_(0)
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.skip()
+            b.print_(0)
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        report = check_og(source, target, UNUSED_PROFILE)
+        assert not report.ok
+        assert any(ob.kind == "unused-read" for ob in report.undischarged)
+
+    def test_interference_refusal_on_environment_written_location(self):
+        def src(f):
+            b = f.block("entry")
+            b.load("u", "a", "na")
+            b.print_(0)
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.skip()
+            b.print_(0)
+            b.ret()
+
+        def writer(f):
+            b = f.block("entry")
+            b.store("a", 2, "na")
+            b.ret()
+
+        extra = (("t2", writer),)
+        source, target = _pair(src, tgt, extra_threads=extra)
+        report = check_og(source, target, UNUSED_PROFILE)
+        assert not report.ok
+        assert any(ob.kind == "interference" for ob in report.undischarged)
+
+    def test_unused_profile_does_not_license_merges(self):
+        """A structural merge under the unused-read profile stays open —
+        the obligation families are independent."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("a", 2, "na")
+            b.print_(0)
+            b.ret()
+
+        source = _program(src)
+        target = Merge().run(source)
+        assert target != source
+        report = check_og(source, target, UNUSED_PROFILE)
+        assert not report.ok

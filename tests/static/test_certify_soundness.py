@@ -12,8 +12,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.litmus.generator import GeneratorConfig, random_wwrf_program
-from repro.opt import CSE, DCE, ConstProp, CopyProp, Reorder
-from repro.opt.unsound import NaiveDCE, RedundantWriteIntroduction
+from repro.opt import CSE, DCE, ConstProp, CopyProp, Merge, Reorder, UnusedRead
+from repro.opt.unsound import (
+    NaiveDCE,
+    RedundantWriteIntroduction,
+    UnsoundWaWMerge,
+)
 from repro.sim import validate_optimizer
 from repro.static.certify import certify_transformation
 
@@ -21,9 +25,16 @@ SMALL = GeneratorConfig(threads=2, instrs_per_thread=4, prints_per_thread=1)
 REORDERABLE = GeneratorConfig(
     threads=2, instrs_per_thread=3, prints_per_thread=1, reorder_clusters=1
 )
+MERGEABLE = GeneratorConfig(
+    threads=2,
+    instrs_per_thread=3,
+    prints_per_thread=1,
+    merge_clusters=1,
+    unused_read_sites=1,
+)
 
-SOUND = (ConstProp(), CSE(), DCE(), CopyProp(), Reorder())
-UNSOUND = (NaiveDCE(), RedundantWriteIntroduction())
+SOUND = (ConstProp(), CSE(), DCE(), CopyProp(), Reorder(), Merge(), UnusedRead())
+UNSOUND = (NaiveDCE(), RedundantWriteIntroduction(), UnsoundWaWMerge())
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -50,6 +61,23 @@ def test_certified_reorder_implies_refinement(seed):
     if report.certified:
         exhaustive = validate_optimizer(opt, program)
         assert exhaustive.ok, f"CERTIFIED reorder contradicts exploration on seed {seed}"
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_certified_merge_family_implies_refinement(seed):
+    """Dedicated sweep with mergeable clusters and dead plain reads so
+    the I_merge / I_unused obligation rules actually fire — including the
+    lying WaW merge, which the certifier may only accept on instances
+    where its adjacency claim happens to be true."""
+    program = random_wwrf_program(seed, MERGEABLE)
+    for opt in (Merge(), UnusedRead(), UnsoundWaWMerge()):
+        report = certify_transformation(opt, program)
+        if report.certified:
+            exhaustive = validate_optimizer(opt, program)
+            assert exhaustive.ok, (
+                f"CERTIFIED contradicts exploration: {opt.name} on seed {seed}"
+            )
 
 
 @given(seed=st.integers(min_value=0, max_value=2_000))

@@ -1,0 +1,219 @@
+"""Merge-shaped crossing machinery: the mode side-condition helpers, the
+structural merge explainer (:func:`repro.static.crossing.explain_merges`),
+and the effective-source substitution that keeps the R1/W2 segment rules
+from misfiring when an absorbed *atomic* event disappears."""
+
+from repro.lang.builder import ProgramBuilder
+from repro.lang.syntax import (
+    AccessMode,
+    Assign,
+    BasicBlock,
+    Const,
+    Fence,
+    FenceKind,
+    Load,
+    Reg,
+    Return,
+    Skip,
+    Store,
+)
+from repro.static.crossing import (
+    CrossingProfile,
+    check_crossing,
+    explain_merges,
+    fence_absorbs,
+    merged_effective_block,
+    read_mode_absorbs,
+    write_mode_absorbed,
+)
+
+MERGE = CrossingProfile(invariant="merge", may_merge_accesses=True)
+
+NA, RLX, ACQ, REL = AccessMode.NA, AccessMode.RLX, AccessMode.ACQ, AccessMode.REL
+
+
+def _block(*instrs):
+    return BasicBlock(tuple(instrs), Return())
+
+
+class TestModeSideConditions:
+    def test_read_absorption_matrix(self):
+        """``o' ⊑ o``: the kept (first) read must be at least as strong."""
+        order = [NA, RLX, ACQ]
+        for i, first in enumerate(order):
+            for j, second in enumerate(order):
+                assert read_mode_absorbs(first, second) == (j <= i), (first, second)
+
+    def test_write_absorption_matrix(self):
+        """``o ⊑ o'``: the surviving (second) write must be at least as
+        strong as the dropped one."""
+        order = [NA, RLX, REL]
+        for i, first in enumerate(order):
+            for j, second in enumerate(order):
+                assert write_mode_absorbed(first, second) == (i <= j), (first, second)
+
+    def test_fence_absorption(self):
+        sc, rel, acq = FenceKind.SC, FenceKind.REL, FenceKind.ACQ
+        assert fence_absorbs(rel, rel)
+        assert fence_absorbs(acq, acq)
+        assert fence_absorbs(sc, rel)
+        assert fence_absorbs(sc, acq)
+        assert fence_absorbs(sc, sc)
+        # rel / acq are incomparable — neither absorbs the other.
+        assert not fence_absorbs(rel, acq)
+        assert not fence_absorbs(acq, rel)
+        assert not fence_absorbs(rel, sc)
+        assert not fence_absorbs(acq, sc)
+
+
+class TestExplainMerges:
+    def test_rar_same_register(self):
+        src = _block(Load("r", "x", RLX), Load("r", "x", RLX))
+        tgt = _block(Load("r", "x", RLX), Skip())
+        assert explain_merges(src, tgt) == {1: "rar"}
+
+    def test_rar_register_move(self):
+        src = _block(Load("r1", "x", RLX), Load("r2", "x", RLX))
+        tgt = _block(Load("r1", "x", RLX), Assign("r2", Reg("r1")))
+        assert explain_merges(src, tgt) == {1: "rar"}
+
+    def test_rar_refuses_stronger_second_read(self):
+        """An acquire is never simulated by a relaxed read."""
+        src = _block(Load("r1", "x", RLX), Load("r2", "x", ACQ))
+        tgt = _block(Load("r1", "x", RLX), Assign("r2", Reg("r1")))
+        assert explain_merges(src, tgt) == {}
+
+    def test_rar_chains_through_forwarded_load(self):
+        """The middle read was itself rewritten to a move — its register
+        still holds the location's value, so the third read chains."""
+        src = _block(
+            Load("r1", "x", RLX), Load("r2", "x", RLX), Load("r3", "x", RLX)
+        )
+        tgt = _block(
+            Load("r1", "x", RLX),
+            Assign("r2", Reg("r1")),
+            Assign("r3", Reg("r2")),
+        )
+        assert explain_merges(src, tgt) == {1: "rar", 2: "rar"}
+
+    def test_forwarding(self):
+        src = _block(Store("x", Const(1), RLX), Load("r", "x", RLX))
+        tgt = _block(Store("x", Const(1), RLX), Assign("r", Const(1)))
+        assert explain_merges(src, tgt) == {1: "forward"}
+
+    def test_forwarding_refuses_acquire_read(self):
+        src = _block(Store("x", Const(1), RLX), Load("r", "x", ACQ))
+        tgt = _block(Store("x", Const(1), RLX), Assign("r", Const(1)))
+        assert explain_merges(src, tgt) == {}
+
+    def test_waw(self):
+        src = _block(Store("a", Const(1), NA), Store("a", Const(2), NA))
+        tgt = _block(Skip(), Store("a", Const(2), NA))
+        assert explain_merges(src, tgt) == {0: "waw"}
+
+    def test_waw_chain(self):
+        src = _block(
+            Store("a", Const(1), NA),
+            Store("a", Const(2), NA),
+            Store("a", Const(3), NA),
+        )
+        tgt = _block(Skip(), Skip(), Store("a", Const(3), NA))
+        assert explain_merges(src, tgt) == {0: "waw", 1: "waw"}
+
+    def test_waw_refuses_weaker_survivor(self):
+        src = _block(Store("x", Const(1), REL), Store("x", Const(2), RLX))
+        tgt = _block(Skip(), Store("x", Const(2), RLX))
+        assert explain_merges(src, tgt) == {}
+
+    def test_waw_refuses_nonadjacent_drop(self):
+        """The dropped store's neighbor is a *different* location — there
+        is no adjacent-pair lemma to invoke."""
+        src = _block(
+            Store("a", Const(1), NA),
+            Store("b", Const(9), NA),
+            Store("a", Const(2), NA),
+        )
+        tgt = _block(Skip(), Store("b", Const(9), NA), Store("a", Const(2), NA))
+        assert explain_merges(src, tgt) == {}
+
+    def test_fence_backward_and_forward(self):
+        src = _block(Fence(FenceKind.REL), Fence(FenceKind.REL))
+        assert explain_merges(src, _block(Skip(), Fence(FenceKind.REL))) == {
+            0: "fence"
+        }
+        assert explain_merges(src, _block(Fence(FenceKind.REL), Skip())) == {
+            1: "fence"
+        }
+
+    def test_fence_refuses_incomparable_pair(self):
+        src = _block(Fence(FenceKind.REL), Fence(FenceKind.ACQ))
+        assert explain_merges(src, _block(Skip(), Fence(FenceKind.ACQ))) == {}
+        assert explain_merges(src, _block(Fence(FenceKind.REL), Skip())) == {}
+
+    def test_length_mismatch_explains_nothing(self):
+        src = _block(Load("r", "x", RLX), Load("r", "x", RLX))
+        tgt = _block(Load("r", "x", RLX))
+        assert explain_merges(src, tgt) == {}
+
+    def test_effective_block_substitutes_explained_offsets(self):
+        src = _block(Store("a", Const(1), NA), Store("a", Const(2), NA))
+        tgt = _block(Skip(), Store("a", Const(2), NA))
+        assert merged_effective_block(src, tgt) == tgt
+
+
+def _pair(build_src, build_tgt, atomics={"x"}):
+    programs = []
+    for build in (build_src, build_tgt):
+        pb = ProgramBuilder(atomics=set(atomics))
+        with pb.function("t1") as f:
+            build(f)
+        pb.thread("t1")
+        programs.append(pb.build())
+    return programs
+
+
+class TestCheckCrossingWithMerges:
+    def test_atomic_rar_merge_is_clean_under_profile(self):
+        """Absorbing the second relaxed read deletes an atomic event; the
+        effective-source substitution must keep the segment rules (W2)
+        from comparing misaligned atomic segments."""
+
+        def src(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.load("r2", "x", "rlx")
+            b.store("a", 1, "na")
+            b.print_("r2")
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.load("r1", "x", "rlx")
+            b.assign("r2", "r1")
+            b.store("a", 1, "na")
+            b.print_("r2")
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        assert check_crossing(source, target, MERGE).ok
+
+    def test_unexplained_atomic_deletion_is_flagged(self):
+        """Dropping a release write with no adjacent absorber is a W1
+        violation even under the merge profile."""
+
+        def src(f):
+            b = f.block("entry")
+            b.store("a", 1, "na")
+            b.store("x", 1, "rel")
+            b.store("a", 2, "na")
+            b.ret()
+
+        def tgt(f):
+            b = f.block("entry")
+            b.skip()
+            b.store("x", 1, "rel")
+            b.store("a", 2, "na")
+            b.ret()
+
+        source, target = _pair(src, tgt)
+        assert not check_crossing(source, target, MERGE).ok
